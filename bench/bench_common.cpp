@@ -1,0 +1,69 @@
+#include "bench_common.hpp"
+
+#include <sstream>
+
+#include "support/env.hpp"
+
+namespace feir::bench {
+
+Config config_from_env() {
+  Config cfg;
+  cfg.scale = env_double("FEIR_BENCH_SCALE", cfg.scale);
+  cfg.reps = static_cast<int>(env_long("FEIR_BENCH_REPS", cfg.reps));
+  cfg.threads = static_cast<unsigned>(env_long("FEIR_BENCH_THREADS", cfg.threads));
+  const std::string list = env_string("FEIR_BENCH_MATRICES", "");
+  if (list.empty()) {
+    cfg.matrices = testbed_names();
+  } else {
+    std::istringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) cfg.matrices.push_back(item);
+    }
+  }
+  return cfg;
+}
+
+Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
+               double mtbe_s, std::uint64_t seed, const BlockJacobi* M,
+               bool record_history, double max_seconds) {
+  ResilientCgOptions opts;
+  opts.method = method;
+  opts.block_rows = cfg.block_rows;
+  opts.threads = cfg.threads;
+  opts.tol = cfg.tol;
+  opts.max_iter = 500000;
+  opts.max_seconds = max_seconds;
+  opts.record_history = record_history;
+  if (method == Method::Checkpoint) {
+    opts.expected_mtbe_s = mtbe_s;
+    opts.ckpt.path = "/tmp/feir_bench_ckpt_" + std::to_string(seed) + ".bin";
+  }
+
+  ResilientCg cg(p.A, p.b.data(), opts, M);
+  ErrorInjector inj(cg.domain(), {mtbe_s > 0 ? mtbe_s : 1.0, seed, InjectMode::Soft});
+  if (mtbe_s > 0) inj.start();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const ResilientCgResult r = cg.solve(x.data());
+  if (mtbe_s > 0) inj.stop();
+
+  Run out;
+  out.converged = r.converged;
+  out.seconds = r.seconds;
+  out.iterations = r.iterations;
+  out.stats = r.stats;
+  out.states = r.states;
+  out.history = r.history;
+  return out;
+}
+
+double ideal_time(const TestbedProblem& p, const Config& cfg, const BlockJacobi* M) {
+  double best = 1e100;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    const Run r = run_solver(p, Method::Ideal, cfg, 0.0, 1, M);
+    if (r.converged) best = std::min(best, r.seconds);
+  }
+  return best;
+}
+
+}  // namespace feir::bench

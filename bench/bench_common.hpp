@@ -1,0 +1,65 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Environment knobs (so experiment sizes fit the machine at hand):
+//   FEIR_BENCH_SCALE    grid-edge scale of the testbed matrices (default 0.35)
+//   FEIR_BENCH_REPS     repetitions per experiment             (default 3)
+//   FEIR_BENCH_THREADS  worker threads                          (default 8)
+//   FEIR_BENCH_MATRICES comma list to restrict the matrix set   (default all)
+//
+// The paper runs each experiment 50+ times on dedicated nodes; the defaults
+// here are sized for a shared workstation — the *shape* of the results is
+// what the benches check, as EXPERIMENTS.md documents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/method.hpp"
+#include "core/resilient_cg.hpp"
+#include "fault/injector.hpp"
+#include "precond/blockjacobi.hpp"
+#include "sparse/generators.hpp"
+
+namespace feir::bench {
+
+/// Harness-wide configuration resolved from the environment.
+struct Config {
+  double scale = 0.35;
+  int reps = 3;
+  unsigned threads = 8;
+  double tol = 1e-10;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  std::vector<std::string> matrices;  // subset of testbed_names()
+};
+
+/// Reads the FEIR_BENCH_* environment variables.
+Config config_from_env();
+
+/// Outcome of one resilient solve.
+struct Run {
+  bool converged = false;
+  double seconds = 0.0;
+  index_t iterations = 0;
+  RecoveryStats stats;
+  Runtime::StateTimes states;
+  std::vector<IterRecord> history;
+};
+
+/// Runs one (P)CG solve of `p` with `method`.  When `mtbe_s > 0` an injector
+/// thread fires exponentially-distributed page errors at that MTBE.
+/// `expected_mtbe_s` feeds the checkpoint-period model.
+Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
+               double mtbe_s, std::uint64_t seed, const BlockJacobi* M = nullptr,
+               bool record_history = false, double max_seconds = 0.0);
+
+/// Best-of-reps ideal (no resilience, no errors) time: the per-matrix tau the
+/// paper normalizes error frequencies with.
+double ideal_time(const TestbedProblem& p, const Config& cfg,
+                  const BlockJacobi* M = nullptr);
+
+/// Percentage slowdown of `seconds` relative to `ideal_seconds`.
+inline double slowdown_pct(double seconds, double ideal_seconds) {
+  return 100.0 * (seconds / ideal_seconds - 1.0);
+}
+
+}  // namespace feir::bench

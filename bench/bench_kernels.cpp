@@ -1,0 +1,157 @@
+// Kernel micro-benchmarks (google-benchmark): the building blocks whose
+// costs drive the paper's trade-offs — SpMV, reductions, page-sized diagonal
+// block factorization/solve (the recovery cost), the lossy interpolation,
+// checkpoint writes, and task-runtime overhead.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/lossy.hpp"
+#include "core/relations.hpp"
+#include "precond/blockjacobi.hpp"
+#include "runtime/runtime.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace feir;
+
+const TestbedProblem& problem() {
+  static TestbedProblem p = make_testbed("ecology2", 0.35);
+  return p;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const auto& p = problem();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 1.0), y(x.size());
+  for (auto _ : state) {
+    spmv(p.A, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.A.nnz());
+}
+BENCHMARK(BM_Spmv);
+
+void BM_SpmvBlockRow(benchmark::State& state) {
+  const auto& p = problem();
+  const BlockLayout layout(p.A.n, static_cast<index_t>(kDoublesPerPage));
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 1.0), y(x.size());
+  const index_t blk = layout.num_blocks() / 2;
+  for (auto _ : state) {
+    spmv_rows(p.A, layout.begin(blk), layout.end(blk), x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmvBlockRow);
+
+void BM_Dot(benchmark::State& state) {
+  const auto& p = problem();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 1.0), y(x.size(), 2.0);
+  for (auto _ : state) {
+    double d = dot(x.data(), y.data(), p.A.n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * p.A.n);
+}
+BENCHMARK(BM_Dot);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto& p = problem();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 1.0), y(x.size(), 2.0);
+  for (auto _ : state) {
+    axpy_range(1.0000001, x.data(), y.data(), 0, p.A.n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.A.n);
+}
+BENCHMARK(BM_Axpy);
+
+// The core recovery cost: factor + solve one page-sized diagonal block.
+void BM_PageBlockCholesky(benchmark::State& state) {
+  const auto& p = problem();
+  const BlockLayout layout(p.A.n, static_cast<index_t>(kDoublesPerPage));
+  for (auto _ : state) {
+    DenseMatrix blk = extract_dense_block(p.A, layout.begin(0), layout.end(0),
+                                          layout.begin(0), layout.end(0));
+    const bool ok = cholesky_factor(blk);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_PageBlockCholesky);
+
+void BM_RecoverXPage(benchmark::State& state) {
+  const auto& p = problem();
+  const BlockLayout layout(p.A.n, static_cast<index_t>(kDoublesPerPage));
+  DiagBlockSolver solver(p.A, layout);
+  Rng rng(1);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> g(x.size());
+  spmv(p.A, x.data(), g.data());
+  for (index_t i = 0; i < p.A.n; ++i)
+    g[static_cast<std::size_t>(i)] = p.b[static_cast<std::size_t>(i)] - g[static_cast<std::size_t>(i)];
+  const index_t blk = layout.num_blocks() / 2;
+  for (auto _ : state) {
+    const bool ok = relation_x_rhs(solver, blk, p.b.data(), g.data(), x.data());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RecoverXPage);
+
+void BM_LossyInterpolatePage(benchmark::State& state) {
+  const auto& p = problem();
+  const BlockLayout layout(p.A.n, static_cast<index_t>(kDoublesPerPage));
+  DiagBlockSolver solver(p.A, layout);
+  Rng rng(2);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const std::vector<index_t> blocks{layout.num_blocks() / 2};
+  for (auto _ : state) {
+    const bool ok = lossy_interpolate(solver, blocks, p.b.data(), x.data());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_LossyInterpolatePage);
+
+void BM_BlockJacobiApply(benchmark::State& state) {
+  const auto& p = problem();
+  const BlockLayout layout(p.A.n, static_cast<index_t>(kDoublesPerPage));
+  BlockJacobi M(p.A, layout);
+  std::vector<double> g(static_cast<std::size_t>(p.A.n), 1.0), z(g.size());
+  for (auto _ : state) {
+    M.apply(g.data(), z.data());
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_BlockJacobiApply);
+
+void BM_CheckpointWriteDisk(benchmark::State& state) {
+  const auto& p = problem();
+  Checkpointer ck(p.A.n, {0, "/tmp/feir_bench_kernel_ckpt.bin"});
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 1.0), d(x.size(), 2.0);
+  index_t iter = 0;
+  for (auto _ : state) {
+    ck.save(iter++, x.data(), d.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * p.A.n * static_cast<index_t>(sizeof(double)));
+}
+BENCHMARK(BM_CheckpointWriteDisk);
+
+void BM_TaskSubmitAndDrain(benchmark::State& state) {
+  Runtime rt(4);
+  int key = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      rt.submit([] {}, {in(&key)});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TaskSubmitAndDrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

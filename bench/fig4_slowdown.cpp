@@ -1,0 +1,113 @@
+// Figure 4 reproduction: performance slowdown of the five resilience methods
+// under error-injection frequencies normalized to each matrix's ideal
+// convergence time tau — n in {1,2,5,10,20,50} means MTBE = tau/n — over the
+// nine testbed matrices, plus CG and PCG means.
+//
+// What must reproduce (paper, harmonic means):
+//   AFEIR 3.59% @1 ... 50.47% @50 ; FEIR 5.37% @1 ... 29.68% @50
+//   (AFEIR < FEIR at low rates, crossover at high rates)
+//   Lossy 8.4% @1 ... 170% @50 ; ckpt 55%..433% ; Trivial diverges fast.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace feir;
+using namespace feir::bench;
+
+namespace {
+
+const std::vector<int> kRates = {1, 2, 5, 10, 20, 50};
+
+struct MethodDef {
+  const char* name;
+  Method method;
+};
+
+const std::vector<MethodDef> kMethods = {
+    {"AFEIR", Method::Afeir}, {"FEIR", Method::Feir},   {"Lossy", Method::Lossy},
+    {"ckpt", Method::Checkpoint}, {"trivial", Method::Trivial},
+};
+
+// slowdown[method][rate] accumulated per matrix for the harmonic means.
+using SlowdownGrid = std::map<std::string, std::map<int, std::vector<double>>>;
+
+void run_campaign(const Config& cfg, bool pcg, SlowdownGrid& grid) {
+  for (const std::string& name : cfg.matrices) {
+    const TestbedProblem p = make_testbed(name, cfg.scale);
+    std::unique_ptr<BlockJacobi> M;
+    if (pcg) M = std::make_unique<BlockJacobi>(p.A, BlockLayout(p.A.n, cfg.block_rows));
+
+    const double tau = ideal_time(p, cfg, M.get());
+    std::printf("%s%s: tau = %.3f s\n", name.c_str(), pcg ? " (PCG)" : "", tau);
+    std::fflush(stdout);
+
+    Table t;
+    {
+      std::vector<std::string> hdr{"n"};
+      for (const auto& m : kMethods) hdr.push_back(m.name);
+      t.header(hdr);
+    }
+    for (int rate : kRates) {
+      std::vector<std::string> row{std::to_string(rate)};
+      for (const auto& m : kMethods) {
+        std::vector<double> times;
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          const std::uint64_t seed =
+              0x9E3779B9u * static_cast<std::uint64_t>(rate + 100 * rep + 1);
+          // Bound pathological runs (Trivial at high rates) at 60x tau —
+          // comfortably past the paper's worst reported slowdowns.
+          const Run r = run_solver(p, m.method, cfg, tau / rate, seed, M.get(),
+                                   false, 60.0 * tau);
+          times.push_back(r.converged ? r.seconds : r.seconds * 2.0);
+        }
+        const double sl = std::max(slowdown_pct(mean(times), tau), 0.01);
+        grid[m.name][rate].push_back(sl);
+        row.push_back(Table::pct(sl, 1));
+      }
+      t.row(row);
+    }
+    std::fputs((t.str() + "\n").c_str(), stdout);
+    std::fflush(stdout);
+  }
+}
+
+void print_means(const char* title, const SlowdownGrid& grid) {
+  Table t;
+  {
+    std::vector<std::string> hdr{"n"};
+    for (const auto& m : kMethods) hdr.push_back(m.name);
+    t.header(hdr);
+  }
+  for (int rate : kRates) {
+    std::vector<std::string> row{std::to_string(rate)};
+    for (const auto& m : kMethods) {
+      const auto it = grid.find(m.name);
+      row.push_back(Table::pct(harmonic_mean(it->second.at(rate)), 2));
+    }
+    t.row(row);
+  }
+  std::printf("=== %s (harmonic means) ===\n%s\n", title, t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  std::printf("=== Figure 4: slowdown vs normalized error frequency ===\n");
+  std::printf("(scale=%.2f reps=%d threads=%u, MTBE = tau/n)\n\n", cfg.scale, cfg.reps,
+              cfg.threads);
+
+  SlowdownGrid cg_grid;
+  run_campaign(cfg, /*pcg=*/false, cg_grid);
+  print_means("CG mean", cg_grid);
+
+  SlowdownGrid pcg_grid;
+  run_campaign(cfg, /*pcg=*/true, pcg_grid);
+  print_means("PCG mean", pcg_grid);
+  return 0;
+}

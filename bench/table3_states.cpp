@@ -1,0 +1,81 @@
+// Table 3 reproduction: increase of the proportion of time spent per runtime
+// state (idle/imbalance, runtime bookkeeping, useful task execution) for the
+// FEIR and AFEIR methods relative to the ideal task-based CG, no errors.
+//
+// Paper's rows:            imbalance  runtime  useful
+//               AFEIR         4.30%    8.11%   1.90%
+//               FEIR         25.06%    7.84%   2.78%
+//
+// What must reproduce: FEIR's in-critical-path recovery tasks inflate idle
+// time (imbalance) much more than AFEIR's overlapped ones; both add similar
+// runtime-bookkeeping overhead.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace feir;
+using namespace feir::bench;
+
+namespace {
+
+struct Shares {
+  double idle = 0.0, runtime = 0.0, useful = 0.0;
+};
+
+Shares measure(const TestbedProblem& p, Method m, const Config& cfg) {
+  Shares best;
+  double best_total = 1e100;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    const Run r = run_solver(p, m, cfg, 0.0, 1);
+    if (!r.converged) continue;
+    const double total = r.states.idle + r.states.runtime + r.states.useful;
+    if (total < best_total) {
+      best_total = total;
+      best = {r.states.idle, r.states.runtime, r.states.useful};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Config cfg = config_from_env();
+  std::printf("=== Table 3: increase of time spent per state, FEIR methods ===\n");
+  std::printf("(no errors; paper: AFEIR 4.30/8.11/1.90%%, FEIR 25.06/7.84/2.78%%)\n\n");
+
+  std::vector<double> afeir_imb, afeir_rt, afeir_useful;
+  std::vector<double> feir_imb, feir_rt, feir_useful;
+
+  for (const std::string& name : cfg.matrices) {
+    const TestbedProblem p = make_testbed(name, cfg.scale);
+    const Shares ideal = measure(p, Method::Ideal, cfg);
+    const Shares afeir = measure(p, Method::Afeir, cfg);
+    const Shares feir = measure(p, Method::Feir, cfg);
+
+    auto inc = [](double v, double base) {
+      return base > 0.0 ? 100.0 * (v / base - 1.0) : 0.0;
+    };
+    afeir_imb.push_back(std::max(inc(afeir.idle, ideal.idle), 0.01));
+    afeir_rt.push_back(std::max(inc(afeir.runtime, ideal.runtime), 0.01));
+    afeir_useful.push_back(std::max(inc(afeir.useful, ideal.useful), 0.01));
+    feir_imb.push_back(std::max(inc(feir.idle, ideal.idle), 0.01));
+    feir_rt.push_back(std::max(inc(feir.runtime, ideal.runtime), 0.01));
+    feir_useful.push_back(std::max(inc(feir.useful, ideal.useful), 0.01));
+    std::printf("  %-14s ideal idle/rt/useful = %.3f/%.3f/%.3f s\n", name.c_str(),
+                ideal.idle, ideal.runtime, ideal.useful);
+  }
+
+  Table t;
+  t.header({"", "imbalance", "runtime", "useful"});
+  t.row({"AFEIR", Table::pct(median(afeir_imb)), Table::pct(median(afeir_rt)),
+         Table::pct(median(afeir_useful))});
+  t.row({"FEIR", Table::pct(median(feir_imb)), Table::pct(median(feir_rt)),
+         Table::pct(median(feir_useful))});
+  std::printf("\n=== Table 3 (median increase over %zu matrices) ===\n%s",
+              cfg.matrices.size(), t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Constant-data protection with the software-ECC tier (§2.1).
+//
+// The forward recovery protects the solver's *dynamic* data; constant data
+// (matrix values, right-hand side) is normally reloaded from a reliable
+// backing store.  The paper suggests a cheaper scheme: since the hardware
+// already detects page losses, a correction-only software code suffices —
+// one XOR parity page per group of k pages rebuilds any single lost page,
+// with space overhead 1/k.  This example shields the CSR values and the
+// right-hand side, destroys pages, repairs them, and verifies the solve is
+// unaffected.
+//
+//   $ ./constant_data_ecc
+#include <cstdio>
+#include <vector>
+
+#include "fault/softecc.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+
+using namespace feir;
+
+int main() {
+  TestbedProblem p = make_testbed("consph", 0.5);
+  std::printf("consph stand-in: n = %lld, nnz = %lld\n", (long long)p.A.n,
+              (long long)p.A.nnz());
+
+  // Shield the two constant arrays.  Codeword length 8 => 12.5%% space cost.
+  EccShield vals_shield(p.A.vals.data(), static_cast<index_t>(p.A.vals.size()), 8);
+  EccShield rhs_shield(p.b.data(), p.A.n, 8);
+  std::printf("shielded %lld value pages + %lld rhs pages with %lld parity pages\n",
+              (long long)vals_shield.pages(), (long long)rhs_shield.pages(),
+              (long long)(vals_shield.parity_pages() + rhs_shield.parity_pages()));
+
+  // A DUE destroys two pages of the matrix values and one of the rhs.
+  auto wipe = [](double* base, index_t page) {
+    for (index_t i = page * 512; i < (page + 1) * 512; ++i) base[i] = 1e300;
+  };
+  wipe(p.A.vals.data(), 1);
+  wipe(p.A.vals.data(), 9);  // different parity group
+  wipe(p.b.data(), 0);
+
+  // A scrub pass localizes the damage...
+  const auto bad_vals = vals_shield.scrub(p.A.vals.data());
+  const auto bad_rhs = rhs_shield.scrub(p.b.data());
+  std::printf("scrub: %zu damaged value group(s), %zu damaged rhs group(s)\n",
+              bad_vals.size(), bad_rhs.size());
+
+  // ...and the XOR decode repairs it exactly.
+  if (!vals_shield.repair_many(p.A.vals.data(), {1, 9}) ||
+      !rhs_shield.repair_many(p.b.data(), {0})) {
+    std::printf("repair failed (beyond code strength)\n");
+    return 1;
+  }
+  std::printf("repaired; scrub now reports %zu + %zu damaged groups\n",
+              vals_shield.scrub(p.A.vals.data()).size(),
+              rhs_shield.scrub(p.b.data()).size());
+
+  // The repaired system solves to the true solution.
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = cg_solve(p.A, p.b.data(), x.data(), opts);
+  double err = 0.0;
+  for (index_t i = 0; i < p.A.n; ++i)
+    err = std::max(err, std::abs(x[static_cast<std::size_t>(i)] -
+                                 p.x_true[static_cast<std::size_t>(i)]));
+  std::printf("solve after repair: converged=%d, max |x - x_true| = %.2e\n",
+              r.converged ? 1 : 0, err);
+  return r.converged ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// GMRES resilience demo (§3.1.3): the Hessenberg matrix carries exactly the
+// redundancy needed to rebuild any Arnoldi basis vector; this example loses
+// pages of several basis vectors mid-solve and shows convergence unharmed.
+//
+//   $ ./gmres_recovery
+#include <cstdio>
+#include <vector>
+
+#include "core/resilient_gmres.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+
+using namespace feir;
+
+int main() {
+  const TestbedProblem p = make_testbed("parabolic_fem", 0.25);
+  std::printf("parabolic_fem stand-in: n = %lld\n", static_cast<long long>(p.A.n));
+
+  ResilientGmresOptions opts;
+  opts.restart = 30;
+  opts.block_rows = 64;
+  opts.tol = 1e-9;
+
+  // Fault-free reference.
+  ResilientGmres ref(p.A, p.b.data(), opts);
+  std::vector<double> x0(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r0 = ref.solve(x0.data());
+  std::printf("fault-free:   converged=%d in %lld iterations\n", r0.converged ? 1 : 0,
+              static_cast<long long>(r0.iterations));
+
+  // Lose pages of v1, v4 and the iterate across the run.
+  ResilientGmres* sp = nullptr;
+  int injected = 0;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    const char* targets[] = {"v1", "v4", "x"};
+    if (injected < 3 && rec.iter == (injected + 1) * r0.iterations / 4) {
+      ProtectedRegion* r = sp->domain().find(targets[injected]);
+      if (r != nullptr) {
+        r->lose_block(r->layout.num_blocks() / 2);
+        std::printf("  !! lost a page of %-2s at iteration %lld\n", targets[injected],
+                    static_cast<long long>(rec.iter));
+      }
+      ++injected;
+    }
+  };
+  ResilientGmres solver(p.A, p.b.data(), opts);
+  sp = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+
+  std::printf("with errors:  converged=%d in %lld iterations\n", r.converged ? 1 : 0,
+              static_cast<long long>(r.iterations));
+  std::printf("basis pages rebuilt from the Hessenberg recurrence: %llu\n",
+              static_cast<unsigned long long>(r.stats.spmv_recomputes));
+  std::printf("final relative residual: %.2e\n",
+              residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n));
+  return r.converged ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// The real fault path, end to end (the paper's §5.3 methodology): a separate
+// thread revokes a page's access rights with mprotect; the solver's next
+// touch raises SIGSEGV; the installed DUE handler maps a fresh page at the
+// same virtual address and flags the block lost; the recovery tasks rebuild
+// the data from the algebraic relations.  "For the solver, there is no
+// difference between real hardware DUE and our error injection mechanism."
+//
+//   $ ./mprotect_demo
+#include <cstdio>
+#include <vector>
+
+#include "core/resilient_cg.hpp"
+#include "fault/injector.hpp"
+#include "fault/sighandler.hpp"
+#include "precond/blockjacobi.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+
+using namespace feir;
+
+int main() {
+  install_due_handler();
+
+  const TestbedProblem p = make_testbed("ecology2", 0.5);  // tens of pages
+  std::printf("ecology2 stand-in: n = %lld (%lld pages per vector)\n",
+              static_cast<long long>(p.A.n),
+              static_cast<long long>((p.A.n + kDoublesPerPage - 1) / kDoublesPerPage));
+
+  // Page-granularity block-Jacobi: its Cholesky factors double as the
+  // recovery solver (the paper's free-factorization observation).
+  BlockJacobi M(p.A, BlockLayout(p.A.n, static_cast<index_t>(kDoublesPerPage)));
+
+  ResilientCgOptions opts;
+  opts.method = Method::Feir;
+  opts.block_rows = static_cast<index_t>(kDoublesPerPage);
+  opts.tol = 1e-10;
+  ResilientCg solver(p.A, p.b.data(), opts, &M);
+
+  activate_due_domain(&solver.domain());
+  ErrorInjector injector(solver.domain(), {0.2, 2026, InjectMode::Mprotect});
+  injector.start();
+
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const ResilientCgResult r = solver.solve(x.data());
+
+  injector.stop();
+  activate_due_domain(nullptr);
+
+  std::printf("pages poisoned by the injector: %llu\n",
+              static_cast<unsigned long long>(injector.count()));
+  std::printf("SIGSEGV faults repaired in-place: %llu\n",
+              static_cast<unsigned long long>(due_handler_hits()));
+  std::printf("converged: %s in %lld iterations, rel. res. %.2e\n",
+              r.converged ? "yes" : "no", static_cast<long long>(r.iterations),
+              residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n));
+  const auto& s = r.stats;
+  std::printf("recoveries: %llu lincomb, %llu diag-solve, %llu spmv, %llu residual, "
+              "%llu iterate, %llu precond\n",
+              static_cast<unsigned long long>(s.lincomb_recoveries),
+              static_cast<unsigned long long>(s.diag_solves),
+              static_cast<unsigned long long>(s.spmv_recomputes),
+              static_cast<unsigned long long>(s.residual_recomputes),
+              static_cast<unsigned long long>(s.x_recoveries),
+              static_cast<unsigned long long>(s.precond_reapplies));
+  return r.converged ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// The Figure-3 story as a runnable example: the same single page error in
+// the iterate, five recovery policies, one table.  Uses the thermal2
+// stand-in (random-conductivity heat problem) like the paper's Fig. 3.
+//
+//   $ ./thermal_resilient
+#include <cstdio>
+#include <vector>
+
+#include "core/resilient_cg.hpp"
+#include "sparse/generators.hpp"
+#include "support/table.hpp"
+
+using namespace feir;
+
+namespace {
+
+ResilientCgResult run(const TestbedProblem& p, Method m, index_t err_iter) {
+  ResilientCgOptions opts;
+  opts.method = m;
+  opts.block_rows = 64;
+  opts.tol = 1e-10;
+  opts.max_iter = 100000;
+  if (m == Method::Checkpoint) opts.ckpt.period_iters = 50;
+
+  ResilientCg* sp = nullptr;
+  bool fired = false;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (!fired && rec.iter == err_iter) {
+      ProtectedRegion* r = sp->domain().find("x");
+      r->lose_block(r->layout.num_blocks() / 2);
+      fired = true;
+    }
+  };
+  ResilientCg solver(p.A, p.b.data(), opts);
+  sp = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  return solver.solve(x.data());
+}
+
+}  // namespace
+
+int main() {
+  const TestbedProblem p = make_testbed("thermal2", 0.3);
+  std::printf("thermal2 stand-in: n = %lld, nnz = %lld\n\n",
+              static_cast<long long>(p.A.n), static_cast<long long>(p.A.nnz()));
+
+  const ResilientCgResult ideal = run(p, Method::Ideal, 1 << 30);
+  const index_t mid = ideal.iterations / 2;
+  std::printf("ideal CG: %lld iterations; injecting 1 error in x at iteration %lld\n\n",
+              static_cast<long long>(ideal.iterations), static_cast<long long>(mid));
+
+  Table t;
+  t.header({"method", "iters", "vs ideal", "restarts", "rollbacks", "recoveries"});
+  const std::pair<const char*, Method> methods[] = {
+      {"AFEIR", Method::Afeir}, {"FEIR", Method::Feir},       {"Lossy", Method::Lossy},
+      {"ckpt", Method::Checkpoint}, {"Trivial", Method::Trivial},
+  };
+  for (const auto& [name, m] : methods) {
+    const ResilientCgResult r = run(p, m, mid);
+    const auto& s = r.stats;
+    t.row({name, std::to_string(r.iterations),
+           Table::num(static_cast<double>(r.iterations) /
+                          static_cast<double>(ideal.iterations),
+                      2) +
+               "x",
+           std::to_string(s.restarts), std::to_string(s.rollbacks),
+           std::to_string(s.x_recoveries + s.diag_solves + s.lincomb_recoveries +
+                          s.spmv_recomputes + s.residual_recomputes)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Expected shape: FEIR/AFEIR ~1.0x (exact recovery), Lossy > 1x\n"
+              "(restart kills superlinear convergence), ckpt > 1x (rollback\n"
+              "re-execution), Trivial worst (blank page corrupts the Krylov\n"
+              "recurrence until the safety restart).\n");
+  return 0;
+}

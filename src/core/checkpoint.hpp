@@ -1,0 +1,62 @@
+// Checkpoint/rollback baseline (§4.2): each run periodically saves the
+// minimum state needed to roll back — the iterate x and search direction d —
+// to local storage; on a detected error all state is restored from the last
+// checkpoint and the residual is recomputed.  The checkpoint period is the
+// optimum from the first-order model of Young/Daly (the paper cites
+// Bougeret et al. [5]): T_opt = sqrt(2 * C * MTBE).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Where checkpoints go.
+struct CheckpointOptions {
+  /// Period in solver iterations; 0 selects the optimum from the model once
+  /// the per-iteration time and checkpoint cost are known.
+  index_t period_iters = 0;
+  /// File path for disk checkpoints; empty keeps them in memory (used by
+  /// tests; the benches write to a real file like the paper's local disk).
+  std::string path;
+};
+
+/// Saves/restores (x, d) pairs.
+class Checkpointer {
+ public:
+  Checkpointer(index_t n, CheckpointOptions opts);
+  ~Checkpointer();
+
+  /// Saves a checkpoint at iteration `iter`.  Returns the time spent (s).
+  double save(index_t iter, const double* x, const double* d);
+
+  /// Restores the latest checkpoint.  Returns false when none exists yet
+  /// (caller should restart from the initial state).
+  bool restore(double* x, double* d, index_t* iter);
+
+  /// True when at least one checkpoint was taken.
+  bool has_checkpoint() const { return has_; }
+
+  /// Measured cost of the last save (seconds), for the period model.
+  double last_cost() const { return last_cost_; }
+
+  index_t period() const { return opts_.period_iters; }
+  void set_period(index_t p) { opts_.period_iters = p; }
+
+ private:
+  index_t n_;
+  CheckpointOptions opts_;
+  std::vector<double> mem_x_, mem_d_;
+  index_t saved_iter_ = 0;
+  bool has_ = false;
+  double last_cost_ = 0.0;
+};
+
+/// Optimal checkpoint period in iterations from the first-order model:
+/// T_opt = sqrt(2 * C * MTBE) seconds, converted with the measured
+/// per-iteration time and clamped to [1, 10000].
+index_t optimal_checkpoint_period(double ckpt_cost_s, double mtbe_s, double iter_time_s);
+
+}  // namespace feir

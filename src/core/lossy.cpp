@@ -1,0 +1,41 @@
+#include "core/lossy.hpp"
+
+#include <cmath>
+
+#include "sparse/vecops.hpp"
+
+namespace feir {
+
+bool lossy_interpolate(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                       const double* rhs, double* x) {
+  if (blocks.empty()) return true;
+  const BlockLayout& layout = solver.layout();
+  const index_t m = blocks_rows(layout, blocks);
+  std::vector<double> t(static_cast<std::size_t>(m));
+  offblocks_product(solver.matrix(), layout, blocks, x, t.data());
+  index_t off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      t[static_cast<std::size_t>(off)] = rhs[i] - t[static_cast<std::size_t>(off)];
+  if (!solver.solve_coupled(blocks, t.data())) return false;
+  off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      x[i] = t[static_cast<std::size_t>(off)];
+  return true;
+}
+
+double a_norm(const CsrMatrix& A, const double* v) {
+  std::vector<double> av(static_cast<std::size_t>(A.n));
+  spmv(A, v, av.data());
+  const double s = dot(v, av.data(), A.n);
+  return s > 0.0 ? std::sqrt(s) : 0.0;
+}
+
+double a_norm_error(const CsrMatrix& A, const double* x, const double* x_star) {
+  std::vector<double> e(static_cast<std::size_t>(A.n));
+  for (index_t i = 0; i < A.n; ++i) e[static_cast<std::size_t>(i)] = x_star[i] - x[i];
+  return a_norm(A, e.data());
+}
+
+}  // namespace feir

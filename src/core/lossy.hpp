@@ -1,0 +1,31 @@
+// Lossy Restart (§4.3), adapted from Langou et al.'s Lossy Approach: on loss
+// of part of the iterate, a block-Jacobi step interpolates the lost block
+// from constant data and the surviving parts of x,
+//     A_ii x_i = b_i - sum_{j != i} A_ij x_j,
+// after which the solver restarts (the residual is outdated).
+//
+// The paper proves (Theorems 1-3) that for SPD A this interpolation is
+// contracting, diminishes the A-norm of the error, and in fact *minimizes*
+// the A-norm over all possible values of the lost block — properties our
+// tests verify numerically.
+#pragma once
+
+#include <vector>
+
+#include "core/relations.hpp"
+
+namespace feir {
+
+/// Block-Jacobi interpolation of the listed lost blocks of x (coupled dense
+/// solve when several blocks are lost).  Returns false when the coupled
+/// diagonal system is singular.
+bool lossy_interpolate(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                       const double* rhs, double* x);
+
+/// ||v||_A = sqrt(v^T A v); the paper's error metric for Theorems 2-3.
+double a_norm(const CsrMatrix& A, const double* v);
+
+/// ||x_star - x||_A for convenience in the theorem tests.
+double a_norm_error(const CsrMatrix& A, const double* x, const double* x_star);
+
+}  // namespace feir

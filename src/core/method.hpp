@@ -1,0 +1,51 @@
+// The resilience methods compared throughout the paper's evaluation (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace feir {
+
+/// Recovery policy of a resilient solve.
+enum class Method : std::uint8_t {
+  Ideal,       ///< no resilience machinery, no recovery (the baseline clock)
+  Trivial,     ///< blank page replacement only (§4.1)
+  Checkpoint,  ///< periodic checkpoint + rollback (§4.2)
+  Lossy,       ///< Lossy Restart: block-Jacobi interpolation + restart (§4.3)
+  Feir,        ///< Forward Exact Interpolation Recovery, in the critical path
+  Afeir,       ///< Asynchronous FEIR, overlapped with reductions
+};
+
+inline const char* method_name(Method m) {
+  switch (m) {
+    case Method::Ideal: return "Ideal";
+    case Method::Trivial: return "Trivial";
+    case Method::Checkpoint: return "ckpt";
+    case Method::Lossy: return "Lossy";
+    case Method::Feir: return "FEIR";
+    case Method::Afeir: return "AFEIR";
+  }
+  return "?";
+}
+
+/// Counters describing what the recovery machinery did during a solve.
+struct RecoveryStats {
+  std::uint64_t errors_detected = 0;    ///< lost blocks observed
+  std::uint64_t lincomb_recoveries = 0; ///< d rebuilt from beta*d_prev + steer
+  std::uint64_t diag_solves = 0;        ///< A_ii solves (d or x inversion)
+  std::uint64_t spmv_recomputes = 0;    ///< q blocks recomputed as (A d)_i
+  std::uint64_t alt_q_recoveries = 0;   ///< q via the beta*q_prev + A*steer form
+  std::uint64_t residual_recomputes = 0;///< g blocks rebuilt as b_i - (A x)_i
+  std::uint64_t x_recoveries = 0;       ///< iterate blocks rebuilt (r3)
+  std::uint64_t precond_reapplies = 0;  ///< partial M solves for z
+  std::uint64_t redo_updates = 0;       ///< skipped x/g updates replayed
+  std::uint64_t contrib_recomputes = 0; ///< reduction contributions re-added
+  std::uint64_t unrecoverable = 0;      ///< related-data losses left blank
+  std::uint64_t rollbacks = 0;          ///< checkpoint restores
+  std::uint64_t restarts = 0;           ///< lossy / forced restarts
+  std::uint64_t checkpoints = 0;        ///< checkpoints written
+  std::uint64_t zeroed_blocks = 0;      ///< blank-page replacements (Trivial)
+  std::uint64_t overwritten_losses = 0; ///< lost pages healed by full overwrite
+};
+
+}  // namespace feir

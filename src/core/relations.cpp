@@ -1,0 +1,174 @@
+#include "core/relations.hpp"
+
+#include <algorithm>
+
+#include "sparse/vecops.hpp"
+
+namespace feir {
+
+DiagBlockSolver::DiagBlockSolver(const CsrMatrix& A, const BlockLayout& layout,
+                                 const BlockJacobi* shared)
+    : A_(A), layout_(layout), shared_(shared) {}
+
+const DenseMatrix* DiagBlockSolver::factor(index_t b) {
+  if (shared_ != nullptr && shared_->layout().block_rows == layout_.block_rows)
+    return &shared_->block_factor(b);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cache_.find(b);
+  if (it != cache_.end()) return it->second.get();
+  auto blk = std::make_unique<DenseMatrix>(extract_dense_block(
+      A_, layout_.begin(b), layout_.end(b), layout_.begin(b), layout_.end(b)));
+  if (!cholesky_factor(*blk)) return nullptr;
+  return cache_.emplace(b, std::move(blk)).first->second.get();
+}
+
+bool DiagBlockSolver::solve(index_t b, double* rhs) {
+  const DenseMatrix* L = factor(b);
+  if (L == nullptr) return false;
+  cholesky_solve(*L, rhs);
+  return true;
+}
+
+bool DiagBlockSolver::solve_coupled(const std::vector<index_t>& blocks, double* rhs) {
+  if (blocks.size() == 1) return solve(blocks[0], rhs);
+  DenseMatrix B = coupled_block_matrix(A_, layout_, blocks);
+  std::vector<index_t> piv;
+  if (!lu_factor(B, piv)) return false;
+  lu_solve(B, piv, rhs);
+  return true;
+}
+
+void relation_spmv_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                       const double* src, double* dst) {
+  spmv_rows(A, layout.begin(b), layout.end(b), src, dst);
+}
+
+void relation_lincomb_lhs(const BlockLayout& layout, index_t b, double a,
+                          const double* v, double c, const double* w, double* u) {
+  lincomb_range(a, v, c, w, u, layout.begin(b), layout.end(b));
+}
+
+void relation_residual_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                           const double* x, const double* rhs, double* g) {
+  const index_t r0 = layout.begin(b);
+  const index_t r1 = layout.end(b);
+  spmv_rows(A, r0, r1, x, g);
+  for (index_t i = r0; i < r1; ++i) g[i] = rhs[i] - g[i];
+}
+
+bool relation_spmv_rhs(DiagBlockSolver& solver, index_t b, const double* q, double* p) {
+  const BlockLayout& layout = solver.layout();
+  const index_t r0 = layout.begin(b);
+  const index_t r1 = layout.end(b);
+  std::vector<double> rhs(static_cast<std::size_t>(r1 - r0));
+  offblock_product(solver.matrix(), r0, r1, r0, r1, p, rhs.data());
+  for (index_t i = r0; i < r1; ++i)
+    rhs[static_cast<std::size_t>(i - r0)] = q[i] - rhs[static_cast<std::size_t>(i - r0)];
+  if (!solver.solve(b, rhs.data())) return false;
+  std::copy(rhs.begin(), rhs.end(), p + r0);
+  return true;
+}
+
+bool relation_lincomb_rhs(const BlockLayout& layout, index_t b, double a,
+                          const double* v, double c, const double* u, double* w) {
+  if (c == 0.0) return false;
+  for (index_t i = layout.begin(b); i < layout.end(b); ++i) w[i] = (u[i] - a * v[i]) / c;
+  return true;
+}
+
+bool relation_x_rhs(DiagBlockSolver& solver, index_t b, const double* rhs,
+                    const double* g, double* x) {
+  const BlockLayout& layout = solver.layout();
+  const index_t r0 = layout.begin(b);
+  const index_t r1 = layout.end(b);
+  std::vector<double> t(static_cast<std::size_t>(r1 - r0));
+  offblock_product(solver.matrix(), r0, r1, r0, r1, x, t.data());
+  for (index_t i = r0; i < r1; ++i)
+    t[static_cast<std::size_t>(i - r0)] = rhs[i] - g[i] - t[static_cast<std::size_t>(i - r0)];
+  if (!solver.solve(b, t.data())) return false;
+  std::copy(t.begin(), t.end(), x + r0);
+  return true;
+}
+
+bool relation_x_rhs_multi(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                          const double* rhs, const double* g, double* x) {
+  const BlockLayout& layout = solver.layout();
+  const index_t m = blocks_rows(layout, blocks);
+  std::vector<double> t(static_cast<std::size_t>(m));
+  offblocks_product(solver.matrix(), layout, blocks, x, t.data());
+  index_t off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      t[static_cast<std::size_t>(off)] = rhs[i] - g[i] - t[static_cast<std::size_t>(off)];
+  if (!solver.solve_coupled(blocks, t.data())) return false;
+  off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      x[i] = t[static_cast<std::size_t>(off)];
+  return true;
+}
+
+bool relation_spmv_rhs_multi(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                             const double* q, double* p) {
+  const BlockLayout& layout = solver.layout();
+  const index_t m = blocks_rows(layout, blocks);
+  std::vector<double> t(static_cast<std::size_t>(m));
+  offblocks_product(solver.matrix(), layout, blocks, p, t.data());
+  index_t off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      t[static_cast<std::size_t>(off)] = q[i] - t[static_cast<std::size_t>(off)];
+  if (!solver.solve_coupled(blocks, t.data())) return false;
+  off = 0;
+  for (index_t b : blocks)
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++off)
+      p[i] = t[static_cast<std::size_t>(off)];
+  return true;
+}
+
+bool relation_x_least_squares(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                              const double* rhs, const double* g, double* x) {
+  const index_t c0 = layout.begin(b);
+  const index_t c1 = layout.end(b);
+  const index_t ncols = c1 - c0;
+
+  // Rows whose sparsity touches the lost column block.
+  std::vector<index_t> rows;
+  for (index_t i = 0; i < A.n; ++i) {
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      if (j >= c0 && j < c1) {
+        rows.push_back(i);
+        break;
+      }
+    }
+  }
+  if (static_cast<index_t>(rows.size()) < ncols) return false;
+
+  // Dense column slab and the right-hand side
+  //   r_i = rhs_i - g_i - sum_{j outside block} A_ij x_j,  i in rows.
+  DenseMatrix slab(static_cast<index_t>(rows.size()), ncols);
+  std::vector<double> r(rows.size(), 0.0);
+  for (std::size_t ri = 0; ri < rows.size(); ++ri) {
+    const index_t i = rows[ri];
+    double acc = rhs[i] - g[i];
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      const double v = A.vals[static_cast<std::size_t>(k)];
+      if (j >= c0 && j < c1) {
+        slab(static_cast<index_t>(ri), j - c0) = v;
+      } else {
+        acc -= v * x[j];
+      }
+    }
+    r[ri] = acc;
+  }
+
+  const std::vector<double> sol = least_squares(std::move(slab), std::move(r));
+  for (index_t j = 0; j < ncols; ++j) x[c0 + j] = sol[static_cast<std::size_t>(j)];
+  return true;
+}
+
+}  // namespace feir

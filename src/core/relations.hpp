@@ -1,0 +1,106 @@
+// Block recovery relations — Table 1 of the paper.
+//
+//   Block relation (recover lhs)    | Inverted relation (recover rhs)
+//   q_i = sum_j A_ij p_j            | A_ii p_i = q_i - sum_{j!=i} A_ij p_j
+//   u_i = a v_i + b w_i             | w_i = (u_i - a v_i) / b
+//   g_i = b_i - sum_j A_ij x_j      | A_ii x_i = b_i - g_i - sum_{j!=i} A_ij x_j
+//
+// A lost left-hand-side block is recomputed directly; a lost right-hand-side
+// block is obtained by solving with the dense diagonal block A_ii (Cholesky
+// when SPD — always, in the paper's CG study).  Simultaneous errors in one
+// relation couple blocks into one dense system (§2.4).  When a diagonal
+// block may be singular, the least-squares variant over the full columns of
+// the lost block applies (Agullo et al.'s approach).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "precond/blockjacobi.hpp"
+#include "sparse/blockops.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace feir {
+
+/// Solves with dense diagonal blocks A_ii, factoring lazily and caching.
+/// When a BlockJacobi preconditioner over the same layout is supplied, its
+/// Cholesky factors are reused — the paper's observation that PCG recovery
+/// gets the factorization for free (§5.1).
+class DiagBlockSolver {
+ public:
+  DiagBlockSolver(const CsrMatrix& A, const BlockLayout& layout,
+                  const BlockJacobi* shared = nullptr);
+
+  /// Solves A_bb y = rhs in place (rhs has layout.rows(b) entries).
+  /// Returns false when the block is not SPD (caller should fall back to
+  /// least squares).
+  bool solve(index_t b, double* rhs);
+
+  /// Coupled solve for simultaneous errors: the dense system over the union
+  /// of `blocks` (§2.4), factored with pivoted LU.  rhs holds the
+  /// concatenated block rows, replaced by the solution.
+  bool solve_coupled(const std::vector<index_t>& blocks, double* rhs);
+
+  const BlockLayout& layout() const { return layout_; }
+  const CsrMatrix& matrix() const { return A_; }
+
+ private:
+  const DenseMatrix* factor(index_t b);
+
+  const CsrMatrix& A_;
+  BlockLayout layout_;
+  const BlockJacobi* shared_;
+  std::mutex mu_;
+  std::unordered_map<index_t, std::unique_ptr<DenseMatrix>> cache_;
+};
+
+// --- Left-hand-side recoveries (direct recomputation) ---
+
+/// dst_b = (A src)_b : recovers a lost block of q in q = A p.
+void relation_spmv_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                       const double* src, double* dst);
+
+/// u_b = a v_b + c w_b : recovers a lost block of a linear combination.
+void relation_lincomb_lhs(const BlockLayout& layout, index_t b, double a,
+                          const double* v, double c, const double* w, double* u);
+
+/// g_b = rhs_b - (A x)_b : recovers a lost block of the residual.
+void relation_residual_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                           const double* x, const double* rhs, double* g);
+
+// --- Right-hand-side recoveries (inverted relations) ---
+
+/// Solves A_bb p_b = q_b - sum_{j!=b} A_bj p_j : recovers a lost block of p
+/// in q = A p.  Other blocks of p must be valid.
+bool relation_spmv_rhs(DiagBlockSolver& solver, index_t b, const double* q, double* p);
+
+/// w_b = (u_b - a v_b) / c : recovers a lost right operand of u = a v + c w.
+/// Returns false when c == 0.
+bool relation_lincomb_rhs(const BlockLayout& layout, index_t b, double a,
+                          const double* v, double c, const double* u, double* w);
+
+/// Solves A_bb x_b = rhs_b - g_b - sum_{j!=b} A_bj x_j : recovers a lost
+/// block of the iterate using the conserved relation g = b - A x.
+bool relation_x_rhs(DiagBlockSolver& solver, index_t b, const double* rhs,
+                    const double* g, double* x);
+
+/// Coupled variant of relation_x_rhs for simultaneous errors in x (§2.4).
+bool relation_x_rhs_multi(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                          const double* rhs, const double* g, double* x);
+
+/// Coupled variant of relation_spmv_rhs for simultaneous errors in p.
+bool relation_spmv_rhs_multi(DiagBlockSolver& solver, const std::vector<index_t>& blocks,
+                             const double* q, double* p);
+
+/// Least-squares recovery of x_b from the full columns of the lost block
+/// (for potentially singular diagonal blocks): solves
+///   min_{x_b} || (rhs - g - A x)|_{rows touching block b} ||_2.
+/// Writes the solution into x.  Returns false when the column footprint has
+/// fewer rows than unknowns.
+bool relation_x_least_squares(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                              const double* rhs, const double* g, double* x);
+
+}  // namespace feir

@@ -1,0 +1,362 @@
+#include "core/resilient_bicgstab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+ResilientBicgstab::ResilientBicgstab(const CsrMatrix& A, const double* b,
+                                     ResilientBicgstabOptions opts,
+                                     const Preconditioner* M)
+    : A_(A),
+      b_(b),
+      opts_(std::move(opts)),
+      M_(M),
+      layout_(A.n, opts_.block_rows),
+      dsolver_(A, BlockLayout(A.n, opts_.block_rows)) {
+  nb_ = layout_.num_blocks();
+  const auto n = static_cast<std::size_t>(A.n);
+  x_ = PageBuffer(n);
+  g_ = PageBuffer(n);
+  q_ = PageBuffer(n);
+  s_ = PageBuffer(n);
+  t_ = PageBuffer(n);
+  d_[0] = PageBuffer(n);
+  d_[1] = PageBuffer(n);
+  const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
+  auto reg = [&](const char* name, PageBuffer& buf) {
+    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+  };
+  rx_ = reg("x", x_);
+  rg_ = reg("g", g_);
+  rq_ = reg("q", q_);
+  rs_ = reg("s", s_);
+  rt_ = reg("t", t_);
+  rd_[0] = reg("d0", d_[0]);
+  rd_[1] = reg("d1", d_[1]);
+  if (M_ != nullptr) {
+    p_ = PageBuffer(n);
+    u_ = PageBuffer(n);
+    rp_ = reg("p", p_);
+    ru_ = reg("u", u_);
+  }
+}
+
+// A pure-output vector was just fully recomputed: any page lost beforehand
+// has been healed by the overwrite itself (under mprotect the write faults,
+// the handler remaps, the write retries — a detected-and-repaired DUE).
+void refresh_output(ProtectedRegion* r, RecoveryStats& stats) {
+  for (index_t p = 0; p < r->layout.num_blocks(); ++p) {
+    if (r->mask.get(p) == BlockState::Lost) {
+      ++stats.errors_detected;
+      ++stats.overwritten_losses;
+    }
+  }
+  r->mask.clear();
+}
+
+template <typename Fn>
+bool ResilientBicgstab::heal(ProtectedRegion* r, Fn&& fn) {
+  bool all_ok = true;
+  for (index_t p = 0; p < nb_; ++p) {
+    if (r->mask.ok(p)) continue;
+    ++stats_.errors_detected;
+    if (fn(p)) {
+      r->mask.set(p, BlockState::Ok);
+    } else {
+      all_ok = false;
+      ++stats_.unrecoverable;
+    }
+  }
+  return all_ok;
+}
+
+ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
+  ResilientBicgstabResult res;
+  Stopwatch clock;
+  const index_t n = A_.n;
+  const double bnorm = norm2(b_, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+
+  double* x = x_.data();
+  double* g = g_.data();
+  double* q = q_.data();
+  double* s = s_.data();
+  double* t = t_.data();
+
+  std::copy(x_out, x_out + n, x);
+  domain_.clear_all();
+
+  // r (the shadow residual) is constant data in the paper's sense: saved to
+  // a reliable store at start, never protected or injected.
+  std::vector<double> r(static_cast<std::size_t>(n));
+
+  int parity = 0;  // d_[parity] is the live direction
+  double alpha = 0.0, beta = 0.0, omega = 0.0, rho = 0.0;
+
+  auto full_restart = [&] {
+    std::vector<index_t> lost_x = rx_->mask.collect(BlockState::Lost);
+    if (!lost_x.empty()) {
+      // Interpolate without the residual (Lossy Approach): A_ii x_i = b_i - ...
+      const index_t m = blocks_rows(layout_, lost_x);
+      std::vector<double> rhs(static_cast<std::size_t>(m));
+      offblocks_product(A_, layout_, lost_x, x, rhs.data());
+      index_t off = 0;
+      for (index_t bb : lost_x)
+        for (index_t i = layout_.begin(bb); i < layout_.end(bb); ++i, ++off)
+          rhs[static_cast<std::size_t>(off)] = b_[i] - rhs[static_cast<std::size_t>(off)];
+      if (dsolver_.solve_coupled(lost_x, rhs.data())) {
+        off = 0;
+        for (index_t bb : lost_x)
+          for (index_t i = layout_.begin(bb); i < layout_.end(bb); ++i, ++off)
+            x[i] = rhs[static_cast<std::size_t>(off)];
+      } else {
+        for (index_t bb : lost_x)
+          fill_range(0.0, x, layout_.begin(bb), layout_.end(bb));
+      }
+    }
+    domain_.clear_all();
+    spmv(A_, x, g);
+    for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
+    std::copy(g, g + n, r.begin());
+    copy_range(g, d_[parity].data(), 0, n);
+    rho = dot(g, r.data(), n);
+    alpha = beta = omega = 0.0;
+    ++stats_.restarts;
+  };
+
+  // Initial: g, r, d <= b - A x.
+  spmv(A_, x, g);
+  for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
+  std::copy(g, g + n, r.begin());
+  copy_range(g, d_[parity].data(), 0, n);
+  rho = dot(g, r.data(), n);
+
+  auto finish = [&](bool ok, index_t iters) {
+    res.converged = ok;
+    res.iterations = iters;
+    res.final_relres = residual_norm(A_, x, b_) / denom;
+    res.seconds = clock.seconds();
+    res.stats = stats_;
+    std::copy(x, x + n, x_out);
+    return res;
+  };
+
+  for (index_t it = 0; it < opts_.max_iter; ++it) {
+    double* d = d_[parity].data();
+    double* dprev = d_[1 - parity].data();
+    ProtectedRegion* rd = rd_[parity];
+    ProtectedRegion* rdp = rd_[1 - parity];
+
+    // Heal g first (conserved relation; x must be intact).
+    bool x_ok = rx_->mask.all_ok();
+    if (x_ok) {
+      heal(rg_, [&](index_t p) {
+        relation_residual_lhs(A_, layout_, p, x, b_, g);
+        ++stats_.residual_recomputes;
+        return true;
+      });
+    }
+    // Heal x (needs g).
+    if (rg_->mask.all_ok()) {
+      std::vector<index_t> lost_x = rx_->mask.collect(BlockState::Lost);
+      if (!lost_x.empty()) {
+        stats_.errors_detected += lost_x.size();
+        if (relation_x_rhs_multi(dsolver_, lost_x, b_, g, x)) {
+          for (index_t p : lost_x) rx_->mask.set(p, BlockState::Ok);
+          stats_.x_recoveries += lost_x.size();
+        }
+      }
+    }
+    if (!rx_->mask.all_ok() || !rg_->mask.all_ok()) {
+      full_restart();
+      continue;
+    }
+
+    // Heal the direction from its update relation (q still holds q_prev,
+    // dprev the previous direction): d = g + beta (d_prev - omega q_prev).
+    {
+      const bool have_update = it > 0 && rdp->mask.all_ok() && rq_->mask.all_ok();
+      const bool ok = heal(rd, [&](index_t p) {
+        if (it == 0) {
+          copy_range(g, d, layout_.begin(p), layout_.end(p));
+          ++stats_.lincomb_recoveries;
+          return true;
+        }
+        if (!have_update) return false;
+        for (index_t i = layout_.begin(p); i < layout_.end(p); ++i)
+          d[i] = g[i] + beta * (dprev[i] - omega * q[i]);
+        ++stats_.lincomb_recoveries;
+        return true;
+      });
+      if (!ok) {
+        full_restart();
+        continue;
+      }
+    }
+
+    const double relres = norm2(g, n) / denom;
+    const IterRecord rec{it, clock.seconds(), relres};
+    if (opts_.record_history) res.history.push_back(rec);
+    if (opts_.on_iteration) opts_.on_iteration(rec);
+    if (relres <= opts_.tol) {
+      const double true_rel = residual_norm(A_, x, b_) / denom;
+      if (true_rel <= opts_.tol) return finish(true, it);
+      full_restart();
+      continue;
+    }
+
+    // Preconditioned direction: p <= M^{-1} d (Listing 6), recoverable by a
+    // partial application of M on the lost rows.
+    const double* qdir = d;
+    if (M_ != nullptr) {
+      M_->apply(d, p_.data());
+      refresh_output(rp_, stats_);
+      heal(rp_, [&](index_t pp) {
+        M_->apply_blocks({pp}, d, p_.data());
+        ++stats_.precond_reapplies;
+        return true;
+      });
+      qdir = p_.data();
+    }
+
+    // q <= A qdir
+    spmv(A_, qdir, q);
+    refresh_output(rq_, stats_);
+
+    // Heal q / qdir against post-SpMV losses: q_i = (A qdir)_i ;
+    // qdir = A^{-1} q.
+    heal(rq_, [&](index_t p) {
+      relation_spmv_lhs(A_, layout_, p, qdir, q);
+      ++stats_.spmv_recomputes;
+      return true;
+    });
+    {
+      ProtectedRegion* rqd = M_ != nullptr ? rp_ : rd;
+      double* qdir_mut = M_ != nullptr ? p_.data() : d;
+      std::vector<index_t> lost_d = rqd->mask.collect(BlockState::Lost);
+      if (!lost_d.empty()) {
+        stats_.errors_detected += lost_d.size();
+        if (relation_spmv_rhs_multi(dsolver_, lost_d, q, qdir_mut)) {
+          for (index_t p : lost_d) rqd->mask.set(p, BlockState::Ok);
+          stats_.diag_solves += lost_d.size();
+        } else {
+          full_restart();
+          continue;
+        }
+      }
+    }
+
+    const double qr = dot(q, r.data(), n);
+    if (qr == 0.0 || !std::isfinite(qr)) {
+      full_restart();
+      continue;
+    }
+    alpha = rho / qr;
+
+    // Heal the inputs of s = g - alpha q (a loss may have landed since the
+    // top-of-iteration sweep).
+    if (rx_->mask.all_ok()) {
+      heal(rg_, [&](index_t p) {
+        relation_residual_lhs(A_, layout_, p, x, b_, g);
+        ++stats_.residual_recomputes;
+        return true;
+      });
+    }
+    heal(rq_, [&](index_t p) {
+      relation_spmv_lhs(A_, layout_, p, d, q);
+      ++stats_.spmv_recomputes;
+      return true;
+    });
+    if (!rg_->mask.all_ok()) {
+      full_restart();
+      continue;
+    }
+
+    // s <= g - alpha q
+    for (index_t i = 0; i < n; ++i) s[i] = g[i] - alpha * q[i];
+    refresh_output(rs_, stats_);
+    heal(rs_, [&](index_t p) {
+      relation_lincomb_lhs(layout_, p, 1.0, g, -alpha, q, s);
+      ++stats_.lincomb_recoveries;
+      return true;
+    });
+
+    // Preconditioned intermediate: u <= M^{-1} s, partial-apply recoverable.
+    const double* tdir = s;
+    if (M_ != nullptr) {
+      M_->apply(s, u_.data());
+      refresh_output(ru_, stats_);
+      heal(ru_, [&](index_t pp) {
+        M_->apply_blocks({pp}, s, u_.data());
+        ++stats_.precond_reapplies;
+        return true;
+      });
+      tdir = u_.data();
+    }
+
+    // t <= A tdir
+    spmv(A_, tdir, t);
+    refresh_output(rt_, stats_);
+    heal(rt_, [&](index_t p) {
+      relation_spmv_lhs(A_, layout_, p, tdir, t);
+      ++stats_.spmv_recomputes;
+      return true;
+    });
+    if (M_ != nullptr) {
+      // s is recoverable from its producing relation s = g - alpha q.
+      heal(rs_, [&](index_t p) {
+        relation_lincomb_lhs(layout_, p, 1.0, g, -alpha, q, s);
+        ++stats_.lincomb_recoveries;
+        return true;
+      });
+    } else {
+      std::vector<index_t> lost_s = rs_->mask.collect(BlockState::Lost);
+      if (!lost_s.empty()) {
+        stats_.errors_detected += lost_s.size();
+        if (relation_spmv_rhs_multi(dsolver_, lost_s, t, s)) {
+          for (index_t p : lost_s) rs_->mask.set(p, BlockState::Ok);
+          stats_.diag_solves += lost_s.size();
+        } else {
+          full_restart();
+          continue;
+        }
+      }
+    }
+
+    const double tt = dot(t, t, n);
+    if (tt == 0.0) {
+      full_restart();
+      continue;
+    }
+    omega = dot(t, s, n) / tt;
+
+    // x <= x + alpha (p|d) + omega (u|s) ; g <= s - omega t.
+    {
+      const double* xd = M_ != nullptr ? p_.data() : d;
+      const double* xs = M_ != nullptr ? u_.data() : s;
+      for (index_t i = 0; i < n; ++i) x[i] += alpha * xd[i] + omega * xs[i];
+    }
+    for (index_t i = 0; i < n; ++i) g[i] = s[i] - omega * t[i];
+    refresh_output(rg_, stats_);
+
+    const double rho_old = rho;
+    rho = dot(g, r.data(), n);
+    if (rho_old == 0.0 || omega == 0.0 || !std::isfinite(rho)) {
+      full_restart();
+      continue;
+    }
+    beta = (rho / rho_old) * (alpha / omega);
+
+    // d_new <= g + beta (d - omega q), into the spare buffer.
+    for (index_t i = 0; i < n; ++i) dprev[i] = g[i] + beta * (d[i] - omega * q[i]);
+    refresh_output(rdp, stats_);
+    parity = 1 - parity;
+  }
+  return finish(false, opts_.max_iter);
+}
+
+}  // namespace feir

@@ -1,0 +1,878 @@
+#include "core/resilient_cg.hpp"
+
+#include "core/lossy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+namespace {
+
+// Chunk c of [0, nb) when splitting into `nchunks` nearly equal ranges.
+std::pair<index_t, index_t> chunk_range(index_t nb, index_t nchunks, index_t c) {
+  const index_t base = nb / nchunks;
+  const index_t rem = nb % nchunks;
+  const index_t p0 = c * base + std::min(c, rem);
+  const index_t p1 = p0 + base + (c < rem ? 1 : 0);
+  return {p0, p1};
+}
+
+}  // namespace
+
+void ResilientCg::Contrib::init(index_t n) {
+  part = std::make_unique<std::atomic<double>[]>(static_cast<std::size_t>(n));
+  flag = std::make_unique<std::atomic<std::int8_t>[]>(static_cast<std::size_t>(n));
+  reset(n);
+}
+
+void ResilientCg::Contrib::reset(index_t n) {
+  for (index_t i = 0; i < n; ++i) {
+    part[static_cast<std::size_t>(i)].store(0.0, std::memory_order_relaxed);
+    flag[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+ResilientCg::ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions opts,
+                         const Preconditioner* M)
+    : A_(A),
+      b_(b),
+      opts_(std::move(opts)),
+      M_(M),
+      layout_(A.n, opts_.block_rows),
+      dsolver_(A, BlockLayout(A.n, opts_.block_rows),
+               dynamic_cast<const BlockJacobi*>(M)) {
+  nb_ = layout_.num_blocks();
+  nthreads_ = opts_.threads != 0
+                  ? opts_.threads
+                  : std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+  nchunks_ = std::min<index_t>(nb_, static_cast<index_t>(nthreads_));
+
+  const auto n = static_cast<std::size_t>(A.n);
+  x_ = PageBuffer(n);
+  g_ = PageBuffer(n);
+  q_ = PageBuffer(n);
+  d_[0] = PageBuffer(n);
+  d_[1] = PageBuffer(n);
+  if (M_ != nullptr) z_ = PageBuffer(n);
+
+  // Register the Krylov vectors with the fault domain (the injector's
+  // uniform sample space, §5.3).  Page-backed regions need page granularity.
+  const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
+  auto reg = [&](const char* name, PageBuffer& buf) {
+    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+  };
+  rx_ = reg("x", x_);
+  rg_ = reg("g", g_);
+  rd_[0] = reg("d0", d_[0]);
+  rd_[1] = reg("d1", d_[1]);
+  rq_ = reg("q", q_);
+  if (M_ != nullptr) rz_ = reg("z", z_);
+
+  // Page-level column footprint of each block row of A: which pages of the
+  // source vector a page of q depends on.
+  page_footprint_.resize(static_cast<std::size_t>(nb_));
+  for (index_t p = 0; p < nb_; ++p) {
+    std::vector<char> seen(static_cast<std::size_t>(nb_), 0);
+    for (index_t i = layout_.begin(p); i < layout_.end(p); ++i)
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        seen[static_cast<std::size_t>(layout_.block_of(A.col_idx[static_cast<std::size_t>(k)]))] = 1;
+    for (index_t pb = 0; pb < nb_; ++pb)
+      if (seen[static_cast<std::size_t>(pb)]) page_footprint_[static_cast<std::size_t>(p)].push_back(pb);
+  }
+  chunk_footprint_.resize(static_cast<std::size_t>(nchunks_));
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<char> seen(static_cast<std::size_t>(nchunks_), 0);
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    for (index_t p = p0; p < p1; ++p)
+      for (index_t dep : page_footprint_[static_cast<std::size_t>(p)]) {
+        // Map the dependency page back to its owning chunk.
+        index_t lo = 0, hi = nchunks_ - 1;
+        while (lo < hi) {
+          const index_t mid = (lo + hi) / 2;
+          if (chunk_range(nb_, nchunks_, mid).second <= dep)
+            lo = mid + 1;
+          else
+            hi = mid;
+        }
+        seen[static_cast<std::size_t>(lo)] = 1;
+      }
+    for (index_t cc = 0; cc < nchunks_; ++cc)
+      if (seen[static_cast<std::size_t>(cc)]) chunk_footprint_[static_cast<std::size_t>(c)].push_back(cc);
+  }
+
+  ee_.init(nb_);
+  gg_.init(nb_);
+  dq_.init(nb_);
+  q_written_ = std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(nb_));
+  for (index_t p = 0; p < nb_; ++p) q_written_[static_cast<std::size_t>(p)].store(0);
+}
+
+double ResilientCg::sum_contrib(const Contrib& c, bool* complete) const {
+  double s = 0.0;
+  bool full = true;
+  for (index_t p = 0; p < nb_; ++p) {
+    if (c.flag[static_cast<std::size_t>(p)].load(std::memory_order_acquire) == 1)
+      s += c.part[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+    else
+      full = false;
+  }
+  if (complete != nullptr) *complete = full;
+  return s;
+}
+
+void ResilientCg::restart_from_x() {
+  // Sequential restart: recompute the residual from the (intact or newly
+  // interpolated) iterate and wipe the Krylov recurrence (§4.3).
+  spmv(A_, x_.data(), g_.data());
+  for (index_t i = 0; i < A_.n; ++i) g_.data()[i] = b_[i] - g_.data()[i];
+  if (M_ != nullptr) M_->apply(g_.data(), z_.data());
+  have_eps_old_ = false;
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  rx_->mask.clear();
+  rg_->mask.clear();
+  if (rz_ != nullptr) rz_->mask.clear();
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState s = feir ? BlockState::Skipped : BlockState::Ok;
+    rq_->mask.set(p, s);
+    rd_[0]->mask.set(p, s);
+    rd_[1]->mask.set(p, s);
+    q_written_[static_cast<std::size_t>(p)].store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery procedures (Table 1 relations applied per page).
+// ---------------------------------------------------------------------------
+
+// r1 (§3.3.2, Fig. 1b): mid-iteration recovery of d_cur and q, before the
+// alpha reduction consumes <d, q>.
+void ResilientCg::recover_r1(bool final_pass) {
+  double* dcur = d_[1 - parity_].data();
+  double* dprev = d_[parity_].data();
+  double* q = q_.data();
+  ProtectedRegion* rdc = rd_[1 - parity_];
+  ProtectedRegion* rdp = rd_[parity_];
+  const double* st = steer();
+  ProtectedRegion* rst = steer_region();
+
+  // Pass 1: rebuild d_cur pages from the update relation d = beta d_prev + s.
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState pre = rdc->mask.get(p);
+    if (pre == BlockState::Ok) continue;
+    const bool prev_ok = beta_ == 0.0 || rdp->mask.ok(p);
+    if (prev_ok && rst->mask.ok(p)) {
+      const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+      if (beta_ == 0.0)
+        copy_range(st, dcur, r0, r1);
+      else
+        lincomb_range(beta_, dprev, 1.0, st, dcur, r0, r1);
+      if (rdc->mask.try_set_ok_from(p, pre)) ++stats_.lincomb_recoveries;
+    }
+  }
+
+  // Pass 2: rebuild q pages.  A skipped (unwritten) page still holds q_prev,
+  // enabling the alternate formulation q <= beta q_prev + A s (§3.1.1).
+  auto footprint_ok = [&](ProtectedRegion* r, index_t p) {
+    for (index_t dep : page_footprint_[static_cast<std::size_t>(p)])
+      if (!r->mask.ok(dep)) return false;
+    return true;
+  };
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState qs = rq_->mask.get(p);
+    if (qs == BlockState::Ok && q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire))
+      continue;
+    if (footprint_ok(rdc, p)) {
+      relation_spmv_lhs(A_, layout_, p, dcur, q);
+      q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      if (qs == BlockState::Ok || rq_->mask.try_set_ok_from(p, qs)) ++stats_.spmv_recomputes;
+    } else if (qs == BlockState::Skipped &&
+               !q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire) &&
+               beta_ != 0.0 && footprint_ok(rst, p)) {
+      // q[p] still holds A d_prev from last iteration: fold the update in.
+      const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+      std::vector<double> ag(static_cast<std::size_t>(r1 - r0));
+      for (index_t i = r0; i < r1; ++i) {
+        double acc = 0.0;
+        for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+             k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+          acc += A_.vals[static_cast<std::size_t>(k)] * st[A_.col_idx[static_cast<std::size_t>(k)]];
+        ag[static_cast<std::size_t>(i - r0)] = acc;
+      }
+      for (index_t i = r0; i < r1; ++i) q[i] = beta_ * q[i] + ag[static_cast<std::size_t>(i - r0)];
+      q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      if (rq_->mask.try_set_ok_from(p, qs)) ++stats_.alt_q_recoveries;
+    }
+  }
+
+  // Pass 3: remaining d_cur pages via the inverted relation A_ii d_i = ...
+  std::vector<std::pair<index_t, BlockState>> need_pre;
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState pre = rdc->mask.get(p);
+    if (pre != BlockState::Ok && rq_->mask.ok(p) &&
+        q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire))
+      need_pre.emplace_back(p, pre);
+  }
+  if (!need_pre.empty()) {
+    std::vector<index_t> need;
+    for (const auto& [p, pre] : need_pre) need.push_back(p);
+    bool others_ok = true;
+    for (index_t p = 0; p < nb_; ++p)
+      if (!rdc->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+        others_ok = false;
+    if (others_ok && relation_spmv_rhs_multi(dsolver_, need, q, dcur)) {
+      for (const auto& [p, pre] : need_pre)
+        if (rdc->mask.try_set_ok_from(p, pre)) ++stats_.diag_solves;
+    }
+  }
+
+  // Pass 4: q pages that became computable after pass 3.
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState qs = rq_->mask.get(p);
+    if (qs == BlockState::Ok && q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire))
+      continue;
+    if (footprint_ok(rdc, p)) {
+      relation_spmv_lhs(A_, layout_, p, dcur, q);
+      q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      if (qs == BlockState::Ok || rq_->mask.try_set_ok_from(p, qs)) ++stats_.spmv_recomputes;
+    }
+  }
+
+  // Pass 5: re-add reduction contributions for recovered pages.
+  for (index_t p = 0; p < nb_; ++p) {
+    if (dq_.flag[static_cast<std::size_t>(p)].load(std::memory_order_acquire) == 1) continue;
+    if (rdc->mask.ok(p) && rq_->mask.ok(p) &&
+        q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire)) {
+      const double v = dot_range(dcur, q, layout_.begin(p), layout_.end(p));
+      dq_.part[static_cast<std::size_t>(p)].store(v, std::memory_order_relaxed);
+      dq_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      ++stats_.contrib_recomputes;
+    }
+  }
+
+  if (final_pass) {
+    for (index_t p = 0; p < nb_; ++p) {
+      if (!rdc->mask.ok(p)) {
+        fill_range(0.0, dcur, layout_.begin(p), layout_.end(p));
+        rdc->mask.set(p, BlockState::Ok);
+        ++stats_.unrecoverable;
+      }
+      if (!rq_->mask.ok(p)) {
+        fill_range(0.0, q, layout_.begin(p), layout_.end(p));
+        q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+        rq_->mask.set(p, BlockState::Ok);
+        ++stats_.unrecoverable;
+      }
+    }
+  }
+}
+
+// r2/r3 (Fig. 1b): start-of-iteration recovery of x, g, z (and the previous
+// direction, whose relation q = A d_prev is still alive), before the epsilon
+// reduction consumes <g, g>.
+void ResilientCg::recover_r2(bool final_pass) {
+  double* dprev = d_[parity_].data();
+  ProtectedRegion* rdp = rd_[parity_];
+  double* q = q_.data();
+  double* x = x_.data();
+  double* g = g_.data();
+  const double alpha_redo = alpha_prev_;
+
+  // 1. Previous direction from the conserved relation q = A d_prev.
+  {
+    std::vector<std::pair<index_t, BlockState>> need_pre;
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rdp->mask.get(p);
+      if (pre != BlockState::Ok && rq_->mask.ok(p)) need_pre.emplace_back(p, pre);
+    }
+    if (!need_pre.empty()) {
+      std::vector<index_t> need;
+      for (const auto& [p, pre] : need_pre) need.push_back(p);
+      bool others_ok = true;
+      for (index_t p = 0; p < nb_; ++p)
+        if (!rdp->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+          others_ok = false;
+      if (others_ok && relation_spmv_rhs_multi(dsolver_, need, q, dprev))
+        for (const auto& [p, pre] : need_pre)
+          if (rdp->mask.try_set_ok_from(p, pre)) ++stats_.diag_solves;
+    }
+  }
+  // 1b. Lost q pages, recomputable from d_prev.
+  for (index_t p = 0; p < nb_; ++p) {
+    const BlockState pre = rq_->mask.get(p);
+    if (pre == BlockState::Ok) continue;
+    bool fp_ok = true;
+    for (index_t dep : page_footprint_[static_cast<std::size_t>(p)])
+      if (!rdp->mask.ok(dep)) fp_ok = false;
+    if (fp_ok) {
+      relation_spmv_lhs(A_, layout_, p, dprev, q);
+      if (rq_->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+    }
+  }
+
+  // 2. Replay skipped updates (stale-but-valid content + recovered inputs).
+  for (index_t p = 0; p < nb_; ++p) {
+    if (rx_->mask.get(p) == BlockState::Skipped && rdp->mask.ok(p)) {
+      axpy_range(alpha_redo, dprev, x, layout_.begin(p), layout_.end(p));
+      if (rx_->mask.try_set_ok_from(p, BlockState::Skipped)) ++stats_.redo_updates;
+    }
+    if (rg_->mask.get(p) == BlockState::Skipped && rq_->mask.ok(p)) {
+      axpy_range(-alpha_redo, q, g, layout_.begin(p), layout_.end(p));
+      if (rg_->mask.try_set_ok_from(p, BlockState::Skipped)) ++stats_.redo_updates;
+    }
+  }
+
+  // 3. Lost iterate pages via A_ii x_i = b_i - g_i - sum A_ij x_j (needs the
+  //    residual of the same page).  Coupled solve for simultaneous losses.
+  {
+    std::vector<std::pair<index_t, BlockState>> need_pre;
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rx_->mask.get(p);
+      if (pre != BlockState::Ok && rg_->mask.ok(p)) need_pre.emplace_back(p, pre);
+    }
+    if (!need_pre.empty()) {
+      std::vector<index_t> need;
+      for (const auto& [p, pre] : need_pre) need.push_back(p);
+      bool others_ok = true;
+      for (index_t p = 0; p < nb_; ++p)
+        if (!rx_->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+          others_ok = false;
+      if (others_ok && relation_x_rhs_multi(dsolver_, need, b_, g, x))
+        for (const auto& [p, pre] : need_pre)
+          if (rx_->mask.try_set_ok_from(p, pre)) ++stats_.x_recoveries;
+    }
+  }
+
+  // 4. Lost residual pages via g_i = b_i - (A x)_i (needs all of x).
+  {
+    bool x_all_ok = true;
+    for (index_t p = 0; p < nb_; ++p)
+      if (!rx_->mask.ok(p)) x_all_ok = false;
+    if (x_all_ok) {
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = rg_->mask.get(p);
+        if (pre == BlockState::Ok) continue;
+        relation_residual_lhs(A_, layout_, p, x, b_, g);
+        if (rg_->mask.try_set_ok_from(p, pre)) ++stats_.residual_recomputes;
+      }
+    }
+  }
+
+  // 5. Preconditioned residual via a partial application of M (§3.2).
+  if (M_ != nullptr) {
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rz_->mask.get(p);
+      if (pre == BlockState::Ok || !rg_->mask.ok(p)) continue;
+      M_->apply_blocks({p}, g, z_.data());
+      if (rz_->mask.try_set_ok_from(p, pre)) ++stats_.precond_reapplies;
+    }
+  }
+
+  // 6. Re-add reduction contributions for recovered pages.
+  const double* st = steer();
+  ProtectedRegion* rst = steer_region();
+  for (index_t p = 0; p < nb_; ++p) {
+    if (ee_.flag[static_cast<std::size_t>(p)].load(std::memory_order_acquire) != 1 &&
+        rg_->mask.ok(p) && rst->mask.ok(p)) {
+      const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+      ee_.part[static_cast<std::size_t>(p)].store(dot_range(st, g, r0, r1),
+                                                  std::memory_order_relaxed);
+      ee_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      if (M_ != nullptr) {
+        gg_.part[static_cast<std::size_t>(p)].store(dot_range(g, g, r0, r1),
+                                                    std::memory_order_relaxed);
+        gg_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      }
+      ++stats_.contrib_recomputes;
+    }
+  }
+
+  if (final_pass) {
+    auto blank = [&](ProtectedRegion* r, double* v) {
+      for (index_t p = 0; p < nb_; ++p) {
+        if (r->mask.ok(p)) continue;
+        fill_range(0.0, v, layout_.begin(p), layout_.end(p));
+        r->mask.set(p, BlockState::Ok);
+        ++stats_.unrecoverable;
+      }
+    };
+    blank(rx_, x);
+    blank(rg_, g);
+    blank(rdp, dprev);
+    blank(rq_, q);
+    if (rz_ != nullptr) blank(rz_, z_.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One iteration's task graph (Fig. 1).
+// ---------------------------------------------------------------------------
+
+void ResilientCg::submit_iteration(Runtime& rt) {
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  const bool afeir = opts_.method == Method::Afeir;
+  const bool pcg = M_ != nullptr;
+
+  // With runtime support for application-level resilience (§7), recovery
+  // tasks are only instantiated when an error has been signalled; a loss
+  // arriving mid-iteration is picked up by the next iteration's tasks.
+  bool recovery_tasks = feir;
+  if (feir && opts_.lazy_recovery_tasks) {
+    const std::uint64_t ep = FaultDomain::epoch().load(std::memory_order_acquire);
+    bool pending = ep != last_epoch_seen_;
+    if (!pending) {
+      for (const auto& r : domain_.regions()) {
+        if (!r->mask.all_ok()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    last_epoch_seen_ = ep;
+    recovery_tasks = pending;
+  }
+
+  double* dcur = d_[1 - parity_].data();
+  double* dprev = d_[parity_].data();
+  double* q = q_.data();
+  double* x = x_.data();
+  double* g = g_.data();
+  double* z = pcg ? z_.data() : nullptr;
+  ProtectedRegion* rdc = rd_[1 - parity_];
+  ProtectedRegion* rdp = rd_[parity_];
+  ProtectedRegion* rst = steer_region();
+  const double* st = steer();
+
+  ee_.reset(nb_);
+  if (pcg) gg_.reset(nb_);
+  dq_.reset(nb_);
+  for (index_t p = 0; p < nb_; ++p) q_written_[static_cast<std::size_t>(p)].store(0);
+  conv_flag_ = false;
+
+  // --- Phase A: z = M^{-1} g per page (PCG only). -------------------------
+  if (pcg) {
+    for (index_t c = 0; c < nchunks_; ++c) {
+      const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+      rt.submit(
+          [this, p0, p1, g, z] {
+            const bool feir =
+                opts_.method == Method::Feir || opts_.method == Method::Afeir;
+            for (index_t p = p0; p < p1; ++p) {
+              if (feir && !rg_->mask.ok(p)) {
+                rz_->mask.set(p, BlockState::Skipped);
+                continue;
+              }
+              // z is a pure output: overwriting also repairs a lost page.
+              const BlockState pre = rz_->mask.get(p);
+              M_->apply_blocks({p}, g, z);
+              if (feir)
+                rz_->mask.try_set_ok_from(p, pre);
+              else
+                rz_->mask.set_ok_unless_lost(p);
+            }
+          },
+          {in(g_.data(), c), out(z_.data(), c)}, 0, "z");
+    }
+  }
+
+  // --- Phase B: rho / ||g||^2 page partials. ------------------------------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    std::vector<Dep> deps{in(g_.data(), c), out(&ee_, c)};
+    if (pcg) deps.push_back(in(z_.data(), c));
+    rt.submit(
+        [this, p0, p1, g, st, rst, feir, pcg] {
+          for (index_t p = p0; p < p1; ++p) {
+            const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+            if (feir && (!rg_->mask.ok(p) || !rst->mask.ok(p))) {
+              ee_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              if (pcg) gg_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            const double v = dot_range(st, g, r0, r1);
+            const double w = pcg ? dot_range(g, g, r0, r1) : v;
+            // Validate after computing: a loss that raced with the read
+            // poisons this contribution (the paper's sig_atomic_t check).
+            if (feir && (!rg_->mask.ok(p) || !rst->mask.ok(p))) {
+              ee_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              if (pcg) gg_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            ee_.part[static_cast<std::size_t>(p)].store(v, std::memory_order_relaxed);
+            ee_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+            if (pcg) {
+              gg_.part[static_cast<std::size_t>(p)].store(w, std::memory_order_relaxed);
+              gg_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+            }
+          }
+        },
+        std::move(deps), 0, "ee");
+  }
+
+  // --- r2: recover x, g, z, d_prev before the eps reduction (Fig. 1b). ----
+  if (recovery_tasks) {
+    std::vector<Dep> deps{out(&k_r2_)};
+    if (!afeir)
+      for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&ee_, c));  // critical path
+    rt.submit([this] { recover_r2(false); }, std::move(deps), afeir ? -1 : 0, "r2");
+  }
+
+  // --- eps scalar task: rho, beta, convergence flag. -----------------------
+  {
+    std::vector<Dep> deps;
+    for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&ee_, c));
+    if (recovery_tasks) deps.push_back(in(&k_r2_));
+    deps.push_back(out(&k_eps_));
+    rt.submit(
+        [this, pcg] {
+          eps_ = sum_contrib(ee_, nullptr);
+          gg_now_ = pcg ? sum_contrib(gg_, nullptr) : eps_;
+          beta_ = have_eps_old_ && eps_old_ != 0.0 ? eps_ / eps_old_ : 0.0;
+          eps_old_ = eps_;
+          have_eps_old_ = true;
+          conv_flag_ = gg_now_ >= 0.0 && std::sqrt(std::max(gg_now_, 0.0)) <= conv_stop_;
+        },
+        std::move(deps), 1, "eps");
+  }
+
+  // --- Phase C: d_cur = beta d_prev + steer. -------------------------------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    std::vector<Dep> deps{in(&k_eps_), in(g_.data(), c), out(d_[1 - parity_].data(), c)};
+    if (pcg) deps.push_back(in(z_.data(), c));
+    deps.push_back(in(d_[parity_].data(), c));
+    rt.submit(
+        [this, p0, p1, dcur, dprev, st, rst, rdc, rdp, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+            if (feir) {
+              const bool prev_needed = beta_ != 0.0;
+              if (!rst->mask.ok(p) || (prev_needed && !rdp->mask.ok(p))) {
+                rdc->mask.set(p, BlockState::Skipped);
+                continue;
+              }
+            }
+            const BlockState pre = rdc->mask.get(p);  // pure output
+            if (beta_ == 0.0)
+              copy_range(st, dcur, r0, r1);
+            else
+              lincomb_range(beta_, dprev, 1.0, st, dcur, r0, r1);
+            if (feir)
+              rdc->mask.try_set_ok_from(p, pre);
+            else
+              rdc->mask.set_ok_unless_lost(p);
+          }
+        },
+        std::move(deps), 0, "d");
+  }
+
+  // --- Phase D: q = A d_cur (page footprint deps). -------------------------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    std::vector<Dep> deps{out(q_.data(), c)};
+    for (index_t cc : chunk_footprint_[static_cast<std::size_t>(c)])
+      deps.push_back(in(d_[1 - parity_].data(), cc));
+    rt.submit(
+        [this, p0, p1, dcur, q, rdc, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            if (feir) {
+              bool fp_ok = true;
+              for (index_t dep : page_footprint_[static_cast<std::size_t>(p)])
+                if (!rdc->mask.ok(dep)) {
+                  fp_ok = false;
+                  break;
+                }
+              if (!fp_ok) {
+                rq_->mask.set(p, BlockState::Skipped);
+                continue;
+              }
+            }
+            const BlockState pre = rq_->mask.get(p);  // pure output
+            spmv_rows(A_, layout_.begin(p), layout_.end(p), dcur, q);
+            q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+            if (feir)
+              rq_->mask.try_set_ok_from(p, pre);
+            else
+              rq_->mask.set_ok_unless_lost(p);
+          }
+        },
+        std::move(deps), 0, "q");
+  }
+
+  // --- Phase E: <d, q> page partials. --------------------------------------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    rt.submit(
+        [this, p0, p1, dcur, q, rdc, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            if (feir && (!rdc->mask.ok(p) || !rq_->mask.ok(p))) {
+              dq_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            const double v = dot_range(dcur, q, layout_.begin(p), layout_.end(p));
+            if (feir && (!rdc->mask.ok(p) || !rq_->mask.ok(p))) {
+              dq_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            dq_.part[static_cast<std::size_t>(p)].store(v, std::memory_order_relaxed);
+            dq_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+          }
+        },
+        {in(q_.data(), c), in(d_[1 - parity_].data(), c), out(&dq_, c)}, 0, "dq");
+  }
+
+  // --- r1: recover d_cur and q before the alpha reduction. -----------------
+  if (recovery_tasks) {
+    std::vector<Dep> deps{out(&k_r1_)};
+    if (afeir) {
+      for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(q_.data(), c));
+    } else {
+      for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&dq_, c));  // critical path
+    }
+    rt.submit([this] { recover_r1(false); }, std::move(deps), afeir ? -1 : 0, "r1");
+  }
+
+  // --- alpha scalar task. ---------------------------------------------------
+  {
+    std::vector<Dep> deps{in(&k_eps_)};
+    for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&dq_, c));
+    if (recovery_tasks) deps.push_back(in(&k_r1_));
+    deps.push_back(out(&k_alpha_));
+    rt.submit(
+        [this] {
+          const double dq = sum_contrib(dq_, nullptr);
+          alpha_ = dq != 0.0 ? eps_ / dq : 0.0;
+        },
+        std::move(deps), 1, "alpha");
+  }
+
+  // --- Phase F: x += alpha d_cur ; g -= alpha q. ----------------------------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    rt.submit(
+        [this, p0, p1, x, dcur, rdc, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            if (feir) {
+              // In-place update: stale (Skipped) or lost content must not be
+              // advanced; r2 replays or solves those pages.
+              if (rx_->mask.get(p) != BlockState::Ok) continue;
+              if (!rdc->mask.ok(p)) {
+                rx_->mask.set(p, BlockState::Skipped);
+                continue;
+              }
+            }
+            axpy_range(alpha_, dcur, x, layout_.begin(p), layout_.end(p));
+            rx_->mask.set_ok_unless_lost(p);
+          }
+        },
+        {in(&k_alpha_), in(d_[1 - parity_].data(), c), inout(x_.data(), c)}, 0, "x");
+    rt.submit(
+        [this, p0, p1, g, q, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            if (feir) {
+              if (rg_->mask.get(p) != BlockState::Ok) continue;  // r2 rebuilds/replays
+              if (!rq_->mask.ok(p) ||
+                  !q_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire)) {
+                rg_->mask.set(p, BlockState::Skipped);
+                continue;
+              }
+            }
+            axpy_range(-alpha_, q, g, layout_.begin(p), layout_.end(p));
+            rg_->mask.set_ok_unless_lost(p);
+          }
+        },
+        {in(&k_alpha_), in(q_.data(), c), inout(g_.data(), c)}, 0, "g");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-of-iteration error policy (per method).
+// ---------------------------------------------------------------------------
+
+void ResilientCg::host_error_policy(Runtime&, ResilientCgResult& res) {
+  auto any_lost = [&] {
+    for (const auto& r : domain_.regions())
+      for (index_t p = 0; p < r->layout.num_blocks(); ++p)
+        if (r->mask.get(p) == BlockState::Lost) return true;
+    return false;
+  };
+
+  switch (opts_.method) {
+    case Method::Ideal:
+      break;
+    case Method::Feir:
+    case Method::Afeir:
+      // Recovery is in the task graph; nothing to do here.  Leftover non-Ok
+      // pages get another chance from next iteration's r tasks.
+      break;
+    case Method::Trivial: {
+      // Blank-page semantics only (§4.1).
+      for (const auto& r : domain_.regions()) {
+        for (index_t p = 0; p < r->layout.num_blocks(); ++p) {
+          if (r->mask.get(p) != BlockState::Lost) continue;
+          fill_range(0.0, r->base, r->layout.begin(p), r->layout.end(p));
+          r->mask.set(p, BlockState::Ok);
+          ++stats_.zeroed_blocks;
+          ++stats_.errors_detected;
+        }
+      }
+      break;
+    }
+    case Method::Lossy: {
+      if (!any_lost()) break;
+      ++stats_.errors_detected;
+      // Interpolate lost iterate pages (Theorems 1-3), zero other lost x
+      // pages is never needed: interpolation covers them all.
+      std::vector<index_t> lost_x = rx_->mask.collect(BlockState::Lost);
+      if (!lost_x.empty()) {
+        if (lossy_interpolate(dsolver_, lost_x, b_, x_.data())) {
+          stats_.x_recoveries += lost_x.size();
+        } else {
+          for (index_t p : lost_x) {
+            fill_range(0.0, x_.data(), layout_.begin(p), layout_.end(p));
+            ++stats_.unrecoverable;
+          }
+        }
+        for (index_t p : lost_x) rx_->mask.set(p, BlockState::Ok);
+      }
+      restart_from_x();
+      ++stats_.restarts;
+      res.stats.restarts = stats_.restarts;
+      break;
+    }
+    case Method::Checkpoint: {
+      if (!any_lost()) break;
+      ++stats_.errors_detected;
+      ++stats_.rollbacks;
+      index_t saved_iter = 0;
+      double* dcur = d_[1 - parity_].data();
+      if (ckpt_ != nullptr && ckpt_->restore(x_.data(), dcur, &saved_iter)) {
+        eps_old_ = ckpt_eps_old_;
+        have_eps_old_ = ckpt_have_eps_old_;
+        t_ = saved_iter;
+      } else {
+        // No checkpoint yet: restart from the initial guess.
+        std::fill(x_.data(), x_.data() + A_.n, 0.0);
+        have_eps_old_ = false;
+        t_ = 0;
+      }
+      // Recompute the residual consistent with the restored iterate.
+      spmv(A_, x_.data(), g_.data());
+      for (index_t i = 0; i < A_.n; ++i) g_.data()[i] = b_[i] - g_.data()[i];
+      domain_.clear_all();
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Main loop.
+// ---------------------------------------------------------------------------
+
+ResilientCgResult ResilientCg::solve(double* x_out) {
+  Runtime rt(nthreads_);
+  if (opts_.tracer != nullptr) rt.set_tracer(opts_.tracer);
+  ResilientCgResult res;
+  Stopwatch clock;
+
+  const double bnorm = norm2(b_, A_.n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+  conv_stop_ = denom * opts_.tol;
+
+  std::copy(x_out, x_out + A_.n, x_.data());
+  domain_.clear_all();
+  restart_from_x();  // computes g (and z), marks q/d as not-yet-produced
+  have_eps_old_ = false;
+  alpha_prev_ = 0.0;
+  parity_ = 0;
+  t_ = 0;
+
+  const bool is_ckpt = opts_.method == Method::Checkpoint;
+  if (is_ckpt) {
+    ckpt_ = std::make_unique<Checkpointer>(A_.n, opts_.ckpt);
+    if (ckpt_->period() == 0) ckpt_->set_period(1000);
+    ckpt_->save(0, x_.data(), d_[0].data());
+    ckpt_eps_old_ = eps_old_;
+    ckpt_have_eps_old_ = have_eps_old_;
+    ++stats_.checkpoints;
+  }
+  index_t last_ckpt_iter = 0;
+  bool period_tuned = opts_.ckpt.period_iters != 0 || opts_.expected_mtbe_s <= 0.0;
+
+  index_t executed = 0;
+  bool converged = false;
+
+  while (executed < opts_.max_iter) {
+    if (opts_.max_seconds > 0.0 && clock.seconds() > opts_.max_seconds) break;
+    submit_iteration(rt);
+    rt.taskwait();
+    ++executed;
+
+    const double relres = std::sqrt(std::max(gg_now_, 0.0)) / denom;
+    const IterRecord rec{executed - 1, clock.seconds(), relres};
+    if (opts_.record_history) res.history.push_back(rec);
+    if (opts_.on_iteration) opts_.on_iteration(rec);
+
+    if (conv_flag_) {
+      // Verify against the true residual before declaring victory: corrupted
+      // runs (Trivial; AFEIR's unprotected window) can under-report.
+      const double true_rel = residual_norm(A_, x_.data(), b_) / denom;
+      if (true_rel <= opts_.tol) {
+        converged = true;
+        res.final_relres = true_rel;
+        break;
+      }
+      restart_from_x();
+      ++stats_.restarts;
+      alpha_prev_ = 0.0;
+      parity_ ^= 1;
+      ++t_;
+      continue;
+    }
+
+    host_error_policy(rt, res);
+
+    if (is_ckpt) {
+      if (!period_tuned && executed >= 3) {
+        const double iter_time = clock.seconds() / static_cast<double>(executed);
+        ckpt_->set_period(
+            optimal_checkpoint_period(ckpt_->last_cost(), opts_.expected_mtbe_s, iter_time));
+        period_tuned = true;
+      }
+      if (t_ - last_ckpt_iter >= ckpt_->period()) {
+        ckpt_->save(t_, x_.data(), d_[1 - parity_].data());
+        ckpt_eps_old_ = eps_old_;
+        ckpt_have_eps_old_ = have_eps_old_;
+        last_ckpt_iter = t_;
+        ++stats_.checkpoints;
+      }
+    }
+
+    alpha_prev_ = alpha_;
+    parity_ ^= 1;
+    ++t_;
+  }
+
+  // Final exact-recovery sweep so the returned x is fully materialized.
+  if (opts_.method == Method::Feir || opts_.method == Method::Afeir) {
+    recover_r2(true);
+  }
+
+  std::copy(x_.data(), x_.data() + A_.n, x_out);
+  res.converged = converged;
+  res.iterations = executed;
+  res.seconds = clock.seconds();
+  if (!converged) res.final_relres = residual_norm(A_, x_.data(), b_) / denom;
+  res.stats = stats_;
+  res.states = rt.state_times();
+  res.tasks = rt.tasks_executed();
+  return res;
+}
+
+}  // namespace feir

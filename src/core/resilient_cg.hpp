@@ -1,0 +1,158 @@
+// Task-based resilient Conjugate Gradient — the paper's implemented system
+// (§3.3): CG strip-mined into dataflow tasks (Fig. 1), the search direction
+// double-buffered to remove the in-place update (Listing 2), every Krylov
+// vector protected by page-granularity state masks, and recovery tasks r1/r2
+// injected before each scalar (reduction) task (Fig. 1b).
+//
+// The recovery tasks run either in the critical path (FEIR, Fig. 2a) or
+// concurrently with the reduction tasks at lower priority (AFEIR, Fig. 2b).
+// The same driver also implements the comparison baselines — Trivial,
+// Checkpoint/rollback, and Lossy Restart — so all methods share kernels,
+// task decomposition, and measurement.
+//
+// Work is strip-mined into as many chunk tasks as worker threads (as the
+// paper does); each chunk iterates its pages, checks the per-page masks, and
+// contributes page-level partial sums to the reductions only for clean pages
+// — the skip/propagate discipline of §3.3.2.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/method.hpp"
+#include "core/relations.hpp"
+#include "fault/domain.hpp"
+#include "precond/blockjacobi.hpp"
+#include "runtime/runtime.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Options for a resilient CG solve.
+struct ResilientCgOptions {
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  /// Wall-time budget in seconds; 0 = unlimited.  A solve that exceeds it
+  /// returns converged=false with the elapsed time (the Fig.-4 campaign uses
+  /// this to bound pathological Trivial runs at high error rates).
+  double max_seconds = 0.0;
+  bool record_history = false;
+  Method method = Method::Feir;
+  /// Failure granularity in rows; 512 = one page (production), smaller for
+  /// tests.  Must match the preconditioner layout when one is used.
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  /// Worker threads; 0 = min(8, hardware_concurrency), the paper's node size.
+  unsigned threads = 0;
+  /// Checkpoint placement (Method::Checkpoint only).
+  CheckpointOptions ckpt;
+  /// Expected MTBE in seconds, feeding the optimal checkpoint period when
+  /// ckpt.period_iters == 0; <= 0 disables the model (period defaults 1000).
+  double expected_mtbe_s = 0.0;
+  /// The paper's future-work proposal (§7): with runtime support for
+  /// application-level resilience, recovery tasks are instantiated only when
+  /// a DUE has actually been signalled, removing most of the fault-free
+  /// overhead.  When set, r1/r2 are submitted only on iterations where the
+  /// global error epoch moved.  Ablation knob for FEIR/AFEIR.
+  bool lazy_recovery_tasks = false;
+  /// Optional task tracer (Fig.-2 style schedule timelines); must outlive
+  /// the solve.
+  TaskTracer* tracer = nullptr;
+  std::function<void(const IterRecord&)> on_iteration;
+};
+
+/// Result of a resilient solve: the usual solver outcome plus recovery
+/// counters and the runtime state breakdown (Table 3).
+struct ResilientCgResult : SolveResult {
+  RecoveryStats stats;
+  Runtime::StateTimes states;
+  std::uint64_t tasks = 0;
+};
+
+/// Resilient (P)CG solver instance.  Construct once per system; the fault
+/// domain exposes the protected Krylov vectors so an ErrorInjector (or a
+/// test) can inject page losses while solve() runs.
+class ResilientCg {
+ public:
+  /// `M` may be null (plain CG) or any preconditioner supporting partial
+  /// application over `block_rows`-sized blocks (§3.2's requirement).  When
+  /// `M` is a BlockJacobi on the same layout, its Cholesky factors are
+  /// additionally reused by the recovery's A_ii solves (the paper's
+  /// free-factorization observation, §5.1).
+  ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions opts,
+              const Preconditioner* M = nullptr);
+
+  /// The protected regions ("x", "g", "d0", "d1", "q", and "z" for PCG).
+  FaultDomain& domain() { return domain_; }
+
+  /// Runs the solve.  `x` carries the initial guess in and the solution out.
+  ResilientCgResult solve(double* x);
+
+  const BlockLayout& layout() const { return layout_; }
+
+ private:
+  // Per-page reduction contribution with a three-state publication flag.
+  struct Contrib {
+    std::unique_ptr<std::atomic<double>[]> part;
+    std::unique_ptr<std::atomic<std::int8_t>[]> flag;  // 0 unset, 1 valid, -1 missing
+    void init(index_t n);
+    void reset(index_t n);
+  };
+
+  void submit_iteration(Runtime& rt);
+  void recover_r1(bool final_pass);
+  void recover_r2(bool final_pass);
+  void host_error_policy(Runtime& rt, ResilientCgResult& res);
+  void restart_from_x();      // recompute g = b - A x sequentially, reset direction
+  double sum_contrib(const Contrib& c, bool* complete) const;
+  const double* steer() const { return M_ != nullptr ? z_.data() : g_.data(); }
+  ProtectedRegion* steer_region() const { return M_ != nullptr ? rz_ : rg_; }
+
+  const CsrMatrix& A_;
+  const double* b_;
+  ResilientCgOptions opts_;
+  const Preconditioner* M_;
+  BlockLayout layout_;
+  index_t nb_ = 0;        // number of pages (failure-granularity blocks)
+  unsigned nthreads_ = 1;
+  index_t nchunks_ = 1;   // task strip-mining granularity
+
+  PageBuffer x_, g_, q_, z_;
+  PageBuffer d_[2];
+  FaultDomain domain_;
+  ProtectedRegion* rx_ = nullptr;
+  ProtectedRegion* rg_ = nullptr;
+  ProtectedRegion* rq_ = nullptr;
+  ProtectedRegion* rz_ = nullptr;
+  ProtectedRegion* rd_[2] = {nullptr, nullptr};
+
+  DiagBlockSolver dsolver_;
+  std::vector<std::vector<index_t>> page_footprint_;   // col pages per row page
+  std::vector<std::vector<index_t>> chunk_footprint_;  // chunk deps for q tasks
+
+  // Iteration-scope state (owned by the graph of the current iteration).
+  int parity_ = 0;  // d_[parity_] is d_prev, d_[1 - parity_] is d_cur
+  index_t t_ = 0;   // logical iteration (rewinds on rollback)
+  double eps_ = 0.0, gg_now_ = 0.0, beta_ = 0.0, alpha_ = 0.0, alpha_prev_ = 0.0;
+  double eps_old_ = 0.0;
+  double conv_stop_ = 0.0;
+  bool have_eps_old_ = false;
+  double ckpt_eps_old_ = 0.0;
+  bool ckpt_have_eps_old_ = false;
+  bool conv_flag_ = false;
+  Contrib ee_;  // <steer, g> partials (rho; equals ||g||^2 without M)
+  Contrib gg_;  // ||g||^2 partials (PCG convergence check)
+  Contrib dq_;  // <d, q> partials
+  std::unique_ptr<std::atomic<std::uint8_t>[]> q_written_;
+  // Scalar dependency anchors (addresses double as dep keys).
+  char k_eps_ = 0, k_alpha_ = 0, k_r1_ = 0, k_r2_ = 0;
+
+  RecoveryStats stats_;
+  std::unique_ptr<Checkpointer> ckpt_;
+  std::uint64_t last_epoch_seen_ = 0;  // lazy_recovery_tasks bookkeeping
+};
+
+}  // namespace feir

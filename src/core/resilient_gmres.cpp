@@ -1,0 +1,299 @@
+#include "core/resilient_gmres.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+ResilientGmres::ResilientGmres(const CsrMatrix& A, const double* b,
+                               ResilientGmresOptions opts, const Preconditioner* M)
+    : A_(A),
+      b_(b),
+      opts_(std::move(opts)),
+      M_(M),
+      layout_(A.n, opts_.block_rows),
+      dsolver_(A, BlockLayout(A.n, opts_.block_rows)) {
+  nb_ = layout_.num_blocks();
+  const auto n = static_cast<std::size_t>(A.n);
+  x_ = PageBuffer(n);
+  g_ = PageBuffer(n);
+  if (M_ != nullptr) z_ = PageBuffer(n);
+  const auto um = static_cast<std::size_t>(opts_.restart);
+  v_.reserve(um + 1);
+  for (std::size_t l = 0; l <= um; ++l) v_.emplace_back(n);
+
+  const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
+  auto reg = [&](const std::string& name, PageBuffer& buf) {
+    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+  };
+  rx_ = reg("x", x_);
+  rg_ = reg("g", g_);
+  if (M_ != nullptr) rz_ = reg("z", z_);
+  rv_.reserve(um + 1);
+  for (std::size_t l = 0; l <= um; ++l)
+    rv_.push_back(reg("v" + std::to_string(l), v_[l]));
+}
+
+bool ResilientGmres::heal_basis(index_t upto, const std::vector<std::vector<double>>& H) {
+  bool all_ok = true;
+  for (index_t l = 0; l <= upto; ++l) {
+    ProtectedRegion* r = rv_[static_cast<std::size_t>(l)];
+    for (index_t p = 0; p < nb_; ++p) {
+      if (r->mask.ok(p)) continue;
+      ++stats_.errors_detected;
+      const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
+      if (l == 0) {
+        // v_0 = z / ||z|| (z = M^{-1} g; z = g without a preconditioner):
+        // needs g intact; the norm is a scalar (reliable).
+        if (!rg_->mask.all_ok() || v0_norm_ == 0.0) {
+          all_ok = false;
+          ++stats_.unrecoverable;
+          continue;
+        }
+        const double* src = g_.data();
+        if (M_ != nullptr) {
+          if (!rz_->mask.ok(p)) {
+            M_->apply_blocks({p}, g_.data(), z_.data());
+            rz_->mask.set(p, BlockState::Ok);
+            ++stats_.precond_reapplies;
+          }
+          src = z_.data();
+        }
+        for (index_t i = r0; i < r1; ++i) v_[0].data()[i] = src[i] / v0_norm_;
+      } else {
+        // v_l = (M^{-1} A v_{l-1} - sum_{k<l} h_{k,l-1} v_k) / h_{l,l-1}.
+        const double hll = H[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(l)];
+        if (hll == 0.0) {
+          all_ok = false;
+          ++stats_.unrecoverable;
+          continue;
+        }
+        double* vl = v_[static_cast<std::size_t>(l)].data();
+        if (M_ != nullptr) {
+          // Full A v_{l-1}, then a partial application of M on the lost rows
+          // ("re-running the preconditioner is a viable forward recovery").
+          scratch_.assign(static_cast<std::size_t>(A_.n), 0.0);
+          spmv(A_, v_[static_cast<std::size_t>(l) - 1].data(), scratch_.data());
+          M_->apply_blocks({p}, scratch_.data(), vl);
+          ++stats_.precond_reapplies;
+        } else {
+          spmv_rows(A_, r0, r1, v_[static_cast<std::size_t>(l) - 1].data(), vl);
+        }
+        for (index_t k = 0; k < l; ++k) {
+          const double h = H[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(k)];
+          if (h != 0.0)
+            axpy_range(-h, v_[static_cast<std::size_t>(k)].data(), vl, r0, r1);
+        }
+        scale_range(1.0 / hll, vl, r0, r1);
+      }
+      r->mask.set(p, BlockState::Ok);
+      ++stats_.spmv_recomputes;
+      all_ok = all_ok && true;
+    }
+  }
+  return all_ok;
+}
+
+ResilientGmresResult ResilientGmres::solve(double* x_out) {
+  ResilientGmresResult res;
+  Stopwatch clock;
+  const index_t n = A_.n;
+  const index_t m = opts_.restart;
+  const double bnorm = norm2(b_, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+
+  double* x = x_.data();
+  double* g = g_.data();
+  std::copy(x_out, x_out + n, x);
+  domain_.clear_all();
+
+  std::vector<std::vector<double>> H(static_cast<std::size_t>(m),
+                                     std::vector<double>(static_cast<std::size_t>(m) + 1, 0.0));
+  std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m));
+  std::vector<double> gvec(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<double> w(static_cast<std::size_t>(n));
+
+  index_t total = 0;
+  auto finish = [&](bool ok) {
+    res.converged = ok;
+    res.iterations = total;
+    res.final_relres = residual_norm(A_, x, b_) / denom;
+    res.seconds = clock.seconds();
+    res.stats = stats_;
+    std::copy(x, x + n, x_out);
+    return res;
+  };
+
+  while (total < opts_.max_iter) {
+    // Heal x from the start-of-cycle relation g = b - A x when we still have
+    // the matching g; at cycle start g is about to be recomputed, so a lost
+    // x page can only be interpolated lossily (restart semantics).
+    {
+      std::vector<index_t> lost_x = rx_->mask.collect(BlockState::Lost);
+      if (!lost_x.empty()) {
+        stats_.errors_detected += lost_x.size();
+        const index_t mm = blocks_rows(layout_, lost_x);
+        std::vector<double> rhs(static_cast<std::size_t>(mm));
+        offblocks_product(A_, layout_, lost_x, x, rhs.data());
+        index_t off = 0;
+        for (index_t bb : lost_x)
+          for (index_t i = layout_.begin(bb); i < layout_.end(bb); ++i, ++off)
+            rhs[static_cast<std::size_t>(off)] = b_[i] - rhs[static_cast<std::size_t>(off)];
+        if (dsolver_.solve_coupled(lost_x, rhs.data())) {
+          off = 0;
+          for (index_t bb : lost_x)
+            for (index_t i = layout_.begin(bb); i < layout_.end(bb); ++i, ++off)
+              x[i] = rhs[static_cast<std::size_t>(off)];
+          stats_.x_recoveries += lost_x.size();
+        } else {
+          for (index_t bb : lost_x) {
+            fill_range(0.0, x, layout_.begin(bb), layout_.end(bb));
+            ++stats_.unrecoverable;
+          }
+        }
+        for (index_t bb : lost_x) rx_->mask.set(bb, BlockState::Ok);
+      }
+    }
+
+    // g = b - A x; fresh output, so losses before this point are moot.
+    spmv(A_, x, g);
+    for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
+    rg_->mask.clear();
+
+    const double true_gnorm = norm2(g, n);
+    if (true_gnorm / denom <= opts_.tol) return finish(true);
+    const double* v0src = g;
+    if (M_ != nullptr) {
+      M_->apply(g, z_.data());
+      rz_->mask.clear();
+      v0src = z_.data();
+    }
+    const double gnorm = norm2(v0src, n);
+    v0_norm_ = gnorm;
+    for (index_t i = 0; i < n; ++i) v_[0].data()[i] = v0src[i] / gnorm;
+    rv_[0]->mask.clear();
+    for (auto& col : H) std::fill(col.begin(), col.end(), 0.0);
+    R_.assign(static_cast<std::size_t>(m), {});
+    std::fill(gvec.begin(), gvec.end(), 0.0);
+    gvec[0] = gnorm;
+
+    index_t l = 0;
+    for (; l < m && total < opts_.max_iter; ++l, ++total) {
+      // Heal every basis vector we are about to read (v_0..v_l).
+      if (!heal_basis(l, H)) {
+        // An unrecoverable basis page poisons the cycle: restart it.
+        break;
+      }
+      // Heal g and x opportunistically (g = b - A x still holds mid-cycle).
+      if (rx_->mask.all_ok()) {
+        for (index_t p = 0; p < nb_; ++p) {
+          if (rg_->mask.ok(p)) continue;
+          ++stats_.errors_detected;
+          relation_residual_lhs(A_, layout_, p, x, b_, g);
+          rg_->mask.set(p, BlockState::Ok);
+          ++stats_.residual_recomputes;
+        }
+      }
+      if (rg_->mask.all_ok()) {
+        std::vector<index_t> lost_x = rx_->mask.collect(BlockState::Lost);
+        if (!lost_x.empty()) {
+          stats_.errors_detected += lost_x.size();
+          if (relation_x_rhs_multi(dsolver_, lost_x, b_, g, x)) {
+            for (index_t p : lost_x) rx_->mask.set(p, BlockState::Ok);
+            stats_.x_recoveries += lost_x.size();
+          }
+        }
+      }
+
+      double* vl = v_[static_cast<std::size_t>(l)].data();
+      spmv(A_, vl, w.data());
+      if (M_ != nullptr) {
+        scratch_.assign(w.begin(), w.end());
+        M_->apply(scratch_.data(), w.data());
+      }
+      auto& col = H[static_cast<std::size_t>(l)];
+      for (index_t k = 0; k <= l; ++k) {
+        const double h = dot(w.data(), v_[static_cast<std::size_t>(k)].data(), n);
+        col[static_cast<std::size_t>(k)] = h;
+        axpy_range(-h, v_[static_cast<std::size_t>(k)].data(), w.data(), 0, n);
+      }
+      const double hnext = norm2(w.data(), n);
+      col[static_cast<std::size_t>(l) + 1] = hnext;
+      if (hnext > 0.0) {
+        double* vn = v_[static_cast<std::size_t>(l) + 1].data();
+        for (index_t i = 0; i < n; ++i) vn[i] = w[static_cast<std::size_t>(i)] / hnext;
+        rv_[static_cast<std::size_t>(l) + 1]->mask.clear();
+      }
+
+      // Givens update of the least-squares system (Q kept implicitly; H is
+      // the redundant copy from which Q and R are both rebuildable, §3.1.3).
+      std::vector<double> rcol = col;  // rotate a copy; preserve H for recovery
+      for (index_t k = 0; k < l; ++k) {
+        const double t0 = cs[static_cast<std::size_t>(k)] * rcol[static_cast<std::size_t>(k)] +
+                          sn[static_cast<std::size_t>(k)] * rcol[static_cast<std::size_t>(k) + 1];
+        rcol[static_cast<std::size_t>(k) + 1] =
+            -sn[static_cast<std::size_t>(k)] * rcol[static_cast<std::size_t>(k)] +
+            cs[static_cast<std::size_t>(k)] * rcol[static_cast<std::size_t>(k) + 1];
+        rcol[static_cast<std::size_t>(k)] = t0;
+      }
+      const double h0 = rcol[static_cast<std::size_t>(l)];
+      const double h1 = rcol[static_cast<std::size_t>(l) + 1];
+      const double rr = std::hypot(h0, h1);
+      if (rr == 0.0) {
+        ++l;
+        ++total;
+        break;
+      }
+      cs[static_cast<std::size_t>(l)] = h0 / rr;
+      sn[static_cast<std::size_t>(l)] = h1 / rr;
+      rcol[static_cast<std::size_t>(l)] = rr;
+      rcol[static_cast<std::size_t>(l) + 1] = 0.0;
+      R_[static_cast<std::size_t>(l)] = rcol;
+      const double g0 = cs[static_cast<std::size_t>(l)] * gvec[static_cast<std::size_t>(l)];
+      gvec[static_cast<std::size_t>(l) + 1] =
+          -sn[static_cast<std::size_t>(l)] * gvec[static_cast<std::size_t>(l)];
+      gvec[static_cast<std::size_t>(l)] = g0;
+
+      const double est = std::fabs(gvec[static_cast<std::size_t>(l) + 1]) / denom;
+      const IterRecord rec{total, clock.seconds(), est};
+      if (opts_.record_history) res.history.push_back(rec);
+      if (opts_.on_iteration) opts_.on_iteration(rec);
+      if (est <= opts_.tol * 0.1) {
+        ++l;
+        ++total;
+        break;
+      }
+      if (hnext == 0.0) {
+        ++l;
+        ++total;
+        break;
+      }
+    }
+
+    if (l == 0) continue;  // cycle poisoned before any step: restart
+
+    // Make sure the basis we combine into x is intact.
+    heal_basis(l - 1, H);
+
+    // Back-substitution on R (rebuilt columns) and iterate update.
+    std::vector<double> y(static_cast<std::size_t>(l), 0.0);
+    for (index_t i = l - 1; i >= 0; --i) {
+      double sacc = gvec[static_cast<std::size_t>(i)];
+      for (index_t k = i + 1; k < l; ++k)
+        sacc -= R_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+                y[static_cast<std::size_t>(k)];
+      const double rii = R_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = rii != 0.0 ? sacc / rii : 0.0;
+    }
+    for (index_t k = 0; k < l; ++k)
+      axpy_range(y[static_cast<std::size_t>(k)], v_[static_cast<std::size_t>(k)].data(), x, 0, n);
+    rx_->mask.clear();
+  }
+  return finish(false);
+}
+
+}  // namespace feir

@@ -1,0 +1,82 @@
+// Resilient restarted GMRES (§3.1.3, Listing 4).
+//
+// The Arnoldi recurrence stores, in the Hessenberg matrix H, exactly the
+// redundancy needed to rebuild any basis vector:
+//
+//   v_l = ( A v_{l-1} - sum_{k<l} h_{k,l-1} v_k ) / h_{l,l-1}     (l >= 1)
+//   v_0 = g / ||g||,   g = b - A x
+//
+// so a lost page of any v_l is recovered by re-applying the recurrence to
+// that page (all other vectors and H survive under the page-loss model).  H
+// itself is small (m x (m+1)) and kept redundantly, as the paper assumes
+// (Agullo et al. store and solve it redundantly).  The iterate x is
+// recoverable from g = b - A x until it is updated at the end of the cycle.
+#pragma once
+
+#include "core/method.hpp"
+#include "core/relations.hpp"
+#include "fault/domain.hpp"
+#include "precond/precond.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Options for the resilient GMRES solve.
+struct ResilientGmresOptions {
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  index_t restart = 30;
+  bool record_history = false;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  std::function<void(const IterRecord&)> on_iteration;
+};
+
+/// Result with recovery counters.
+struct ResilientGmresResult : SolveResult {
+  RecoveryStats stats;
+};
+
+/// Resilient GMRES(m) instance; register injections against domain().
+/// Protected regions: "x", "g", "v0" ... "v<m>" (the Arnoldi basis), and "z"
+/// (the preconditioned residual) when a left preconditioner is used
+/// (Listing 7).  Basis recovery then applies M partially to A v_{l-1} on the
+/// lost rows (§3.2); z itself is recoverable from g by partial application.
+class ResilientGmres {
+ public:
+  ResilientGmres(const CsrMatrix& A, const double* b, ResilientGmresOptions opts,
+                 const Preconditioner* M = nullptr);
+
+  FaultDomain& domain() { return domain_; }
+  ResilientGmresResult solve(double* x);
+  const BlockLayout& layout() const { return layout_; }
+
+ private:
+  /// Rebuilds lost pages of v_0..v_upto from the Hessenberg recurrence.
+  /// Returns false when an unrecoverable page remains.
+  bool heal_basis(index_t upto, const std::vector<std::vector<double>>& H);
+
+  const CsrMatrix& A_;
+  const double* b_;
+  ResilientGmresOptions opts_;
+  const Preconditioner* M_ = nullptr;
+  BlockLayout layout_;
+  index_t nb_ = 0;
+  DiagBlockSolver dsolver_;
+
+  PageBuffer x_, g_, z_;
+  std::vector<PageBuffer> v_;
+  FaultDomain domain_;
+  ProtectedRegion* rx_ = nullptr;
+  ProtectedRegion* rg_ = nullptr;
+  ProtectedRegion* rz_ = nullptr;
+  std::vector<ProtectedRegion*> rv_;
+  RecoveryStats stats_;
+  double v0_norm_ = 0.0;                 // scalar redundancy for v_0 = z/||z||
+  std::vector<std::vector<double>> R_;   // rotated (R-factor) columns
+  std::vector<double> scratch_;          // A v_{l-1} staging for M-recovery
+
+};
+
+}  // namespace feir

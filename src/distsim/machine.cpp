@@ -1,0 +1,43 @@
+#include "distsim/machine.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+double MachineModel::allreduce(index_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * p2p(sizeof(double));
+}
+
+MachineModel calibrate_machine(index_t n_sample) {
+  MachineModel m;
+
+  // SpMV rate on a modest 27-point slab.
+  const index_t edge = std::max<index_t>(16, static_cast<index_t>(std::cbrt(
+                                                  static_cast<double>(n_sample))));
+  CsrMatrix A = stencil3d_27pt(edge, edge, edge);
+  std::vector<double> x(static_cast<std::size_t>(A.n), 1.0), y(static_cast<std::size_t>(A.n));
+  // Warm-up, then timed passes.
+  spmv(A, x.data(), y.data());
+  Stopwatch sw;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) spmv(A, x.data(), y.data());
+  const double spmv_s = sw.seconds() / reps;
+  if (spmv_s > 0.0) m.spmv_nnz_per_s = static_cast<double>(A.nnz()) / spmv_s;
+
+  // Streaming rate from an axpy sweep.
+  sw.reset();
+  for (int r = 0; r < reps; ++r) axpy_range(1.000001, y.data(), x.data(), 0, A.n);
+  const double axpy_s = sw.seconds() / reps;
+  if (axpy_s > 0.0) m.stream_doubles_per_s = 2.0 * static_cast<double>(A.n) / axpy_s;
+
+  return m;
+}
+
+}  // namespace feir

@@ -1,0 +1,42 @@
+// Machine model for the scaling simulation (Fig. 5).
+//
+// The paper's experiment runs on MareNostrum (2x 8-core Xeon E5-2670/node,
+// one MPI rank per socket, one OmpSs thread per core).  Without that
+// machine, we *simulate* the execution: per-rank compute time comes from
+// measured local kernel rates on this host, and communication is costed
+// with a latency/bandwidth (Hockney) model plus a log-tree allreduce —
+// DESIGN.md §3 records this substitution.
+#pragma once
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Cost parameters of the simulated cluster.
+struct MachineModel {
+  /// Sustained SpMV throughput of one 8-core socket, in nonzeros/second.
+  double spmv_nnz_per_s = 2.0e9;
+  /// Sustained streaming throughput for vector ops, doubles/second.
+  double stream_doubles_per_s = 4.0e9;
+  /// Point-to-point message latency, seconds.
+  double net_latency_s = 1.5e-6;
+  /// Point-to-point bandwidth, bytes/second.
+  double net_bw_Bps = 5.0e9;
+  /// Cost of writing one checkpoint byte to node-local disk, s/byte.
+  double disk_write_s_per_B = 1.0 / 300.0e6;
+  /// Fixed cost of posting one task in the runtime, seconds.
+  double task_overhead_s = 2.0e-6;
+
+  /// Time to send `bytes` to one peer.
+  double p2p(double bytes) const { return net_latency_s + bytes / net_bw_Bps; }
+
+  /// Time of a binomial-tree allreduce of one double over `ranks` ranks.
+  double allreduce(index_t ranks) const;
+};
+
+/// Calibrates spmv/stream rates by timing local kernels on this host, so
+/// the simulated node resembles the machine the benches run on.  Returns a
+/// model with the measured rates and default network parameters.
+MachineModel calibrate_machine(index_t n_sample = 1 << 20);
+
+}  // namespace feir

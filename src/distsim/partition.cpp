@@ -1,0 +1,34 @@
+#include "distsim/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace feir {
+
+HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part) {
+  HaloPlan plan;
+  plan.recv_counts.resize(static_cast<std::size_t>(part.ranks));
+  for (index_t r = 0; r < part.ranks; ++r) {
+    // Remote columns referenced by this rank's rows, grouped by owner.
+    std::map<index_t, std::set<index_t>> remote;
+    for (index_t i = part.begin(r); i < part.end(r); ++i) {
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+        if (j < part.begin(r) || j >= part.end(r)) remote[part.owner(j)].insert(j);
+      }
+    }
+    auto& out = plan.recv_counts[static_cast<std::size_t>(r)];
+    index_t total = 0;
+    for (const auto& [peer, cols] : remote) {
+      out.emplace_back(peer, static_cast<index_t>(cols.size()));
+      total += static_cast<index_t>(cols.size());
+    }
+    plan.max_degree = std::max(plan.max_degree, static_cast<index_t>(out.size()));
+    plan.max_recv = std::max(plan.max_recv, total);
+  }
+  return plan;
+}
+
+}  // namespace feir

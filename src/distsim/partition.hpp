@@ -1,0 +1,49 @@
+// Row-block partitioning of a sparse matrix across ranks, with the halo
+// (neighbour-exchange) plan the paper's hybrid MPI+OmpSs CG needs (§3.4):
+// "a task to exchange local parts of the vector p with neighbouring nodes
+// depending on it, at every iteration".
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Contiguous row partition of [0, n) across `ranks` parts.
+struct RowPartition {
+  index_t n = 0;
+  index_t ranks = 0;
+
+  RowPartition() = default;
+  RowPartition(index_t n_, index_t ranks_) : n(n_), ranks(ranks_) {}
+
+  index_t begin(index_t r) const { return r * n / ranks; }
+  index_t end(index_t r) const { return (r + 1) * n / ranks; }
+  index_t rows(index_t r) const { return end(r) - begin(r); }
+  index_t owner(index_t row) const {
+    // Inverse of begin(); search the at-most-two candidates.
+    index_t r = row * ranks / n;
+    while (r + 1 < ranks && begin(r + 1) <= row) ++r;
+    while (r > 0 && begin(r) > row) --r;
+    return r;
+  }
+};
+
+/// Per-rank communication plan: which remote values each rank must receive
+/// before its local SpMV, derived from the matrix sparsity.
+struct HaloPlan {
+  /// For each rank r: list of (peer, doubles exchanged with that peer).
+  std::vector<std::vector<std::pair<index_t, index_t>>> recv_counts;
+
+  /// Maximum number of neighbour peers over all ranks.
+  index_t max_degree = 0;
+  /// Maximum doubles received by any rank.
+  index_t max_recv = 0;
+};
+
+/// Builds the halo plan of `A` under `part`.
+HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part);
+
+}  // namespace feir

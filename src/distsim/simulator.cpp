@@ -1,0 +1,210 @@
+#include "distsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/resilient_cg.hpp"
+#include "fault/injector.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+
+IterationCost iteration_cost(const MachineModel& m, const CsrMatrix& A,
+                             const RowPartition& part, const HaloPlan& halo) {
+  IterationCost worst;
+  double worst_total = -1.0;
+  for (index_t r = 0; r < part.ranks; ++r) {
+    IterationCost c;
+    const index_t r0 = part.begin(r), r1 = part.end(r);
+    const index_t local_nnz = A.row_ptr[static_cast<std::size_t>(r1)] -
+                              A.row_ptr[static_cast<std::size_t>(r0)];
+    const index_t local_n = r1 - r0;
+    c.spmv_s = static_cast<double>(local_nnz) / m.spmv_nnz_per_s;
+    // CG touches ~10 doubles per row per iteration in vector updates/dots.
+    c.vec_s = 10.0 * static_cast<double>(local_n) / m.stream_doubles_per_s;
+    for (const auto& [peer, count] : halo.recv_counts[static_cast<std::size_t>(r)]) {
+      (void)peer;
+      c.halo_s += m.p2p(static_cast<double>(count) * sizeof(double));
+    }
+    c.reduce_s = 2.0 * m.allreduce(part.ranks);
+    if (c.total() > worst_total) {
+      worst_total = c.total();
+      worst = c;
+    }
+  }
+  return worst;
+}
+
+IterationCost stencil_iteration_cost(const MachineModel& m, index_t edge, index_t ranks) {
+  IterationCost c;
+  const double n = static_cast<double>(edge) * static_cast<double>(edge) *
+                   static_cast<double>(edge);
+  const double local_n = n / static_cast<double>(ranks);
+  const double local_nnz = 27.0 * local_n;
+  c.spmv_s = local_nnz / m.spmv_nnz_per_s;
+  c.vec_s = 10.0 * local_n / m.stream_doubles_per_s;
+  // Slab partition: up to two neighbours, one ghost plane each; ranks whose
+  // slab is thinner than one plane exchange their whole slab instead.
+  const double plane = static_cast<double>(edge) * static_cast<double>(edge);
+  const double ghost = std::min(plane, local_n);
+  c.halo_s = 2.0 * m.p2p(ghost * sizeof(double));
+  c.reduce_s = 2.0 * m.allreduce(ranks);
+  return c;
+}
+
+namespace {
+
+// Time to rebuild one lost page: factor + solve the 512x512 diagonal block
+// plus the off-block row sweep, at ~2 flops per nonzero of SpMV rate.
+double page_recovery_cost(const MachineModel& m) {
+  const double flop_rate = 2.0 * m.spmv_nnz_per_s;
+  const double page = static_cast<double>(kDoublesPerPage);
+  const double factor_flops = page * page * page / 3.0;
+  const double sweep_flops = 2.0 * 27.0 * page;
+  return (factor_flops + sweep_flops) / flop_rate + m.p2p(page * sizeof(double));
+}
+
+}  // namespace
+
+ScalingResult simulate_run(const ScalingConfig& cfg, const MachineModel& m,
+                           index_t ideal_iters, index_t method_iters) {
+  const IterationCost it = stencil_iteration_cost(m, cfg.grid_edge, cfg.ranks);
+  const double iter_s = it.total();
+
+  ScalingResult res;
+  res.ideal_seconds = static_cast<double>(ideal_iters) * iter_s;
+  res.iterations = method_iters;
+
+  const double n = static_cast<double>(cfg.grid_edge) * static_cast<double>(cfg.grid_edge) *
+                   static_cast<double>(cfg.grid_edge);
+  const double local_n = n / static_cast<double>(cfg.ranks);
+  const int errors = cfg.errors_per_run;
+
+  switch (cfg.method) {
+    case Method::Ideal:
+    case Method::Trivial: {
+      // Trivial pays nothing per iteration; its cost is the extra iterations
+      // already contained in method_iters.
+      res.seconds = static_cast<double>(method_iters) * iter_s;
+      break;
+    }
+    case Method::Feir:
+    case Method::Afeir: {
+      const bool afeir = cfg.method == Method::Afeir;
+      // Always-on recovery tasks: 3 task posts per iteration; FEIR also puts
+      // them in the critical path, adding a barrier before each reduction.
+      double per_iter = 3.0 * m.task_overhead_s;
+      if (!afeir) per_iter += 2.0 * m.task_overhead_s + 0.5 * it.reduce_s;
+      // Per error: one page rebuild; AFEIR overlaps most of it with the
+      // concurrent reduction tasks.
+      const double rec = page_recovery_cost(m) * (afeir ? 0.2 : 1.0);
+      res.seconds = static_cast<double>(method_iters) * (iter_s + per_iter) +
+                    static_cast<double>(errors) * rec;
+      break;
+    }
+    case Method::Lossy: {
+      // Interpolation cost per error plus the restart penalty, which is
+      // already inside method_iters (measured from a real restarted solve).
+      res.seconds = static_cast<double>(method_iters) * iter_s +
+                    static_cast<double>(errors) * page_recovery_cost(m);
+      break;
+    }
+    case Method::Checkpoint: {
+      const double ckpt_bytes = 2.0 * local_n * sizeof(double);
+      const double C = ckpt_bytes * m.disk_write_s_per_B;
+      const double T = res.ideal_seconds;
+      const double mtbe = errors > 0 ? T / static_cast<double>(errors) : T;
+      const double period_s = std::max(std::sqrt(2.0 * C * mtbe), iter_s);
+      const double ckpt_per_iter = C * iter_s / period_s;
+      const double rework = 0.5 * period_s + C;  // half a period + restore
+      res.seconds = static_cast<double>(method_iters) * (iter_s + ckpt_per_iter) +
+                    static_cast<double>(errors) * rework;
+      res.iterations =
+          method_iters + static_cast<index_t>(std::lround(
+                             static_cast<double>(errors) * 0.5 * period_s / iter_s));
+      break;
+    }
+  }
+  return res;
+}
+
+ScalingStudy::ScalingStudy(index_t grid_edge, index_t measure_edge, double tol)
+    : grid_edge_(grid_edge), measure_edge_(measure_edge), tol_(tol) {
+  machine_ = calibrate_machine();
+  ideal_iters_ = measure_iters(Method::Ideal, 0, 1);
+}
+
+index_t ScalingStudy::measure_iters(Method method, int errors, std::uint64_t seed) {
+  CsrMatrix A = stencil3d_27pt(measure_edge_, measure_edge_, measure_edge_);
+  std::vector<double> xs(static_cast<std::size_t>(A.n));
+  for (index_t i = 0; i < A.n; ++i)
+    xs[static_cast<std::size_t>(i)] = std::sin(0.01 * static_cast<double>(i));
+  std::vector<double> b(static_cast<std::size_t>(A.n));
+  spmv(A, xs.data(), b.data());
+
+  // Deterministic injections spread over the expected run, aimed at random
+  // protected pages (the paper's uniform page choice).
+  Rng rng(seed * 7919 + 13);
+  std::vector<index_t> when;
+  const index_t expect = ideal_iters_ > 0 ? ideal_iters_ : 60;
+  for (int e = 0; e < errors; ++e)
+    when.push_back(static_cast<index_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(std::max<index_t>(expect - 2, 1))) + 1));
+  std::sort(when.begin(), when.end());
+
+  ResilientCg* cg_ptr = nullptr;
+  ErrorInjector* inj_ptr = nullptr;
+  std::size_t next = 0;
+
+  ResilientCgOptions opts;
+  opts.tol = tol_;
+  opts.method = method;
+  opts.block_rows = static_cast<index_t>(kDoublesPerPage);
+  opts.threads = 2;  // measurement cares about iterations, not speed
+  opts.max_iter = 20000;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    while (next < when.size() && rec.iter == when[next]) {
+      auto [region, block] = cg_ptr->domain().pick_uniform(rng);
+      if (region != nullptr) inj_ptr->inject_now(*region, block);
+      ++next;
+    }
+  };
+
+  ResilientCg cg(A, b.data(), opts);
+  ErrorInjector injector(cg.domain(), {1.0, seed, InjectMode::Soft});
+  cg_ptr = &cg;
+  inj_ptr = &injector;
+
+  std::vector<double> x(static_cast<std::size_t>(A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  return r.iterations;
+}
+
+ScalingResult ScalingStudy::run(Method method, index_t ranks, int errors,
+                                std::uint64_t seed) {
+  const index_t mi = errors == 0 && method == Method::Ideal
+                         ? ideal_iters_
+                         : measure_iters(method, errors, seed);
+  ScalingConfig cfg;
+  cfg.grid_edge = grid_edge_;
+  cfg.ranks = ranks;
+  cfg.method = method;
+  cfg.errors_per_run = errors;
+  return simulate_run(cfg, machine_, ideal_iters_, mi);
+}
+
+double ScalingStudy::speedup(Method method, index_t ranks, index_t base_ranks, int errors,
+                             std::uint64_t seed) {
+  ScalingConfig base;
+  base.grid_edge = grid_edge_;
+  base.ranks = base_ranks;
+  base.method = Method::Ideal;
+  base.errors_per_run = 0;
+  const ScalingResult ref = simulate_run(base, machine_, ideal_iters_, ideal_iters_);
+  const ScalingResult r = run(method, ranks, errors, seed);
+  return ref.seconds / r.seconds;
+}
+
+}  // namespace feir

@@ -1,0 +1,94 @@
+// Discrete simulation of the distributed resilient CG (Fig. 5): a 27-point
+// stencil problem row-partitioned over P sockets, per-iteration timeline
+//
+//   halo exchange of d -> q = A d -> allreduce <d,q> -> x,g updates ->
+//   allreduce eps  (+ per-method recovery / checkpoint / restart cost)
+//
+// Iteration *counts* to convergence come from real (small-scale) resilient
+// solves with the same method and error count, so algorithmic effects
+// (restart slowdown, exact-recovery neutrality, trivial degradation) are
+// real; per-iteration *time* at scale comes from the machine model, with
+// slab-partition halo volumes computed analytically.  Checkpoint/rollback
+// time follows the optimal-period model the paper uses [Bougeret et al.].
+// This reproduces the paper's speedup-shape study without the 1024-core
+// machine (substitution documented in DESIGN.md §3).
+#pragma once
+
+#include <vector>
+
+#include "core/method.hpp"
+#include "distsim/machine.hpp"
+#include "distsim/partition.hpp"
+#include "sparse/csr.hpp"
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Description of one scaling experiment.
+struct ScalingConfig {
+  index_t grid_edge = 512;     ///< paper: 512^3 unknowns
+  index_t ranks = 8;           ///< sockets (8 cores each)
+  Method method = Method::Feir;
+  int errors_per_run = 1;      ///< paper: 1 or 2
+};
+
+/// Result of a simulated run.
+struct ScalingResult {
+  double seconds = 0.0;        ///< simulated wall time to convergence
+  index_t iterations = 0;      ///< iterations executed (incl. re-execution)
+  double ideal_seconds = 0.0;  ///< same scale, no errors, no resilience
+};
+
+/// Per-iteration timing pieces for one scale (exposed for tests).
+struct IterationCost {
+  double halo_s = 0.0;
+  double spmv_s = 0.0;
+  double vec_s = 0.0;
+  double reduce_s = 0.0;
+  double total() const { return halo_s + spmv_s + vec_s + reduce_s; }
+};
+
+/// Cost of one fault-free CG iteration for an arbitrary partitioned matrix
+/// (general path, used by tests on small systems).
+IterationCost iteration_cost(const MachineModel& m, const CsrMatrix& A,
+                             const RowPartition& part, const HaloPlan& halo);
+
+/// Analytic cost of one iteration for a 27-pt stencil of `edge`^3 unknowns
+/// slab-partitioned over `ranks` ranks.
+IterationCost stencil_iteration_cost(const MachineModel& m, index_t edge, index_t ranks);
+
+/// Simulates one configuration.  `ideal_iters` / `method_iters` are the
+/// iteration counts measured by real small-scale solves (ScalingStudy).
+ScalingResult simulate_run(const ScalingConfig& cfg, const MachineModel& m,
+                           index_t ideal_iters, index_t method_iters);
+
+/// Turnkey Fig.-5 style study: measures method behaviour on a scaled-down
+/// stencil (real solves with injected page errors), then projects run time
+/// over the requested rank counts.
+class ScalingStudy {
+ public:
+  /// `measure_edge` is the grid edge of the real calibration solves.
+  explicit ScalingStudy(index_t grid_edge = 512, index_t measure_edge = 24,
+                        double tol = 1e-8);
+
+  /// Simulated run for `method` at `ranks` with `errors` injected errors.
+  ScalingResult run(Method method, index_t ranks, int errors, std::uint64_t seed = 1);
+
+  /// Speedup relative to the ideal run at `base_ranks` (the paper's
+  /// reference is the ideal CG on 64 cores = 8 sockets).
+  double speedup(Method method, index_t ranks, index_t base_ranks, int errors,
+                 std::uint64_t seed = 1);
+
+  const MachineModel& machine() const { return machine_; }
+
+ private:
+  index_t measure_iters(Method method, int errors, std::uint64_t seed);
+
+  index_t grid_edge_;
+  index_t measure_edge_;
+  double tol_;
+  MachineModel machine_;
+  index_t ideal_iters_ = 0;
+};
+
+}  // namespace feir

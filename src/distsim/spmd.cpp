@@ -1,0 +1,431 @@
+#include "distsim/spmd.hpp"
+
+#include <barrier>
+#include <cmath>
+#include <thread>
+
+#include "core/lossy.hpp"
+#include "sparse/blockops.hpp"
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+struct SpmdCg::Impl {
+  // Global (PGAS) vectors; rank r writes only its slab.
+  std::vector<double> x, g, q, d0, d1;
+  // Page partition: pages [pg0[r], pg0[r+1]) belong to rank r.
+  std::vector<index_t> pg0;
+  BlockLayout layout;
+  index_t nb = 0;
+};
+
+SpmdCg::SpmdCg(const CsrMatrix& A, const double* b, SpmdCgOptions opts)
+    : A_(A), b_(b), opts_(std::move(opts)), impl_(std::make_unique<Impl>()) {
+  impl_->layout = BlockLayout(A.n, opts_.block_rows);
+  impl_->nb = impl_->layout.num_blocks();
+  if (opts_.ranks < 1) opts_.ranks = 1;
+  if (opts_.ranks > impl_->nb) opts_.ranks = impl_->nb;
+
+  const auto n = static_cast<std::size_t>(A.n);
+  impl_->x.assign(n, 0.0);
+  impl_->g.assign(n, 0.0);
+  impl_->q.assign(n, 0.0);
+  impl_->d0.assign(n, 0.0);
+  impl_->d1.assign(n, 0.0);
+
+  // Page-aligned slab partition.
+  impl_->pg0.resize(static_cast<std::size_t>(opts_.ranks) + 1);
+  for (index_t r = 0; r <= opts_.ranks; ++r)
+    impl_->pg0[static_cast<std::size_t>(r)] = r * impl_->nb / opts_.ranks;
+
+  for (index_t r = 0; r < opts_.ranks; ++r) {
+    auto dom = std::make_unique<FaultDomain>();
+    const index_t row0 = impl_->layout.begin(impl_->pg0[static_cast<std::size_t>(r)]);
+    const index_t row1 =
+        impl_->layout.begin(impl_->pg0[static_cast<std::size_t>(r) + 1] - 1) == row0 &&
+                impl_->pg0[static_cast<std::size_t>(r) + 1] ==
+                    impl_->pg0[static_cast<std::size_t>(r)]
+            ? row0
+            : impl_->layout.end(impl_->pg0[static_cast<std::size_t>(r) + 1] - 1);
+    const index_t rows = row1 - row0;
+    dom->add("x", impl_->x.data() + row0, rows, opts_.block_rows);
+    dom->add("g", impl_->g.data() + row0, rows, opts_.block_rows);
+    dom->add("d0", impl_->d0.data() + row0, rows, opts_.block_rows);
+    dom->add("d1", impl_->d1.data() + row0, rows, opts_.block_rows);
+    dom->add("q", impl_->q.data() + row0, rows, opts_.block_rows);
+    domains_.push_back(std::move(dom));
+  }
+}
+
+SpmdCg::~SpmdCg() = default;
+
+namespace {
+
+// Shared per-solve state crossing the barrier phases.
+struct Shared {
+  std::vector<double> ee_part, dq_part;
+  double eps = 0.0, eps_old = 0.0, beta = 0.0, alpha = 0.0, alpha_prev = 0.0;
+  bool have_eps_old = false;
+  bool converged = false;
+  bool stop = false;
+  bool restart = false;
+  RecoveryStats stats;  // rank 0 merges per-rank counters here
+  std::mutex stats_mu;
+};
+
+}  // namespace
+
+SpmdCgResult SpmdCg::solve(double* x_out) {
+  Impl& im = *impl_;
+  const index_t P = opts_.ranks;
+  const index_t n = A_.n;
+  const double bnorm = norm2(b_, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+  const bool feir = opts_.method == Method::Feir;
+
+  std::copy(x_out, x_out + n, im.x.begin());
+  for (auto& d : domains_) d->clear_all();
+
+  // Initial residual (computed redundantly per rank slab below; rank 0 here
+  // for simplicity — initialization is outside the measured iteration loop).
+  spmv(A_, im.x.data(), im.g.data());
+  for (index_t i = 0; i < n; ++i) im.g[static_cast<std::size_t>(i)] = b_[i] - im.g[static_cast<std::size_t>(i)];
+
+  Shared sh;
+  sh.ee_part.assign(static_cast<std::size_t>(P), 0.0);
+  sh.dq_part.assign(static_cast<std::size_t>(P), 0.0);
+
+  DiagBlockSolver dsolver(A_, im.layout);
+  std::barrier bar(static_cast<std::ptrdiff_t>(P));
+  Stopwatch clock;
+  SpmdCgResult res;
+  index_t iters_done = 0;
+  int parity = 0;  // d(parity) is d_prev
+
+  // Maps a global page to (rank, region) for cross-rank mask queries.
+  auto owner_of = [&](index_t page) {
+    index_t r = page * P / im.nb;
+    while (r + 1 < P && im.pg0[static_cast<std::size_t>(r) + 1] <= page) ++r;
+    while (r > 0 && im.pg0[static_cast<std::size_t>(r)] > page) --r;
+    return r;
+  };
+  auto mask_of = [&](const char* vec, index_t page) -> StateMask& {
+    const index_t r = owner_of(page);
+    ProtectedRegion* reg = domains_[static_cast<std::size_t>(r)]->find(vec);
+    return reg->mask;
+  };
+  auto local_page = [&](index_t page) { return page - im.pg0[static_cast<std::size_t>(owner_of(page))]; };
+  auto page_ok = [&](const char* vec, index_t page) {
+    return mask_of(vec, page).ok(local_page(page));
+  };
+
+  auto rank_body = [&](index_t r) {
+    const index_t p0 = im.pg0[static_cast<std::size_t>(r)];
+    const index_t p1 = im.pg0[static_cast<std::size_t>(r) + 1];
+    const index_t row0 = im.layout.begin(p0);
+    const index_t row1 = p1 > p0 ? im.layout.end(p1 - 1) : row0;
+    FaultDomain& dom = *domains_[static_cast<std::size_t>(r)];
+    ProtectedRegion* rx = dom.find("x");
+    ProtectedRegion* rg = dom.find("g");
+    ProtectedRegion* rq = dom.find("q");
+    ProtectedRegion* rd[2] = {dom.find("d0"), dom.find("d1")};
+    RecoveryStats local;
+
+    // Column-page footprint of each owned page (for q skip checks).
+    std::vector<std::vector<index_t>> footprint(static_cast<std::size_t>(p1 - p0));
+    for (index_t p = p0; p < p1; ++p) {
+      std::vector<char> seen(static_cast<std::size_t>(im.nb), 0);
+      for (index_t i = im.layout.begin(p); i < im.layout.end(p); ++i)
+        for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+             k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+          seen[static_cast<std::size_t>(
+              im.layout.block_of(A_.col_idx[static_cast<std::size_t>(k)]))] = 1;
+      for (index_t pb = 0; pb < im.nb; ++pb)
+        if (seen[static_cast<std::size_t>(pb)])
+          footprint[static_cast<std::size_t>(p - p0)].push_back(pb);
+    }
+
+    while (true) {
+      double* dprev = (parity == 0 ? im.d0 : im.d1).data();
+      double* dcur = (parity == 0 ? im.d1 : im.d0).data();
+      ProtectedRegion* rdp = rd[parity];
+      ProtectedRegion* rdc = rd[1 - parity];
+      const char* dprev_name = parity == 0 ? "d0" : "d1";
+
+      // --- r2: rank-local recovery of x and g before the reduction. -----
+      if (feir) {
+        for (index_t p = p0; p < p1; ++p) {
+          const index_t lp = p - p0;
+          const index_t a0 = im.layout.begin(p), a1 = im.layout.end(p);
+          // Replay skipped updates (alpha_prev), then solve lost pages; the
+          // x relation pulls remote x values through the global address
+          // space — the paper's r3 exchange.
+          if (rx->mask.get(lp) == BlockState::Skipped && rdp->mask.ok(lp)) {
+            axpy_range(sh.alpha_prev, dprev, im.x.data(), a0, a1);
+            if (rx->mask.try_set_ok_from(lp, BlockState::Skipped)) ++local.redo_updates;
+          }
+          if (rg->mask.get(lp) == BlockState::Skipped && rq->mask.ok(lp)) {
+            axpy_range(-sh.alpha_prev, im.q.data(), im.g.data(), a0, a1);
+            if (rg->mask.try_set_ok_from(lp, BlockState::Skipped)) ++local.redo_updates;
+          }
+          const BlockState xs = rx->mask.get(lp);
+          if (xs == BlockState::Lost && rg->mask.ok(lp)) {
+            if (relation_x_rhs(dsolver, p, b_, im.g.data(), im.x.data()) &&
+                rx->mask.try_set_ok_from(lp, xs))
+              ++local.x_recoveries;
+          }
+          const BlockState gs = rg->mask.get(lp);
+          if (gs == BlockState::Lost && rx->mask.ok(lp)) {
+            relation_residual_lhs(A_, im.layout, p, im.x.data(), b_, im.g.data());
+            if (rg->mask.try_set_ok_from(lp, gs)) ++local.residual_recomputes;
+          }
+        }
+      }
+      bar.arrive_and_wait();
+
+      // --- local eps partial, global reduction on rank 0. ----------------
+      {
+        double s = 0.0;
+        for (index_t p = p0; p < p1; ++p) {
+          if (feir && !rg->mask.ok(p - p0)) continue;  // skipped contribution
+          s += dot_range(im.g.data(), im.g.data(), im.layout.begin(p), im.layout.end(p));
+        }
+        sh.ee_part[static_cast<std::size_t>(r)] = s;
+      }
+      bar.arrive_and_wait();
+      if (r == 0) {
+        double eps = 0.0;
+        for (double v : sh.ee_part) eps += v;
+        sh.eps = eps;
+        sh.beta = sh.have_eps_old && sh.eps_old != 0.0 ? eps / sh.eps_old : 0.0;
+        sh.eps_old = eps;
+        sh.have_eps_old = true;
+        const double relres = std::sqrt(std::max(eps, 0.0)) / denom;
+        const IterRecord rec{iters_done, clock.seconds(), relres};
+        if (opts_.on_iteration) opts_.on_iteration(rec);
+        sh.converged = relres <= opts_.tol;
+        if (sh.converged) {
+          const double true_rel = residual_norm(A_, im.x.data(), b_) / denom;
+          if (true_rel > opts_.tol) {
+            sh.converged = false;
+            sh.restart = true;  // corrupted run under-reported: restart
+          }
+        }
+        sh.stop = sh.converged || iters_done >= opts_.max_iter;
+        ++iters_done;
+      }
+      bar.arrive_and_wait();
+      if (sh.stop) break;
+      if (sh.restart) {
+        if (r == 0) {
+          spmv(A_, im.x.data(), im.g.data());
+          for (index_t i = 0; i < n; ++i)
+            im.g[static_cast<std::size_t>(i)] = b_[i] - im.g[static_cast<std::size_t>(i)];
+          for (auto& d : domains_) d->clear_all();
+          sh.have_eps_old = false;
+          ++sh.stats.restarts;
+        }
+        // Reset the flag only after every rank has observed it and entered
+        // this branch — resetting earlier races with the reads above and
+        // desynchronizes the barrier phases.
+        bar.arrive_and_wait();
+        if (r == 0) sh.restart = false;
+        bar.arrive_and_wait();
+        continue;
+      }
+
+      // --- d update (all-local). -----------------------------------------
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const index_t a0 = im.layout.begin(p), a1 = im.layout.end(p);
+        if (feir && (!rg->mask.ok(lp) || (sh.beta != 0.0 && !rdp->mask.ok(lp)))) {
+          rdc->mask.set(lp, BlockState::Skipped);
+          continue;
+        }
+        const BlockState pre = rdc->mask.get(lp);
+        if (sh.beta == 0.0)
+          copy_range(im.g.data(), dcur, a0, a1);
+        else
+          lincomb_range(sh.beta, dprev, 1.0, im.g.data(), dcur, a0, a1);
+        if (feir)
+          rdc->mask.try_set_ok_from(lp, pre);
+        else
+          rdc->mask.set_ok_unless_lost(lp);
+      }
+      // Pre-exchange recovery (§3.4): repair own d pages before the halo
+      // barrier so no rank consumes failed data.
+      if (feir) {
+        for (index_t p = p0; p < p1; ++p) {
+          const index_t lp = p - p0;
+          const BlockState pre = rdc->mask.get(lp);
+          if (pre == BlockState::Ok) continue;
+          if (rg->mask.ok(lp) && (sh.beta == 0.0 || rdp->mask.ok(lp))) {
+            const index_t a0 = im.layout.begin(p), a1 = im.layout.end(p);
+            if (sh.beta == 0.0)
+              copy_range(im.g.data(), dcur, a0, a1);
+            else
+              lincomb_range(sh.beta, dprev, 1.0, im.g.data(), dcur, a0, a1);
+            if (rdc->mask.try_set_ok_from(lp, pre)) ++local.lincomb_recoveries;
+          }
+        }
+      }
+      bar.arrive_and_wait();  // halo exchange of d_cur
+
+      // --- q = A d (reads neighbour slabs of d), dq partial. --------------
+      const char* dcur_name = parity == 0 ? "d1" : "d0";
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        if (feir) {
+          bool fp_ok = true;
+          for (index_t dep : footprint[static_cast<std::size_t>(lp)])
+            if (!page_ok(dcur_name, dep)) {
+              fp_ok = false;
+              break;
+            }
+          if (!fp_ok) {
+            rq->mask.set(lp, BlockState::Skipped);
+            continue;
+          }
+        }
+        const BlockState pre = rq->mask.get(lp);
+        spmv_rows(A_, im.layout.begin(p), im.layout.end(p), dcur, im.q.data());
+        if (feir)
+          rq->mask.try_set_ok_from(lp, pre);
+        else
+          rq->mask.set_ok_unless_lost(lp);
+      }
+      bar.arrive_and_wait();  // all q written before recovery reads remotes
+
+      // --- r1: repair q / d_cur, then the dq reduction. -------------------
+      if (feir) {
+        for (index_t p = p0; p < p1; ++p) {
+          const index_t lp = p - p0;
+          const BlockState qs = rq->mask.get(lp);
+          if (qs != BlockState::Ok) {
+            bool fp_ok = true;
+            for (index_t dep : footprint[static_cast<std::size_t>(lp)])
+              if (!page_ok(dcur_name, dep)) fp_ok = false;
+            if (fp_ok) {
+              relation_spmv_lhs(A_, im.layout, p, dcur, im.q.data());
+              if (rq->mask.try_set_ok_from(lp, qs)) ++local.spmv_recomputes;
+            }
+          }
+          const BlockState ds = rdc->mask.get(lp);
+          if (ds != BlockState::Ok && rq->mask.ok(lp)) {
+            if (relation_spmv_rhs(dsolver, p, im.q.data(), dcur) &&
+                rdc->mask.try_set_ok_from(lp, ds))
+              ++local.diag_solves;
+          }
+        }
+      }
+      {
+        double s = 0.0;
+        for (index_t p = p0; p < p1; ++p) {
+          if (feir && (!rdc->mask.ok(p - p0) || !rq->mask.ok(p - p0))) continue;
+          s += dot_range(dcur, im.q.data(), im.layout.begin(p), im.layout.end(p));
+        }
+        sh.dq_part[static_cast<std::size_t>(r)] = s;
+      }
+      bar.arrive_and_wait();
+      if (r == 0) {
+        double dq = 0.0;
+        for (double v : sh.dq_part) dq += v;
+        sh.alpha_prev = sh.alpha;
+        sh.alpha = dq != 0.0 ? sh.eps / dq : 0.0;
+      }
+      bar.arrive_and_wait();
+
+      // --- x and g updates (all-local). ------------------------------------
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const index_t a0 = im.layout.begin(p), a1 = im.layout.end(p);
+        if (!feir || (rx->mask.ok(lp) && rdc->mask.ok(lp))) {
+          axpy_range(sh.alpha, dcur, im.x.data(), a0, a1);
+          rx->mask.set_ok_unless_lost(lp);
+        } else if (rx->mask.ok(lp)) {
+          rx->mask.set(lp, BlockState::Skipped);
+        }
+        if (!feir || (rg->mask.ok(lp) && rq->mask.ok(lp))) {
+          axpy_range(-sh.alpha, im.q.data(), im.g.data(), a0, a1);
+          rg->mask.set_ok_unless_lost(lp);
+        } else if (rg->mask.ok(lp)) {
+          rg->mask.set(lp, BlockState::Skipped);
+        }
+      }
+
+      // --- Baseline end-of-iteration policies (rank 0, exclusive). ---------
+      bar.arrive_and_wait();
+      if (r == 0 && !feir && opts_.method != Method::Ideal) {
+        bool any = false;
+        for (auto& d : domains_)
+          for (const auto& reg : d->regions())
+            if (!reg->mask.collect(BlockState::Lost).empty()) any = true;
+        if (any) {
+          if (opts_.method == Method::Trivial) {
+            for (auto& d : domains_)
+              for (const auto& reg : d->regions())
+                for (index_t lpp : reg->mask.collect(BlockState::Lost)) {
+                  fill_range(0.0, reg->base, reg->layout.begin(lpp), reg->layout.end(lpp));
+                  reg->mask.set(lpp, BlockState::Ok);
+                  ++sh.stats.zeroed_blocks;
+                }
+          } else if (opts_.method == Method::Lossy) {
+            // Interpolate lost x pages globally, then restart.
+            std::vector<index_t> lost_global;
+            for (index_t rr = 0; rr < P; ++rr) {
+              ProtectedRegion* reg = domains_[static_cast<std::size_t>(rr)]->find("x");
+              for (index_t lpp : reg->mask.collect(BlockState::Lost))
+                lost_global.push_back(im.pg0[static_cast<std::size_t>(rr)] + lpp);
+            }
+            if (!lost_global.empty() &&
+                lossy_interpolate(dsolver, lost_global, b_, im.x.data()))
+              sh.stats.x_recoveries += lost_global.size();
+            sh.restart = true;
+          }
+          (void)dprev_name;
+        }
+      }
+      bar.arrive_and_wait();
+      if (sh.restart) {
+        if (r == 0) {
+          spmv(A_, im.x.data(), im.g.data());
+          for (index_t i = 0; i < n; ++i)
+            im.g[static_cast<std::size_t>(i)] = b_[i] - im.g[static_cast<std::size_t>(i)];
+          for (auto& d : domains_) d->clear_all();
+          sh.have_eps_old = false;
+          ++sh.stats.restarts;
+        }
+        // Same two-step reset as above: everyone reads, then rank 0 clears.
+        bar.arrive_and_wait();
+        if (r == 0) sh.restart = false;
+        bar.arrive_and_wait();
+      }
+      if (r == 0) parity ^= 1;
+      bar.arrive_and_wait();
+    }
+
+    std::lock_guard<std::mutex> lk(sh.stats_mu);
+    sh.stats.lincomb_recoveries += local.lincomb_recoveries;
+    sh.stats.diag_solves += local.diag_solves;
+    sh.stats.spmv_recomputes += local.spmv_recomputes;
+    sh.stats.residual_recomputes += local.residual_recomputes;
+    sh.stats.x_recoveries += local.x_recoveries;
+    sh.stats.redo_updates += local.redo_updates;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(P));
+  for (index_t r = 0; r < P; ++r) threads.emplace_back(rank_body, r);
+  for (auto& t : threads) t.join();
+
+  std::copy(im.x.begin(), im.x.end(), x_out);
+  res.converged = sh.converged;
+  res.iterations = iters_done;
+  res.final_relres = residual_norm(A_, im.x.data(), b_) / denom;
+  res.seconds = clock.seconds();
+  res.stats = sh.stats;
+  return res;
+}
+
+}  // namespace feir

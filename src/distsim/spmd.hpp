@@ -1,0 +1,71 @@
+// Executed distributed resilient CG (§3.4) on simulated ranks.
+//
+// The paper extends the shared-memory recovery to distributed memory with
+// three additions: global reductions after the local ones, a per-iteration
+// exchange of the direction vector's halo, and a pre-exchange recovery task
+// so failed data is never sent.  This module *executes* that scheme (the
+// analytic machine model in simulator.hpp only *costs* it): P ranks run as
+// threads over a slab partition in a partitioned-global-address-space style
+// — each rank owns and writes its row slab, reads neighbour slabs only
+// after the barrier that models the halo exchange, and participates in
+// barrier-based allreduces for the two CG scalars.
+//
+// Faults are injected per rank into its local pages; recovery (FEIR) runs
+// rank-locally before each reduction, pulling remote x/d rows through the
+// global address space exactly where the paper's r3 would request them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/method.hpp"
+#include "core/relations.hpp"
+#include "fault/domain.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Options for the executed distributed solve.
+struct SpmdCgOptions {
+  index_t ranks = 4;
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  /// Supported: Ideal, Feir (page recovery), Lossy (interpolate + restart).
+  Method method = Method::Feir;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  std::function<void(const IterRecord&)> on_iteration;
+};
+
+/// Result plus aggregated recovery counters across ranks.
+struct SpmdCgResult : SolveResult {
+  RecoveryStats stats;
+};
+
+/// Executed multi-rank resilient CG.  Each rank owns a contiguous row slab;
+/// domain(r) exposes that rank's protected local pages for injection.
+class SpmdCg {
+ public:
+  SpmdCg(const CsrMatrix& A, const double* b, SpmdCgOptions opts);
+  ~SpmdCg();
+
+  index_t ranks() const { return opts_.ranks; }
+
+  /// Rank r's fault domain (regions "x", "g", "d0", "d1", "q" covering its
+  /// local pages only).
+  FaultDomain& domain(index_t r) { return *domains_[static_cast<std::size_t>(r)]; }
+
+  /// Runs the SPMD solve on `ranks` threads.
+  SpmdCgResult solve(double* x);
+
+ private:
+  struct Impl;
+  const CsrMatrix& A_;
+  const double* b_;
+  SpmdCgOptions opts_;
+  std::vector<std::unique_ptr<FaultDomain>> domains_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace feir

@@ -1,0 +1,105 @@
+// Per-block data state, the paper's "atomic bitmask per block of failure
+// granularity" (§3.3.2).  Each protected vector keeps one entry per block:
+//
+//   Ok      — data valid,
+//   Lost    — a DUE destroyed the page (content replaced, values meaningless),
+//   Skipped — a task refused to compute this block because one of its inputs
+//             was Lost/Skipped; the "skip propagates through tasks" state.
+//
+// Recovery tasks turn Lost/Skipped blocks back to Ok by re-applying the
+// redundancy relations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+enum class BlockState : std::uint8_t { Ok = 0, Lost = 1, Skipped = 2 };
+
+/// Fixed-size array of atomic per-block states.  All operations are
+/// lock-free (usable from the signal handler and the injector thread).
+class StateMask {
+ public:
+  StateMask() = default;
+  explicit StateMask(index_t nblocks)
+      : n_(nblocks), s_(std::make_unique<std::atomic<std::uint8_t>[]>(
+                         static_cast<std::size_t>(nblocks))) {
+    clear();
+  }
+
+  index_t size() const { return n_; }
+
+  BlockState get(index_t b) const {
+    return static_cast<BlockState>(s_[static_cast<std::size_t>(b)].load(std::memory_order_acquire));
+  }
+
+  void set(index_t b, BlockState v) {
+    s_[static_cast<std::size_t>(b)].store(static_cast<std::uint8_t>(v), std::memory_order_release);
+  }
+
+  /// Marks block b Lost regardless of its previous state; returns the
+  /// previous state.
+  BlockState mark_lost(index_t b) {
+    return static_cast<BlockState>(s_[static_cast<std::size_t>(b)].exchange(
+        static_cast<std::uint8_t>(BlockState::Lost), std::memory_order_acq_rel));
+  }
+
+  bool ok(index_t b) const { return get(b) == BlockState::Ok; }
+
+  /// CAS from an observed previous state to Ok.  The recovery-task path:
+  /// capture the state, rebuild the data, then publish Ok only if no new
+  /// loss raced with the rebuild (a failed CAS means a fresh error arrived
+  /// mid-recovery — the paper's "still vulnerable during the recovery's
+  /// execution" window).
+  bool try_set_ok_from(index_t b, BlockState observed) {
+    auto expected = static_cast<std::uint8_t>(observed);
+    return s_[static_cast<std::size_t>(b)].compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(BlockState::Ok), std::memory_order_acq_rel);
+  }
+
+  /// Transition to Ok unless the block is (or concurrently becomes) Lost —
+  /// the producer-task path: a task that just wrote a block marks it Ok, but
+  /// must not hide a loss that raced with the computation.  Returns true
+  /// when the block ends up Ok.
+  bool set_ok_unless_lost(index_t b) {
+    auto& cell = s_[static_cast<std::size_t>(b)];
+    std::uint8_t cur = cell.load(std::memory_order_acquire);
+    while (cur != static_cast<std::uint8_t>(BlockState::Lost)) {
+      if (cell.compare_exchange_weak(cur, static_cast<std::uint8_t>(BlockState::Ok),
+                                     std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
+  /// True when every block is Ok.
+  bool all_ok() const {
+    for (index_t b = 0; b < n_; ++b)
+      if (!ok(b)) return false;
+    return true;
+  }
+
+  /// Block ids currently in the given state.
+  std::vector<index_t> collect(BlockState v) const {
+    std::vector<index_t> out;
+    for (index_t b = 0; b < n_; ++b)
+      if (get(b) == v) out.push_back(b);
+    return out;
+  }
+
+  /// Resets every block to Ok.
+  void clear() {
+    for (index_t b = 0; b < n_; ++b) set(b, BlockState::Ok);
+  }
+
+ private:
+  index_t n_ = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> s_;
+};
+
+}  // namespace feir

@@ -1,0 +1,56 @@
+#include "fault/domain.hpp"
+
+#include <stdexcept>
+
+namespace feir {
+
+ProtectedRegion& FaultDomain::add(std::string name, double* base, index_t n,
+                                  index_t block_rows, PageBuffer* buffer) {
+  if (buffer != nullptr && block_rows != static_cast<index_t>(kDoublesPerPage))
+    throw std::invalid_argument(
+        "FaultDomain::add: page-backed regions need block_rows == 512");
+  auto r = std::make_unique<ProtectedRegion>();
+  r->name = std::move(name);
+  r->base = base;
+  r->n = n;
+  r->layout = BlockLayout(n, block_rows);
+  r->mask = StateMask(r->layout.num_blocks());
+  r->buffer = buffer;
+  regions_.push_back(std::move(r));
+  return *regions_.back();
+}
+
+ProtectedRegion* FaultDomain::find(const std::string& name) {
+  for (auto& r : regions_)
+    if (r->name == name) return r.get();
+  return nullptr;
+}
+
+index_t FaultDomain::total_blocks() const {
+  index_t total = 0;
+  for (const auto& r : regions_) total += r->layout.num_blocks();
+  return total;
+}
+
+std::pair<ProtectedRegion*, index_t> FaultDomain::pick_uniform(Rng& rng) {
+  const index_t total = total_blocks();
+  if (total == 0) return {nullptr, 0};
+  index_t k = static_cast<index_t>(rng.uniform_int(static_cast<std::uint64_t>(total)));
+  for (auto& r : regions_) {
+    const index_t nb = r->layout.num_blocks();
+    if (k < nb) return {r.get(), k};
+    k -= nb;
+  }
+  return {regions_.back().get(), regions_.back()->layout.num_blocks() - 1};
+}
+
+void FaultDomain::clear_all() {
+  for (auto& r : regions_) r->mask.clear();
+}
+
+std::atomic<std::uint64_t>& FaultDomain::epoch() {
+  static std::atomic<std::uint64_t> e{0};
+  return e;
+}
+
+}  // namespace feir

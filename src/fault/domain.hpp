@@ -1,0 +1,81 @@
+// Registry of the dynamic data a solver exposes to the fault model.
+//
+// The solver registers each protected vector (its Krylov vectors: x, g, d,
+// q, ...).  The injector picks pages uniformly among registered regions
+// (§5.3: "affected memory pages are selected at random with uniform
+// distribution" among the Krylov vectors).  The signal handler consults the
+// same registry to map a faulting address back to (region, block).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/blockstate.hpp"
+#include "support/layout.hpp"
+#include "support/page_buffer.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+
+/// One protected vector: its storage, block layout, and per-block state.
+struct ProtectedRegion {
+  std::string name;
+  double* base = nullptr;
+  index_t n = 0;
+  BlockLayout layout;
+  StateMask mask;
+  /// Non-null when the region is backed by a PageBuffer, enabling the
+  /// mprotect injection backend and real page re-mapping.
+  PageBuffer* buffer = nullptr;
+
+  /// Marks a block lost.  Returns false if it was already non-Ok.
+  bool lose_block(index_t b) { return mask.mark_lost(b) == BlockState::Ok; }
+};
+
+/// A single injection (or detection) event, for experiment logs.
+struct FaultEvent {
+  double time_s = 0.0;       ///< seconds since injector start
+  std::string region;
+  index_t block = 0;
+  bool from_signal = false;  ///< true when reported by the SIGSEGV/SIGBUS path
+};
+
+/// Collection of protected regions plus the global "error epoch" counter.
+///
+/// The epoch mirrors the paper's thread-private sig_atomic_t: it increments
+/// on every error, and a task comparing the epoch before/after its
+/// computation knows whether it may have consumed corrupt data.
+class FaultDomain {
+ public:
+  /// Registers a region.  `block_rows` is the failure granularity (512
+  /// doubles = 1 page in production; smaller in tests).  When `buffer` is
+  /// given, `block_rows` must equal kDoublesPerPage so blocks and pages
+  /// coincide for the mprotect backend.
+  ProtectedRegion& add(std::string name, double* base, index_t n, index_t block_rows,
+                       PageBuffer* buffer = nullptr);
+
+  /// Finds a region by name; nullptr when absent.
+  ProtectedRegion* find(const std::string& name);
+
+  const std::vector<std::unique_ptr<ProtectedRegion>>& regions() const { return regions_; }
+
+  /// Total number of blocks across all regions (the injector's sample space).
+  index_t total_blocks() const;
+
+  /// Uniform choice of (region, block) over all registered blocks.
+  std::pair<ProtectedRegion*, index_t> pick_uniform(Rng& rng);
+
+  /// Marks every block of every region Ok (e.g. after a full restart).
+  void clear_all();
+
+  /// Global error counter; bumped by injections and by the signal handler.
+  static std::atomic<std::uint64_t>& epoch();
+
+ private:
+  std::vector<std::unique_ptr<ProtectedRegion>> regions_;
+};
+
+}  // namespace feir

@@ -1,0 +1,66 @@
+#include "fault/injector.hpp"
+
+#include <chrono>
+
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+ErrorInjector::ErrorInjector(FaultDomain& domain, InjectorConfig cfg)
+    : domain_(domain), cfg_(cfg) {}
+
+ErrorInjector::~ErrorInjector() { stop(); }
+
+void ErrorInjector::start() {
+  if (running_.exchange(true)) return;
+  start_time_ = now_seconds();
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void ErrorInjector::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ErrorInjector::thread_main() {
+  Rng rng(cfg_.seed);
+  while (running_.load(std::memory_order_relaxed)) {
+    const double wait_s = rng.exponential(cfg_.mtbe_seconds);
+    // Sleep in small slices so stop() is responsive.
+    double remaining = wait_s;
+    while (remaining > 0.0 && running_.load(std::memory_order_relaxed)) {
+      const double slice = remaining < 0.002 ? remaining : 0.002;
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+      remaining -= slice;
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
+    auto [region, block] = domain_.pick_uniform(rng);
+    if (region != nullptr) do_inject(*region, block);
+  }
+}
+
+void ErrorInjector::inject_now(ProtectedRegion& region, index_t block) {
+  do_inject(region, block);
+}
+
+void ErrorInjector::do_inject(ProtectedRegion& region, index_t block) {
+  if (cfg_.mode == InjectMode::Mprotect && region.buffer != nullptr) {
+    // Revoke access; the victim's next touch faults and the DUE handler
+    // completes the loss (re-map + mask update).
+    region.buffer->poison_page(static_cast<std::size_t>(block));
+  } else {
+    region.lose_block(block);
+    FaultDomain::epoch().fetch_add(1, std::memory_order_acq_rel);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(log_mu_);
+  log_.push_back({now_seconds() - start_time_, region.name, block, false});
+}
+
+std::vector<FaultEvent> ErrorInjector::events() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return log_;
+}
+
+}  // namespace feir

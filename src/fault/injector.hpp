@@ -1,0 +1,77 @@
+// Error injection, reproducing the paper's methodology (§5.3): a separate
+// thread injects page errors at times drawn from an exponential distribution
+// parameterized by the Mean Time Between Errors, with the affected page
+// chosen uniformly among the protected Krylov vectors.
+//
+// Two backends:
+//  - Soft:     the block is marked Lost in the state mask and the epoch is
+//              bumped.  Deterministic and signal-free; what tests and the
+//              statistics-heavy benches use.
+//  - Mprotect: the page access rights are revoked; the *victim's own next
+//              access* triggers SIGSEGV, and the installed handler re-maps a
+//              fresh page at the same virtual address and marks the block
+//              Lost — exactly the paper's mechanism ("for the solver, there
+//              is no difference between real hardware DUE and our error
+//              injection").  Requires install_due_handler().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/domain.hpp"
+
+namespace feir {
+
+enum class InjectMode { Soft, Mprotect };
+
+/// Configuration of the injection process.
+struct InjectorConfig {
+  double mtbe_seconds = 1.0;   ///< mean time between errors
+  std::uint64_t seed = 1;      ///< RNG seed (timing and page choice)
+  InjectMode mode = InjectMode::Soft;
+};
+
+/// Background error injector.  start() launches the thread; stop() joins it.
+/// All injected events are logged for post-mortem analysis.
+class ErrorInjector {
+ public:
+  ErrorInjector(FaultDomain& domain, InjectorConfig cfg);
+  ~ErrorInjector();
+
+  ErrorInjector(const ErrorInjector&) = delete;
+  ErrorInjector& operator=(const ErrorInjector&) = delete;
+
+  /// Starts injecting; the first error fires after an Exp(MTBE) delay.
+  void start();
+
+  /// Stops the injection thread (idempotent).
+  void stop();
+
+  /// Injects one error immediately into the given region/block (works
+  /// without start(); used for deterministic tests and the Fig. 3 scenario).
+  void inject_now(ProtectedRegion& region, index_t block);
+
+  /// Number of errors injected so far.
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of the event log.
+  std::vector<FaultEvent> events() const;
+
+ private:
+  void thread_main();
+  void do_inject(ProtectedRegion& region, index_t block);
+
+  FaultDomain& domain_;
+  InjectorConfig cfg_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> count_{0};
+  mutable std::mutex log_mu_;
+  std::vector<FaultEvent> log_;
+  double start_time_ = 0.0;
+};
+
+}  // namespace feir

@@ -1,0 +1,89 @@
+#include "fault/sighandler.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace feir {
+namespace {
+
+// Immutable snapshot of page-backed regions, reachable from the handler via
+// a lock-free atomic pointer.  Snapshots are intentionally never freed while
+// the process lives (they are tiny and the handler may hold a reference at
+// any moment).
+struct RegionRef {
+  std::uintptr_t begin;
+  std::uintptr_t end;
+  ProtectedRegion* region;
+};
+
+struct Snapshot {
+  std::vector<RegionRef> refs;
+};
+
+std::atomic<Snapshot*> g_snapshot{nullptr};
+std::atomic<std::uint64_t> g_hits{0};
+
+void due_handler(int sig, siginfo_t* info, void*) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+  Snapshot* snap = g_snapshot.load(std::memory_order_acquire);
+  if (snap != nullptr) {
+    for (const RegionRef& ref : snap->refs) {
+      if (addr < ref.begin || addr >= ref.end) continue;
+      const std::uintptr_t page_base = addr & ~static_cast<std::uintptr_t>(kPageBytes - 1);
+      const auto page_idx =
+          static_cast<index_t>((page_base - ref.begin) / kPageBytes);
+      // Fresh zero page at the same virtual address; old content is gone.
+      void* p = ::mmap(reinterpret_cast<void*>(page_base), kPageBytes,
+                       PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+      if (p == MAP_FAILED) break;  // fall through to fatal re-raise
+      ref.region->mask.mark_lost(page_idx);
+      FaultDomain::epoch().fetch_add(1, std::memory_order_acq_rel);
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return;  // retry the faulting instruction
+    }
+  }
+  // Not ours: restore default disposition and re-raise.
+  struct sigaction sa;
+  sa.sa_handler = SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(sig, &sa, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_due_handler() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa;
+  sa.sa_sigaction = due_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_SIGINFO;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
+void activate_due_domain(FaultDomain* domain) {
+  Snapshot* snap = nullptr;
+  if (domain != nullptr) {
+    snap = new Snapshot;
+    for (const auto& r : domain->regions()) {
+      if (r->buffer == nullptr) continue;
+      const auto begin = reinterpret_cast<std::uintptr_t>(r->buffer->data());
+      snap->refs.push_back({begin, begin + r->buffer->pages() * kPageBytes, r.get()});
+    }
+  }
+  g_snapshot.store(snap, std::memory_order_release);
+  // The previous snapshot is leaked by design; see file comment.
+}
+
+std::uint64_t due_handler_hits() { return g_hits.load(std::memory_order_relaxed); }
+
+}  // namespace feir

@@ -1,0 +1,34 @@
+// DUE signal handling: the OS-level half of the paper's recovery stack.
+//
+// A DUE on a poisoned page surfaces as SIGBUS (real hardware) or SIGSEGV
+// (the mprotect injection backend).  The handler
+//   1. maps the faulting address to a registered (region, block),
+//   2. mmap()s a fresh zero page at the same virtual address (the paper's
+//      "request a new hardware memory page at the same virtual address"),
+//   3. marks the block Lost in the region's atomic mask and bumps the global
+//      error epoch,
+// then returns, letting the faulting instruction retry against the fresh
+// page.  Addresses outside every registered region re-raise with the default
+// disposition so genuine bugs still crash loudly.
+//
+// Everything the handler touches is async-signal-safe: an immutable region
+// snapshot reached through a lock-free atomic pointer, atomic masks, and the
+// mmap/sigaction syscalls.
+#pragma once
+
+#include "fault/domain.hpp"
+
+namespace feir {
+
+/// Installs the SIGSEGV + SIGBUS DUE handler (idempotent).
+void install_due_handler();
+
+/// Publishes `domain`'s page-backed regions to the handler.  Call after all
+/// regions are registered and before injection starts.  Passing nullptr
+/// deactivates handling (faults become fatal again).
+void activate_due_domain(FaultDomain* domain);
+
+/// Number of faults the handler has repaired since process start.
+std::uint64_t due_handler_hits();
+
+}  // namespace feir

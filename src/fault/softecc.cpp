@@ -1,0 +1,93 @@
+#include "fault/softecc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace feir {
+
+namespace {
+
+// Bitwise view of page `p` of a double buffer; the tail page may be short.
+inline const std::uint64_t* lanes(const double* data, index_t p) {
+  return reinterpret_cast<const std::uint64_t*>(data + p * static_cast<index_t>(kDoublesPerPage));
+}
+
+inline std::uint64_t* lanes(double* data, index_t p) {
+  return reinterpret_cast<std::uint64_t*>(data + p * static_cast<index_t>(kDoublesPerPage));
+}
+
+}  // namespace
+
+EccShield::EccShield(const double* data, index_t n, index_t group_pages)
+    : n_(n), group_pages_(std::max<index_t>(group_pages, 1)) {
+  pages_ = (n + static_cast<index_t>(kDoublesPerPage) - 1) /
+           static_cast<index_t>(kDoublesPerPage);
+  const index_t groups = (pages_ + group_pages_ - 1) / group_pages_;
+  parity_.assign(static_cast<std::size_t>(groups),
+                 std::vector<std::uint64_t>(kDoublesPerPage, 0));
+  for (index_t p = 0; p < pages_; ++p) {
+    auto& par = parity_[static_cast<std::size_t>(group_of(p))];
+    const index_t count = std::min<index_t>(
+        static_cast<index_t>(kDoublesPerPage), n - p * static_cast<index_t>(kDoublesPerPage));
+    const std::uint64_t* src = lanes(data, p);
+    for (index_t i = 0; i < count; ++i) par[static_cast<std::size_t>(i)] ^= src[i];
+  }
+}
+
+bool EccShield::repair(double* data, index_t page) const {
+  if (page < 0 || page >= pages_) return false;
+  const auto& par = parity_[static_cast<std::size_t>(group_of(page))];
+  const index_t g0 = group_of(page) * group_pages_;
+  const index_t g1 = std::min(g0 + group_pages_, pages_);
+
+  const index_t count = std::min<index_t>(
+      static_cast<index_t>(kDoublesPerPage), n_ - page * static_cast<index_t>(kDoublesPerPage));
+  std::vector<std::uint64_t> acc(par.begin(), par.begin() + count);
+  for (index_t p = g0; p < g1; ++p) {
+    if (p == page) continue;
+    const index_t pc = std::min<index_t>(
+        static_cast<index_t>(kDoublesPerPage), n_ - p * static_cast<index_t>(kDoublesPerPage));
+    const std::uint64_t* src = lanes(data, p);
+    for (index_t i = 0; i < std::min(count, pc); ++i) acc[static_cast<std::size_t>(i)] ^= src[i];
+    // Lanes beyond a short sibling page contribute nothing (they were never
+    // folded into the parity).
+  }
+  std::memcpy(lanes(data, page), acc.data(), static_cast<std::size_t>(count) * sizeof(std::uint64_t));
+  return true;
+}
+
+bool EccShield::correctable(const std::vector<index_t>& lost) const {
+  std::vector<index_t> groups;
+  for (index_t p : lost) {
+    if (p < 0 || p >= pages_) return false;
+    groups.push_back(group_of(p));
+  }
+  std::sort(groups.begin(), groups.end());
+  return std::adjacent_find(groups.begin(), groups.end()) == groups.end();
+}
+
+bool EccShield::repair_many(double* data, const std::vector<index_t>& lost) const {
+  if (!correctable(lost)) return false;
+  for (index_t p : lost) repair(data, p);
+  return true;
+}
+
+std::vector<index_t> EccShield::scrub(const double* data) const {
+  std::vector<index_t> bad;
+  for (index_t g = 0; g < static_cast<index_t>(parity_.size()); ++g) {
+    const auto& par = parity_[static_cast<std::size_t>(g)];
+    std::vector<std::uint64_t> acc(kDoublesPerPage, 0);
+    const index_t g0 = g * group_pages_;
+    const index_t g1 = std::min(g0 + group_pages_, pages_);
+    for (index_t p = g0; p < g1; ++p) {
+      const index_t pc = std::min<index_t>(
+          static_cast<index_t>(kDoublesPerPage), n_ - p * static_cast<index_t>(kDoublesPerPage));
+      const std::uint64_t* src = lanes(data, p);
+      for (index_t i = 0; i < pc; ++i) acc[static_cast<std::size_t>(i)] ^= src[i];
+    }
+    if (!std::equal(acc.begin(), acc.end(), par.begin())) bad.push_back(g);
+  }
+  return bad;
+}
+
+}  // namespace feir

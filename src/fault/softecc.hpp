@@ -1,0 +1,68 @@
+// Software ECC tier for constant data (§2.1).
+//
+// The solver's constant data (matrix, right-hand side, preconditioner) is
+// normally reloaded from a reliable backing store after a DUE.  The paper
+// points out a cheaper alternative: because the hardware already *detects*
+// page losses, a second software tier only needs to *correct* known-location
+// erasures — which a simple parity code does.  One XOR parity page per group
+// of k data pages reconstructs any single lost page in the group; larger k
+// (longer codewords) means lower space overhead, which long-lived constant
+// data can afford (Yoon & Erez's virtualized ECC argument).
+//
+// EccShield snapshots a read-only buffer at page granularity and rebuilds
+// any page whose content was destroyed, given its index (erasure decoding).
+// Two simultaneous losses in one group exceed the code's strength and are
+// reported as unrecoverable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/layout.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Correction-only erasure code over the pages of a constant buffer.
+class EccShield {
+ public:
+  /// Protects `n` doubles starting at `data`.  `group_pages` is the codeword
+  /// length k (data pages per parity page); space overhead is 1/k.
+  EccShield(const double* data, index_t n, index_t group_pages = 8);
+
+  /// Number of pages covered.
+  index_t pages() const { return pages_; }
+
+  /// Number of parity pages kept (the space cost of the tier).
+  index_t parity_pages() const { return static_cast<index_t>(parity_.size()); }
+
+  /// Rebuilds page `page` of `data` in place by XOR-decoding its group.  All
+  /// other pages of the group must be intact (single-erasure code).  Returns
+  /// false when `page` is out of range.
+  bool repair(double* data, index_t page) const;
+
+  /// Rebuilds several lost pages at once; returns false (and repairs
+  /// nothing) if any group contains more than one of them — the
+  /// beyond-code-strength case where the backing store is still needed.
+  bool repair_many(double* data, const std::vector<index_t>& lost) const;
+
+  /// True when `lost` is within this code's correction strength.
+  bool correctable(const std::vector<index_t>& lost) const;
+
+  /// Verifies the parity of every group against the current buffer content
+  /// (a scrub pass).  Returns the indices of groups whose parity mismatches.
+  std::vector<index_t> scrub(const double* data) const;
+
+ private:
+  index_t group_of(index_t page) const { return page / group_pages_; }
+
+  index_t n_ = 0;
+  index_t pages_ = 0;
+  index_t group_pages_ = 8;
+  // Parity codewords, one page-sized XOR accumulator per group, stored as
+  // raw 64-bit lanes (XOR of doubles is defined on their bit patterns).
+  std::vector<std::vector<std::uint64_t>> parity_;
+};
+
+}  // namespace feir

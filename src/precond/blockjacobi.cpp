@@ -1,0 +1,37 @@
+#include "precond/blockjacobi.hpp"
+
+#include <stdexcept>
+
+#include "sparse/blockops.hpp"
+
+namespace feir {
+
+BlockJacobi::BlockJacobi(const CsrMatrix& A, const BlockLayout& layout) : layout_(layout) {
+  const index_t nb = layout_.num_blocks();
+  factors_.reserve(static_cast<std::size_t>(nb));
+  for (index_t b = 0; b < nb; ++b) {
+    DenseMatrix blk = extract_dense_block(A, layout_.begin(b), layout_.end(b),
+                                          layout_.begin(b), layout_.end(b));
+    if (!cholesky_factor(blk))
+      throw std::runtime_error("BlockJacobi: diagonal block not SPD");
+    factors_.push_back(std::move(blk));
+  }
+}
+
+void BlockJacobi::apply(const double* g, double* z) const {
+  std::vector<index_t> all(static_cast<std::size_t>(layout_.num_blocks()));
+  for (index_t b = 0; b < layout_.num_blocks(); ++b) all[static_cast<std::size_t>(b)] = b;
+  apply_blocks(all, g, z);
+}
+
+void BlockJacobi::apply_blocks(const std::vector<index_t>& blocks, const double* g,
+                               double* z) const {
+  for (index_t b : blocks) {
+    const index_t r0 = layout_.begin(b);
+    const index_t r1 = layout_.end(b);
+    for (index_t i = r0; i < r1; ++i) z[i] = g[i];
+    cholesky_solve(factors_[static_cast<std::size_t>(b)], z + r0);
+  }
+}
+
+}  // namespace feir

@@ -1,0 +1,118 @@
+#include "precond/fixedpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace feir {
+
+JacobiSweeps::JacobiSweeps(const CsrMatrix& A, const BlockLayout& layout, int sweeps,
+                           double weight)
+    : A_(A), layout_(layout), sweeps_(sweeps), weight_(weight) {
+  if (sweeps_ < 1) throw std::invalid_argument("JacobiSweeps: sweeps >= 1");
+  inv_diag_.resize(static_cast<std::size_t>(A.n));
+  for (index_t i = 0; i < A.n; ++i) {
+    const double d = A.at(i, i);
+    if (d == 0.0) throw std::invalid_argument("JacobiSweeps: zero diagonal");
+    inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+  }
+  // Block connectivity graph of A (which blocks feed which).
+  const index_t nb = layout_.num_blocks();
+  block_neighbours_.resize(static_cast<std::size_t>(nb));
+  for (index_t b = 0; b < nb; ++b) {
+    std::vector<char> seen(static_cast<std::size_t>(nb), 0);
+    for (index_t i = layout_.begin(b); i < layout_.end(b); ++i)
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        seen[static_cast<std::size_t>(
+            layout_.block_of(A.col_idx[static_cast<std::size_t>(k)]))] = 1;
+    for (index_t nb2 = 0; nb2 < nb; ++nb2)
+      if (seen[static_cast<std::size_t>(nb2)])
+        block_neighbours_[static_cast<std::size_t>(b)].push_back(nb2);
+  }
+}
+
+void JacobiSweeps::apply(const double* g, double* z) const {
+  const auto n = static_cast<std::size_t>(A_.n);
+  std::vector<double> cur(n, 0.0), next(n, 0.0);
+  for (int s = 0; s < sweeps_; ++s) {
+    for (index_t i = 0; i < A_.n; ++i) {
+      double az = 0.0;
+      for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+           k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        az += A_.vals[static_cast<std::size_t>(k)] *
+              cur[static_cast<std::size_t>(A_.col_idx[static_cast<std::size_t>(k)])];
+      next[static_cast<std::size_t>(i)] =
+          cur[static_cast<std::size_t>(i)] +
+          weight_ * inv_diag_[static_cast<std::size_t>(i)] * (g[i] - az);
+    }
+    std::swap(cur, next);
+  }
+  for (index_t i = 0; i < A_.n; ++i) z[i] = cur[static_cast<std::size_t>(i)];
+}
+
+std::vector<index_t> JacobiSweeps::closure(const std::vector<index_t>& blocks,
+                                           int hops) const {
+  const index_t nb = layout_.num_blocks();
+  std::vector<char> in(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> frontier;
+  for (index_t b : blocks) {
+    if (!in[static_cast<std::size_t>(b)]) {
+      in[static_cast<std::size_t>(b)] = 1;
+      frontier.push_back(b);
+    }
+  }
+  for (int h = 0; h < hops; ++h) {
+    std::vector<index_t> next;
+    for (index_t b : frontier)
+      for (index_t nbh : block_neighbours_[static_cast<std::size_t>(b)])
+        if (!in[static_cast<std::size_t>(nbh)]) {
+          in[static_cast<std::size_t>(nbh)] = 1;
+          next.push_back(nbh);
+        }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::vector<index_t> out;
+  for (index_t b = 0; b < nb; ++b)
+    if (in[static_cast<std::size_t>(b)]) out.push_back(b);
+  return out;
+}
+
+void JacobiSweeps::apply_blocks(const std::vector<index_t>& blocks, const double* g,
+                                double* z) const {
+  if (blocks.empty()) return;
+  // Sweep s needs, on the target rows, the values of sweep s-1 on their
+  // 1-hop neighbourhood; unrolled over k sweeps that is the k-hop closure at
+  // the first sweep shrinking toward the targets at the last.  Computing all
+  // sweeps on the (k-1)-hop closure reproduces the target rows exactly
+  // (z_0 = 0 everywhere, so no outside state is needed beyond the closure).
+  const std::vector<index_t> work = closure(blocks, sweeps_ - 1);
+
+  const auto n = static_cast<std::size_t>(A_.n);
+  std::vector<double> cur(n, 0.0), next(n, 0.0);
+  // Rows of `work` at sweep s only read closure(work, 1) values of sweep
+  // s-1, all of which are zero initially and updated below — values outside
+  // `work`'s 1-hop ring stay 0 and would only matter past sweeps_ hops.
+  for (int s = 0; s < sweeps_; ++s) {
+    for (index_t b : work) {
+      for (index_t i = layout_.begin(b); i < layout_.end(b); ++i) {
+        double az = 0.0;
+        for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+             k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+          az += A_.vals[static_cast<std::size_t>(k)] *
+                cur[static_cast<std::size_t>(A_.col_idx[static_cast<std::size_t>(k)])];
+        next[static_cast<std::size_t>(i)] =
+            cur[static_cast<std::size_t>(i)] +
+            weight_ * inv_diag_[static_cast<std::size_t>(i)] * (g[i] - az);
+      }
+    }
+    for (index_t b : work)
+      for (index_t i = layout_.begin(b); i < layout_.end(b); ++i)
+        cur[static_cast<std::size_t>(i)] = next[static_cast<std::size_t>(i)];
+  }
+  for (index_t b : blocks)
+    for (index_t i = layout_.begin(b); i < layout_.end(b); ++i)
+      z[i] = cur[static_cast<std::size_t>(i)];
+}
+
+}  // namespace feir

@@ -1,0 +1,73 @@
+// Preconditioner interface.  The paper treats preconditioning generically as
+// "solve M z = g" and requires one property for cheap recovery (§3.2): the
+// ability to apply the preconditioner *partially*, on just the blocks that
+// supersede lost data.  apply_blocks() is that operation.
+#pragma once
+
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Abstract "solve M z = g" operator.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// z = M^{-1} g over the whole vector.
+  virtual void apply(const double* g, double* z) const = 0;
+
+  /// Partial application: recompute z only on the rows of the given blocks
+  /// (layout as used at construction).  Rows outside the blocks are
+  /// untouched.  This is the recovery path for lost preconditioned data.
+  virtual void apply_blocks(const std::vector<index_t>& blocks, const double* g,
+                            double* z) const = 0;
+};
+
+/// The identity preconditioner (plain CG).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  explicit IdentityPreconditioner(index_t n, index_t block_rows)
+      : layout_(n, block_rows) {}
+
+  void apply(const double* g, double* z) const override {
+    for (index_t i = 0; i < layout_.n; ++i) z[i] = g[i];
+  }
+
+  void apply_blocks(const std::vector<index_t>& blocks, const double* g,
+                    double* z) const override {
+    for (index_t b : blocks)
+      for (index_t i = layout_.begin(b); i < layout_.end(b); ++i) z[i] = g[i];
+  }
+
+ private:
+  BlockLayout layout_;
+};
+
+/// Point-Jacobi (diagonal) preconditioner.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  /// `diag` must hold the matrix diagonal (all entries nonzero).
+  JacobiPreconditioner(std::vector<double> diag, index_t block_rows)
+      : inv_diag_(std::move(diag)), layout_(static_cast<index_t>(inv_diag_.size()), block_rows) {
+    for (auto& d : inv_diag_) d = 1.0 / d;
+  }
+
+  void apply(const double* g, double* z) const override {
+    for (index_t i = 0; i < layout_.n; ++i) z[i] = inv_diag_[static_cast<std::size_t>(i)] * g[i];
+  }
+
+  void apply_blocks(const std::vector<index_t>& blocks, const double* g,
+                    double* z) const override {
+    for (index_t b : blocks)
+      for (index_t i = layout_.begin(b); i < layout_.end(b); ++i)
+        z[i] = inv_diag_[static_cast<std::size_t>(i)] * g[i];
+  }
+
+ private:
+  std::vector<double> inv_diag_;
+  BlockLayout layout_;
+};
+
+}  // namespace feir

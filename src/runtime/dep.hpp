@@ -1,0 +1,47 @@
+// Data dependencies for the task runtime.
+//
+// The paper expresses the solver as annotated sequential code; the runtime
+// derives a task graph from declared accesses.  We identify a datum by a
+// (base pointer, index) pair — e.g. (vector, block id) for one strip-mined
+// block, or (scalar address, 0) for a reduction result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace feir {
+
+/// Identity of one dependency object (a vector block, a scalar, ...).
+struct DepKey {
+  const void* base = nullptr;
+  std::int64_t idx = 0;
+
+  bool operator==(const DepKey& o) const { return base == o.base && idx == o.idx; }
+};
+
+struct DepKeyHash {
+  std::size_t operator()(const DepKey& k) const {
+    auto h = reinterpret_cast<std::uintptr_t>(k.base);
+    h ^= static_cast<std::uintptr_t>(k.idx) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+/// Declared access mode, mirroring OmpSs in/out/inout clauses.
+enum class Access : std::uint8_t { In, Out, InOut };
+
+/// One declared access of a task.
+struct Dep {
+  DepKey key;
+  Access mode;
+};
+
+/// Convenience builders for dependency lists.
+inline Dep in(const void* base, std::int64_t idx = 0) { return {{base, idx}, Access::In}; }
+inline Dep out(const void* base, std::int64_t idx = 0) { return {{base, idx}, Access::Out}; }
+inline Dep inout(const void* base, std::int64_t idx = 0) { return {{base, idx}, Access::InOut}; }
+
+}  // namespace feir

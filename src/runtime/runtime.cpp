@@ -1,0 +1,135 @@
+#include "runtime/runtime.hpp"
+
+#include "support/timing.hpp"
+
+namespace feir {
+
+Runtime::Runtime(unsigned nthreads) {
+  if (nthreads == 0) nthreads = 1;
+  clocks_.resize(nthreads);
+  workers_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Runtime::~Runtime() {
+  taskwait();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Runtime::submit(std::function<void()> fn, std::vector<Dep> deps, int priority,
+                     std::string name) {
+  auto t = std::make_shared<Task>();
+  t->fn = std::move(fn);
+  t->name = std::move(name);
+  t->priority = priority;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  t->seq = seq_counter_++;
+  ++in_flight_;
+
+  auto add_edge = [&](const std::shared_ptr<Task>& pred) {
+    if (pred && !pred->finished && pred.get() != t.get()) {
+      pred->successors.push_back(t);
+      ++t->pending;
+    }
+  };
+
+  for (const Dep& d : deps) {
+    DepEntry& e = table_[d.key];
+    switch (d.mode) {
+      case Access::In:
+        add_edge(e.last_writer);  // RAW
+        e.readers.push_back(t);
+        break;
+      case Access::Out:
+      case Access::InOut:
+        add_edge(e.last_writer);              // WAW (and RAW for InOut)
+        for (auto& r : e.readers) add_edge(r);  // WAR
+        e.readers.clear();
+        e.last_writer = t;
+        break;
+    }
+  }
+
+  if (t->pending == 0) push_ready(t);
+}
+
+void Runtime::push_ready(std::shared_ptr<Task> t) {
+  ready_.push(std::move(t));
+  ready_cv_.notify_one();
+}
+
+void Runtime::on_finish(const std::shared_ptr<Task>& t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  t->finished = true;
+  for (auto& s : t->successors) {
+    if (--s->pending == 0) push_ready(s);
+  }
+  t->successors.clear();
+  ++executed_;
+  if (--in_flight_ == 0) drained_cv_.notify_all();
+}
+
+void Runtime::worker_loop(unsigned id) {
+  WorkerClock& clock = clocks_[id];
+  for (;;) {
+    std::shared_ptr<Task> t;
+    {
+      Stopwatch idle;
+      std::unique_lock<std::mutex> lk(mu_);
+      ready_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
+      clock.idle += idle.seconds();
+      if (shutdown_ && ready_.empty()) return;
+      Stopwatch sched;
+      t = ready_.top();
+      ready_.pop();
+      clock.runtime += sched.seconds();
+    }
+    Stopwatch useful;
+    const double t_begin = tracer_ != nullptr ? now_seconds() - tracer_->origin() : 0.0;
+    t->fn();
+    if (tracer_ != nullptr)
+      tracer_->record(id, t->name, t_begin, now_seconds() - tracer_->origin());
+    clock.useful += useful.seconds();
+    Stopwatch sched;
+    on_finish(t);
+    clock.runtime += sched.seconds();
+  }
+}
+
+void Runtime::taskwait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] { return in_flight_ == 0; });
+  // The dependency table only grows across iterations; once the graph is
+  // drained nothing references past tasks, so drop them.
+  table_.clear();
+}
+
+Runtime::StateTimes Runtime::state_times() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  StateTimes s;
+  for (const auto& c : clocks_) {
+    s.useful += c.useful;
+    s.runtime += c.runtime;
+    s.idle += c.idle;
+  }
+  return s;
+}
+
+void Runtime::reset_state_times() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& c : clocks_) c = WorkerClock{};
+}
+
+std::uint64_t Runtime::tasks_executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return executed_;
+}
+
+}  // namespace feir

@@ -1,0 +1,122 @@
+// Task-based data-flow runtime in the spirit of OmpSs (Duran et al. 2011).
+//
+// Serial code is split into tasks; each task declares in/out/inout accesses
+// on data keys, and the runtime builds the dependency graph (RAW, WAR, WAW)
+// and schedules ready tasks on a worker pool, highest priority first.  This
+// is the substrate the paper's resilience scheme rides on: recovery tasks are
+// ordinary tasks, and AFEIR is obtained purely by giving them lower priority
+// and weaker dependencies so they overlap with the reduction tasks (Fig. 2).
+//
+// Per-worker time accounting (useful / runtime / idle) reproduces the state
+// breakdown of the paper's Table 3.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/dep.hpp"
+#include "runtime/trace.hpp"
+
+namespace feir {
+
+/// Dataflow task runtime.  Create one per solve (or reuse); tasks are
+/// submitted from the owning thread (or from inside tasks) and run on
+/// `nthreads` workers.  `taskwait()` blocks until the graph drains.
+class Runtime {
+ public:
+  /// Per-worker aggregate time in each state, for the Table 3 breakdown:
+  /// `useful` = executing task bodies, `runtime` = graph bookkeeping and
+  /// scheduling, `idle` = waiting for ready work.
+  struct StateTimes {
+    double useful = 0.0;
+    double runtime = 0.0;
+    double idle = 0.0;
+  };
+
+  /// Starts `nthreads` workers (>= 1).
+  explicit Runtime(unsigned nthreads);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Submits a task with declared accesses.  Higher `priority` runs first
+  /// among ready tasks.  Thread-safe.
+  void submit(std::function<void()> fn, std::vector<Dep> deps, int priority = 0,
+              std::string name = {});
+
+  /// Blocks until every submitted task has completed.
+  void taskwait();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Sum of per-worker state times since construction (or last reset).
+  StateTimes state_times() const;
+
+  /// Zeroes the state-time accounting.
+  void reset_state_times();
+
+  /// Total number of tasks executed since construction.
+  std::uint64_t tasks_executed() const;
+
+  /// Attaches (or detaches, with nullptr) a task tracer.  The tracer must
+  /// outlive the runtime; call before submitting work.
+  void set_tracer(TaskTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::string name;
+    int priority = 0;
+    std::uint64_t seq = 0;  // FIFO tiebreak among equal priorities
+    int pending = 0;        // unmet predecessor count
+    std::vector<std::shared_ptr<Task>> successors;
+    bool finished = false;
+  };
+
+  struct ReadyOrder {
+    bool operator()(const std::shared_ptr<Task>& a, const std::shared_ptr<Task>& b) const {
+      if (a->priority != b->priority) return a->priority < b->priority;  // max-heap
+      return a->seq > b->seq;  // earlier submission first
+    }
+  };
+
+  struct DepEntry {
+    std::shared_ptr<Task> last_writer;
+    std::vector<std::shared_ptr<Task>> readers;  // since last write
+  };
+
+  struct WorkerClock {
+    double useful = 0.0;
+    double runtime = 0.0;
+    double idle = 0.0;
+  };
+
+  void worker_loop(unsigned id);
+  void push_ready(std::shared_ptr<Task> t);  // caller holds mu_
+  void on_finish(const std::shared_ptr<Task>& t);
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable drained_cv_;
+  std::priority_queue<std::shared_ptr<Task>, std::vector<std::shared_ptr<Task>>, ReadyOrder>
+      ready_;
+  std::unordered_map<DepKey, DepEntry, DepKeyHash> table_;
+  std::vector<std::thread> workers_;
+  std::vector<WorkerClock> clocks_;
+  std::uint64_t seq_counter_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t executed_ = 0;
+  bool shutdown_ = false;
+  TaskTracer* tracer_ = nullptr;
+};
+
+}  // namespace feir

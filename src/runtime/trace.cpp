@@ -1,0 +1,67 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/timing.hpp"
+
+namespace feir {
+
+void TaskTracer::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  origin_ = now_seconds();
+}
+
+void TaskTracer::record(unsigned worker, const std::string& name, double begin_s,
+                        double end_s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back({worker, name, begin_s, end_s});
+}
+
+std::vector<TraceEvent> TaskTracer::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.begin_s < b.begin_s; });
+  return out;
+}
+
+std::string TaskTracer::render(int width, double t0, double t1) const {
+  const std::vector<TraceEvent> evs = events();
+  if (evs.empty()) return "(no events)\n";
+
+  unsigned workers = 0;
+  double lo = 1e300, hi = -1e300;
+  for (const TraceEvent& e : evs) {
+    workers = std::max(workers, e.worker + 1);
+    lo = std::min(lo, e.begin_s);
+    hi = std::max(hi, e.end_s);
+  }
+  if (t0 >= 0.0) lo = t0;
+  if (t1 >= 0.0) hi = t1;
+  if (hi <= lo) hi = lo + 1e-9;
+
+  std::vector<std::string> lanes(workers, std::string(static_cast<std::size_t>(width), '.'));
+  for (const TraceEvent& e : evs) {
+    if (e.end_s < lo || e.begin_s > hi) continue;
+    char c = e.name.empty() ? '#' : e.name[0];
+    if (!e.name.empty() && e.name[0] == 'r')
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    const double span = hi - lo;
+    int c0 = static_cast<int>((std::max(e.begin_s, lo) - lo) / span * width);
+    int c1 = static_cast<int>((std::min(e.end_s, hi) - lo) / span * width);
+    c0 = std::clamp(c0, 0, width - 1);
+    c1 = std::clamp(c1, c0, width - 1);
+    for (int k = c0; k <= c1; ++k) lanes[e.worker][static_cast<std::size_t>(k)] = c;
+  }
+
+  std::ostringstream os;
+  os << "timeline [" << lo << ", " << hi << "] s; legend: task initial, "
+     << "R = recovery task, . = idle\n";
+  for (unsigned w = 0; w < workers; ++w) os << "T" << w << " |" << lanes[w] << "|\n";
+  return os.str();
+}
+
+}  // namespace feir

@@ -1,0 +1,92 @@
+#include "solvers/bicgstab.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+SolveResult bicgstab_solve(const CsrMatrix& A, const double* b, double* x,
+                           const SolveOptions& opts, const Preconditioner* M) {
+  const index_t n = A.n;
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<double> g(un), r(un), d(un), q(un), s(un), t(un);
+  std::vector<double> p, ms;  // preconditioned d and s (PBiCGStab only)
+  if (M != nullptr) {
+    p.assign(un, 0.0);
+    ms.assign(un, 0.0);
+  }
+
+  Stopwatch clock;
+  SolveResult res;
+  const double bnorm = norm2(b, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+  const double stop = denom * opts.tol;
+
+  // g, r, d <= b - A x  (r is the constant shadow residual)
+  spmv(A, x, g.data());
+  for (index_t i = 0; i < n; ++i) g[static_cast<std::size_t>(i)] = b[i] - g[static_cast<std::size_t>(i)];
+  r = g;
+  d = g;
+
+  double rho = dot(g.data(), r.data(), n);
+
+  auto finish = [&](bool ok, index_t iters) {
+    res.converged = ok;
+    res.iterations = iters;
+    res.final_relres = norm2(g.data(), n) / denom;
+    res.seconds = clock.seconds();
+    return res;
+  };
+
+  for (index_t it = 0; it < opts.max_iter; ++it) {
+    const double gnorm = norm2(g.data(), n);
+    const IterRecord rec{it, clock.seconds(), gnorm / denom};
+    if (opts.record_history) res.history.push_back(rec);
+    if (opts.on_iteration) opts.on_iteration(rec);
+    if (gnorm <= stop) return finish(true, it);
+
+    const double* dd = d.data();
+    if (M != nullptr) {
+      M->apply(d.data(), p.data());
+      dd = p.data();
+    }
+    spmv(A, dd, q.data());
+    const double qr = dot(q.data(), r.data(), n);
+    if (qr == 0.0 || !std::isfinite(qr)) return finish(false, it);
+    const double alpha = rho / qr;
+
+    for (index_t i = 0; i < n; ++i)
+      s[static_cast<std::size_t>(i)] = g[static_cast<std::size_t>(i)] - alpha * q[static_cast<std::size_t>(i)];
+
+    const double* ss = s.data();
+    if (M != nullptr) {
+      M->apply(s.data(), ms.data());
+      ss = ms.data();
+    }
+    spmv(A, ss, t.data());
+    const double tt = dot(t.data(), t.data(), n);
+    if (tt == 0.0) return finish(false, it);
+    const double omega = dot(t.data(), s.data(), n) / tt;
+
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * dd[i] + omega * ss[i];
+      g[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i)] - omega * t[static_cast<std::size_t>(i)];
+    }
+
+    const double rho_old = rho;
+    rho = dot(g.data(), r.data(), n);
+    if (rho_old == 0.0 || omega == 0.0 || !std::isfinite(rho)) return finish(false, it);
+    const double beta = (rho / rho_old) * (alpha / omega);
+    for (index_t i = 0; i < n; ++i)
+      d[static_cast<std::size_t>(i)] =
+          g[static_cast<std::size_t>(i)] +
+          beta * (d[static_cast<std::size_t>(i)] - omega * q[static_cast<std::size_t>(i)]);
+  }
+  return finish(false, opts.max_iter);
+}
+
+}  // namespace feir

@@ -1,0 +1,18 @@
+// Reference BiCGStab (Listing 3 / Listing 6 of the paper): the CG
+// generalization for non-SPD systems, and the second target of the paper's
+// redundancy-relation analysis (§3.1.2).
+#pragma once
+
+#include "precond/precond.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+/// Solves A x = b with (preconditioned) BiCGStab.  `x` holds the initial
+/// guess on entry and the solution on exit.  When `M` is null the
+/// non-preconditioned variant runs.
+SolveResult bicgstab_solve(const CsrMatrix& A, const double* b, double* x,
+                           const SolveOptions& opts, const Preconditioner* M = nullptr);
+
+}  // namespace feir

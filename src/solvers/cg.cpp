@@ -1,0 +1,73 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+SolveResult cg_solve(const CsrMatrix& A, const double* b, double* x,
+                     const SolveOptions& opts, const Preconditioner* M) {
+  const index_t n = A.n;
+  std::vector<double> g(static_cast<std::size_t>(n));  // residual b - A x
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(n));
+  std::vector<double> z;  // preconditioned residual (PCG only)
+  if (M != nullptr) z.assign(static_cast<std::size_t>(n), 0.0);
+
+  Stopwatch clock;
+  SolveResult res;
+
+  const double bnorm = norm2(b, n);
+  const double stop = (bnorm > 0.0 ? bnorm : 1.0) * opts.tol;
+
+  // g = b - A x
+  spmv(A, x, g.data());
+  for (index_t i = 0; i < n; ++i) g[static_cast<std::size_t>(i)] = b[i] - g[static_cast<std::size_t>(i)];
+
+  double rho_old = 0.0;
+  for (index_t t = 0; t < opts.max_iter; ++t) {
+    const double gnorm = norm2(g.data(), n);
+    const IterRecord rec{t, clock.seconds(), gnorm / (bnorm > 0.0 ? bnorm : 1.0)};
+    if (opts.record_history) res.history.push_back(rec);
+    if (opts.on_iteration) opts.on_iteration(rec);
+    if (gnorm <= stop) {
+      res.converged = true;
+      res.iterations = t;
+      res.final_relres = rec.relres;
+      res.seconds = clock.seconds();
+      return res;
+    }
+
+    double rho;
+    const double* steer;  // the vector that extends the search direction
+    if (M != nullptr) {
+      M->apply(g.data(), z.data());
+      rho = dot(z.data(), g.data(), n);
+      steer = z.data();
+    } else {
+      rho = gnorm * gnorm;
+      steer = g.data();
+    }
+
+    const double beta = (t == 0) ? 0.0 : rho / rho_old;
+    for (index_t i = 0; i < n; ++i)
+      d[static_cast<std::size_t>(i)] = beta * d[static_cast<std::size_t>(i)] + steer[i];
+
+    spmv(A, d.data(), q.data());
+    const double alpha = rho / dot(q.data(), d.data(), n);
+    axpy_range(alpha, d.data(), x, 0, n);
+    axpy_range(-alpha, q.data(), g.data(), 0, n);
+    rho_old = rho;
+  }
+
+  res.converged = false;
+  res.iterations = opts.max_iter;
+  res.final_relres = norm2(g.data(), n) / (bnorm > 0.0 ? bnorm : 1.0);
+  res.seconds = clock.seconds();
+  return res;
+}
+
+}  // namespace feir

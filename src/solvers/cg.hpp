@@ -1,0 +1,19 @@
+// Reference Conjugate Gradient (Listing 1 / Listing 5 of the paper,
+// following Shewchuk's formulation).  This is the "ideal CG" every resilience
+// method is measured against, and the numerical oracle for the resilient
+// task-based implementation in src/core.
+#pragma once
+
+#include "precond/precond.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+/// Solves A x = b with (preconditioned) CG.  A must be SPD.  `x` holds the
+/// initial guess on entry and the solution on exit.  When `M` is null the
+/// non-preconditioned variant (Listing 1) runs.
+SolveResult cg_solve(const CsrMatrix& A, const double* b, double* x,
+                     const SolveOptions& opts, const Preconditioner* M = nullptr);
+
+}  // namespace feir

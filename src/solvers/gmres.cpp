@@ -1,0 +1,137 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+SolveResult gmres_solve(const CsrMatrix& A, const double* b, double* x,
+                        const GmresOptions& opts, const Preconditioner* M) {
+  const index_t n = A.n;
+  const auto un = static_cast<std::size_t>(n);
+  const index_t m = opts.restart;
+  const auto um = static_cast<std::size_t>(m);
+
+  Stopwatch clock;
+  SolveResult res;
+  const double bnorm = norm2(b, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+
+  std::vector<std::vector<double>> V(um + 1, std::vector<double>(un, 0.0));
+  // Hessenberg stored column-wise: H[l] holds h_{0..l+1, l}.
+  std::vector<std::vector<double>> H(um, std::vector<double>(um + 1, 0.0));
+  std::vector<double> cs(um, 0.0), sn(um, 0.0);  // Givens rotations
+  std::vector<double> gvec(um + 1, 0.0);         // rotated ||g|| e1
+  std::vector<double> w(un), tmp(un);
+
+  index_t total_iters = 0;
+
+  auto record = [&](double relres) {
+    const IterRecord rec{total_iters, clock.seconds(), relres};
+    if (opts.record_history) res.history.push_back(rec);
+    if (opts.on_iteration) opts.on_iteration(rec);
+  };
+
+  while (total_iters < opts.max_iter) {
+    // g = b - A x (preconditioned when M given).
+    spmv(A, x, tmp.data());
+    for (index_t i = 0; i < n; ++i) tmp[static_cast<std::size_t>(i)] = b[i] - tmp[static_cast<std::size_t>(i)];
+    const double true_rel = norm2(tmp.data(), n) / denom;
+    if (true_rel <= opts.tol) {
+      res.converged = true;
+      res.iterations = total_iters;
+      res.final_relres = true_rel;
+      res.seconds = clock.seconds();
+      return res;
+    }
+    if (M != nullptr) {
+      M->apply(tmp.data(), w.data());
+      tmp = w;
+    }
+    const double beta = norm2(tmp.data(), n);
+    for (index_t i = 0; i < n; ++i) V[0][static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i)] / beta;
+    std::fill(gvec.begin(), gvec.end(), 0.0);
+    gvec[0] = beta;
+
+    index_t l = 0;
+    for (; l < m && total_iters < opts.max_iter; ++l, ++total_iters) {
+      // w = M^{-1} A v_l
+      spmv(A, V[static_cast<std::size_t>(l)].data(), tmp.data());
+      if (M != nullptr) {
+        M->apply(tmp.data(), w.data());
+      } else {
+        w = tmp;
+      }
+      // Modified Gram-Schmidt against v_0..v_l.
+      for (index_t k = 0; k <= l; ++k) {
+        const double h = dot(w.data(), V[static_cast<std::size_t>(k)].data(), n);
+        H[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)] = h;
+        axpy_range(-h, V[static_cast<std::size_t>(k)].data(), w.data(), 0, n);
+      }
+      const double hnext = norm2(w.data(), n);
+      H[static_cast<std::size_t>(l)][static_cast<std::size_t>(l) + 1] = hnext;
+      if (hnext > 0.0)
+        for (index_t i = 0; i < n; ++i)
+          V[static_cast<std::size_t>(l) + 1][static_cast<std::size_t>(i)] =
+              w[static_cast<std::size_t>(i)] / hnext;
+
+      // Apply accumulated Givens rotations to the new column, then create
+      // the rotation that annihilates h_{l+1,l}.
+      auto& col = H[static_cast<std::size_t>(l)];
+      for (index_t k = 0; k < l; ++k) {
+        const double t0 = cs[static_cast<std::size_t>(k)] * col[static_cast<std::size_t>(k)] +
+                          sn[static_cast<std::size_t>(k)] * col[static_cast<std::size_t>(k) + 1];
+        col[static_cast<std::size_t>(k) + 1] =
+            -sn[static_cast<std::size_t>(k)] * col[static_cast<std::size_t>(k)] +
+            cs[static_cast<std::size_t>(k)] * col[static_cast<std::size_t>(k) + 1];
+        col[static_cast<std::size_t>(k)] = t0;
+      }
+      const double h0 = col[static_cast<std::size_t>(l)];
+      const double h1 = col[static_cast<std::size_t>(l) + 1];
+      const double r = std::hypot(h0, h1);
+      if (r == 0.0) {
+        ++l;  // lucky breakdown: the basis is complete
+        ++total_iters;
+        break;
+      }
+      cs[static_cast<std::size_t>(l)] = h0 / r;
+      sn[static_cast<std::size_t>(l)] = h1 / r;
+      col[static_cast<std::size_t>(l)] = r;
+      col[static_cast<std::size_t>(l) + 1] = 0.0;
+      const double g0 = cs[static_cast<std::size_t>(l)] * gvec[static_cast<std::size_t>(l)];
+      gvec[static_cast<std::size_t>(l) + 1] = -sn[static_cast<std::size_t>(l)] * gvec[static_cast<std::size_t>(l)];
+      gvec[static_cast<std::size_t>(l)] = g0;
+
+      record(std::fabs(gvec[static_cast<std::size_t>(l) + 1]) / denom);
+      if (std::fabs(gvec[static_cast<std::size_t>(l) + 1]) / denom <= opts.tol * 0.1) {
+        ++l;
+        ++total_iters;
+        break;
+      }
+    }
+
+    // Back-substitute y from R y = gvec and update the iterate.
+    std::vector<double> y(static_cast<std::size_t>(l), 0.0);
+    for (index_t i = l - 1; i >= 0; --i) {
+      double s = gvec[static_cast<std::size_t>(i)];
+      for (index_t k = i + 1; k < l; ++k)
+        s -= H[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(k)];
+      y[static_cast<std::size_t>(i)] = s / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    for (index_t k = 0; k < l; ++k)
+      axpy_range(y[static_cast<std::size_t>(k)], V[static_cast<std::size_t>(k)].data(), x, 0, n);
+  }
+
+  spmv(A, x, tmp.data());
+  for (index_t i = 0; i < n; ++i) tmp[static_cast<std::size_t>(i)] = b[i] - tmp[static_cast<std::size_t>(i)];
+  res.converged = norm2(tmp.data(), n) / denom <= opts.tol;
+  res.iterations = total_iters;
+  res.final_relres = norm2(tmp.data(), n) / denom;
+  res.seconds = clock.seconds();
+  return res;
+}
+
+}  // namespace feir

@@ -1,0 +1,25 @@
+// Reference restarted GMRES(m) (Listing 4 / Listing 7 of the paper): Arnoldi
+// basis construction with modified Gram-Schmidt, Givens-rotation QR of the
+// Hessenberg matrix, restart every m steps.  The Hessenberg matrix doubles
+// as the redundancy store that makes the Arnoldi vectors recoverable
+// (§3.1.3) — exercised by the resilient variant in src/core.
+#pragma once
+
+#include "precond/precond.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+/// Options specific to GMRES: restart length.
+struct GmresOptions : SolveOptions {
+  index_t restart = 30;
+};
+
+/// Solves A x = b with (left-preconditioned) restarted GMRES.  Works for
+/// general nonsingular A.  When `M` is null the non-preconditioned variant
+/// runs.
+SolveResult gmres_solve(const CsrMatrix& A, const double* b, double* x,
+                        const GmresOptions& opts, const Preconditioner* M = nullptr);
+
+}  // namespace feir

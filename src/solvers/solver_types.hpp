@@ -1,0 +1,37 @@
+// Common option/result types shared by the plain and resilient solvers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// One entry of a convergence history (Fig. 3's time series).
+struct IterRecord {
+  index_t iter = 0;
+  double time_s = 0.0;  ///< wall time since solve start
+  double relres = 0.0;  ///< ||b - A x|| / ||b||
+};
+
+/// Solver options.  The convergence criterion is relative:
+/// ||b - A x||_2 / ||b||_2 <= tol, with the paper's default 1e-10.
+struct SolveOptions {
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  bool record_history = false;
+  /// Called once per iteration after the residual update; may be empty.
+  std::function<void(const IterRecord&)> on_iteration;
+};
+
+/// Solve outcome.
+struct SolveResult {
+  bool converged = false;
+  index_t iterations = 0;
+  double final_relres = 0.0;
+  double seconds = 0.0;
+  std::vector<IterRecord> history;  ///< filled when record_history is set
+};
+
+}  // namespace feir

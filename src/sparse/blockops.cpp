@@ -1,0 +1,95 @@
+#include "sparse/blockops.hpp"
+
+#include <algorithm>
+
+namespace feir {
+
+DenseMatrix extract_dense_block(const CsrMatrix& A, index_t r0, index_t r1,
+                                index_t c0, index_t c1) {
+  DenseMatrix B(r1 - r0, c1 - c0);
+  for (index_t i = r0; i < r1; ++i) {
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      if (j >= c0 && j < c1) B(i - r0, j - c0) = A.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  return B;
+}
+
+void offblock_product(const CsrMatrix& A, index_t r0, index_t r1, index_t c0,
+                      index_t c1, const double* x, double* out) {
+  for (index_t i = r0; i < r1; ++i) {
+    double s = 0.0;
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      if (j < c0 || j >= c1) s += A.vals[static_cast<std::size_t>(k)] * x[j];
+    }
+    out[i - r0] = s;
+  }
+}
+
+index_t blocks_rows(const BlockLayout& layout, const std::vector<index_t>& blocks) {
+  index_t total = 0;
+  for (index_t b : blocks) total += layout.rows(b);
+  return total;
+}
+
+void offblocks_product(const CsrMatrix& A, const BlockLayout& layout,
+                       const std::vector<index_t>& blocks, const double* x,
+                       double* out) {
+  // Sorted copy for O(log k) membership tests on column blocks.
+  std::vector<index_t> sorted = blocks;
+  std::sort(sorted.begin(), sorted.end());
+  auto excluded = [&](index_t col) {
+    return std::binary_search(sorted.begin(), sorted.end(), layout.block_of(col));
+  };
+
+  index_t off = 0;
+  for (index_t b : blocks) {
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i) {
+      double s = 0.0;
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+        if (!excluded(j)) s += A.vals[static_cast<std::size_t>(k)] * x[j];
+      }
+      out[off++] = s;
+    }
+  }
+}
+
+DenseMatrix coupled_block_matrix(const CsrMatrix& A, const BlockLayout& layout,
+                                 const std::vector<index_t>& blocks) {
+  const index_t m = blocks_rows(layout, blocks);
+  DenseMatrix B(m, m);
+
+  // Map from block id to its starting offset in the coupled system.
+  std::vector<std::pair<index_t, index_t>> offsets;  // (block, offset)
+  index_t off = 0;
+  for (index_t b : blocks) {
+    offsets.emplace_back(b, off);
+    off += layout.rows(b);
+  }
+  auto col_offset = [&](index_t col) -> index_t {
+    const index_t cb = layout.block_of(col);
+    for (const auto& [b, o] : offsets)
+      if (b == cb) return o + (col - layout.begin(b));
+    return -1;
+  };
+
+  index_t row_off = 0;
+  for (index_t b : blocks) {
+    for (index_t i = layout.begin(b); i < layout.end(b); ++i, ++row_off) {
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t c = col_offset(A.col_idx[static_cast<std::size_t>(k)]);
+        if (c >= 0) B(row_off, c) = A.vals[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return B;
+}
+
+}  // namespace feir

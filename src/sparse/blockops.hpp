@@ -1,0 +1,45 @@
+// Block-level access to a CSR matrix: the primitives behind every Table-1
+// recovery relation.
+//
+// Recovering a lost block i of a right-hand-side vector means solving
+//   A_ii u_i = rhs_i - sum_{j != i} A_ij u_j
+// so we need (a) the dense diagonal block A_ii and (b) the "off-block" row
+// sums over columns outside the block.  Multiple simultaneous errors in one
+// relation couple several blocks into one larger dense system (§2.4).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Dense copy of the sub-block A[r0..r1) x [c0..c1).
+DenseMatrix extract_dense_block(const CsrMatrix& A, index_t r0, index_t r1,
+                                index_t c0, index_t c1);
+
+/// out[i - r0] = sum over columns j outside [c0, c1) of A_ij * x_j,
+/// for rows i in [r0, r1).  The off-block term of an inverted block relation.
+void offblock_product(const CsrMatrix& A, index_t r0, index_t r1, index_t c0,
+                      index_t c1, const double* x, double* out);
+
+/// Same as offblock_product but excluding the union of several blocks
+/// (`blocks` lists block ids under `layout`); used for the coupled
+/// multi-error solve.  Rows covered are the concatenation of the blocks, in
+/// the order given; `out` must have room for that many entries.
+void offblocks_product(const CsrMatrix& A, const BlockLayout& layout,
+                       const std::vector<index_t>& blocks, const double* x,
+                       double* out);
+
+/// Dense coupled system for simultaneous errors: the submatrix of A formed by
+/// the rows and columns of the listed blocks, in the given order — the
+/// ( A_ii A_ij ; A_ji A_jj ) matrix of §2.4.
+DenseMatrix coupled_block_matrix(const CsrMatrix& A, const BlockLayout& layout,
+                                 const std::vector<index_t>& blocks);
+
+/// Total number of rows covered by `blocks` under `layout`.
+index_t blocks_rows(const BlockLayout& layout, const std::vector<index_t>& blocks);
+
+}  // namespace feir

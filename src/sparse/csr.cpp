@@ -1,0 +1,108 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace feir {
+
+CsrMatrix CsrMatrix::from_triplets(index_t n, std::vector<Triplet> entries) {
+  for (const auto& t : entries) {
+    if (t.row < 0 || t.row >= n || t.col < 0 || t.col >= n)
+      throw std::invalid_argument("from_triplets: entry out of range");
+  }
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix A;
+  A.n = n;
+  A.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  A.col_idx.reserve(entries.size());
+  A.vals.reserve(entries.size());
+
+  for (std::size_t k = 0; k < entries.size();) {
+    const index_t r = entries[k].row;
+    const index_t c = entries[k].col;
+    double v = 0.0;
+    while (k < entries.size() && entries[k].row == r && entries[k].col == c) {
+      v += entries[k].val;
+      ++k;
+    }
+    A.col_idx.push_back(c);
+    A.vals.push_back(v);
+    A.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(A.col_idx.size());
+  }
+  // row_ptr currently holds end offsets only for non-empty rows; fill gaps.
+  for (index_t i = 1; i <= n; ++i)
+    A.row_ptr[static_cast<std::size_t>(i)] =
+        std::max(A.row_ptr[static_cast<std::size_t>(i)], A.row_ptr[static_cast<std::size_t>(i) - 1]);
+  return A;
+}
+
+double CsrMatrix::at(index_t i, index_t j) const {
+  const index_t lo = row_ptr[static_cast<std::size_t>(i)];
+  const index_t hi = row_ptr[static_cast<std::size_t>(i) + 1];
+  auto first = col_idx.begin() + lo;
+  auto last = col_idx.begin() + hi;
+  auto it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return 0.0;
+  return vals[static_cast<std::size_t>(it - col_idx.begin())];
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      ts.push_back({col_idx[static_cast<std::size_t>(k)], i, vals[static_cast<std::size_t>(k)]});
+  return from_triplets(n, std::move(ts));
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  double amax = 0.0;
+  for (double v : vals) amax = std::max(amax, std::fabs(v));
+  const double bound = tol * std::max(amax, 1.0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_idx[static_cast<std::size_t>(k)];
+      if (std::fabs(vals[static_cast<std::size_t>(k)] - at(j, i)) > bound) return false;
+    }
+  return true;
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = at(i, i);
+  return d;
+}
+
+void spmv(const CsrMatrix& A, const double* x, double* y) {
+  spmv_rows(A, 0, A.n, x, y);
+}
+
+void spmv_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* x, double* y) {
+  for (index_t i = r0; i < r1; ++i) {
+    double acc = 0.0;
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      acc += A.vals[static_cast<std::size_t>(k)] * x[A.col_idx[static_cast<std::size_t>(k)]];
+    y[i] = acc;
+  }
+}
+
+double residual_norm(const CsrMatrix& A, const double* x, const double* b) {
+  double s = 0.0;
+  for (index_t i = 0; i < A.n; ++i) {
+    double acc = b[i];
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      acc -= A.vals[static_cast<std::size_t>(k)] * x[A.col_idx[static_cast<std::size_t>(k)]];
+    s += acc * acc;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace feir

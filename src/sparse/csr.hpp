@@ -1,0 +1,57 @@
+// Compressed Sparse Row matrix — the storage format used by the solvers and
+// by every block recovery relation (block-row products, diagonal block
+// extraction).  Square matrices only; the paper's study is on SPD systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// One (row, col, value) entry used when assembling a matrix.
+struct Triplet {
+  index_t row;
+  index_t col;
+  double val;
+};
+
+/// Square sparse matrix in CSR format.
+struct CsrMatrix {
+  index_t n = 0;                    ///< Dimension (rows == cols).
+  std::vector<index_t> row_ptr;     ///< Size n+1; row i spans [row_ptr[i], row_ptr[i+1]).
+  std::vector<index_t> col_idx;     ///< Column indices, sorted within each row.
+  std::vector<double> vals;         ///< Matching nonzero values.
+
+  index_t nnz() const { return static_cast<index_t>(col_idx.size()); }
+
+  /// Builds a CSR matrix from unsorted triplets; duplicate (row, col) entries
+  /// are summed.  Entries outside [0,n) are rejected.
+  static CsrMatrix from_triplets(index_t n, std::vector<Triplet> entries);
+
+  /// Value at (i, j); 0 when the entry is not stored.  Binary search in row i.
+  double at(index_t i, index_t j) const;
+
+  /// Returns the transposed matrix.
+  CsrMatrix transpose() const;
+
+  /// True when the stored pattern and values are symmetric to within `tol`
+  /// relative to the largest absolute value.
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Extracts the diagonal; missing diagonal entries are 0.
+  std::vector<double> diagonal() const;
+};
+
+/// y = A x (full product).
+void spmv(const CsrMatrix& A, const double* x, double* y);
+
+/// y[r0..r1) = (A x)[r0..r1): block-row product used by strip-mined tasks and
+/// by the lhs recovery relation  q_i = sum_j A_ij d_j  (Table 1).
+void spmv_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* x, double* y);
+
+/// ||b - A x||_2, the solver's convergence quantity.
+double residual_norm(const CsrMatrix& A, const double* x, const double* b);
+
+}  // namespace feir

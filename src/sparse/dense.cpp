@@ -1,0 +1,149 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace feir {
+
+bool cholesky_factor(DenseMatrix& A) {
+  const index_t n = A.rows();
+  if (A.cols() != n) throw std::invalid_argument("cholesky_factor: not square");
+  for (index_t j = 0; j < n; ++j) {
+    double d = A(j, j);
+    for (index_t k = 0; k < j; ++k) d -= A(j, k) * A(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    A(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = A(i, j);
+      for (index_t k = 0; k < j; ++k) s -= A(i, k) * A(j, k);
+      A(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(const DenseMatrix& L, double* b) {
+  const index_t n = L.rows();
+  // Forward solve L y = b.
+  for (index_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (index_t k = 0; k < i; ++k) s -= L(i, k) * b[k];
+    b[i] = s / L(i, i);
+  }
+  // Backward solve L^T x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (index_t k = i + 1; k < n; ++k) s -= L(k, i) * b[k];
+    b[i] = s / L(i, i);
+  }
+}
+
+bool lu_factor(DenseMatrix& A, std::vector<index_t>& piv) {
+  const index_t n = A.rows();
+  if (A.cols() != n) throw std::invalid_argument("lu_factor: not square");
+  piv.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) piv[static_cast<std::size_t>(i)] = i;
+
+  for (index_t j = 0; j < n; ++j) {
+    index_t p = j;
+    double best = std::fabs(A(j, j));
+    for (index_t i = j + 1; i < n; ++i) {
+      const double v = std::fabs(A(i, j));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) return false;
+    if (p != j) {
+      for (index_t k = 0; k < n; ++k) std::swap(A(j, k), A(p, k));
+      std::swap(piv[static_cast<std::size_t>(j)], piv[static_cast<std::size_t>(p)]);
+    }
+    const double inv = 1.0 / A(j, j);
+    for (index_t i = j + 1; i < n; ++i) {
+      const double lij = A(i, j) * inv;
+      A(i, j) = lij;
+      for (index_t k = j + 1; k < n; ++k) A(i, k) -= lij * A(j, k);
+    }
+  }
+  return true;
+}
+
+void lu_solve(const DenseMatrix& LU, const std::vector<index_t>& piv, double* b) {
+  const index_t n = LU.rows();
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) y[static_cast<std::size_t>(i)] = b[piv[static_cast<std::size_t>(i)]];
+  // Forward solve (unit lower).
+  for (index_t i = 0; i < n; ++i) {
+    double s = y[static_cast<std::size_t>(i)];
+    for (index_t k = 0; k < i; ++k) s -= LU(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s;
+  }
+  // Backward solve.
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = y[static_cast<std::size_t>(i)];
+    for (index_t k = i + 1; k < n; ++k) s -= LU(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s / LU(i, i);
+  }
+  for (index_t i = 0; i < n; ++i) b[i] = y[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> least_squares(DenseMatrix A, std::vector<double> b) {
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  if (m < n) throw std::invalid_argument("least_squares: need rows >= cols");
+  if (static_cast<index_t>(b.size()) != m)
+    throw std::invalid_argument("least_squares: rhs size mismatch");
+
+  // Householder QR: reduce A to R while applying reflectors to b.
+  for (index_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (index_t i = j; i < m; ++i) norm += A(i, j) * A(i, j);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = (A(j, j) > 0.0) ? -norm : norm;
+    // v = a_j - alpha e_j, stored in column j below the diagonal.
+    std::vector<double> v(static_cast<std::size_t>(m - j));
+    v[0] = A(j, j) - alpha;
+    for (index_t i = j + 1; i < m; ++i) v[static_cast<std::size_t>(i - j)] = A(i, j);
+    double vtv = 0.0;
+    for (double w : v) vtv += w * w;
+    if (vtv == 0.0) continue;
+
+    auto apply = [&](double* col) {
+      double s = 0.0;
+      for (index_t i = j; i < m; ++i) s += v[static_cast<std::size_t>(i - j)] * col[i];
+      const double f = 2.0 * s / vtv;
+      for (index_t i = j; i < m; ++i) col[i] -= f * v[static_cast<std::size_t>(i - j)];
+    };
+
+    for (index_t k = j; k < n; ++k) {
+      std::vector<double> col(static_cast<std::size_t>(m));
+      for (index_t i = 0; i < m; ++i) col[static_cast<std::size_t>(i)] = A(i, k);
+      apply(col.data());
+      for (index_t i = 0; i < m; ++i) A(i, k) = col[static_cast<std::size_t>(i)];
+    }
+    apply(b.data());
+  }
+
+  // Back substitution on the upper-triangular R.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (index_t k = i + 1; k < n; ++k) s -= A(i, k) * x[static_cast<std::size_t>(k)];
+    const double rii = A(i, i);
+    x[static_cast<std::size_t>(i)] = (rii != 0.0) ? s / rii : 0.0;
+  }
+  return x;
+}
+
+void dense_matvec(const DenseMatrix& A, const double* x, double* y) {
+  for (index_t i = 0; i < A.rows(); ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < A.cols(); ++j) s += A(i, j) * x[j];
+    y[i] = s;
+  }
+}
+
+}  // namespace feir

@@ -1,0 +1,60 @@
+// Dense kernels for the recovery's diagonal-block solves (§2.3): Cholesky
+// when the block is known SPD, pivoted LU as the general direct solver, and
+// Householder-QR least squares for the non-square fallback Agullo et al.
+// propose when diagonal blocks may be singular.
+#pragma once
+
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Row-major dense matrix (small: recovery blocks are at most one page wide).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), a_(static_cast<std::size_t>(rows * cols), 0.0) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  double& operator()(index_t i, index_t j) { return a_[static_cast<std::size_t>(i * cols_ + j)]; }
+  double operator()(index_t i, index_t j) const {
+    return a_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  double* data() { return a_.data(); }
+  const double* data() const { return a_.data(); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// In-place Cholesky factorization A = L L^T (lower triangle of `A` receives
+/// L).  Returns false when a non-positive pivot is met (A not SPD).
+bool cholesky_factor(DenseMatrix& A);
+
+/// Solves L L^T x = b given the factor from cholesky_factor; b is overwritten
+/// with the solution.
+void cholesky_solve(const DenseMatrix& L, double* b);
+
+/// In-place LU factorization with partial pivoting; `piv` receives the row
+/// permutation.  Returns false when the matrix is numerically singular.
+bool lu_factor(DenseMatrix& A, std::vector<index_t>& piv);
+
+/// Solves P A x = b given the pivoted factor; b is overwritten.
+void lu_solve(const DenseMatrix& LU, const std::vector<index_t>& piv, double* b);
+
+/// Least-squares solve min_x ||A x - b||_2 via Householder QR for rows >=
+/// cols.  Returns the solution (size cols).  Used for the least-squares
+/// recovery variant on non-SPD diagonal blocks.
+std::vector<double> least_squares(DenseMatrix A, std::vector<double> b);
+
+/// y = A x for dense A.
+void dense_matvec(const DenseMatrix& A, const double* x, double* y);
+
+}  // namespace feir

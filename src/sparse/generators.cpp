@@ -1,0 +1,264 @@
+#include "sparse/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+// Assembles an SPD operator on a structured grid from positive edge
+// conductances: for every edge (u, v) with conductance c, add c to both
+// diagonal entries and -c to both off-diagonals, then add eps to the
+// diagonal.  The result is symmetric weakly diagonally dominant with
+// positive diagonal, hence SPD for eps > 0.
+class GraphAssembler {
+ public:
+  explicit GraphAssembler(index_t n) : n_(n) { diag_.assign(static_cast<std::size_t>(n), 0.0); }
+
+  void edge(index_t u, index_t v, double c) {
+    diag_[static_cast<std::size_t>(u)] += c;
+    diag_[static_cast<std::size_t>(v)] += c;
+    off_.push_back({u, v, -c});
+    off_.push_back({v, u, -c});
+  }
+
+  void shift(double eps) {
+    for (auto& d : diag_) d += eps;
+  }
+
+  CsrMatrix build() {
+    std::vector<Triplet> ts = std::move(off_);
+    ts.reserve(ts.size() + static_cast<std::size_t>(n_));
+    for (index_t i = 0; i < n_; ++i) ts.push_back({i, i, diag_[static_cast<std::size_t>(i)]});
+    return CsrMatrix::from_triplets(n_, std::move(ts));
+  }
+
+ private:
+  index_t n_;
+  std::vector<double> diag_;
+  std::vector<Triplet> off_;
+};
+
+index_t id2(index_t i, index_t j, index_t nx) { return j * nx + i; }
+index_t id3(index_t i, index_t j, index_t k, index_t nx, index_t ny) {
+  return (k * ny + j) * nx + i;
+}
+
+std::vector<double> smooth_solution(index_t n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    x[static_cast<std::size_t>(i)] = std::sin(6.28318530717958648 * t) + 0.5 * t;
+  }
+  return x;
+}
+
+TestbedProblem wrap(std::string name, CsrMatrix A) {
+  TestbedProblem p;
+  p.name = std::move(name);
+  p.x_true = smooth_solution(A.n);
+  p.b.assign(static_cast<std::size_t>(A.n), 0.0);
+  spmv(A, p.x_true.data(), p.b.data());
+  p.A = std::move(A);
+  return p;
+}
+
+index_t scaled(index_t base, double scale) {
+  const auto s = static_cast<index_t>(std::lround(static_cast<double>(base) * scale));
+  return s < 4 ? 4 : s;
+}
+
+}  // namespace
+
+CsrMatrix laplace2d_5pt(index_t nx, index_t ny) {
+  GraphAssembler g(nx * ny);
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      if (i + 1 < nx) g.edge(id2(i, j, nx), id2(i + 1, j, nx), 1.0);
+      if (j + 1 < ny) g.edge(id2(i, j, nx), id2(i, j + 1, nx), 1.0);
+    }
+  g.shift(1e-4);
+  return g.build();
+}
+
+CsrMatrix shell2d_9pt(index_t nx, index_t ny, double aniso) {
+  GraphAssembler g(nx * ny);
+  const double diag_c = 0.25 * (1.0 + 1.0 / aniso);
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      if (i + 1 < nx) g.edge(id2(i, j, nx), id2(i + 1, j, nx), 1.0);
+      if (j + 1 < ny) g.edge(id2(i, j, nx), id2(i, j + 1, nx), 1.0 / aniso);
+      if (i + 1 < nx && j + 1 < ny) g.edge(id2(i, j, nx), id2(i + 1, j + 1, nx), diag_c);
+      if (i + 1 < nx && j > 0) g.edge(id2(i, j, nx), id2(i + 1, j - 1, nx), diag_c);
+    }
+  g.shift(1e-6);
+  return g.build();
+}
+
+CsrMatrix varcoef3d_7pt(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
+  GraphAssembler g(nx * ny * nz);
+  Rng rng(seed);
+  const double px = 6.28318530717958648 / static_cast<double>(nx);
+  const double phase = rng.uniform(0.0, 6.28);
+  auto coef = [&](index_t i, index_t j, index_t k) {
+    return std::exp(1.5 * std::sin(px * static_cast<double>(i + j) + phase) +
+                    0.5 * std::cos(px * static_cast<double>(k)));
+  };
+  for (index_t k = 0; k < nz; ++k)
+    for (index_t j = 0; j < ny; ++j)
+      for (index_t i = 0; i < nx; ++i) {
+        const double c = coef(i, j, k);
+        if (i + 1 < nx) g.edge(id3(i, j, k, nx, ny), id3(i + 1, j, k, nx, ny), c);
+        if (j + 1 < ny) g.edge(id3(i, j, k, nx, ny), id3(i, j + 1, k, nx, ny), c);
+        if (k + 1 < nz) g.edge(id3(i, j, k, nx, ny), id3(i, j, k + 1, nx, ny), c);
+      }
+  g.shift(1e-4);
+  return g.build();
+}
+
+CsrMatrix stencil3d_27pt(index_t nx, index_t ny, index_t nz) {
+  // Classic 27-point stencil: 26 on the diagonal, -1 on every neighbour.
+  // Assembled directly (not via edges) exactly as in HPCG; SPD and
+  // diagonally dominant (strictly at the boundary).
+  std::vector<Triplet> ts;
+  const index_t n = nx * ny * nz;
+  ts.reserve(static_cast<std::size_t>(n) * 27);
+  for (index_t k = 0; k < nz; ++k)
+    for (index_t j = 0; j < ny; ++j)
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t row = id3(i, j, k, nx, ny);
+        for (index_t dk = -1; dk <= 1; ++dk)
+          for (index_t dj = -1; dj <= 1; ++dj)
+            for (index_t di = -1; di <= 1; ++di) {
+              const index_t ii = i + di, jj = j + dj, kk = k + dk;
+              if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz) continue;
+              const index_t col = id3(ii, jj, kk, nx, ny);
+              ts.push_back({row, col, row == col ? 26.0 : -1.0});
+            }
+      }
+  return CsrMatrix::from_triplets(n, std::move(ts));
+}
+
+CsrMatrix jump2d_5pt(index_t nx, index_t ny, double c_lo, double c_hi) {
+  GraphAssembler g(nx * ny);
+  const index_t tile = std::max<index_t>(nx / 8, 1);
+  auto coef = [&](index_t i, index_t j) {
+    return (((i / tile) + (j / tile)) % 2 == 0) ? c_lo : c_hi;
+  };
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      const double c = coef(i, j);
+      if (i + 1 < nx) g.edge(id2(i, j, nx), id2(i + 1, j, nx), c);
+      if (j + 1 < ny) g.edge(id2(i, j, nx), id2(i, j + 1, nx), c);
+    }
+  g.shift(1e-4);
+  return g.build();
+}
+
+CsrMatrix parabolic2d(index_t nx, index_t ny, double tau) {
+  GraphAssembler g(nx * ny);
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      if (i + 1 < nx) g.edge(id2(i, j, nx), id2(i + 1, j, nx), tau);
+      if (j + 1 < ny) g.edge(id2(i, j, nx), id2(i, j + 1, nx), tau);
+    }
+  g.shift(1.0);  // the identity (mass) term
+  return g.build();
+}
+
+CsrMatrix mass3d_27pt(index_t nx, index_t ny, index_t nz, double dominance) {
+  GraphAssembler g(nx * ny * nz);
+  for (index_t k = 0; k < nz; ++k)
+    for (index_t j = 0; j < ny; ++j)
+      for (index_t i = 0; i < nx; ++i)
+        for (index_t dk = 0; dk <= 1; ++dk)
+          for (index_t dj = -1; dj <= 1; ++dj)
+            for (index_t di = -1; di <= 1; ++di) {
+              if (dk == 0 && (dj < 0 || (dj == 0 && di <= 0))) continue;  // each edge once
+              const index_t ii = i + di, jj = j + dj, kk = k + dk;
+              if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz) continue;
+              g.edge(id3(i, j, k, nx, ny), id3(ii, jj, kk, nx, ny), 1.0);
+            }
+  g.shift(26.0 * dominance);  // large mass shift => tiny condition number
+  return g.build();
+}
+
+CsrMatrix thermal2d_5pt(index_t nx, index_t ny, double sigma, std::uint64_t seed) {
+  GraphAssembler g(nx * ny);
+  Rng rng(seed);
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      if (i + 1 < nx)
+        g.edge(id2(i, j, nx), id2(i + 1, j, nx), std::exp(sigma * rng.normal()));
+      if (j + 1 < ny)
+        g.edge(id2(i, j, nx), id2(i, j + 1, nx), std::exp(sigma * rng.normal()));
+    }
+  g.shift(1e-5);
+  return g.build();
+}
+
+CsrMatrix thermomech3d_7pt(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
+  GraphAssembler g(nx * ny * nz);
+  Rng rng(seed);
+  for (index_t k = 0; k < nz; ++k)
+    for (index_t j = 0; j < ny; ++j)
+      for (index_t i = 0; i < nx; ++i) {
+        const double jitter = std::exp(0.3 * rng.normal());
+        if (i + 1 < nx) g.edge(id3(i, j, k, nx, ny), id3(i + 1, j, k, nx, ny), jitter);
+        if (j + 1 < ny) g.edge(id3(i, j, k, nx, ny), id3(i, j + 1, k, nx, ny), 2.0 * jitter);
+        if (k + 1 < nz) g.edge(id3(i, j, k, nx, ny), id3(i, j, k + 1, nx, ny), 0.5 * jitter);
+      }
+  g.shift(1e-3);
+  return g.build();
+}
+
+const std::vector<std::string>& testbed_names() {
+  static const std::vector<std::string> names = {
+      "af_shell8", "cfd2",   "consph",   "Dubcova3",    "ecology2",
+      "parabolic_fem", "qa8fm", "thermal2", "thermomech"};
+  return names;
+}
+
+TestbedProblem make_testbed(const std::string& name, double scale) {
+  if (name == "af_shell8") {
+    const index_t e = scaled(160, scale);
+    return wrap(name, shell2d_9pt(e, e, 100.0));
+  }
+  if (name == "cfd2") {
+    const index_t e = scaled(34, scale);
+    return wrap(name, varcoef3d_7pt(e, e, e, 0xCFD2));
+  }
+  if (name == "consph") {
+    const index_t e = scaled(30, scale);
+    return wrap(name, stencil3d_27pt(e, e, e));
+  }
+  if (name == "Dubcova3") {
+    const index_t e = scaled(150, scale);
+    return wrap(name, jump2d_5pt(e, e, 1.0, 1000.0));
+  }
+  if (name == "ecology2") {
+    const index_t e = scaled(180, scale);
+    return wrap(name, laplace2d_5pt(e, e));
+  }
+  if (name == "parabolic_fem") {
+    const index_t e = scaled(180, scale);
+    return wrap(name, parabolic2d(e, e, 10.0));
+  }
+  if (name == "qa8fm") {
+    const index_t e = scaled(32, scale);
+    return wrap(name, mass3d_27pt(e, e, e, 0.5));
+  }
+  if (name == "thermal2") {
+    const index_t e = scaled(170, scale);
+    return wrap(name, thermal2d_5pt(e, e, 1.0, 0x7EE7));
+  }
+  if (name == "thermomech") {
+    const index_t e = scaled(32, scale);
+    return wrap(name, thermomech3d_7pt(e, e, e, 0x7233));
+  }
+  throw std::invalid_argument("make_testbed: unknown matrix name " + name);
+}
+
+}  // namespace feir

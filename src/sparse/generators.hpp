@@ -1,0 +1,70 @@
+// Synthetic SPD matrix generators.
+//
+// The paper evaluates on 9 SPD matrices from the University of Florida
+// collection.  Those files are not available offline, so each matrix is
+// replaced by a generator from the same problem family with the same
+// qualitative behaviour (conditioning spread: fast vs slow CG convergence),
+// scaled to this machine.  The substitution table lives in DESIGN.md §3.
+//
+// All variable-coefficient operators are assembled from edge conductances
+// (A = sum_e c_e (e_i - e_j)(e_i - e_j)^T + eps I with c_e > 0), which makes
+// them SPD by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+/// Plain 5-point Laplacian on an nx-by-ny grid (stand-in family: ecology2).
+CsrMatrix laplace2d_5pt(index_t nx, index_t ny);
+
+/// 9-point 2D operator with anisotropy ratio `aniso` (af_shell8-like:
+/// ill-conditioned structural problem, slow converger).
+CsrMatrix shell2d_9pt(index_t nx, index_t ny, double aniso);
+
+/// 3D 7-point operator with smooth variable coefficients (cfd2-like).
+CsrMatrix varcoef3d_7pt(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// 3D 27-point stencil, the HPCG/consph-like FEM discretization; also the
+/// Fig. 5 scaling workload.
+CsrMatrix stencil3d_27pt(index_t nx, index_t ny, index_t nz);
+
+/// 2D 5-point operator with checkerboard jump coefficients `c_lo`/`c_hi`
+/// (Dubcova3-like).
+CsrMatrix jump2d_5pt(index_t nx, index_t ny, double c_lo, double c_hi);
+
+/// Parabolic operator I + tau * L (parabolic_fem-like; well conditioned).
+CsrMatrix parabolic2d(index_t nx, index_t ny, double tau);
+
+/// Mass-matrix-like heavily diagonally dominant operator (qa8fm-like;
+/// converges in a handful of iterations).
+CsrMatrix mass3d_27pt(index_t nx, index_t ny, index_t nz, double dominance);
+
+/// 2D heat operator with log-normal random conductivities (thermal2-like).
+CsrMatrix thermal2d_5pt(index_t nx, index_t ny, double sigma, std::uint64_t seed);
+
+/// 3D 7-point operator with mild anisotropy and random perturbation
+/// (thermomech_TK-like).
+CsrMatrix thermomech3d_7pt(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// A named testbed problem: the matrix plus a right-hand side with a known
+/// solution (b = A * x_true, x_true smooth), so convergence is verifiable.
+struct TestbedProblem {
+  std::string name;
+  CsrMatrix A;
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+/// Names of the 9 evaluation matrices, in the paper's Figure 4 order.
+const std::vector<std::string>& testbed_names();
+
+/// Builds the stand-in problem for a paper matrix name.  `scale` in (0, 1]
+/// shrinks the grid edge for faster test/bench runs; 1.0 is the calibrated
+/// default size.  Throws std::invalid_argument for unknown names.
+TestbedProblem make_testbed(const std::string& name, double scale = 1.0);
+
+}  // namespace feir

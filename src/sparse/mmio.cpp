@@ -1,0 +1,68 @@
+#include "sparse/mmio.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace feir {
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mmio: empty stream");
+
+  std::istringstream banner(line);
+  std::string mm, object, format, field, symmetry;
+  banner >> mm >> object >> format >> field >> symmetry;
+  if (mm != "%%MatrixMarket" || object != "matrix" || format != "coordinate")
+    throw std::runtime_error("mmio: unsupported banner: " + line);
+  if (field != "real" && field != "integer")
+    throw std::runtime_error("mmio: unsupported field: " + field);
+  const bool symmetric = (symmetry == "symmetric");
+  if (!symmetric && symmetry != "general")
+    throw std::runtime_error("mmio: unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  if (rows <= 0 || rows != cols) throw std::runtime_error("mmio: need a square matrix");
+
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (index_t k = 0; k < nnz; ++k) {
+    index_t i = 0, j = 0;
+    double v = 0.0;
+    if (!(in >> i >> j >> v)) throw std::runtime_error("mmio: truncated entry list");
+    ts.push_back({i - 1, j - 1, v});
+    if (symmetric && i != j) ts.push_back({j - 1, i - 1, v});
+  }
+  return CsrMatrix::from_triplets(rows, std::move(ts));
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mmio: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& A) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << A.n << ' ' << A.n << ' ' << A.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < A.n; ++i)
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      out << (i + 1) << ' ' << (A.col_idx[static_cast<std::size_t>(k)] + 1) << ' '
+          << A.vals[static_cast<std::size_t>(k)] << '\n';
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& A) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mmio: cannot open " + path + " for writing");
+  write_matrix_market(f, A);
+}
+
+}  // namespace feir

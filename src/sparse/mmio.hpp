@@ -1,0 +1,27 @@
+// Matrix Market coordinate-format I/O, so users can feed the solvers the
+// actual University of Florida matrices when they have them on disk (the
+// paper's evaluation set) instead of the bundled synthetic stand-ins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+/// Reads a MatrixMarket "matrix coordinate real {general|symmetric}" stream.
+/// Symmetric files are expanded to full storage.  Throws std::runtime_error
+/// on malformed input or non-square matrices.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Reads from a file path; throws std::runtime_error when unreadable.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes full (general) coordinate format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& A);
+
+/// Writes to a file path; throws std::runtime_error when unwritable.
+void write_matrix_market_file(const std::string& path, const CsrMatrix& A);
+
+}  // namespace feir

@@ -1,0 +1,38 @@
+#include "sparse/vecops.hpp"
+
+#include <cmath>
+
+namespace feir {
+
+double dot(const double* x, const double* y, index_t n) { return dot_range(x, y, 0, n); }
+
+double dot_range(const double* x, const double* y, index_t r0, index_t r1) {
+  double s = 0.0;
+  for (index_t i = r0; i < r1; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(const double* x, index_t n) { return std::sqrt(dot(x, x, n)); }
+
+void axpy_range(double a, const double* x, double* y, index_t r0, index_t r1) {
+  for (index_t i = r0; i < r1; ++i) y[i] += a * x[i];
+}
+
+void lincomb_range(double a, const double* x, double b, const double* w, double* y,
+                   index_t r0, index_t r1) {
+  for (index_t i = r0; i < r1; ++i) y[i] = a * x[i] + b * w[i];
+}
+
+void copy_range(const double* x, double* y, index_t r0, index_t r1) {
+  for (index_t i = r0; i < r1; ++i) y[i] = x[i];
+}
+
+void fill_range(double v, double* x, index_t r0, index_t r1) {
+  for (index_t i = r0; i < r1; ++i) x[i] = v;
+}
+
+void scale_range(double a, double* x, index_t r0, index_t r1) {
+  for (index_t i = r0; i < r1; ++i) x[i] *= a;
+}
+
+}  // namespace feir

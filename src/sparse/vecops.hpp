@@ -1,0 +1,35 @@
+// BLAS-1 style vector kernels with explicit row ranges.  Range variants are
+// what the strip-mined solver tasks call; full-vector forms are convenience
+// wrappers used by the reference solvers.
+#pragma once
+
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// <x, y> over [0, n).
+double dot(const double* x, const double* y, index_t n);
+
+/// <x, y> over rows [r0, r1): one task's partial contribution to a reduction.
+double dot_range(const double* x, const double* y, index_t r0, index_t r1);
+
+/// ||x||_2 over [0, n).
+double norm2(const double* x, index_t n);
+
+/// y += a * x over rows [r0, r1).
+void axpy_range(double a, const double* x, double* y, index_t r0, index_t r1);
+
+/// y = a * x + b * w over rows [r0, r1) (the paper's u = alpha v + beta w).
+void lincomb_range(double a, const double* x, double b, const double* w, double* y,
+                   index_t r0, index_t r1);
+
+/// y = x over rows [r0, r1).
+void copy_range(const double* x, double* y, index_t r0, index_t r1);
+
+/// x = v for all rows [r0, r1).
+void fill_range(double v, double* x, index_t r0, index_t r1);
+
+/// x *= a over rows [r0, r1).
+void scale_range(double a, double* x, index_t r0, index_t r1);
+
+}  // namespace feir

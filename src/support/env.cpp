@@ -1,0 +1,28 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace feir {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? x : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? x : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr) ? fallback : std::string(v);
+}
+
+}  // namespace feir

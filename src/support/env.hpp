@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers for the benchmark harnesses
+// (e.g. FEIR_BENCH_REPS, FEIR_BENCH_SCALE) so experiment sizes can be tuned
+// without recompiling.
+#pragma once
+
+#include <string>
+
+namespace feir {
+
+/// Returns the integer value of `name`, or `fallback` when unset/unparsable.
+long env_long(const char* name, long fallback);
+
+/// Returns the double value of `name`, or `fallback` when unset/unparsable.
+double env_double(const char* name, double fallback);
+
+/// Returns the string value of `name`, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace feir

@@ -1,0 +1,47 @@
+// Block decomposition of vectors for page-granularity recovery (§2.3).
+//
+// The paper's recovery relations are decomposed in blocks whose size is
+// dictated by the failure granularity: one 4 KiB memory page = 512 doubles.
+// Tests use smaller blocks to exercise multi-block logic cheaply, so the
+// block size is a parameter with the page size as the production default.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+using index_t = std::int64_t;
+
+/// Partition of [0, n) into contiguous blocks of `block_rows` rows (the last
+/// block may be short).  Blocks are the unit of loss, of recovery, and of
+/// task strip-mining bookkeeping.
+struct BlockLayout {
+  index_t n = 0;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+
+  BlockLayout() = default;
+  BlockLayout(index_t n_, index_t block_rows_) : n(n_), block_rows(block_rows_) {}
+
+  /// Number of blocks covering [0, n).
+  index_t num_blocks() const { return (n + block_rows - 1) / block_rows; }
+
+  /// First row of block b.
+  index_t begin(index_t b) const { return b * block_rows; }
+
+  /// One past the last row of block b (clamped to n).
+  index_t end(index_t b) const {
+    const index_t e = (b + 1) * block_rows;
+    return e < n ? e : n;
+  }
+
+  /// Number of rows in block b.
+  index_t rows(index_t b) const { return end(b) - begin(b); }
+
+  /// Block containing row i.
+  index_t block_of(index_t i) const { return i / block_rows; }
+};
+
+}  // namespace feir

@@ -1,0 +1,63 @@
+#include "support/page_buffer.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace feir {
+
+PageBuffer::PageBuffer(std::size_t n) : n_(n) {
+  pages_ = (n * sizeof(double) + kPageBytes - 1) / kPageBytes;
+  if (pages_ == 0) pages_ = 1;
+  void* p = ::mmap(nullptr, pages_ * kPageBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  data_ = static_cast<double*>(p);
+}
+
+PageBuffer::~PageBuffer() { release(); }
+
+PageBuffer::PageBuffer(PageBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      n_(std::exchange(other.n_, 0)),
+      pages_(std::exchange(other.pages_, 0)) {}
+
+PageBuffer& PageBuffer::operator=(PageBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = std::exchange(other.data_, nullptr);
+    n_ = std::exchange(other.n_, 0);
+    pages_ = std::exchange(other.pages_, 0);
+  }
+  return *this;
+}
+
+void PageBuffer::release() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, pages_ * kPageBytes);
+    data_ = nullptr;
+  }
+}
+
+void* PageBuffer::page_address(std::size_t page_idx) const {
+  return reinterpret_cast<char*>(data_) + page_idx * kPageBytes;
+}
+
+void PageBuffer::remap_page(std::size_t page_idx) {
+  if (page_idx >= pages_) throw std::out_of_range("remap_page");
+  void* addr = page_address(page_idx);
+  void* p = ::mmap(addr, kPageBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  if (p == MAP_FAILED) throw std::runtime_error("remap_page: mmap failed");
+}
+
+void PageBuffer::poison_page(std::size_t page_idx) {
+  if (page_idx >= pages_) throw std::out_of_range("poison_page");
+  if (::mprotect(page_address(page_idx), kPageBytes, PROT_NONE) != 0)
+    throw std::runtime_error("poison_page: mprotect failed");
+}
+
+}  // namespace feir

@@ -1,0 +1,65 @@
+// Page-aligned, mmap-backed storage for solver vectors.
+//
+// The paper's error model operates at memory-page granularity (4 KiB = 512
+// doubles): a DUE destroys exactly one page, the OS signal handler replaces
+// it with a fresh page mapped at the same virtual address.  To support that
+// re-mapping (and the mprotect-based injection the paper itself uses, §5.3),
+// vector storage must be page-aligned and allocated via mmap so that a single
+// page can be dropped and re-mapped independently of its neighbours.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace feir {
+
+/// Size in bytes of the failure granularity (one OS memory page).
+inline constexpr std::size_t kPageBytes = 4096;
+/// Number of IEEE double-precision values that fit in one page (512).
+inline constexpr std::size_t kDoublesPerPage = kPageBytes / sizeof(double);
+
+/// RAII owner of an mmap'd, page-aligned region of doubles.
+///
+/// Supports dropping a single page and re-mapping a zeroed page at the same
+/// virtual address — the exact recovery primitive the paper relies on after a
+/// DUE is reported (SIGBUS → mmap at same VA).
+class PageBuffer {
+ public:
+  PageBuffer() = default;
+  /// Allocates room for `n` doubles, rounded up to whole pages, zero-filled.
+  explicit PageBuffer(std::size_t n);
+  ~PageBuffer();
+
+  PageBuffer(PageBuffer&& other) noexcept;
+  PageBuffer& operator=(PageBuffer&& other) noexcept;
+  PageBuffer(const PageBuffer&) = delete;
+  PageBuffer& operator=(const PageBuffer&) = delete;
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  /// Number of doubles requested at construction.
+  std::size_t size() const { return n_; }
+  /// Number of whole pages backing the buffer.
+  std::size_t pages() const { return pages_; }
+
+  /// Replaces page `page_idx` (0-based within this buffer) with a fresh
+  /// zero-filled page mapped at the same virtual address.  This is what the
+  /// OS/page-retirement path does after a DUE: the old content is lost.
+  void remap_page(std::size_t page_idx);
+
+  /// Revokes all access to page `page_idx` (mprotect PROT_NONE).  Used by the
+  /// fault injector to emulate a poisoned page: the next touch faults.
+  void poison_page(std::size_t page_idx);
+
+  /// Byte address of the start of page `page_idx`.
+  void* page_address(std::size_t page_idx) const;
+
+ private:
+  void release() noexcept;
+
+  double* data_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t pages_ = 0;
+};
+
+}  // namespace feir

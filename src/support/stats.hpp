@@ -1,0 +1,24 @@
+// Small statistics helpers used by the evaluation harness.  The paper reports
+// harmonic means of overheads (Tables 2, Fig. 4) with standard deviations as
+// error bars.
+#pragma once
+
+#include <vector>
+
+namespace feir {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Harmonic mean; the paper's aggregate for per-matrix overheads.  Values
+/// must be positive; non-positive entries are clamped to `floor` so a single
+/// zero-overhead run does not collapse the aggregate.
+double harmonic_mean(const std::vector<double>& xs, double floor = 1e-9);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Median (averages the two central elements for even sizes).
+double median(std::vector<double> xs);
+
+}  // namespace feir

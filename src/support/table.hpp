@@ -1,0 +1,33 @@
+// Minimal fixed-width ASCII table printer; the bench binaries use it to emit
+// rows in the same shape as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace feir {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string str() const;
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 2);
+
+  /// Formats a value as a percentage string, e.g. 5.37 -> "5.37%".
+  static std::string pct(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace feir

@@ -1,0 +1,35 @@
+// Wall-clock timing utilities used by the solvers (per-iteration residual
+// histories are timestamped) and by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace feir {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Current monotonic time in seconds (arbitrary epoch); for cross-thread
+/// timestamp comparison, e.g. injector vs solver iteration log.
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace feir

@@ -1,0 +1,105 @@
+// Unit tests for the checkpoint/rollback engine and the optimal-period model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/checkpoint.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+TEST(Checkpointer, InMemorySaveRestoreRoundTrip) {
+  const index_t n = 1000;
+  Checkpointer ck(n, {});
+  EXPECT_FALSE(ck.has_checkpoint());
+
+  Rng rng(1);
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : d) v = rng.uniform(-1, 1);
+  ck.save(37, x.data(), d.data());
+  EXPECT_TRUE(ck.has_checkpoint());
+
+  std::vector<double> x2(x.size(), 0.0), d2(d.size(), 0.0);
+  index_t iter = 0;
+  ASSERT_TRUE(ck.restore(x2.data(), d2.data(), &iter));
+  EXPECT_EQ(iter, 37);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x2[i], x[i]);
+    EXPECT_EQ(d2[i], d[i]);
+  }
+}
+
+TEST(Checkpointer, RestoreWithoutSaveFails) {
+  Checkpointer ck(10, {});
+  std::vector<double> x(10), d(10);
+  index_t iter;
+  EXPECT_FALSE(ck.restore(x.data(), d.data(), &iter));
+}
+
+TEST(Checkpointer, DiskBackedRoundTrip) {
+  const index_t n = 2048;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_test.bin";
+  {
+    Checkpointer ck(n, opts);
+    Rng rng(2);
+    std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+    for (auto& v : x) v = rng.uniform(-5, 5);
+    for (auto& v : d) v = rng.uniform(-5, 5);
+    const double cost = ck.save(11, x.data(), d.data());
+    EXPECT_GT(cost, 0.0);
+    EXPECT_EQ(ck.last_cost(), cost);
+
+    std::vector<double> x2(x.size()), d2(d.size());
+    index_t iter = 0;
+    ASSERT_TRUE(ck.restore(x2.data(), d2.data(), &iter));
+    EXPECT_EQ(iter, 11);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x2[i], x[i]);
+      EXPECT_EQ(d2[i], d[i]);
+    }
+  }
+  // Destructor removes the file.
+  std::FILE* f = std::fopen("/tmp/feir_ckpt_test.bin", "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(Checkpointer, LaterSaveWins) {
+  Checkpointer ck(4, {});
+  std::vector<double> a{1, 1, 1, 1}, d{0, 0, 0, 0};
+  ck.save(1, a.data(), d.data());
+  std::vector<double> b{2, 2, 2, 2};
+  ck.save(2, b.data(), d.data());
+  std::vector<double> out(4), dout(4);
+  index_t iter;
+  ASSERT_TRUE(ck.restore(out.data(), dout.data(), &iter));
+  EXPECT_EQ(iter, 2);
+  EXPECT_EQ(out[0], 2.0);
+}
+
+TEST(OptimalPeriod, MatchesYoungFormula) {
+  // T_opt = sqrt(2 C M); with C = 0.5 s, M = 100 s -> 10 s; at 0.01 s/iter
+  // that is 1000 iterations.
+  EXPECT_EQ(optimal_checkpoint_period(0.5, 100.0, 0.01), 1000);
+}
+
+TEST(OptimalPeriod, ScalesWithMtbe) {
+  const index_t fast_err = optimal_checkpoint_period(0.1, 1.0, 0.001);
+  const index_t slow_err = optimal_checkpoint_period(0.1, 100.0, 0.001);
+  EXPECT_LT(fast_err, slow_err);
+  // sqrt scaling: factor 10 in MTBE -> factor ~sqrt(10) in period.
+  EXPECT_NEAR(static_cast<double>(slow_err) / static_cast<double>(fast_err), std::sqrt(100.0),
+              1.0);
+}
+
+TEST(OptimalPeriod, ClampsToSaneRange) {
+  EXPECT_GE(optimal_checkpoint_period(1e-12, 1e-12, 1.0), 1);
+  EXPECT_LE(optimal_checkpoint_period(1e6, 1e9, 1e-9), 10000);
+  EXPECT_EQ(optimal_checkpoint_period(0.1, 10.0, 0.0), 1000);  // degenerate iter time
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,142 @@
+// Unit tests for the dense kernels: Cholesky, pivoted LU, Householder
+// least squares — the direct solvers behind every inverted block relation.
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+DenseMatrix random_spd(index_t n, Rng& rng) {
+  // B^T B + n I is SPD.
+  DenseMatrix B(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) B(i, j) = rng.uniform(-1, 1);
+  DenseMatrix A(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (index_t k = 0; k < n; ++k) s += B(k, i) * B(k, j);
+      A(i, j) = s + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  return A;
+}
+
+class DenseSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(DenseSizes, CholeskySolvesSpdSystem) {
+  const index_t n = GetParam();
+  Rng rng(n);
+  DenseMatrix A = random_spd(n, rng);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  dense_matvec(A, x_true.data(), b.data());
+
+  DenseMatrix L = A;
+  ASSERT_TRUE(cholesky_factor(L));
+  cholesky_solve(L, b.data());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST_P(DenseSizes, LuSolvesGeneralSystem) {
+  const index_t n = GetParam();
+  Rng rng(n + 100);
+  DenseMatrix A(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      A(i, j) = rng.uniform(-1, 1) + (i == j ? 3.0 : 0.0);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  dense_matvec(A, x_true.data(), b.data());
+
+  std::vector<index_t> piv;
+  DenseMatrix LU = A;
+  ASSERT_TRUE(lu_factor(LU, piv));
+  lu_solve(LU, piv, b.data());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseSizes, ::testing::Values(1, 2, 5, 16, 64, 128));
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(0, 1) = A(1, 0) = 2.0;
+  A(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_factor(A));
+}
+
+TEST(Lu, RejectsSingular) {
+  DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(0, 1) = 2.0;
+  A(1, 0) = 2.0;
+  A(1, 1) = 4.0;
+  std::vector<index_t> piv;
+  EXPECT_FALSE(lu_factor(A, piv));
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  DenseMatrix A(2, 2);
+  A(0, 0) = 0.0;
+  A(0, 1) = 1.0;
+  A(1, 0) = 1.0;
+  A(1, 1) = 0.0;
+  std::vector<index_t> piv;
+  ASSERT_TRUE(lu_factor(A, piv));
+  double b[2] = {3.0, 5.0};  // swap system: x = (5, 3)
+  lu_solve(A, piv, b);
+  EXPECT_NEAR(b[0], 5.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactForSquareSystem) {
+  Rng rng(17);
+  const index_t n = 20;
+  DenseMatrix A(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) A(i, j) = rng.uniform(-1, 1) + (i == j ? 4.0 : 0.0);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  dense_matvec(A, x_true.data(), b.data());
+  const std::vector<double> x = least_squares(A, b);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST(LeastSquares, MinimizesResidualForTallSystem) {
+  Rng rng(23);
+  const index_t m = 30, n = 8;
+  DenseMatrix A(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) A(i, j) = rng.uniform(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  const std::vector<double> x = least_squares(A, b);
+
+  // Normal-equation optimality: A^T (A x - b) ~ 0.
+  std::vector<double> r(static_cast<std::size_t>(m));
+  dense_matvec(A, x.data(), r.data());
+  for (index_t i = 0; i < m; ++i) r[static_cast<std::size_t>(i)] -= b[static_cast<std::size_t>(i)];
+  for (index_t j = 0; j < n; ++j) {
+    double g = 0.0;
+    for (index_t i = 0; i < m; ++i) g += A(i, j) * r[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(g, 0.0, 1e-10);
+  }
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  DenseMatrix A(2, 3);
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(least_squares(A, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,148 @@
+// Tests of the scaling substrate: row partitions, halo plans, the machine
+// model, and the qualitative Fig.-5 properties of the simulator.
+#include <gtest/gtest.h>
+
+#include "distsim/machine.hpp"
+#include "distsim/partition.hpp"
+#include "distsim/simulator.hpp"
+#include "sparse/generators.hpp"
+
+namespace feir {
+namespace {
+
+TEST(RowPartition, CoversAllRowsContiguously) {
+  RowPartition part(1000, 7);
+  index_t covered = 0;
+  for (index_t r = 0; r < 7; ++r) {
+    EXPECT_EQ(part.begin(r), covered);
+    covered = part.end(r);
+    EXPECT_GT(part.rows(r), 0);
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST(RowPartition, OwnerInvertsBegin) {
+  RowPartition part(977, 13);
+  for (index_t i = 0; i < 977; i += 11) {
+    const index_t r = part.owner(i);
+    EXPECT_GE(i, part.begin(r));
+    EXPECT_LT(i, part.end(r));
+  }
+}
+
+TEST(HaloPlan, StencilNeighboursOnly) {
+  // A 3D stencil slab-partitioned: each rank talks to at most 2 peers.
+  CsrMatrix A = stencil3d_27pt(12, 12, 12);
+  RowPartition part(A.n, 6);
+  HaloPlan plan = build_halo_plan(A, part);
+  EXPECT_LE(plan.max_degree, 2);
+  EXPECT_GT(plan.max_recv, 0);
+  // Interior ranks receive roughly one ghost plane per side.
+  for (index_t r = 1; r + 1 < 6; ++r) {
+    index_t total = 0;
+    for (const auto& [peer, cnt] : plan.recv_counts[static_cast<std::size_t>(r)]) {
+      EXPECT_TRUE(peer == r - 1 || peer == r + 1);
+      total += cnt;
+    }
+    EXPECT_NEAR(static_cast<double>(total), 2.0 * 12 * 12, 0.5 * 12 * 12);
+  }
+}
+
+TEST(MachineModel, AllreduceGrowsLogarithmically) {
+  MachineModel m;
+  EXPECT_EQ(m.allreduce(1), 0.0);
+  const double a8 = m.allreduce(8);
+  const double a64 = m.allreduce(64);
+  EXPECT_GT(a64, a8);
+  EXPECT_NEAR(a64 / a8, 2.0, 0.01);  // log2(64)/log2(8) = 2
+}
+
+TEST(MachineModel, CalibrationProducesSaneRates) {
+  MachineModel m = calibrate_machine(1 << 15);
+  EXPECT_GT(m.spmv_nnz_per_s, 1e7);
+  EXPECT_LT(m.spmv_nnz_per_s, 1e12);
+  EXPECT_GT(m.stream_doubles_per_s, 1e7);
+}
+
+TEST(IterationCost, GeneralAndAnalyticAgreeOnStencil) {
+  MachineModel m;  // defaults, no calibration needed for a ratio check
+  const index_t edge = 16;
+  CsrMatrix A = stencil3d_27pt(edge, edge, edge);
+  RowPartition part(A.n, 4);
+  HaloPlan plan = build_halo_plan(A, part);
+  const IterationCost general = iteration_cost(m, A, part, plan);
+  const IterationCost analytic = stencil_iteration_cost(m, edge, 4);
+  EXPECT_NEAR(general.spmv_s / analytic.spmv_s, 1.0, 0.35);
+  EXPECT_NEAR(general.halo_s / analytic.halo_s, 1.0, 0.6);
+}
+
+TEST(Simulator, IdealScalesUntilCommunicationDominates) {
+  MachineModel m;
+  const double t8 = stencil_iteration_cost(m, 256, 8).total();
+  const double t64 = stencil_iteration_cost(m, 256, 64).total();
+  EXPECT_GT(t8 / t64, 4.0);  // decent strong scaling at low rank counts
+  // At absurd rank counts the reduce/halo floor shows: efficiency drops.
+  const double t4096 = stencil_iteration_cost(m, 256, 4096).total();
+  EXPECT_LT((t8 / t4096) / 512.0, 1.0);
+}
+
+TEST(Simulator, FeirErrorCostIsSmall) {
+  MachineModel m;
+  ScalingConfig cfg;
+  cfg.grid_edge = 256;
+  cfg.ranks = 16;
+  cfg.method = Method::Feir;
+  cfg.errors_per_run = 1;
+  const ScalingResult r = simulate_run(cfg, m, 100, 100);
+  EXPECT_LT(r.seconds, r.ideal_seconds * 1.25);
+  EXPECT_GT(r.seconds, r.ideal_seconds);  // but not free
+}
+
+TEST(Simulator, CheckpointCostsMoreThanFeir) {
+  MachineModel m;
+  ScalingConfig cfg;
+  cfg.grid_edge = 256;
+  cfg.ranks = 16;
+  cfg.errors_per_run = 1;
+  cfg.method = Method::Feir;
+  const double feir_s = simulate_run(cfg, m, 100, 100).seconds;
+  cfg.method = Method::Checkpoint;
+  const double ckpt_s = simulate_run(cfg, m, 100, 100).seconds;
+  EXPECT_GT(ckpt_s, feir_s);
+}
+
+TEST(Simulator, AfeirBeatsFeirAtLowErrorRate) {
+  MachineModel m;
+  ScalingConfig cfg;
+  cfg.grid_edge = 512;
+  cfg.ranks = 64;
+  cfg.errors_per_run = 1;
+  cfg.method = Method::Afeir;
+  const double afeir_s = simulate_run(cfg, m, 60, 60).seconds;
+  cfg.method = Method::Feir;
+  const double feir_s = simulate_run(cfg, m, 60, 60).seconds;
+  EXPECT_LT(afeir_s, feir_s);
+}
+
+TEST(ScalingStudy, ProducesPaperShapedSpeedups) {
+  // Small measurement problem to keep the test quick.
+  ScalingStudy study(/*grid_edge=*/256, /*measure_edge=*/16, /*tol=*/1e-8);
+
+  const double ideal8 = study.speedup(Method::Ideal, 8, 8, 0);
+  EXPECT_NEAR(ideal8, 1.0, 1e-9);
+
+  const double ideal64 = study.speedup(Method::Ideal, 64, 8, 0);
+  EXPECT_GT(ideal64, 3.0);  // scaling happens
+  EXPECT_LT(ideal64, 8.5);  // but not superlinear
+
+  // With one error, FEIR/AFEIR stay close to ideal; checkpoint falls behind.
+  const double feir = study.speedup(Method::Feir, 64, 8, 1);
+  const double afeir = study.speedup(Method::Afeir, 64, 8, 1);
+  const double ckpt = study.speedup(Method::Checkpoint, 64, 8, 1);
+  EXPECT_GT(feir, 0.5 * ideal64);
+  EXPECT_GT(afeir, 0.5 * ideal64);
+  EXPECT_LT(ckpt, feir);
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,182 @@
+// End-to-end scenarios crossing all modules: the Fig.-3 single-error story
+// (per-method convergence behaviour), error rates normalized to convergence
+// time (the Fig.-4 protocol at test scale), and the full stack running under
+// the mprotect backend with a live background injector.
+#include <gtest/gtest.h>
+
+#include "core/resilient_cg.hpp"
+#include "fault/injector.hpp"
+#include "fault/sighandler.hpp"
+#include "precond/blockjacobi.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+struct RunResult {
+  ResilientCgResult res;
+  std::vector<double> x;
+};
+
+RunResult run_with_error_in_x(const TestbedProblem& p, Method method, index_t when,
+                              const BlockJacobi* M = nullptr) {
+  ResilientCgOptions opts;
+  opts.method = method;
+  opts.block_rows = 64;
+  opts.threads = 4;
+  opts.tol = 1e-10;
+  opts.max_iter = 50000;
+  opts.record_history = true;
+  if (method == Method::Checkpoint) opts.ckpt.period_iters = 25;
+
+  ResilientCg* cg_ptr = nullptr;
+  ErrorInjector* inj_ptr = nullptr;
+  bool fired = false;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (!fired && rec.iter == when) {
+      ProtectedRegion* r = cg_ptr->domain().find("x");
+      r->lose_block(r->layout.num_blocks() / 2);
+      (void)inj_ptr;
+      fired = true;
+    }
+  };
+  RunResult out;
+  ResilientCg cg(p.A, p.b.data(), opts, M);
+  ErrorInjector inj(cg.domain(), {1.0, 1, InjectMode::Soft});
+  cg_ptr = &cg;
+  inj_ptr = &inj;
+  out.x.assign(static_cast<std::size_t>(p.A.n), 0.0);
+  out.res = cg.solve(out.x.data());
+  return out;
+}
+
+// The Fig. 3 scenario: same single error in x, five methods, compare their
+// convergence behaviour qualitatively.
+TEST(Fig3Story, MethodsBehaveAsThePaperDescribes) {
+  TestbedProblem p = make_testbed("thermal2", 0.15);
+
+  RunResult ideal = run_with_error_in_x(p, Method::Ideal, 1 << 30);  // never fires
+  ASSERT_TRUE(ideal.res.converged);
+  const index_t T = ideal.res.iterations;
+  const index_t mid = T / 2;
+
+  RunResult feir = run_with_error_in_x(p, Method::Feir, mid);
+  RunResult afeir = run_with_error_in_x(p, Method::Afeir, mid);
+  RunResult lossy = run_with_error_in_x(p, Method::Lossy, mid);
+  RunResult ckpt = run_with_error_in_x(p, Method::Checkpoint, mid);
+
+  ASSERT_TRUE(feir.res.converged);
+  ASSERT_TRUE(afeir.res.converged);
+  ASSERT_TRUE(lossy.res.converged);
+  ASSERT_TRUE(ckpt.res.converged);
+
+  // FEIR/AFEIR: exact recovery, same convergence rate as the ideal CG.
+  EXPECT_LE(feir.res.iterations, T + T / 10 + 5);
+  EXPECT_LE(afeir.res.iterations, T + T / 10 + 5);
+  // Lossy restarts: loses the Krylov history built before the error.
+  EXPECT_GT(lossy.res.iterations, feir.res.iterations);
+  // Checkpoint rolls back and re-executes.
+  EXPECT_GT(ckpt.res.iterations, T);
+  // Every method ends at the right answer.
+  for (const RunResult* r : {&feir, &afeir, &lossy, &ckpt})
+    EXPECT_LE(residual_norm(p.A, r->x.data(), p.b.data()) / norm2(p.b.data(), p.A.n),
+              1e-10);
+}
+
+// The Fig. 4 protocol at test scale: error frequency normalized to the ideal
+// convergence time; FEIR's slowdown must stay modest while errors flow.
+TEST(Fig4Protocol, FeirUnderNormalizedRateFive) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+
+  ResilientCgOptions opts;
+  opts.method = Method::Ideal;
+  opts.block_rows = 64;
+  opts.threads = 4;
+  opts.tol = 1e-9;
+  ResilientCg ideal(p.A, p.b.data(), opts);
+  std::vector<double> x0(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto ri = ideal.solve(x0.data());
+  ASSERT_TRUE(ri.converged);
+  const double tau = std::max(ri.seconds, 1e-3);
+
+  opts.method = Method::Feir;
+  opts.max_iter = 100000;
+  ResilientCg feir(p.A, p.b.data(), opts);
+  ErrorInjector inj(feir.domain(), {tau / 5.0, 31337, InjectMode::Soft});
+  inj.start();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto rf = feir.solve(x.data());
+  inj.stop();
+  ASSERT_TRUE(rf.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+  // Iteration inflation stays moderate under n=5 (paper: percent-level).
+  EXPECT_LE(rf.iterations, ri.iterations * 2 + 20);
+}
+
+// Full stack under the real fault path: mprotect poisoning from a live
+// injector thread, SIGSEGV handler re-mapping pages, PCG with block-Jacobi
+// whose factors double as the recovery solver.
+TEST(FullStack, PcgUnderLiveMprotectInjector) {
+  install_due_handler();
+  TestbedProblem p = make_testbed("ecology2", 0.4);  // several pages
+  ASSERT_GE(p.A.n, 6 * static_cast<index_t>(kDoublesPerPage));
+  BlockJacobi M(p.A, BlockLayout(p.A.n, static_cast<index_t>(kDoublesPerPage)));
+
+  ResilientCgOptions opts;
+  opts.method = Method::Afeir;
+  opts.block_rows = static_cast<index_t>(kDoublesPerPage);
+  opts.threads = 4;
+  opts.tol = 1e-9;
+  opts.max_iter = 100000;
+
+  ResilientCg cg(p.A, p.b.data(), opts, &M);
+  activate_due_domain(&cg.domain());
+  ErrorInjector inj(cg.domain(), {0.05, 7, InjectMode::Mprotect});
+  inj.start();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  inj.stop();
+  activate_due_domain(nullptr);
+
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+// Overheads without errors: recovery tasks that find nothing to do must be
+// nearly free (the Table 2 property, asserted loosely at test scale).
+TEST(Table2Property, FaultFreeOverheadOrdering) {
+  TestbedProblem p = make_testbed("consph", 0.25);
+
+  auto time_method = [&](Method m) {
+    ResilientCgOptions opts;
+    opts.method = m;
+    opts.block_rows = 64;
+    opts.threads = 4;
+    opts.tol = 1e-9;
+    if (m == Method::Checkpoint) opts.ckpt.period_iters = 10;
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      ResilientCg cg(p.A, p.b.data(), opts);
+      std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+      const auto r = cg.solve(x.data());
+      EXPECT_TRUE(r.converged);
+      best = std::min(best, r.seconds);
+    }
+    return best;
+  };
+
+  const double ideal = time_method(Method::Ideal);
+  const double trivial = time_method(Method::Trivial);
+  const double ckpt = time_method(Method::Checkpoint);
+  // Trivial adds no machinery: within noise of ideal.
+  EXPECT_LT(trivial, ideal * 1.5 + 0.05);
+  // Aggressive checkpointing costs real time (loose: timing noise at this
+  // tiny scale can mask part of the cost).
+  EXPECT_GT(ckpt, ideal * 0.5);
+}
+
+}  // namespace
+}  // namespace feir

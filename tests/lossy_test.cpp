@@ -1,0 +1,126 @@
+// Numerical verification of the paper's Theorems 1-3 on the Lossy (block-
+// Jacobi) interpolation, plus unit tests of the interpolation itself.
+//
+//   Theorem 1: ||e_I|| <= c_i ||e|| (contraction, general A).
+//   Theorem 2: ||e_I||_A <= ||e||_A for SPD A (Agullo et al.).
+//   Theorem 3: the interpolation MINIMIZES ||e_I||_A over all possible
+//              values of the lost block (this paper's new result).
+#include <gtest/gtest.h>
+
+#include "core/lossy.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+struct LossyCase {
+  TestbedProblem p;
+  BlockLayout layout;
+  std::vector<double> x;  // a mid-convergence iterate
+};
+
+LossyCase make_case(const std::string& name, index_t block_rows, index_t cg_iters) {
+  LossyCase c{make_testbed(name, 0.12), {}, {}};
+  c.layout = BlockLayout(c.p.A.n, block_rows);
+  c.x.assign(static_cast<std::size_t>(c.p.A.n), 0.0);
+  SolveOptions opts;
+  opts.max_iter = cg_iters;  // stop early: realistic partially-converged x
+  cg_solve(c.p.A, c.p.b.data(), c.x.data(), opts);
+  return c;
+}
+
+class LossySuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LossySuite, Theorem2ANormNeverIncreases) {
+  LossyCase c = make_case(GetParam(), 64, 10);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  const double before = a_norm_error(c.p.A, c.x.data(), c.p.x_true.data());
+  for (index_t blk = 0; blk < std::min<index_t>(c.layout.num_blocks(), 6); ++blk) {
+    std::vector<double> xI = c.x;
+    ASSERT_TRUE(lossy_interpolate(solver, {blk}, c.p.b.data(), xI.data()));
+    const double after = a_norm_error(c.p.A, xI.data(), c.p.x_true.data());
+    EXPECT_LE(after, before * (1.0 + 1e-10)) << "block " << blk;
+  }
+}
+
+TEST_P(LossySuite, Theorem3InterpolationIsANormOptimal) {
+  LossyCase c = make_case(GetParam(), 64, 10);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  Rng rng(99);
+  const index_t blk = c.layout.num_blocks() / 2;
+
+  std::vector<double> xI = c.x;
+  ASSERT_TRUE(lossy_interpolate(solver, {blk}, c.p.b.data(), xI.data()));
+  const double optimal = a_norm_error(c.p.A, xI.data(), c.p.x_true.data());
+
+  // Any perturbation of the interpolated block must be no better.
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> alt = xI;
+    for (index_t i = c.layout.begin(blk); i < c.layout.end(blk); ++i)
+      alt[static_cast<std::size_t>(i)] += rng.uniform(-0.5, 0.5);
+    const double worse = a_norm_error(c.p.A, alt.data(), c.p.x_true.data());
+    EXPECT_GE(worse, optimal * (1.0 - 1e-10));
+  }
+  // The true lost values themselves are also no better (they carry error in
+  // the A-norm sense that interpolation projects away).
+  EXPECT_GE(a_norm_error(c.p.A, c.x.data(), c.p.x_true.data()), optimal * (1.0 - 1e-10));
+}
+
+TEST_P(LossySuite, FixedPointPropertyAtTheSolution) {
+  // If x = x*, interpolation must return x* (e = 0 stays 0).
+  LossyCase c = make_case(GetParam(), 64, 0);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  std::vector<double> x = c.p.x_true;
+  ASSERT_TRUE(lossy_interpolate(solver, {1}, c.p.b.data(), x.data()));
+  for (index_t i = 0; i < c.p.A.n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], c.p.x_true[static_cast<std::size_t>(i)], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, LossySuite,
+                         ::testing::Values("ecology2", "thermal2", "Dubcova3", "qa8fm"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Lossy, ResidualVanishesOnInterpolatedBlock) {
+  // By construction g_I = 0 on the interpolated block (proof of Theorem 3).
+  LossyCase c = make_case("consph", 16, 5);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  const index_t blk = c.layout.num_blocks() / 2;
+  std::vector<double> xI = c.x;
+  ASSERT_TRUE(lossy_interpolate(solver, {blk}, c.p.b.data(), xI.data()));
+  std::vector<double> Ax(static_cast<std::size_t>(c.p.A.n));
+  spmv(c.p.A, xI.data(), Ax.data());
+  for (index_t i = c.layout.begin(blk); i < c.layout.end(blk); ++i)
+    EXPECT_NEAR(c.p.b[static_cast<std::size_t>(i)] - Ax[static_cast<std::size_t>(i)], 0.0,
+                1e-7);
+}
+
+TEST(Lossy, MultiBlockInterpolationAlsoContracts) {
+  LossyCase c = make_case("thermal2", 64, 8);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  const double before = a_norm_error(c.p.A, c.x.data(), c.p.x_true.data());
+  std::vector<double> xI = c.x;
+  ASSERT_TRUE(lossy_interpolate(solver, {0, 2, 5}, c.p.b.data(), xI.data()));
+  EXPECT_LE(a_norm_error(c.p.A, xI.data(), c.p.x_true.data()), before * (1.0 + 1e-10));
+}
+
+TEST(Lossy, EmptyBlockListIsNoOp) {
+  LossyCase c = make_case("qa8fm", 64, 3);
+  DiagBlockSolver solver(c.p.A, c.layout);
+  std::vector<double> x = c.x;
+  EXPECT_TRUE(lossy_interpolate(solver, {}, c.p.b.data(), x.data()));
+  for (index_t i = 0; i < c.p.A.n; ++i)
+    EXPECT_EQ(x[static_cast<std::size_t>(i)], c.x[static_cast<std::size_t>(i)]);
+}
+
+TEST(ANorm, MatchesDirectComputation) {
+  CsrMatrix A = laplace2d_5pt(4, 4);
+  std::vector<double> v(16, 0.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(a_norm(A, v.data()), std::sqrt(A.at(0, 0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,392 @@
+// Integration-level tests of the task-based resilient CG: exactness of
+// FEIR/AFEIR recovery (same convergence as the ideal run), behaviour of the
+// Trivial / Checkpoint / Lossy baselines under injected page losses, the
+// preconditioned variant, multiple simultaneous errors, and the real
+// mprotect injection backend.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/resilient_cg.hpp"
+#include "fault/injector.hpp"
+#include "fault/sighandler.hpp"
+#include "precond/blockjacobi.hpp"
+#include "precond/fixedpoint.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+struct Harness {
+  TestbedProblem p;
+  ResilientCgOptions opts;
+  std::unique_ptr<BlockJacobi> M;
+
+  explicit Harness(const std::string& name, Method m, index_t block_rows = 64,
+                   bool pcg = false, double scale = 0.12) {
+    p = make_testbed(name, scale);
+    opts.method = m;
+    opts.block_rows = block_rows;
+    opts.threads = 4;
+    opts.tol = 1e-10;
+    opts.max_iter = 30000;
+    if (pcg) M = std::make_unique<BlockJacobi>(p.A, BlockLayout(p.A.n, block_rows));
+  }
+
+  /// Runs a solve injecting into `region` at the given iterations (block
+  /// chosen deterministically from the seed).
+  ResilientCgResult run(const std::vector<std::pair<index_t, std::string>>& injections,
+                        std::uint64_t seed = 1) {
+    ResilientCg* cg_ptr = nullptr;
+    ErrorInjector* inj_ptr = nullptr;
+    Rng rng(seed);
+    std::size_t next = 0;
+    auto plan = injections;
+    ResilientCgOptions o = opts;
+    o.on_iteration = [&](const IterRecord& rec) {
+      while (next < plan.size() && rec.iter == plan[next].first) {
+        ProtectedRegion* r = cg_ptr->domain().find(plan[next].second);
+        ASSERT_NE(r, nullptr) << plan[next].second;
+        const index_t blk = static_cast<index_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(r->layout.num_blocks())));
+        inj_ptr->inject_now(*r, blk);
+        ++next;
+      }
+    };
+    ResilientCg cg(p.A, p.b.data(), o, M.get());
+    ErrorInjector inj(cg.domain(), {1.0, seed, InjectMode::Soft});
+    cg_ptr = &cg;
+    inj_ptr = &inj;
+    x.assign(static_cast<std::size_t>(p.A.n), 0.0);
+    return cg.solve(x.data());
+  }
+
+  double solution_error() const {
+    double e = 0.0, n2 = 0.0;
+    for (index_t i = 0; i < p.A.n; ++i) {
+      const double d = x[static_cast<std::size_t>(i)] - p.x_true[static_cast<std::size_t>(i)];
+      e += d * d;
+      n2 += p.x_true[static_cast<std::size_t>(i)] * p.x_true[static_cast<std::size_t>(i)];
+    }
+    return std::sqrt(e / n2);
+  }
+
+  std::vector<double> x;
+};
+
+TEST(ResilientCg, IdealMatchesReferenceCg) {
+  Harness h("ecology2", Method::Ideal);
+  const auto r = h.run({});
+  ASSERT_TRUE(r.converged);
+
+  std::vector<double> xr(static_cast<std::size_t>(h.p.A.n), 0.0);
+  SolveOptions so;
+  so.tol = 1e-10;
+  const SolveResult ref = cg_solve(h.p.A, h.p.b.data(), xr.data(), so);
+  ASSERT_TRUE(ref.converged);
+  // Same algorithm, same arithmetic order up to task partials: iteration
+  // counts must agree within a whisker.
+  EXPECT_NEAR(static_cast<double>(r.iterations), static_cast<double>(ref.iterations),
+              0.05 * static_cast<double>(ref.iterations) + 3.0);
+  EXPECT_LT(h.solution_error(), 1e-6);
+}
+
+// --- Exactness of forward recovery (the paper's headline claim) ----------
+
+using ExactParam = std::tuple<std::string, Method, std::string>;  // vector, method, matrix
+
+class ExactRecovery : public ::testing::TestWithParam<ExactParam> {};
+
+TEST_P(ExactRecovery, SingleErrorDoesNotChangeConvergence) {
+  const auto& [vec, method, matrix] = GetParam();
+  Harness ideal(matrix, Method::Ideal);
+  const auto ri = ideal.run({});
+  ASSERT_TRUE(ri.converged);
+
+  Harness h(matrix, method);
+  const index_t mid = ri.iterations / 2;
+  const auto r = h.run({{mid, vec}});
+  ASSERT_TRUE(r.converged) << vec;
+  EXPECT_LT(h.solution_error(), 1e-6) << vec;
+  // Exact interpolation: convergence rate is preserved (small slack for the
+  // AFEIR contribution window and partial-sum reassociation).
+  EXPECT_LE(r.iterations,
+            ri.iterations + std::max<index_t>(ri.iterations / 10, 6))
+      << vec << " took " << r.iterations << " vs ideal " << ri.iterations;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VectorsMethods, ExactRecovery,
+    ::testing::Combine(::testing::Values("x", "g", "d0", "d1", "q"),
+                       ::testing::Values(Method::Feir, Method::Afeir),
+                       ::testing::Values("ecology2", "thermal2")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + std::string("_") +
+             method_name(std::get<1>(info.param)) + "_" + std::get<2>(info.param);
+    });
+
+TEST(ResilientCg, FeirHandlesRepeatedErrors) {
+  Harness ideal("ecology2", Method::Ideal);
+  const auto ri = ideal.run({});
+  Harness h("ecology2", Method::Feir);
+  std::vector<std::pair<index_t, std::string>> plan;
+  const char* vecs[] = {"x", "g", "q", "d0", "d1"};
+  for (index_t k = 2; k + 4 < ri.iterations && plan.size() < 10; k += ri.iterations / 10)
+    plan.emplace_back(k, vecs[plan.size() % 5]);
+  const auto r = h.run(plan, 99);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_LE(r.iterations, ri.iterations + ri.iterations / 5 + 10);
+  const auto& s = r.stats;
+  const std::uint64_t recoveries = s.lincomb_recoveries + s.diag_solves +
+                                   s.spmv_recomputes + s.residual_recomputes +
+                                   s.x_recoveries + s.redo_updates;
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(ResilientCg, SimultaneousErrorsInOneVectorAreCoupledSolved) {
+  Harness ideal("thermal2", Method::Ideal);
+  const auto ri = ideal.run({});
+  Harness h("thermal2", Method::Feir);
+  const index_t mid = ri.iterations / 2;
+  // Two x pages in the same iteration: §2.4 case 1.
+  const auto r = h.run({{mid, "x"}, {mid, "x"}});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_LE(r.iterations, ri.iterations + ri.iterations / 10 + 6);
+}
+
+// --- Preconditioned variant ------------------------------------------------
+
+using PcgParam = std::tuple<std::string, Method>;
+
+class PcgRecovery : public ::testing::TestWithParam<PcgParam> {};
+
+TEST_P(PcgRecovery, PcgWithErrorsStillConverges) {
+  const auto& [vec, method] = GetParam();
+  Harness ideal("Dubcova3", Method::Ideal, 64, /*pcg=*/true);
+  const auto ri = ideal.run({});
+  ASSERT_TRUE(ri.converged);
+
+  Harness h("Dubcova3", method, 64, /*pcg=*/true);
+  const auto r = h.run({{ri.iterations / 3, vec}, {2 * ri.iterations / 3, vec}});
+  ASSERT_TRUE(r.converged) << vec;
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_LE(r.iterations, ri.iterations + ri.iterations / 5 + 8) << vec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PcgRecovery,
+    ::testing::Combine(::testing::Values("x", "g", "z", "q", "d0"),
+                       ::testing::Values(Method::Feir, Method::Afeir)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + std::string("_") + method_name(std::get<1>(info.param));
+    });
+
+// --- Baselines ---------------------------------------------------------------
+
+TEST(ResilientCg, CheckpointRollsBackAndConverges) {
+  Harness ideal("ecology2", Method::Ideal);
+  const auto ri = ideal.run({});
+  Harness h("ecology2", Method::Checkpoint);
+  h.opts.ckpt.period_iters = std::max<index_t>(ri.iterations / 5, 2);
+  const auto r = h.run({{ri.iterations / 2, "x"}});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_GE(r.stats.rollbacks, 1u);
+  EXPECT_GE(r.stats.checkpoints, 2u);
+  // Rollback re-executes iterations: strictly more work than ideal.
+  EXPECT_GT(r.iterations, ri.iterations);
+}
+
+TEST(ResilientCg, LossyRestartsAndConverges) {
+  Harness ideal("ecology2", Method::Ideal);
+  const auto ri = ideal.run({});
+  Harness h("ecology2", Method::Lossy);
+  const auto r = h.run({{ri.iterations / 2, "x"}});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_GE(r.stats.restarts, 1u);
+  EXPECT_GE(r.stats.x_recoveries, 1u);  // the block-Jacobi interpolation ran
+  // Restart harms superlinear convergence: more iterations than ideal.
+  EXPECT_GT(r.iterations, ri.iterations);
+}
+
+TEST(ResilientCg, TrivialDegradesButTerminates) {
+  Harness ideal("qa8fm", Method::Ideal, 64, false, 0.2);
+  const auto ri = ideal.run({});
+  Harness h("qa8fm", Method::Trivial, 64, false, 0.2);
+  const auto r = h.run({{ri.iterations / 2, "x"}});
+  ASSERT_TRUE(r.converged);  // the safety-net restart guarantees termination
+  EXPECT_LT(h.solution_error(), 1e-5);
+  EXPECT_GE(r.stats.zeroed_blocks, 1u);
+  EXPECT_GE(r.iterations, ri.iterations);
+}
+
+TEST(ResilientCg, MethodOrderingUnderSameInjection) {
+  // The paper's qualitative result: FEIR work <= Lossy work <= trivial-ish.
+  Harness ideal("ecology2", Method::Ideal);
+  const auto ri = ideal.run({});
+  const index_t mid = ri.iterations / 2;
+
+  Harness hf("ecology2", Method::Feir);
+  const auto rf = hf.run({{mid, "x"}}, 5);
+  Harness hl("ecology2", Method::Lossy);
+  const auto rl = hl.run({{mid, "x"}}, 5);
+  ASSERT_TRUE(rf.converged);
+  ASSERT_TRUE(rl.converged);
+  EXPECT_LE(rf.iterations, rl.iterations);
+}
+
+// --- Background exponential injection ---------------------------------------
+
+TEST(ResilientCg, SurvivesBackgroundInjectorFeir) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+  ResilientCgOptions opts;
+  opts.method = Method::Feir;
+  opts.block_rows = 64;
+  opts.threads = 4;
+  opts.tol = 1e-9;
+  opts.max_iter = 50000;
+  ResilientCg cg(p.A, p.b.data(), opts);
+  ErrorInjector inj(cg.domain(), {0.02, 42, InjectMode::Soft});  // MTBE 20 ms
+  inj.start();
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  inj.stop();
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+// --- Real mprotect-backed page loss -----------------------------------------
+
+TEST(ResilientCg, FeirSurvivesRealPageDrop) {
+  install_due_handler();
+  // Page-granularity blocks require a problem spanning several pages.
+  TestbedProblem p = make_testbed("ecology2", 0.35);  // n ~ 2900+ rows
+  ASSERT_GE(p.A.n, 4 * static_cast<index_t>(kDoublesPerPage));
+
+  ResilientCgOptions opts;
+  opts.method = Method::Feir;
+  opts.block_rows = static_cast<index_t>(kDoublesPerPage);
+  opts.threads = 4;
+  opts.tol = 1e-9;
+  opts.max_iter = 60000;
+
+  ResilientCg* cg_ptr = nullptr;
+  ErrorInjector* inj_ptr = nullptr;
+  Rng rng(17);
+  std::vector<index_t> when{20, 60};
+  std::size_t next = 0;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    while (next < when.size() && rec.iter == when[next]) {
+      auto [region, block] = cg_ptr->domain().pick_uniform(rng);
+      if (region != nullptr) inj_ptr->inject_now(*region, block);
+      ++next;
+    }
+  };
+
+  ResilientCg cg(p.A, p.b.data(), opts);
+  activate_due_domain(&cg.domain());
+  ErrorInjector inj(cg.domain(), {1.0, 3, InjectMode::Mprotect});
+  cg_ptr = &cg;
+  inj_ptr = &inj;
+
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  activate_due_domain(nullptr);
+
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+// --- Bookkeeping ---------------------------------------------------------------
+
+TEST(ResilientCg, HistoryAndStateTimesPopulated) {
+  Harness h("qa8fm", Method::Feir, 64, false, 0.2);
+  h.opts.record_history = true;
+  const auto r = h.run({});
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(static_cast<index_t>(r.history.size()), r.iterations);
+  EXPECT_GT(r.tasks, 0u);
+  EXPECT_GT(r.states.useful, 0.0);
+}
+
+TEST(ResilientCg, FixedPointPreconditionerWithErrors) {
+  // §3.2 end-to-end with a non-block-diagonal M: only the partial
+  // application property is needed; z recovery sweeps the k-hop closure.
+  TestbedProblem p = make_testbed("thermal2", 0.12);
+  BlockLayout layout(p.A.n, 64);
+  JacobiSweeps M(p.A, layout, 3);
+
+  ResilientCgOptions opts;
+  opts.method = Method::Feir;
+  opts.block_rows = 64;
+  opts.threads = 4;
+  opts.tol = 1e-9;
+  opts.max_iter = 30000;
+
+  ResilientCg* cg_ptr = nullptr;
+  int injected = 0;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (injected < 2 && rec.iter > 0 && rec.iter % 40 == 0) {
+      ProtectedRegion* r = cg_ptr->domain().find(injected == 0 ? "z" : "g");
+      r->lose_block(r->layout.num_blocks() / 2);
+      ++injected;
+    }
+  };
+  ResilientCg cg(p.A, p.b.data(), opts, &M);
+  cg_ptr = &cg;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.stats.precond_reapplies + r.stats.residual_recomputes, 1u);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+TEST(ResilientCg, MaxSecondsBudgetIsHonoured) {
+  TestbedProblem p = make_testbed("af_shell8", 0.25);  // slow converger
+  ResilientCgOptions opts;
+  opts.method = Method::Ideal;
+  opts.block_rows = 64;
+  opts.threads = 2;
+  opts.tol = 1e-14;       // unreachable quickly
+  opts.max_seconds = 0.05;
+  ResilientCg cg(p.A, p.b.data(), opts);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = cg.solve(x.data());
+  EXPECT_FALSE(r.converged);
+  EXPECT_LT(r.seconds, 2.0);  // stopped promptly (generous slack for CI noise)
+}
+
+TEST(ResilientCg, LazyRecoveryTasksStillRecoverExactly) {
+  // The paper's future-work mode: r tasks instantiated only when an error
+  // was signalled.  Same exactness, near-zero fault-free machinery.
+  Harness ideal("ecology2", Method::Ideal);
+  const auto ri = ideal.run({});
+  Harness h("ecology2", Method::Afeir);
+  h.opts.lazy_recovery_tasks = true;
+  const auto r = h.run({{ri.iterations / 2, "x"}, {2 * ri.iterations / 3, "q"}});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(h.solution_error(), 1e-6);
+  EXPECT_LE(r.iterations, ri.iterations + ri.iterations / 10 + 8);
+  // Far fewer tasks than the always-on variant would submit.
+  Harness h2("ecology2", Method::Afeir);
+  const auto r2 = h2.run({{ri.iterations / 2, "x"}});
+  EXPECT_LT(r.tasks, r2.tasks);
+}
+
+TEST(ResilientCg, WarmStartConvergesImmediately) {
+  Harness h("qa8fm", Method::Feir, 64, false, 0.2);
+  ResilientCg cg(h.p.A, h.p.b.data(), h.opts);
+  std::vector<double> x = h.p.x_true;
+  const auto r = cg.solve(x.data());
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+}  // namespace
+}  // namespace feir

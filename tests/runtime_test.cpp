@@ -1,0 +1,221 @@
+// Unit tests for the OmpSs-like dataflow runtime: dependency semantics
+// (RAW, WAR, WAW), priority ordering, concurrency, nested submission, and
+// the state-time accounting used for Table 3.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace feir {
+namespace {
+
+TEST(Runtime, RunsAllTasks) {
+  Runtime rt(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    rt.submit([&] { count.fetch_add(1); }, {});
+  rt.taskwait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(rt.tasks_executed(), 100u);
+}
+
+TEST(Runtime, RawDependencyOrders) {
+  Runtime rt(4);
+  int data = 0;
+  std::atomic<int> observed{-1};
+  rt.submit([&] { data = 42; }, {out(&data)});
+  rt.submit([&] { observed = data; }, {in(&data)});
+  rt.taskwait();
+  EXPECT_EQ(observed.load(), 42);
+}
+
+TEST(Runtime, ChainOfInOutIsSequential) {
+  Runtime rt(8);
+  long long x = 0;
+  for (int i = 0; i < 50; ++i)
+    rt.submit([&x] { x = x * 2 + 1; }, {inout(&x)});
+  rt.taskwait();
+  // x = 2^50 - 1 only if strictly sequential.
+  EXPECT_EQ(x, (1LL << 50) - 1);
+}
+
+TEST(Runtime, WarDependencyProtectsReaders) {
+  Runtime rt(8);
+  int data = 7;
+  std::vector<int> reads(20, 0);
+  std::atomic<int> done_reads{0};
+  rt.submit([&] { data = 7; }, {out(&data)});
+  for (int i = 0; i < 20; ++i)
+    rt.submit(
+        [&, i] {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          reads[static_cast<std::size_t>(i)] = data;
+          done_reads.fetch_add(1);
+        },
+        {in(&data)});
+  rt.submit([&] { data = 99; }, {out(&data)});  // WAR: must wait for readers
+  rt.taskwait();
+  for (int v : reads) EXPECT_EQ(v, 7);
+  EXPECT_EQ(data, 99);
+}
+
+TEST(Runtime, IndependentKeysRunConcurrently) {
+  Runtime rt(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  int a = 0, b = 0, c = 0, d = 0;
+  auto body = [&] {
+    const int now = concurrent.fetch_add(1) + 1;
+    int p = peak.load();
+    while (now > p && !peak.compare_exchange_weak(p, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    concurrent.fetch_sub(1);
+  };
+  rt.submit(body, {out(&a)});
+  rt.submit(body, {out(&b)});
+  rt.submit(body, {out(&c)});
+  rt.submit(body, {out(&d)});
+  rt.taskwait();
+  EXPECT_GE(peak.load(), 2);  // at least some overlap on 4 workers
+}
+
+TEST(Runtime, PriorityOrdersReadyTasksOnSingleWorker) {
+  Runtime rt(1);
+  std::vector<int> order;
+  int gate = 0;
+  // Block the single worker so that all later tasks are ready simultaneously.
+  rt.submit([&] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); },
+            {out(&gate)});
+  for (int i = 0; i < 3; ++i)
+    rt.submit([&order, i] { order.push_back(i); }, {in(&gate)}, /*priority=*/0);
+  rt.submit([&order] { order.push_back(99); }, {in(&gate)}, /*priority=*/5);
+  rt.taskwait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 99);  // highest priority first
+  EXPECT_EQ(order[1], 0);   // then FIFO among equals
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(Runtime, NestedSubmissionWorks) {
+  Runtime rt(4);
+  std::atomic<int> total{0};
+  rt.submit(
+      [&] {
+        for (int i = 0; i < 10; ++i)
+          rt.submit([&] { total.fetch_add(1); }, {});
+      },
+      {});
+  rt.taskwait();
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(Runtime, TaskwaitIsReusable) {
+  Runtime rt(2);
+  int x = 0;
+  rt.submit([&] { x = 1; }, {out(&x)});
+  rt.taskwait();
+  EXPECT_EQ(x, 1);
+  rt.submit([&] { x = 2; }, {inout(&x)});
+  rt.taskwait();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(Runtime, PerBlockKeysAllowPartialOverlap) {
+  Runtime rt(4);
+  std::vector<int> v(4, 0);
+  // writers on (v, i) then readers on (v, i): only same-index pairs order.
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 4; ++i)
+    rt.submit([&v, i] { v[static_cast<std::size_t>(i)] = i + 1; }, {out(v.data(), i)});
+  for (int i = 0; i < 4; ++i)
+    rt.submit([&, i] { sum.fetch_add(v[static_cast<std::size_t>(i)]); },
+              {in(v.data(), i)});
+  rt.taskwait();
+  EXPECT_EQ(sum.load(), 1 + 2 + 3 + 4);
+}
+
+TEST(Runtime, StateTimesAccumulateAndReset) {
+  Runtime rt(2);
+  for (int i = 0; i < 8; ++i)
+    rt.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }, {});
+  rt.taskwait();
+  auto s = rt.state_times();
+  EXPECT_GT(s.useful, 0.02);  // 8 x 5ms over 2 workers >= 20ms useful
+  rt.reset_state_times();
+  auto z = rt.state_times();
+  EXPECT_EQ(z.useful, 0.0);
+}
+
+TEST(Runtime, ManyTasksStress) {
+  Runtime rt(8);
+  std::atomic<long> sum{0};
+  int key = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 10 == 0)
+      rt.submit([&] { sum.fetch_add(1); }, {inout(&key)});
+    else
+      rt.submit([&] { sum.fetch_add(1); }, {});
+  }
+  rt.taskwait();
+  EXPECT_EQ(sum.load(), 5000);
+}
+
+TEST(Tracer, RecordsTaskExecutions) {
+  TaskTracer tracer;
+  tracer.reset();
+  Runtime rt(2);
+  rt.set_tracer(&tracer);
+  for (int i = 0; i < 6; ++i)
+    rt.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }, {},
+              0, i % 2 == 0 ? "q" : "r1");
+  rt.taskwait();
+  const auto evs = tracer.events();
+  ASSERT_EQ(evs.size(), 6u);
+  for (const auto& e : evs) {
+    EXPECT_LT(e.begin_s, e.end_s);
+    EXPECT_LT(e.worker, 2u);
+    EXPECT_TRUE(e.name == "q" || e.name == "r1");
+  }
+  // Sorted by begin time.
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_LE(evs[i - 1].begin_s, evs[i].begin_s);
+}
+
+TEST(Tracer, RenderPaintsLanesAndUppercasesRecovery) {
+  TaskTracer tracer;
+  tracer.reset();
+  tracer.record(0, "q", 0.0, 0.5);
+  tracer.record(1, "r1", 0.25, 0.75);
+  const std::string pic = tracer.render(40);
+  EXPECT_NE(pic.find("T0 |"), std::string::npos);
+  EXPECT_NE(pic.find('q'), std::string::npos);
+  EXPECT_NE(pic.find('R'), std::string::npos);  // recovery upper-cased
+  EXPECT_EQ(pic.find("r1"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceRendersGracefully) {
+  TaskTracer tracer;
+  tracer.reset();
+  EXPECT_EQ(tracer.render(), "(no events)\n");
+}
+
+TEST(Runtime, DiamondDependency) {
+  Runtime rt(4);
+  int a = 0, b1 = 0, b2 = 0;
+  std::atomic<int> final_val{0};
+  rt.submit([&] { a = 1; }, {out(&a)});
+  rt.submit([&] { b1 = a + 1; }, {in(&a), out(&b1)});
+  rt.submit([&] { b2 = a + 2; }, {in(&a), out(&b2)});
+  rt.submit([&] { final_val = b1 + b2; }, {in(&b1), in(&b2)});
+  rt.taskwait();
+  EXPECT_EQ(final_val.load(), 5);
+}
+
+}  // namespace
+}  // namespace feir

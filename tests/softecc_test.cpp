@@ -1,0 +1,124 @@
+// Tests of the software-ECC (erasure-code) tier for constant data (§2.1):
+// exact single-erasure repair, multi-group repair, strength limits, scrub.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fault/softecc.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+std::vector<double> random_data(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-100, 100);
+  return v;
+}
+
+void destroy_page(std::vector<double>& v, index_t page) {
+  const index_t p0 = page * static_cast<index_t>(kDoublesPerPage);
+  const index_t p1 = std::min<index_t>(p0 + static_cast<index_t>(kDoublesPerPage),
+                                       static_cast<index_t>(v.size()));
+  for (index_t i = p0; i < p1; ++i) v[static_cast<std::size_t>(i)] = -12345.0;
+}
+
+class EccSuite : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(EccSuite, RepairsAnySingleLostPageExactly) {
+  const auto [n, group] = GetParam();
+  const std::vector<double> original = random_data(n, n + group);
+  EccShield shield(original.data(), n, group);
+
+  for (index_t page = 0; page < shield.pages(); ++page) {
+    std::vector<double> v = original;
+    destroy_page(v, page);
+    ASSERT_TRUE(shield.repair(v.data(), page));
+    for (std::size_t i = 0; i < v.size(); ++i)
+      ASSERT_EQ(v[i], original[i]) << "page " << page << " idx " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndGroups, EccSuite,
+    ::testing::Combine(
+        // whole pages, short tail, sub-page buffer
+        ::testing::Values<index_t>(4 * 512, 4 * 512 + 100, 300, 16 * 512 + 7),
+        ::testing::Values<index_t>(1, 2, 4, 8)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_g" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EccShield, RepairsLossesInDifferentGroups) {
+  const index_t n = 16 * 512;
+  const std::vector<double> original = random_data(n, 7);
+  EccShield shield(original.data(), n, 4);  // groups of 4 pages
+
+  std::vector<double> v = original;
+  destroy_page(v, 1);
+  destroy_page(v, 6);
+  destroy_page(v, 13);
+  ASSERT_TRUE(shield.correctable({1, 6, 13}));
+  ASSERT_TRUE(shield.repair_many(v.data(), {1, 6, 13}));
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], original[i]);
+}
+
+TEST(EccShield, RefusesTwoLossesInOneGroup) {
+  const index_t n = 8 * 512;
+  const std::vector<double> original = random_data(n, 9);
+  EccShield shield(original.data(), n, 4);
+  EXPECT_FALSE(shield.correctable({0, 2}));  // same group of 4
+  std::vector<double> v = original;
+  EXPECT_FALSE(shield.repair_many(v.data(), {0, 2}));
+  EXPECT_TRUE(shield.correctable({0, 5}));
+}
+
+TEST(EccShield, RejectsOutOfRangePages) {
+  const std::vector<double> original = random_data(1024, 3);
+  EccShield shield(original.data(), 1024, 2);
+  std::vector<double> v = original;
+  EXPECT_FALSE(shield.repair(v.data(), 99));
+  EXPECT_FALSE(shield.correctable({99}));
+}
+
+TEST(EccShield, SpaceOverheadIsOneOverK) {
+  const index_t n = 32 * 512;
+  const std::vector<double> data = random_data(n, 4);
+  EccShield s8(data.data(), n, 8);
+  EccShield s2(data.data(), n, 2);
+  EXPECT_EQ(s8.parity_pages(), 4);
+  EXPECT_EQ(s2.parity_pages(), 16);
+}
+
+TEST(EccShield, ScrubFlagsSilentCorruption) {
+  const index_t n = 8 * 512;
+  std::vector<double> v = random_data(n, 5);
+  EccShield shield(v.data(), n, 4);
+  EXPECT_TRUE(shield.scrub(v.data()).empty());
+  v[3 * 512 + 17] += 1.0;  // silent flip in group 0
+  const auto bad = shield.scrub(v.data());
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 0);
+}
+
+TEST(EccShield, PreservesNegativeZeroAndDenormals) {
+  // Bitwise XOR must round-trip exotic values exactly.
+  std::vector<double> v(2 * 512, 0.0);
+  v[0] = -0.0;
+  v[1] = 5e-324;      // smallest denormal
+  v[2] = -5e-324;
+  v[512] = 1.0;
+  const std::vector<double> original = v;
+  EccShield shield(v.data(), static_cast<index_t>(v.size()), 2);
+  destroy_page(v, 0);
+  ASSERT_TRUE(shield.repair(v.data(), 0));
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), original.begin(), [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  }));
+}
+
+}  // namespace
+}  // namespace feir

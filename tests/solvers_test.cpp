@@ -1,0 +1,226 @@
+// Convergence tests for the reference solvers (CG, BiCGStab, GMRES) across
+// the testbed matrices and with/without preconditioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "precond/blockjacobi.hpp"
+#include "solvers/bicgstab.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/gmres.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+
+namespace feir {
+namespace {
+
+double solution_error(const TestbedProblem& p, const std::vector<double>& x) {
+  double e = 0.0;
+  for (index_t i = 0; i < p.A.n; ++i) {
+    const double d = x[static_cast<std::size_t>(i)] - p.x_true[static_cast<std::size_t>(i)];
+    e += d * d;
+  }
+  return std::sqrt(e) / norm2(p.x_true.data(), p.A.n);
+}
+
+class CgOnTestbed : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CgOnTestbed, ConvergesToTrueSolution) {
+  TestbedProblem p = make_testbed(GetParam(), 0.2);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = cg_solve(p.A, p.b.data(), x.data(), opts);
+  EXPECT_TRUE(r.converged) << GetParam();
+  EXPECT_LE(r.final_relres, 1e-10);
+  EXPECT_LT(solution_error(p, x), 1e-5) << GetParam();
+}
+
+TEST_P(CgOnTestbed, BlockJacobiPcgNeedsNoMoreIterations) {
+  TestbedProblem p = make_testbed(GetParam(), 0.15);
+  SolveOptions opts;
+  opts.tol = 1e-8;
+  std::vector<double> x1(static_cast<std::size_t>(p.A.n), 0.0), x2 = x1;
+  const SolveResult plain = cg_solve(p.A, p.b.data(), x1.data(), opts);
+  BlockJacobi M(p.A, BlockLayout(p.A.n, 64));
+  const SolveResult pre = cg_solve(p.A, p.b.data(), x2.data(), opts, &M);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  // Block-Jacobi never hurts on these diagonally-dominant SPD problems;
+  // allow a tiny slack for round-off wiggle.
+  EXPECT_LE(pre.iterations, plain.iterations + 5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, CgOnTestbed, ::testing::ValuesIn(testbed_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  CsrMatrix A = laplace2d_5pt(5, 5);
+  std::vector<double> b(25, 0.0), x(25, 0.0);
+  const SolveResult r = cg_solve(A, b.data(), x.data(), {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Cg, WarmStartFromSolutionIsFree) {
+  TestbedProblem p = make_testbed("qa8fm", 0.3);
+  std::vector<double> x = p.x_true;
+  const SolveResult r = cg_solve(p.A, p.b.data(), x.data(), {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST(Cg, HistoryIsMonotoneEnoughAndTimestamped) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+  SolveOptions opts;
+  opts.record_history = true;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const SolveResult r = cg_solve(p.A, p.b.data(), x.data(), opts);
+  ASSERT_GT(r.history.size(), 2u);
+  EXPECT_LT(r.history.back().relres, r.history.front().relres);
+  EXPECT_GE(r.history.back().time_s, r.history.front().time_s);
+  for (std::size_t i = 0; i < r.history.size(); ++i)
+    EXPECT_EQ(r.history[i].iter, static_cast<index_t>(i));
+}
+
+TEST(Cg, RespectsMaxIter) {
+  TestbedProblem p = make_testbed("af_shell8", 0.2);
+  SolveOptions opts;
+  opts.max_iter = 3;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const SolveResult r = cg_solve(p.A, p.b.data(), x.data(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+// --- BiCGStab -------------------------------------------------------------
+
+TEST(Bicgstab, SolvesSpdProblem) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = bicgstab_solve(p.A, p.b.data(), x.data(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(solution_error(p, x), 1e-5);
+}
+
+TEST(Bicgstab, SolvesNonSymmetricSystem) {
+  // Convection-diffusion-like: Laplacian plus a skew term.
+  CsrMatrix L = laplace2d_5pt(20, 20);
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < L.n; ++i)
+    for (index_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      ts.push_back({i, L.col_idx[static_cast<std::size_t>(k)],
+                    L.vals[static_cast<std::size_t>(k)]});
+  for (index_t i = 0; i + 1 < L.n; ++i) {
+    ts.push_back({i, i + 1, 0.3});
+    ts.push_back({i + 1, i, -0.3});
+  }
+  CsrMatrix A = CsrMatrix::from_triplets(L.n, std::move(ts));
+  ASSERT_FALSE(A.is_symmetric());
+
+  std::vector<double> x_true(static_cast<std::size_t>(A.n));
+  for (index_t i = 0; i < A.n; ++i)
+    x_true[static_cast<std::size_t>(i)] = std::cos(0.1 * static_cast<double>(i));
+  std::vector<double> b(x_true.size());
+  spmv(A, x_true.data(), b.data());
+
+  std::vector<double> x(x_true.size(), 0.0);
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = bicgstab_solve(A, b.data(), x.data(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(A, x.data(), b.data()) / norm2(b.data(), A.n), 1e-9);
+}
+
+TEST(Bicgstab, PreconditionedConverges) {
+  TestbedProblem p = make_testbed("Dubcova3", 0.15);
+  BlockJacobi M(p.A, BlockLayout(p.A.n, 64));
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  SolveOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = bicgstab_solve(p.A, p.b.data(), x.data(), opts, &M);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(solution_error(p, x), 1e-5);
+}
+
+// --- GMRES ----------------------------------------------------------------
+
+TEST(Gmres, SolvesSpdProblem) {
+  TestbedProblem p = make_testbed("parabolic_fem", 0.12);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  GmresOptions opts;
+  opts.tol = 1e-10;
+  opts.restart = 40;
+  const SolveResult r = gmres_solve(p.A, p.b.data(), x.data(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(solution_error(p, x), 1e-5);
+}
+
+TEST(Gmres, RestartLengthTradesIterations) {
+  TestbedProblem p = make_testbed("qa8fm", 0.25);
+  GmresOptions short_r;
+  short_r.restart = 5;
+  short_r.tol = 1e-9;
+  GmresOptions long_r = short_r;
+  long_r.restart = 50;
+  std::vector<double> x1(static_cast<std::size_t>(p.A.n), 0.0), x2 = x1;
+  const SolveResult a = gmres_solve(p.A, p.b.data(), x1.data(), short_r);
+  const SolveResult b = gmres_solve(p.A, p.b.data(), x2.data(), long_r);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_LE(b.iterations, a.iterations + 2);
+}
+
+TEST(Gmres, PreconditionedConverges) {
+  TestbedProblem p = make_testbed("thermal2", 0.12);
+  BlockJacobi M(p.A, BlockLayout(p.A.n, 64));
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  GmresOptions opts;
+  opts.tol = 1e-9;
+  const SolveResult r = gmres_solve(p.A, p.b.data(), x.data(), opts, &M);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+TEST(Gmres, NonSymmetricSystem) {
+  CsrMatrix L = laplace2d_5pt(15, 15);
+  std::vector<Triplet> ts;
+  for (index_t i = 0; i < L.n; ++i)
+    for (index_t k = L.row_ptr[static_cast<std::size_t>(i)];
+         k < L.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      ts.push_back({i, L.col_idx[static_cast<std::size_t>(k)],
+                    L.vals[static_cast<std::size_t>(k)]});
+  for (index_t i = 0; i + 1 < L.n; ++i) ts.push_back({i, i + 1, 0.5});
+  CsrMatrix A = CsrMatrix::from_triplets(L.n, std::move(ts));
+  std::vector<double> x_true(static_cast<std::size_t>(A.n), 1.0), b(x_true.size());
+  spmv(A, x_true.data(), b.data());
+  std::vector<double> x(x_true.size(), 0.0);
+  GmresOptions opts;
+  opts.tol = 1e-10;
+  const SolveResult r = gmres_solve(A, b.data(), x.data(), opts);
+  EXPECT_TRUE(r.converged);
+}
+
+// --- Cross-solver agreement ------------------------------------------------
+
+TEST(Solvers, AllThreeAgreeOnTheSameSystem) {
+  TestbedProblem p = make_testbed("consph", 0.2);
+  SolveOptions so;
+  so.tol = 1e-11;
+  GmresOptions go;
+  go.tol = 1e-11;
+  std::vector<double> xc(static_cast<std::size_t>(p.A.n), 0.0), xb = xc, xg = xc;
+  ASSERT_TRUE(cg_solve(p.A, p.b.data(), xc.data(), so).converged);
+  ASSERT_TRUE(bicgstab_solve(p.A, p.b.data(), xb.data(), so).converged);
+  ASSERT_TRUE(gmres_solve(p.A, p.b.data(), xg.data(), go).converged);
+  for (index_t i = 0; i < p.A.n; i += 7) {
+    EXPECT_NEAR(xb[static_cast<std::size_t>(i)], xc[static_cast<std::size_t>(i)], 1e-6);
+    EXPECT_NEAR(xg[static_cast<std::size_t>(i)], xc[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace feir

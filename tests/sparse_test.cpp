@@ -1,0 +1,251 @@
+// Unit tests for src/sparse: CSR construction, SpMV, block operations,
+// generators (SPD-ness of every testbed stand-in), and MatrixMarket I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/blockops.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+CsrMatrix tiny() {
+  // [ 4 -1  0 ]
+  // [-1  4 -1 ]
+  // [ 0 -1  4 ]
+  return CsrMatrix::from_triplets(
+      3, {{0, 0, 4}, {0, 1, -1}, {1, 0, -1}, {1, 1, 4}, {1, 2, -1}, {2, 1, -1}, {2, 2, 4}});
+}
+
+TEST(Csr, FromTripletsSortsAndSumsDuplicates) {
+  CsrMatrix A = CsrMatrix::from_triplets(2, {{1, 0, 2.0}, {0, 0, 1.0}, {1, 0, 3.0}});
+  EXPECT_EQ(A.nnz(), 2);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 0.0);
+}
+
+TEST(Csr, RejectsOutOfRange) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{2, 0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{0, -1, 1.0}}), std::invalid_argument);
+}
+
+TEST(Csr, EmptyRowsGetValidPointers) {
+  CsrMatrix A = CsrMatrix::from_triplets(4, {{0, 0, 1.0}, {3, 3, 1.0}});
+  EXPECT_EQ(A.row_ptr[1], 1);
+  EXPECT_EQ(A.row_ptr[2], 1);
+  EXPECT_EQ(A.row_ptr[3], 1);
+  EXPECT_EQ(A.row_ptr[4], 2);
+}
+
+TEST(Csr, SpmvMatchesManual) {
+  CsrMatrix A = tiny();
+  const double x[3] = {1, 2, 3};
+  double y[3];
+  spmv(A, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4 * 1 - 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 + 8 - 3);
+  EXPECT_DOUBLE_EQ(y[2], -2 + 12);
+}
+
+TEST(Csr, SpmvRowsTouchesOnlyRange) {
+  CsrMatrix A = tiny();
+  const double x[3] = {1, 2, 3};
+  double y[3] = {-7, -7, -7};
+  spmv_rows(A, 1, 2, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -7);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  EXPECT_DOUBLE_EQ(y[2], -7);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  CsrMatrix A = CsrMatrix::from_triplets(3, {{0, 1, 2.0}, {2, 0, -1.0}, {1, 1, 5.0}});
+  CsrMatrix At = A.transpose();
+  EXPECT_DOUBLE_EQ(At.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(At.at(0, 2), -1.0);
+  CsrMatrix Att = At.transpose();
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(Att.at(i, j), A.at(i, j));
+}
+
+TEST(Csr, SymmetryDetection) {
+  EXPECT_TRUE(tiny().is_symmetric());
+  CsrMatrix B = CsrMatrix::from_triplets(2, {{0, 1, 1.0}, {1, 0, 2.0}});
+  EXPECT_FALSE(B.is_symmetric());
+}
+
+TEST(Csr, ResidualNormZeroAtSolution) {
+  CsrMatrix A = tiny();
+  const double x[3] = {1, 1, 1};
+  double b[3];
+  spmv(A, x, b);
+  EXPECT_NEAR(residual_norm(A, x, b), 0.0, 1e-14);
+}
+
+TEST(VecOps, DotAxpyLincomb) {
+  const double x[4] = {1, 2, 3, 4};
+  double y[4] = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y, 4), 10.0);
+  EXPECT_DOUBLE_EQ(dot_range(x, y, 1, 3), 5.0);
+  axpy_range(2.0, x, y, 0, 4);
+  EXPECT_DOUBLE_EQ(y[3], 9.0);
+  double z[4];
+  lincomb_range(2.0, x, -1.0, y, z, 0, 4);
+  EXPECT_DOUBLE_EQ(z[0], 2.0 - 3.0);
+  EXPECT_DOUBLE_EQ(norm2(y, 4), std::sqrt(9.0 + 25.0 + 49.0 + 81.0));
+}
+
+// --- Block operations --------------------------------------------------
+
+TEST(BlockOps, ExtractDiagBlockMatchesAt) {
+  CsrMatrix A = laplace2d_5pt(8, 8);
+  DenseMatrix B = extract_dense_block(A, 16, 32, 16, 32);
+  for (index_t i = 0; i < 16; ++i)
+    for (index_t j = 0; j < 16; ++j) EXPECT_DOUBLE_EQ(B(i, j), A.at(16 + i, 16 + j));
+}
+
+TEST(BlockOps, OffblockPlusDiagEqualsFullProduct) {
+  CsrMatrix A = laplace2d_5pt(10, 10);
+  Rng rng(1);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> full(100);
+  spmv(A, x.data(), full.data());
+
+  const index_t r0 = 30, r1 = 50;
+  std::vector<double> off(r1 - r0);
+  offblock_product(A, r0, r1, r0, r1, x.data(), off.data());
+  DenseMatrix D = extract_dense_block(A, r0, r1, r0, r1);
+  std::vector<double> diag(r1 - r0);
+  dense_matvec(D, x.data() + r0, diag.data());
+  for (index_t i = 0; i < r1 - r0; ++i)
+    EXPECT_NEAR(off[static_cast<std::size_t>(i)] + diag[static_cast<std::size_t>(i)],
+                full[static_cast<std::size_t>(r0 + i)], 1e-12);
+}
+
+TEST(BlockOps, CoupledMatrixMatchesEntries) {
+  CsrMatrix A = laplace2d_5pt(8, 8);
+  BlockLayout layout(64, 16);
+  std::vector<index_t> blocks{0, 2};
+  DenseMatrix B = coupled_block_matrix(A, layout, blocks);
+  EXPECT_EQ(B.rows(), 32);
+  // (row 5, col 5) of the coupled system is A(5, 5); offset 16 maps to row 32.
+  EXPECT_DOUBLE_EQ(B(5, 5), A.at(5, 5));
+  EXPECT_DOUBLE_EQ(B(20, 20), A.at(36, 36));
+  EXPECT_DOUBLE_EQ(B(5, 20), A.at(5, 36));
+}
+
+TEST(BlockOps, OffblocksProductExcludesAllListedBlocks) {
+  CsrMatrix A = laplace2d_5pt(8, 8);
+  BlockLayout layout(64, 16);
+  std::vector<index_t> blocks{1, 3};
+  Rng rng(2);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> out(32);
+  offblocks_product(A, layout, blocks, x.data(), out.data());
+
+  // Manual check for row 16 (first row of block 1).
+  double expect = 0.0;
+  for (index_t j = 0; j < 64; ++j) {
+    const index_t jb = layout.block_of(j);
+    if (jb != 1 && jb != 3) expect += A.at(16, j) * x[static_cast<std::size_t>(j)];
+  }
+  EXPECT_NEAR(out[0], expect, 1e-12);
+}
+
+// --- Generators ---------------------------------------------------------
+
+class TestbedSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TestbedSuite, StandInIsSymmetricWithPositiveDiagonal) {
+  TestbedProblem p = make_testbed(GetParam(), 0.25);
+  EXPECT_GT(p.A.n, 0);
+  EXPECT_TRUE(p.A.is_symmetric(1e-10)) << GetParam();
+  for (double d : p.A.diagonal()) EXPECT_GT(d, 0.0);
+  // b = A x_true holds by construction.
+  EXPECT_NEAR(residual_norm(p.A, p.x_true.data(), p.b.data()), 0.0,
+              1e-9 * norm2(p.b.data(), p.A.n) + 1e-9);
+}
+
+TEST_P(TestbedSuite, StandInIsPositiveDefiniteBySampling) {
+  TestbedProblem p = make_testbed(GetParam(), 0.15);
+  Rng rng(42);
+  std::vector<double> v(static_cast<std::size_t>(p.A.n)), av(v.size());
+  for (int trial = 0; trial < 5; ++trial) {
+    for (auto& w : v) w = rng.uniform(-1, 1);
+    spmv(p.A, v.data(), av.data());
+    EXPECT_GT(dot(v.data(), av.data(), p.A.n), 0.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, TestbedSuite,
+                         ::testing::ValuesIn(testbed_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Generators, UnknownNameThrows) {
+  EXPECT_THROW(make_testbed("nope"), std::invalid_argument);
+}
+
+TEST(Generators, Stencil27HasExpectedStructure) {
+  CsrMatrix A = stencil3d_27pt(4, 4, 4);
+  EXPECT_EQ(A.n, 64);
+  // Interior node has 27 nonzeros; corner has 8.
+  const index_t interior = (1 * 4 + 1) * 4 + 1;
+  EXPECT_EQ(A.row_ptr[static_cast<std::size_t>(interior) + 1] -
+                A.row_ptr[static_cast<std::size_t>(interior)],
+            27);
+  EXPECT_EQ(A.row_ptr[1] - A.row_ptr[0], 8);
+  EXPECT_DOUBLE_EQ(A.at(interior, interior), 26.0);
+}
+
+TEST(Generators, ScaleShrinksProblem) {
+  TestbedProblem big = make_testbed("ecology2", 0.3);
+  TestbedProblem small = make_testbed("ecology2", 0.15);
+  EXPECT_GT(big.A.n, small.A.n);
+}
+
+// --- MatrixMarket I/O ----------------------------------------------------
+
+TEST(Mmio, RoundTripGeneral) {
+  CsrMatrix A = thermal2d_5pt(6, 6, 0.5, 99);
+  std::stringstream ss;
+  write_matrix_market(ss, A);
+  CsrMatrix B = read_matrix_market(ss);
+  ASSERT_EQ(B.n, A.n);
+  ASSERT_EQ(B.nnz(), A.nnz());
+  for (index_t i = 0; i < A.n; ++i)
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      EXPECT_NEAR(B.at(i, A.col_idx[static_cast<std::size_t>(k)]),
+                  A.vals[static_cast<std::size_t>(k)], 1e-14);
+}
+
+TEST(Mmio, ReadsSymmetricExpanded) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% comment line\n"
+     << "3 3 4\n"
+     << "1 1 4.0\n2 1 -1.0\n2 2 4.0\n3 3 2.0\n";
+  CsrMatrix A = read_matrix_market(ss);
+  EXPECT_EQ(A.n, 3);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
+  EXPECT_TRUE(A.is_symmetric());
+}
+
+TEST(Mmio, RejectsGarbage) {
+  std::stringstream s1("not a matrix\n");
+  EXPECT_THROW(read_matrix_market(s1), std::runtime_error);
+  std::stringstream s2("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(s2), std::runtime_error);
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,155 @@
+// Tests of the executed distributed resilient CG (§3.4): rank-count
+// invariance, agreement with the sequential solver, and recovery under
+// per-rank page losses.
+#include <gtest/gtest.h>
+
+#include "distsim/spmd.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+class RankSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(RankSweep, MatchesSequentialCg) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  SpmdCgOptions opts;
+  opts.ranks = GetParam();
+  opts.method = Method::Ideal;
+  opts.block_rows = 64;
+  opts.tol = 1e-10;
+  SpmdCg solver(p.A, p.b.data(), opts);
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+  ASSERT_TRUE(r.converged);
+
+  std::vector<double> xs(x.size(), 0.0);
+  SolveOptions so;
+  so.tol = 1e-10;
+  const SolveResult ref = cg_solve(p.A, p.b.data(), xs.data(), so);
+  ASSERT_TRUE(ref.converged);
+  EXPECT_NEAR(static_cast<double>(r.iterations), static_cast<double>(ref.iterations),
+              0.05 * static_cast<double>(ref.iterations) + 3.0);
+  for (index_t i = 0; i < p.A.n; i += 13)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], xs[static_cast<std::size_t>(i)], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values<index_t>(1, 2, 4, 7),
+                         [](const auto& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST(SpmdCg, FeirSurvivesLossesOnSeveralRanks) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+  SpmdCgOptions opts;
+  opts.ranks = 4;
+  opts.method = Method::Feir;
+  opts.block_rows = 64;
+  opts.tol = 1e-9;
+
+  SpmdCg* sp = nullptr;
+  Rng rng(7);
+  int injected = 0;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (injected < 4 && rec.iter > 0 && rec.iter % 30 == 0) {
+      const auto rank = static_cast<index_t>(rng.uniform_int(4));
+      auto [region, block] = sp->domain(rank).pick_uniform(rng);
+      if (region != nullptr) region->lose_block(block);
+      ++injected;
+    }
+  };
+  SpmdCg solver(p.A, p.b.data(), opts);
+  sp = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+  EXPECT_GE(injected, 1);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+  const auto& s = r.stats;
+  EXPECT_GT(s.lincomb_recoveries + s.diag_solves + s.spmv_recomputes +
+                s.residual_recomputes + s.x_recoveries + s.redo_updates,
+            0u);
+}
+
+TEST(SpmdCg, FeirConvergenceParityWithIdeal) {
+  TestbedProblem p = make_testbed("thermal2", 0.12);
+  SpmdCgOptions opts;
+  opts.ranks = 3;
+  opts.method = Method::Ideal;
+  opts.block_rows = 64;
+  opts.tol = 1e-9;
+  SpmdCg ideal(p.A, p.b.data(), opts);
+  std::vector<double> x0(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto ri = ideal.solve(x0.data());
+  ASSERT_TRUE(ri.converged);
+
+  opts.method = Method::Feir;
+  SpmdCg* sp = nullptr;
+  bool fired = false;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (!fired && rec.iter == ri.iterations / 2) {
+      ProtectedRegion* reg = sp->domain(1).find("x");
+      reg->lose_block(0);
+      fired = true;
+    }
+  };
+  SpmdCg feir(p.A, p.b.data(), opts);
+  sp = &feir;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = feir.solve(x.data());
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, ri.iterations + ri.iterations / 10 + 6);
+}
+
+TEST(SpmdCg, LossyRestartsGlobally) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  SpmdCgOptions opts;
+  opts.ranks = 4;
+  opts.method = Method::Lossy;
+  opts.block_rows = 64;
+  opts.tol = 1e-9;
+  SpmdCg* sp = nullptr;
+  bool fired = false;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (!fired && rec.iter == 40) {
+      sp->domain(2).find("x")->lose_block(1);
+      fired = true;
+    }
+  };
+  SpmdCg solver(p.A, p.b.data(), opts);
+  sp = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.stats.restarts, 1u);
+  EXPECT_GE(r.stats.x_recoveries, 1u);
+}
+
+TEST(SpmdCg, TrivialZeroesAndRecoversEventually) {
+  TestbedProblem p = make_testbed("qa8fm", 0.2);
+  SpmdCgOptions opts;
+  opts.ranks = 2;
+  opts.method = Method::Trivial;
+  opts.block_rows = 64;
+  opts.tol = 1e-9;
+  SpmdCg* sp = nullptr;
+  bool fired = false;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (!fired && rec.iter == 3) {
+      sp->domain(0).find("g")->lose_block(0);
+      fired = true;
+    }
+  };
+  SpmdCg solver(p.A, p.b.data(), opts);
+  sp = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.stats.zeroed_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace feir

@@ -1,0 +1,178 @@
+// Unit tests for src/support: page buffers, RNG, stats, layout, tables.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "support/env.hpp"
+#include "support/layout.hpp"
+#include "support/page_buffer.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace feir {
+namespace {
+
+TEST(PageBuffer, AllocatesZeroFilledAndPageAligned) {
+  PageBuffer buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(buf.pages(), 2u);  // 1000 doubles = 8000 B -> 2 pages
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kPageBytes, 0u);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(buf.data()[i], 0.0);
+}
+
+TEST(PageBuffer, RemapPageDropsContentOfThatPageOnly) {
+  PageBuffer buf(2 * kDoublesPerPage);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf.data()[i] = static_cast<double>(i + 1);
+  buf.remap_page(0);
+  for (std::size_t i = 0; i < kDoublesPerPage; ++i) EXPECT_EQ(buf.data()[i], 0.0);
+  for (std::size_t i = kDoublesPerPage; i < 2 * kDoublesPerPage; ++i)
+    EXPECT_EQ(buf.data()[i], static_cast<double>(i + 1));
+}
+
+TEST(PageBuffer, MoveTransfersOwnership) {
+  PageBuffer a(kDoublesPerPage);
+  a.data()[0] = 42.0;
+  PageBuffer b(std::move(a));
+  EXPECT_EQ(b.data()[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+  PageBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data()[0], 42.0);
+}
+
+TEST(PageBuffer, PageAddressesAreSequential) {
+  PageBuffer buf(3 * kDoublesPerPage);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_EQ(buf.page_address(p),
+              reinterpret_cast<char*>(buf.data()) + p * kPageBytes);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  const int N = 100000;
+  for (int i = 0; i < N; ++i) ++counts[r.uniform_int(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, N / 10 - N / 50);
+    EXPECT_LT(c, N / 10 + N / 50);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(5);
+  double s = 0.0;
+  const int N = 200000;
+  for (int i = 0; i < N; ++i) s += r.exponential(2.5);
+  EXPECT_NEAR(s / N, 2.5, 0.05);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(9);
+  double s = 0.0, s2 = 0.0;
+  const int N = 200000;
+  for (int i = 0; i < N; ++i) {
+    const double x = r.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / N, 0.0, 0.02);
+  EXPECT_NEAR(s2 / N, 1.0, 0.03);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944487, 1e-9);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, HarmonicMean) {
+  std::vector<double> xs{1.0, 4.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(xs), 3.0 / (1.0 + 0.25 + 0.25), 1e-12);
+  // Non-positive entries are clamped, not fatal.
+  EXPECT_GT(harmonic_mean({0.0, 1.0}), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(BlockLayout, PartitionsExactly) {
+  BlockLayout l(1000, 512);
+  EXPECT_EQ(l.num_blocks(), 2);
+  EXPECT_EQ(l.begin(0), 0);
+  EXPECT_EQ(l.end(0), 512);
+  EXPECT_EQ(l.rows(1), 488);
+  EXPECT_EQ(l.block_of(511), 0);
+  EXPECT_EQ(l.block_of(512), 1);
+}
+
+TEST(BlockLayout, CoversEveryRowOnce) {
+  BlockLayout l(777, 64);
+  index_t covered = 0;
+  for (index_t b = 0; b < l.num_blocks(); ++b) {
+    EXPECT_EQ(l.begin(b), covered);
+    covered = l.end(b);
+    for (index_t i = l.begin(b); i < l.end(b); ++i) EXPECT_EQ(l.block_of(i), b);
+  }
+  EXPECT_EQ(covered, 777);
+}
+
+TEST(EnvHelpers, ParseAndFallback) {
+  setenv("FEIR_TEST_LONG", "42", 1);
+  setenv("FEIR_TEST_DBL", "2.5", 1);
+  setenv("FEIR_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(env_long("FEIR_TEST_LONG", 7), 42);
+  EXPECT_EQ(env_long("FEIR_TEST_MISSING_XX", 7), 7);
+  EXPECT_EQ(env_long("FEIR_TEST_BAD", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("FEIR_TEST_DBL", 1.0), 2.5);
+  EXPECT_EQ(env_string("FEIR_TEST_LONG", ""), "42");
+  unsetenv("FEIR_TEST_LONG");
+  unsetenv("FEIR_TEST_DBL");
+  unsetenv("FEIR_TEST_BAD");
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t;
+  t.header({"method", "overhead"});
+  t.row({"AFEIR", Table::pct(0.23)});
+  t.row({"FEIR", Table::pct(2.73)});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("AFEIR"), std::string::npos);
+  EXPECT_NE(s.find("0.23%"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, NumPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace feir

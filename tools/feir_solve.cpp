@@ -1,0 +1,214 @@
+// feir_solve — command-line driver for the fault-tolerant solvers.
+//
+//   feir_solve --matrix thermal2 --method afeir --mtbe 0.5
+//   feir_solve --matrix /path/to/system.mtx --solver gmres --precond blockjacobi
+//
+// Options:
+//   --matrix  NAME|FILE   testbed name (see --list) or a MatrixMarket file
+//   --scale   S           testbed grid scale (default 0.35; ignored for files)
+//   --solver  cg|bicgstab|gmres            (default cg)
+//   --method  ideal|trivial|ckpt|lossy|feir|afeir   (CG only; default feir)
+//   --precond none|jacobi|blockjacobi|sweeps        (default none)
+//   --mtbe    SECONDS     inject page errors at this mean rate (default off)
+//   --inject  soft|mprotect                 (default soft)
+//   --tol     T           relative residual threshold (default 1e-10)
+//   --threads N           CG worker threads (default 8)
+//   --restart M           GMRES restart length (default 30)
+//   --seed    S           RNG seed (default 1)
+//   --list                print testbed matrix names and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/resilient_bicgstab.hpp"
+#include "core/resilient_cg.hpp"
+#include "core/resilient_gmres.hpp"
+#include "fault/injector.hpp"
+#include "fault/sighandler.hpp"
+#include "precond/blockjacobi.hpp"
+#include "precond/fixedpoint.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/vecops.hpp"
+
+using namespace feir;
+
+namespace {
+
+struct Args {
+  std::string matrix = "ecology2";
+  double scale = 0.35;
+  std::string solver = "cg";
+  std::string method = "feir";
+  std::string precond = "none";
+  double mtbe = 0.0;
+  std::string inject = "soft";
+  double tol = 1e-10;
+  unsigned threads = 8;
+  index_t restart = 30;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "feir_solve: %s\n(see the header of tools/feir_solve.cpp)\n", msg);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--list") {
+      for (const auto& n : testbed_names()) std::printf("%s\n", n.c_str());
+      std::exit(0);
+    }
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--matrix") a.matrix = next();
+    else if (flag == "--scale") a.scale = std::atof(next().c_str());
+    else if (flag == "--solver") a.solver = next();
+    else if (flag == "--method") a.method = next();
+    else if (flag == "--precond") a.precond = next();
+    else if (flag == "--mtbe") a.mtbe = std::atof(next().c_str());
+    else if (flag == "--inject") a.inject = next();
+    else if (flag == "--tol") a.tol = std::atof(next().c_str());
+    else if (flag == "--threads") a.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--restart") a.restart = std::atoll(next().c_str());
+    else if (flag == "--seed") a.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else usage(("unknown flag " + flag).c_str());
+  }
+  return a;
+}
+
+Method parse_method(const std::string& s) {
+  if (s == "ideal") return Method::Ideal;
+  if (s == "trivial") return Method::Trivial;
+  if (s == "ckpt") return Method::Checkpoint;
+  if (s == "lossy") return Method::Lossy;
+  if (s == "feir") return Method::Feir;
+  if (s == "afeir") return Method::Afeir;
+  usage("unknown --method");
+}
+
+void print_stats(const RecoveryStats& s) {
+  std::printf("recoveries: lincomb=%llu diag=%llu spmv=%llu residual=%llu x=%llu "
+              "precond=%llu redo=%llu contrib=%llu\n",
+              (unsigned long long)s.lincomb_recoveries, (unsigned long long)s.diag_solves,
+              (unsigned long long)s.spmv_recomputes,
+              (unsigned long long)s.residual_recomputes, (unsigned long long)s.x_recoveries,
+              (unsigned long long)s.precond_reapplies, (unsigned long long)s.redo_updates,
+              (unsigned long long)s.contrib_recomputes);
+  std::printf("events:     restarts=%llu rollbacks=%llu checkpoints=%llu "
+              "unrecoverable=%llu zeroed=%llu\n",
+              (unsigned long long)s.restarts, (unsigned long long)s.rollbacks,
+              (unsigned long long)s.checkpoints, (unsigned long long)s.unrecoverable,
+              (unsigned long long)s.zeroed_blocks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  // Load or synthesize the system.
+  CsrMatrix A;
+  std::vector<double> b;
+  if (args.matrix.find('.') != std::string::npos || args.matrix.find('/') != std::string::npos) {
+    A = read_matrix_market_file(args.matrix);
+    std::vector<double> ones(static_cast<std::size_t>(A.n), 1.0);
+    b.assign(static_cast<std::size_t>(A.n), 0.0);
+    spmv(A, ones.data(), b.data());
+    std::printf("loaded %s: n=%lld nnz=%lld (b = A*1)\n", args.matrix.c_str(),
+                (long long)A.n, (long long)A.nnz());
+  } else {
+    TestbedProblem p = make_testbed(args.matrix, args.scale);
+    A = std::move(p.A);
+    b = std::move(p.b);
+    std::printf("testbed %s (scale %.2f): n=%lld nnz=%lld\n", args.matrix.c_str(),
+                args.scale, (long long)A.n, (long long)A.nnz());
+  }
+
+  const index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  const BlockLayout layout(A.n, block_rows);
+
+  std::unique_ptr<Preconditioner> M;
+  const BlockJacobi* bj = nullptr;
+  if (args.precond == "blockjacobi") {
+    auto m = std::make_unique<BlockJacobi>(A, layout);
+    bj = m.get();
+    M = std::move(m);
+  } else if (args.precond == "jacobi") {
+    M = std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
+  } else if (args.precond == "sweeps") {
+    M = std::make_unique<JacobiSweeps>(A, layout, 3);
+  } else if (args.precond != "none") {
+    usage("unknown --precond");
+  }
+
+  const InjectMode imode = args.inject == "mprotect" ? InjectMode::Mprotect : InjectMode::Soft;
+  if (imode == InjectMode::Mprotect) install_due_handler();
+
+  std::vector<double> x(static_cast<std::size_t>(A.n), 0.0);
+  const double bnorm = norm2(b.data(), A.n);
+
+  auto run_injected = [&](FaultDomain& dom, auto&& solve_fn) {
+    if (imode == InjectMode::Mprotect) activate_due_domain(&dom);
+    ErrorInjector inj(dom, {args.mtbe > 0 ? args.mtbe : 1.0, args.seed, imode});
+    if (args.mtbe > 0) inj.start();
+    auto r = solve_fn();
+    if (args.mtbe > 0) inj.stop();
+    if (imode == InjectMode::Mprotect) activate_due_domain(nullptr);
+    std::printf("errors injected: %llu\n", (unsigned long long)inj.count());
+    return r;
+  };
+
+  if (args.solver == "cg") {
+    ResilientCgOptions opts;
+    opts.method = parse_method(args.method);
+    opts.block_rows = block_rows;
+    opts.threads = args.threads;
+    opts.tol = args.tol;
+    opts.expected_mtbe_s = args.mtbe;
+    if (opts.method == Method::Checkpoint) opts.ckpt.path = "/tmp/feir_solve_ckpt.bin";
+    if (M != nullptr && bj == nullptr)
+      usage("resilient CG takes --precond blockjacobi or none");
+    ResilientCg solver(A, b.data(), opts, bj);
+    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
+    std::printf("cg/%s: converged=%d iters=%lld time=%.3fs relres=%.2e tasks=%llu\n",
+                args.method.c_str(), r.converged ? 1 : 0, (long long)r.iterations,
+                r.seconds, residual_norm(A, x.data(), b.data()) / bnorm,
+                (unsigned long long)r.tasks);
+    print_stats(r.stats);
+    return r.converged ? 0 : 1;
+  }
+  if (args.solver == "bicgstab") {
+    ResilientBicgstabOptions opts;
+    opts.block_rows = block_rows;
+    opts.tol = args.tol;
+    ResilientBicgstab solver(A, b.data(), opts, M.get());
+    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
+    std::printf("bicgstab: converged=%d iters=%lld time=%.3fs relres=%.2e\n",
+                r.converged ? 1 : 0, (long long)r.iterations, r.seconds,
+                residual_norm(A, x.data(), b.data()) / bnorm);
+    print_stats(r.stats);
+    return r.converged ? 0 : 1;
+  }
+  if (args.solver == "gmres") {
+    ResilientGmresOptions opts;
+    opts.block_rows = block_rows;
+    opts.tol = args.tol;
+    opts.restart = args.restart;
+    ResilientGmres solver(A, b.data(), opts, M.get());
+    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
+    std::printf("gmres(%lld): converged=%d iters=%lld time=%.3fs relres=%.2e\n",
+                (long long)args.restart, r.converged ? 1 : 0, (long long)r.iterations,
+                r.seconds, residual_norm(A, x.data(), b.data()) / bnorm);
+    print_stats(r.stats);
+    return r.converged ? 0 : 1;
+  }
+  usage("unknown --solver");
+}
