@@ -1,7 +1,9 @@
 #include "bench_common.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
+#include "campaign/executor.hpp"
 #include "support/env.hpp"
 
 namespace feir::bench {
@@ -24,29 +26,40 @@ Config config_from_env() {
   return cfg;
 }
 
-Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
-               double mtbe_s, std::uint64_t seed, const BlockJacobi* M,
-               bool record_history, double max_seconds) {
-  ResilientCgOptions opts;
-  opts.method = method;
-  opts.block_rows = cfg.block_rows;
-  opts.threads = cfg.threads;
-  opts.tol = cfg.tol;
-  opts.max_iter = 500000;
-  opts.max_seconds = max_seconds;
-  opts.record_history = record_history;
-  if (method == Method::Checkpoint) {
-    opts.expected_mtbe_s = mtbe_s;
-    opts.ckpt.path = "/tmp/feir_bench_ckpt_" + std::to_string(seed) + ".bin";
+campaign::JobSpec job_for(const std::string& matrix, Method method, const Config& cfg,
+                          double mtbe_s, std::uint64_t seed, bool with_precond,
+                          bool record_history, double max_seconds) {
+  campaign::JobSpec spec;
+  spec.matrix = matrix;
+  spec.scale = cfg.scale;
+  spec.solver = campaign::SolverKind::Cg;
+  spec.method = method;
+  spec.precond =
+      with_precond ? campaign::PrecondKind::BlockJacobi : campaign::PrecondKind::None;
+  if (mtbe_s > 0) {
+    spec.inject.kind = campaign::InjectionKind::WallClockMtbe;
+    spec.inject.mtbe_s = mtbe_s;
   }
+  spec.seed = seed;
+  spec.tol = cfg.tol;
+  spec.max_iter = 500000;
+  spec.max_seconds = max_seconds;
+  spec.block_rows = cfg.block_rows;
+  spec.threads = cfg.threads;
+  spec.record_history = record_history;
+  if (method == Method::Checkpoint) {
+    spec.expected_mtbe_s = mtbe_s;
+    spec.ckpt_path = "/tmp/feir_bench_ckpt_" + std::to_string(seed) + ".bin";
+  }
+  return spec;
+}
 
-  ResilientCg cg(p.A, p.b.data(), opts, M);
-  ErrorInjector inj(cg.domain(), {mtbe_s > 0 ? mtbe_s : 1.0, seed, InjectMode::Soft});
-  if (mtbe_s > 0) inj.start();
-  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
-  const ResilientCgResult r = cg.solve(x.data());
-  if (mtbe_s > 0) inj.stop();
+void require_ran(const campaign::JobResult& r) {
+  if (!r.ran) throw std::runtime_error("bench job failed: " + r.error);
+}
 
+Run to_run(const campaign::JobResult& r) {
+  require_ran(r);
   Run out;
   out.converged = r.converged;
   out.seconds = r.seconds;
@@ -55,6 +68,36 @@ Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
   out.states = r.states;
   out.history = r.history;
   return out;
+}
+
+Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
+               double mtbe_s, std::uint64_t seed, const BlockJacobi* M,
+               bool record_history, double max_seconds) {
+  const campaign::JobSpec spec = job_for(p.name, method, cfg, mtbe_s, seed, M != nullptr,
+                                         record_history, max_seconds);
+  return to_run(campaign::CampaignExecutor::run_job(spec, p, M, M));
+}
+
+IdealMeasurement campaign_ideal_time(campaign::CampaignExecutor& executor,
+                                     const std::string& matrix, const Config& cfg,
+                                     bool pcg, bool record_history) {
+  std::vector<campaign::JobSpec> jobs;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    campaign::JobSpec j = job_for(matrix, Method::Ideal, cfg, 0.0, 1, pcg,
+                                  record_history);
+    j.index = jobs.size();
+    j.replica = rep;
+    jobs.push_back(std::move(j));
+  }
+  const campaign::CampaignResult res = executor.run(std::move(jobs));
+  const campaign::JobResult* best = nullptr;
+  for (const campaign::JobResult& r : res.results) {
+    require_ran(r);
+    if (r.converged && (best == nullptr || r.seconds < best->seconds)) best = &r;
+  }
+  if (best == nullptr)
+    throw std::runtime_error("no ideal run of " + matrix + " converged");
+  return {best->seconds, to_run(*best)};
 }
 
 double ideal_time(const TestbedProblem& p, const Config& cfg, const BlockJacobi* M) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/executor.hpp"
 #include "core/method.hpp"
 #include "core/resilient_cg.hpp"
 #include "fault/injector.hpp"
@@ -45,9 +46,37 @@ struct Run {
   std::vector<IterRecord> history;
 };
 
-/// Runs one (P)CG solve of `p` with `method`.  When `mtbe_s > 0` an injector
-/// thread fires exponentially-distributed page errors at that MTBE.
-/// `expected_mtbe_s` feeds the checkpoint-period model.
+/// The campaign-job encoding of one (P)CG bench run: benches build their
+/// sweeps from these and hand them to campaign::CampaignExecutor, so the
+/// campaign engine is the single execution path for every experiment.
+campaign::JobSpec job_for(const std::string& matrix, Method method, const Config& cfg,
+                          double mtbe_s, std::uint64_t seed, bool with_precond,
+                          bool record_history = false, double max_seconds = 0.0);
+
+/// Maps a finished campaign job back onto the bench Run shape.  Throws if
+/// the job failed to run at all (missing matrix, unwritable checkpoint, ...)
+/// so benches abort loudly instead of folding zeros into their statistics.
+Run to_run(const campaign::JobResult& r);
+
+/// Throws if the job failed to run; the copy-free validation for fold loops
+/// that only read a field or two.
+void require_ran(const campaign::JobResult& r);
+
+/// Best-of-reps error-free baseline, run through `executor` (which warms its
+/// problem/factorization caches for the sweep that follows).  Only converged
+/// runs count; throws when none converge or a job cannot run.
+struct IdealMeasurement {
+  double tau = 0.0;  ///< fastest converged ideal time (the paper's tau)
+  Run best;          ///< that run (with history when `record_history`)
+};
+IdealMeasurement campaign_ideal_time(campaign::CampaignExecutor& executor,
+                                     const std::string& matrix, const Config& cfg,
+                                     bool pcg, bool record_history = false);
+
+/// Runs one (P)CG solve of `p` with `method` as a single campaign job.  When
+/// `mtbe_s > 0` an injector thread fires exponentially-distributed page
+/// errors at that MTBE; for Method::Checkpoint it also feeds the
+/// checkpoint-period model.
 Run run_solver(const TestbedProblem& p, Method method, const Config& cfg,
                double mtbe_s, std::uint64_t seed, const BlockJacobi* M = nullptr,
                bool record_history = false, double max_seconds = 0.0);

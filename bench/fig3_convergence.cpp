@@ -7,12 +7,17 @@
 // back to an older value), Lossy drops instantly (block-Jacobi step) then
 // converges *slower* (restart kills superlinearity), FEIR/AFEIR continue as
 // if nothing happened, AFEIR's overhead < FEIR's.
+//
+// The per-method runs are campaign jobs with a SingleAtTime injection (the
+// "certain memory page that contains a portion of x" scenario is a grid axis
+// of the campaign engine); this file only sets up the grid and prints.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "fault/injector.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
 #include "support/table.hpp"
 
 using namespace feir;
@@ -25,63 +30,52 @@ struct Series {
   Run run;
 };
 
-Run run_with_error_at(const TestbedProblem& p, Method m, const Config& cfg,
-                      double when_s, double expected_total_s) {
-  ResilientCgOptions opts;
-  opts.method = m;
-  opts.block_rows = cfg.block_rows;
-  opts.threads = cfg.threads;
-  opts.tol = cfg.tol;
-  opts.max_iter = 500000;
-  opts.record_history = true;
-  if (m == Method::Checkpoint) {
-    opts.expected_mtbe_s = expected_total_s;  // ~1 error per run
-    opts.ckpt.path = "/tmp/feir_fig3_ckpt.bin";
-  }
-
-  ResilientCg* cg_ptr = nullptr;
-  bool fired = false;
-  opts.on_iteration = [&](const IterRecord& rec) {
-    if (!fired && rec.time_s >= when_s) {
-      // Deterministic target: the middle page of the iterate, mirroring the
-      // paper's "certain memory page that contains a portion of x".
-      ProtectedRegion* r = cg_ptr->domain().find("x");
-      r->lose_block(r->layout.num_blocks() / 2);
-      fired = true;
-    }
-  };
-
-  ResilientCg cg(p.A, p.b.data(), opts);
-  cg_ptr = &cg;
-  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
-  const ResilientCgResult r = cg.solve(x.data());
-
-  Run out;
-  out.converged = r.converged;
-  out.seconds = r.seconds;
-  out.iterations = r.iterations;
-  out.stats = r.stats;
-  out.history = r.history;
-  return out;
-}
-
 }  // namespace
 
 int main() {
   Config cfg = config_from_env();
   std::printf("=== Figure 3: CG convergence, single error in x (thermal2) ===\n\n");
 
-  const TestbedProblem p = make_testbed("thermal2", cfg.scale);
-  const double tau = ideal_time(p, cfg);
+  // All runs flow through one serial executor, so thermal2 is assembled
+  // exactly once and every series is a wall-clock timeline on a quiet core.
+  campaign::CampaignExecutor executor({.concurrency = 1, .on_job_done = {}});
+
+  // tau and the Ideal series: best-of-reps error-free converged runs.
+  const IdealMeasurement ideal =
+      campaign_ideal_time(executor, "thermal2", cfg, false, /*record_history=*/true);
+  const double tau = ideal.tau;
   const double when = 0.5 * tau;
   std::printf("ideal convergence time tau = %.3f s; error at %.3f s\n\n", tau, when);
 
+  // One campaign job per method: a single deterministic error in the middle
+  // page of the iterate once the solve crosses `when` seconds.
+  const std::vector<std::pair<const char*, Method>> methods = {
+      {"AFEIR", Method::Afeir},
+      {"FEIR", Method::Feir},
+      {"Lossy", Method::Lossy},
+      {"ckpt", Method::Checkpoint},
+  };
+  std::vector<campaign::JobSpec> jobs;
+  for (const auto& [name, m] : methods) {
+    campaign::JobSpec j =
+        job_for("thermal2", m, cfg, 0.0, 1, false, /*record_history=*/true);
+    j.index = jobs.size();
+    j.inject.kind = campaign::InjectionKind::SingleAtTime;
+    j.inject.at_s = when;
+    j.inject.region = "x";
+    j.inject.block_frac = 0.5;
+    if (m == Method::Checkpoint) {
+      j.expected_mtbe_s = tau;  // ~1 error per run
+      j.ckpt_path = "/tmp/feir_fig3_ckpt.bin";
+    }
+    jobs.push_back(std::move(j));
+  }
+  const campaign::CampaignResult result = executor.run(std::move(jobs));
+
   std::vector<Series> series;
-  series.push_back({"Ideal", run_solver(p, Method::Ideal, cfg, 0.0, 1, nullptr, true)});
-  series.push_back({"AFEIR", run_with_error_at(p, Method::Afeir, cfg, when, tau)});
-  series.push_back({"FEIR", run_with_error_at(p, Method::Feir, cfg, when, tau)});
-  series.push_back({"Lossy", run_with_error_at(p, Method::Lossy, cfg, when, tau)});
-  series.push_back({"ckpt", run_with_error_at(p, Method::Checkpoint, cfg, when, tau)});
+  series.push_back({"Ideal", ideal.best});
+  for (std::size_t i = 0; i < methods.size(); ++i)
+    series.push_back({methods[i].first, to_run(result.results[i])});
 
   for (const Series& s : series) {
     std::printf("# series %s  (converged=%d, %lld iters, %.3f s)\n", s.name,

@@ -1,0 +1,100 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace feir::campaign {
+
+namespace {
+
+auto key_tuple(const CellKey& k) {
+  return std::make_tuple(k.matrix, static_cast<int>(k.solver), static_cast<int>(k.method),
+                         static_cast<int>(k.precond), static_cast<int>(k.inject_kind),
+                         k.inject_rate);
+}
+
+}  // namespace
+
+bool CellKey::operator<(const CellKey& o) const { return key_tuple(*this) < key_tuple(o); }
+bool CellKey::operator==(const CellKey& o) const { return key_tuple(*this) == key_tuple(o); }
+
+std::string CellKey::label() const {
+  std::string s = matrix;
+  s += "/";
+  s += solver_name(solver);
+  if (solver == SolverKind::Cg) {
+    s += "/";
+    s += method_cli_name(method);
+  }
+  s += "/";
+  s += precond_name(precond);
+  if (inject_kind != InjectionKind::None) {
+    s += "/";
+    s += injection_name(inject_kind);
+    s += "=" + Table::num(inject_rate, 3);
+  }
+  return s;
+}
+
+CellKey cell_of(const JobSpec& spec) {
+  CellKey k;
+  k.matrix = spec.matrix;
+  k.solver = spec.solver;
+  k.method = spec.method;
+  k.precond = spec.precond;
+  k.inject_kind = spec.inject.kind;
+  k.inject_rate = spec.inject.rate();
+  return k;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.p50 = percentile(xs, 50.0);
+  s.p95 = percentile(xs, 95.0);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  return s;
+}
+
+std::map<CellKey, std::vector<std::size_t>> group_by_cell(const CampaignResult& c) {
+  std::map<CellKey, std::vector<std::size_t>> cells;
+  for (std::size_t i = 0; i < c.specs.size(); ++i)
+    cells[cell_of(c.specs[i])].push_back(i);
+  return cells;
+}
+
+std::vector<CellSummary> aggregate(const CampaignResult& c) {
+  std::vector<CellSummary> out;
+  for (const auto& [key, indices] : group_by_cell(c)) {
+    CellSummary cell;
+    cell.key = key;
+    std::vector<double> iters, secs, relres, errs;
+    for (std::size_t i : indices) {
+      const JobResult& r = c.results[i];
+      if (!r.ran) {
+        ++cell.failed;
+        continue;
+      }
+      ++cell.jobs;
+      if (r.converged) ++cell.converged;
+      iters.push_back(static_cast<double>(r.iterations));
+      secs.push_back(r.seconds);
+      relres.push_back(r.final_relres);
+      errs.push_back(static_cast<double>(r.errors_injected));
+      cell.stats += r.stats;
+    }
+    cell.iterations = summarize(iters);
+    cell.seconds = summarize(secs);
+    cell.relres = summarize(relres);
+    cell.errors = summarize(errs);
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace feir::campaign

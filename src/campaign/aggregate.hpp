@@ -1,0 +1,63 @@
+// Folds per-job campaign results into per-cell summaries.
+//
+// A *cell* is one point of the experiment grid with the replica axis
+// collapsed: (matrix, solver, method, preconditioner, injection).  For each
+// cell the aggregator reports sample summaries (mean, p50, p95, min, max) of
+// iterations / wall time / relative residual / error count, plus the
+// field-wise merge of every replica's RecoveryStats -- the shape the paper's
+// tables are built from.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.hpp"
+
+namespace feir::campaign {
+
+/// Grid coordinates of a cell (everything but the replica axis).
+struct CellKey {
+  std::string matrix;
+  SolverKind solver = SolverKind::Cg;
+  Method method = Method::Feir;
+  PrecondKind precond = PrecondKind::None;
+  InjectionKind inject_kind = InjectionKind::None;
+  double inject_rate = 0.0;
+
+  bool operator<(const CellKey& o) const;
+  bool operator==(const CellKey& o) const;
+  /// "thermal2/cg/feir/none/mtbe_iters=200" -- report and log label.
+  std::string label() const;
+};
+
+CellKey cell_of(const JobSpec& spec);
+
+/// Five-number summary of one sample.
+struct Summary {
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, min = 0.0, max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// One cell's folded results.
+struct CellSummary {
+  CellKey key;
+  std::size_t jobs = 0;       ///< replicas that ran
+  std::size_t failed = 0;     ///< replicas whose setup errored
+  std::size_t converged = 0;
+  Summary iterations;
+  Summary seconds;
+  Summary relres;
+  Summary errors;             ///< injected errors per replica
+  RecoveryStats stats;        ///< merged over replicas
+};
+
+/// Job indices per cell, in spec order.  The benches use this to apply their
+/// own folds (e.g. Fig. 4's divergence penalty) without re-running the sweep.
+std::map<CellKey, std::vector<std::size_t>> group_by_cell(const CampaignResult& c);
+
+/// Full fold: one CellSummary per cell, cells in CellKey order.
+std::vector<CellSummary> aggregate(const CampaignResult& c);
+
+}  // namespace feir::campaign

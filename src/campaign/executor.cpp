@@ -1,0 +1,354 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+
+#include "campaign/injection.hpp"
+#include "core/resilient_bicgstab.hpp"
+#include "core/resilient_cg.hpp"
+#include "core/resilient_gmres.hpp"
+#include "fault/injector.hpp"
+#include "fault/sighandler.hpp"
+#include "precond/fixedpoint.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir::campaign {
+
+namespace detail {
+
+/// Shared immutable state for one unique (matrix, scale).
+struct ProblemEntry {
+  TestbedProblem problem;
+  std::string error;  // non-empty: load failed, jobs on it fail too
+};
+
+struct PrecondEntry {
+  std::unique_ptr<Preconditioner> M;
+  const BlockJacobi* bj = nullptr;  // set when the entry is a BlockJacobi
+  std::string error;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::PrecondEntry;
+using detail::ProblemEntry;
+
+std::string problem_key(const JobSpec& s) {
+  return s.matrix + "@" + std::to_string(s.scale);
+}
+
+std::string precond_key(const JobSpec& s) {
+  return problem_key(s) + "#" + precond_name(s.precond) + "#" +
+         std::to_string(s.block_rows);
+}
+
+std::unique_ptr<Preconditioner> make_precond(PrecondKind kind, const CsrMatrix& A,
+                                             index_t block_rows, const BlockJacobi** bj) {
+  const BlockLayout layout(A.n, block_rows);
+  switch (kind) {
+    case PrecondKind::None: return nullptr;
+    case PrecondKind::Jacobi:
+      return std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
+    case PrecondKind::BlockJacobi: {
+      auto m = std::make_unique<BlockJacobi>(A, layout);
+      *bj = m.get();
+      return m;
+    }
+    case PrecondKind::Sweeps: return std::make_unique<JacobiSweeps>(A, layout, 3);
+  }
+  return nullptr;
+}
+
+/// Per-iteration injection driver: deterministic iteration-space errors
+/// and/or the Fig.-3 single-shot error, fired from the solver's host-thread
+/// sync point.  `domain` and `iter_inject` are bound after the solver is
+/// constructed; the hook reads them lazily at call time.
+struct InjectionHooks {
+  const JobSpec* spec = nullptr;
+  FaultDomain* domain = nullptr;
+  std::unique_ptr<IterationInjector> iter_inject;
+  bool single_fired = false;
+  std::uint64_t single_count = 0;
+
+  /// Binds the hooks to a constructed solver's fault domain.
+  void attach(FaultDomain& d) {
+    domain = &d;
+    if (spec->inject.kind == InjectionKind::IterationMtbe && spec->inject.mean_iters > 0)
+      iter_inject = std::make_unique<IterationInjector>(d, spec->inject.mean_iters,
+                                                        spec->seed);
+  }
+
+  std::function<void(const IterRecord&)> hook() {
+    return [this](const IterRecord& rec) {
+      if (iter_inject) iter_inject->on_iteration(rec.iter);
+      if (spec->inject.kind == InjectionKind::SingleAtTime && !single_fired &&
+          rec.time_s >= spec->inject.at_s && domain != nullptr) {
+        ProtectedRegion* r = domain->find(spec->inject.region);
+        if (r != nullptr && r->layout.num_blocks() > 0) {
+          const double frac = std::clamp(spec->inject.block_frac, 0.0, 1.0);
+          index_t block = static_cast<index_t>(
+              frac * static_cast<double>(r->layout.num_blocks()));
+          block = std::min(block, r->layout.num_blocks() - 1);
+          r->lose_block(block);
+          FaultDomain::epoch().fetch_add(1, std::memory_order_acq_rel);
+          ++single_count;
+        }
+        single_fired = true;
+      }
+    };
+  }
+
+  std::uint64_t count() const {
+    return (iter_inject ? iter_inject->count() : 0) + single_count;
+  }
+};
+
+/// Runs the constructed solver under the job's injection process and maps
+/// the solver-specific result onto a JobResult.
+template <typename Solver, typename Result>
+JobResult run_with_injection(const JobSpec& spec, Solver& solver, index_t n,
+                             InjectionHooks& hooks) {
+  hooks.attach(solver.domain());
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  JobResult out;
+  out.ran = true;
+
+  const bool wallclock =
+      spec.inject.kind == InjectionKind::WallClockMtbe && spec.inject.mtbe_s > 0;
+  const bool mprotect = wallclock && spec.inject.mprotect;
+  if (mprotect) {
+    // Process-global handler state: only one job may use it at a time (the
+    // single-run driver does; campaigns always inject softly).
+    install_due_handler();
+    activate_due_domain(&solver.domain());
+  }
+  ErrorInjector inj(solver.domain(),
+                    {wallclock ? spec.inject.mtbe_s : 1.0, spec.seed,
+                     mprotect ? InjectMode::Mprotect : InjectMode::Soft});
+  if (wallclock) inj.start();
+  Result r;
+  try {
+    r = solver.solve(x.data());
+  } catch (...) {
+    // The caller catches and keeps running: the injector thread must stop
+    // and the global DUE handler must forget this solver's domain before it
+    // is destroyed.
+    inj.stop();
+    if (mprotect) activate_due_domain(nullptr);
+    throw;
+  }
+  if (wallclock) inj.stop();
+  if (mprotect) activate_due_domain(nullptr);
+
+  out.errors_injected = inj.count() + hooks.count();
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.final_relres = r.final_relres;
+  out.seconds = r.seconds;
+  out.stats = r.stats;
+  out.history = r.history;
+  if constexpr (std::is_same_v<Result, ResilientCgResult>) {
+    out.tasks = r.tasks;
+    out.states = r.states;
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(std::move(opts)) {}
+
+CampaignExecutor::~CampaignExecutor() = default;
+
+TestbedProblem CampaignExecutor::load_problem(const std::string& matrix, double scale) {
+  if (matrix.find('.') != std::string::npos || matrix.find('/') != std::string::npos) {
+    TestbedProblem p;
+    p.name = matrix;
+    p.A = read_matrix_market_file(matrix);
+    p.x_true.assign(static_cast<std::size_t>(p.A.n), 1.0);
+    p.b.assign(static_cast<std::size_t>(p.A.n), 0.0);
+    spmv(p.A, p.x_true.data(), p.b.data());
+    return p;
+  }
+  return make_testbed(matrix, scale);
+}
+
+JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p,
+                                    const Preconditioner* M, const BlockJacobi* bj) {
+  JobResult out;
+  try {
+    InjectionHooks hooks;
+    hooks.spec = &spec;
+
+    switch (spec.solver) {
+      case SolverKind::Cg: {
+        if (M != nullptr && bj == nullptr)
+          throw std::invalid_argument("resilient CG takes blockjacobi or none");
+        ResilientCgOptions opts;
+        opts.method = spec.method;
+        opts.tol = spec.tol;
+        opts.max_iter = spec.max_iter;
+        opts.max_seconds = spec.max_seconds;
+        opts.block_rows = spec.block_rows;
+        opts.threads = spec.threads;
+        opts.record_history = spec.record_history;
+        opts.expected_mtbe_s = spec.expected_mtbe_s;
+        if (spec.method == Method::Checkpoint) {
+          opts.ckpt.period_iters = spec.ckpt_period_iters;
+          opts.ckpt.path = spec.ckpt_path;  // empty = in-memory
+        }
+        opts.on_iteration = hooks.hook();
+        ResilientCg solver(p.A, p.b.data(), opts, bj);
+        out = run_with_injection<ResilientCg, ResilientCgResult>(spec, solver, p.A.n,
+                                                                 hooks);
+        break;
+      }
+      case SolverKind::Bicgstab: {
+        ResilientBicgstabOptions opts;
+        opts.tol = spec.tol;
+        opts.max_iter = spec.max_iter;
+        opts.block_rows = spec.block_rows;
+        opts.record_history = spec.record_history;
+        opts.on_iteration = hooks.hook();
+        ResilientBicgstab solver(p.A, p.b.data(), opts, M);
+        out = run_with_injection<ResilientBicgstab, ResilientBicgstabResult>(
+            spec, solver, p.A.n, hooks);
+        break;
+      }
+      case SolverKind::Gmres: {
+        ResilientGmresOptions opts;
+        opts.tol = spec.tol;
+        opts.max_iter = spec.max_iter;
+        opts.restart = spec.gmres_restart;
+        opts.block_rows = spec.block_rows;
+        opts.record_history = spec.record_history;
+        opts.on_iteration = hooks.hook();
+        ResilientGmres solver(p.A, p.b.data(), opts, M);
+        out = run_with_injection<ResilientGmres, ResilientGmresResult>(spec, solver,
+                                                                       p.A.n, hooks);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out = JobResult{};
+    out.error = e.what();
+  }
+  return out;
+}
+
+CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
+  CampaignResult out;
+  out.specs = std::move(specs);
+  out.results.resize(out.specs.size());
+  Stopwatch clock;
+
+  unsigned workers = opts_.concurrency;
+  if (workers == 0)
+    workers = std::max(1u, std::min(std::thread::hardware_concurrency(), 8u));
+
+  // Phase 1: build each unique problem once, in parallel on the pool.
+  // Entries already cached by a previous run() are reused as-is.
+  {
+    Runtime rt(workers);
+    for (const JobSpec& s : out.specs) {
+      const std::string key = problem_key(s);
+      const auto [it, inserted] =
+          problems_.emplace(key, std::make_unique<ProblemEntry>());
+      if (!inserted) continue;
+      ProblemEntry* e = it->second.get();
+      const JobSpec* owner = &s;
+      rt.submit(
+          [e, owner] {
+            try {
+              e->problem = load_problem(owner->matrix, owner->scale);
+            } catch (const std::exception& ex) {
+              e->error = ex.what();
+            }
+          },
+          {}, 0, "load:" + owner->matrix);
+    }
+    rt.taskwait();
+  }
+
+  // Phase 2: build each unique preconditioner once (the block-Jacobi
+  // Cholesky factorizations are the expensive ones; they are immutable after
+  // construction and shared read-only by every job on that matrix).
+  {
+    Runtime rt(workers);
+    for (const JobSpec& s : out.specs) {
+      if (s.precond == PrecondKind::None) continue;
+      const std::string key = precond_key(s);
+      const auto [it, inserted] =
+          preconds_.emplace(key, std::make_unique<PrecondEntry>());
+      if (!inserted) continue;
+      PrecondEntry* e = it->second.get();
+      const ProblemEntry& pe = *problems_.at(problem_key(s));
+      if (!pe.error.empty()) {
+        e->error = pe.error;
+        continue;
+      }
+      const JobSpec* spec = &s;
+      const TestbedProblem* prob = &pe.problem;
+      rt.submit(
+          [e, spec, prob] {
+            try {
+              e->M = make_precond(spec->precond, prob->A, spec->block_rows, &e->bj);
+            } catch (const std::exception& ex) {
+              e->error = ex.what();
+            }
+          },
+          {}, 0, "precond:" + key);
+    }
+    rt.taskwait();
+  }
+
+  // Phase 3: the jobs themselves -- one runtime task each, no dependencies;
+  // the pool's ready queue is the campaign work queue and idle workers pick
+  // up whichever job is next.
+  std::mutex done_mu;
+  std::size_t done = 0;
+  {
+    Runtime rt(workers);
+    for (std::size_t i = 0; i < out.specs.size(); ++i) {
+      const JobSpec* spec = &out.specs[i];
+      JobResult* slot = &out.results[i];
+      const ProblemEntry* pe = problems_.at(problem_key(*spec)).get();
+      const PrecondEntry* ce = spec->precond == PrecondKind::None
+                                   ? nullptr
+                                   : preconds_.at(precond_key(*spec)).get();
+      rt.submit(
+          [this, spec, slot, pe, ce, &done_mu, &done, &out] {
+            if (spec->inject.mprotect && out.specs.size() > 1) {
+              slot->error = "mprotect injection is single-job only";
+            } else if (!pe->error.empty()) {
+              slot->error = "problem: " + pe->error;
+            } else if (ce != nullptr && !ce->error.empty()) {
+              slot->error = "precond: " + ce->error;
+            } else {
+              *slot = run_job(*spec, pe->problem, ce != nullptr ? ce->M.get() : nullptr,
+                              ce != nullptr ? ce->bj : nullptr);
+            }
+            if (opts_.on_job_done) {
+              std::lock_guard<std::mutex> lk(done_mu);
+              opts_.on_job_done(++done, out.specs.size(), *spec, *slot);
+            }
+          },
+          {}, 0, "job:" + std::to_string(i));
+    }
+    rt.taskwait();
+  }
+
+  out.wall_seconds = clock.seconds();
+  return out;
+}
+
+}  // namespace feir::campaign

@@ -1,0 +1,99 @@
+// Campaign executor: runs an expanded job list concurrently on a worker
+// pool, reusing feir::Runtime (src/runtime/) as the pool -- each job is one
+// runtime task with no dependencies, so the scheduler's ready queue is the
+// work queue and idle workers steal whatever job is next.
+//
+// Parallelism lives ACROSS jobs (the paper's campaigns are embarrassingly
+// parallel); each job's solver defaults to one worker thread, which also
+// makes iteration-injected jobs bit-reproducible (see campaign/injection.hpp).
+// Shared read-only state -- testbed problems and block-Jacobi factorizations
+// -- is built once per unique (matrix, scale[, block size]) and shared by
+// every job that needs it, so a 240-job campaign over 2 matrices pays for 2
+// matrix assemblies, not 240.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/jobspec.hpp"
+#include "core/method.hpp"
+#include "precond/blockjacobi.hpp"
+#include "runtime/runtime.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/generators.hpp"
+
+namespace feir::campaign {
+
+/// Outcome of one campaign job.
+struct JobResult {
+  bool ran = false;          ///< false: setup failed, see `error`
+  std::string error;
+  bool converged = false;
+  index_t iterations = 0;
+  double final_relres = 0.0;
+  double seconds = 0.0;
+  std::uint64_t errors_injected = 0;
+  std::uint64_t tasks = 0;          ///< runtime tasks (CG only)
+  RecoveryStats stats;
+  Runtime::StateTimes states;       ///< CG only
+  std::vector<IterRecord> history;  ///< when spec.record_history
+};
+
+/// A finished campaign: specs and results share indices.
+struct CampaignResult {
+  std::vector<JobSpec> specs;
+  std::vector<JobResult> results;
+  double wall_seconds = 0.0;
+};
+
+struct ExecutorOptions {
+  /// Concurrent jobs; 0 = min(hardware_concurrency, 8).
+  unsigned concurrency = 0;
+  /// Called after each job finishes (serialized; safe to print from).
+  std::function<void(std::size_t done, std::size_t total, const JobSpec&,
+                     const JobResult&)>
+      on_job_done;
+};
+
+namespace detail {
+struct ProblemEntry;
+struct PrecondEntry;
+}  // namespace detail
+
+class CampaignExecutor {
+ public:
+  explicit CampaignExecutor(ExecutorOptions opts = {});
+  ~CampaignExecutor();
+
+  /// Builds shared problems/preconditioners, then runs every spec on the
+  /// pool.  results[i] corresponds to specs[i] regardless of the order jobs
+  /// actually finished in.  The problem/preconditioner caches persist across
+  /// run() calls on the same executor, so a two-phase experiment (measure
+  /// tau, then sweep) pays for each matrix assembly and block-Jacobi
+  /// factorization once.
+  CampaignResult run(std::vector<JobSpec> specs);
+
+  /// Runs one job standalone against a prebuilt problem.  `M` is the
+  /// preconditioner for BiCGStab/GMRES (may be null); `bj` is the
+  /// block-Jacobi instance for PCG (may be null).  Exposed so single-run
+  /// drivers (feir_solve, the benches) share the campaign's execution path.
+  static JobResult run_job(const JobSpec& spec, const TestbedProblem& p,
+                           const Preconditioner* M, const BlockJacobi* bj);
+
+  /// Loads `spec.matrix` the way feir_solve does: a testbed name, or a
+  /// MatrixMarket file when the name contains '.' or '/' (then b = A * 1).
+  static TestbedProblem load_problem(const std::string& matrix, double scale);
+
+ private:
+  ExecutorOptions opts_;
+  // Keyed by (matrix, scale) and (matrix, scale, precond, block size); see
+  // executor.cpp.  Only mutated from run(), which is not thread-safe itself.
+  std::map<std::string, std::unique_ptr<detail::ProblemEntry>> problems_;
+  std::map<std::string, std::unique_ptr<detail::PrecondEntry>> preconds_;
+};
+
+}  // namespace feir::campaign

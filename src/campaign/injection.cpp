@@ -1,0 +1,25 @@
+#include "campaign/injection.hpp"
+
+namespace feir::campaign {
+
+IterationInjector::IterationInjector(FaultDomain& domain, double mean_iters,
+                                     std::uint64_t seed)
+    : domain_(domain), rng_(seed), mean_(mean_iters) {
+  next_ = rng_.exponential(mean_);
+}
+
+void IterationInjector::on_iteration(index_t iter) {
+  while (static_cast<double>(iter) >= next_) {
+    auto [region, block] = domain_.pick_uniform(rng_);
+    if (region != nullptr) {
+      // Same soft-injection semantics as ErrorInjector::do_inject: mark the
+      // block lost and bump the global error epoch.
+      region->lose_block(block);
+      FaultDomain::epoch().fetch_add(1, std::memory_order_acq_rel);
+      ++count_;
+    }
+    next_ += rng_.exponential(mean_);
+  }
+}
+
+}  // namespace feir::campaign

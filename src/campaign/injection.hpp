@@ -1,0 +1,49 @@
+// Deterministic, iteration-driven error injection for replayable campaigns.
+//
+// The paper's injector (fault/injector.hpp) draws inter-error gaps in wall
+// time from a separate thread -- faithful to real DUEs, but two runs of the
+// same job never see the same error sequence.  For campaign-scale runs we
+// also want the opposite: the SAME seed must reproduce the SAME injections,
+// so a stored results.json can be regenerated bit-identically and any job
+// can be replayed in isolation.
+//
+// IterationInjector achieves that by moving the exponential process into
+// iteration space: gaps ~ Exp(mean_iters), fired from the solver's
+// on_iteration hook.  That hook runs on the host thread at the taskwait
+// barrier between iterations, so state masks only change at deterministic
+// points and the solve itself becomes reproducible (with one worker thread,
+// task execution order is fixed by the ready-queue priority order).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/domain.hpp"
+#include "support/layout.hpp"
+#include "support/rng.hpp"
+
+namespace feir::campaign {
+
+/// Exponential error process over iteration counts.  Wire `on_iteration`
+/// into the solver's per-iteration callback; the same (domain shape, seed)
+/// always yields the same (iteration, region, block) error sequence.
+class IterationInjector {
+ public:
+  /// `mean_iters` is the mean number of iterations between errors (> 0).
+  IterationInjector(FaultDomain& domain, double mean_iters, std::uint64_t seed);
+
+  /// Fires every error whose scheduled arrival is <= `iter` (possibly
+  /// several, possibly none).  Call once per solver iteration, in order.
+  void on_iteration(index_t iter);
+
+  /// Errors injected so far.
+  std::uint64_t count() const { return count_; }
+
+ private:
+  FaultDomain& domain_;
+  Rng rng_;
+  double mean_;
+  double next_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace feir::campaign

@@ -1,0 +1,100 @@
+#include "campaign/jobspec.hpp"
+
+namespace feir::campaign {
+
+const char* solver_name(SolverKind k) {
+  switch (k) {
+    case SolverKind::Cg: return "cg";
+    case SolverKind::Bicgstab: return "bicgstab";
+    case SolverKind::Gmres: return "gmres";
+  }
+  return "?";
+}
+
+const char* precond_name(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::None: return "none";
+    case PrecondKind::Jacobi: return "jacobi";
+    case PrecondKind::BlockJacobi: return "blockjacobi";
+    case PrecondKind::Sweeps: return "sweeps";
+  }
+  return "?";
+}
+
+const char* injection_name(InjectionKind k) {
+  switch (k) {
+    case InjectionKind::None: return "none";
+    case InjectionKind::WallClockMtbe: return "mtbe_s";
+    case InjectionKind::IterationMtbe: return "mtbe_iters";
+    case InjectionKind::SingleAtTime: return "single";
+  }
+  return "?";
+}
+
+bool solver_from_name(const std::string& s, SolverKind* out) {
+  if (s == "cg") *out = SolverKind::Cg;
+  else if (s == "bicgstab") *out = SolverKind::Bicgstab;
+  else if (s == "gmres") *out = SolverKind::Gmres;
+  else return false;
+  return true;
+}
+
+bool precond_from_name(const std::string& s, PrecondKind* out) {
+  if (s == "none") *out = PrecondKind::None;
+  else if (s == "jacobi") *out = PrecondKind::Jacobi;
+  else if (s == "blockjacobi") *out = PrecondKind::BlockJacobi;
+  else if (s == "sweeps") *out = PrecondKind::Sweeps;
+  else return false;
+  return true;
+}
+
+double Injection::rate() const {
+  switch (kind) {
+    case InjectionKind::None: return 0.0;
+    case InjectionKind::WallClockMtbe: return mtbe_s;
+    case InjectionKind::IterationMtbe: return mean_iters;
+    case InjectionKind::SingleAtTime: return at_s;
+  }
+  return 0.0;
+}
+
+std::vector<JobSpec> expand_grid(const GridSpec& grid) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(grid.size());
+  for (const std::string& matrix : grid.matrices)
+    for (SolverKind solver : grid.solvers)
+      for (Method method : grid.methods) {
+        // The method axis is CG-only (as in feir_solve): a non-CG solver
+        // ignores it, so emit exactly one job per remaining coordinate and
+        // pin a canonical method to keep cell keys unambiguous.
+        if (solver != SolverKind::Cg && method != grid.methods.front()) continue;
+        for (PrecondKind precond : grid.preconds)
+          for (const Injection& inject : grid.injections)
+            for (int rep = 0; rep < grid.replicas; ++rep) {
+              JobSpec j;
+              j.index = jobs.size();
+              j.matrix = matrix;
+              j.scale = grid.scale;
+              j.solver = solver;
+              j.method = solver == SolverKind::Cg ? method : Method::Ideal;
+              j.precond = precond;
+              j.inject = inject;
+              j.replica = rep;
+              j.seed = derive_job_seed(grid.campaign_seed, j.index);
+              j.tol = grid.tol;
+              j.max_iter = grid.max_iter;
+              j.max_seconds = grid.max_seconds;
+              j.block_rows = grid.block_rows;
+              j.threads = grid.threads;
+              j.gmres_restart = grid.gmres_restart;
+              j.ckpt_period_iters = grid.ckpt_period_iters;
+              if (j.method == Method::Checkpoint &&
+                  inject.kind == InjectionKind::WallClockMtbe)
+                j.expected_mtbe_s = inject.mtbe_s;
+              jobs.push_back(std::move(j));
+            }
+      }
+  return jobs;
+}
+
+}  // namespace feir::campaign

@@ -1,0 +1,134 @@
+// Job grid of a fault-injection campaign.
+//
+// The paper's evaluation (Figs. 3-5, Tables 2-3) is a *campaign*: thousands
+// of independent resilient solves swept over (matrix x solver x method x
+// preconditioner x error rate x replica).  A JobSpec is one point of that
+// product; expand_grid() enumerates a GridSpec into the full job list with
+// deterministic per-job seeds (campaign seed (+) job index), so any single
+// job is replayable in isolation through `feir_solve --seed <job seed>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/method.hpp"
+#include "support/layout.hpp"
+#include "support/page_buffer.hpp"
+#include "support/rng.hpp"
+
+namespace feir::campaign {
+
+/// Which solver family runs the job.  Method selection (ideal..afeir) only
+/// applies to CG, mirroring feir_solve.
+enum class SolverKind : std::uint8_t { Cg, Bicgstab, Gmres };
+
+enum class PrecondKind : std::uint8_t { None, Jacobi, BlockJacobi, Sweeps };
+
+/// How errors reach the job's fault domain.
+enum class InjectionKind : std::uint8_t {
+  None,          ///< fault-free run
+  WallClockMtbe, ///< background ErrorInjector thread, Exp(mtbe_s) wall time
+                 ///< (the paper's 5.3 methodology; timing-dependent)
+  IterationMtbe, ///< Exp(mean_iters) in iteration space, fired from the
+                 ///< solver's per-iteration sync point (bit-reproducible)
+  SingleAtTime,  ///< one error when wall time crosses at_s (the Fig. 3
+                 ///< scenario: a chosen page of a chosen region)
+};
+
+const char* solver_name(SolverKind k);
+const char* precond_name(PrecondKind k);
+const char* injection_name(InjectionKind k);
+bool solver_from_name(const std::string& s, SolverKind* out);
+bool precond_from_name(const std::string& s, PrecondKind* out);
+
+/// Error-injection process of one job.
+struct Injection {
+  InjectionKind kind = InjectionKind::None;
+  double mtbe_s = 0.0;      ///< WallClockMtbe: mean seconds between errors
+  double mean_iters = 0.0;  ///< IterationMtbe: mean iterations between errors
+  double at_s = 0.0;        ///< SingleAtTime: trigger time
+  std::string region = "x"; ///< SingleAtTime: target region name
+  double block_frac = 0.5;  ///< SingleAtTime: block position in [0, 1)
+  /// WallClockMtbe only: revoke page access instead of soft mask marking, so
+  /// the victim's own access faults (the paper's mechanism).  Uses the
+  /// process-global DUE handler -- single-job use only (feir_solve), never
+  /// valid for concurrent campaign jobs.
+  bool mprotect = false;
+
+  /// The rate knob for cell grouping/reporting: mtbe_s, mean_iters, or at_s
+  /// depending on kind (0 for None).
+  double rate() const;
+};
+
+/// One point of the campaign product, with every knob the executor needs to
+/// run it standalone.
+struct JobSpec {
+  std::size_t index = 0;      ///< position in the expanded job list
+  std::string matrix = "ecology2";
+  double scale = 0.35;
+  SolverKind solver = SolverKind::Cg;
+  Method method = Method::Feir;
+  PrecondKind precond = PrecondKind::None;
+  Injection inject;
+  int replica = 0;
+  std::uint64_t seed = 1;     ///< derive_job_seed(campaign_seed, index)
+
+  double tol = 1e-10;
+  index_t max_iter = 500000;
+  double max_seconds = 0.0;   ///< wall budget; 0 = unlimited
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  unsigned threads = 1;       ///< solver worker threads (campaigns get their
+                              ///< parallelism across jobs, not within them)
+  index_t gmres_restart = 30;
+  double expected_mtbe_s = 0.0;  ///< feeds the ckpt period model when > 0
+  index_t ckpt_period_iters = 0; ///< explicit ckpt period; 0 = model/default
+  std::string ckpt_path;         ///< empty = in-memory checkpoints
+  bool record_history = false;
+};
+
+/// Axes of the campaign product plus the defaults stamped onto every job.
+struct GridSpec {
+  std::vector<std::string> matrices{"ecology2"};
+  std::vector<SolverKind> solvers{SolverKind::Cg};
+  std::vector<Method> methods{Method::Feir};
+  std::vector<PrecondKind> preconds{PrecondKind::None};
+  std::vector<Injection> injections{Injection{}};
+  int replicas = 1;
+
+  std::uint64_t campaign_seed = 1;
+  double scale = 0.35;
+  double tol = 1e-10;
+  index_t max_iter = 500000;
+  double max_seconds = 0.0;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  unsigned threads = 1;
+  index_t gmres_restart = 30;
+  index_t ckpt_period_iters = 0;
+
+  /// Number of jobs expand_grid() will produce.  The method axis only
+  /// multiplies CG jobs; other solvers ignore it and get one job per
+  /// remaining coordinate.
+  std::size_t size() const {
+    std::size_t method_jobs = 0;
+    for (SolverKind s : solvers)
+      method_jobs += s == SolverKind::Cg ? methods.size() : 1;
+    return matrices.size() * method_jobs * preconds.size() * injections.size() *
+           static_cast<std::size_t>(replicas);
+  }
+};
+
+/// Statistically independent per-job seed from the campaign seed and the
+/// job's grid index (SplitMix64 over seed (+) golden-ratio-spread index).
+inline std::uint64_t derive_job_seed(std::uint64_t campaign_seed, std::uint64_t job_index) {
+  std::uint64_t s = campaign_seed ^ (0x9e3779b97f4a7c15ULL * (job_index + 1));
+  return splitmix64(s);
+}
+
+/// Enumerates the grid in row-major axis order (matrices outermost, replicas
+/// innermost), assigning indices and derived seeds.  Checkpoint jobs under
+/// wall-clock injection get expected_mtbe_s = mtbe_s (the period model input
+/// the benches use).
+std::vector<JobSpec> expand_grid(const GridSpec& grid);
+
+}  // namespace feir::campaign

@@ -1,0 +1,283 @@
+#include "campaign/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace feir::campaign {
+
+namespace {
+
+/// Shortest deterministic JSON number for a double; non-finite values (which
+/// JSON cannot carry) become null.
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jnum(std::uint64_t v) { return std::to_string(v); }
+std::string jnum(index_t v) { return std::to_string(v); }
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Tiny order-preserving JSON object/array builder.
+class Json {
+ public:
+  explicit Json(int indent) : indent_(indent) {}
+
+  Json& field(const std::string& key, const std::string& raw_value) {
+    pairs_.push_back(jstr(key) + ": " + raw_value);
+    return *this;
+  }
+
+  std::string object() const {
+    const std::string pad(static_cast<std::size_t>(indent_) * 2, ' ');
+    const std::string inner_pad = pad + "  ";
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      out += inner_pad + pairs_[i];
+      if (i + 1 < pairs_.size()) out += ",";
+      out += "\n";
+    }
+    out += pad + "}";
+    return out;
+  }
+
+  /// Single-line object for small leaf records.
+  std::string inline_object() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      out += pairs_[i];
+      if (i + 1 < pairs_.size()) out += ", ";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  int indent_;
+  std::vector<std::string> pairs_;
+};
+
+std::string injection_json(const Injection& inj) {
+  Json j(0);
+  j.field("kind", jstr(injection_name(inj.kind)));
+  j.field("rate", jnum(inj.rate()));
+  if (inj.kind == InjectionKind::SingleAtTime) {
+    j.field("region", jstr(inj.region));
+    j.field("block_frac", jnum(inj.block_frac));
+  }
+  return j.inline_object();
+}
+
+std::string stats_json(const RecoveryStats& s) {
+  Json j(0);
+  j.field("errors_detected", jnum(s.errors_detected));
+  j.field("lincomb_recoveries", jnum(s.lincomb_recoveries));
+  j.field("diag_solves", jnum(s.diag_solves));
+  j.field("spmv_recomputes", jnum(s.spmv_recomputes));
+  j.field("alt_q_recoveries", jnum(s.alt_q_recoveries));
+  j.field("residual_recomputes", jnum(s.residual_recomputes));
+  j.field("x_recoveries", jnum(s.x_recoveries));
+  j.field("precond_reapplies", jnum(s.precond_reapplies));
+  j.field("redo_updates", jnum(s.redo_updates));
+  j.field("contrib_recomputes", jnum(s.contrib_recomputes));
+  j.field("unrecoverable", jnum(s.unrecoverable));
+  j.field("rollbacks", jnum(s.rollbacks));
+  j.field("restarts", jnum(s.restarts));
+  j.field("checkpoints", jnum(s.checkpoints));
+  j.field("zeroed_blocks", jnum(s.zeroed_blocks));
+  j.field("overwritten_losses", jnum(s.overwritten_losses));
+  return j.inline_object();
+}
+
+std::string summary_json(const Summary& s) {
+  Json j(0);
+  j.field("mean", jnum(s.mean));
+  j.field("p50", jnum(s.p50));
+  j.field("p95", jnum(s.p95));
+  j.field("min", jnum(s.min));
+  j.field("max", jnum(s.max));
+  return j.inline_object();
+}
+
+const char* kSummaryCsvCols[] = {"mean", "p50", "p95", "min", "max"};
+
+void summary_csv(std::string& out, const Summary& s) {
+  out += "," + jnum(s.mean) + "," + jnum(s.p50) + "," + jnum(s.p95) + "," + jnum(s.min) +
+         "," + jnum(s.max);
+}
+
+void summary_csv_header(std::string& out, const std::string& prefix) {
+  for (const char* col : kSummaryCsvCols) out += "," + prefix + "_" + col;
+}
+
+}  // namespace
+
+std::string job_record_json(const JobSpec& spec, const JobResult& result, bool timing,
+                            int indent) {
+  Json j(indent);
+  j.field("index", jnum(static_cast<std::uint64_t>(spec.index)));
+  j.field("matrix", jstr(spec.matrix));
+  j.field("scale", jnum(spec.scale));
+  j.field("solver", jstr(solver_name(spec.solver)));
+  j.field("method", jstr(method_cli_name(spec.method)));
+  j.field("precond", jstr(precond_name(spec.precond)));
+  j.field("injection", injection_json(spec.inject));
+  j.field("replica", jnum(static_cast<std::uint64_t>(spec.replica)));
+  j.field("seed", jnum(spec.seed));
+  j.field("tol", jnum(spec.tol));
+  j.field("block_rows", jnum(spec.block_rows));
+  j.field("threads", jnum(static_cast<std::uint64_t>(spec.threads)));
+  if (!result.ran) {
+    j.field("error", jstr(result.error));
+    return j.object();
+  }
+  j.field("converged", result.converged ? "true" : "false");
+  j.field("iterations", jnum(result.iterations));
+  j.field("relres", jnum(result.final_relres));
+  j.field("errors_injected", jnum(result.errors_injected));
+  j.field("stats", stats_json(result.stats));
+  if (timing) {
+    j.field("seconds", jnum(result.seconds));
+    j.field("tasks", jnum(result.tasks));
+  }
+  return j.object();
+}
+
+std::string campaign_json(const CampaignResult& c, const std::vector<CellSummary>& cells,
+                          std::uint64_t campaign_seed, bool timing) {
+  std::string out = "{\n  \"campaign\": ";
+  {
+    Json hdr(1);
+    hdr.field("seed", jnum(campaign_seed));
+    hdr.field("jobs", jnum(static_cast<std::uint64_t>(c.specs.size())));
+    hdr.field("cells", jnum(static_cast<std::uint64_t>(cells.size())));
+    hdr.field("timing", timing ? "true" : "false");
+    if (timing) hdr.field("wall_seconds", jnum(c.wall_seconds));
+    out += hdr.object();
+  }
+
+  out += ",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < c.specs.size(); ++i) {
+    out += "    " + job_record_json(c.specs[i], c.results[i], timing, 2);
+    if (i + 1 < c.specs.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"cells\": [\n";
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellSummary& cell = cells[i];
+    Json j(2);
+    j.field("cell", jstr(cell.key.label()));
+    j.field("matrix", jstr(cell.key.matrix));
+    j.field("solver", jstr(solver_name(cell.key.solver)));
+    j.field("method", jstr(method_cli_name(cell.key.method)));
+    j.field("precond", jstr(precond_name(cell.key.precond)));
+    {
+      Json inj(0);
+      inj.field("kind", jstr(injection_name(cell.key.inject_kind)));
+      inj.field("rate", jnum(cell.key.inject_rate));
+      j.field("injection", inj.inline_object());
+    }
+    j.field("jobs", jnum(static_cast<std::uint64_t>(cell.jobs)));
+    j.field("failed", jnum(static_cast<std::uint64_t>(cell.failed)));
+    j.field("converged", jnum(static_cast<std::uint64_t>(cell.converged)));
+    j.field("iterations", summary_json(cell.iterations));
+    j.field("relres", summary_json(cell.relres));
+    j.field("errors", summary_json(cell.errors));
+    j.field("stats", stats_json(cell.stats));
+    if (timing) j.field("seconds", summary_json(cell.seconds));
+    out += "    " + j.object();
+    if (i + 1 < cells.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
+  std::string out = "matrix,solver,method,precond,inject_kind,inject_rate,jobs,failed,converged";
+  summary_csv_header(out, "iters");
+  summary_csv_header(out, "relres");
+  summary_csv_header(out, "errors");
+  if (timing) summary_csv_header(out, "seconds");
+  out += "\n";
+  for (const CellSummary& cell : cells) {
+    out += cell.key.matrix;
+    out += std::string(",") + solver_name(cell.key.solver);
+    out += std::string(",") + method_cli_name(cell.key.method);
+    out += std::string(",") + precond_name(cell.key.precond);
+    out += std::string(",") + injection_name(cell.key.inject_kind);
+    out += "," + jnum(cell.key.inject_rate);
+    out += "," + std::to_string(cell.jobs);
+    out += "," + std::to_string(cell.failed);
+    out += "," + std::to_string(cell.converged);
+    summary_csv(out, cell.iterations);
+    summary_csv(out, cell.relres);
+    summary_csv(out, cell.errors);
+    if (timing) summary_csv(out, cell.seconds);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string jobs_csv(const CampaignResult& c, bool timing) {
+  std::string out =
+      "index,matrix,solver,method,precond,inject_kind,inject_rate,replica,seed,"
+      "converged,iterations,relres,errors_injected";
+  if (timing) out += ",seconds";
+  out += "\n";
+  for (std::size_t i = 0; i < c.specs.size(); ++i) {
+    const JobSpec& s = c.specs[i];
+    const JobResult& r = c.results[i];
+    out += std::to_string(s.index);
+    out += "," + s.matrix;
+    out += std::string(",") + solver_name(s.solver);
+    out += std::string(",") + method_cli_name(s.method);
+    out += std::string(",") + precond_name(s.precond);
+    out += std::string(",") + injection_name(s.inject.kind);
+    out += "," + jnum(s.inject.rate());
+    out += "," + std::to_string(s.replica);
+    out += "," + std::to_string(s.seed);
+    out += r.converged ? ",1" : ",0";
+    out += "," + std::to_string(r.iterations);
+    out += "," + jnum(r.final_relres);
+    out += "," + std::to_string(r.errors_injected);
+    if (timing) out += "," + jnum(r.seconds);
+    out += "\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace feir::campaign

@@ -1,0 +1,42 @@
+// Campaign report writers: JSON (full per-job records + per-cell summaries)
+// and CSV (flat tables for spreadsheets / plotting scripts).
+//
+// Output is deliberately byte-deterministic: fixed key order, fixed "%.17g"
+// float formatting, no timestamps.  Wall-clock measurements (per-job seconds,
+// runtime task counts, state times) are the one nondeterministic ingredient,
+// so they are gated behind `timing`: with timing=false the same campaign
+// seed regenerates a bit-identical report, which is what `feir_campaign`
+// emits by default and what the replay test locks in.
+//
+// feir_solve --json emits a single job_record_json(), so one-off runs and
+// campaign jobs are directly diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/executor.hpp"
+
+namespace feir::campaign {
+
+/// One job as a JSON object (the shared single-run/campaign record schema).
+/// `indent` is the number of two-space levels the object is nested at.
+std::string job_record_json(const JobSpec& spec, const JobResult& result, bool timing,
+                            int indent = 0);
+
+/// The whole campaign: header, per-job records, per-cell summaries.
+std::string campaign_json(const CampaignResult& c, const std::vector<CellSummary>& cells,
+                          std::uint64_t campaign_seed, bool timing);
+
+/// Per-cell summary table, one row per cell.
+std::string cells_csv(const std::vector<CellSummary>& cells, bool timing);
+
+/// Per-job flat table, one row per job.
+std::string jobs_csv(const CampaignResult& c, bool timing);
+
+/// Writes `content` to `path`; returns false (and leaves errno set) on
+/// failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace feir::campaign

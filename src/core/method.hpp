@@ -28,6 +28,33 @@ inline const char* method_name(Method m) {
   return "?";
 }
 
+/// Lowercase CLI/config spelling of a method ("ideal", ..., "afeir"); the
+/// inverse of method_from_name.
+inline const char* method_cli_name(Method m) {
+  switch (m) {
+    case Method::Ideal: return "ideal";
+    case Method::Trivial: return "trivial";
+    case Method::Checkpoint: return "ckpt";
+    case Method::Lossy: return "lossy";
+    case Method::Feir: return "feir";
+    case Method::Afeir: return "afeir";
+  }
+  return "?";
+}
+
+/// Parses the lowercase CLI spelling; returns false (leaving *out untouched)
+/// for unknown names.  Shared by feir_solve and the campaign grid parser.
+inline bool method_from_name(const std::string& s, Method* out) {
+  if (s == "ideal") *out = Method::Ideal;
+  else if (s == "trivial") *out = Method::Trivial;
+  else if (s == "ckpt") *out = Method::Checkpoint;
+  else if (s == "lossy") *out = Method::Lossy;
+  else if (s == "feir") *out = Method::Feir;
+  else if (s == "afeir") *out = Method::Afeir;
+  else return false;
+  return true;
+}
+
 /// Counters describing what the recovery machinery did during a solve.
 struct RecoveryStats {
   std::uint64_t errors_detected = 0;    ///< lost blocks observed
@@ -46,6 +73,34 @@ struct RecoveryStats {
   std::uint64_t checkpoints = 0;        ///< checkpoints written
   std::uint64_t zeroed_blocks = 0;      ///< blank-page replacements (Trivial)
   std::uint64_t overwritten_losses = 0; ///< lost pages healed by full overwrite
+
+  /// Field-wise accumulation, for folding many runs into one summary (the
+  /// campaign aggregator, bench roll-ups).
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    errors_detected += o.errors_detected;
+    lincomb_recoveries += o.lincomb_recoveries;
+    diag_solves += o.diag_solves;
+    spmv_recomputes += o.spmv_recomputes;
+    alt_q_recoveries += o.alt_q_recoveries;
+    residual_recomputes += o.residual_recomputes;
+    x_recoveries += o.x_recoveries;
+    precond_reapplies += o.precond_reapplies;
+    redo_updates += o.redo_updates;
+    contrib_recomputes += o.contrib_recomputes;
+    unrecoverable += o.unrecoverable;
+    rollbacks += o.rollbacks;
+    restarts += o.restarts;
+    checkpoints += o.checkpoints;
+    zeroed_blocks += o.zeroed_blocks;
+    overwritten_losses += o.overwritten_losses;
+    return *this;
+  }
 };
+
+/// Sum of two counter sets.
+inline RecoveryStats merge(RecoveryStats a, const RecoveryStats& b) {
+  a += b;
+  return a;
+}
 
 }  // namespace feir

@@ -132,4 +132,9 @@ std::uint64_t Runtime::tasks_executed() const {
   return executed_;
 }
 
+std::uint64_t Runtime::tasks_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
 }  // namespace feir

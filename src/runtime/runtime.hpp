@@ -67,6 +67,10 @@ class Runtime {
   /// Total number of tasks executed since construction.
   std::uint64_t tasks_executed() const;
 
+  /// Number of submitted tasks not yet finished (queued, blocked, or
+  /// running); 0 once the graph has drained.
+  std::uint64_t tasks_pending() const;
+
   /// Attaches (or detaches, with nullptr) a task tracer.  The tracer must
   /// outlive the runtime; call before submitting work.
   void set_tracer(TaskTracer* tracer) { tracer_ = tracer; }

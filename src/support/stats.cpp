@@ -34,4 +34,15 @@ double median(std::vector<double> xs) {
   return (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
 }
 
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::min(std::max(p, 0.0), 100.0);
+  const double h = (static_cast<double>(xs.size()) - 1.0) * p / 100.0;
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = h - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 }  // namespace feir

@@ -21,4 +21,9 @@ double stddev(const std::vector<double>& xs);
 /// Median (averages the two central elements for even sizes).
 double median(std::vector<double> xs);
 
+/// Percentile `p` in [0, 100] with linear interpolation between closest
+/// ranks (percentile(xs, 50) == median(xs)); 0 for an empty sample.  The
+/// campaign aggregator's p50/p95 summaries use this.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace feir

@@ -1,0 +1,437 @@
+// Unit and integration tests for src/campaign: grid expansion, seed
+// derivation, deterministic iteration-space injection, aggregation
+// percentiles, stats merging, report schema/validity, and the subsystem's
+// headline property — the same campaign seed reproduces a byte-identical
+// JSON report even with jobs running concurrently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <set>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/injection.hpp"
+#include "campaign/jobspec.hpp"
+#include "campaign/report.hpp"
+#include "support/stats.hpp"
+
+namespace feir::campaign {
+namespace {
+
+// ---------------------------------------------------------------- grid ----
+
+GridSpec small_grid() {
+  GridSpec g;
+  g.matrices = {"ecology2", "qa8fm"};
+  g.solvers = {SolverKind::Cg};
+  g.methods = {Method::Feir, Method::Trivial, Method::Checkpoint};
+  g.preconds = {PrecondKind::None};
+  Injection inj;
+  inj.kind = InjectionKind::IterationMtbe;
+  inj.mean_iters = 40.0;
+  g.injections = {inj};
+  g.replicas = 2;
+  g.scale = 0.12;
+  g.block_rows = 64;
+  g.tol = 1e-8;
+  g.max_iter = 30000;
+  g.ckpt_period_iters = 25;
+  return g;
+}
+
+TEST(GridExpansion, ProducesTheFullProduct) {
+  GridSpec g = small_grid();
+  const std::vector<JobSpec> jobs = expand_grid(g);
+  EXPECT_EQ(jobs.size(), g.size());
+  EXPECT_EQ(jobs.size(), 2u * 1u * 3u * 1u * 1u * 2u);
+
+  // Indices are positional; seeds all distinct and derived from the campaign
+  // seed; every axis value appears.
+  std::set<std::uint64_t> seeds;
+  std::set<std::string> matrices;
+  std::set<int> replicas;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].seed, derive_job_seed(g.campaign_seed, i));
+    seeds.insert(jobs[i].seed);
+    matrices.insert(jobs[i].matrix);
+    replicas.insert(jobs[i].replica);
+  }
+  EXPECT_EQ(seeds.size(), jobs.size());
+  EXPECT_EQ(matrices, (std::set<std::string>{"ecology2", "qa8fm"}));
+  EXPECT_EQ(replicas, (std::set<int>{0, 1}));
+}
+
+TEST(GridExpansion, StampsGridDefaultsOntoEveryJob) {
+  const GridSpec g = small_grid();
+  for (const JobSpec& j : expand_grid(g)) {
+    EXPECT_EQ(j.scale, g.scale);
+    EXPECT_EQ(j.block_rows, g.block_rows);
+    EXPECT_EQ(j.tol, g.tol);
+    EXPECT_EQ(j.max_iter, g.max_iter);
+    EXPECT_EQ(j.ckpt_period_iters, g.ckpt_period_iters);
+    EXPECT_EQ(j.inject.kind, InjectionKind::IterationMtbe);
+  }
+}
+
+TEST(GridExpansion, CheckpointJobsInheritWallClockMtbe) {
+  GridSpec g = small_grid();
+  Injection inj;
+  inj.kind = InjectionKind::WallClockMtbe;
+  inj.mtbe_s = 0.25;
+  g.injections = {inj};
+  for (const JobSpec& j : expand_grid(g)) {
+    if (j.method == Method::Checkpoint)
+      EXPECT_EQ(j.expected_mtbe_s, 0.25);  // feeds the Young/Daly period model
+    else
+      EXPECT_EQ(j.expected_mtbe_s, 0.0);
+  }
+}
+
+TEST(GridExpansion, MethodAxisOnlyMultipliesCgJobs) {
+  GridSpec g = small_grid();  // 3 methods, 2 matrices, 2 replicas
+  g.solvers = {SolverKind::Cg, SolverKind::Bicgstab, SolverKind::Gmres};
+  const std::vector<JobSpec> jobs = expand_grid(g);
+  // CG: 3 methods; BiCGStab/GMRES: one job each (the method axis is CG-only).
+  EXPECT_EQ(jobs.size(), g.size());
+  EXPECT_EQ(jobs.size(), 2u * (3u + 1u + 1u) * 2u);
+  for (const JobSpec& j : jobs)
+    if (j.solver != SolverKind::Cg)
+      EXPECT_EQ(j.method, Method::Ideal);  // canonical, keeps cells unambiguous
+}
+
+TEST(DeriveJobSeed, IsDeterministicAndSpreads) {
+  EXPECT_EQ(derive_job_seed(1, 0), derive_job_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 8; ++c)
+    for (std::uint64_t i = 0; i < 64; ++i) seen.insert(derive_job_seed(c, i));
+  EXPECT_EQ(seen.size(), 8u * 64u);
+}
+
+// ----------------------------------------------------------- injection ----
+
+TEST(IterationInjector, SameSeedSameErrorSequence) {
+  auto run_once = [](std::uint64_t seed) {
+    PageBuffer buf(256);
+    FaultDomain dom;
+    dom.add("x", buf.data(), 256, 64);
+    dom.add("g", buf.data(), 256, 64);
+    IterationInjector inj(dom, 10.0, seed);
+    std::vector<std::string> events;
+    for (index_t it = 0; it < 100; ++it) {
+      const std::uint64_t before = inj.count();
+      inj.on_iteration(it);
+      if (inj.count() != before) {
+        for (const auto& r : dom.regions())
+          for (index_t b = 0; b < r->layout.num_blocks(); ++b)
+            if (r->mask.get(b) != BlockState::Ok)
+              events.push_back(r->name + ":" + std::to_string(b) + "@" +
+                               std::to_string(it));
+      }
+    }
+    return std::make_pair(inj.count(), events);
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_GT(a.first, 0u);  // mean gap 10 over 100 iterations: ~10 errors
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(8);
+  EXPECT_NE(a.second, c.second);  // different seed, different sequence
+}
+
+// ---------------------------------------------------------- aggregation ----
+
+TEST(Percentile, InterpolatesBetweenClosestRanks) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 48.0);  // h = 3.8 -> 40 + 0.8*10
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 95), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  // Agrees with median on even sizes.
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), median({1, 2, 3, 4}));
+}
+
+TEST(Summarize, ComputesFiveNumberSummary) {
+  const Summary s = summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p95, 3.85);
+}
+
+TEST(RecoveryStatsMerge, SumsEveryField) {
+  RecoveryStats a, b;
+  a.errors_detected = 1;
+  a.diag_solves = 2;
+  a.restarts = 3;
+  b.errors_detected = 10;
+  b.diag_solves = 20;
+  b.checkpoints = 5;
+  b.zeroed_blocks = 7;
+  const RecoveryStats m = merge(a, b);
+  EXPECT_EQ(m.errors_detected, 11u);
+  EXPECT_EQ(m.diag_solves, 22u);
+  EXPECT_EQ(m.restarts, 3u);
+  EXPECT_EQ(m.checkpoints, 5u);
+  EXPECT_EQ(m.zeroed_blocks, 7u);
+  a += b;
+  EXPECT_EQ(a.errors_detected, m.errors_detected);
+  EXPECT_EQ(a.zeroed_blocks, m.zeroed_blocks);
+}
+
+TEST(Aggregate, FoldsReplicasIntoCells) {
+  // Synthetic campaign: 2 cells x 3 replicas, no solver involved.
+  CampaignResult c;
+  for (int method = 0; method < 2; ++method)
+    for (int rep = 0; rep < 3; ++rep) {
+      JobSpec s;
+      s.index = c.specs.size();
+      s.matrix = "m";
+      s.method = method == 0 ? Method::Feir : Method::Lossy;
+      s.replica = rep;
+      JobResult r;
+      r.ran = true;
+      r.converged = rep != 2 || method == 0;  // one lossy replica diverges
+      r.iterations = 100 + 10 * rep;
+      r.final_relres = 1e-11;
+      r.errors_injected = static_cast<std::uint64_t>(rep);
+      r.stats.restarts = 2;
+      c.specs.push_back(s);
+      c.results.push_back(r);
+    }
+
+  const std::vector<CellSummary> cells = aggregate(c);
+  ASSERT_EQ(cells.size(), 2u);
+  for (const CellSummary& cell : cells) {
+    EXPECT_EQ(cell.jobs, 3u);
+    EXPECT_EQ(cell.failed, 0u);
+    EXPECT_DOUBLE_EQ(cell.iterations.mean, 110.0);
+    EXPECT_DOUBLE_EQ(cell.iterations.p50, 110.0);
+    EXPECT_DOUBLE_EQ(cell.iterations.min, 100.0);
+    EXPECT_DOUBLE_EQ(cell.iterations.max, 120.0);
+    EXPECT_EQ(cell.stats.restarts, 6u);  // merged over replicas
+  }
+  EXPECT_EQ(cells[0].converged + cells[1].converged, 5u);
+
+  // group_by_cell exposes the same partition as indices.
+  const auto groups = group_by_cell(c);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& [key, idx] : groups) EXPECT_EQ(idx.size(), 3u);
+}
+
+// ------------------------------------------------------------- reports ----
+
+/// Minimal recursive-descent JSON syntax check (no external deps): accepts
+/// exactly the grammar of RFC 8259 minus number edge cases we never emit.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // {
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // [
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Report, JobRecordIsValidJsonWithTheSharedSchema) {
+  JobSpec spec;
+  spec.matrix = "thermal2\"quoted";  // escaping must hold
+  JobResult r;
+  r.ran = true;
+  r.converged = true;
+  r.iterations = 42;
+  r.final_relres = 3.5e-11;
+  const std::string rec = job_record_json(spec, r, /*timing=*/true);
+  EXPECT_TRUE(JsonChecker(rec).valid()) << rec;
+  // Schema keys shared between feir_solve --json and campaign job records.
+  for (const char* key : {"\"matrix\"", "\"solver\"", "\"method\"", "\"precond\"",
+                          "\"injection\"", "\"seed\"", "\"converged\"", "\"iterations\"",
+                          "\"relres\"", "\"errors_injected\"", "\"stats\"", "\"seconds\""})
+    EXPECT_NE(rec.find(key), std::string::npos) << key;
+
+  // Without timing, wall-clock fields disappear (the deterministic schema).
+  const std::string det = job_record_json(spec, r, /*timing=*/false);
+  EXPECT_EQ(det.find("\"seconds\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(det).valid()) << det;
+}
+
+TEST(Report, FailedJobsCarryTheErrorInsteadOfResults) {
+  JobSpec spec;
+  JobResult r;  // ran = false
+  r.error = "problem: no such matrix";
+  const std::string rec = job_record_json(spec, r, false);
+  EXPECT_TRUE(JsonChecker(rec).valid());
+  EXPECT_NE(rec.find("\"error\""), std::string::npos);
+  EXPECT_EQ(rec.find("\"converged\""), std::string::npos);
+}
+
+// -------------------------------------------------- end-to-end campaign ----
+
+TEST(Campaign, DeterministicReplayByteIdenticalJson) {
+  auto run_once = [] {
+    GridSpec g = small_grid();
+    CampaignExecutor ex({.concurrency = 4, .on_job_done = {}});
+    CampaignResult res = ex.run(expand_grid(g));
+    return campaign_json(res, aggregate(res), g.campaign_seed, /*timing=*/false);
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b) << "same campaign seed must reproduce the identical report";
+  EXPECT_TRUE(JsonChecker(a).valid());
+
+  // A different campaign seed shifts every derived job seed and thus the
+  // injected error sequences.
+  GridSpec g = small_grid();
+  g.campaign_seed = 999;
+  CampaignExecutor ex({.concurrency = 4, .on_job_done = {}});
+  CampaignResult res = ex.run(expand_grid(g));
+  EXPECT_NE(campaign_json(res, aggregate(res), g.campaign_seed, false), a);
+}
+
+TEST(Campaign, RunsJobsAndConverges) {
+  GridSpec g = small_grid();
+  g.matrices = {"ecology2"};
+  g.methods = {Method::Feir, Method::Afeir};
+  std::size_t done_calls = 0;
+  ExecutorOptions opts;
+  opts.concurrency = 2;
+  opts.on_job_done = [&](std::size_t done, std::size_t total, const JobSpec&,
+                         const JobResult&) {
+    ++done_calls;
+    EXPECT_LE(done, total);
+  };
+  CampaignExecutor ex(opts);
+  const CampaignResult res = ex.run(expand_grid(g));
+  ASSERT_EQ(res.results.size(), 4u);
+  EXPECT_EQ(done_calls, 4u);
+  std::uint64_t errors = 0;
+  for (const JobResult& r : res.results) {
+    EXPECT_TRUE(r.ran) << r.error;
+    EXPECT_TRUE(r.converged);  // FEIR/AFEIR absorb page losses exactly
+    errors += r.errors_injected;
+  }
+  EXPECT_GT(errors, 0u);  // mean gap 40 iters: the sweep does see errors
+}
+
+TEST(Campaign, UnknownMatrixFailsTheJobNotTheCampaign) {
+  GridSpec g = small_grid();
+  g.matrices = {"no_such_matrix"};
+  g.methods = {Method::Feir};
+  g.replicas = 1;
+  CampaignExecutor ex({.concurrency = 1, .on_job_done = {}});
+  const CampaignResult res = ex.run(expand_grid(g));
+  ASSERT_EQ(res.results.size(), 1u);
+  EXPECT_FALSE(res.results[0].ran);
+  EXPECT_FALSE(res.results[0].error.empty());
+  // The report still renders and stays valid.
+  const std::string json = campaign_json(res, aggregate(res), 1, false);
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(Campaign, CsvReportsHaveOneRowPerCellAndJob) {
+  GridSpec g = small_grid();
+  g.matrices = {"ecology2"};
+  g.methods = {Method::Feir};
+  g.replicas = 3;
+  CampaignExecutor ex({.concurrency = 2, .on_job_done = {}});
+  const CampaignResult res = ex.run(expand_grid(g));
+  const auto cells = aggregate(res);
+
+  const std::string cell_csv = cells_csv(cells, false);
+  const std::string job_csv = jobs_csv(res, false);
+  const auto lines = [](const std::string& s) {
+    return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+  };
+  EXPECT_EQ(lines(cell_csv), 1u + cells.size());
+  EXPECT_EQ(lines(job_csv), 1u + res.specs.size());
+  EXPECT_EQ(cell_csv.find("seconds"), std::string::npos);  // deterministic mode
+}
+
+}  // namespace
+}  // namespace feir::campaign

@@ -205,6 +205,19 @@ TEST(Tracer, EmptyTraceRendersGracefully) {
   EXPECT_EQ(tracer.render(), "(no events)\n");
 }
 
+TEST(Runtime, TasksPendingTracksInFlightWork) {
+  Runtime rt(2);
+  EXPECT_EQ(rt.tasks_pending(), 0u);
+  std::atomic<bool> release{false};
+  rt.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  }, {});
+  EXPECT_GE(rt.tasks_pending(), 1u);  // blocked task is still in flight
+  release = true;
+  rt.taskwait();
+  EXPECT_EQ(rt.tasks_pending(), 0u);
+}
+
 TEST(Runtime, DiamondDependency) {
   Runtime rt(4);
   int a = 0, b1 = 0, b2 = 0;

@@ -1,0 +1,262 @@
+// feir_campaign — parallel fault-injection campaign driver.
+//
+// Expands a (matrix x solver x method x preconditioner x error-rate x
+// replica) grid into independent jobs, runs them concurrently on a worker
+// pool, and writes aggregated JSON/CSV reports.
+//
+//   feir_campaign --replicas 20 --jobs 8 --out results.json
+//   feir_campaign --grid "matrices=thermal2;methods=feir,afeir;mtbe-iters=100,400"
+//   feir_campaign --matrices ecology2 --solvers cg --mtbe 0.2 --timing
+//
+// Grid axes (comma lists; also settable via --grid "k=v;k=v"):
+//   --matrices M,..       testbed names or .mtx files   (default ecology2,thermal2)
+//   --solvers  s,..       cg|bicgstab|gmres             (default cg)
+//   --methods  m,..       ideal|trivial|ckpt|lossy|feir|afeir  (CG only; default all six)
+//   --preconds p,..       none|jacobi|blockjacobi|sweeps       (default none)
+//   --mtbe-iters N,..     deterministic error injection: mean ITERATIONS
+//                         between errors (default 150)
+//   --mtbe     S,..       wall-clock error injection: mean SECONDS between
+//                         errors (replaces the default mtbe-iters axis;
+//                         timing-dependent, so reports are not replayable)
+//   --replicas R          replicas per cell (default 3)
+// Execution:
+//   --jobs N              concurrent jobs (default min(cores, 8))
+//   --threads T           worker threads per solver (default 1: campaign
+//                         parallelism lives across jobs, and one thread keeps
+//                         iteration-injected runs bit-reproducible)
+//   --seed S              campaign seed; per-job seeds derive from it (default 1)
+//   --scale S             testbed grid scale (default 0.35)
+//   --tol T               relative residual threshold (default 1e-10)
+//   --max-iter N          iteration cap per job (default 500000)
+//   --ckpt-period N       checkpoint period in iterations (default 100)
+// Output:
+//   --out FILE            JSON report (default results.json; "-" = stdout)
+//   --csv FILE            per-cell CSV summary (optional)
+//   --jobs-csv FILE       per-job CSV (optional)
+//   --timing              include wall-clock fields (seconds, task counts) in
+//                         reports; off by default so the same --seed rewrites
+//                         a byte-identical report
+//   --quiet               suppress per-job progress lines
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
+#include "campaign/report.hpp"
+#include "support/table.hpp"
+
+using namespace feir;
+using namespace feir::campaign;
+
+namespace {
+
+struct Args {
+  GridSpec grid;
+  unsigned jobs = 0;
+  std::string out = "results.json";
+  std::string csv;
+  std::string jobs_csv_path;
+  bool timing = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "feir_campaign: %s\n(see the header of tools/feir_campaign.cpp)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Applies one grid axis assignment ("methods=feir,afeir").  Shared by the
+/// individual flags and the compact --grid form.
+void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
+  const std::vector<std::string> items = split(value, ',');
+  if (items.empty()) usage("empty value for grid axis " + key);
+  if (key == "matrices") {
+    g.matrices = items;
+  } else if (key == "solvers") {
+    g.solvers.clear();
+    for (const auto& s : items) {
+      SolverKind k;
+      if (!solver_from_name(s, &k)) usage("unknown solver " + s);
+      g.solvers.push_back(k);
+    }
+  } else if (key == "methods") {
+    g.methods.clear();
+    for (const auto& s : items) {
+      Method m;
+      if (!method_from_name(s, &m)) usage("unknown method " + s);
+      g.methods.push_back(m);
+    }
+  } else if (key == "preconds") {
+    g.preconds.clear();
+    for (const auto& s : items) {
+      PrecondKind k;
+      if (!precond_from_name(s, &k)) usage("unknown precond " + s);
+      g.preconds.push_back(k);
+    }
+  } else if (key == "mtbe-iters") {
+    g.injections.clear();
+    for (const auto& s : items) {
+      Injection inj;
+      inj.kind = InjectionKind::IterationMtbe;
+      inj.mean_iters = std::atof(s.c_str());
+      if (inj.mean_iters <= 0) usage("mtbe-iters values must be > 0");
+      g.injections.push_back(inj);
+    }
+  } else if (key == "mtbe") {
+    g.injections.clear();
+    for (const auto& s : items) {
+      Injection inj;
+      inj.kind = InjectionKind::WallClockMtbe;
+      inj.mtbe_s = std::atof(s.c_str());
+      if (inj.mtbe_s <= 0) usage("mtbe values must be > 0");
+      g.injections.push_back(inj);
+    }
+  } else {
+    usage("unknown grid axis " + key);
+  }
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  a.grid.matrices = {"ecology2", "thermal2"};
+  a.grid.methods = {Method::Ideal,  Method::Trivial, Method::Checkpoint,
+                    Method::Lossy,  Method::Feir,    Method::Afeir};
+  {
+    Injection inj;
+    inj.kind = InjectionKind::IterationMtbe;
+    inj.mean_iters = 150.0;
+    a.grid.injections = {inj};
+  }
+  a.grid.replicas = 3;
+  a.grid.ckpt_period_iters = 100;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--grid") {
+      for (const std::string& kv : split(next(), ';')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) usage("grid entries must be key=value: " + kv);
+        set_axis(a.grid, kv.substr(0, eq), kv.substr(eq + 1));
+      }
+    } else if (flag == "--matrices") set_axis(a.grid, "matrices", next());
+    else if (flag == "--solvers") set_axis(a.grid, "solvers", next());
+    else if (flag == "--methods") set_axis(a.grid, "methods", next());
+    else if (flag == "--preconds") set_axis(a.grid, "preconds", next());
+    else if (flag == "--mtbe-iters") set_axis(a.grid, "mtbe-iters", next());
+    else if (flag == "--mtbe") set_axis(a.grid, "mtbe", next());
+    else if (flag == "--replicas") a.grid.replicas = std::atoi(next().c_str());
+    else if (flag == "--jobs") a.jobs = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--threads")
+      a.grid.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--seed") a.grid.campaign_seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--scale") a.grid.scale = std::atof(next().c_str());
+    else if (flag == "--tol") a.grid.tol = std::atof(next().c_str());
+    else if (flag == "--max-iter") a.grid.max_iter = std::atoll(next().c_str());
+    else if (flag == "--ckpt-period") a.grid.ckpt_period_iters = std::atoll(next().c_str());
+    else if (flag == "--out") a.out = next();
+    else if (flag == "--csv") a.csv = next();
+    else if (flag == "--jobs-csv") a.jobs_csv_path = next();
+    else if (flag == "--timing") a.timing = true;
+    else if (flag == "--quiet") a.quiet = true;
+    else usage("unknown flag " + flag);
+  }
+  if (a.grid.replicas <= 0) usage("--replicas must be > 0");
+  if (a.grid.threads == 0) usage("--threads must be > 0");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  std::vector<JobSpec> jobs = expand_grid(args.grid);
+  std::printf("campaign: %zu jobs (%zu matrices x %zu solvers x %zu methods x "
+              "%zu preconds x %zu rates x %d replicas), seed %llu\n",
+              jobs.size(), args.grid.matrices.size(), args.grid.solvers.size(),
+              args.grid.methods.size(), args.grid.preconds.size(),
+              args.grid.injections.size(), args.grid.replicas,
+              (unsigned long long)args.grid.campaign_seed);
+
+  ExecutorOptions eopts;
+  eopts.concurrency = args.jobs;
+  if (!args.quiet) {
+    eopts.on_job_done = [](std::size_t done, std::size_t total, const JobSpec& spec,
+                           const JobResult& r) {
+      if (!r.ran) {
+        std::printf("[%zu/%zu] %s #%d: FAILED (%s)\n", done, total,
+                    cell_of(spec).label().c_str(), spec.replica, r.error.c_str());
+      } else {
+        std::printf("[%zu/%zu] %s #%d: %s in %lld iters (%llu errors)\n", done, total,
+                    cell_of(spec).label().c_str(), spec.replica,
+                    r.converged ? "converged" : "stopped", (long long)r.iterations,
+                    (unsigned long long)r.errors_injected);
+      }
+      std::fflush(stdout);
+    };
+  }
+
+  CampaignExecutor executor(eopts);
+  const CampaignResult result = executor.run(std::move(jobs));
+  const std::vector<CellSummary> cells = aggregate(result);
+
+  // Per-cell console summary.
+  Table t;
+  t.header({"cell", "jobs", "conv", "iters p50", "iters p95", "errors mean"});
+  for (const CellSummary& c : cells)
+    t.row({c.key.label(), std::to_string(c.jobs), std::to_string(c.converged),
+           Table::num(c.iterations.p50, 1), Table::num(c.iterations.p95, 1),
+           Table::num(c.errors.mean, 2)});
+  std::printf("\n%s\ncampaign wall time: %.2f s\n", t.str().c_str(), result.wall_seconds);
+
+  const std::string json = campaign_json(result, cells, args.grid.campaign_seed, args.timing);
+  if (args.out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else if (!write_text_file(args.out, json)) {
+    std::fprintf(stderr, "feir_campaign: cannot write %s\n", args.out.c_str());
+    return 1;
+  } else {
+    std::printf("wrote %s (%zu jobs, %zu cells%s)\n", args.out.c_str(),
+                result.specs.size(), cells.size(),
+                args.timing ? ", with timing" : ", deterministic");
+  }
+  if (!args.csv.empty() && !write_text_file(args.csv, cells_csv(cells, args.timing))) {
+    std::fprintf(stderr, "feir_campaign: cannot write %s\n", args.csv.c_str());
+    return 1;
+  }
+  if (!args.jobs_csv_path.empty() &&
+      !write_text_file(args.jobs_csv_path, jobs_csv(result, args.timing))) {
+    std::fprintf(stderr, "feir_campaign: cannot write %s\n", args.jobs_csv_path.c_str());
+    return 1;
+  }
+
+  // Nonzero exit when any job failed to run (not when a solve merely hit its
+  // iteration cap: divergence under errors is a legitimate measurement).
+  for (const JobResult& r : result.results)
+    if (!r.ran) return 1;
+  return 0;
+}

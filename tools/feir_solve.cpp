@@ -2,6 +2,7 @@
 //
 //   feir_solve --matrix thermal2 --method afeir --mtbe 0.5
 //   feir_solve --matrix /path/to/system.mtx --solver gmres --precond blockjacobi
+//   feir_solve --matrix ecology2 --mtbe-iters 150 --seed 42 --json
 //
 // Options:
 //   --matrix  NAME|FILE   testbed name (see --list) or a MatrixMarket file
@@ -9,28 +10,39 @@
 //   --solver  cg|bicgstab|gmres            (default cg)
 //   --method  ideal|trivial|ckpt|lossy|feir|afeir   (CG only; default feir)
 //   --precond none|jacobi|blockjacobi|sweeps        (default none)
-//   --mtbe    SECONDS     inject page errors at this mean rate (default off)
-//   --inject  soft|mprotect                 (default soft)
+//   --mtbe    SECONDS     inject page errors at this wall-clock mean rate
+//   --mtbe-iters N        inject at a mean of N iterations between errors
+//                         instead: deterministic, so --seed replays the run
+//                         exactly (how campaign jobs are replayed standalone)
+//   --inject  soft|mprotect                 (default soft; --mtbe only)
 //   --tol     T           relative residual threshold (default 1e-10)
-//   --threads N           CG worker threads (default 8)
+//   --threads N           CG worker threads (default 8; 1 for bit-exact replay)
+//   --max-iter N          iteration cap (default 100000; campaigns use 500000)
 //   --restart M           GMRES restart length (default 30)
 //   --seed    S           RNG seed (default 1)
+//   --json                also emit the run as a JSON record in the same
+//                         schema as one feir_campaign job; without --timing
+//                         a deterministic replay byte-matches the campaign's
+//                         record up to the index/replica coordinates
+//   --timing              include wall-clock fields (seconds, tasks) in the
+//                         JSON record, like feir_campaign --timing
 //   --list                print testbed matrix names and exit
+//
+// A solve is exactly one campaign job: the driver builds a campaign::JobSpec
+// and hands it to the same CampaignExecutor::run_job the campaign pool uses.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/resilient_bicgstab.hpp"
-#include "core/resilient_cg.hpp"
-#include "core/resilient_gmres.hpp"
-#include "fault/injector.hpp"
-#include "fault/sighandler.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
+#include "campaign/report.hpp"
 #include "precond/blockjacobi.hpp"
 #include "precond/fixedpoint.hpp"
 #include "sparse/generators.hpp"
-#include "sparse/mmio.hpp"
 #include "sparse/vecops.hpp"
 
 using namespace feir;
@@ -38,26 +50,25 @@ using namespace feir;
 namespace {
 
 struct Args {
-  std::string matrix = "ecology2";
-  double scale = 0.35;
-  std::string solver = "cg";
-  std::string method = "feir";
-  std::string precond = "none";
-  double mtbe = 0.0;
+  campaign::JobSpec job;
   std::string inject = "soft";
-  double tol = 1e-10;
-  unsigned threads = 8;
-  index_t restart = 30;
-  std::uint64_t seed = 1;
+  bool json = false;
+  bool timing = false;
 };
 
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "feir_solve: %s\n(see the header of tools/feir_solve.cpp)\n", msg);
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "feir_solve: %s\n(see the header of tools/feir_solve.cpp)\n",
+               msg.c_str());
   std::exit(2);
 }
 
 Args parse(int argc, char** argv) {
   Args a;
+  a.job.matrix = "ecology2";
+  a.job.method = Method::Feir;
+  a.job.threads = 8;
+  a.job.max_iter = 100000;
+  double mtbe_s = 0.0, mtbe_iters = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--list") {
@@ -65,33 +76,47 @@ Args parse(int argc, char** argv) {
       std::exit(0);
     }
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      if (i + 1 >= argc) usage("missing value for " + flag);
       return argv[++i];
     };
-    if (flag == "--matrix") a.matrix = next();
-    else if (flag == "--scale") a.scale = std::atof(next().c_str());
-    else if (flag == "--solver") a.solver = next();
-    else if (flag == "--method") a.method = next();
-    else if (flag == "--precond") a.precond = next();
-    else if (flag == "--mtbe") a.mtbe = std::atof(next().c_str());
+    if (flag == "--matrix") a.job.matrix = next();
+    else if (flag == "--scale") a.job.scale = std::atof(next().c_str());
+    else if (flag == "--solver") {
+      if (!campaign::solver_from_name(next(), &a.job.solver)) usage("unknown --solver");
+    } else if (flag == "--method") {
+      if (!method_from_name(next(), &a.job.method)) usage("unknown --method");
+    } else if (flag == "--precond") {
+      if (!campaign::precond_from_name(next(), &a.job.precond)) usage("unknown --precond");
+    } else if (flag == "--mtbe") mtbe_s = std::atof(next().c_str());
+    else if (flag == "--mtbe-iters") mtbe_iters = std::atof(next().c_str());
     else if (flag == "--inject") a.inject = next();
-    else if (flag == "--tol") a.tol = std::atof(next().c_str());
-    else if (flag == "--threads") a.threads = static_cast<unsigned>(std::atoi(next().c_str()));
-    else if (flag == "--restart") a.restart = std::atoll(next().c_str());
-    else if (flag == "--seed") a.seed = std::strtoull(next().c_str(), nullptr, 10);
-    else usage(("unknown flag " + flag).c_str());
+    else if (flag == "--tol") a.job.tol = std::atof(next().c_str());
+    else if (flag == "--threads")
+      a.job.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--restart") a.job.gmres_restart = std::atoll(next().c_str());
+    else if (flag == "--max-iter") a.job.max_iter = std::atoll(next().c_str());
+    else if (flag == "--seed") a.job.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--json") a.json = true;
+    else if (flag == "--timing") a.timing = true;
+    else usage("unknown flag " + flag);
   }
+  if (a.inject != "soft" && a.inject != "mprotect") usage("unknown --inject");
+  if (mtbe_s > 0 && mtbe_iters > 0) usage("--mtbe and --mtbe-iters are exclusive");
+  if (mtbe_s > 0) {
+    a.job.inject.kind = campaign::InjectionKind::WallClockMtbe;
+    a.job.inject.mtbe_s = mtbe_s;
+    a.job.inject.mprotect = a.inject == "mprotect";
+    a.job.expected_mtbe_s = mtbe_s;
+  } else if (mtbe_iters > 0) {
+    if (a.inject == "mprotect") usage("--mtbe-iters injects softly (soft only)");
+    a.job.inject.kind = campaign::InjectionKind::IterationMtbe;
+    a.job.inject.mean_iters = mtbe_iters;
+  }
+  if (a.job.method == Method::Checkpoint) a.job.ckpt_path = "/tmp/feir_solve_ckpt.bin";
+  // Non-CG solvers ignore the method knob; pin the same canonical value
+  // expand_grid uses so the JSON record matches the campaign's byte-for-byte.
+  if (a.job.solver != campaign::SolverKind::Cg) a.job.method = Method::Ideal;
   return a;
-}
-
-Method parse_method(const std::string& s) {
-  if (s == "ideal") return Method::Ideal;
-  if (s == "trivial") return Method::Trivial;
-  if (s == "ckpt") return Method::Checkpoint;
-  if (s == "lossy") return Method::Lossy;
-  if (s == "feir") return Method::Feir;
-  if (s == "afeir") return Method::Afeir;
-  usage("unknown --method");
 }
 
 void print_stats(const RecoveryStats& s) {
@@ -113,102 +138,52 @@ void print_stats(const RecoveryStats& s) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  campaign::JobSpec job = args.job;
 
-  // Load or synthesize the system.
-  CsrMatrix A;
-  std::vector<double> b;
-  if (args.matrix.find('.') != std::string::npos || args.matrix.find('/') != std::string::npos) {
-    A = read_matrix_market_file(args.matrix);
-    std::vector<double> ones(static_cast<std::size_t>(A.n), 1.0);
-    b.assign(static_cast<std::size_t>(A.n), 0.0);
-    spmv(A, ones.data(), b.data());
-    std::printf("loaded %s: n=%lld nnz=%lld (b = A*1)\n", args.matrix.c_str(),
-                (long long)A.n, (long long)A.nnz());
-  } else {
-    TestbedProblem p = make_testbed(args.matrix, args.scale);
-    A = std::move(p.A);
-    b = std::move(p.b);
-    std::printf("testbed %s (scale %.2f): n=%lld nnz=%lld\n", args.matrix.c_str(),
-                args.scale, (long long)A.n, (long long)A.nnz());
+  TestbedProblem p;
+  try {
+    p = campaign::CampaignExecutor::load_problem(job.matrix, job.scale);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "feir_solve: cannot load %s: %s\n", job.matrix.c_str(), e.what());
+    return 1;
   }
+  std::printf("%s: n=%lld nnz=%lld\n", job.matrix.c_str(), (long long)p.A.n,
+              (long long)p.A.nnz());
 
-  const index_t block_rows = static_cast<index_t>(kDoublesPerPage);
-  const BlockLayout layout(A.n, block_rows);
-
+  // Build the preconditioner the way the campaign's shared cache would.
   std::unique_ptr<Preconditioner> M;
   const BlockJacobi* bj = nullptr;
-  if (args.precond == "blockjacobi") {
-    auto m = std::make_unique<BlockJacobi>(A, layout);
-    bj = m.get();
-    M = std::move(m);
-  } else if (args.precond == "jacobi") {
-    M = std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
-  } else if (args.precond == "sweeps") {
-    M = std::make_unique<JacobiSweeps>(A, layout, 3);
-  } else if (args.precond != "none") {
-    usage("unknown --precond");
+  const BlockLayout layout(p.A.n, job.block_rows);
+  switch (job.precond) {
+    case campaign::PrecondKind::None: break;
+    case campaign::PrecondKind::Jacobi:
+      M = std::make_unique<JacobiPreconditioner>(p.A.diagonal(), job.block_rows);
+      break;
+    case campaign::PrecondKind::BlockJacobi: {
+      auto m = std::make_unique<BlockJacobi>(p.A, layout);
+      bj = m.get();
+      M = std::move(m);
+      break;
+    }
+    case campaign::PrecondKind::Sweeps:
+      M = std::make_unique<JacobiSweeps>(p.A, layout, 3);
+      break;
   }
 
-  const InjectMode imode = args.inject == "mprotect" ? InjectMode::Mprotect : InjectMode::Soft;
-  if (imode == InjectMode::Mprotect) install_due_handler();
-
-  std::vector<double> x(static_cast<std::size_t>(A.n), 0.0);
-  const double bnorm = norm2(b.data(), A.n);
-
-  auto run_injected = [&](FaultDomain& dom, auto&& solve_fn) {
-    if (imode == InjectMode::Mprotect) activate_due_domain(&dom);
-    ErrorInjector inj(dom, {args.mtbe > 0 ? args.mtbe : 1.0, args.seed, imode});
-    if (args.mtbe > 0) inj.start();
-    auto r = solve_fn();
-    if (args.mtbe > 0) inj.stop();
-    if (imode == InjectMode::Mprotect) activate_due_domain(nullptr);
-    std::printf("errors injected: %llu\n", (unsigned long long)inj.count());
-    return r;
-  };
-
-  if (args.solver == "cg") {
-    ResilientCgOptions opts;
-    opts.method = parse_method(args.method);
-    opts.block_rows = block_rows;
-    opts.threads = args.threads;
-    opts.tol = args.tol;
-    opts.expected_mtbe_s = args.mtbe;
-    if (opts.method == Method::Checkpoint) opts.ckpt.path = "/tmp/feir_solve_ckpt.bin";
-    if (M != nullptr && bj == nullptr)
-      usage("resilient CG takes --precond blockjacobi or none");
-    ResilientCg solver(A, b.data(), opts, bj);
-    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
-    std::printf("cg/%s: converged=%d iters=%lld time=%.3fs relres=%.2e tasks=%llu\n",
-                args.method.c_str(), r.converged ? 1 : 0, (long long)r.iterations,
-                r.seconds, residual_norm(A, x.data(), b.data()) / bnorm,
-                (unsigned long long)r.tasks);
-    print_stats(r.stats);
-    return r.converged ? 0 : 1;
+  const campaign::JobResult r =
+      campaign::CampaignExecutor::run_job(job, p, M.get(), bj);
+  if (!r.ran) {
+    std::fprintf(stderr, "feir_solve: %s\n", r.error.c_str());
+    return 1;
   }
-  if (args.solver == "bicgstab") {
-    ResilientBicgstabOptions opts;
-    opts.block_rows = block_rows;
-    opts.tol = args.tol;
-    ResilientBicgstab solver(A, b.data(), opts, M.get());
-    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
-    std::printf("bicgstab: converged=%d iters=%lld time=%.3fs relres=%.2e\n",
-                r.converged ? 1 : 0, (long long)r.iterations, r.seconds,
-                residual_norm(A, x.data(), b.data()) / bnorm);
-    print_stats(r.stats);
-    return r.converged ? 0 : 1;
-  }
-  if (args.solver == "gmres") {
-    ResilientGmresOptions opts;
-    opts.block_rows = block_rows;
-    opts.tol = args.tol;
-    opts.restart = args.restart;
-    ResilientGmres solver(A, b.data(), opts, M.get());
-    const auto r = run_injected(solver.domain(), [&] { return solver.solve(x.data()); });
-    std::printf("gmres(%lld): converged=%d iters=%lld time=%.3fs relres=%.2e\n",
-                (long long)args.restart, r.converged ? 1 : 0, (long long)r.iterations,
-                r.seconds, residual_norm(A, x.data(), b.data()) / bnorm);
-    print_stats(r.stats);
-    return r.converged ? 0 : 1;
-  }
-  usage("unknown --solver");
+
+  std::printf("%s/%s: converged=%d iters=%lld time=%.3fs relres=%.2e errors=%llu\n",
+              campaign::solver_name(job.solver),
+              job.solver == campaign::SolverKind::Cg ? method_cli_name(job.method) : "-",
+              r.converged ? 1 : 0, (long long)r.iterations, r.seconds, r.final_relres,
+              (unsigned long long)r.errors_injected);
+  print_stats(r.stats);
+  if (args.json)
+    std::printf("%s\n", campaign::job_record_json(job, r, args.timing).c_str());
+  return r.converged ? 0 : 1;
 }
