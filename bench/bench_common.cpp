@@ -1,9 +1,11 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "campaign/executor.hpp"
+#include "campaign/report.hpp"
 #include "support/env.hpp"
 
 namespace feir::bench {
@@ -12,7 +14,8 @@ Config config_from_env() {
   Config cfg;
   cfg.scale = env_double("FEIR_BENCH_SCALE", cfg.scale);
   cfg.reps = static_cast<int>(env_long("FEIR_BENCH_REPS", cfg.reps));
-  cfg.threads = static_cast<unsigned>(env_long("FEIR_BENCH_THREADS", cfg.threads));
+  cfg.threads = static_cast<unsigned>(
+      env_long("FEIR_BENCH_THREADS", static_cast<long>(default_threads())));
   const std::string list = env_string("FEIR_BENCH_MATRICES", "");
   if (list.empty()) {
     cfg.matrices = testbed_names();
@@ -107,6 +110,32 @@ double ideal_time(const TestbedProblem& p, const Config& cfg, const BlockJacobi*
     if (r.converged) best = std::min(best, r.seconds);
   }
   return best;
+}
+
+std::string bench_records_json(const std::string& suite,
+                               const std::vector<BenchRecord>& records) {
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << suite << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
+       << ", \"tasks_per_sec\": " << num(r.tasks_per_sec)
+       << ", \"p50_latency_us\": " << num(r.p50_latency_us)
+       << ", \"p95_latency_us\": " << num(r.p95_latency_us) << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records) {
+  return campaign::write_text_file(path, bench_records_json(suite, records));
 }
 
 }  // namespace feir::bench

@@ -3,7 +3,7 @@
 // Environment knobs (so experiment sizes fit the machine at hand):
 //   FEIR_BENCH_SCALE    grid-edge scale of the testbed matrices (default 0.35)
 //   FEIR_BENCH_REPS     repetitions per experiment             (default 3)
-//   FEIR_BENCH_THREADS  worker threads                          (default 8)
+//   FEIR_BENCH_THREADS  worker threads (default feir::default_threads())
 //   FEIR_BENCH_MATRICES comma list to restrict the matrix set   (default all)
 //
 // The paper runs each experiment 50+ times on dedicated nodes; the defaults
@@ -27,7 +27,7 @@ namespace feir::bench {
 struct Config {
   double scale = 0.35;
   int reps = 3;
-  unsigned threads = 8;
+  unsigned threads = 0;  // 0 = feir::default_threads(); set by config_from_env
   double tol = 1e-10;
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
   std::vector<std::string> matrices;  // subset of testbed_names()
@@ -90,5 +90,26 @@ double ideal_time(const TestbedProblem& p, const Config& cfg,
 inline double slowdown_pct(double seconds, double ideal_seconds) {
   return 100.0 * (seconds / ideal_seconds - 1.0);
 }
+
+/// One machine-readable performance measurement, the unit of the repo's
+/// BENCH_*.json trajectory files that future PRs diff against.
+struct BenchRecord {
+  std::string name;          ///< e.g. "fine_grained/stealing"
+  unsigned threads = 0;
+  double tasks_per_sec = 0;  ///< sustained task throughput
+  double p50_latency_us = 0; ///< median graph-drain (taskwait round) latency
+  double p95_latency_us = 0;
+};
+
+/// Serializes records to the stable BENCH json schema:
+///   {"bench": <suite>, "records": [{name, threads, tasks_per_sec,
+///    p50_latency_us, p95_latency_us}, ...]}
+/// Field order and %.6g formatting are fixed so reruns diff cleanly.
+std::string bench_records_json(const std::string& suite,
+                               const std::vector<BenchRecord>& records);
+
+/// Writes bench_records_json to `path`; returns false on I/O failure.
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records);
 
 }  // namespace feir::bench

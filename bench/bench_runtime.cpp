@@ -1,0 +1,372 @@
+// bench_runtime — scheduler microbenchmark: work-stealing runtime vs the
+// historical single-mutex scheduler.
+//
+// Two workloads:
+//   * fine_grained — rounds of independent ~100ns tasks: pure scheduler
+//     throughput, the campaign-executor pattern (ready queue == work queue).
+//   * cg_iteration — the resilient-CG iteration graph of Fig. 1 (z/ee/eps/
+//     d/q/dq/alpha/x/g chunk tasks with the real dependency shape, plus the
+//     low-priority r1/r2 recovery tasks), repeated over taskwait rounds: the
+//     strip-mined solver pattern.
+//
+// The baseline embedded below is the pre-refactor scheduler verbatim: one
+// global mutex, one std::priority_queue, shared_ptr tasks.  Results are
+// appended to BENCH_runtime.json (schema: bench_common.hpp BenchRecord) so
+// later PRs have a perf trajectory to diff against.
+//
+// Knobs: FEIR_BENCH_THREADS (workers), FEIR_BENCH_RT_TASKS (tasks per
+// fine-grained round), FEIR_BENCH_RT_ROUNDS (rounds per workload).
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/runtime.hpp"
+#include "support/env.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+
+namespace feir::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Baseline: the pre-refactor global-mutex scheduler, kept verbatim so the
+// before/after comparison survives the refactor it measures.
+// ---------------------------------------------------------------------------
+class BaselineRuntime {
+ public:
+  explicit BaselineRuntime(unsigned nthreads) {
+    if (nthreads == 0) nthreads = 1;
+    clocks_.resize(nthreads);
+    workers_.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i)
+      workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  ~BaselineRuntime() {
+    taskwait();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    ready_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void submit(std::function<void()> fn, std::vector<Dep> deps, int priority = 0) {
+    auto t = std::make_shared<Task>();
+    t->fn = std::move(fn);
+    t->priority = priority;
+    std::lock_guard<std::mutex> lk(mu_);
+    t->seq = seq_counter_++;
+    ++in_flight_;
+    auto add_edge = [&](const std::shared_ptr<Task>& pred) {
+      if (pred && !pred->finished && pred.get() != t.get()) {
+        pred->successors.push_back(t);
+        ++t->pending;
+      }
+    };
+    for (const Dep& d : deps) {
+      DepEntry& e = table_[d.key];
+      switch (d.mode) {
+        case Access::In:
+          add_edge(e.last_writer);
+          e.readers.push_back(t);
+          break;
+        case Access::Out:
+        case Access::InOut:
+          add_edge(e.last_writer);
+          for (auto& r : e.readers) add_edge(r);
+          e.readers.clear();
+          e.last_writer = t;
+          break;
+      }
+    }
+    if (t->pending == 0) push_ready(t);
+  }
+
+  void taskwait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    drained_cv_.wait(lk, [&] { return in_flight_ == 0; });
+    table_.clear();
+  }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    int pending = 0;
+    std::vector<std::shared_ptr<Task>> successors;
+    bool finished = false;
+  };
+  struct ReadyOrder {
+    bool operator()(const std::shared_ptr<Task>& a, const std::shared_ptr<Task>& b) const {
+      if (a->priority != b->priority) return a->priority < b->priority;
+      return a->seq > b->seq;
+    }
+  };
+  struct DepEntry {
+    std::shared_ptr<Task> last_writer;
+    std::vector<std::shared_ptr<Task>> readers;
+  };
+  struct WorkerClock {
+    double useful = 0.0;
+    double runtime = 0.0;
+    double idle = 0.0;
+  };
+
+  void push_ready(std::shared_ptr<Task> t) {
+    ready_.push(std::move(t));
+    ready_cv_.notify_one();
+  }
+  void on_finish(const std::shared_ptr<Task>& t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    t->finished = true;
+    for (auto& s : t->successors)
+      if (--s->pending == 0) push_ready(s);
+    t->successors.clear();
+    if (--in_flight_ == 0) drained_cv_.notify_all();
+  }
+  // Verbatim pre-refactor loop, including its per-state Stopwatch accounting
+  // (part of the scheduling cost being measured).
+  void worker_loop(unsigned id) {
+    WorkerClock& clock = clocks_[id];
+    for (;;) {
+      std::shared_ptr<Task> t;
+      {
+        Stopwatch idle;
+        std::unique_lock<std::mutex> lk(mu_);
+        ready_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
+        clock.idle += idle.seconds();
+        if (shutdown_ && ready_.empty()) return;
+        Stopwatch sched;
+        t = ready_.top();
+        ready_.pop();
+        clock.runtime += sched.seconds();
+      }
+      Stopwatch useful;
+      t->fn();
+      clock.useful += useful.seconds();
+      Stopwatch sched;
+      on_finish(t);
+      clock.runtime += sched.seconds();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable drained_cv_;
+  std::priority_queue<std::shared_ptr<Task>, std::vector<std::shared_ptr<Task>>, ReadyOrder>
+      ready_;
+  std::unordered_map<DepKey, DepEntry, DepKeyHash> table_;
+  std::vector<WorkerClock> clocks_;
+  std::vector<std::thread> workers_;
+  std::uint64_t seq_counter_ = 0;
+  std::uint64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Adapters: one staging interface over both schedulers (the new one stages
+// through TaskBatch, so whole rounds publish as one epoch).
+// ---------------------------------------------------------------------------
+struct BaselineAdapter {
+  BaselineRuntime rt;
+  explicit BaselineAdapter(unsigned threads) : rt(threads) {}
+  void add(std::function<void()> fn, std::vector<Dep> deps, int prio = 0) {
+    rt.submit(std::move(fn), std::move(deps), prio);
+  }
+  void flush() {}
+  void wait() { rt.taskwait(); }
+};
+
+struct StealingAdapter {
+  Runtime rt;
+  TaskBatch batch;
+  explicit StealingAdapter(unsigned threads) : rt(threads), batch(rt) {}
+  void add(std::function<void()> fn, std::vector<Dep> deps, int prio = 0) {
+    batch.add(std::move(fn), std::move(deps), prio);
+  }
+  void flush() { batch.submit(); }
+  void wait() {
+    batch.submit();
+    rt.taskwait();
+  }
+};
+
+/// ~100ns of real work, so tasks are fine-grained but not empty.
+inline void tiny_work(std::atomic<std::uint64_t>& sink) {
+  double acc = 1.0;
+  for (int i = 0; i < 24; ++i) acc = acc * 1.0000001 + 1e-9;
+  sink.fetch_add(static_cast<std::uint64_t>(acc), std::memory_order_relaxed);
+}
+
+struct Measure {
+  double tasks_per_sec = 0;
+  double p50_us = 0, p95_us = 0;
+};
+
+/// `round(adapter)` stages + drains one graph and returns its task count.
+template <typename Adapter, typename Round>
+Measure measure_rounds(Adapter& a, int rounds, Round&& round) {
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(rounds));
+  std::uint64_t tasks = 0;
+  Stopwatch total;
+  for (int r = 0; r < rounds; ++r) {
+    Stopwatch sw;
+    tasks += round(a);
+    lat.push_back(sw.seconds() * 1e6);
+  }
+  const double secs = total.seconds();
+  Measure m;
+  m.tasks_per_sec = static_cast<double>(tasks) / secs;
+  m.p50_us = percentile(lat, 50);
+  m.p95_us = percentile(lat, 95);
+  return m;
+}
+
+/// Workload 1: independent fine-grained tasks (campaign-executor shape).
+template <typename Adapter>
+Measure fine_grained(unsigned threads, int tasks_per_round, int rounds) {
+  Adapter a(threads);
+  std::atomic<std::uint64_t> sink{0};
+  return measure_rounds(a, rounds, [&](Adapter& ad) {
+    for (int i = 0; i < tasks_per_round; ++i)
+      ad.add([&sink] { tiny_work(sink); }, {});
+    ad.wait();
+    return static_cast<std::uint64_t>(tasks_per_round);
+  });
+}
+
+/// Workload 2: the resilient-CG iteration dependency shape (Fig. 1b) with
+/// `threads` chunks, including the low-priority r1/r2 recovery tasks.
+template <typename Adapter>
+Measure cg_iteration(unsigned threads, int rounds) {
+  Adapter a(threads);
+  std::atomic<std::uint64_t> sink{0};
+  const index_t nch = static_cast<index_t>(threads);
+  // Dependency anchors (addresses double as keys, as the solver does).
+  static char g, z, ee, eps, d, q, dq, alpha, x, r1k, r2k;
+  auto body = [&sink] { tiny_work(sink); };
+
+  return measure_rounds(a, rounds, [&](Adapter& ad) {
+    std::uint64_t n = 0;
+    for (index_t c = 0; c < nch; ++c, ++n) ad.add(body, {in(&g, c), out(&z, c)});
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&g, c), in(&z, c), out(&ee, c)});
+    {
+      std::vector<Dep> deps{out(&r2k)};
+      ad.add(body, std::move(deps), -1);  // r2 at AFEIR priority
+      ++n;
+    }
+    {
+      std::vector<Dep> deps;
+      for (index_t c = 0; c < nch; ++c) deps.push_back(in(&ee, c));
+      deps.push_back(out(&eps));
+      ad.add(body, std::move(deps), 1);
+      ++n;
+    }
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&eps), in(&g, c), in(&z, c), out(&d, c)});
+    for (index_t c = 0; c < nch; ++c, ++n) {
+      std::vector<Dep> deps{out(&q, c)};
+      for (index_t cc = 0; cc < nch; ++cc) deps.push_back(in(&d, cc));  // footprint
+      ad.add(body, std::move(deps));
+    }
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&q, c), in(&d, c), out(&dq, c)});
+    {
+      std::vector<Dep> deps{out(&r1k)};
+      for (index_t c = 0; c < nch; ++c) deps.push_back(in(&q, c));
+      ad.add(body, std::move(deps), -1);  // r1 at AFEIR priority
+      ++n;
+    }
+    {
+      std::vector<Dep> deps{in(&eps)};
+      for (index_t c = 0; c < nch; ++c) deps.push_back(in(&dq, c));
+      deps.push_back(in(&r1k));
+      deps.push_back(out(&alpha));
+      ad.add(body, std::move(deps), 1);
+      ++n;
+    }
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&alpha), in(&d, c), inout(&x, c)});
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&alpha), in(&q, c), inout(&g, c)});
+    ad.wait();
+    return n;
+  });
+}
+
+}  // namespace
+}  // namespace feir::bench
+
+int main() {
+  using namespace feir;
+  using namespace feir::bench;
+
+  const unsigned threads =
+      static_cast<unsigned>(env_long("FEIR_BENCH_THREADS", 8));
+  const int tasks_per_round =
+      static_cast<int>(env_long("FEIR_BENCH_RT_TASKS", 2000));
+  const int rounds = static_cast<int>(env_long("FEIR_BENCH_RT_ROUNDS", 50));
+
+  std::printf("bench_runtime: %u threads, %d tasks/round x %d rounds\n", threads,
+              tasks_per_round, rounds);
+
+  std::vector<BenchRecord> recs;
+  auto record = [&](const std::string& name, const Measure& m) {
+    recs.push_back({name, threads, m.tasks_per_sec, m.p50_us, m.p95_us});
+    std::printf("  %-28s %12.0f tasks/s   p50 %8.1f us   p95 %8.1f us\n",
+                name.c_str(), m.tasks_per_sec, m.p50_us, m.p95_us);
+  };
+
+  // Warm-up both schedulers once (thread spawn, allocator).
+  fine_grained<StealingAdapter>(threads, 256, 2);
+  fine_grained<BaselineAdapter>(threads, 256, 2);
+
+  // Median of 3 full measurements per point: the global-mutex scheduler is
+  // bimodal under oversubscription (futex storms come and go), so a single
+  // window misstates it in either direction.
+  auto median3 = [](std::function<Measure()> one) {
+    Measure a = one(), b = one(), c = one();
+    const double ta = a.tasks_per_sec, tb = b.tasks_per_sec, tc = c.tasks_per_sec;
+    if ((ta <= tb && tb <= tc) || (tc <= tb && tb <= ta)) return b;
+    if ((tb <= ta && ta <= tc) || (tc <= ta && ta <= tb)) return a;
+    return c;
+  };
+
+  const Measure fg_base = median3(
+      [&] { return fine_grained<BaselineAdapter>(threads, tasks_per_round, rounds); });
+  const Measure fg_new = median3(
+      [&] { return fine_grained<StealingAdapter>(threads, tasks_per_round, rounds); });
+  const Measure cg_base =
+      median3([&] { return cg_iteration<BaselineAdapter>(threads, rounds * 4); });
+  const Measure cg_new =
+      median3([&] { return cg_iteration<StealingAdapter>(threads, rounds * 4); });
+
+  record("fine_grained/global_mutex", fg_base);
+  record("fine_grained/stealing", fg_new);
+  record("cg_iteration/global_mutex", cg_base);
+  record("cg_iteration/stealing", cg_new);
+
+  std::printf("speedup: fine_grained %.2fx, cg_iteration %.2fx\n",
+              fg_new.tasks_per_sec / fg_base.tasks_per_sec,
+              cg_new.tasks_per_sec / cg_base.tasks_per_sec);
+
+  const char* out = "BENCH_runtime.json";
+  if (!write_bench_json(out, "runtime", recs)) {
+    std::fprintf(stderr, "bench_runtime: cannot write %s\n", out);
+    return 1;
+  }
+  std::printf("wrote %s\n", out);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "precond/fixedpoint.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/vecops.hpp"
+#include "support/env.hpp"
 #include "support/timing.hpp"
 
 namespace feir::campaign {
@@ -200,6 +201,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.max_seconds = spec.max_seconds;
         opts.block_rows = spec.block_rows;
         opts.threads = spec.threads;
+        opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
         opts.expected_mtbe_s = spec.expected_mtbe_s;
         if (spec.method == Method::Checkpoint) {
@@ -217,6 +219,8 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.tol = spec.tol;
         opts.max_iter = spec.max_iter;
         opts.block_rows = spec.block_rows;
+        opts.threads = spec.threads;
+        opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
         opts.on_iteration = hooks.hook();
         ResilientBicgstab solver(p.A, p.b.data(), opts, M);
@@ -230,6 +234,8 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.max_iter = spec.max_iter;
         opts.restart = spec.gmres_restart;
         opts.block_rows = spec.block_rows;
+        opts.threads = spec.threads;
+        opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
         opts.on_iteration = hooks.hook();
         ResilientGmres solver(p.A, p.b.data(), opts, M);
@@ -251,14 +257,18 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
   out.results.resize(out.specs.size());
   Stopwatch clock;
 
-  unsigned workers = opts_.concurrency;
-  if (workers == 0)
-    workers = std::max(1u, std::min(std::thread::hardware_concurrency(), 8u));
+  const unsigned workers =
+      opts_.concurrency != 0 ? opts_.concurrency : default_threads();
+
+  // One shared pool runs all three phases; each phase is staged on a
+  // TaskBatch and published at once (no dependencies inside a phase -- the
+  // workers' deques are the campaign work queue, stolen as they drain).
+  Runtime rt(workers, opts_.pin_threads);
 
   // Phase 1: build each unique problem once, in parallel on the pool.
   // Entries already cached by a previous run() are reused as-is.
   {
-    Runtime rt(workers);
+    TaskBatch batch(rt);
     for (const JobSpec& s : out.specs) {
       const std::string key = problem_key(s);
       const auto [it, inserted] =
@@ -266,7 +276,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
       if (!inserted) continue;
       ProblemEntry* e = it->second.get();
       const JobSpec* owner = &s;
-      rt.submit(
+      batch.add(
           [e, owner] {
             try {
               e->problem = load_problem(owner->matrix, owner->scale);
@@ -276,6 +286,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
           },
           {}, 0, "load:" + owner->matrix);
     }
+    batch.submit();
     rt.taskwait();
   }
 
@@ -283,7 +294,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
   // Cholesky factorizations are the expensive ones; they are immutable after
   // construction and shared read-only by every job on that matrix).
   {
-    Runtime rt(workers);
+    TaskBatch batch(rt);
     for (const JobSpec& s : out.specs) {
       if (s.precond == PrecondKind::None) continue;
       const std::string key = precond_key(s);
@@ -298,7 +309,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
       }
       const JobSpec* spec = &s;
       const TestbedProblem* prob = &pe.problem;
-      rt.submit(
+      batch.add(
           [e, spec, prob] {
             try {
               e->M = make_precond(spec->precond, prob->A, spec->block_rows, &e->bj);
@@ -308,16 +319,17 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
           },
           {}, 0, "precond:" + key);
     }
+    batch.submit();
     rt.taskwait();
   }
 
-  // Phase 3: the jobs themselves -- one runtime task each, no dependencies;
-  // the pool's ready queue is the campaign work queue and idle workers pick
-  // up whichever job is next.
+  // Phase 3: the jobs themselves -- one runtime task each, no dependencies,
+  // published as one wave; each job's own solver pool nests inside its
+  // worker without touching this pool's dependency shards.
   std::mutex done_mu;
   std::size_t done = 0;
   {
-    Runtime rt(workers);
+    TaskBatch batch(rt);
     for (std::size_t i = 0; i < out.specs.size(); ++i) {
       const JobSpec* spec = &out.specs[i];
       JobResult* slot = &out.results[i];
@@ -325,7 +337,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
       const PrecondEntry* ce = spec->precond == PrecondKind::None
                                    ? nullptr
                                    : preconds_.at(precond_key(*spec)).get();
-      rt.submit(
+      batch.add(
           [this, spec, slot, pe, ce, &done_mu, &done, &out] {
             if (spec->inject.mprotect && out.specs.size() > 1) {
               slot->error = "mprotect injection is single-job only";
@@ -344,6 +356,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
           },
           {}, 0, "job:" + std::to_string(i));
     }
+    batch.submit();
     rt.taskwait();
   }
 

@@ -51,8 +51,11 @@ struct CampaignResult {
 };
 
 struct ExecutorOptions {
-  /// Concurrent jobs; 0 = min(hardware_concurrency, 8).
+  /// Concurrent jobs; 0 = feir::default_threads() (FEIR_THREADS, else
+  /// min(8, hardware_concurrency)).
   unsigned concurrency = 0;
+  /// Pin pool worker i to core i (Linux; no-op elsewhere).
+  bool pin_threads = false;
   /// Called after each job finishes (serialized; safe to print from).
   std::function<void(std::size_t done, std::size_t total, const JobSpec&,
                      const JobResult&)>

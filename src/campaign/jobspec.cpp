@@ -86,6 +86,7 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
               j.max_seconds = grid.max_seconds;
               j.block_rows = grid.block_rows;
               j.threads = grid.threads;
+              j.pin_threads = grid.pin_threads;
               j.gmres_restart = grid.gmres_restart;
               j.ckpt_period_iters = grid.ckpt_period_iters;
               if (j.method == Method::Checkpoint &&

@@ -80,6 +80,7 @@ struct JobSpec {
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
   unsigned threads = 1;       ///< solver worker threads (campaigns get their
                               ///< parallelism across jobs, not within them)
+  bool pin_threads = false;   ///< pin solver workers to cores (Linux)
   index_t gmres_restart = 30;
   double expected_mtbe_s = 0.0;  ///< feeds the ckpt period model when > 0
   index_t ckpt_period_iters = 0; ///< explicit ckpt period; 0 = model/default
@@ -103,6 +104,7 @@ struct GridSpec {
   double max_seconds = 0.0;
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
   unsigned threads = 1;
+  bool pin_threads = false;
   index_t gmres_restart = 30;
   index_t ckpt_period_iters = 0;
 

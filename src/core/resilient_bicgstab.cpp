@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/batch_ops.hpp"
 #include "sparse/vecops.hpp"
 #include "support/timing.hpp"
 
@@ -80,6 +81,11 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
   const index_t n = A_.n;
   const double bnorm = norm2(b_, n);
   const double denom = bnorm > 0.0 ? bnorm : 1.0;
+
+  // Dataflow pool for the per-iteration batches; healing sweeps and scalar
+  // control flow stay on the host between segments.
+  Runtime rt(std::max(1u, opts_.threads), opts_.pin_threads);
+  const unsigned nch = std::max(1u, opts_.threads);
 
   double* x = x_.data();
   double* g = g_.data();
@@ -198,7 +204,14 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
       }
     }
 
-    const double relres = norm2(g, n) / denom;
+    double gnorm = 0.0;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.norm2(g, &gnorm, "gn");
+      ops.run();
+    }
+    const double relres = gnorm / denom;
     const IterRecord rec{it, clock.seconds(), relres};
     if (opts_.record_history) res.history.push_back(rec);
     if (opts_.on_iteration) opts_.on_iteration(rec);
@@ -213,7 +226,12 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     // partial application of M on the lost rows.
     const double* qdir = d;
     if (M_ != nullptr) {
-      M_->apply(d, p_.data());
+      {
+        TaskBatch tb(rt);
+        BatchOps ops(tb, n, nch);
+        ops.full({d}, p_.data(), [this, d] { M_->apply(d, p_.data()); }, "p");
+        ops.run();
+      }
       refresh_output(rp_, stats_);
       heal(rp_, [&](index_t pp) {
         M_->apply_blocks({pp}, d, p_.data());
@@ -224,7 +242,12 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     }
 
     // q <= A qdir
-    spmv(A_, qdir, q);
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.spmv(A_, qdir, q, "q");
+      ops.run();
+    }
     refresh_output(rq_, stats_);
 
     // Heal q / qdir against post-SpMV losses: q_i = (A qdir)_i ;
@@ -250,7 +273,13 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
       }
     }
 
-    const double qr = dot(q, r.data(), n);
+    double qr = 0.0;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.dot(q, r.data(), &qr, "qr");
+      ops.run();
+    }
     if (qr == 0.0 || !std::isfinite(qr)) {
       full_restart();
       continue;
@@ -277,7 +306,17 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     }
 
     // s <= g - alpha q
-    for (index_t i = 0; i < n; ++i) s[i] = g[i] - alpha * q[i];
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.transform(
+          {g, q}, s, /*accumulate=*/false,
+          [g, q, s, alpha](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i) s[i] = g[i] - alpha * q[i];
+          },
+          "s");
+      ops.run();
+    }
     refresh_output(rs_, stats_);
     heal(rs_, [&](index_t p) {
       relation_lincomb_lhs(layout_, p, 1.0, g, -alpha, q, s);
@@ -288,7 +327,12 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     // Preconditioned intermediate: u <= M^{-1} s, partial-apply recoverable.
     const double* tdir = s;
     if (M_ != nullptr) {
-      M_->apply(s, u_.data());
+      {
+        TaskBatch tb(rt);
+        BatchOps ops(tb, n, nch);
+        ops.full({s}, u_.data(), [this, s] { M_->apply(s, u_.data()); }, "u");
+        ops.run();
+      }
       refresh_output(ru_, stats_);
       heal(ru_, [&](index_t pp) {
         M_->apply_blocks({pp}, s, u_.data());
@@ -299,7 +343,12 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     }
 
     // t <= A tdir
-    spmv(A_, tdir, t);
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.spmv(A_, tdir, t, "t");
+      ops.run();
+    }
     refresh_output(rt_, stats_);
     heal(rt_, [&](index_t p) {
       relation_spmv_lhs(A_, layout_, p, tdir, t);
@@ -327,24 +376,51 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
       }
     }
 
-    const double tt = dot(t, t, n);
+    double tt = 0.0, ts = 0.0;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.dot(t, t, &tt, "tt");
+      ops.dot(t, s, &ts, "ts");
+      ops.run();
+    }
     if (tt == 0.0) {
       full_restart();
       continue;
     }
-    omega = dot(t, s, n) / tt;
+    omega = ts / tt;
 
-    // x <= x + alpha (p|d) + omega (u|s) ; g <= s - omega t.
+    // x <= x + alpha (p|d) + omega (u|s) ; g <= s - omega t.  Independent
+    // targets: the two updates overlap when threads > 1.
     {
       const double* xd = M_ != nullptr ? p_.data() : d;
       const double* xs = M_ != nullptr ? u_.data() : s;
-      for (index_t i = 0; i < n; ++i) x[i] += alpha * xd[i] + omega * xs[i];
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      const double al = alpha, om = omega;
+      ops.transform(
+          {xd, xs}, x, /*accumulate=*/true,
+          [x, xd, xs, al, om](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i) x[i] += al * xd[i] + om * xs[i];
+          },
+          "x");
+      ops.transform(
+          {s, t}, g, /*accumulate=*/false,
+          [g, s, t, om](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i) g[i] = s[i] - om * t[i];
+          },
+          "g");
+      ops.run();
     }
-    for (index_t i = 0; i < n; ++i) g[i] = s[i] - omega * t[i];
     refresh_output(rg_, stats_);
 
     const double rho_old = rho;
-    rho = dot(g, r.data(), n);
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.dot(g, r.data(), &rho, "rho");
+      ops.run();
+    }
     if (rho_old == 0.0 || omega == 0.0 || !std::isfinite(rho)) {
       full_restart();
       continue;
@@ -352,7 +428,19 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     beta = (rho / rho_old) * (alpha / omega);
 
     // d_new <= g + beta (d - omega q), into the spare buffer.
-    for (index_t i = 0; i < n; ++i) dprev[i] = g[i] + beta * (d[i] - omega * q[i]);
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      const double be = beta, om = omega;
+      ops.transform(
+          {g, d, q}, dprev, /*accumulate=*/false,
+          [dprev, g, d, q, be, om](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i)
+              dprev[i] = g[i] + be * (d[i] - om * q[i]);
+          },
+          "d");
+      ops.run();
+    }
     refresh_output(rdp, stats_);
     parity = 1 - parity;
   }

@@ -15,15 +15,21 @@
 // fall back to the Lossy Restart, as §2.4 prescribes.
 //
 // The paper implements its task-based asynchronous machinery only for CG and
-// argues BiCGStab/GMRES are analogous (§3.3); this driver is the sequential
-// realization of the BiCGStab analysis with the same page-granularity fault
-// model.
+// argues BiCGStab/GMRES are analogous (§3.3).  This driver realizes the
+// BiCGStab analysis on the same dataflow runtime: each iteration's vector
+// operations are staged as chunked task batches (runtime/batch_ops.hpp) and
+// published segment-by-segment, with the recovery sweeps running at the
+// host-side sync points between segments.  Every task declares its full
+// footprint and reductions sum chunk partials in index order, so results are
+// bit-deterministic for any worker count; with threads == 1 (the default)
+// the arithmetic is identical to the historical sequential driver.
 #pragma once
 
 #include "core/method.hpp"
 #include "core/relations.hpp"
 #include "fault/domain.hpp"
 #include "precond/precond.hpp"
+#include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
 #include "support/page_buffer.hpp"
@@ -36,6 +42,11 @@ struct ResilientBicgstabOptions {
   index_t max_iter = 100000;
   bool record_history = false;
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  /// Worker threads for the chunked task batches.  1 (the default) keeps the
+  /// historical sequential arithmetic; any value is bit-deterministic.
+  unsigned threads = 1;
+  /// Pin worker i to core i (Linux; no-op elsewhere).
+  bool pin_threads = false;
   std::function<void(const IterRecord&)> on_iteration;
 };
 

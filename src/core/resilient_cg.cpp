@@ -5,9 +5,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <thread>
 
 #include "sparse/vecops.hpp"
+#include "support/env.hpp"
 #include "support/timing.hpp"
 
 namespace feir {
@@ -48,9 +48,7 @@ ResilientCg::ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions
       dsolver_(A, BlockLayout(A.n, opts_.block_rows),
                dynamic_cast<const BlockJacobi*>(M)) {
   nb_ = layout_.num_blocks();
-  nthreads_ = opts_.threads != 0
-                  ? opts_.threads
-                  : std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+  nthreads_ = opts_.threads != 0 ? opts_.threads : default_threads();
   nchunks_ = std::min<index_t>(nb_, static_cast<index_t>(nthreads_));
 
   const auto n = static_cast<std::size_t>(A.n);
@@ -415,6 +413,10 @@ void ResilientCg::recover_r2(bool final_pass) {
 // ---------------------------------------------------------------------------
 
 void ResilientCg::submit_iteration(Runtime& rt) {
+  // The whole iteration graph is staged on a TaskBatch and published as one
+  // synchronization epoch: one shard-lock round installs every edge, and the
+  // ready wave (z / ee chunks) starts together.
+  TaskBatch batch(rt);
   const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
   const bool afeir = opts_.method == Method::Afeir;
   const bool pcg = M_ != nullptr;
@@ -459,7 +461,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
   if (pcg) {
     for (index_t c = 0; c < nchunks_; ++c) {
       const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
-      rt.submit(
+      batch.add(
           [this, p0, p1, g, z] {
             const bool feir =
                 opts_.method == Method::Feir || opts_.method == Method::Afeir;
@@ -486,7 +488,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
     std::vector<Dep> deps{in(g_.data(), c), out(&ee_, c)};
     if (pcg) deps.push_back(in(z_.data(), c));
-    rt.submit(
+    batch.add(
         [this, p0, p1, g, st, rst, feir, pcg] {
           for (index_t p = p0; p < p1; ++p) {
             const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
@@ -520,7 +522,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     std::vector<Dep> deps{out(&k_r2_)};
     if (!afeir)
       for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&ee_, c));  // critical path
-    rt.submit([this] { recover_r2(false); }, std::move(deps), afeir ? -1 : 0, "r2");
+    batch.add([this] { recover_r2(false); }, std::move(deps), afeir ? -1 : 0, "r2");
   }
 
   // --- eps scalar task: rho, beta, convergence flag. -----------------------
@@ -529,7 +531,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&ee_, c));
     if (recovery_tasks) deps.push_back(in(&k_r2_));
     deps.push_back(out(&k_eps_));
-    rt.submit(
+    batch.add(
         [this, pcg] {
           eps_ = sum_contrib(ee_, nullptr);
           gg_now_ = pcg ? sum_contrib(gg_, nullptr) : eps_;
@@ -547,7 +549,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     std::vector<Dep> deps{in(&k_eps_), in(g_.data(), c), out(d_[1 - parity_].data(), c)};
     if (pcg) deps.push_back(in(z_.data(), c));
     deps.push_back(in(d_[parity_].data(), c));
-    rt.submit(
+    batch.add(
         [this, p0, p1, dcur, dprev, st, rst, rdc, rdp, feir] {
           for (index_t p = p0; p < p1; ++p) {
             const index_t r0 = layout_.begin(p), r1 = layout_.end(p);
@@ -578,7 +580,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     std::vector<Dep> deps{out(q_.data(), c)};
     for (index_t cc : chunk_footprint_[static_cast<std::size_t>(c)])
       deps.push_back(in(d_[1 - parity_].data(), cc));
-    rt.submit(
+    batch.add(
         [this, p0, p1, dcur, q, rdc, feir] {
           for (index_t p = p0; p < p1; ++p) {
             if (feir) {
@@ -608,7 +610,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
   // --- Phase E: <d, q> page partials. --------------------------------------
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
-    rt.submit(
+    batch.add(
         [this, p0, p1, dcur, q, rdc, feir] {
           for (index_t p = p0; p < p1; ++p) {
             if (feir && (!rdc->mask.ok(p) || !rq_->mask.ok(p))) {
@@ -635,7 +637,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     } else {
       for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&dq_, c));  // critical path
     }
-    rt.submit([this] { recover_r1(false); }, std::move(deps), afeir ? -1 : 0, "r1");
+    batch.add([this] { recover_r1(false); }, std::move(deps), afeir ? -1 : 0, "r1");
   }
 
   // --- alpha scalar task. ---------------------------------------------------
@@ -644,7 +646,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
     for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&dq_, c));
     if (recovery_tasks) deps.push_back(in(&k_r1_));
     deps.push_back(out(&k_alpha_));
-    rt.submit(
+    batch.add(
         [this] {
           const double dq = sum_contrib(dq_, nullptr);
           alpha_ = dq != 0.0 ? eps_ / dq : 0.0;
@@ -655,7 +657,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
   // --- Phase F: x += alpha d_cur ; g -= alpha q. ----------------------------
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
-    rt.submit(
+    batch.add(
         [this, p0, p1, x, dcur, rdc, feir] {
           for (index_t p = p0; p < p1; ++p) {
             if (feir) {
@@ -672,7 +674,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
           }
         },
         {in(&k_alpha_), in(d_[1 - parity_].data(), c), inout(x_.data(), c)}, 0, "x");
-    rt.submit(
+    batch.add(
         [this, p0, p1, g, q, feir] {
           for (index_t p = p0; p < p1; ++p) {
             if (feir) {
@@ -689,6 +691,8 @@ void ResilientCg::submit_iteration(Runtime& rt) {
         },
         {in(&k_alpha_), in(q_.data(), c), inout(g_.data(), c)}, 0, "g");
   }
+
+  batch.submit();
 }
 
 // ---------------------------------------------------------------------------
@@ -776,7 +780,7 @@ void ResilientCg::host_error_policy(Runtime&, ResilientCgResult& res) {
 // ---------------------------------------------------------------------------
 
 ResilientCgResult ResilientCg::solve(double* x_out) {
-  Runtime rt(nthreads_);
+  Runtime rt(nthreads_, opts_.pin_threads);
   if (opts_.tracer != nullptr) rt.set_tracer(opts_.tracer);
   ResilientCgResult res;
   Stopwatch clock;

@@ -45,8 +45,11 @@ struct ResilientCgOptions {
   /// Failure granularity in rows; 512 = one page (production), smaller for
   /// tests.  Must match the preconditioner layout when one is used.
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
-  /// Worker threads; 0 = min(8, hardware_concurrency), the paper's node size.
+  /// Worker threads; 0 = feir::default_threads() (FEIR_THREADS, else
+  /// min(8, hardware_concurrency), the paper's node size).
   unsigned threads = 0;
+  /// Pin worker i to core i (Linux; no-op elsewhere).
+  bool pin_threads = false;
   /// Checkpoint placement (Method::Checkpoint only).
   CheckpointOptions ckpt;
   /// Expected MTBE in seconds, feeding the optimal checkpoint period when

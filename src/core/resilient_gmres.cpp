@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "runtime/batch_ops.hpp"
 #include "sparse/vecops.hpp"
 #include "support/timing.hpp"
 
@@ -116,6 +117,13 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
   std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m));
   std::vector<double> gvec(static_cast<std::size_t>(m) + 1, 0.0);
   std::vector<double> w(static_cast<std::size_t>(n));
+  double* wd = w.data();
+
+  // Dataflow pool: the Arnoldi recurrence of each step is staged as one
+  // chunked task batch (SpMV, then the Gram-Schmidt dot/axpy chain, then the
+  // norm), with the healing sweeps at host-side sync points in between.
+  Runtime rt(std::max(1u, opts_.threads), opts_.pin_threads);
+  const unsigned nch = std::max(1u, opts_.threads);
 
   index_t total = 0;
   auto finish = [&](bool ok) {
@@ -160,21 +168,50 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
     }
 
     // g = b - A x; fresh output, so losses before this point are moot.
-    spmv(A_, x, g);
-    for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
+    double true_gnorm = 0.0;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      ops.spmv(A_, x, g, "Ax");
+      const double* b = b_;
+      ops.transform(
+          {b}, g, /*accumulate=*/true,
+          [g, b](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i) g[i] = b[i] - g[i];
+          },
+          "g");
+      ops.norm2(g, &true_gnorm, "gn");
+      ops.run();
+    }
     rg_->mask.clear();
 
-    const double true_gnorm = norm2(g, n);
     if (true_gnorm / denom <= opts_.tol) return finish(true);
     const double* v0src = g;
-    if (M_ != nullptr) {
-      M_->apply(g, z_.data());
-      rz_->mask.clear();
-      v0src = z_.data();
+    double gnorm = 0.0;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      if (M_ != nullptr) {
+        ops.full({g}, z_.data(), [this, g] { M_->apply(g, z_.data()); }, "z");
+        v0src = z_.data();
+      }
+      ops.norm2(v0src, &gnorm, "vn");
+      ops.run();
     }
-    const double gnorm = norm2(v0src, n);
+    if (M_ != nullptr) rz_->mask.clear();
     v0_norm_ = gnorm;
-    for (index_t i = 0; i < n; ++i) v_[0].data()[i] = v0src[i] / gnorm;
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      double* v0 = v_[0].data();
+      ops.transform(
+          {v0src}, v0, /*accumulate=*/false,
+          [v0, v0src, gnorm](index_t r0, index_t r1) {
+            for (index_t i = r0; i < r1; ++i) v0[i] = v0src[i] / gnorm;
+          },
+          "v0");
+      ops.run();
+    }
     rv_[0]->mask.clear();
     for (auto& col : H) std::fill(col.begin(), col.end(), 0.0);
     R_.assign(static_cast<std::size_t>(m), {});
@@ -209,23 +246,45 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
         }
       }
 
+      // One batch stages the whole Arnoldi step: w = (M^{-1}) A v_l, the
+      // Gram-Schmidt chain (each h_k dot feeds the following axpy through its
+      // scalar dep key, chunk by chunk), and ||w||.  Chunks of step k
+      // pipeline into step k+1 without a barrier when threads > 1.
       double* vl = v_[static_cast<std::size_t>(l)].data();
-      spmv(A_, vl, w.data());
-      if (M_ != nullptr) {
-        scratch_.assign(w.begin(), w.end());
-        M_->apply(scratch_.data(), w.data());
-      }
       auto& col = H[static_cast<std::size_t>(l)];
-      for (index_t k = 0; k <= l; ++k) {
-        const double h = dot(w.data(), v_[static_cast<std::size_t>(k)].data(), n);
-        col[static_cast<std::size_t>(k)] = h;
-        axpy_range(-h, v_[static_cast<std::size_t>(k)].data(), w.data(), 0, n);
+      double hnext = 0.0;
+      {
+        TaskBatch tb(rt);
+        BatchOps ops(tb, n, nch);
+        ops.spmv(A_, vl, wd, "Av");
+        if (M_ != nullptr)
+          ops.full({wd}, wd,
+                   [this, wd = wd] {
+                     scratch_.assign(wd, wd + A_.n);
+                     M_->apply(scratch_.data(), wd);
+                   },
+                   "Mw");
+        for (index_t k = 0; k <= l; ++k) {
+          const double* vk = v_[static_cast<std::size_t>(k)].data();
+          double* hk = &col[static_cast<std::size_t>(k)];
+          ops.dot(wd, vk, hk, "h");
+          ops.axpy_at(hk, -1.0, vk, wd, "orth");
+        }
+        ops.norm2(wd, &hnext, "hn");
+        ops.run();
       }
-      const double hnext = norm2(w.data(), n);
       col[static_cast<std::size_t>(l) + 1] = hnext;
       if (hnext > 0.0) {
         double* vn = v_[static_cast<std::size_t>(l) + 1].data();
-        for (index_t i = 0; i < n; ++i) vn[i] = w[static_cast<std::size_t>(i)] / hnext;
+        TaskBatch tb(rt);
+        BatchOps ops(tb, n, nch);
+        ops.transform(
+            {wd}, vn, /*accumulate=*/false,
+            [vn, wd = wd, hnext](index_t r0, index_t r1) {
+              for (index_t i = r0; i < r1; ++i) vn[i] = wd[i] / hnext;
+            },
+            "vn");
+        ops.run();
         rv_[static_cast<std::size_t>(l) + 1]->mask.clear();
       }
 
@@ -289,8 +348,19 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
       const double rii = R_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
       y[static_cast<std::size_t>(i)] = rii != 0.0 ? sacc / rii : 0.0;
     }
-    for (index_t k = 0; k < l; ++k)
-      axpy_range(y[static_cast<std::size_t>(k)], v_[static_cast<std::size_t>(k)].data(), x, 0, n);
+    {
+      TaskBatch tb(rt);
+      BatchOps ops(tb, n, nch);
+      for (index_t k = 0; k < l; ++k) {
+        const double yk = y[static_cast<std::size_t>(k)];
+        const double* vk = v_[static_cast<std::size_t>(k)].data();
+        ops.transform(
+            {vk}, x, /*accumulate=*/true,
+            [x, vk, yk](index_t r0, index_t r1) { axpy_range(yk, vk, x, r0, r1); },
+            "xk");
+      }
+      ops.run();
+    }
     rx_->mask.clear();
   }
   return finish(false);

@@ -17,6 +17,7 @@
 #include "core/relations.hpp"
 #include "fault/domain.hpp"
 #include "precond/precond.hpp"
+#include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
 #include "support/page_buffer.hpp"
@@ -30,6 +31,12 @@ struct ResilientGmresOptions {
   index_t restart = 30;
   bool record_history = false;
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  /// Worker threads for the chunked Arnoldi task batches.  1 (the default)
+  /// keeps the historical sequential arithmetic; any value is
+  /// bit-deterministic (chunk reductions sum in index order).
+  unsigned threads = 1;
+  /// Pin worker i to core i (Linux; no-op elsewhere).
+  bool pin_threads = false;
   std::function<void(const IterRecord&)> on_iteration;
 };
 

@@ -1,0 +1,114 @@
+#include "runtime/batch_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/vecops.hpp"
+
+namespace feir {
+
+BatchOps::BatchOps(TaskBatch& batch, index_t n, unsigned nchunks)
+    : batch_(batch), n_(n) {
+  nchunks_ = std::max<index_t>(1, std::min<index_t>(n, static_cast<index_t>(nchunks)));
+}
+
+std::pair<index_t, index_t> BatchOps::chunk(index_t c) const {
+  const index_t base = n_ / nchunks_;
+  const index_t rem = n_ % nchunks_;
+  const index_t r0 = c * base + std::min(c, rem);
+  return {r0, r0 + base + (c < rem ? 1 : 0)};
+}
+
+std::vector<Dep> BatchOps::whole(const void* p, Access mode) const {
+  std::vector<Dep> deps;
+  deps.reserve(static_cast<std::size_t>(nchunks_));
+  for (index_t c = 0; c < nchunks_; ++c) deps.push_back({{p, c}, mode});
+  return deps;
+}
+
+void BatchOps::spmv(const CsrMatrix& A, const double* x, double* y, const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps = whole(x, Access::In);
+    deps.push_back(out(y, c));
+    const auto [r0, r1] = chunk(c);
+    batch_.add([&A, x, y, r0 = r0, r1 = r1] { spmv_rows(A, r0, r1, x, y); },
+               std::move(deps), 0, name);
+  }
+}
+
+void BatchOps::full(std::initializer_list<const void*> reads, const void* write,
+                    std::function<void()> body, const char* name) {
+  std::vector<Dep> deps;
+  for (const void* r : reads) {
+    std::vector<Dep> rd = whole(r, Access::In);
+    deps.insert(deps.end(), rd.begin(), rd.end());
+  }
+  std::vector<Dep> wr = whole(write, Access::Out);
+  deps.insert(deps.end(), wr.begin(), wr.end());
+  batch_.add(std::move(body), std::move(deps), 0, name);
+}
+
+void BatchOps::transform(std::initializer_list<const void*> reads, const void* write,
+                         bool accumulate, std::function<void(index_t, index_t)> body,
+                         const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps;
+    for (const void* r : reads) deps.push_back(in(r, c));
+    deps.push_back({{write, c}, accumulate ? Access::InOut : Access::Out});
+    const auto [r0, r1] = chunk(c);
+    batch_.add([body, r0 = r0, r1 = r1] { body(r0, r1); }, std::move(deps), 0, name);
+  }
+}
+
+void BatchOps::dot_impl(const double* a, const double* b, double* out, bool take_sqrt,
+                        const char* name) {
+  partials_.emplace_back(static_cast<std::size_t>(nchunks_), 0.0);
+  std::vector<double>& part = partials_.back();
+  double* pdata = part.data();
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [r0, r1] = chunk(c);
+    batch_.add(
+        [a, b, pdata, c, r0 = r0, r1 = r1] {
+          pdata[static_cast<std::size_t>(c)] = dot_range(a, b, r0, r1);
+        },
+        {in(a, c), in(b, c), feir::out(pdata, c)}, 0, name);
+  }
+  std::vector<Dep> deps = whole(pdata, Access::In);
+  deps.push_back(feir::out(out));
+  const index_t nch = nchunks_;
+  batch_.add(
+      [pdata, out, nch, take_sqrt] {
+        // Index-ordered sum: deterministic for any execution schedule.
+        double s = 0.0;
+        for (index_t c = 0; c < nch; ++c) s += pdata[static_cast<std::size_t>(c)];
+        *out = take_sqrt ? std::sqrt(s) : s;
+      },
+      std::move(deps), 1, name);
+}
+
+void BatchOps::dot(const double* a, const double* b, double* out, const char* name) {
+  dot_impl(a, b, out, false, name);
+}
+
+void BatchOps::norm2(const double* a, double* out, const char* name) {
+  dot_impl(a, a, out, true, name);
+}
+
+void BatchOps::axpy_at(const double* scale, double sign, const double* x, double* y,
+                       const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [r0, r1] = chunk(c);
+    batch_.add(
+        [scale, sign, x, y, r0 = r0, r1 = r1] {
+          axpy_range(sign * *scale, x, y, r0, r1);
+        },
+        {in(scale), in(x, c), inout(y, c)}, 0, name);
+  }
+}
+
+void BatchOps::run() {
+  batch_.submit();
+  batch_.runtime().taskwait();
+}
+
+}  // namespace feir

@@ -1,0 +1,84 @@
+// Chunked dataflow staging of BLAS-1 / SpMV steps onto a TaskBatch.
+//
+// The paper taskifies CG by hand (Fig. 1); BiCGStab and GMRES are "analogous"
+// (§3.3).  BatchOps is the reusable half of that analogy: a solver stages one
+// iteration segment -- SpMV, preconditioner application, element-wise
+// combines, reductions -- as chunk tasks whose dependency keys are
+// (vector, chunk), publishes the segment as one batch, and taskwaits where
+// its host-side logic needs a scalar or a healing sweep.
+//
+// Every task declares its complete read/write footprint and every reduction
+// sums its chunk partials in index order, so results are bit-deterministic
+// for ANY schedule: one worker or many, stolen or not.  With nchunks == 1
+// the arithmetic is identical to the sequential reference loops.
+//
+// Usage (one segment):
+//   TaskBatch batch(rt);
+//   BatchOps ops(batch, n, nchunks);
+//   ops.spmv(A, d, q);
+//   ops.dot(q, r, &qr);
+//   ops.run();              // publish + taskwait; *then* read qr
+//
+// The BatchOps object owns the reduction scratch, so it must outlive run().
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sparse/csr.hpp"
+
+namespace feir {
+
+class BatchOps {
+ public:
+  /// Stages onto `batch`; ranges split [0, n) into `nchunks` chunks.
+  BatchOps(TaskBatch& batch, index_t n, unsigned nchunks);
+
+  /// y = A x (chunked by block row; each chunk reads all of x).
+  void spmv(const CsrMatrix& A, const double* x, double* y, const char* name = "q");
+
+  /// One un-chunked task reading/writing whole vectors (preconditioner
+  /// applications whose sweep semantics are not chunk-safe).  `write` may
+  /// also appear in `reads` for in-place updates.
+  void full(std::initializer_list<const void*> reads, const void* write,
+            std::function<void()> body, const char* name = "op");
+
+  /// Chunked element-wise op: `body(r0, r1)` reads `reads` and writes
+  /// `write` over rows [r0, r1).  With `accumulate`, `write` is inout.
+  void transform(std::initializer_list<const void*> reads, const void* write,
+                 bool accumulate, std::function<void(index_t, index_t)> body,
+                 const char* name = "map");
+
+  /// *out = <a, b>: chunk partials plus an index-ordered reduction task.
+  void dot(const double* a, const double* b, double* out, const char* name = "dot");
+
+  /// *out = ||a||_2 (sqrt applied in the reduction task).
+  void norm2(const double* a, double* out, const char* name = "norm");
+
+  /// y += sign * (*scale) * x, with *scale read at execution time -- chains
+  /// on a scalar produced by an earlier dot() in the same batch (the Arnoldi
+  /// orthogonalization pattern).
+  void axpy_at(const double* scale, double sign, const double* x, double* y,
+               const char* name = "axpy");
+
+  /// Publishes the staged segment and waits for it to drain.
+  void run();
+
+  index_t nchunks() const { return nchunks_; }
+  std::pair<index_t, index_t> chunk(index_t c) const;
+
+ private:
+  void dot_impl(const double* a, const double* b, double* out, bool take_sqrt,
+                const char* name);
+  std::vector<Dep> whole(const void* p, Access mode) const;
+
+  TaskBatch& batch_;
+  index_t n_;
+  index_t nchunks_;
+  std::deque<std::vector<double>> partials_;  // stable addresses for dep keys
+};
+
+}  // namespace feir

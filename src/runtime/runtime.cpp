@@ -1,140 +1,450 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
+
 #include "support/timing.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace feir {
 
-Runtime::Runtime(unsigned nthreads) {
+namespace {
+
+/// Identity of the current thread inside a runtime's worker pool.  Runtimes
+/// nest (a campaign worker runs a solver that owns its own pool), so the slot
+/// records *which* runtime the thread belongs to; pushes into any other
+/// runtime take the external round-robin path.
+struct WorkerSlot {
+  Runtime* rt = nullptr;
+  unsigned id = 0;
+};
+thread_local WorkerSlot tls_worker;
+
+}  // namespace
+
+namespace {
+/// Process-wide rotation so nested runtimes (campaign pool + each job's
+/// solver pool) pin to disjoint cores instead of all piling onto core 0.
+std::atomic<unsigned> g_pin_base{0};
+}  // namespace
+
+Runtime::Runtime(unsigned nthreads, bool pin_threads) {
   if (nthreads == 0) nthreads = 1;
-  clocks_.resize(nthreads);
+  const unsigned pin_base =
+      pin_threads ? g_pin_base.fetch_add(nthreads, std::memory_order_relaxed) : 0;
+  queues_.reserve(nthreads);
+  clocks_.reserve(nthreads);
+  trace_bufs_.resize(nthreads);
+  pool_local_.resize(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    queues_.push_back(std::make_unique<LaneDeques>());
+    clocks_.push_back(std::make_unique<WorkerClock>());
+  }
   workers_.reserve(nthreads);
   for (unsigned i = 0; i < nthreads; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.emplace_back([this, i, pin_threads, pin_base] {
+      worker_loop(i, pin_threads ? static_cast<int>(pin_base + i) : -1);
+    });
 }
 
 Runtime::~Runtime() {
   taskwait();
+  shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
   }
-  ready_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void Runtime::submit(std::function<void()> fn, std::vector<Dep> deps, int priority,
-                     std::string name) {
-  auto t = std::make_shared<Task>();
+// ---------------------------------------------------------------------------
+// Task pool.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kPoolCacheMax = 128;  // per-worker cache bound
+
+Runtime::Task* Runtime::acquire_task(std::function<void()> fn, int priority,
+                                     std::string name) {
+  Task* t = nullptr;
+  if (tls_worker.rt == this) {
+    std::vector<Task*>& cache = pool_local_[tls_worker.id];
+    if (!cache.empty()) {
+      t = cache.back();
+      cache.pop_back();
+    }
+  }
+  if (t == nullptr) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (!pool_free_.empty()) {
+      t = pool_free_.back();
+      pool_free_.pop_back();
+    } else {
+      pool_arena_.push_back(std::make_unique<Task>());
+      t = pool_arena_.back().get();
+    }
+  }
   t->fn = std::move(fn);
   t->name = std::move(name);
   t->priority = priority;
+  t->finished = false;
+  t->pending.store(1, std::memory_order_relaxed);  // submission guard
+  t->refs.store(1, std::memory_order_relaxed);     // execution reference
+  return t;
+}
 
-  std::lock_guard<std::mutex> lk(mu_);
-  t->seq = seq_counter_++;
-  ++in_flight_;
+void Runtime::release_ref(Task* t) {
+  if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) recycle(t);
+}
 
-  auto add_edge = [&](const std::shared_ptr<Task>& pred) {
-    if (pred && !pred->finished && pred.get() != t.get()) {
-      pred->successors.push_back(t);
-      ++t->pending;
+void Runtime::recycle(Task* t) {
+  t->fn = nullptr;  // drop captured state outside any scheduler lock
+  t->name.clear();
+  t->successors.clear();
+  if (tls_worker.rt == this) {
+    std::vector<Task*>& cache = pool_local_[tls_worker.id];
+    cache.push_back(t);
+    if (cache.size() > kPoolCacheMax) {
+      // Spill half to the global list so host-side submitters can reuse.
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      pool_free_.insert(pool_free_.end(), cache.begin() + kPoolCacheMax / 2,
+                        cache.end());
+      cache.resize(kPoolCacheMax / 2);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  pool_free_.push_back(t);
+}
+
+// ---------------------------------------------------------------------------
+// Submission: dependency resolution + ready-wave release.
+// ---------------------------------------------------------------------------
+
+void Runtime::submit(std::function<void()> fn, std::vector<Dep> deps, int priority,
+                     std::string name) {
+  Staged s;
+  s.task = acquire_task(std::move(fn), priority, std::move(name));
+  s.deps = std::move(deps);
+  publish(&s, 1);
+}
+
+void Runtime::publish(Staged* staged, std::size_t count) {
+  if (count == 0) return;
+  in_flight_.fetch_add(count, std::memory_order_acq_rel);
+
+  // Lock the publish's shard set in ascending order: deadlock-free against
+  // concurrent publishes, and edge creation across all keys of this graph is
+  // one consistent serialization point (no RAW-here / WAR-there cycles).
+  bool used[kDepShards] = {};
+  bool any_deps = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const Dep& d : staged[i].deps) {
+      used[shard_of(d.key)] = true;
+      any_deps = true;
+    }
+  }
+
+  if (any_deps) {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    for (unsigned s = 0; s < kDepShards; ++s)
+      if (used[s]) locks.emplace_back(shards_[s].mu);
+
+    auto add_edge = [](Task* pred, Task* succ) {
+      if (pred == nullptr || pred == succ) return;
+      std::lock_guard<std::mutex> lk(pred->mu);
+      if (pred->finished) return;
+      pred->successors.push_back(succ);
+      succ->refs.fetch_add(1, std::memory_order_relaxed);
+      succ->pending.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    for (std::size_t i = 0; i < count; ++i) {
+      Task* t = staged[i].task;
+      for (const Dep& d : staged[i].deps) {
+        DepEntry& e = shards_[shard_of(d.key)].table[d.key];
+        switch (d.mode) {
+          case Access::In:
+            add_edge(e.last_writer, t);  // RAW
+            e.readers.push_back(t);
+            t->refs.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Access::Out:
+          case Access::InOut:
+            add_edge(e.last_writer, t);               // WAW (and RAW for InOut)
+            for (Task* r : e.readers) add_edge(r, t);  // WAR
+            if (e.last_writer != nullptr) release_ref(e.last_writer);
+            for (Task* r : e.readers) release_ref(r);
+            e.readers.clear();
+            e.last_writer = t;
+            t->refs.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    }
+  }
+
+  // Drop the submission guards; everything with no unmet predecessor forms
+  // the initial ready wave, released together.
+  std::vector<Task*> wave;
+  wave.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Task* t = staged[i].task;
+    if (t->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) wave.push_back(t);
+  }
+  push_wave(wave.data(), wave.size());
+}
+
+void Runtime::push_wave(Task* const* tasks, std::size_t count) {
+  if (count == 0) return;
+  // Back-to-front: owners pop LIFO, so a reversed push makes same-lane tasks
+  // of one wave come out in submission order.
+  auto push_reversed = [](LaneDeques& q, Task* const* first, std::size_t n) {
+    std::lock_guard<std::mutex> lk(q.mu);
+    for (std::size_t k = n; k-- > 0;) {
+      Task* t = first[k];
+      const auto lane = static_cast<std::size_t>(lane_of(t->priority));
+      q.lanes[lane].push_back(t);
+      q.sizes[lane].fetch_add(1, std::memory_order_relaxed);
     }
   };
-
-  for (const Dep& d : deps) {
-    DepEntry& e = table_[d.key];
-    switch (d.mode) {
-      case Access::In:
-        add_edge(e.last_writer);  // RAW
-        e.readers.push_back(t);
-        break;
-      case Access::Out:
-      case Access::InOut:
-        add_edge(e.last_writer);              // WAW (and RAW for InOut)
-        for (auto& r : e.readers) add_edge(r);  // WAR
-        e.readers.clear();
-        e.last_writer = t;
-        break;
+  if (tls_worker.rt == this) {
+    // A worker releases its successors onto its own deque (locality).
+    push_reversed(*queues_[tls_worker.id], tasks, count);
+  } else {
+    // External wave: contiguous slices across the worker deques, one lock
+    // per deque; the starting deque rotates so repeated small submissions
+    // spread out.  Stealing rebalances whatever this split gets wrong.
+    const auto nworkers = static_cast<unsigned>(queues_.size());
+    const unsigned start = next_queue_.fetch_add(1, std::memory_order_relaxed);
+    for (unsigned j = 0; j < nworkers; ++j) {
+      const std::size_t lo = count * j / nworkers;
+      const std::size_t hi = count * (j + 1) / nworkers;
+      if (lo == hi) continue;
+      push_reversed(*queues_[(start + j) % nworkers], tasks + lo, hi - lo);
     }
   }
-
-  if (t->pending == 0) push_ready(t);
-}
-
-void Runtime::push_ready(std::shared_ptr<Task> t) {
-  ready_.push(std::move(t));
-  ready_cv_.notify_one();
-}
-
-void Runtime::on_finish(const std::shared_ptr<Task>& t) {
-  std::lock_guard<std::mutex> lk(mu_);
-  t->finished = true;
-  for (auto& s : t->successors) {
-    if (--s->pending == 0) push_ready(s);
+  // seq_cst on the epoch bump and the sleepers probe (and on their worker
+  // counterparts): this is a store-load (Dekker) pattern, so either the
+  // sleeper observes the new epoch in its wait predicate or we observe its
+  // registration here and notify under the lock -- never neither.
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    if (count > 1)
+      sleep_cv_.notify_all();
+    else
+      sleep_cv_.notify_one();
   }
-  t->successors.clear();
-  ++executed_;
-  if (--in_flight_ == 0) drained_cv_.notify_all();
 }
 
-void Runtime::worker_loop(unsigned id) {
-  WorkerClock& clock = clocks_[id];
+// ---------------------------------------------------------------------------
+// Workers.
+// ---------------------------------------------------------------------------
+
+Runtime::Task* Runtime::try_pop_own(unsigned id, int lane) {
+  LaneDeques& q = *queues_[id];
+  if (q.sizes[static_cast<std::size_t>(lane)].load(std::memory_order_relaxed) == 0)
+    return nullptr;
+  std::lock_guard<std::mutex> lk(q.mu);
+  auto& dq = q.lanes[static_cast<std::size_t>(lane)];
+  if (dq.empty()) return nullptr;
+  Task* t = dq.back();
+  dq.pop_back();
+  q.sizes[static_cast<std::size_t>(lane)].fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+Runtime::Task* Runtime::try_steal(LaneDeques& victim, int lane) {
+  if (victim.sizes[static_cast<std::size_t>(lane)].load(std::memory_order_relaxed) == 0)
+    return nullptr;
+  std::lock_guard<std::mutex> lk(victim.mu);
+  auto& dq = victim.lanes[static_cast<std::size_t>(lane)];
+  if (dq.empty()) return nullptr;
+  Task* t = dq.front();  // FIFO: steal the oldest, likely-largest work
+  dq.pop_front();
+  victim.sizes[static_cast<std::size_t>(lane)].fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+Runtime::Task* Runtime::find_work(unsigned id) {
+  const auto nworkers = static_cast<unsigned>(queues_.size());
+  // Own high/normal lanes first (two cheap size probes on the fast path),
+  // then a lane-major steal sweep of the same lanes.  The low lane comes
+  // strictly last -- own or stolen -- so low-priority (AFEIR recovery) tasks
+  // only run when no reduction-path work exists anywhere.
+  if (Task* t = try_pop_own(id, 0)) return t;
+  if (Task* t = try_pop_own(id, 1)) return t;
+  for (int lane = 0; lane < 2; ++lane)
+    for (unsigned k = 1; k < nworkers; ++k)
+      if (Task* t = try_steal(*queues_[(id + k) % nworkers], lane)) return t;
+  if (Task* t = try_pop_own(id, 2)) return t;
+  for (unsigned k = 1; k < nworkers; ++k)
+    if (Task* t = try_steal(*queues_[(id + k) % nworkers], 2)) return t;
+  return nullptr;
+}
+
+void Runtime::on_finish(Task* t) {
+  std::vector<Task*> succs;
+  {
+    std::lock_guard<std::mutex> lk(t->mu);
+    t->finished = true;
+    succs.swap(t->successors);
+  }
+  if (!succs.empty()) {
+    std::vector<Task*> wave;
+    wave.reserve(succs.size());
+    for (Task* s : succs)
+      if (s->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) wave.push_back(s);
+    push_wave(wave.data(), wave.size());
+    for (Task* s : succs) release_ref(s);
+  }
+  executed_.fetch_add(1, std::memory_order_release);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    drain_cv_.notify_all();
+  }
+  release_ref(t);  // execution reference
+}
+
+void Runtime::worker_loop(unsigned id, int pin_core) {
+#ifdef __linux__
+  if (pin_core >= 0) {
+    const unsigned ncores = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(pin_core) % ncores, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#else
+  (void)pin_core;
+#endif
+  tls_worker = {this, id};
+  WorkerClock& clock = *clocks_[id];
+  auto bump = [](std::atomic<double>& c, double dt) {
+    c.store(c.load(std::memory_order_relaxed) + dt, std::memory_order_relaxed);
+  };
+
+  // One carried timestamp chain (3 clock reads per task, not one Stopwatch
+  // pair per state): mark -> found work = idle, -> body done = useful,
+  // -> bookkeeping done = runtime.
+  double mark = now_seconds();
   for (;;) {
-    std::shared_ptr<Task> t;
-    {
-      Stopwatch idle;
-      std::unique_lock<std::mutex> lk(mu_);
-      ready_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
-      clock.idle += idle.seconds();
-      if (shutdown_ && ready_.empty()) return;
-      Stopwatch sched;
-      t = ready_.top();
-      ready_.pop();
-      clock.runtime += sched.seconds();
+    Task* t = nullptr;
+    while (t == nullptr) {
+      const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+      t = find_work(id);
+      if (t != nullptr) break;
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      sleep_cv_.wait(lk, [&] {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               work_epoch_.load(std::memory_order_seq_cst) != epoch;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
-    Stopwatch useful;
-    const double t_begin = tracer_ != nullptr ? now_seconds() - tracer_->origin() : 0.0;
+    const double t_begin = now_seconds();
+    bump(clock.idle, t_begin - mark);
+
     t->fn();
-    if (tracer_ != nullptr)
-      tracer_->record(id, t->name, t_begin, now_seconds() - tracer_->origin());
-    clock.useful += useful.seconds();
-    Stopwatch sched;
+    const double t_end = now_seconds();
+    bump(clock.useful, t_end - t_begin);
+    if (tracer_ != nullptr) {
+      const double origin = tracer_->origin();
+      trace_bufs_[id].push_back({id, t->name, t_begin - origin, t_end - origin});
+    }
+
     on_finish(t);
-    clock.runtime += sched.seconds();
+    mark = now_seconds();
+    bump(clock.runtime, mark - t_end);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Synchronization and accounting.
+// ---------------------------------------------------------------------------
 
 void Runtime::taskwait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  drained_cv_.wait(lk, [&] { return in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    drain_cv_.wait(lk, [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  }
   // The dependency table only grows across iterations; once the graph is
-  // drained nothing references past tasks, so drop them.
-  table_.clear();
+  // drained nothing references past tasks, so return them to the pool.
+  for (DepShard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (auto& entry : shard.table) {
+      DepEntry& e = entry.second;
+      if (e.last_writer != nullptr) release_ref(e.last_writer);
+      for (Task* r : e.readers) release_ref(r);
+    }
+    shard.table.clear();
+  }
+  // Merge per-worker trace buffers: tracing costs no scheduler lock while
+  // tasks run, one bulk append per worker here.
+  if (tracer_ != nullptr) {
+    for (auto& buf : trace_bufs_) {
+      if (!buf.empty()) {
+        tracer_->record_batch(std::move(buf));
+        buf.clear();
+      }
+    }
+  }
 }
 
 Runtime::StateTimes Runtime::state_times() const {
-  std::lock_guard<std::mutex> lk(mu_);
   StateTimes s;
   for (const auto& c : clocks_) {
-    s.useful += c.useful;
-    s.runtime += c.runtime;
-    s.idle += c.idle;
+    s.useful += c->useful.load(std::memory_order_relaxed);
+    s.runtime += c->runtime.load(std::memory_order_relaxed);
+    s.idle += c->idle.load(std::memory_order_relaxed);
   }
   return s;
 }
 
 void Runtime::reset_state_times() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& c : clocks_) c = WorkerClock{};
+  for (auto& c : clocks_) {
+    c->useful.store(0.0, std::memory_order_relaxed);
+    c->runtime.store(0.0, std::memory_order_relaxed);
+    c->idle.store(0.0, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t Runtime::tasks_executed() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return executed_;
+  return executed_.load(std::memory_order_acquire);
 }
 
 std::uint64_t Runtime::tasks_pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return in_flight_;
+  return in_flight_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// TaskBatch.
+// ---------------------------------------------------------------------------
+
+TaskBatch::~TaskBatch() {
+  // Unsubmitted staged tasks are discarded, not published: we only get here
+  // with staged work when an exception is unwinding the staging scope, and
+  // the lambdas may capture scratch that scope is about to destroy.
+  for (Runtime::Staged& s : staged_) rt_.release_ref(s.task);
+  staged_.clear();
+}
+
+void TaskBatch::add(std::function<void()> fn, std::vector<Dep> deps, int priority,
+                    std::string name) {
+  Runtime::Staged s;
+  s.task = rt_.acquire_task(std::move(fn), priority, std::move(name));
+  s.deps = std::move(deps);
+  staged_.push_back(std::move(s));
+}
+
+void TaskBatch::submit() {
+  if (staged_.empty()) return;
+  rt_.publish(staged_.data(), staged_.size());
+  staged_.clear();
 }
 
 }  // namespace feir

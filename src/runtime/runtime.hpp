@@ -2,21 +2,42 @@
 //
 // Serial code is split into tasks; each task declares in/out/inout accesses
 // on data keys, and the runtime builds the dependency graph (RAW, WAR, WAW)
-// and schedules ready tasks on a worker pool, highest priority first.  This
-// is the substrate the paper's resilience scheme rides on: recovery tasks are
-// ordinary tasks, and AFEIR is obtained purely by giving them lower priority
-// and weaker dependencies so they overlap with the reduction tasks (Fig. 2).
+// and schedules ready tasks on a worker pool.  This is the substrate the
+// paper's resilience scheme rides on: recovery tasks are ordinary tasks, and
+// AFEIR is obtained purely by giving them lower priority and weaker
+// dependencies so they overlap with the reduction tasks (Fig. 2).
+//
+// Scheduler architecture (see README "Architecture"):
+//   * per-worker work-stealing deques, one per priority lane (high / normal /
+//     low).  The owner pushes and pops its own back (LIFO, cache-warm);
+//     thieves steal from the front (FIFO, oldest first).  A worker always
+//     drains higher lanes -- its own, then anyone else's -- before touching a
+//     lower lane, so AFEIR's low-priority recovery tasks run only when no
+//     reduction-path work is available anywhere.
+//   * a sharded dependency table: DepKey hashes to one of kDepShards
+//     independently locked shards, so concurrent submitters only contend
+//     when their footprints collide.  Multi-key submissions lock their shard
+//     set in ascending order (deadlock-free, and a consistent serialization
+//     of edge creation).
+//   * a free-list task pool with intrusive reference counts instead of one
+//     shared_ptr control block per task.
+//   * TaskBatch: callers stage a whole iteration's graph and publish it under
+//     one locking epoch (one shard-lock round for the entire graph).
 //
 // Per-worker time accounting (useful / runtime / idle) reproduces the state
-// breakdown of the paper's Table 3.
+// breakdown of the paper's Table 3.  Trace events are buffered per worker and
+// merged into the TaskTracer at taskwait(), so tracing never takes a
+// scheduler-wide lock on the hot path.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -26,6 +47,8 @@
 #include "runtime/trace.hpp"
 
 namespace feir {
+
+class TaskBatch;
 
 /// Dataflow task runtime.  Create one per solve (or reuse); tasks are
 /// submitted from the owning thread (or from inside tasks) and run on
@@ -41,19 +64,23 @@ class Runtime {
     double idle = 0.0;
   };
 
-  /// Starts `nthreads` workers (>= 1).
-  explicit Runtime(unsigned nthreads);
+  /// Starts `nthreads` workers (>= 1).  With `pin_threads`, workers pin to a
+  /// process-wide rotating block of cores, so nested runtimes (a campaign
+  /// pool plus each job's solver pool) land on disjoint cores (Linux only;
+  /// no-op elsewhere).
+  explicit Runtime(unsigned nthreads, bool pin_threads = false);
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   /// Submits a task with declared accesses.  Higher `priority` runs first
-  /// among ready tasks.  Thread-safe.
+  /// among ready tasks (see the lane mapping above).  Thread-safe.
   void submit(std::function<void()> fn, std::vector<Dep> deps, int priority = 0,
               std::string name = {});
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed, then recycles the
+  /// dependency table and flushes per-worker trace buffers to the tracer.
   void taskwait();
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
@@ -76,51 +103,140 @@ class Runtime {
   void set_tracer(TaskTracer* tracer) { tracer_ = tracer; }
 
  private:
+  friend class TaskBatch;
+
+  static constexpr unsigned kDepShards = 64;  // power of two
+  static constexpr int kLanes = 3;            // high / normal / low priority
+
+  /// Pooled task node.  `pending`/`refs` are atomic; `finished` and
+  /// `successors` are guarded by the per-task mutex (edge installation vs
+  /// completion).
   struct Task {
     std::function<void()> fn;
     std::string name;
     int priority = 0;
-    std::uint64_t seq = 0;  // FIFO tiebreak among equal priorities
-    int pending = 0;        // unmet predecessor count
-    std::vector<std::shared_ptr<Task>> successors;
+    std::atomic<int> pending{0};  // unmet predecessors + 1 submission guard
+    std::atomic<int> refs{0};     // table entries + successor lists + execution
+    std::mutex mu;
     bool finished = false;
+    std::vector<Task*> successors;
   };
 
-  struct ReadyOrder {
-    bool operator()(const std::shared_ptr<Task>& a, const std::shared_ptr<Task>& b) const {
-      if (a->priority != b->priority) return a->priority < b->priority;  // max-heap
-      return a->seq > b->seq;  // earlier submission first
-    }
+  /// One staged (not yet published) task: the node plus its access list.
+  struct Staged {
+    Task* task = nullptr;
+    std::vector<Dep> deps;
   };
 
   struct DepEntry {
-    std::shared_ptr<Task> last_writer;
-    std::vector<std::shared_ptr<Task>> readers;  // since last write
+    Task* last_writer = nullptr;   // holds a ref
+    std::vector<Task*> readers;    // since last write; each holds a ref
+  };
+
+  struct DepShard {
+    std::mutex mu;
+    std::unordered_map<DepKey, DepEntry, DepKeyHash> table;
+  };
+
+  /// Per-worker (and per-thief) priority-lane deques.  `sizes` lets scans
+  /// skip empty lanes without taking the lock.
+  struct LaneDeques {
+    std::mutex mu;
+    std::array<std::deque<Task*>, kLanes> lanes;
+    std::array<std::atomic<std::size_t>, kLanes> sizes{};
   };
 
   struct WorkerClock {
-    double useful = 0.0;
-    double runtime = 0.0;
-    double idle = 0.0;
+    std::atomic<double> useful{0.0};
+    std::atomic<double> runtime{0.0};
+    std::atomic<double> idle{0.0};
   };
 
-  void worker_loop(unsigned id);
-  void push_ready(std::shared_ptr<Task> t);  // caller holds mu_
-  void on_finish(const std::shared_ptr<Task>& t);
+  static int lane_of(int priority) {
+    return priority > 0 ? 0 : (priority == 0 ? 1 : 2);
+  }
+  static unsigned shard_of(const DepKey& k) {
+    return static_cast<unsigned>(DepKeyHash{}(k)) & (kDepShards - 1);
+  }
 
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::condition_variable drained_cv_;
-  std::priority_queue<std::shared_ptr<Task>, std::vector<std::shared_ptr<Task>>, ReadyOrder>
-      ready_;
-  std::unordered_map<DepKey, DepEntry, DepKeyHash> table_;
+  Task* acquire_task(std::function<void()> fn, int priority, std::string name);
+  void release_ref(Task* t);
+  void recycle(Task* t);
+
+  /// Publishes a staged graph: assigns sequence numbers, installs dependency
+  /// edges under one sorted shard-lock round, and releases the ready wave.
+  void publish(Staged* staged, std::size_t count);
+  void push_wave(Task* const* tasks, std::size_t count);
+  void on_finish(Task* t);
+
+  Task* try_pop_own(unsigned id, int lane);
+  Task* try_steal(LaneDeques& victim, int lane);
+  Task* find_work(unsigned id);
+  void worker_loop(unsigned id, int pin_core);  // pin_core < 0: no pinning
+
+  // --- dependency resolution ------------------------------------------------
+  std::array<DepShard, kDepShards> shards_;
+
+  // --- scheduling -----------------------------------------------------------
+  std::vector<std::unique_ptr<LaneDeques>> queues_;  // one per worker
+  std::atomic<unsigned> next_queue_{0};              // round-robin for external pushes
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  // --- lifecycle / accounting ----------------------------------------------
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  // --- task pool ------------------------------------------------------------
+  // Global free list plus per-worker caches (each touched only by its
+  // worker), so steady-state recycle/acquire stays off the global mutex.
+  std::mutex pool_mu_;
+  std::vector<Task*> pool_free_;
+  std::vector<std::unique_ptr<Task>> pool_arena_;
+  std::vector<std::vector<Task*>> pool_local_;
+
+  std::vector<std::unique_ptr<WorkerClock>> clocks_;
+  std::vector<std::vector<TraceEvent>> trace_bufs_;  // per worker, owner-written
   std::vector<std::thread> workers_;
-  std::vector<WorkerClock> clocks_;
-  std::uint64_t seq_counter_ = 0;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t executed_ = 0;
-  bool shutdown_ = false;
   TaskTracer* tracer_ = nullptr;
+};
+
+/// Stages a group of tasks and publishes them as one synchronization epoch:
+/// the whole graph's dependency edges are installed under a single
+/// shard-lock round and the initial ready wave is released together.  The
+/// intended unit is one solver iteration (or one campaign phase).
+///
+/// Not thread-safe; one batch per staging thread.  Destroying a batch with
+/// staged-but-unsubmitted tasks DISCARDS them (back to the pool): the only
+/// way to reach that state is an exception unwinding past the staging code,
+/// and publishing then would run lambdas whose captured scratch (e.g.
+/// BatchOps reduction slots) is being destroyed on the same stack.
+class TaskBatch {
+ public:
+  explicit TaskBatch(Runtime& rt) : rt_(rt) {}
+  ~TaskBatch();
+
+  TaskBatch(const TaskBatch&) = delete;
+  TaskBatch& operator=(const TaskBatch&) = delete;
+
+  /// Stages a task; nothing runs until submit().
+  void add(std::function<void()> fn, std::vector<Dep> deps, int priority = 0,
+           std::string name = {});
+
+  /// Publishes every staged task.  The batch is reusable afterwards.
+  void submit();
+
+  std::size_t size() const { return staged_.size(); }
+  Runtime& runtime() { return rt_; }
+
+ private:
+  Runtime& rt_;
+  std::vector<Runtime::Staged> staged_;
 };
 
 }  // namespace feir

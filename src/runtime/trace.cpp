@@ -20,6 +20,17 @@ void TaskTracer::record(unsigned worker, const std::string& name, double begin_s
   events_.push_back({worker, name, begin_s, end_s});
 }
 
+void TaskTracer::record_batch(std::vector<TraceEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.empty()) {
+    events_ = std::move(events);
+  } else {
+    events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+  }
+}
+
 std::vector<TraceEvent> TaskTracer::events() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<TraceEvent> out = events_;

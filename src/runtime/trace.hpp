@@ -30,6 +30,11 @@ class TaskTracer {
   /// Records one task execution (called by the runtime's workers).
   void record(unsigned worker, const std::string& name, double begin_s, double end_s);
 
+  /// Appends a whole per-worker event buffer under one lock.  The runtime
+  /// buffers events worker-locally while tasks run and merges them here at
+  /// taskwait(), so tracing never serializes the scheduler hot path.
+  void record_batch(std::vector<TraceEvent> events);
+
   /// Snapshot of all events so far, sorted by begin time.
   std::vector<TraceEvent> events() const;
 

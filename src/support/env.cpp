@@ -1,6 +1,8 @@
 #include "support/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace feir {
 
@@ -23,6 +25,12 @@ double env_double(const char* name, double fallback) {
 std::string env_string(const char* name, const std::string& fallback) {
   const char* v = std::getenv(name);
   return (v == nullptr) ? fallback : std::string(v);
+}
+
+unsigned default_threads() {
+  const long v = env_long("FEIR_THREADS", 0);
+  if (v > 0) return static_cast<unsigned>(v);
+  return std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
 }
 
 }  // namespace feir

@@ -1,6 +1,6 @@
 // Environment-variable configuration helpers for the benchmark harnesses
 // (e.g. FEIR_BENCH_REPS, FEIR_BENCH_SCALE) so experiment sizes can be tuned
-// without recompiling.
+// without recompiling, plus the process-wide thread-count default.
 #pragma once
 
 #include <string>
@@ -15,5 +15,11 @@ double env_double(const char* name, double fallback);
 
 /// Returns the string value of `name`, or `fallback` when unset.
 std::string env_string(const char* name, const std::string& fallback);
+
+/// The one worker-thread default every component shares: FEIR_THREADS when
+/// set (> 0), else min(8, hardware_concurrency) -- the paper's node size.
+/// Used by ResilientCgOptions (threads == 0), the campaign executor
+/// (concurrency == 0), and the CLI tools.
+unsigned default_threads();
 
 }  // namespace feir

@@ -1,15 +1,22 @@
-// Unit tests for the OmpSs-like dataflow runtime: dependency semantics
-// (RAW, WAR, WAW), priority ordering, concurrency, nested submission, and
-// the state-time accounting used for Table 3.
+// Unit tests for the work-stealing dataflow runtime: dependency semantics
+// (RAW, WAR, WAW), priority lanes under stealing, concurrency, nested and
+// batched submission, randomized graphs against a serial reference, and the
+// state-time accounting used for Table 3.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <random>
+#include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "runtime/batch_ops.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/trace.hpp"
+#include "sparse/vecops.hpp"
 
 namespace feir {
 namespace {
@@ -228,6 +235,238 @@ TEST(Runtime, DiamondDependency) {
   rt.submit([&] { final_val = b1 + b2; }, {in(&b1), in(&b2)});
   rt.taskwait();
   EXPECT_EQ(final_val.load(), 5);
+}
+
+// Random graphs: build the dependency edges with a serial reference
+// implementation of the in/out/inout semantics, run the graph on the
+// work-stealing scheduler, and check every edge's completion ordering.
+TEST(Runtime, RandomizedGraphsMatchSerialReference) {
+  std::mt19937 rng(12345);
+  static char keys[6];
+  for (int trial = 0; trial < 6; ++trial) {
+    const int ntasks = 120 + static_cast<int>(rng() % 80);
+    std::vector<std::vector<Dep>> deps(static_cast<std::size_t>(ntasks));
+    for (auto& d : deps) {
+      const int nd = 1 + static_cast<int>(rng() % 3);
+      std::set<int> used;
+      for (int j = 0; j < nd; ++j) {
+        const int k = static_cast<int>(rng() % 6);
+        if (!used.insert(k).second) continue;
+        const int m = static_cast<int>(rng() % 3);
+        d.push_back({{&keys[k], 0},
+                     m == 0 ? Access::In : (m == 1 ? Access::Out : Access::InOut)});
+      }
+    }
+
+    // Serial reference: the same table algorithm, producing (pred, succ).
+    struct Entry {
+      int last_writer = -1;
+      std::vector<int> readers;
+    };
+    std::unordered_map<const void*, Entry> table;
+    std::vector<std::pair<int, int>> edges;
+    for (int t = 0; t < ntasks; ++t) {
+      auto edge = [&](int pred) {
+        if (pred >= 0 && pred != t) edges.emplace_back(pred, t);
+      };
+      for (const Dep& d : deps[static_cast<std::size_t>(t)]) {
+        Entry& e = table[d.key.base];
+        if (d.mode == Access::In) {
+          edge(e.last_writer);
+          e.readers.push_back(t);
+        } else {
+          edge(e.last_writer);
+          for (int r : e.readers) edge(r);
+          e.readers.clear();
+          e.last_writer = t;
+        }
+      }
+    }
+
+    std::vector<int> pos(static_cast<std::size_t>(ntasks), -1);
+    std::atomic<int> counter{0};
+    Runtime rt(4);
+    TaskBatch batch(rt);
+    for (int t = 0; t < ntasks; ++t)
+      batch.add([&pos, &counter, t] { pos[static_cast<std::size_t>(t)] = counter.fetch_add(1); },
+                deps[static_cast<std::size_t>(t)]);
+    batch.submit();
+    rt.taskwait();
+
+    for (const auto& [p, s] : edges) {
+      ASSERT_GE(pos[static_cast<std::size_t>(p)], 0);
+      EXPECT_LT(pos[static_cast<std::size_t>(p)], pos[static_cast<std::size_t>(s)])
+          << "edge " << p << " -> " << s << " violated (trial " << trial << ")";
+    }
+  }
+}
+
+// Multi-key submissions from several workers at once: the sorted shard
+// locking must serialize edge creation consistently (no deadlock, no cycle),
+// and every task must run.
+TEST(Runtime, ConcurrentSubmitFromInsideTasks) {
+  Runtime rt(4);
+  std::atomic<int> total{0};
+  static char keys[4];
+  for (int i = 0; i < 8; ++i) {
+    rt.submit(
+        [&rt, &total, i] {
+          for (int j = 0; j < 40; ++j) {
+            const int a = (i + j) % 4, b = (i + j + 1 + j % 3) % 4;
+            std::vector<Dep> deps{inout(&keys[a])};
+            if (b != a) deps.push_back(inout(&keys[b]));
+            rt.submit([&total] { total.fetch_add(1); }, std::move(deps));
+          }
+        },
+        {});
+  }
+  for (int j = 0; j < 100; ++j)
+    rt.submit([&total] { total.fetch_add(1); }, {inout(&keys[j % 4])});
+  rt.taskwait();
+  EXPECT_EQ(total.load(), 8 * 40 + 100);
+}
+
+// Everything is produced from inside one worker's task (so it lands on that
+// worker's deque); the other workers must steal to participate.
+TEST(Runtime, StealHeavyWorkload) {
+  Runtime rt(4);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::set<std::thread::id> tids;
+  rt.submit(
+      [&] {
+        for (int i = 0; i < 200; ++i) {
+          rt.submit(
+              [&] {
+                {
+                  std::lock_guard<std::mutex> lk(mu);
+                  tids.insert(std::this_thread::get_id());
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(300));
+                count.fetch_add(1);
+              },
+              {});
+        }
+      },
+      {});
+  rt.taskwait();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GE(tids.size(), 2u);  // stealing actually happened
+}
+
+// AFEIR's guarantee under stealing: low-priority (recovery) tasks never run
+// while normal-lane work is queued anywhere.  Releasing a mixed wave from a
+// gate task, the low lane may only overtake at the drain boundary (at most
+// one in-flight normal task per worker).
+TEST(Runtime, LowPriorityYieldsUnderStealing) {
+  Runtime rt(4);
+  static char gate;
+  std::mutex mu;
+  std::vector<int> order;
+  auto rec = [&](int v) {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(v);
+  };
+  rt.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); },
+            {out(&gate)});
+  const int kHigh = 24, kLow = 24;
+  for (int i = 0; i < kLow; ++i)
+    rt.submit(
+        [&, i] {
+          rec(1000 + i);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        },
+        {in(&gate)}, /*priority=*/-1);
+  for (int i = 0; i < kHigh; ++i)
+    rt.submit(
+        [&, i] {
+          rec(i);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        },
+        {in(&gate)}, /*priority=*/0);
+  rt.taskwait();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kHigh + kLow));
+  std::size_t last_normal = 0;
+  for (std::size_t k = 0; k < order.size(); ++k)
+    if (order[k] < 1000) last_normal = k;
+  std::size_t lows_before = 0;
+  for (std::size_t k = 0; k < last_normal; ++k)
+    if (order[k] >= 1000) ++lows_before;
+  EXPECT_LE(lows_before, 8u);  // 2 drain-boundary windows x 4 workers
+}
+
+// A batch stages without running, then publishes the whole dependent graph
+// (including the WAR edge) as one epoch.
+TEST(Runtime, TaskBatchPublishesWholeGraph) {
+  Runtime rt(4);
+  TaskBatch batch(rt);
+  int a = 0;
+  std::vector<int> reads(3, -1);
+  batch.add([&] { a = 5; }, {out(&a)});
+  for (int i = 0; i < 3; ++i)
+    batch.add([&, i] { reads[static_cast<std::size_t>(i)] = a; }, {in(&a)});
+  batch.add([&] { a = 9; }, {out(&a)});  // WAR: waits for all readers
+  EXPECT_EQ(rt.tasks_pending(), 0u);     // staging does not run anything
+  EXPECT_EQ(batch.size(), 5u);
+  batch.submit();
+  rt.taskwait();
+  for (int v : reads) EXPECT_EQ(v, 5);
+  EXPECT_EQ(a, 9);
+  EXPECT_EQ(rt.tasks_executed(), 5u);
+}
+
+// Chunked reductions sum partials in index order: any schedule, any worker
+// count, bit-identical results.
+TEST(BatchOps, ChunkedReductionsAreDeterministic) {
+  const index_t n = 1003;
+  std::vector<double> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (index_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = u(rng);
+    b[static_cast<std::size_t>(i)] = u(rng);
+  }
+
+  const unsigned nch = 4;
+  // Reference: chunk partials summed in index order, serially.
+  double expected = 0.0;
+  {
+    const index_t base = n / nch, rem = n % nch;
+    std::vector<double> part(nch, 0.0);
+    for (index_t c = 0; c < static_cast<index_t>(nch); ++c) {
+      const index_t r0 = c * base + std::min(c, rem);
+      const index_t r1 = r0 + base + (c < rem ? 1 : 0);
+      part[static_cast<std::size_t>(c)] = dot_range(a.data(), b.data(), r0, r1);
+    }
+    for (unsigned c = 0; c < nch; ++c) expected += part[c];
+  }
+
+  for (int run = 0; run < 3; ++run) {
+    Runtime rt(4);
+    TaskBatch tb(rt);
+    BatchOps ops(tb, n, nch);
+    double got = 0.0, scaled = 0.0;
+    std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+    double* yd = y.data();
+    const double* ad = a.data();
+    ops.dot(a.data(), b.data(), &got);
+    // transform + axpy_at chain on the scalar produced in-batch.
+    ops.transform({ad}, yd, /*accumulate=*/false,
+                  [yd, ad](index_t r0, index_t r1) {
+                    for (index_t i = r0; i < r1; ++i) yd[i] = 2.0 * ad[i];
+                  });
+    ops.axpy_at(&got, -1.0, a.data(), yd);
+    ops.dot(yd, b.data(), &scaled);
+    ops.run();
+    EXPECT_EQ(got, expected);  // bitwise
+    // y = 2a - got*a, so <y, b> = (2 - got) * <a, b> up to chunk summation --
+    // just require run-to-run determinism here.
+    static double first_scaled = 0.0;
+    if (run == 0)
+      first_scaled = scaled;
+    else
+      EXPECT_EQ(scaled, first_scaled);
+  }
 }
 
 }  // namespace

@@ -158,6 +158,18 @@ TEST(EnvHelpers, ParseAndFallback) {
   unsetenv("FEIR_TEST_BAD");
 }
 
+TEST(Env, DefaultThreadsHonoursFeirThreads) {
+  unsetenv("FEIR_THREADS");
+  const unsigned base = default_threads();
+  EXPECT_GE(base, 1u);
+  EXPECT_LE(base, 8u);
+  setenv("FEIR_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3u);
+  setenv("FEIR_THREADS", "0", 1);  // non-positive falls back
+  EXPECT_EQ(default_threads(), base);
+  unsetenv("FEIR_THREADS");
+}
+
 TEST(Table, FormatsAlignedColumns) {
   Table t;
   t.header({"method", "overhead"});

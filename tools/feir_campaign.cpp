@@ -20,10 +20,12 @@
 //                         timing-dependent, so reports are not replayable)
 //   --replicas R          replicas per cell (default 3)
 // Execution:
-//   --jobs N              concurrent jobs (default min(cores, 8))
+//   --jobs N              concurrent jobs (default FEIR_THREADS, else
+//                         min(cores, 8))
 //   --threads T           worker threads per solver (default 1: campaign
 //                         parallelism lives across jobs, and one thread keeps
 //                         iteration-injected runs bit-reproducible)
+//   --pin                 pin the pool's workers (and each solver's) to cores
 //   --seed S              campaign seed; per-job seeds derive from it (default 1)
 //   --scale S             testbed grid scale (default 0.35)
 //   --tol T               relative residual threshold (default 1e-10)
@@ -57,6 +59,7 @@ namespace {
 struct Args {
   GridSpec grid;
   unsigned jobs = 0;
+  bool pin = false;
   std::string out = "results.json";
   std::string csv;
   std::string jobs_csv_path;
@@ -172,6 +175,10 @@ Args parse(int argc, char** argv) {
     else if (flag == "--jobs") a.jobs = static_cast<unsigned>(std::atoi(next().c_str()));
     else if (flag == "--threads")
       a.grid.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--pin") {
+      a.pin = true;
+      a.grid.pin_threads = true;
+    }
     else if (flag == "--seed") a.grid.campaign_seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (flag == "--scale") a.grid.scale = std::atof(next().c_str());
     else if (flag == "--tol") a.grid.tol = std::atof(next().c_str());
@@ -204,6 +211,7 @@ int main(int argc, char** argv) {
 
   ExecutorOptions eopts;
   eopts.concurrency = args.jobs;
+  eopts.pin_threads = args.pin;
   if (!args.quiet) {
     eopts.on_job_done = [](std::size_t done, std::size_t total, const JobSpec& spec,
                            const JobResult& r) {

@@ -16,7 +16,11 @@
 //                         exactly (how campaign jobs are replayed standalone)
 //   --inject  soft|mprotect                 (default soft; --mtbe only)
 //   --tol     T           relative residual threshold (default 1e-10)
-//   --threads N           CG worker threads (default 8; 1 for bit-exact replay)
+//   --threads N           solver worker threads (default FEIR_THREADS, else
+//                         min(8, cores); CG is schedule-dependent, so use 1
+//                         for bit-exact replay -- BiCGStab/GMRES batches are
+//                         deterministic at any thread count)
+//   --pin                 pin worker threads to cores (Linux)
 //   --max-iter N          iteration cap (default 100000; campaigns use 500000)
 //   --restart M           GMRES restart length (default 30)
 //   --seed    S           RNG seed (default 1)
@@ -44,6 +48,7 @@
 #include "precond/fixedpoint.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/vecops.hpp"
+#include "support/env.hpp"
 
 using namespace feir;
 
@@ -66,7 +71,7 @@ Args parse(int argc, char** argv) {
   Args a;
   a.job.matrix = "ecology2";
   a.job.method = Method::Feir;
-  a.job.threads = 8;
+  a.job.threads = default_threads();
   a.job.max_iter = 100000;
   double mtbe_s = 0.0, mtbe_iters = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -93,6 +98,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--tol") a.job.tol = std::atof(next().c_str());
     else if (flag == "--threads")
       a.job.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--pin") a.job.pin_threads = true;
     else if (flag == "--restart") a.job.gmres_restart = std::atoll(next().c_str());
     else if (flag == "--max-iter") a.job.max_iter = std::atoll(next().c_str());
     else if (flag == "--seed") a.job.seed = std::strtoull(next().c_str(), nullptr, 10);
