@@ -36,6 +36,7 @@ campaign::JobSpec job_for(const std::string& matrix, Method method, const Config
   spec.matrix = matrix;
   spec.scale = cfg.scale;
   spec.solver = campaign::SolverKind::Cg;
+  spec.format = default_format();  // FEIR_FORMAT selects the bench backend
   spec.method = method;
   spec.precond =
       with_precond ? campaign::PrecondKind::BlockJacobi : campaign::PrecondKind::None;

@@ -15,6 +15,7 @@
 #include "fault/injector.hpp"
 #include "fault/sighandler.hpp"
 #include "precond/fixedpoint.hpp"
+#include "precond/gs.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/vecops.hpp"
 #include "support/env.hpp"
@@ -65,6 +66,7 @@ std::unique_ptr<Preconditioner> make_precond(PrecondKind kind, const CsrMatrix& 
       return m;
     }
     case PrecondKind::Sweeps: return std::make_unique<JacobiSweeps>(A, layout, 3);
+    case PrecondKind::GaussSeidel: return std::make_unique<BlockGaussSeidel>(A, layout, 2);
   }
   return nullptr;
 }
@@ -190,6 +192,11 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
     InjectionHooks hooks;
     hooks.spec = &spec;
 
+    // The job's storage backend.  The SELL-C-σ structure is built here (cost
+    // ~ one SpMV) and shared by reference count with the solver; recovery
+    // relations keep addressing the CSR reference.
+    const SparseMatrix S = SparseMatrix::make(p.A, spec.format);
+
     switch (spec.solver) {
       case SolverKind::Cg: {
         if (M != nullptr && bj == nullptr)
@@ -209,7 +216,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
           opts.ckpt.path = spec.ckpt_path;  // empty = in-memory
         }
         opts.on_iteration = hooks.hook();
-        ResilientCg solver(p.A, p.b.data(), opts, bj);
+        ResilientCg solver(S, p.b.data(), opts, bj);
         out = run_with_injection<ResilientCg, ResilientCgResult>(spec, solver, p.A.n,
                                                                  hooks);
         break;
@@ -223,7 +230,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
         opts.on_iteration = hooks.hook();
-        ResilientBicgstab solver(p.A, p.b.data(), opts, M);
+        ResilientBicgstab solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientBicgstab, ResilientBicgstabResult>(
             spec, solver, p.A.n, hooks);
         break;
@@ -238,7 +245,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
         opts.on_iteration = hooks.hook();
-        ResilientGmres solver(p.A, p.b.data(), opts, M);
+        ResilientGmres solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientGmres, ResilientGmresResult>(spec, solver,
                                                                        p.A.n, hooks);
         break;

@@ -17,6 +17,7 @@ const char* precond_name(PrecondKind k) {
     case PrecondKind::Jacobi: return "jacobi";
     case PrecondKind::BlockJacobi: return "blockjacobi";
     case PrecondKind::Sweeps: return "sweeps";
+    case PrecondKind::GaussSeidel: return "gs";
   }
   return "?";
 }
@@ -44,6 +45,7 @@ bool precond_from_name(const std::string& s, PrecondKind* out) {
   else if (s == "jacobi") *out = PrecondKind::Jacobi;
   else if (s == "blockjacobi") *out = PrecondKind::BlockJacobi;
   else if (s == "sweeps") *out = PrecondKind::Sweeps;
+  else if (s == "gs") *out = PrecondKind::GaussSeidel;
   else return false;
   return true;
 }
@@ -78,6 +80,7 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
               j.solver = solver;
               j.method = solver == SolverKind::Cg ? method : Method::Ideal;
               j.precond = precond;
+              j.format = grid.format;
               j.inject = inject;
               j.replica = rep;
               j.seed = derive_job_seed(grid.campaign_seed, j.index);

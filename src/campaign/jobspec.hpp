@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/method.hpp"
+#include "sparse/matrix.hpp"
 #include "support/layout.hpp"
 #include "support/page_buffer.hpp"
 #include "support/rng.hpp"
@@ -23,7 +24,7 @@ namespace feir::campaign {
 /// applies to CG, mirroring feir_solve.
 enum class SolverKind : std::uint8_t { Cg, Bicgstab, Gmres };
 
-enum class PrecondKind : std::uint8_t { None, Jacobi, BlockJacobi, Sweeps };
+enum class PrecondKind : std::uint8_t { None, Jacobi, BlockJacobi, Sweeps, GaussSeidel };
 
 /// How errors reach the job's fault domain.
 enum class InjectionKind : std::uint8_t {
@@ -70,6 +71,10 @@ struct JobSpec {
   SolverKind solver = SolverKind::Cg;
   Method method = Method::Feir;
   PrecondKind precond = PrecondKind::None;
+  /// Sparse storage backend the job's solver runs on.  Every backend is
+  /// bit-identical on the SpMV path, so at threads == 1 the format does not
+  /// change iterations, residuals, or recovery counts -- only speed.
+  SparseFormat format = SparseFormat::Csr;
   Injection inject;
   int replica = 0;
   std::uint64_t seed = 1;     ///< derive_job_seed(campaign_seed, index)
@@ -98,6 +103,7 @@ struct GridSpec {
   int replicas = 1;
 
   std::uint64_t campaign_seed = 1;
+  SparseFormat format = SparseFormat::Csr;  ///< backend stamped on every job
   double scale = 0.35;
   double tol = 1e-10;
   index_t max_iter = 500000;

@@ -151,6 +151,7 @@ std::string job_record_json(const JobSpec& spec, const JobResult& result, bool t
   j.field("seed", jnum(spec.seed));
   j.field("tol", jnum(spec.tol));
   j.field("block_rows", jnum(spec.block_rows));
+  j.field("format", jstr(format_name(spec.format)));
   j.field("threads", jnum(static_cast<std::uint64_t>(spec.threads)));
   if (!result.ran) {
     j.field("error", jstr(result.error));
@@ -247,8 +248,8 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
 
 std::string jobs_csv(const CampaignResult& c, bool timing) {
   std::string out =
-      "index,matrix,solver,method,precond,inject_kind,inject_rate,replica,seed,"
-      "converged,iterations,relres,errors_injected";
+      "index,matrix,solver,method,precond,format,inject_kind,inject_rate,replica,"
+      "seed,converged,iterations,relres,errors_injected";
   if (timing) out += ",seconds";
   out += "\n";
   for (std::size_t i = 0; i < c.specs.size(); ++i) {
@@ -259,6 +260,7 @@ std::string jobs_csv(const CampaignResult& c, bool timing) {
     out += std::string(",") + solver_name(s.solver);
     out += std::string(",") + method_cli_name(s.method);
     out += std::string(",") + precond_name(s.precond);
+    out += std::string(",") + format_name(s.format);
     out += std::string(",") + injection_name(s.inject.kind);
     out += "," + jnum(s.inject.rate());
     out += "," + std::to_string(s.replica);

@@ -9,17 +9,18 @@
 
 namespace feir {
 
-ResilientBicgstab::ResilientBicgstab(const CsrMatrix& A, const double* b,
+ResilientBicgstab::ResilientBicgstab(SparseMatrix A, const double* b,
                                      ResilientBicgstabOptions opts,
                                      const Preconditioner* M)
-    : A_(A),
+    : Am_(std::move(A)),
+      A_(Am_.csr()),
       b_(b),
       opts_(std::move(opts)),
-      M_(M),
-      layout_(A.n, opts_.block_rows),
-      dsolver_(A, BlockLayout(A.n, opts_.block_rows)) {
+      layout_(A_.n, opts_.block_rows),
+      dsolver_(A_, BlockLayout(A_.n, opts_.block_rows)),
+      M_(M) {
   nb_ = layout_.num_blocks();
-  const auto n = static_cast<std::size_t>(A.n);
+  const auto n = static_cast<std::size_t>(A_.n);
   x_ = PageBuffer(n);
   g_ = PageBuffer(n);
   q_ = PageBuffer(n);
@@ -29,7 +30,7 @@ ResilientBicgstab::ResilientBicgstab(const CsrMatrix& A, const double* b,
   d_[1] = PageBuffer(n);
   const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
   auto reg = [&](const char* name, PageBuffer& buf) {
-    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+    return &domain_.add(name, buf.data(), A_.n, opts_.block_rows, paged ? &buf : nullptr);
   };
   rx_ = reg("x", x_);
   rg_ = reg("g", g_);
@@ -125,7 +126,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
       }
     }
     domain_.clear_all();
-    spmv(A_, x, g);
+    Am_.spmv(x, g);
     for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
     std::copy(g, g + n, r.begin());
     copy_range(g, d_[parity].data(), 0, n);
@@ -135,7 +136,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
   };
 
   // Initial: g, r, d <= b - A x.
-  spmv(A_, x, g);
+  Am_.spmv(x, g);
   for (index_t i = 0; i < n; ++i) g[i] = b_[i] - g[i];
   std::copy(g, g + n, r.begin());
   copy_range(g, d_[parity].data(), 0, n);
@@ -245,7 +246,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     {
       TaskBatch tb(rt);
       BatchOps ops(tb, n, nch);
-      ops.spmv(A_, qdir, q, "q");
+      ops.spmv(Am_, qdir, q, "q");
       ops.run();
     }
     refresh_output(rq_, stats_);
@@ -346,7 +347,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
     {
       TaskBatch tb(rt);
       BatchOps ops(tb, n, nch);
-      ops.spmv(A_, tdir, t, "t");
+      ops.spmv(Am_, tdir, t, "t");
       ops.run();
     }
     refresh_output(rt_, stats_);

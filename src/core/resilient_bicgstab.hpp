@@ -32,6 +32,7 @@
 #include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/matrix.hpp"
 #include "support/page_buffer.hpp"
 
 namespace feir {
@@ -61,7 +62,9 @@ struct ResilientBicgstabResult : SolveResult {
 /// (the §3.2 property) or by the inverted SpMV relations.
 class ResilientBicgstab {
  public:
-  ResilientBicgstab(const CsrMatrix& A, const double* b, ResilientBicgstabOptions opts,
+  /// `A` selects the SpMV backend (sparse/matrix.hpp); a CsrMatrix lvalue
+  /// converts implicitly to the CSR view and must outlive the solver.
+  ResilientBicgstab(SparseMatrix A, const double* b, ResilientBicgstabOptions opts,
                     const Preconditioner* M = nullptr);
 
   FaultDomain& domain() { return domain_; }
@@ -74,7 +77,8 @@ class ResilientBicgstab {
   template <typename Fn>
   bool heal(ProtectedRegion* r, Fn&& fn);
 
-  const CsrMatrix& A_;
+  SparseMatrix Am_;     // format-dispatched SpMV backend
+  const CsrMatrix& A_;  // CSR structure for the recovery relations
   const double* b_;
   ResilientBicgstabOptions opts_;
   BlockLayout layout_;

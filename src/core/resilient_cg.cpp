@@ -38,20 +38,21 @@ void ResilientCg::Contrib::reset(index_t n) {
   }
 }
 
-ResilientCg::ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions opts,
+ResilientCg::ResilientCg(SparseMatrix A, const double* b, ResilientCgOptions opts,
                          const Preconditioner* M)
-    : A_(A),
+    : Am_(std::move(A)),
+      A_(Am_.csr()),
       b_(b),
       opts_(std::move(opts)),
       M_(M),
-      layout_(A.n, opts_.block_rows),
-      dsolver_(A, BlockLayout(A.n, opts_.block_rows),
+      layout_(A_.n, opts_.block_rows),
+      dsolver_(A_, BlockLayout(A_.n, opts_.block_rows),
                dynamic_cast<const BlockJacobi*>(M)) {
   nb_ = layout_.num_blocks();
   nthreads_ = opts_.threads != 0 ? opts_.threads : default_threads();
   nchunks_ = std::min<index_t>(nb_, static_cast<index_t>(nthreads_));
 
-  const auto n = static_cast<std::size_t>(A.n);
+  const auto n = static_cast<std::size_t>(A_.n);
   x_ = PageBuffer(n);
   g_ = PageBuffer(n);
   q_ = PageBuffer(n);
@@ -63,7 +64,7 @@ ResilientCg::ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions
   // uniform sample space, §5.3).  Page-backed regions need page granularity.
   const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
   auto reg = [&](const char* name, PageBuffer& buf) {
-    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+    return &domain_.add(name, buf.data(), A_.n, opts_.block_rows, paged ? &buf : nullptr);
   };
   rx_ = reg("x", x_);
   rg_ = reg("g", g_);
@@ -78,9 +79,9 @@ ResilientCg::ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions
   for (index_t p = 0; p < nb_; ++p) {
     std::vector<char> seen(static_cast<std::size_t>(nb_), 0);
     for (index_t i = layout_.begin(p); i < layout_.end(p); ++i)
-      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
-           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
-        seen[static_cast<std::size_t>(layout_.block_of(A.col_idx[static_cast<std::size_t>(k)]))] = 1;
+      for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+           k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        seen[static_cast<std::size_t>(layout_.block_of(A_.col_idx[static_cast<std::size_t>(k)]))] = 1;
     for (index_t pb = 0; pb < nb_; ++pb)
       if (seen[static_cast<std::size_t>(pb)]) page_footprint_[static_cast<std::size_t>(p)].push_back(pb);
   }
@@ -128,7 +129,7 @@ double ResilientCg::sum_contrib(const Contrib& c, bool* complete) const {
 void ResilientCg::restart_from_x() {
   // Sequential restart: recompute the residual from the (intact or newly
   // interpolated) iterate and wipe the Krylov recurrence (§4.3).
-  spmv(A_, x_.data(), g_.data());
+  Am_.spmv(x_.data(), g_.data());
   for (index_t i = 0; i < A_.n; ++i) g_.data()[i] = b_[i] - g_.data()[i];
   if (M_ != nullptr) M_->apply(g_.data(), z_.data());
   have_eps_old_ = false;
@@ -596,7 +597,7 @@ void ResilientCg::submit_iteration(Runtime& rt) {
               }
             }
             const BlockState pre = rq_->mask.get(p);  // pure output
-            spmv_rows(A_, layout_.begin(p), layout_.end(p), dcur, q);
+            Am_.spmv_rows(layout_.begin(p), layout_.end(p), dcur, q);
             q_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
             if (feir)
               rq_->mask.try_set_ok_from(p, pre);
@@ -767,7 +768,7 @@ void ResilientCg::host_error_policy(Runtime&, ResilientCgResult& res) {
         t_ = 0;
       }
       // Recompute the residual consistent with the restored iterate.
-      spmv(A_, x_.data(), g_.data());
+      Am_.spmv(x_.data(), g_.data());
       for (index_t i = 0; i < A_.n; ++i) g_.data()[i] = b_[i] - g_.data()[i];
       domain_.clear_all();
       break;

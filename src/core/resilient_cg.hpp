@@ -28,6 +28,7 @@
 #include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/matrix.hpp"
 #include "support/page_buffer.hpp"
 
 namespace feir {
@@ -85,7 +86,13 @@ class ResilientCg {
   /// `M` is a BlockJacobi on the same layout, its Cholesky factors are
   /// additionally reused by the recovery's A_ii solves (the paper's
   /// free-factorization observation, §5.1).
-  ResilientCg(const CsrMatrix& A, const double* b, ResilientCgOptions opts,
+  ///
+  /// `A` selects the SpMV backend (sparse/matrix.hpp); a plain CsrMatrix
+  /// lvalue converts implicitly to the CSR view.  The underlying CsrMatrix
+  /// must outlive the solver; recovery relations always run against it, and
+  /// every backend produces bit-identical SpMV results, so the solver output
+  /// does not depend on the format.
+  ResilientCg(SparseMatrix A, const double* b, ResilientCgOptions opts,
               const Preconditioner* M = nullptr);
 
   /// The protected regions ("x", "g", "d0", "d1", "q", and "z" for PCG).
@@ -114,7 +121,8 @@ class ResilientCg {
   const double* steer() const { return M_ != nullptr ? z_.data() : g_.data(); }
   ProtectedRegion* steer_region() const { return M_ != nullptr ? rz_ : rg_; }
 
-  const CsrMatrix& A_;
+  SparseMatrix Am_;       // format-dispatched SpMV backend
+  const CsrMatrix& A_;    // CSR structure: recovery relations, footprints
   const double* b_;
   ResilientCgOptions opts_;
   const Preconditioner* M_;

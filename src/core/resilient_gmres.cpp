@@ -10,16 +10,17 @@
 
 namespace feir {
 
-ResilientGmres::ResilientGmres(const CsrMatrix& A, const double* b,
+ResilientGmres::ResilientGmres(SparseMatrix A, const double* b,
                                ResilientGmresOptions opts, const Preconditioner* M)
-    : A_(A),
+    : Am_(std::move(A)),
+      A_(Am_.csr()),
       b_(b),
       opts_(std::move(opts)),
       M_(M),
-      layout_(A.n, opts_.block_rows),
-      dsolver_(A, BlockLayout(A.n, opts_.block_rows)) {
+      layout_(A_.n, opts_.block_rows),
+      dsolver_(A_, BlockLayout(A_.n, opts_.block_rows)) {
   nb_ = layout_.num_blocks();
-  const auto n = static_cast<std::size_t>(A.n);
+  const auto n = static_cast<std::size_t>(A_.n);
   x_ = PageBuffer(n);
   g_ = PageBuffer(n);
   if (M_ != nullptr) z_ = PageBuffer(n);
@@ -29,7 +30,7 @@ ResilientGmres::ResilientGmres(const CsrMatrix& A, const double* b,
 
   const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
   auto reg = [&](const std::string& name, PageBuffer& buf) {
-    return &domain_.add(name, buf.data(), A.n, opts_.block_rows, paged ? &buf : nullptr);
+    return &domain_.add(name, buf.data(), A_.n, opts_.block_rows, paged ? &buf : nullptr);
   };
   rx_ = reg("x", x_);
   rg_ = reg("g", g_);
@@ -78,11 +79,11 @@ bool ResilientGmres::heal_basis(index_t upto, const std::vector<std::vector<doub
           // Full A v_{l-1}, then a partial application of M on the lost rows
           // ("re-running the preconditioner is a viable forward recovery").
           scratch_.assign(static_cast<std::size_t>(A_.n), 0.0);
-          spmv(A_, v_[static_cast<std::size_t>(l) - 1].data(), scratch_.data());
+          Am_.spmv(v_[static_cast<std::size_t>(l) - 1].data(), scratch_.data());
           M_->apply_blocks({p}, scratch_.data(), vl);
           ++stats_.precond_reapplies;
         } else {
-          spmv_rows(A_, r0, r1, v_[static_cast<std::size_t>(l) - 1].data(), vl);
+          Am_.spmv_rows(r0, r1, v_[static_cast<std::size_t>(l) - 1].data(), vl);
         }
         for (index_t k = 0; k < l; ++k) {
           const double h = H[static_cast<std::size_t>(l) - 1][static_cast<std::size_t>(k)];
@@ -172,7 +173,7 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
     {
       TaskBatch tb(rt);
       BatchOps ops(tb, n, nch);
-      ops.spmv(A_, x, g, "Ax");
+      ops.spmv(Am_, x, g, "Ax");
       const double* b = b_;
       ops.transform(
           {b}, g, /*accumulate=*/true,
@@ -256,7 +257,7 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
       {
         TaskBatch tb(rt);
         BatchOps ops(tb, n, nch);
-        ops.spmv(A_, vl, wd, "Av");
+        ops.spmv(Am_, vl, wd, "Av");
         if (M_ != nullptr)
           ops.full({wd}, wd,
                    [this, wd = wd] {

@@ -20,6 +20,7 @@
 #include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/matrix.hpp"
 #include "support/page_buffer.hpp"
 
 namespace feir {
@@ -52,7 +53,9 @@ struct ResilientGmresResult : SolveResult {
 /// lost rows (§3.2); z itself is recoverable from g by partial application.
 class ResilientGmres {
  public:
-  ResilientGmres(const CsrMatrix& A, const double* b, ResilientGmresOptions opts,
+  /// `A` selects the SpMV backend (sparse/matrix.hpp); a CsrMatrix lvalue
+  /// converts implicitly to the CSR view and must outlive the solver.
+  ResilientGmres(SparseMatrix A, const double* b, ResilientGmresOptions opts,
                  const Preconditioner* M = nullptr);
 
   FaultDomain& domain() { return domain_; }
@@ -64,7 +67,8 @@ class ResilientGmres {
   /// Returns false when an unrecoverable page remains.
   bool heal_basis(index_t upto, const std::vector<std::vector<double>>& H);
 
-  const CsrMatrix& A_;
+  SparseMatrix Am_;     // format-dispatched SpMV backend
+  const CsrMatrix& A_;  // CSR structure for the recovery relations
   const double* b_;
   ResilientGmresOptions opts_;
   const Preconditioner* M_ = nullptr;

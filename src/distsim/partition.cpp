@@ -31,4 +31,16 @@ HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part) {
   return plan;
 }
 
+index_t slab_ghost_rows(const RowPartition& part, index_t rank, index_t peer,
+                        index_t plane) {
+  if (peer < 0 || peer >= part.ranks || (peer != rank - 1 && peer != rank + 1))
+    return 0;
+  return std::min(plane, part.rows(peer));
+}
+
+index_t slab_halo_volume(const RowPartition& part, index_t rank, index_t plane) {
+  return slab_ghost_rows(part, rank, rank - 1, plane) +
+         slab_ghost_rows(part, rank, rank + 1, plane);
+}
+
 }  // namespace feir

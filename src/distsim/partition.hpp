@@ -46,4 +46,16 @@ struct HaloPlan {
 /// Builds the halo plan of `A` under `part`.
 HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part);
 
+/// Ghost rows `rank` receives from neighbour slab `peer` (rank +/- 1) under
+/// a plane-stencil operator reaching one `plane`-row band past the slab
+/// boundary: a full ghost plane, or the neighbour's entire slab when it is
+/// thinner.  This is the ONE copy of the slab ghost-volume formula; the
+/// machine-model analytic cost and the tests call it instead of re-deriving
+/// it (the duplicated formulas used to drift).
+index_t slab_ghost_rows(const RowPartition& part, index_t rank, index_t peer,
+                        index_t plane);
+
+/// Total halo volume of `rank`: slab_ghost_rows summed over its neighbours.
+index_t slab_halo_volume(const RowPartition& part, index_t rank, index_t plane);
+
 }  // namespace feir

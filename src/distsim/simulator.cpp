@@ -38,20 +38,29 @@ IterationCost iteration_cost(const MachineModel& m, const CsrMatrix& A,
 }
 
 IterationCost stencil_iteration_cost(const MachineModel& m, index_t edge, index_t ranks) {
-  IterationCost c;
-  const double n = static_cast<double>(edge) * static_cast<double>(edge) *
-                   static_cast<double>(edge);
-  const double local_n = n / static_cast<double>(ranks);
-  const double local_nnz = 27.0 * local_n;
-  c.spmv_s = local_nnz / m.spmv_nnz_per_s;
-  c.vec_s = 10.0 * local_n / m.stream_doubles_per_s;
-  // Slab partition: up to two neighbours, one ghost plane each; ranks whose
-  // slab is thinner than one plane exchange their whole slab instead.
-  const double plane = static_cast<double>(edge) * static_cast<double>(edge);
-  const double ghost = std::min(plane, local_n);
-  c.halo_s = 2.0 * m.p2p(ghost * sizeof(double));
-  c.reduce_s = 2.0 * m.allreduce(ranks);
-  return c;
+  // Slab partition of the cube through the SAME RowPartition math the
+  // executed SPMD solver and the general cost model use (one ghost plane per
+  // slab side; thin slabs exchange themselves whole — slab_halo_volume).
+  const RowPartition part(edge * edge * edge, ranks);
+  const index_t plane = edge * edge;
+  IterationCost worst;
+  double worst_total = -1.0;
+  for (index_t r = 0; r < ranks; ++r) {
+    IterationCost c;
+    const double local_n = static_cast<double>(part.rows(r));
+    c.spmv_s = 27.0 * local_n / m.spmv_nnz_per_s;
+    c.vec_s = 10.0 * local_n / m.stream_doubles_per_s;
+    for (index_t peer : {r - 1, r + 1}) {
+      const index_t ghost = slab_ghost_rows(part, r, peer, plane);
+      if (ghost > 0) c.halo_s += m.p2p(static_cast<double>(ghost) * sizeof(double));
+    }
+    c.reduce_s = 2.0 * m.allreduce(ranks);
+    if (c.total() > worst_total) {
+      worst_total = c.total();
+      worst = c;
+    }
+  }
+  return worst;
 }
 
 namespace {

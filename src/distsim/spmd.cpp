@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/lossy.hpp"
+#include "distsim/partition.hpp"
 #include "sparse/blockops.hpp"
 #include "sparse/vecops.hpp"
 #include "support/timing.hpp"
@@ -14,8 +15,9 @@ namespace feir {
 struct SpmdCg::Impl {
   // Global (PGAS) vectors; rank r writes only its slab.
   std::vector<double> x, g, q, d0, d1;
-  // Page partition: pages [pg0[r], pg0[r+1]) belong to rank r.
-  std::vector<index_t> pg0;
+  // Page partition: rank r owns pages [pages.begin(r), pages.end(r)) — the
+  // shared slab math of distsim/partition.hpp, not a private copy of it.
+  RowPartition pages;
   BlockLayout layout;
   index_t nb = 0;
 };
@@ -34,20 +36,15 @@ SpmdCg::SpmdCg(const CsrMatrix& A, const double* b, SpmdCgOptions opts)
   impl_->d0.assign(n, 0.0);
   impl_->d1.assign(n, 0.0);
 
-  // Page-aligned slab partition.
-  impl_->pg0.resize(static_cast<std::size_t>(opts_.ranks) + 1);
-  for (index_t r = 0; r <= opts_.ranks; ++r)
-    impl_->pg0[static_cast<std::size_t>(r)] = r * impl_->nb / opts_.ranks;
+  // Page-aligned slab partition (shared RowPartition slab math over pages).
+  impl_->pages = RowPartition(impl_->nb, opts_.ranks);
 
   for (index_t r = 0; r < opts_.ranks; ++r) {
     auto dom = std::make_unique<FaultDomain>();
-    const index_t row0 = impl_->layout.begin(impl_->pg0[static_cast<std::size_t>(r)]);
-    const index_t row1 =
-        impl_->layout.begin(impl_->pg0[static_cast<std::size_t>(r) + 1] - 1) == row0 &&
-                impl_->pg0[static_cast<std::size_t>(r) + 1] ==
-                    impl_->pg0[static_cast<std::size_t>(r)]
-            ? row0
-            : impl_->layout.end(impl_->pg0[static_cast<std::size_t>(r) + 1] - 1);
+    const index_t row0 = impl_->layout.begin(impl_->pages.begin(r));
+    const index_t row1 = impl_->pages.rows(r) == 0
+                             ? row0
+                             : impl_->layout.end(impl_->pages.end(r) - 1);
     const index_t rows = row1 - row0;
     dom->add("x", impl_->x.data() + row0, rows, opts_.block_rows);
     dom->add("g", impl_->g.data() + row0, rows, opts_.block_rows);
@@ -104,25 +101,20 @@ SpmdCgResult SpmdCg::solve(double* x_out) {
   int parity = 0;  // d(parity) is d_prev
 
   // Maps a global page to (rank, region) for cross-rank mask queries.
-  auto owner_of = [&](index_t page) {
-    index_t r = page * P / im.nb;
-    while (r + 1 < P && im.pg0[static_cast<std::size_t>(r) + 1] <= page) ++r;
-    while (r > 0 && im.pg0[static_cast<std::size_t>(r)] > page) --r;
-    return r;
-  };
+  auto owner_of = [&](index_t page) { return im.pages.owner(page); };
   auto mask_of = [&](const char* vec, index_t page) -> StateMask& {
     const index_t r = owner_of(page);
     ProtectedRegion* reg = domains_[static_cast<std::size_t>(r)]->find(vec);
     return reg->mask;
   };
-  auto local_page = [&](index_t page) { return page - im.pg0[static_cast<std::size_t>(owner_of(page))]; };
+  auto local_page = [&](index_t page) { return page - im.pages.begin(owner_of(page)); };
   auto page_ok = [&](const char* vec, index_t page) {
     return mask_of(vec, page).ok(local_page(page));
   };
 
   auto rank_body = [&](index_t r) {
-    const index_t p0 = im.pg0[static_cast<std::size_t>(r)];
-    const index_t p1 = im.pg0[static_cast<std::size_t>(r) + 1];
+    const index_t p0 = im.pages.begin(r);
+    const index_t p1 = im.pages.end(r);
     const index_t row0 = im.layout.begin(p0);
     const index_t row1 = p1 > p0 ? im.layout.end(p1 - 1) : row0;
     FaultDomain& dom = *domains_[static_cast<std::size_t>(r)];
@@ -376,7 +368,7 @@ SpmdCgResult SpmdCg::solve(double* x_out) {
             for (index_t rr = 0; rr < P; ++rr) {
               ProtectedRegion* reg = domains_[static_cast<std::size_t>(rr)]->find("x");
               for (index_t lpp : reg->mask.collect(BlockState::Lost))
-                lost_global.push_back(im.pg0[static_cast<std::size_t>(rr)] + lpp);
+                lost_global.push_back(im.pages.begin(rr) + lpp);
             }
             if (!lost_global.empty() &&
                 lossy_interpolate(dsolver, lost_global, b_, im.x.data()))

@@ -36,6 +36,16 @@ void BatchOps::spmv(const CsrMatrix& A, const double* x, double* y, const char* 
   }
 }
 
+void BatchOps::spmv(const SparseMatrix& A, const double* x, double* y, const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps = whole(x, Access::In);
+    deps.push_back(out(y, c));
+    const auto [r0, r1] = chunk(c);
+    batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows(r0, r1, x, y); },
+               std::move(deps), 0, name);
+  }
+}
+
 void BatchOps::full(std::initializer_list<const void*> reads, const void* write,
                     std::function<void()> body, const char* name) {
   std::vector<Dep> deps;

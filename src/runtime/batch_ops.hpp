@@ -29,6 +29,7 @@
 
 #include "runtime/runtime.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/matrix.hpp"
 
 namespace feir {
 
@@ -39,6 +40,11 @@ class BatchOps {
 
   /// y = A x (chunked by block row; each chunk reads all of x).
   void spmv(const CsrMatrix& A, const double* x, double* y, const char* name = "q");
+
+  /// Format-dispatched overload: each chunk runs through `A`'s backend
+  /// (sparse/matrix.hpp).  `A` must outlive run() — pass a solver member,
+  /// not a temporary.
+  void spmv(const SparseMatrix& A, const double* x, double* y, const char* name = "q");
 
   /// One un-chunked task reading/writing whole vectors (preconditioner
   /// applications whose sweep semantics are not chunk-safe).  `write` may

@@ -1,0 +1,95 @@
+// Format-dispatch layer over the sparse kernels: one SparseMatrix value
+// selects, per instance, which storage backend serves the SpMV-shaped hot
+// path while the CSR structure stays available for everything that needs
+// reference semantics (recovery relations, diagonal-block extraction, page
+// footprints, I/O).
+//
+//   - Csr   — the scalar reference kernels of csr.hpp, unchanged.
+//   - Sell  — SELL-C-σ (sell.hpp): vectorized slice kernel, 32-bit column
+//             indices, bit-identical results to CSR by construction.
+//
+// A SparseMatrix is a cheap value: it points at a caller-owned CsrMatrix
+// (the same lifetime contract the solvers always had) and shares the
+// immutable SELL acceleration structure by reference count, so copying a
+// view (executor -> solver, solver -> batch tasks) never re-converts; the
+// conversion itself costs about one SpMV.  `SparseMatrix(A)` is implicit
+// from a CsrMatrix lvalue, which keeps every existing CSR call site valid.
+//
+// The process-wide default backend comes from FEIR_FORMAT ("csr" | "sell");
+// the CLIs layer --format on top of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "sparse/sell.hpp"
+
+namespace feir {
+
+enum class SparseFormat : std::uint8_t { Csr = 0, Sell = 1 };
+
+/// CLI/report name of a format ("csr" / "sell").
+const char* format_name(SparseFormat f);
+
+/// Parses a format name; returns false (leaving *out untouched) on an
+/// unknown name.
+bool format_from_name(const std::string& s, SparseFormat* out);
+
+/// The process default: FEIR_FORMAT when set to a valid name, else Csr.
+SparseFormat default_format();
+
+/// Sparse matrix value with a per-instance storage backend.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// CSR view (implicit): dispatches every kernel to the scalar reference.
+  /// The CsrMatrix must outlive this view — the solvers' usual contract.
+  SparseMatrix(const CsrMatrix& A) : csr_(&A) {}  // NOLINT(runtime/explicit)
+  /// A temporary would leave csr_ dangling after the full expression.
+  SparseMatrix(const CsrMatrix&& A) = delete;
+
+  /// Builds a view with the requested backend.  `slice_rows`/`sigma` are the
+  /// SELL-C-σ parameters (sell.hpp); both ignored for Csr.  Defaults come
+  /// from FEIR_SELL_SLICE / FEIR_SELL_SIGMA when set (0 = library default).
+  static SparseMatrix make(const CsrMatrix& A, SparseFormat f,
+                           index_t slice_rows = 0, index_t sigma = 0);
+
+  const CsrMatrix& csr() const { return *csr_; }
+  SparseFormat format() const { return format_; }
+  /// Non-null exactly when format() == Sell.
+  const SellMatrix* sell() const { return sell_.get(); }
+
+  index_t n() const { return csr_->n; }
+  index_t nnz() const { return csr_->nnz(); }
+
+  /// y = A x through the selected backend.
+  void spmv(const double* x, double* y) const;
+
+  /// y[r0..r1) = (A x)[r0..r1) through the selected backend.
+  void spmv_rows(index_t r0, index_t r1, const double* x, double* y) const;
+
+ private:
+  const CsrMatrix* csr_ = nullptr;
+  SparseFormat format_ = SparseFormat::Csr;
+  std::shared_ptr<const SellMatrix> sell_;
+};
+
+/// Free-function forms mirroring csr.hpp, so generic code reads the same.
+void spmv(const SparseMatrix& A, const double* x, double* y);
+void spmv_rows(const SparseMatrix& A, index_t r0, index_t r1, const double* x,
+               double* y);
+
+/// Symmetric (forward then backward) Gauss-Seidel sweeps of the diagonal
+/// block rows [r0, r1): z|[r0,r1) approximates A_bb^{-1} g|[r0,r1) using only
+/// entries with both ends inside the block, starting from z = 0.  Both
+/// backends sweep the row-major storage directly — the backward pass walks
+/// rows in reverse instead of needing a transpose/CSC copy — and visit each
+/// row's entries in the same order, so results are bit-identical across
+/// formats.  Rows outside [r0, r1) are untouched.
+void gs_block_sweeps(const SparseMatrix& A, index_t r0, index_t r1, int sweeps,
+                     const double* g, double* z);
+
+}  // namespace feir

@@ -1,45 +1,93 @@
 #include "sparse/mmio.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace feir {
 
-CsrMatrix read_matrix_market(std::istream& in) {
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+bool read_matrix_market(std::istream& in, CsrMatrix* out, std::string* error) {
   std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("mmio: empty stream");
+  if (!std::getline(in, line)) return fail(error, "mmio: empty stream");
 
   std::istringstream banner(line);
   std::string mm, object, format, field, symmetry;
   banner >> mm >> object >> format >> field >> symmetry;
-  if (mm != "%%MatrixMarket" || object != "matrix" || format != "coordinate")
-    throw std::runtime_error("mmio: unsupported banner: " + line);
+  if (mm != "%%MatrixMarket" || object != "matrix")
+    return fail(error, "mmio: unsupported banner: " + line);
+  if (format != "coordinate")
+    return fail(error, "mmio: only coordinate format is supported, got: " + format);
+  if (field == "pattern")
+    return fail(error, "mmio: pattern matrices carry no values (field unsupported)");
+  if (field == "complex")
+    return fail(error, "mmio: complex field unsupported (real|integer only)");
   if (field != "real" && field != "integer")
-    throw std::runtime_error("mmio: unsupported field: " + field);
+    return fail(error, "mmio: unsupported field: " + field);
   const bool symmetric = (symmetry == "symmetric");
   if (!symmetric && symmetry != "general")
-    throw std::runtime_error("mmio: unsupported symmetry: " + symmetry);
+    return fail(error, "mmio: unsupported symmetry: " + symmetry);
 
-  // Skip comments.
+  // Skip comments and blank lines; the first other line carries the sizes.
+  bool have_sizes = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      have_sizes = true;
+      break;
+    }
   }
+  if (!have_sizes) return fail(error, "mmio: truncated header (no size line)");
   std::istringstream dims(line);
-  index_t rows = 0, cols = 0, nnz = 0;
-  dims >> rows >> cols >> nnz;
-  if (rows <= 0 || rows != cols) throw std::runtime_error("mmio: need a square matrix");
+  index_t rows = 0, cols = 0, nnz = -1;
+  if (!(dims >> rows >> cols >> nnz))
+    return fail(error, "mmio: malformed size line: " + line);
+  if (rows <= 0 || cols <= 0) return fail(error, "mmio: non-positive dimensions");
+  if (rows > (index_t{1} << 31) || cols > (index_t{1} << 31))
+    return fail(error, "mmio: dimensions out of range");  // also keeps rows*cols safe
+  if (rows != cols) return fail(error, "mmio: need a square matrix");
+  if (nnz < 0) return fail(error, "mmio: negative entry count");
+  if (nnz > rows * cols)
+    return fail(error, "mmio: entry count " + std::to_string(nnz) +
+                           " exceeds matrix capacity");
 
   std::vector<Triplet> ts;
-  ts.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  // Guard the reserve against a hostile nnz that passed the capacity check
+  // on a huge-but-sparse banner; growth beyond this is incremental anyway.
+  // (Clamp before doubling: 2 * nnz could overflow for a hostile header.)
+  const index_t reserve_nnz = std::min<index_t>(nnz, index_t{1} << 24);
+  ts.reserve(static_cast<std::size_t>(
+      std::min<index_t>(symmetric ? 2 * reserve_nnz : reserve_nnz, index_t{1} << 24)));
   for (index_t k = 0; k < nnz; ++k) {
     index_t i = 0, j = 0;
     double v = 0.0;
-    if (!(in >> i >> j >> v)) throw std::runtime_error("mmio: truncated entry list");
+    if (!(in >> i >> j >> v))
+      return fail(error, "mmio: truncated entry list (entry " + std::to_string(k + 1) +
+                             " of " + std::to_string(nnz) + ")");
+    if (i < 1 || i > rows || j < 1 || j > cols)
+      return fail(error, "mmio: entry " + std::to_string(k + 1) + " index (" +
+                             std::to_string(i) + ", " + std::to_string(j) +
+                             ") out of range");
     ts.push_back({i - 1, j - 1, v});
     if (symmetric && i != j) ts.push_back({j - 1, i - 1, v});
   }
-  return CsrMatrix::from_triplets(rows, std::move(ts));
+  *out = CsrMatrix::from_triplets(rows, std::move(ts));
+  return true;
+}
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  CsrMatrix A;
+  std::string err;
+  if (!read_matrix_market(in, &A, &err)) throw std::runtime_error(err);
+  return A;
 }
 
 CsrMatrix read_matrix_market_file(const std::string& path) {

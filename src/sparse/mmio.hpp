@@ -1,6 +1,12 @@
 // Matrix Market coordinate-format I/O, so users can feed the solvers the
 // actual University of Florida matrices when they have them on disk (the
 // paper's evaluation set) instead of the bundled synthetic stand-ins.
+//
+// The parser is hardened against malformed input: truncated headers and
+// entry lists, array/pattern/complex banners, out-of-range or non-square
+// dimensions, and entry indices outside the matrix all produce a clean
+// error-return (or, through the legacy wrappers, a std::runtime_error) —
+// never a crash, an allocation bomb, or a silently wrong matrix.
 #pragma once
 
 #include <iosfwd>
@@ -10,12 +16,17 @@
 
 namespace feir {
 
-/// Reads a MatrixMarket "matrix coordinate real {general|symmetric}" stream.
-/// Symmetric files are expanded to full storage.  Throws std::runtime_error
-/// on malformed input or non-square matrices.
+/// Reads a MatrixMarket "matrix coordinate {real|integer}
+/// {general|symmetric}" stream.  Symmetric files are expanded to full
+/// storage.  Returns false on malformed input, setting *error to a
+/// diagnostic (the matrix is left untouched); never throws on bad content.
+bool read_matrix_market(std::istream& in, CsrMatrix* out, std::string* error);
+
+/// Throwing wrapper around the error-return form (legacy interface).
 CsrMatrix read_matrix_market(std::istream& in);
 
-/// Reads from a file path; throws std::runtime_error when unreadable.
+/// Reads from a file path; throws std::runtime_error when unreadable or
+/// malformed.
 CsrMatrix read_matrix_market_file(const std::string& path);
 
 /// Writes full (general) coordinate format.

@@ -1,0 +1,194 @@
+// SELL-C-σ construction and SpMV kernels.
+//
+// This file is compiled with the strongest SIMD flags the toolchain offers
+// (see CMakeLists.txt) but always with FP contraction off: the kernels must
+// produce bit-identical results to the scalar CSR reference, so each lane is
+// one IEEE multiply followed by one IEEE add, and padded lanes are masked
+// with a blend instead of accumulating a zero.
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace feir {
+
+namespace {
+
+constexpr index_t kMaxSlice = 64;
+
+index_t clamp_slice(index_t c) {
+  index_t p = 1;
+  while (p * 2 <= c && p * 2 <= kMaxSlice) p *= 2;
+  return p;
+}
+
+// The hot loop, instantiated per slice height so the compiler sees a
+// compile-time trip count and emits one gather+blend per step.
+template <int C>
+void slice_kernel(const SellMatrix& A, index_t s0, index_t s1, const double* x,
+                  double* y) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t off = A.slice_ptr[static_cast<std::size_t>(s)];
+    const index_t width =
+        (A.slice_ptr[static_cast<std::size_t>(s) + 1] - off) / C;
+    const index_t base = s * C;
+    const index_t* ln = &A.len[static_cast<std::size_t>(base)];
+    // The first `full` steps have every lane active: no mask needed.
+    const index_t full = A.full[static_cast<std::size_t>(s)];
+
+    double acc[C];
+    for (int r = 0; r < C; ++r) acc[r] = 0.0;
+    index_t j = 0;
+    for (; j < full; ++j) {
+      const double* v = &A.vals[static_cast<std::size_t>(off + j * C)];
+      const std::int32_t* c = &A.cols[static_cast<std::size_t>(off + j * C)];
+#pragma omp simd
+      for (int r = 0; r < C; ++r) acc[r] += v[r] * x[c[r]];
+    }
+    for (; j < width; ++j) {
+      const double* v = &A.vals[static_cast<std::size_t>(off + j * C)];
+      const std::int32_t* c = &A.cols[static_cast<std::size_t>(off + j * C)];
+#pragma omp simd
+      for (int r = 0; r < C; ++r)
+        acc[r] = (j < ln[r]) ? acc[r] + v[r] * x[c[r]] : acc[r];
+    }
+    const index_t lanes = std::min<index_t>(C, A.n - base);
+    for (index_t r = 0; r < lanes; ++r)
+      y[A.perm[static_cast<std::size_t>(base + r)]] = acc[r];
+  }
+}
+
+void run_slices(const SellMatrix& A, index_t s0, index_t s1, const double* x,
+                double* y) {
+  switch (A.slice_rows) {
+    case 1: slice_kernel<1>(A, s0, s1, x, y); return;
+    case 2: slice_kernel<2>(A, s0, s1, x, y); return;
+    case 4: slice_kernel<4>(A, s0, s1, x, y); return;
+    case 8: slice_kernel<8>(A, s0, s1, x, y); return;
+    case 16: slice_kernel<16>(A, s0, s1, x, y); return;
+    case 32: slice_kernel<32>(A, s0, s1, x, y); return;
+    case 64: slice_kernel<64>(A, s0, s1, x, y); return;
+    default: break;
+  }
+  // clamp_slice keeps slice_rows a power of two <= 64; unreachable.
+}
+
+// One row through the sliced storage: same column order as CSR, so the same
+// bits as the vector kernel and the scalar reference.
+double row_gather(const SellMatrix& A, index_t i, const double* x) {
+  const index_t C = A.slice_rows;
+  const index_t p = A.rank[static_cast<std::size_t>(i)];
+  const index_t off = A.slice_ptr[static_cast<std::size_t>(p / C)] + p % C;
+  double acc = 0.0;
+  for (index_t j = 0; j < A.len[static_cast<std::size_t>(p)]; ++j)
+    acc += A.vals[static_cast<std::size_t>(off + j * C)] *
+           x[A.cols[static_cast<std::size_t>(off + j * C)]];
+  return acc;
+}
+
+}  // namespace
+
+double SellMatrix::fill() const {
+  index_t nnz = 0;
+  for (index_t l : len) nnz += l;
+  if (nnz == 0) return 1.0;
+  return static_cast<double>(slice_ptr.back()) / static_cast<double>(nnz);
+}
+
+SellMatrix sell_from_csr(const CsrMatrix& A, index_t slice_rows, index_t sigma) {
+  if (A.n > static_cast<index_t>(std::numeric_limits<std::int32_t>::max()))
+    throw std::invalid_argument("sell_from_csr: dimension exceeds 32-bit columns");
+
+  SellMatrix S;
+  S.n = A.n;
+  S.slice_rows = clamp_slice(std::max<index_t>(1, slice_rows));
+  const index_t C = S.slice_rows;
+  S.sigma = std::max(C, sigma - sigma % C);
+  S.nslices = (A.n + C - 1) / C;
+
+  auto row_len = [&](index_t i) {
+    return A.row_ptr[static_cast<std::size_t>(i) + 1] -
+           A.row_ptr[static_cast<std::size_t>(i)];
+  };
+
+  // Sort each σ window by descending row length (stable: ties keep row
+  // order, so the permutation is deterministic).
+  S.perm.resize(static_cast<std::size_t>(A.n));
+  std::iota(S.perm.begin(), S.perm.end(), 0);
+  for (index_t w0 = 0; w0 < A.n; w0 += S.sigma) {
+    const index_t w1 = std::min(A.n, w0 + S.sigma);
+    std::stable_sort(S.perm.begin() + w0, S.perm.begin() + w1,
+                     [&](index_t a, index_t b) { return row_len(a) > row_len(b); });
+  }
+  S.rank.resize(static_cast<std::size_t>(A.n));
+  for (index_t p = 0; p < A.n; ++p)
+    S.rank[static_cast<std::size_t>(S.perm[static_cast<std::size_t>(p)])] = p;
+
+  S.len.assign(static_cast<std::size_t>(S.nslices * C), 0);
+  S.full.assign(static_cast<std::size_t>(S.nslices), 0);
+  S.slice_ptr.assign(static_cast<std::size_t>(S.nslices) + 1, 0);
+  for (index_t s = 0; s < S.nslices; ++s) {
+    index_t width = 0;
+    index_t shortest = std::numeric_limits<index_t>::max();
+    for (index_t r = 0; r < C; ++r) {
+      const index_t p = s * C + r;
+      const index_t l = p < A.n ? row_len(S.perm[static_cast<std::size_t>(p)]) : 0;
+      if (p < A.n) S.len[static_cast<std::size_t>(p)] = l;
+      width = std::max(width, l);
+      shortest = std::min(shortest, l);
+    }
+    S.full[static_cast<std::size_t>(s)] = shortest;
+    S.slice_ptr[static_cast<std::size_t>(s) + 1] =
+        S.slice_ptr[static_cast<std::size_t>(s)] + width * C;
+  }
+
+  S.cols.assign(static_cast<std::size_t>(S.slice_ptr.back()), 0);
+  S.vals.assign(static_cast<std::size_t>(S.slice_ptr.back()), 0.0);
+  for (index_t s = 0; s < S.nslices; ++s) {
+    const index_t off = S.slice_ptr[static_cast<std::size_t>(s)];
+    const index_t width = (S.slice_ptr[static_cast<std::size_t>(s) + 1] - off) / C;
+    for (index_t r = 0; r < C; ++r) {
+      const index_t p = s * C + r;
+      if (p >= A.n) continue;
+      const index_t i = S.perm[static_cast<std::size_t>(p)];
+      const index_t k0 = A.row_ptr[static_cast<std::size_t>(i)];
+      std::int32_t last_col = 0;
+      for (index_t j = 0; j < S.len[static_cast<std::size_t>(p)]; ++j) {
+        last_col = static_cast<std::int32_t>(A.col_idx[static_cast<std::size_t>(k0 + j)]);
+        S.cols[static_cast<std::size_t>(off + j * C + r)] = last_col;
+        S.vals[static_cast<std::size_t>(off + j * C + r)] =
+            A.vals[static_cast<std::size_t>(k0 + j)];
+      }
+      // Padding repeats the last column: the gather stays in-bounds and on a
+      // line already touched; the value lanes are masked by the kernel.
+      for (index_t j = S.len[static_cast<std::size_t>(p)]; j < width; ++j)
+        S.cols[static_cast<std::size_t>(off + j * C + r)] = last_col;
+    }
+  }
+  return S;
+}
+
+void spmv(const SellMatrix& A, const double* x, double* y) {
+  run_slices(A, 0, A.nslices, x, y);
+}
+
+void spmv_rows(const SellMatrix& A, index_t r0, index_t r1, const double* x,
+               double* y) {
+  const index_t C = A.slice_rows;
+  // σ-aligned interior: row permutations never cross window boundaries, so
+  // whole windows can go through the slice kernel and scatter only into
+  // [r0, r1).  The unaligned head/tail rows go one at a time.
+  index_t a0 = r0 + (A.sigma - r0 % A.sigma) % A.sigma;
+  index_t a1 = r1 == A.n ? A.n : r1 - r1 % A.sigma;
+  if (a1 <= a0) {
+    for (index_t i = r0; i < r1; ++i) y[i] = row_gather(A, i, x);
+    return;
+  }
+  for (index_t i = r0; i < a0; ++i) y[i] = row_gather(A, i, x);
+  run_slices(A, a0 / C, (a1 + C - 1) / C, x, y);
+  for (index_t i = a1; i < r1; ++i) y[i] = row_gather(A, i, x);
+}
+
+}  // namespace feir

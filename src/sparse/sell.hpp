@@ -1,0 +1,67 @@
+// SELL-C-σ (sliced ELLPACK, locally sorted) storage: the SIMD-friendly
+// sparse format behind the `sell` backend of SparseMatrix (matrix.hpp).
+//
+// Rows are grouped into slices of C consecutive storage positions; within a
+// sorting window of σ positions (σ a multiple of C) rows are reordered by
+// descending nonzero count so the slices they land in pad as little as
+// possible.  A slice stores its entries column-major — entry j of lane r at
+// offset j*C + r — so an SpMV processes C rows in lock-step: one vector of
+// values, one gather from x, one multiply-add per step.  Column indices are
+// 32-bit (half the index traffic of the 64-bit CSR; SpMV is bandwidth-bound
+// on large systems), which caps n at 2^31 - 1.
+//
+// Bit-compatibility contract: every row accumulates its products in the same
+// (column-sorted) order as the scalar CSR kernel, each row in its own
+// accumulator, and padded lanes are masked out with a blend (never `+ 0.0`,
+// which could flip a -0.0 sum).  The kernel is compiled without FP
+// contraction, so SELL SpMV results are bit-identical to CSR's for any C and
+// σ — the solvers can switch formats without changing a single bit of their
+// output, and recovery relations can keep using the CSR reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/layout.hpp"
+
+namespace feir {
+
+/// Square sparse matrix in SELL-C-σ storage, built from (and equivalent to)
+/// a CSR matrix.  Immutable after construction.
+struct SellMatrix {
+  index_t n = 0;
+  index_t slice_rows = 0;  ///< C: rows per slice (power of two, <= 64)
+  index_t sigma = 0;       ///< sorting window in rows (multiple of C)
+  index_t nslices = 0;
+
+  /// Entries of slice s live at [slice_ptr[s], slice_ptr[s+1]) in cols/vals;
+  /// the span is width_s * C where width_s is the slice's padded row length.
+  std::vector<index_t> slice_ptr;
+  std::vector<std::int32_t> cols;  ///< padded lanes repeat the lane's last col
+  std::vector<double> vals;        ///< padded lanes hold 0.0 (masked anyway)
+  std::vector<index_t> len;        ///< nonzeros per storage position (nslices*C)
+  std::vector<index_t> full;       ///< per slice: min lane length = unmasked steps
+  std::vector<index_t> perm;       ///< storage position -> original row (size n)
+  std::vector<index_t> rank;       ///< original row -> storage position (size n)
+
+  /// Stored entries (including padding) divided by nnz; 1.0 = no padding.
+  double fill() const;
+};
+
+/// Builds SELL-C-σ storage from a CSR matrix.  `slice_rows` is clamped to a
+/// power of two in [1, 64]; `sigma` is rounded down to a multiple of the
+/// slice height (minimum one slice).  Throws std::invalid_argument when the
+/// dimension exceeds the 32-bit column-index range.
+SellMatrix sell_from_csr(const CsrMatrix& A, index_t slice_rows = 8, index_t sigma = 8);
+
+/// y = A x over every row.  Vectorized slice kernel; bit-identical to the
+/// CSR spmv().
+void spmv(const SellMatrix& A, const double* x, double* y);
+
+/// y[r0..r1) = (A x)[r0..r1).  Interior σ-aligned windows go through the
+/// vectorized slice kernel; the unaligned head/tail rows (at most σ-1 each)
+/// fall back to per-row gathers.  Bit-identical to the CSR spmv_rows().
+void spmv_rows(const SellMatrix& A, index_t r0, index_t r1, const double* x, double* y);
+
+}  // namespace feir

@@ -32,19 +32,25 @@ TEST(RowPartition, OwnerInvertsBegin) {
 
 TEST(HaloPlan, StencilNeighboursOnly) {
   // A 3D stencil slab-partitioned: each rank talks to at most 2 peers.
-  CsrMatrix A = stencil3d_27pt(12, 12, 12);
+  const index_t edge = 12;
+  CsrMatrix A = stencil3d_27pt(edge, edge, edge);
   RowPartition part(A.n, 6);
   HaloPlan plan = build_halo_plan(A, part);
   EXPECT_LE(plan.max_degree, 2);
   EXPECT_GT(plan.max_recv, 0);
-  // Interior ranks receive roughly one ghost plane per side.
-  for (index_t r = 1; r + 1 < 6; ++r) {
+  // Every rank's actual halo volume tracks the shared slab formula (one
+  // ghost plane per side) — the same slab_ghost_rows the machine model uses,
+  // not a re-derived copy of it.
+  const index_t plane = edge * edge;
+  for (index_t r = 0; r < 6; ++r) {
     index_t total = 0;
     for (const auto& [peer, cnt] : plan.recv_counts[static_cast<std::size_t>(r)]) {
       EXPECT_TRUE(peer == r - 1 || peer == r + 1);
+      EXPECT_LE(cnt, slab_ghost_rows(part, r, peer, plane));
       total += cnt;
     }
-    EXPECT_NEAR(static_cast<double>(total), 2.0 * 12 * 12, 0.5 * 12 * 12);
+    const auto expect = static_cast<double>(slab_halo_volume(part, r, plane));
+    EXPECT_NEAR(static_cast<double>(total), expect, 0.5 * expect);
   }
 }
 

@@ -1,0 +1,168 @@
+// Golden-file determinism tests for the campaign reports: the JSON and CSV
+// emitted for a fixed campaign seed must stay BYTE-stable across repeated
+// runs, across executor thread counts, and across code changes — a report
+// regression fails here instead of silently drifting.  Fixtures live in
+// tests/golden/; regenerate them deliberately with
+//
+//   FEIR_UPDATE_GOLDEN=1 ./golden_report_test
+//
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
+#include "campaign/report.hpp"
+
+#ifndef FEIR_REPO_DIR
+#define FEIR_REPO_DIR "."
+#endif
+
+namespace feir::campaign {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(FEIR_REPO_DIR) + "/tests/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+bool update_mode() { return std::getenv("FEIR_UPDATE_GOLDEN") != nullptr; }
+
+/// Compares `content` against the named fixture byte-for-byte (or rewrites
+/// the fixture in update mode).
+void expect_matches_golden(const std::string& content, const std::string& name) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    ASSERT_TRUE(write_text_file(path, content)) << path;
+    return;
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing fixture " << path
+                             << " (regenerate with FEIR_UPDATE_GOLDEN=1)";
+  if (content != want) {
+    // Pinpoint the first divergence; a full dump would be unreadable.
+    std::size_t at = 0;
+    while (at < content.size() && at < want.size() && content[at] == want[at]) ++at;
+    FAIL() << name << " drifted from its golden fixture at byte " << at << ":\n  want ..."
+           << want.substr(at > 40 ? at - 40 : 0, 80) << "...\n  got  ..."
+           << content.substr(at > 40 ? at - 40 : 0, 80) << "...";
+  }
+}
+
+/// The fixed campaign behind the fixtures: small, fast, and covering both CG
+/// methods and a BiCGStab job under deterministic iteration-space injection.
+GridSpec golden_grid() {
+  GridSpec g;
+  g.matrices = {"ecology2"};
+  g.solvers = {SolverKind::Cg, SolverKind::Bicgstab};
+  g.methods = {Method::Feir, Method::Afeir};
+  g.preconds = {PrecondKind::None};
+  Injection inj;
+  inj.kind = InjectionKind::IterationMtbe;
+  inj.mean_iters = 40.0;
+  g.injections = {inj};
+  g.replicas = 2;
+  g.campaign_seed = 20260730;
+  g.scale = 0.12;
+  g.tol = 1e-8;
+  g.max_iter = 20000;
+  g.block_rows = 64;
+  g.threads = 1;
+  return g;
+}
+
+CampaignResult run_golden(unsigned concurrency) {
+  CampaignExecutor ex({.concurrency = concurrency, .pin_threads = false,
+                       .on_job_done = {}});
+  return ex.run(expand_grid(golden_grid()));
+}
+
+TEST(GoldenReport, CampaignJsonMatchesFixture) {
+  const CampaignResult res = run_golden(2);
+  for (const JobResult& r : res.results) ASSERT_TRUE(r.ran) << r.error;
+  const std::string json =
+      campaign_json(res, aggregate(res), golden_grid().campaign_seed, /*timing=*/false);
+  expect_matches_golden(json, "campaign_small.json");
+}
+
+TEST(GoldenReport, CampaignCsvsMatchFixtures) {
+  const CampaignResult res = run_golden(2);
+  const auto cells = aggregate(res);
+  expect_matches_golden(cells_csv(cells, /*timing=*/false), "campaign_small_cells.csv");
+  expect_matches_golden(jobs_csv(res, /*timing=*/false), "campaign_small_jobs.csv");
+}
+
+TEST(GoldenReport, ReportIsByteStableAcrossExecutorThreadCounts) {
+  // Concurrency only reorders job completion; the report must not notice.
+  const CampaignResult r1 = run_golden(1);
+  const CampaignResult r4 = run_golden(4);
+  const std::uint64_t seed = golden_grid().campaign_seed;
+  EXPECT_EQ(campaign_json(r1, aggregate(r1), seed, false),
+            campaign_json(r4, aggregate(r4), seed, false));
+  EXPECT_EQ(jobs_csv(r1, false), jobs_csv(r4, false));
+  EXPECT_EQ(cells_csv(aggregate(r1), false), cells_csv(aggregate(r4), false));
+}
+
+TEST(GoldenReport, SellBackendReproducesTheCsrFixtureModuloFormatField) {
+  // The storage backend must not leak into any measured quantity: the same
+  // campaign on SELL differs from the CSR golden only in the format field.
+  GridSpec g = golden_grid();
+  g.format = SparseFormat::Sell;
+  CampaignExecutor ex({.concurrency = 2, .pin_threads = false, .on_job_done = {}});
+  const CampaignResult res = ex.run(expand_grid(g));
+  std::string json = campaign_json(res, aggregate(res), g.campaign_seed, false);
+  std::size_t pos = 0;
+  int swapped = 0;
+  const std::string from = "\"format\": \"sell\"", to = "\"format\": \"csr\"";
+  while ((pos = json.find(from, pos)) != std::string::npos) {
+    json.replace(pos, from.size(), to);
+    ++swapped;
+  }
+  EXPECT_GT(swapped, 0);
+  if (update_mode()) return;  // fixture just rewritten by the JSON test
+  EXPECT_EQ(json, read_file(golden_path("campaign_small.json")));
+}
+
+TEST(GoldenReport, SingleJobRecordSchemaIsFrozen) {
+  // A synthetic record (no solver run) freezes the record schema itself:
+  // key order, float formatting, escaping.
+  JobSpec spec;
+  spec.index = 3;
+  spec.matrix = "ecology2";
+  spec.scale = 0.25;
+  spec.solver = SolverKind::Cg;
+  spec.method = Method::Afeir;
+  spec.precond = PrecondKind::GaussSeidel;
+  spec.format = SparseFormat::Sell;
+  spec.inject.kind = InjectionKind::IterationMtbe;
+  spec.inject.mean_iters = 150.0;
+  spec.replica = 1;
+  spec.seed = 0xDEADBEEFull;
+  spec.tol = 1e-10;
+  spec.block_rows = 512;
+  spec.threads = 1;
+  JobResult r;
+  r.ran = true;
+  r.converged = true;
+  r.iterations = 1234;
+  r.final_relres = 8.76e-11;
+  r.errors_injected = 7;
+  r.stats.spmv_recomputes = 5;
+  r.stats.diag_solves = 2;
+  expect_matches_golden(job_record_json(spec, r, /*timing=*/false) + "\n",
+                        "job_record.json");
+}
+
+}  // namespace
+}  // namespace feir::campaign

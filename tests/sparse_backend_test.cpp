@@ -1,0 +1,429 @@
+// Property-based tests of the pluggable sparse backend (sparse/matrix.hpp):
+// for a few hundred randomized matrices across pathological shape families
+// (banded, stencil, power-law rows, empty rows, single-column), SELL-C-σ
+// SpMV and row-subset SpMV must be BIT-identical to the scalar CSR
+// reference for every slice height and sorting window — the contract that
+// lets the resilient solvers switch formats without changing one bit of
+// their output.  The end-to-end half of that contract is checked too: a
+// ResilientCg run with injected DUEs converges to a byte-identical iterate
+// under both formats at threads = 1.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "campaign/injection.hpp"
+#include "core/resilient_cg.hpp"
+#include "core/resilient_gmres.hpp"
+#include "precond/blockjacobi.hpp"
+#include "precond/gs.hpp"
+#include "runtime/batch_ops.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+// ------------------------------------------------------- matrix families --
+
+enum Family { kBanded = 0, kStencil, kPowerLaw, kEmptyRows, kSingleColumn, kFamilies };
+
+const char* family_name(int f) {
+  switch (f) {
+    case kBanded: return "banded";
+    case kStencil: return "stencil";
+    case kPowerLaw: return "power-law";
+    case kEmptyRows: return "empty-rows";
+    case kSingleColumn: return "single-column";
+  }
+  return "?";
+}
+
+CsrMatrix random_matrix(Rng& rng, int family) {
+  const index_t n = 1 + static_cast<index_t>(rng.uniform_int(160));
+  std::vector<Triplet> ts;
+  switch (family) {
+    case kBanded: {
+      const index_t bw = static_cast<index_t>(rng.uniform_int(9));
+      for (index_t i = 0; i < n; ++i)
+        for (index_t j = std::max<index_t>(0, i - bw);
+             j < std::min(n, i + bw + 1); ++j)
+          ts.push_back({i, j, rng.uniform(-2, 2)});
+      break;
+    }
+    case kStencil: {
+      // 2D 5-point pattern with randomized values (keeps the regular-stride
+      // columns SELL slices like best).
+      const index_t e = 1 + static_cast<index_t>(rng.uniform_int(12));
+      const index_t m = e * e;
+      for (index_t i = 0; i < m; ++i) {
+        const index_t x = i % e, y = i / e;
+        ts.push_back({i, i, 4.0 + rng.uniform(0, 1)});
+        if (x > 0) ts.push_back({i, i - 1, rng.uniform(-1, 0)});
+        if (x + 1 < e) ts.push_back({i, i + 1, rng.uniform(-1, 0)});
+        if (y > 0) ts.push_back({i, i - e, rng.uniform(-1, 0)});
+        if (y + 1 < e) ts.push_back({i, i + e, rng.uniform(-1, 0)});
+      }
+      return CsrMatrix::from_triplets(m, std::move(ts));
+    }
+    case kPowerLaw: {
+      // Row i gets ~n/(i+1) entries: a few very long rows, a long tail of
+      // short ones — the worst case for ELL-style padding.
+      for (index_t i = 0; i < n; ++i) {
+        const index_t k = std::max<index_t>(1, n / (i + 1));
+        for (index_t e = 0; e < k; ++e)
+          ts.push_back({i, static_cast<index_t>(rng.uniform_int(static_cast<int>(n))),
+                        rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    case kEmptyRows: {
+      // ~40% of rows stay empty, including (often) the trailing ones.
+      for (index_t i = 0; i < n; ++i) {
+        if (rng.uniform(0, 1) < 0.4) continue;
+        const index_t k = 1 + static_cast<index_t>(rng.uniform_int(5));
+        for (index_t e = 0; e < k; ++e)
+          ts.push_back({i, static_cast<index_t>(rng.uniform_int(static_cast<int>(n))),
+                        rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    case kSingleColumn: {
+      // Every row hits the same column (maximal gather conflict), a sparse
+      // diagonal on top.
+      const index_t c = static_cast<index_t>(rng.uniform_int(static_cast<int>(n)));
+      for (index_t i = 0; i < n; ++i) {
+        ts.push_back({i, c, rng.uniform(-3, 3)});
+        if (rng.uniform(0, 1) < 0.5) ts.push_back({i, i, rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    default: break;
+  }
+  return CsrMatrix::from_triplets(n, std::move(ts));
+}
+
+std::vector<double> random_vector(Rng& rng, index_t n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    const double r = rng.uniform(0, 1);
+    if (r < 0.05) v = 0.0;
+    else if (r < 0.10) v = -0.0;
+    else if (r < 0.15) v = rng.uniform(-1, 1) * 1e-300;  // subnormal-adjacent
+    else v = rng.uniform(-10, 10);
+  }
+  return x;
+}
+
+bool bits_equal(const double* a, const double* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(double)) == 0;
+}
+
+// ------------------------------------------------ SpMV bit-compatibility --
+
+TEST(SellProperty, SpmvBitEqualsCsrAcrossShapeFamilies) {
+  const index_t slices[] = {1, 2, 4, 8, 16};
+  const index_t sigmas[] = {1, 8, 32, 64, 1 << 20};
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 2654435761ULL + 17);
+    const int family = static_cast<int>(seed % kFamilies);
+    const CsrMatrix A = random_matrix(rng, family);
+    const std::vector<double> x = random_vector(rng, A.n);
+    std::vector<double> ref(static_cast<std::size_t>(A.n));
+    spmv(A, x.data(), ref.data());
+
+    const index_t C = slices[seed % 5];
+    const index_t sigma = sigmas[(seed / 5) % 5];
+    const SellMatrix S = sell_from_csr(A, C, sigma);
+    EXPECT_GE(S.fill(), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(A.n), -7.0);
+    spmv(S, x.data(), y.data());
+    ASSERT_TRUE(bits_equal(ref.data(), y.data(), A.n))
+        << family_name(family) << " seed " << seed << " n=" << A.n << " C=" << C
+        << " sigma=" << sigma;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200);
+}
+
+TEST(SellProperty, RowSubsetSpmvBitEqualsCsrAndTouchesOnlyTheRange) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 977 + 3);
+    const int family = static_cast<int>(seed % kFamilies);
+    const CsrMatrix A = random_matrix(rng, family);
+    const std::vector<double> x = random_vector(rng, A.n);
+    const SellMatrix S = sell_from_csr(A, 1 + static_cast<index_t>(seed % 16),
+                                       8 * (1 + static_cast<index_t>(seed % 9)));
+
+    // Random subrange, occasionally empty or full.
+    index_t r0 = static_cast<index_t>(rng.uniform_int(static_cast<int>(A.n + 1)));
+    index_t r1 = static_cast<index_t>(rng.uniform_int(static_cast<int>(A.n + 1)));
+    if (r0 > r1) std::swap(r0, r1);
+    if (seed % 17 == 0) { r0 = 0; r1 = A.n; }
+
+    std::vector<double> ref(static_cast<std::size_t>(A.n), -7.0);
+    std::vector<double> y(static_cast<std::size_t>(A.n), -7.0);
+    spmv_rows(A, r0, r1, x.data(), ref.data());
+    spmv_rows(S, r0, r1, x.data(), y.data());
+    ASSERT_TRUE(bits_equal(ref.data(), y.data(), A.n))
+        << family_name(family) << " seed " << seed << " range [" << r0 << ", " << r1
+        << ") of " << A.n;
+    // Outside rows keep the canary, i.e. the sliced kernel never scatters
+    // outside the requested range (the DUE-page addressing guarantee).
+    for (index_t i = 0; i < A.n; ++i)
+      if (i < r0 || i >= r1) ASSERT_EQ(y[static_cast<std::size_t>(i)], -7.0);
+  }
+}
+
+TEST(SellProperty, StructureInvariants) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed + 1000);
+    const CsrMatrix A = random_matrix(rng, static_cast<int>(seed % kFamilies));
+    const SellMatrix S = sell_from_csr(A, 8, 32);
+    ASSERT_EQ(S.n, A.n);
+    ASSERT_EQ(static_cast<index_t>(S.perm.size()), A.n);
+    // perm is a permutation confined to its σ windows; rank inverts it.
+    std::vector<char> seen(static_cast<std::size_t>(A.n), 0);
+    for (index_t p = 0; p < A.n; ++p) {
+      const index_t i = S.perm[static_cast<std::size_t>(p)];
+      ASSERT_GE(i, p - p % S.sigma);
+      ASSERT_LT(i, std::min(A.n, p - p % S.sigma + S.sigma));
+      ASSERT_EQ(S.rank[static_cast<std::size_t>(i)], p);
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+    for (char c : seen) ASSERT_EQ(c, 1);
+    // Stored nonzero counts match CSR's.
+    index_t nnz = 0;
+    for (index_t l : S.len) nnz += l;
+    ASSERT_EQ(nnz, A.nnz());
+  }
+}
+
+TEST(SellProperty, SignedZeroRowsStayBitExact) {
+  // Rows summing to exact zero with ±0.0 values: the padded lanes must be
+  // blended out, not accumulated (acc + 0.0 would flip a -0.0).
+  CsrMatrix A = CsrMatrix::from_triplets(
+      5, {{0, 0, 0.0}, {0, 1, -0.0}, {1, 2, 1.0}, {1, 3, -1.0}, {4, 4, -0.0}});
+  const double x[5] = {-1.0, -1.0, 1.0, 1.0, 5.0};
+  double ref[5], y[5];
+  spmv(A, x, ref);
+  const SellMatrix S = sell_from_csr(A, 4, 4);
+  spmv(S, x, y);
+  EXPECT_TRUE(bits_equal(ref, y, 5));
+}
+
+// ------------------------------------------------- dispatch + batch path --
+
+TEST(SparseMatrixDispatch, FormatNamesRoundTrip) {
+  SparseFormat f = SparseFormat::Csr;
+  EXPECT_TRUE(format_from_name("sell", &f));
+  EXPECT_EQ(f, SparseFormat::Sell);
+  EXPECT_STREQ(format_name(f), "sell");
+  EXPECT_TRUE(format_from_name("csr", &f));
+  EXPECT_EQ(f, SparseFormat::Csr);
+  EXPECT_FALSE(format_from_name("ellpack", &f));
+}
+
+TEST(SparseMatrixDispatch, CsrViewIsImplicitAndSellIsShared) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  SparseMatrix csr_view = p.A;  // implicit
+  EXPECT_EQ(csr_view.format(), SparseFormat::Csr);
+  EXPECT_EQ(csr_view.sell(), nullptr);
+  SparseMatrix sell_view = SparseMatrix::make(p.A, SparseFormat::Sell, 8, 64);
+  EXPECT_EQ(sell_view.format(), SparseFormat::Sell);
+  ASSERT_NE(sell_view.sell(), nullptr);
+  SparseMatrix copy = sell_view;  // cheap: shares the SELL structure
+  EXPECT_EQ(copy.sell(), sell_view.sell());
+  EXPECT_EQ(&copy.csr(), &p.A);
+}
+
+TEST(SparseMatrixDispatch, BatchOpsChunkedSellSpmvIsBitDeterministic) {
+  TestbedProblem p = make_testbed("consph", 0.3);
+  const SparseMatrix S = SparseMatrix::make(p.A, SparseFormat::Sell, 8, 64);
+  Rng rng(5);
+  std::vector<double> x = random_vector(rng, p.A.n);
+  std::vector<double> ref(static_cast<std::size_t>(p.A.n));
+  spmv(p.A, x.data(), ref.data());
+
+  for (unsigned nchunks : {1u, 3u, 7u}) {
+    Runtime rt(4);
+    TaskBatch tb(rt);
+    BatchOps ops(tb, p.A.n, nchunks);
+    std::vector<double> y(static_cast<std::size_t>(p.A.n), 0.0);
+    ops.spmv(S, x.data(), y.data());
+    ops.run();
+    EXPECT_TRUE(bits_equal(ref.data(), y.data(), p.A.n)) << nchunks << " chunks";
+  }
+}
+
+// ---------------------------------------------- Gauss-Seidel block sweeps --
+
+TEST(BlockGaussSeidel, SweepsAreBitIdenticalAcrossFormats) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed + 77);
+    CsrMatrix A = random_matrix(rng, kBanded);
+    // Make the diagonal safely dominant so the sweeps are well-defined.
+    std::vector<Triplet> extra;
+    for (index_t i = 0; i < A.n; ++i) extra.push_back({i, i, 20.0});
+    for (index_t i = 0; i < A.n; ++i)
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        extra.push_back({i, A.col_idx[static_cast<std::size_t>(k)],
+                         A.vals[static_cast<std::size_t>(k)]});
+    A = CsrMatrix::from_triplets(A.n, std::move(extra));
+
+    const std::vector<double> g = random_vector(rng, A.n);
+    std::vector<double> z1(static_cast<std::size_t>(A.n), -1.0);
+    std::vector<double> z2(static_cast<std::size_t>(A.n), -1.0);
+    const index_t r1 = A.n - A.n / 3;
+    const SparseMatrix csr_view = A;
+    const SparseMatrix sell_view = SparseMatrix::make(A, SparseFormat::Sell, 4, 16);
+    gs_block_sweeps(csr_view, 0, r1, 3, g.data(), z1.data());
+    gs_block_sweeps(sell_view, 0, r1, 3, g.data(), z2.data());
+    ASSERT_TRUE(bits_equal(z1.data(), z2.data(), A.n)) << "seed " << seed;
+    for (index_t i = r1; i < A.n; ++i)
+      ASSERT_EQ(z1[static_cast<std::size_t>(i)], -1.0);  // outside rows untouched
+  }
+}
+
+TEST(BlockGaussSeidel, PartialApplicationReproducesApplyBitForBit) {
+  TestbedProblem p = make_testbed("qa8fm", 0.2);
+  const BlockLayout layout(p.A.n, 64);
+  BlockGaussSeidel M(p.A, layout, 2);
+  std::vector<double> g(static_cast<std::size_t>(p.A.n));
+  Rng rng(3);
+  for (auto& v : g) v = rng.uniform(-1, 1);
+  std::vector<double> z_full(g.size(), 0.0), z_part(g.size(), 0.0);
+  M.apply(g.data(), z_full.data());
+  std::vector<index_t> all;
+  for (index_t b = 0; b < layout.num_blocks(); ++b) all.push_back(b);
+  M.apply_blocks(all, g.data(), z_part.data());
+  EXPECT_TRUE(bits_equal(z_full.data(), z_part.data(), p.A.n));
+
+  // Re-applying one block after wiping it reproduces the same bits -- the
+  // §3.2 partial-application property the recovery path relies on.
+  const index_t b = layout.num_blocks() / 2;
+  for (index_t i = layout.begin(b); i < layout.end(b); ++i)
+    z_part[static_cast<std::size_t>(i)] = 1e300;
+  M.apply_blocks({b}, g.data(), z_part.data());
+  EXPECT_TRUE(bits_equal(z_full.data(), z_part.data(), p.A.n));
+}
+
+TEST(BlockGaussSeidel, SweepsReduceTheBlockResidual) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+  const BlockLayout layout(p.A.n, 64);
+  BlockGaussSeidel M(p.A, layout, 3);
+  std::vector<double> g(static_cast<std::size_t>(p.A.n), 1.0), z(g.size(), 0.0);
+  M.apply(g.data(), z.data());
+  // || g - A_bb z || must be well below || g || on every block.
+  for (index_t b = 0; b < layout.num_blocks(); ++b) {
+    const index_t r0 = layout.begin(b), r1 = layout.end(b);
+    double rr = 0.0, gg = 0.0;
+    for (index_t i = r0; i < r1; ++i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (index_t k = p.A.row_ptr[static_cast<std::size_t>(i)];
+           k < p.A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t j = p.A.col_idx[static_cast<std::size_t>(k)];
+        if (j >= r0 && j < r1)
+          acc -= p.A.vals[static_cast<std::size_t>(k)] * z[static_cast<std::size_t>(j)];
+      }
+      rr += acc * acc;
+      gg += g[static_cast<std::size_t>(i)] * g[static_cast<std::size_t>(i)];
+    }
+    EXPECT_LT(rr, 0.25 * gg) << "block " << b;
+  }
+}
+
+// ------------------------------------------- resilient solve, end to end --
+
+struct CgRun {
+  std::vector<double> x;
+  index_t iterations = 0;
+  bool converged = false;
+  std::uint64_t errors = 0;
+  RecoveryStats stats;
+};
+
+CgRun run_injected_cg(const TestbedProblem& p, SparseFormat format, Method method) {
+  ResilientCgOptions opts;
+  opts.method = method;
+  opts.tol = 1e-9;
+  opts.block_rows = 64;
+  opts.threads = 1;  // bit-exact replay needs the sequential schedule
+  std::unique_ptr<campaign::IterationInjector> inj;
+  opts.on_iteration = [&inj](const IterRecord& rec) {
+    if (inj) inj->on_iteration(rec.iter);
+  };
+  const SparseMatrix S = SparseMatrix::make(p.A, format, 8, 64);
+  ResilientCg solver(S, p.b.data(), opts);
+  inj = std::make_unique<campaign::IterationInjector>(solver.domain(), 25.0, 0xFE17);
+  CgRun run;
+  run.x.assign(static_cast<std::size_t>(p.A.n), 0.0);
+  const ResilientCgResult r = solver.solve(run.x.data());
+  run.iterations = r.iterations;
+  run.converged = r.converged;
+  run.errors = inj->count();
+  run.stats = r.stats;
+  return run;
+}
+
+TEST(FormatParity, ResilientCgWithDuesIsByteIdenticalAcrossFormats) {
+  TestbedProblem p = make_testbed("thermal2", 0.12);
+  const CgRun csr = run_injected_cg(p, SparseFormat::Csr, Method::Feir);
+  const CgRun sell = run_injected_cg(p, SparseFormat::Sell, Method::Feir);
+
+  ASSERT_TRUE(csr.converged);
+  ASSERT_TRUE(sell.converged);
+  EXPECT_GT(csr.errors, 0u) << "the test must actually inject DUEs";
+  EXPECT_EQ(csr.errors, sell.errors);
+  EXPECT_EQ(csr.iterations, sell.iterations);
+  EXPECT_EQ(csr.stats.spmv_recomputes, sell.stats.spmv_recomputes);
+  EXPECT_EQ(csr.stats.diag_solves, sell.stats.diag_solves);
+  ASSERT_TRUE(bits_equal(csr.x.data(), sell.x.data(), p.A.n))
+      << "solver iterates diverged between formats";
+}
+
+TEST(FormatParity, LossyMethodStaysByteIdenticalToo) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  const CgRun csr = run_injected_cg(p, SparseFormat::Csr, Method::Lossy);
+  const CgRun sell = run_injected_cg(p, SparseFormat::Sell, Method::Lossy);
+  ASSERT_TRUE(csr.converged);
+  EXPECT_EQ(csr.iterations, sell.iterations);
+  ASSERT_TRUE(bits_equal(csr.x.data(), sell.x.data(), p.A.n));
+}
+
+TEST(FormatParity, GmresWithGaussSeidelPrecondSurvivesLossesOnSell) {
+  TestbedProblem p = make_testbed("ecology2", 0.15);
+  const BlockLayout layout(p.A.n, 64);
+  const SparseMatrix S = SparseMatrix::make(p.A, SparseFormat::Sell, 8, 64);
+  BlockGaussSeidel M(S, layout, 2);
+
+  ResilientGmresOptions opts;
+  opts.tol = 1e-9;
+  opts.block_rows = 64;
+  opts.restart = 25;
+  ResilientGmres* live = nullptr;
+  int injected = 0;
+  opts.on_iteration = [&](const IterRecord& rec) {
+    if (live != nullptr && injected < 3 && rec.iter > 0 && rec.iter % 20 == 0) {
+      Rng rng(static_cast<std::uint64_t>(rec.iter));
+      auto [region, block] = live->domain().pick_uniform(rng);
+      if (region != nullptr) region->lose_block(block);
+      ++injected;
+    }
+  };
+  ResilientGmres solver(S, p.b.data(), opts, &M);
+  live = &solver;
+  std::vector<double> x(static_cast<std::size_t>(p.A.n), 0.0);
+  const auto r = solver.solve(x.data());
+  EXPECT_GE(injected, 1);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(p.A, x.data(), p.b.data()) / norm2(p.b.data(), p.A.n), 1e-9);
+}
+
+}  // namespace
+}  // namespace feir

@@ -247,5 +247,85 @@ TEST(Mmio, RejectsGarbage) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), std::runtime_error);
 }
 
+// Table-driven hardening cases: every malformed input must come back as a
+// clean error return (never a crash, never an allocation bomb, never a
+// silently wrong matrix), with a diagnostic naming the problem.
+TEST(Mmio, MalformedInputsReturnErrorsNotDeaths) {
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* err_substr;  // nullptr = must parse successfully
+  };
+  const Case cases[] = {
+      {"empty stream", "", "empty stream"},
+      {"garbage banner", "hello world\n3 3 0\n", "unsupported banner"},
+      {"wrong object", "%%MatrixMarket vector coordinate real general\n3 3 0\n",
+       "unsupported banner"},
+      {"array format", "%%MatrixMarket matrix array real general\n3 3\n1\n2\n",
+       "coordinate format"},
+      {"pattern field", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n",
+       "pattern"},
+      {"complex field",
+       "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1.0 0.0\n",
+       "complex"},
+      {"skew symmetry",
+       "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n",
+       "unsupported symmetry"},
+      {"banner only", "%%MatrixMarket matrix coordinate real general\n",
+       "truncated header"},
+      {"comments then EOF",
+       "%%MatrixMarket matrix coordinate real general\n% a comment\n% another\n",
+       "truncated header"},
+      {"malformed size line",
+       "%%MatrixMarket matrix coordinate real general\nthree by three\n",
+       "malformed size line"},
+      {"zero dimension", "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+       "non-positive"},
+      {"negative dimension", "%%MatrixMarket matrix coordinate real general\n-3 -3 0\n",
+       "non-positive"},
+      {"huge dimension",
+       "%%MatrixMarket matrix coordinate real general\n9999999999999 9999999999999 1\n",
+       "out of range"},
+      {"non-square", "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n",
+       "square"},
+      {"negative nnz", "%%MatrixMarket matrix coordinate real general\n2 2 -1\n",
+       "negative entry count"},
+      {"nnz beyond capacity", "%%MatrixMarket matrix coordinate real general\n2 2 5\n",
+       "exceeds matrix capacity"},
+      {"truncated entries",
+       "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 1.0\n2 2 1.0\n",
+       "truncated entry list"},
+      {"row index zero",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+       "out of range"},
+      {"col index past n",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n",
+       "out of range"},
+      {"symmetric upper entry ok",
+       "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 -1.0\n",
+       nullptr},
+      {"integer field ok",
+       "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 4\n",
+       nullptr},
+  };
+  for (const Case& c : cases) {
+    std::stringstream in(c.text);
+    CsrMatrix A;
+    std::string err;
+    const bool ok = read_matrix_market(in, &A, &err);
+    if (c.err_substr == nullptr) {
+      EXPECT_TRUE(ok) << c.name << ": " << err;
+      EXPECT_GT(A.n, 0) << c.name;
+    } else {
+      EXPECT_FALSE(ok) << c.name;
+      EXPECT_NE(err.find(c.err_substr), std::string::npos)
+          << c.name << ": got \"" << err << "\"";
+      // The legacy throwing interface surfaces the same diagnostic.
+      std::stringstream again(c.text);
+      EXPECT_THROW(read_matrix_market(again), std::runtime_error) << c.name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace feir

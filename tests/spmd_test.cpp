@@ -3,6 +3,7 @@
 // per-rank page losses.
 #include <gtest/gtest.h>
 
+#include "distsim/partition.hpp"
 #include "distsim/spmd.hpp"
 #include "solvers/cg.hpp"
 #include "sparse/generators.hpp"
@@ -11,6 +12,29 @@
 
 namespace feir {
 namespace {
+
+TEST(SpmdCg, PagePartitionMatchesSharedSlabMath) {
+  // The per-rank fault domains must cover exactly the page slabs the shared
+  // RowPartition math assigns — SpmdCg uses partition.hpp directly now, so
+  // this locks the two against re-drifting into private copies.
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  const index_t ranks = 5;
+  SpmdCgOptions opts;
+  opts.ranks = ranks;
+  opts.block_rows = 64;
+  SpmdCg solver(p.A, p.b.data(), opts);
+
+  const BlockLayout layout(p.A.n, 64);
+  const RowPartition pages(layout.num_blocks(), ranks);
+  for (index_t r = 0; r < ranks; ++r) {
+    ProtectedRegion* reg = solver.domain(r).find("x");
+    ASSERT_NE(reg, nullptr);
+    EXPECT_EQ(reg->layout.num_blocks(), pages.rows(r)) << "rank " << r;
+    const index_t row0 = layout.begin(pages.begin(r));
+    const index_t row1 = layout.end(pages.end(r) - 1);
+    EXPECT_EQ(reg->n, row1 - row0) << "rank " << r;
+  }
+}
 
 class RankSweep : public ::testing::TestWithParam<index_t> {};
 

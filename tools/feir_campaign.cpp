@@ -12,7 +12,11 @@
 //   --matrices M,..       testbed names or .mtx files   (default ecology2,thermal2)
 //   --solvers  s,..       cg|bicgstab|gmres             (default cg)
 //   --methods  m,..       ideal|trivial|ckpt|lossy|feir|afeir  (CG only; default all six)
-//   --preconds p,..       none|jacobi|blockjacobi|sweeps       (default none)
+//   --preconds p,..       none|jacobi|blockjacobi|sweeps|gs    (default none)
+//   --format f            sparse storage backend for every job: csr|sell
+//                         (default $FEIR_FORMAT, else csr; backends are
+//                         bit-identical, so reports differ only in speed and
+//                         in the recorded "format" field)
 //   --mtbe-iters N,..     deterministic error injection: mean ITERATIONS
 //                         between errors (default 150)
 //   --mtbe     S,..       wall-clock error injection: mean SECONDS between
@@ -141,6 +145,7 @@ void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
 
 Args parse(int argc, char** argv) {
   Args a;
+  a.grid.format = default_format();
   a.grid.matrices = {"ecology2", "thermal2"};
   a.grid.methods = {Method::Ideal,  Method::Trivial, Method::Checkpoint,
                     Method::Lossy,  Method::Feir,    Method::Afeir};
@@ -165,7 +170,10 @@ Args parse(int argc, char** argv) {
         if (eq == std::string::npos) usage("grid entries must be key=value: " + kv);
         set_axis(a.grid, kv.substr(0, eq), kv.substr(eq + 1));
       }
-    } else if (flag == "--matrices") set_axis(a.grid, "matrices", next());
+    } else if (flag == "--format") {
+      if (!format_from_name(next(), &a.grid.format)) usage("unknown --format");
+    }
+    else if (flag == "--matrices") set_axis(a.grid, "matrices", next());
     else if (flag == "--solvers") set_axis(a.grid, "solvers", next());
     else if (flag == "--methods") set_axis(a.grid, "methods", next());
     else if (flag == "--preconds") set_axis(a.grid, "preconds", next());

@@ -9,7 +9,12 @@
 //   --scale   S           testbed grid scale (default 0.35; ignored for files)
 //   --solver  cg|bicgstab|gmres            (default cg)
 //   --method  ideal|trivial|ckpt|lossy|feir|afeir   (CG only; default feir)
-//   --precond none|jacobi|blockjacobi|sweeps        (default none)
+//   --precond none|jacobi|blockjacobi|sweeps|gs     (default none)
+//   --format  csr|sell    sparse storage backend (default $FEIR_FORMAT, else
+//                         csr).  Backends are bit-identical on the SpMV path,
+//                         so the format never changes a deterministic run's
+//                         output -- only its speed.  SELL-C-σ knobs:
+//                         FEIR_SELL_SLICE (8) / FEIR_SELL_SIGMA (64).
 //   --mtbe    SECONDS     inject page errors at this wall-clock mean rate
 //   --mtbe-iters N        inject at a mean of N iterations between errors
 //                         instead: deterministic, so --seed replays the run
@@ -46,6 +51,7 @@
 #include "campaign/report.hpp"
 #include "precond/blockjacobi.hpp"
 #include "precond/fixedpoint.hpp"
+#include "precond/gs.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/vecops.hpp"
 #include "support/env.hpp"
@@ -71,6 +77,7 @@ Args parse(int argc, char** argv) {
   Args a;
   a.job.matrix = "ecology2";
   a.job.method = Method::Feir;
+  a.job.format = default_format();
   a.job.threads = default_threads();
   a.job.max_iter = 100000;
   double mtbe_s = 0.0, mtbe_iters = 0.0;
@@ -92,6 +99,8 @@ Args parse(int argc, char** argv) {
       if (!method_from_name(next(), &a.job.method)) usage("unknown --method");
     } else if (flag == "--precond") {
       if (!campaign::precond_from_name(next(), &a.job.precond)) usage("unknown --precond");
+    } else if (flag == "--format") {
+      if (!format_from_name(next(), &a.job.format)) usage("unknown --format");
     } else if (flag == "--mtbe") mtbe_s = std::atof(next().c_str());
     else if (flag == "--mtbe-iters") mtbe_iters = std::atof(next().c_str());
     else if (flag == "--inject") a.inject = next();
@@ -153,8 +162,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "feir_solve: cannot load %s: %s\n", job.matrix.c_str(), e.what());
     return 1;
   }
-  std::printf("%s: n=%lld nnz=%lld\n", job.matrix.c_str(), (long long)p.A.n,
-              (long long)p.A.nnz());
+  std::printf("%s: n=%lld nnz=%lld format=%s\n", job.matrix.c_str(), (long long)p.A.n,
+              (long long)p.A.nnz(), format_name(job.format));
 
   // Build the preconditioner the way the campaign's shared cache would.
   std::unique_ptr<Preconditioner> M;
@@ -173,6 +182,9 @@ int main(int argc, char** argv) {
     }
     case campaign::PrecondKind::Sweeps:
       M = std::make_unique<JacobiSweeps>(p.A, layout, 3);
+      break;
+    case campaign::PrecondKind::GaussSeidel:
+      M = std::make_unique<BlockGaussSeidel>(p.A, layout, 2);
       break;
   }
 
