@@ -1,0 +1,180 @@
+#include "campaign/cache.hpp"
+
+#include <stdexcept>
+
+#include <cstdio>
+
+#include "precond/fixedpoint.hpp"
+#include "precond/gs.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir::campaign {
+
+namespace {
+
+std::string problem_key(const std::string& matrix, double scale) {
+  // Full precision: std::to_string's fixed 6 decimals would collide
+  // distinct tenant-supplied scales (1e-7 vs 2e-7) onto one cached problem.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", scale);
+  return matrix + "@" + buf;
+}
+
+std::unique_ptr<Preconditioner> make_precond(PrecondKind kind, const CsrMatrix& A,
+                                             index_t block_rows, const BlockJacobi** bj) {
+  const BlockLayout layout(A.n, block_rows);
+  switch (kind) {
+    case PrecondKind::None: return nullptr;
+    case PrecondKind::Jacobi:
+      return std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
+    case PrecondKind::BlockJacobi: {
+      auto m = std::make_unique<BlockJacobi>(A, layout);
+      *bj = m.get();
+      return m;
+    }
+    case PrecondKind::Sweeps: return std::make_unique<JacobiSweeps>(A, layout, 3);
+    case PrecondKind::GaussSeidel: return std::make_unique<BlockGaussSeidel>(A, layout, 2);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TestbedProblem load_problem(const std::string& matrix, double scale) {
+  if (matrix.find('.') != std::string::npos || matrix.find('/') != std::string::npos) {
+    TestbedProblem p;
+    p.name = matrix;
+    p.A = read_matrix_market_file(matrix);
+    p.x_true.assign(static_cast<std::size_t>(p.A.n), 1.0);
+    p.b.assign(static_cast<std::size_t>(p.A.n), 0.0);
+    spmv(p.A, p.x_true.data(), p.b.data());
+    return p;
+  }
+  return make_testbed(matrix, scale);
+}
+
+template <typename Entry, typename Build>
+std::shared_ptr<const Entry> ResourceCache::get(
+    std::map<std::string, std::shared_ptr<Slot<Entry>>>& m, const std::string& key,
+    Build&& build) {
+  std::shared_ptr<Slot<Entry>> slot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = m.emplace(key, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<Slot<Entry>>();
+      ++misses_;
+      // Over capacity: evict the least recently used OTHER entry.  The
+      // evicted shared_ptr stays alive for any solve still holding it.
+      // Slots some thread is currently resolving (use_count > 1: the map's
+      // reference plus theirs) are skipped, or an expensive build in flight
+      // would be silently duplicated by the next request for its key.
+      if (capacity_ != 0 && m.size() > capacity_) {
+        auto victim = m.end();
+        for (auto jt = m.begin(); jt != m.end(); ++jt) {
+          if (jt->first == key || jt->second.use_count() > 1) continue;
+          if (victim == m.end() || jt->second->last_used < victim->second->last_used)
+            victim = jt;
+        }
+        if (victim != m.end()) m.erase(victim);
+      }
+    } else {
+      ++hits_;
+    }
+    slot = m.at(key);
+    slot->last_used = ++clock_;
+  }
+  std::lock_guard<std::mutex> lk(slot->mu);
+  // Failed builds are retried after a short backoff rather than cached
+  // forever: a transient failure (file mid-upload, memory pressure) heals
+  // without a daemon restart, while a campaign hammering one bad key inside
+  // the window still fails fast instead of re-parsing per job.
+  if (slot->built && slot->value != nullptr && !slot->value->error.empty() &&
+      now_seconds() - slot->failed_at > kErrorRetrySeconds)
+    slot->built = false;
+  if (!slot->built) {
+    slot->value = build();
+    slot->built = true;
+    if (!slot->value->error.empty()) slot->failed_at = now_seconds();
+  }
+  return slot->value;
+}
+
+std::shared_ptr<const ResourceCache::ProblemEntry> ResourceCache::problem(
+    const std::string& matrix, double scale) {
+  return get(problems_, problem_key(matrix, scale), [&] {
+    auto e = std::make_shared<ProblemEntry>();
+    try {
+      e->problem = load_problem(matrix, scale);
+    } catch (const std::exception& ex) {
+      e->error = ex.what();
+    }
+    return e;
+  });
+}
+
+std::shared_ptr<const ResourceCache::BackendEntry> ResourceCache::backend(
+    const std::string& matrix, double scale, SparseFormat format) {
+  const std::string key = problem_key(matrix, scale) + "%" + format_name(format);
+  return get(backends_, key, [&]() -> std::shared_ptr<BackendEntry> {
+    auto e = std::make_shared<BackendEntry>();
+    e->problem = problem(matrix, scale);
+    if (!e->problem->error.empty()) {
+      e->error = e->problem->error;
+      return e;
+    }
+    try {
+      e->S = SparseMatrix::make(e->problem->problem.A, format);
+    } catch (const std::exception& ex) {
+      e->error = ex.what();
+    }
+    return e;
+  });
+}
+
+std::shared_ptr<const ResourceCache::PrecondEntry> ResourceCache::precond(
+    const std::string& matrix, double scale, PrecondKind kind, index_t block_rows) {
+  const std::string key = problem_key(matrix, scale) + "#" + precond_name(kind) + "#" +
+                          std::to_string(block_rows);
+  return get(preconds_, key, [&]() -> std::shared_ptr<PrecondEntry> {
+    auto e = std::make_shared<PrecondEntry>();
+    e->problem = problem(matrix, scale);
+    if (!e->problem->error.empty()) {
+      e->error = e->problem->error;
+      return e;
+    }
+    try {
+      e->M = make_precond(kind, e->problem->problem.A, block_rows, &e->bj);
+    } catch (const std::exception& ex) {
+      e->error = ex.what();
+    }
+    return e;
+  });
+}
+
+ResourceCache::Stats ResourceCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.problems = problems_.size();
+  s.backends = backends_.size();
+  s.preconds = preconds_.size();
+  return s;
+}
+
+void ResourceCache::set_capacity(std::size_t per_kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = per_kind;
+}
+
+void ResourceCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  problems_.clear();
+  backends_.clear();
+  preconds_.clear();
+}
+
+}  // namespace feir::campaign

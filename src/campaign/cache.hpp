@@ -1,0 +1,124 @@
+// Thread-safe, build-once caches for the immutable shared state of resilient
+// solves: assembled testbed problems, per-format acceleration structures
+// (the SELL-C-σ conversion), and preconditioner factorizations.
+//
+// This generalizes the campaign executor's per-run maps into a component the
+// long-running service (src/service/) shares across requests: the first
+// request for a (matrix, scale) pays the assembly, every later request -- on
+// any connection, any thread -- gets the cached entry.  Entries are immutable
+// after construction and handed out as shared_ptr<const>, so a cache clear()
+// or process of eviction never invalidates a solve in flight.
+//
+// Two long-running-service concerns are handled here rather than by the
+// callers:
+//   - capacity: set_capacity(N) bounds each entry kind; the least recently
+//     used entry is evicted when a new key would exceed the bound, so
+//     tenant-chosen keys cannot grow a daemon's memory without limit
+//     (evicted entries stay alive for whoever still holds them);
+//   - failed builds are cached only briefly (kErrorRetrySeconds): inside
+//     the window callers fail fast (a campaign over a bad matrix does not
+//     re-parse per job), after it the next request retries, so a transient
+//     failure (a file mid-upload, memory pressure) does not poison the key
+//     for the life of the process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "campaign/jobspec.hpp"
+#include "precond/blockjacobi.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix.hpp"
+
+namespace feir::campaign {
+
+/// Loads `matrix` the way feir_solve does: a testbed name, or a MatrixMarket
+/// file when the name contains '.' or '/' (then b = A * 1).  Throws on load
+/// failure; the cache getters turn that into a cached error entry.
+TestbedProblem load_problem(const std::string& matrix, double scale);
+
+class ResourceCache {
+ public:
+  /// One unique (matrix, scale): the assembled problem or the load error.
+  struct ProblemEntry {
+    TestbedProblem problem;
+    std::string error;
+  };
+
+  /// One unique (matrix, scale, format): the format-dispatched SpMV backend.
+  /// Holds its problem entry so the CSR storage the view points at outlives
+  /// every solver using the backend.
+  struct BackendEntry {
+    std::shared_ptr<const ProblemEntry> problem;
+    SparseMatrix S;
+    std::string error;
+  };
+
+  /// One unique (matrix, scale, precond kind, block size).
+  struct PrecondEntry {
+    std::shared_ptr<const ProblemEntry> problem;
+    std::unique_ptr<Preconditioner> M;
+    const BlockJacobi* bj = nullptr;  // set when M is a BlockJacobi
+    std::string error;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t problems = 0;
+    std::size_t backends = 0;
+    std::size_t preconds = 0;
+  };
+
+  /// Each getter returns the cached entry, building it on first use.  Safe to
+  /// call concurrently: one caller builds, the rest block on that entry (not
+  /// on the whole cache) until it is ready.  Never returns null.
+  std::shared_ptr<const ProblemEntry> problem(const std::string& matrix, double scale);
+  std::shared_ptr<const BackendEntry> backend(const std::string& matrix, double scale,
+                                              SparseFormat format);
+  std::shared_ptr<const PrecondEntry> precond(const std::string& matrix, double scale,
+                                              PrecondKind kind, index_t block_rows);
+
+  Stats stats() const;
+
+  /// Bounds each entry kind to `per_kind` entries (LRU eviction); 0 (the
+  /// default) means unbounded, the campaign executor's mode.
+  void set_capacity(std::size_t per_kind);
+
+  /// Drops every cached entry.  Outstanding shared_ptrs stay valid.
+  void clear();
+
+ private:
+  /// How long a failed build's error entry is served before the next
+  /// request retries the build.
+  static constexpr double kErrorRetrySeconds = 5.0;
+
+  template <typename Entry>
+  struct Slot {
+    std::mutex mu;      // serializes the one-time build
+    bool built = false;
+    std::shared_ptr<Entry> value;
+    std::uint64_t last_used = 0;  // LRU stamp, guarded by the map mutex
+    double failed_at = 0.0;       // monotonic time of the last failed build
+  };
+
+  /// Finds or creates the slot for `key`, then builds it under the slot lock
+  /// (not the map lock) with `build() -> shared_ptr<Entry>`.
+  template <typename Entry, typename Build>
+  std::shared_ptr<const Entry> get(std::map<std::string, std::shared_ptr<Slot<Entry>>>& m,
+                                   const std::string& key, Build&& build);
+
+  mutable std::mutex mu_;  // guards the maps and counters only
+  std::map<std::string, std::shared_ptr<Slot<ProblemEntry>>> problems_;
+  std::map<std::string, std::shared_ptr<Slot<BackendEntry>>> backends_;
+  std::map<std::string, std::shared_ptr<Slot<PrecondEntry>>> preconds_;
+  std::size_t capacity_ = 0;  // per kind; 0 = unbounded
+  std::uint64_t clock_ = 0;   // LRU stamp source
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace feir::campaign

@@ -1,12 +1,12 @@
 #include "campaign/executor.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
-#include <thread>
 #include <type_traits>
+#include <utility>
 
 #include "campaign/injection.hpp"
 #include "core/resilient_bicgstab.hpp"
@@ -14,62 +14,12 @@
 #include "core/resilient_gmres.hpp"
 #include "fault/injector.hpp"
 #include "fault/sighandler.hpp"
-#include "precond/fixedpoint.hpp"
-#include "precond/gs.hpp"
-#include "sparse/mmio.hpp"
-#include "sparse/vecops.hpp"
 #include "support/env.hpp"
 #include "support/timing.hpp"
 
 namespace feir::campaign {
 
-namespace detail {
-
-/// Shared immutable state for one unique (matrix, scale).
-struct ProblemEntry {
-  TestbedProblem problem;
-  std::string error;  // non-empty: load failed, jobs on it fail too
-};
-
-struct PrecondEntry {
-  std::unique_ptr<Preconditioner> M;
-  const BlockJacobi* bj = nullptr;  // set when the entry is a BlockJacobi
-  std::string error;
-};
-
-}  // namespace detail
-
 namespace {
-
-using detail::PrecondEntry;
-using detail::ProblemEntry;
-
-std::string problem_key(const JobSpec& s) {
-  return s.matrix + "@" + std::to_string(s.scale);
-}
-
-std::string precond_key(const JobSpec& s) {
-  return problem_key(s) + "#" + precond_name(s.precond) + "#" +
-         std::to_string(s.block_rows);
-}
-
-std::unique_ptr<Preconditioner> make_precond(PrecondKind kind, const CsrMatrix& A,
-                                             index_t block_rows, const BlockJacobi** bj) {
-  const BlockLayout layout(A.n, block_rows);
-  switch (kind) {
-    case PrecondKind::None: return nullptr;
-    case PrecondKind::Jacobi:
-      return std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
-    case PrecondKind::BlockJacobi: {
-      auto m = std::make_unique<BlockJacobi>(A, layout);
-      *bj = m.get();
-      return m;
-    }
-    case PrecondKind::Sweeps: return std::make_unique<JacobiSweeps>(A, layout, 3);
-    case PrecondKind::GaussSeidel: return std::make_unique<BlockGaussSeidel>(A, layout, 2);
-  }
-  return nullptr;
-}
 
 /// Per-iteration injection driver: deterministic iteration-space errors
 /// and/or the Fig.-3 single-shot error, fired from the solver's host-thread
@@ -173,29 +123,34 @@ CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(std::move(opts)
 CampaignExecutor::~CampaignExecutor() = default;
 
 TestbedProblem CampaignExecutor::load_problem(const std::string& matrix, double scale) {
-  if (matrix.find('.') != std::string::npos || matrix.find('/') != std::string::npos) {
-    TestbedProblem p;
-    p.name = matrix;
-    p.A = read_matrix_market_file(matrix);
-    p.x_true.assign(static_cast<std::size_t>(p.A.n), 1.0);
-    p.b.assign(static_cast<std::size_t>(p.A.n), 0.0);
-    spmv(p.A, p.x_true.data(), p.b.data());
-    return p;
-  }
-  return make_testbed(matrix, scale);
+  return campaign::load_problem(matrix, scale);
 }
 
 JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p,
-                                    const Preconditioner* M, const BlockJacobi* bj) {
+                                    const Preconditioner* M, const BlockJacobi* bj,
+                                    const RunJobExtras& extras) {
   JobResult out;
   try {
     InjectionHooks hooks;
     hooks.spec = &spec;
 
-    // The job's storage backend.  The SELL-C-σ structure is built here (cost
-    // ~ one SpMV) and shared by reference count with the solver; recovery
-    // relations keep addressing the CSR reference.
-    const SparseMatrix S = SparseMatrix::make(p.A, spec.format);
+    // The job's storage backend.  Reused from the caller's cache when
+    // provided; otherwise the SELL-C-σ structure is built here (cost ~ one
+    // SpMV) and shared by reference count with the solver.  Recovery
+    // relations keep addressing the CSR reference either way.
+    const SparseMatrix S =
+        extras.S != nullptr ? *extras.S : SparseMatrix::make(p.A, spec.format);
+
+    // The solver's per-iteration callback: injection first, then the
+    // caller's progress stream (which sees the post-injection error count).
+    std::function<void(const IterRecord&)> iter_hook = hooks.hook();
+    if (extras.progress) {
+      iter_hook = [inner = std::move(iter_hook), &hooks,
+                   progress = extras.progress](const IterRecord& rec) {
+        inner(rec);
+        progress(rec, hooks.count());
+      };
+    }
 
     switch (spec.solver) {
       case SolverKind::Cg: {
@@ -206,6 +161,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.tol = spec.tol;
         opts.max_iter = spec.max_iter;
         opts.max_seconds = spec.max_seconds;
+        opts.cancel = extras.cancel;
         opts.block_rows = spec.block_rows;
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
@@ -215,7 +171,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
           opts.ckpt.period_iters = spec.ckpt_period_iters;
           opts.ckpt.path = spec.ckpt_path;  // empty = in-memory
         }
-        opts.on_iteration = hooks.hook();
+        opts.on_iteration = iter_hook;
         ResilientCg solver(S, p.b.data(), opts, bj);
         out = run_with_injection<ResilientCg, ResilientCgResult>(spec, solver, p.A.n,
                                                                  hooks);
@@ -225,11 +181,12 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         ResilientBicgstabOptions opts;
         opts.tol = spec.tol;
         opts.max_iter = spec.max_iter;
+        opts.cancel = extras.cancel;
         opts.block_rows = spec.block_rows;
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
-        opts.on_iteration = hooks.hook();
+        opts.on_iteration = iter_hook;
         ResilientBicgstab solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientBicgstab, ResilientBicgstabResult>(
             spec, solver, p.A.n, hooks);
@@ -240,17 +197,20 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.tol = spec.tol;
         opts.max_iter = spec.max_iter;
         opts.restart = spec.gmres_restart;
+        opts.cancel = extras.cancel;
         opts.block_rows = spec.block_rows;
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
-        opts.on_iteration = hooks.hook();
+        opts.on_iteration = iter_hook;
         ResilientGmres solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientGmres, ResilientGmresResult>(spec, solver,
                                                                        p.A.n, hooks);
         break;
       }
     }
+    if (extras.cancel != nullptr && extras.cancel->cancelled() && !out.converged)
+      out.cancelled = true;
   } catch (const std::exception& e) {
     out = JobResult{};
     out.error = e.what();
@@ -266,65 +226,56 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
 
   const unsigned workers =
       opts_.concurrency != 0 ? opts_.concurrency : default_threads();
+  const CancelToken* cancel = opts_.cancel;
 
   // One shared pool runs all three phases; each phase is staged on a
   // TaskBatch and published at once (no dependencies inside a phase -- the
   // workers' deques are the campaign work queue, stolen as they drain).
   Runtime rt(workers, opts_.pin_threads);
 
-  // Phase 1: build each unique problem once, in parallel on the pool.
-  // Entries already cached by a previous run() are reused as-is.
+  // Phase 1: warm each unique problem once, in parallel on the pool.
+  // Entries already cached by a previous run() are hits and cost nothing.
+  // The warmup waves carry the cancel token: once cancelled they drain as
+  // no-ops, leaving the cache unpoisoned (the jobs themselves report the
+  // cancellation).
   {
     TaskBatch batch(rt);
+    batch.set_cancel(cancel);
+    std::set<std::pair<std::string, double>> seen;
     for (const JobSpec& s : out.specs) {
-      const std::string key = problem_key(s);
-      const auto [it, inserted] =
-          problems_.emplace(key, std::make_unique<ProblemEntry>());
-      if (!inserted) continue;
-      ProblemEntry* e = it->second.get();
-      const JobSpec* owner = &s;
-      batch.add(
-          [e, owner] {
-            try {
-              e->problem = load_problem(owner->matrix, owner->scale);
-            } catch (const std::exception& ex) {
-              e->error = ex.what();
-            }
-          },
-          {}, 0, "load:" + owner->matrix);
+      if (!seen.insert({s.matrix, s.scale}).second) continue;
+      const JobSpec* spec = &s;
+      batch.add([this, spec] { cache_.problem(spec->matrix, spec->scale); }, {}, 0,
+                "load:" + s.matrix);
     }
     batch.submit();
     rt.taskwait();
   }
 
-  // Phase 2: build each unique preconditioner once (the block-Jacobi
-  // Cholesky factorizations are the expensive ones; they are immutable after
-  // construction and shared read-only by every job on that matrix).
+  // Phase 2: warm each unique format backend and preconditioner once (the
+  // block-Jacobi Cholesky factorizations are the expensive ones; they are
+  // immutable after construction and shared read-only by every job on that
+  // matrix).
   {
     TaskBatch batch(rt);
+    batch.set_cancel(cancel);
+    std::set<std::string> seen;
     for (const JobSpec& s : out.specs) {
-      if (s.precond == PrecondKind::None) continue;
-      const std::string key = precond_key(s);
-      const auto [it, inserted] =
-          preconds_.emplace(key, std::make_unique<PrecondEntry>());
-      if (!inserted) continue;
-      PrecondEntry* e = it->second.get();
-      const ProblemEntry& pe = *problems_.at(problem_key(s));
-      if (!pe.error.empty()) {
-        e->error = pe.error;
-        continue;
-      }
+      const std::string base = s.matrix + "@" + std::to_string(s.scale);
       const JobSpec* spec = &s;
-      const TestbedProblem* prob = &pe.problem;
-      batch.add(
-          [e, spec, prob] {
-            try {
-              e->M = make_precond(spec->precond, prob->A, spec->block_rows, &e->bj);
-            } catch (const std::exception& ex) {
-              e->error = ex.what();
-            }
-          },
-          {}, 0, "precond:" + key);
+      if (seen.insert(base + "%" + format_name(s.format)).second)
+        batch.add(
+            [this, spec] { cache_.backend(spec->matrix, spec->scale, spec->format); },
+            {}, 0, "backend:" + s.matrix);
+      if (s.precond == PrecondKind::None) continue;
+      if (seen.insert(base + "#" + precond_name(s.precond) + "#" +
+                      std::to_string(s.block_rows))
+              .second)
+        batch.add(
+            [this, spec] {
+              cache_.precond(spec->matrix, spec->scale, spec->precond, spec->block_rows);
+            },
+            {}, 0, "precond:" + s.matrix);
     }
     batch.submit();
     rt.taskwait();
@@ -332,7 +283,8 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
 
   // Phase 3: the jobs themselves -- one runtime task each, no dependencies,
   // published as one wave; each job's own solver pool nests inside its
-  // worker without touching this pool's dependency shards.
+  // worker without touching this pool's dependency shards.  Job bodies run
+  // even after a cancel (no wave token) so every slot reports its outcome.
   std::mutex done_mu;
   std::size_t done = 0;
   {
@@ -340,21 +292,33 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
     for (std::size_t i = 0; i < out.specs.size(); ++i) {
       const JobSpec* spec = &out.specs[i];
       JobResult* slot = &out.results[i];
-      const ProblemEntry* pe = problems_.at(problem_key(*spec)).get();
-      const PrecondEntry* ce = spec->precond == PrecondKind::None
-                                   ? nullptr
-                                   : preconds_.at(precond_key(*spec)).get();
       batch.add(
-          [this, spec, slot, pe, ce, &done_mu, &done, &out] {
-            if (spec->inject.mprotect && out.specs.size() > 1) {
+          [this, spec, slot, cancel, &done_mu, &done, &out] {
+            if (cancel != nullptr && cancel->cancelled()) {
+              slot->error = "cancelled";
+              slot->cancelled = true;
+            } else if (spec->inject.mprotect && out.specs.size() > 1) {
               slot->error = "mprotect injection is single-job only";
-            } else if (!pe->error.empty()) {
-              slot->error = "problem: " + pe->error;
-            } else if (ce != nullptr && !ce->error.empty()) {
-              slot->error = "precond: " + ce->error;
             } else {
-              *slot = run_job(*spec, pe->problem, ce != nullptr ? ce->M.get() : nullptr,
-                              ce != nullptr ? ce->bj : nullptr);
+              const auto be = cache_.backend(spec->matrix, spec->scale, spec->format);
+              std::shared_ptr<const ResourceCache::PrecondEntry> ce;
+              if (spec->precond != PrecondKind::None)
+                ce = cache_.precond(spec->matrix, spec->scale, spec->precond,
+                                    spec->block_rows);
+              if (!be->problem->error.empty()) {
+                slot->error = "problem: " + be->problem->error;
+              } else if (!be->error.empty()) {
+                slot->error = "backend: " + be->error;
+              } else if (ce != nullptr && !ce->error.empty()) {
+                slot->error = "precond: " + ce->error;
+              } else {
+                RunJobExtras extras;
+                extras.S = &be->S;
+                extras.cancel = cancel;
+                *slot = run_job(*spec, be->problem->problem,
+                                ce != nullptr ? ce->M.get() : nullptr,
+                                ce != nullptr ? ce->bj : nullptr, extras);
+              }
             }
             if (opts_.on_job_done) {
               std::lock_guard<std::mutex> lk(done_mu);

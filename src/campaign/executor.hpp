@@ -6,32 +6,42 @@
 // Parallelism lives ACROSS jobs (the paper's campaigns are embarrassingly
 // parallel); each job's solver defaults to one worker thread, which also
 // makes iteration-injected jobs bit-reproducible (see campaign/injection.hpp).
-// Shared read-only state -- testbed problems and block-Jacobi factorizations
-// -- is built once per unique (matrix, scale[, block size]) and shared by
-// every job that needs it, so a 240-job campaign over 2 matrices pays for 2
-// matrix assemblies, not 240.
+// Shared read-only state -- testbed problems, format backends, and
+// block-Jacobi factorizations -- lives in a campaign::ResourceCache
+// (campaign/cache.hpp), built once per unique key and shared by every job
+// that needs it, so a 240-job campaign over 2 matrices pays for 2 matrix
+// assemblies, not 240.  The same cache type backs the long-running service
+// (src/service/), which keeps it warm across requests.
+//
+// Cancellation is cooperative: arm ExecutorOptions.cancel (a flag and/or a
+// deadline) and the executor stops cleanly -- not-yet-started jobs come back
+// with error "cancelled", the job mid-solve unwinds at its next iteration
+// with JobResult.cancelled set, and the executor (pool + caches) stays fully
+// reusable for another run().
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/cache.hpp"
 #include "campaign/jobspec.hpp"
 #include "core/method.hpp"
 #include "precond/blockjacobi.hpp"
 #include "runtime/runtime.hpp"
 #include "solvers/solver_types.hpp"
 #include "sparse/generators.hpp"
+#include "support/cancel.hpp"
 
 namespace feir::campaign {
 
 /// Outcome of one campaign job.
 struct JobResult {
-  bool ran = false;          ///< false: setup failed, see `error`
+  bool ran = false;          ///< false: setup failed or cancelled, see `error`
   std::string error;
+  bool cancelled = false;    ///< stopped by a CancelToken (flag or deadline)
   bool converged = false;
   index_t iterations = 0;
   double final_relres = 0.0;
@@ -60,12 +70,26 @@ struct ExecutorOptions {
   std::function<void(std::size_t done, std::size_t total, const JobSpec&,
                      const JobResult&)>
       on_job_done;
+  /// Cooperative cancellation for the whole campaign; may be null.  Arm a
+  /// deadline for a hard wall-clock budget (feir_campaign --max-seconds):
+  /// the running jobs stop at their next iteration, queued jobs are skipped,
+  /// and run() returns the partial result.
+  const CancelToken* cancel = nullptr;
 };
 
-namespace detail {
-struct ProblemEntry;
-struct PrecondEntry;
-}  // namespace detail
+/// Optional knobs for run_job() beyond the shared problem/preconditioner:
+/// used by the service to reuse cached format backends, propagate per-request
+/// deadlines, and stream per-iteration progress.
+struct RunJobExtras {
+  /// Prebuilt format backend for the job's matrix; null = convert locally
+  /// from spec.format (what campaigns without a warm cache do).
+  const SparseMatrix* S = nullptr;
+  /// Cooperative cancellation, forwarded into the solver loop; may be null.
+  const CancelToken* cancel = nullptr;
+  /// Called after every solver iteration with the record and the number of
+  /// errors injected so far; may be empty.  Runs on the job's host thread.
+  std::function<void(const IterRecord&, std::uint64_t errors_so_far)> progress;
+};
 
 class CampaignExecutor {
  public:
@@ -74,29 +98,34 @@ class CampaignExecutor {
 
   /// Builds shared problems/preconditioners, then runs every spec on the
   /// pool.  results[i] corresponds to specs[i] regardless of the order jobs
-  /// actually finished in.  The problem/preconditioner caches persist across
-  /// run() calls on the same executor, so a two-phase experiment (measure
-  /// tau, then sweep) pays for each matrix assembly and block-Jacobi
-  /// factorization once.
+  /// actually finished in.  The resource cache persists across run() calls
+  /// on the same executor, so a two-phase experiment (measure tau, then
+  /// sweep) pays for each matrix assembly and block-Jacobi factorization
+  /// once.
   CampaignResult run(std::vector<JobSpec> specs);
 
   /// Runs one job standalone against a prebuilt problem.  `M` is the
   /// preconditioner for BiCGStab/GMRES (may be null); `bj` is the
   /// block-Jacobi instance for PCG (may be null).  Exposed so single-run
-  /// drivers (feir_solve, the benches) share the campaign's execution path.
+  /// drivers (feir_solve, the benches, the service workers) share the
+  /// campaign's execution path.
   static JobResult run_job(const JobSpec& spec, const TestbedProblem& p,
-                           const Preconditioner* M, const BlockJacobi* bj);
+                           const Preconditioner* M, const BlockJacobi* bj,
+                           const RunJobExtras& extras);
+  static JobResult run_job(const JobSpec& spec, const TestbedProblem& p,
+                           const Preconditioner* M, const BlockJacobi* bj) {
+    return run_job(spec, p, M, bj, RunJobExtras{});
+  }
 
-  /// Loads `spec.matrix` the way feir_solve does: a testbed name, or a
-  /// MatrixMarket file when the name contains '.' or '/' (then b = A * 1).
+  /// Loads `spec.matrix` the way feir_solve does (campaign::load_problem).
   static TestbedProblem load_problem(const std::string& matrix, double scale);
+
+  /// The executor's persistent problem/backend/preconditioner cache.
+  ResourceCache& cache() { return cache_; }
 
  private:
   ExecutorOptions opts_;
-  // Keyed by (matrix, scale) and (matrix, scale, precond, block size); see
-  // executor.cpp.  Only mutated from run(), which is not thread-safe itself.
-  std::map<std::string, std::unique_ptr<detail::ProblemEntry>> problems_;
-  std::map<std::string, std::unique_ptr<detail::PrecondEntry>> preconds_;
+  ResourceCache cache_;
 };
 
 }  // namespace feir::campaign

@@ -20,6 +20,15 @@ std::string jnum(double v) {
 std::string jnum(std::uint64_t v) { return std::to_string(v); }
 std::string jnum(index_t v) { return std::to_string(v); }
 
+std::string jstr(const std::string& s);
+
+}  // namespace
+
+std::string json_number(double v) { return jnum(v); }
+std::string json_string(const std::string& s) { return jstr(s); }
+
+namespace {
+
 std::string jstr(const std::string& s) {
   std::string out = "\"";
   for (char c : s) {
@@ -93,7 +102,11 @@ std::string injection_json(const Injection& inj) {
   return j.inline_object();
 }
 
-std::string stats_json(const RecoveryStats& s) {
+std::string stats_json(const RecoveryStats& s) { return recovery_stats_json(s); }
+
+}  // namespace
+
+std::string recovery_stats_json(const RecoveryStats& s) {
   Json j(0);
   j.field("errors_detected", jnum(s.errors_detected));
   j.field("lincomb_recoveries", jnum(s.lincomb_recoveries));
@@ -113,6 +126,8 @@ std::string stats_json(const RecoveryStats& s) {
   j.field("overwritten_losses", jnum(s.overwritten_losses));
   return j.inline_object();
 }
+
+namespace {
 
 std::string summary_json(const Summary& s) {
   Json j(0);
@@ -158,6 +173,9 @@ std::string job_record_json(const JobSpec& spec, const JobResult& result, bool t
     return j.object();
   }
   j.field("converged", result.converged ? "true" : "false");
+  // Only cancelled runs carry the field, so reports from before cooperative
+  // cancellation existed (and every fault-free golden) are byte-unchanged.
+  if (result.cancelled) j.field("cancelled", "true");
   j.field("iterations", jnum(result.iterations));
   j.field("relres", jnum(result.final_relres));
   j.field("errors_injected", jnum(result.errors_injected));

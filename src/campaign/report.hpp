@@ -25,6 +25,17 @@ namespace feir::campaign {
 std::string job_record_json(const JobSpec& spec, const JobResult& result, bool timing,
                             int indent = 0);
 
+/// The recovery counters as a single-line JSON object; shared by the
+/// campaign records and the service's result events so both speak the same
+/// schema.
+std::string recovery_stats_json(const RecoveryStats& s);
+
+/// JSON string literal (quoted, escaped) / shortest deterministic JSON
+/// number ("%.17g"; non-finite becomes null).  Exposed for the service's
+/// line protocol, which must format identically to the reports.
+std::string json_string(const std::string& s);
+std::string json_number(double v);
+
 /// The whole campaign: header, per-job records, per-cell summaries.
 std::string campaign_json(const CampaignResult& c, const std::vector<CellSummary>& cells,
                           std::uint64_t campaign_seed, bool timing);

@@ -5,11 +5,38 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "support/timing.hpp"
 
 namespace feir {
+
+namespace {
+
+// Disk checkpoint layout: header (magic, n, iter), payload (x then d), FNV
+// checksum of the payload.  A restore validates all three, so a truncated,
+// overwritten, or bit-flipped checkpoint file is rejected cleanly (restore
+// returns false and the caller restarts from the initial state) instead of
+// silently resuming from garbage.
+constexpr std::uint64_t kCkptMagic = 0x464549524B505431ULL;  // "FEIRKPT1"
+
+struct CkptHeader {
+  std::uint64_t magic;
+  std::uint64_t n;
+  std::uint64_t iter;
+};
+
+std::uint64_t fnv1a(const double* v, std::size_t count, std::uint64_t h) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(v);
+  for (std::size_t i = 0; i < count * sizeof(double); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 Checkpointer::Checkpointer(index_t n, CheckpointOptions opts) : n_(n), opts_(std::move(opts)) {
   if (opts_.path.empty()) {
@@ -31,8 +58,13 @@ double Checkpointer::save(index_t iter, const double* x, const double* d) {
     std::FILE* f = std::fopen(opts_.path.c_str(), "wb");
     if (f == nullptr) throw std::runtime_error("Checkpointer: cannot open " + opts_.path);
     const auto un = static_cast<std::size_t>(n_);
-    bool ok = std::fwrite(x, sizeof(double), un, f) == un &&
-              std::fwrite(d, sizeof(double), un, f) == un;
+    const CkptHeader hdr{kCkptMagic, static_cast<std::uint64_t>(n_),
+                         static_cast<std::uint64_t>(iter)};
+    const std::uint64_t sum = fnv1a(d, un, fnv1a(x, un, 0xcbf29ce484222325ULL));
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1 &&
+              std::fwrite(x, sizeof(double), un, f) == un &&
+              std::fwrite(d, sizeof(double), un, f) == un &&
+              std::fwrite(&sum, sizeof(sum), 1, f) == 1;
     ok = (std::fflush(f) == 0) && ok;
     // A checkpoint that lives in the page cache is not a checkpoint: force
     // it to the device, like the paper's writes to node-local disk.
@@ -55,10 +87,19 @@ bool Checkpointer::restore(double* x, double* d, index_t* iter) {
     std::FILE* f = std::fopen(opts_.path.c_str(), "rb");
     if (f == nullptr) return false;
     const auto un = static_cast<std::size_t>(n_);
-    const bool ok = std::fread(x, sizeof(double), un, f) == un &&
-                    std::fread(d, sizeof(double), un, f) == un;
+    CkptHeader hdr{};
+    std::uint64_t sum = 0;
+    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1 && hdr.magic == kCkptMagic &&
+              hdr.n == static_cast<std::uint64_t>(n_) &&
+              std::fread(x, sizeof(double), un, f) == un &&
+              std::fread(d, sizeof(double), un, f) == un &&
+              std::fread(&sum, sizeof(sum), 1, f) == 1;
+    // Trailing bytes mean the file is not the checkpoint we wrote.
+    ok = ok && std::fgetc(f) == EOF;
     std::fclose(f);
-    if (!ok) return false;
+    if (!ok || sum != fnv1a(d, un, fnv1a(x, un, 0xcbf29ce484222325ULL))) return false;
+    *iter = static_cast<index_t>(hdr.iter);
+    return true;
   }
   *iter = saved_iter_;
   return true;

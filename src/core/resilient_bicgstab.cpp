@@ -153,6 +153,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
   };
 
   for (index_t it = 0; it < opts_.max_iter; ++it) {
+    if (opts_.cancel != nullptr && opts_.cancel->cancelled()) return finish(false, it);
     double* d = d_[parity].data();
     double* dprev = d_[1 - parity].data();
     ProtectedRegion* rd = rd_[parity];

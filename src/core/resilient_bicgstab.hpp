@@ -33,6 +33,7 @@
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/matrix.hpp"
+#include "support/cancel.hpp"
 #include "support/page_buffer.hpp"
 
 namespace feir {
@@ -48,6 +49,8 @@ struct ResilientBicgstabOptions {
   unsigned threads = 1;
   /// Pin worker i to core i (Linux; no-op elsewhere).
   bool pin_threads = false;
+  /// Cooperative cancellation, checked once per iteration; may be null.
+  const CancelToken* cancel = nullptr;
   std::function<void(const IterRecord&)> on_iteration;
 };
 

@@ -815,6 +815,7 @@ ResilientCgResult ResilientCg::solve(double* x_out) {
 
   while (executed < opts_.max_iter) {
     if (opts_.max_seconds > 0.0 && clock.seconds() > opts_.max_seconds) break;
+    if (opts_.cancel != nullptr && opts_.cancel->cancelled()) break;
     submit_iteration(rt);
     rt.taskwait();
     ++executed;

@@ -29,6 +29,7 @@
 #include "solvers/solver_types.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/matrix.hpp"
+#include "support/cancel.hpp"
 #include "support/page_buffer.hpp"
 
 namespace feir {
@@ -41,6 +42,10 @@ struct ResilientCgOptions {
   /// returns converged=false with the elapsed time (the Fig.-4 campaign uses
   /// this to bound pathological Trivial runs at high error rates).
   double max_seconds = 0.0;
+  /// Cooperative cancellation (support/cancel.hpp): checked at every
+  /// host-side sync point; a cancelled solve returns converged=false with
+  /// whatever iterate it had.  Must outlive solve().  May be null.
+  const CancelToken* cancel = nullptr;
   bool record_history = false;
   Method method = Method::Feir;
   /// Failure granularity in rows; 512 = one page (production), smaller for

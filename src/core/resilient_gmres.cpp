@@ -138,6 +138,7 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
   };
 
   while (total < opts_.max_iter) {
+    if (opts_.cancel != nullptr && opts_.cancel->cancelled()) return finish(false);
     // Heal x from the start-of-cycle relation g = b - A x when we still have
     // the matching g; at cycle start g is about to be recomputed, so a lost
     // x page can only be interpolated lossily (restart semantics).
@@ -221,6 +222,9 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
 
     index_t l = 0;
     for (; l < m && total < opts_.max_iter; ++l, ++total) {
+      // A cancelled cycle still combines the basis built so far into x
+      // below, then the outer loop check unwinds with that iterate.
+      if (opts_.cancel != nullptr && opts_.cancel->cancelled()) break;
       // Heal every basis vector we are about to read (v_0..v_l).
       if (!heal_basis(l, H)) {
         // An unrecoverable basis page poisons the cycle: restart it.

@@ -89,6 +89,7 @@ Runtime::Task* Runtime::acquire_task(std::function<void()> fn, int priority,
   t->fn = std::move(fn);
   t->name = std::move(name);
   t->priority = priority;
+  t->cancel = nullptr;
   t->finished = false;
   t->pending.store(1, std::memory_order_relaxed);  // submission guard
   t->refs.store(1, std::memory_order_relaxed);     // execution reference
@@ -102,6 +103,7 @@ void Runtime::release_ref(Task* t) {
 void Runtime::recycle(Task* t) {
   t->fn = nullptr;  // drop captured state outside any scheduler lock
   t->name.clear();
+  t->cancel = nullptr;
   t->successors.clear();
   if (tls_worker.rt == this) {
     std::vector<Task*>& cache = pool_local_[tls_worker.id];
@@ -349,7 +351,7 @@ void Runtime::worker_loop(unsigned id, int pin_core) {
     const double t_begin = now_seconds();
     bump(clock.idle, t_begin - mark);
 
-    t->fn();
+    if (t->cancel == nullptr || !t->cancel->cancelled()) t->fn();
     const double t_end = now_seconds();
     bump(clock.useful, t_end - t_begin);
     if (tracer_ != nullptr) {
@@ -437,6 +439,7 @@ void TaskBatch::add(std::function<void()> fn, std::vector<Dep> deps, int priorit
                     std::string name) {
   Runtime::Staged s;
   s.task = rt_.acquire_task(std::move(fn), priority, std::move(name));
+  s.task->cancel = cancel_;
   s.deps = std::move(deps);
   staged_.push_back(std::move(s));
 }

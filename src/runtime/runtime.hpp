@@ -45,6 +45,7 @@
 
 #include "runtime/dep.hpp"
 #include "runtime/trace.hpp"
+#include "support/cancel.hpp"
 
 namespace feir {
 
@@ -115,6 +116,10 @@ class Runtime {
     std::function<void()> fn;
     std::string name;
     int priority = 0;
+    /// Wave-level cooperative cancellation (set by TaskBatch): a cancelled
+    /// task still flows through the graph -- dependencies are satisfied and
+    /// successors released -- but its body is skipped.
+    const CancelToken* cancel = nullptr;
     std::atomic<int> pending{0};  // unmet predecessors + 1 submission guard
     std::atomic<int> refs{0};     // table entries + successor lists + execution
     std::mutex mu;
@@ -228,6 +233,13 @@ class TaskBatch {
   void add(std::function<void()> fn, std::vector<Dep> deps, int priority = 0,
            std::string name = {});
 
+  /// Attaches a cancellation token to every task staged AFTER this call (and
+  /// to later batches staged through this object).  Once the token reads
+  /// cancelled, still-queued tasks of the wave drain as no-ops: dependencies
+  /// resolve and taskwait() returns, but bodies are skipped.  The token must
+  /// outlive the wave.  nullptr detaches.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+
   /// Publishes every staged task.  The batch is reusable afterwards.
   void submit();
 
@@ -236,6 +248,7 @@ class TaskBatch {
 
  private:
   Runtime& rt_;
+  const CancelToken* cancel_ = nullptr;
   std::vector<Runtime::Staged> staged_;
 };
 

@@ -1,0 +1,112 @@
+#include "service/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/json.hpp"
+#include "service/net.hpp"
+
+namespace feir::service {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool Client::connect_unix(const std::string& path, std::string* err) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = errno_string("socket");
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err != nullptr) *err = errno_string("connect");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, int port, std::string* err) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "invalid IPv4 address " + host;
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = errno_string("socket");
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err != nullptr) *err = errno_string("connect");
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::send_line(const std::string& line) {
+  return fd_ >= 0 && send_frame(fd_, line);
+}
+
+bool Client::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // server closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::roundtrip(const std::string& request, std::string* response) {
+  if (!send_line(request)) return false;
+  while (recv_line(response)) {
+    JsonValue v;
+    std::string err;
+    if (!json_parse(*response, &v, &err)) return true;  // surface as-is
+    const JsonValue* ev = v.find("event");
+    if (ev != nullptr && ev->is_string() && ev->string == "progress") continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace feir::service

@@ -1,0 +1,45 @@
+// Blocking line-framed client for the feir_serve protocol: connect over a
+// unix or TCP socket, send one JSON request per line, read one event per
+// line.  Used by tools/feir_client, the examples, and the service/soak test
+// tiers; deliberately synchronous (the concurrency in the soak tier comes
+// from running several clients, like real tenants).
+#pragma once
+
+#include <string>
+
+namespace feir::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a unix-domain (path) or TCP (host:port) listener.  Returns
+  /// false and sets *err on failure.
+  bool connect_unix(const std::string& path, std::string* err);
+  bool connect_tcp(const std::string& host, int port, std::string* err);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` plus a trailing newline.  False on a broken connection.
+  bool send_line(const std::string& line);
+
+  /// Blocks for the next event line (newline stripped).  False on EOF or a
+  /// broken connection.
+  bool recv_line(std::string* line);
+
+  /// Sends one request and returns the next TERMINAL event for line-matched
+  /// traffic (skipping progress events).  Convenience for serial clients.
+  bool roundtrip(const std::string& request, std::string* response);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes received past the last returned line
+};
+
+}  // namespace feir::service

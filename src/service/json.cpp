@@ -1,0 +1,300 @@
+#include "service/json.hpp"
+
+#include <cstdlib>
+
+namespace feir::service {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* err;
+  int max_depth;
+
+  bool fail(std::size_t at, const std::string& reason) {
+    *err = "byte " + std::to_string(at) + ": " + reason;
+    return false;
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  unsigned char peek() const { return static_cast<unsigned char>(text[pos]); }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.size() - pos < len || text.substr(pos, len) != std::string_view(word, len))
+      return fail(pos, std::string("expected '") + word + "'");
+    pos += len;
+    return true;
+  }
+
+  /// Validates one UTF-8 sequence starting at pos inside a string and
+  /// appends it to `out`.  Rejects overlongs, surrogates, > U+10FFFF.
+  bool utf8_sequence(std::string* out) {
+    const std::size_t at = pos;
+    const unsigned char b0 = peek();
+    int extra;
+    std::uint32_t cp;
+    if (b0 < 0x80) {
+      extra = 0;
+      cp = b0;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      extra = 1;
+      cp = b0 & 0x1fu;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      extra = 2;
+      cp = b0 & 0x0fu;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      extra = 3;
+      cp = b0 & 0x07u;
+    } else {
+      return fail(at, "invalid UTF-8 byte in string");
+    }
+    if (text.size() - pos < static_cast<std::size_t>(extra) + 1)
+      return fail(at, "truncated UTF-8 sequence in string");
+    for (int i = 1; i <= extra; ++i) {
+      const unsigned char b = static_cast<unsigned char>(text[pos + i]);
+      if ((b & 0xc0) != 0x80) return fail(at, "invalid UTF-8 continuation byte");
+      cp = (cp << 6) | (b & 0x3fu);
+    }
+    static const std::uint32_t kMin[4] = {0, 0x80, 0x800, 0x10000};
+    if (cp < kMin[extra]) return fail(at, "overlong UTF-8 encoding");
+    if (cp >= 0xd800 && cp <= 0xdfff) return fail(at, "UTF-8 encodes a surrogate");
+    if (cp > 0x10ffff) return fail(at, "UTF-8 code point past U+10FFFF");
+    out->append(text.substr(pos, static_cast<std::size_t>(extra) + 1));
+    pos += static_cast<std::size_t>(extra) + 1;
+    return true;
+  }
+
+  bool hex4(std::uint32_t* out) {
+    if (text.size() - pos < 4) return fail(pos, "truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail(pos + static_cast<std::size_t>(i), "bad hex digit in \\u escape");
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  void append_utf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (eof() || text[pos] != '"') return fail(pos, "expected string");
+    ++pos;
+    out->clear();
+    while (true) {
+      if (eof()) return fail(pos, "unterminated string");
+      const unsigned char c = peek();
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        const std::size_t at = pos;
+        ++pos;
+        if (eof()) return fail(at, "truncated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(&cp)) return false;
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // High surrogate: a low surrogate escape must follow.
+              if (text.size() - pos < 2 || text[pos] != '\\' || text[pos + 1] != 'u')
+                return fail(at, "lone high surrogate in \\u escape");
+              pos += 2;
+              std::uint32_t lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo < 0xdc00 || lo > 0xdfff)
+                return fail(at, "invalid low surrogate in \\u escape");
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return fail(at, "lone low surrogate in \\u escape");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return fail(at, "unknown escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return fail(pos, "unescaped control character in string");
+      if (!utf8_sequence(out)) return false;
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos;
+    if (!eof() && text[pos] == '-') ++pos;
+    if (eof()) return fail(start, "truncated number");
+    if (text[pos] == '0') {
+      ++pos;
+    } else if (text[pos] >= '1' && text[pos] <= '9') {
+      while (!eof() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    } else {
+      return fail(pos, "expected digit");
+    }
+    if (!eof() && text[pos] == '.') {
+      ++pos;
+      if (eof() || text[pos] < '0' || text[pos] > '9')
+        return fail(pos, "expected digit after decimal point");
+      while (!eof() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (!eof() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (eof() || text[pos] < '0' || text[pos] > '9')
+        return fail(pos, "expected digit in exponent");
+      while (!eof() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    const std::string num(text.substr(start, pos - start));
+    out->kind = JsonValue::Kind::Number;
+    out->number = std::strtod(num.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > max_depth) return fail(pos, "nesting too deep");
+    skip_ws();
+    if (eof()) return fail(pos, "unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = JsonValue::Kind::Object;
+      skip_ws();
+      if (!eof() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        const std::size_t key_at = pos;
+        if (!parse_string(&key)) return false;
+        for (const auto& [k, v] : out->members)
+          if (k == key) return fail(key_at, "duplicate object key \"" + key + "\"");
+        skip_ws();
+        if (eof() || text[pos] != ':') return fail(pos, "expected ':'");
+        ++pos;
+        JsonValue v;
+        if (!parse_value(&v, depth + 1)) return false;
+        out->members.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (eof()) return fail(pos, "unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail(pos, "expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = JsonValue::Kind::Array;
+      skip_ws();
+      if (!eof() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!parse_value(&v, depth + 1)) return false;
+        out->items.push_back(std::move(v));
+        skip_ws();
+        if (eof()) return fail(pos, "unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail(pos, "expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::String;
+      return parse_string(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::Bool;
+      out->boolean = true;
+      return literal("true", 4);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::Bool;
+      out->boolean = false;
+      return literal("false", 5);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::Null;
+      return literal("null", 4);
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail(pos, "unexpected character");
+  }
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* err,
+                int max_depth) {
+  std::string local_err;
+  Parser p{text, 0, err != nullptr ? err : &local_err, max_depth};
+  *out = JsonValue{};
+  if (!p.parse_value(out, 1)) return false;
+  p.skip_ws();
+  if (!p.eof()) return p.fail(p.pos, "trailing bytes after value");
+  return true;
+}
+
+}  // namespace feir::service

@@ -1,0 +1,53 @@
+// Strict JSON (RFC 8259) reader for the service's line protocol.
+//
+// The service parses frames that arrive over a socket from arbitrary
+// clients, so this parser is deliberately defensive where a config reader
+// would be lenient:
+//   - strings must be valid UTF-8 (no overlong encodings, no surrogate
+//     code points, nothing past U+10FFFF), whether escaped or raw;
+//   - nesting depth is bounded (stack safety against `[[[[...` bombs);
+//   - duplicate object keys are an error (a request that says
+//     "seed":1,"seed":2 is ambiguous, not last-writer-wins);
+//   - exactly one value per document, no trailing bytes.
+// Errors carry the byte offset so malformed-frame replies can point at the
+// problem.  Mirrors the error-return style of sparse/mmio.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace feir::service {
+
+/// One parsed JSON value.  Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+  std::vector<JsonValue> items;                            // Array
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object member lookup; null when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document from `text`.  On failure returns false
+/// and sets *err to "byte N: reason"; *out is unspecified.  `max_depth`
+/// bounds object/array nesting.
+bool json_parse(std::string_view text, JsonValue* out, std::string* err,
+                int max_depth = 32);
+
+}  // namespace feir::service

@@ -1,0 +1,35 @@
+// Shared socket helpers for the service's client and server sides, so the
+// line-framing write loop (and any future EAGAIN/timeout handling) lives in
+// exactly one place.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace feir::service {
+
+inline std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Sends `line` plus a trailing newline, retrying partial writes and EINTR.
+/// MSG_NOSIGNAL: a peer that hung up yields false, never SIGPIPE.
+inline bool send_frame(int fd, const std::string& line) {
+  std::string frame = line;
+  frame.push_back('\n');
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace feir::service

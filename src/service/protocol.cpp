@@ -1,0 +1,245 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "campaign/report.hpp"
+#include "service/json.hpp"
+
+namespace feir::service {
+
+namespace {
+
+using campaign::json_number;
+using campaign::json_string;
+
+constexpr std::size_t kMaxIdBytes = 128;
+constexpr index_t kMaxIter = 1000000000;  // 1e9: plenty, and overflow-safe
+// Largest double strictly below 2^64: the bound must exclude 2^64 itself,
+// which is exactly representable and would make the uint64 cast UB.
+constexpr double kMaxSeed = 18446744073709549568.0;
+
+ParsedRequest bad(std::string code, std::string message) {
+  ParsedRequest p;
+  p.code = std::move(code);
+  p.message = std::move(message);
+  return p;
+}
+
+/// Field extractors: each checks the JSON type and value range, writing a
+/// bad_request reason on violation.
+bool want_string(const JsonValue& v, const char* key, std::string* out,
+                 std::string* why) {
+  if (!v.is_string()) {
+    *why = std::string(key) + " must be a string";
+    return false;
+  }
+  *out = v.string;
+  return true;
+}
+
+bool want_number(const JsonValue& v, const char* key, double* out, std::string* why) {
+  if (!v.is_number()) {
+    *why = std::string(key) + " must be a number";
+    return false;
+  }
+  *out = v.number;
+  return true;
+}
+
+bool want_bool(const JsonValue& v, const char* key, bool* out, std::string* why) {
+  if (!v.is_bool()) {
+    *why = std::string(key) + " must be a boolean";
+    return false;
+  }
+  *out = v.boolean;
+  return true;
+}
+
+bool want_count(const JsonValue& v, const char* key, double lo, double hi, double* out,
+                std::string* why) {
+  if (!want_number(v, key, out, why)) return false;
+  if (!(*out >= lo) || !(*out <= hi) || *out != std::floor(*out)) {
+    *why = std::string(key) + " must be an integer in [" + json_number(lo) + ", " +
+           json_number(hi) + "]";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  JsonValue root;
+  std::string jerr;
+  if (!json_parse(line, &root, &jerr)) return bad("bad_frame", jerr);
+  if (!root.is_object()) return bad("bad_request", "frame must be a JSON object");
+
+  // Best-effort id extraction first, so even a rejected request gets an
+  // error event the client can correlate.
+  std::string best_id;
+  if (const JsonValue* idv = root.find("id");
+      idv != nullptr && idv->is_string() && idv->string.size() <= kMaxIdBytes)
+    best_id = idv->string;
+  auto fail = [&best_id](std::string code, std::string message) {
+    ParsedRequest p = bad(std::move(code), std::move(message));
+    p.req.id = best_id;
+    return p;
+  };
+
+  std::string op_name;
+  std::string why;
+  const JsonValue* op = root.find("op");
+  if (op == nullptr) return fail("bad_request", "missing required field op");
+  if (!want_string(*op, "op", &op_name, &why)) return fail("bad_request", why);
+
+  ParsedRequest out;
+  Request& req = out.req;
+  if (op_name == "ping") req.op = Op::Ping;
+  else if (op_name == "stats") req.op = Op::Stats;
+  else if (op_name == "solve") req.op = Op::Solve;
+  else if (op_name == "cancel") req.op = Op::Cancel;
+  else return fail("bad_request", "unknown op \"" + op_name + "\"");
+
+  // Service solves are replayable campaign jobs: tol/iteration knobs come
+  // from the request, injection is the deterministic iteration-space kind,
+  // and the solver always runs single-threaded.
+  campaign::JobSpec& spec = req.spec;
+  spec.inject.kind = campaign::InjectionKind::None;
+  spec.threads = 1;
+
+  const bool is_solve = req.op == Op::Solve;
+  for (const auto& [key, value] : root.members) {
+    double num = 0.0;
+    if (key == "op") continue;
+    if (key == "id") {
+      if (!want_string(value, "id", &req.id, &why)) return fail("bad_request", why);
+      if (req.id.empty()) return fail("bad_request", "id must not be empty");
+      if (req.id.size() > kMaxIdBytes)
+        return fail("bad_request", "id longer than 128 bytes");
+      continue;
+    }
+    if (!is_solve)
+      return fail("bad_request", "unknown field \"" + key + "\" for op " + op_name);
+    if (key == "matrix") {
+      if (!want_string(value, "matrix", &spec.matrix, &why)) return fail("bad_request", why);
+      if (spec.matrix.empty()) return fail("bad_request", "matrix must not be empty");
+    } else if (key == "scale") {
+      if (!want_number(value, "scale", &spec.scale, &why)) return fail("bad_request", why);
+      if (!(spec.scale > 0.0) || !(spec.scale <= 4.0))
+        return fail("bad_request", "scale must be in (0, 4]");
+    } else if (key == "solver") {
+      std::string s;
+      if (!want_string(value, "solver", &s, &why)) return fail("bad_request", why);
+      if (!campaign::solver_from_name(s, &spec.solver))
+        return fail("bad_request", "unknown solver \"" + s + "\"");
+    } else if (key == "method") {
+      std::string s;
+      if (!want_string(value, "method", &s, &why)) return fail("bad_request", why);
+      if (!method_from_name(s, &spec.method))
+        return fail("bad_request", "unknown method \"" + s + "\"");
+    } else if (key == "precond") {
+      std::string s;
+      if (!want_string(value, "precond", &s, &why)) return fail("bad_request", why);
+      if (!campaign::precond_from_name(s, &spec.precond))
+        return fail("bad_request", "unknown precond \"" + s + "\"");
+    } else if (key == "format") {
+      std::string s;
+      if (!want_string(value, "format", &s, &why)) return fail("bad_request", why);
+      if (!format_from_name(s, &spec.format))
+        return fail("bad_request", "unknown format \"" + s + "\"");
+    } else if (key == "tol") {
+      if (!want_number(value, "tol", &spec.tol, &why)) return fail("bad_request", why);
+      if (!(spec.tol > 0.0) || !(spec.tol < 1.0))
+        return fail("bad_request", "tol must be in (0, 1)");
+    } else if (key == "max_iter") {
+      if (!want_count(value, "max_iter", 1, static_cast<double>(kMaxIter), &num, &why))
+        return fail("bad_request", why);
+      spec.max_iter = static_cast<index_t>(num);
+    } else if (key == "seed") {
+      if (!want_count(value, "seed", 0, kMaxSeed, &num, &why))
+        return fail("bad_request", why);
+      spec.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "mtbe_iters") {
+      if (!want_number(value, "mtbe_iters", &num, &why)) return fail("bad_request", why);
+      if (num < 0.0) return fail("bad_request", "mtbe_iters must be >= 0");
+      if (num > 0.0) {
+        spec.inject.kind = campaign::InjectionKind::IterationMtbe;
+        spec.inject.mean_iters = num;
+      }
+    } else if (key == "block_rows") {
+      if (!want_count(value, "block_rows", 16, 1048576, &num, &why))
+        return fail("bad_request", why);
+      spec.block_rows = static_cast<index_t>(num);
+    } else if (key == "deadline_ms") {
+      if (!want_number(value, "deadline_ms", &req.deadline_ms, &why))
+        return fail("bad_request", why);
+      if (req.deadline_ms < 0.0) return fail("bad_request", "deadline_ms must be >= 0");
+    } else if (key == "stream") {
+      if (!want_bool(value, "stream", &req.stream, &why)) return fail("bad_request", why);
+    } else {
+      return fail("bad_request", "unknown field \"" + key + "\"");
+    }
+  }
+
+  if ((req.op == Op::Solve || req.op == Op::Cancel) && req.id.empty())
+    return bad("bad_request", std::string("op ") + op_name + " requires an id");
+
+  out.ok = true;
+  return out;
+}
+
+// --- event builders ----------------------------------------------------------
+
+namespace {
+
+std::string head(const std::string& id, const char* event) {
+  return "{\"id\": " + json_string(id) + ", \"event\": \"" + event + "\"";
+}
+
+}  // namespace
+
+std::string pong_line(const std::string& id) { return head(id, "pong") + "}"; }
+
+std::string error_line(const std::string& id, const std::string& code,
+                       const std::string& message) {
+  return head(id, "error") + ", \"code\": " + json_string(code) +
+         ", \"message\": " + json_string(message) + "}";
+}
+
+std::string cancel_ack_line(const std::string& id, bool found) {
+  return head(id, "cancel_ack") + std::string(", \"found\": ") +
+         (found ? "true" : "false") + "}";
+}
+
+std::string progress_line(const std::string& id, const IterRecord& rec,
+                          std::uint64_t errors_so_far) {
+  return head(id, "progress") + ", \"iter\": " + std::to_string(rec.iter) +
+         ", \"relres\": " + json_number(rec.relres) +
+         ", \"errors\": " + std::to_string(errors_so_far) + "}";
+}
+
+std::string result_line(const std::string& id, const campaign::JobSpec& spec,
+                        const campaign::JobResult& result) {
+  std::string out = head(id, "result");
+  out += ", \"matrix\": " + json_string(spec.matrix);
+  out += ", \"scale\": " + json_number(spec.scale);
+  out += ", \"solver\": " + json_string(campaign::solver_name(spec.solver));
+  out += ", \"method\": " + json_string(method_cli_name(spec.method));
+  out += ", \"precond\": " + json_string(campaign::precond_name(spec.precond));
+  out += ", \"format\": " + json_string(format_name(spec.format));
+  out += ", \"seed\": " + std::to_string(spec.seed);
+  out += ", \"tol\": " + json_number(spec.tol);
+  out += ", \"block_rows\": " + std::to_string(spec.block_rows);
+  out += ", \"mtbe_iters\": " + json_number(spec.inject.mean_iters);
+  out += std::string(", \"converged\": ") + (result.converged ? "true" : "false");
+  if (result.cancelled) out += ", \"cancelled\": true";
+  out += ", \"iterations\": " + std::to_string(result.iterations);
+  out += ", \"relres\": " + json_number(result.final_relres);
+  out += ", \"errors_injected\": " + std::to_string(result.errors_injected);
+  out += ", \"stats\": " + campaign::recovery_stats_json(result.stats);
+  out += "}";
+  return out;
+}
+
+}  // namespace feir::service

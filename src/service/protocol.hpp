@@ -1,0 +1,75 @@
+// feir_serve line protocol: one JSON object per line, both directions.
+//
+// Requests (client -> server); unknown fields are rejected, not ignored:
+//   {"op":"ping"["id":...]}                     liveness probe
+//   {"op":"stats"}                              server/cache counters
+//   {"op":"solve","id":"r1", ...knobs}          enqueue a resilient solve
+//   {"op":"cancel","id":"r1"}                   cancel an in-flight solve
+//
+// Solve knobs (all optional except id): matrix, scale, solver, method,
+// precond, format, tol, max_iter, seed, mtbe_iters (deterministic
+// iteration-space DUE injection; 0 = fault-free), block_rows, deadline_ms,
+// stream (per-iteration progress events).
+//
+// Events (server -> client), one line each, always carrying the request id:
+//   {"id":..,"event":"pong"}
+//   {"id":..,"event":"stats",...}
+//   {"id":..,"event":"progress","iter":..,"relres":..,"errors":..}  (stream)
+//   {"id":..,"event":"result","converged":..,...,"stats":{...}}
+//   {"id":..,"event":"cancel_ack","found":true|false}
+//   {"id":..,"event":"error","code":..,"message":..}
+//
+// Error codes: bad_frame (not parseable / invalid UTF-8), oversized_frame,
+// bad_request (schema violation), overloaded (admission queue full),
+// deadline (deadline_ms expired), cancelled (cancel op), internal.
+//
+// Result events are byte-deterministic for a given request (fixed key order,
+// "%.17g" floats, no wall-clock fields) -- the soak tier byte-compares them
+// across server restarts.  Solves always run with one solver thread, the
+// same setting that makes campaign reports replayable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
+
+namespace feir::service {
+
+enum class Op : std::uint8_t { Ping, Stats, Solve, Cancel };
+
+/// One parsed request frame.
+struct Request {
+  Op op = Op::Ping;
+  std::string id;            // required for solve/cancel; optional otherwise
+  campaign::JobSpec spec;    // solve only
+  double deadline_ms = 0.0;  // solve only; 0 = none
+  bool stream = false;       // solve only: emit per-iteration progress events
+};
+
+/// parse_request outcome: ok, or an error (code, message) to send back.
+struct ParsedRequest {
+  bool ok = false;
+  Request req;
+  std::string code;     // protocol error code when !ok
+  std::string message;  // human-readable reason when !ok
+};
+
+/// Parses and validates one request line (without the trailing newline).
+ParsedRequest parse_request(std::string_view line);
+
+// --- event builders (single line, no trailing newline) ----------------------
+
+std::string pong_line(const std::string& id);
+std::string error_line(const std::string& id, const std::string& code,
+                       const std::string& message);
+std::string cancel_ack_line(const std::string& id, bool found);
+std::string progress_line(const std::string& id, const IterRecord& rec,
+                          std::uint64_t errors_so_far);
+/// The deterministic solve outcome (echoes the effective knobs so a client
+/// can reproduce the run through feir_solve).
+std::string result_line(const std::string& id, const campaign::JobSpec& spec,
+                        const campaign::JobResult& result);
+
+}  // namespace feir::service

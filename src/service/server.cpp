@@ -1,0 +1,569 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "campaign/report.hpp"
+#include "service/net.hpp"
+#include "support/env.hpp"
+
+namespace feir::service {
+
+/// One client connection.  The reader thread owns fd reads; writes are
+/// serialized by write_mu (a worker's result can interleave with the
+/// reader's protocol errors).  The fd is closed by the last shared_ptr
+/// holder, so a worker never writes into a recycled descriptor.
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+  std::atomic<bool> reader_done{false};
+
+  /// In-flight (queued or solving) requests by id, for cancel and teardown.
+  std::mutex inflight_mu;
+  std::map<std::string, std::shared_ptr<CancelToken>> inflight;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send_line(const std::string& line) {
+    if (closed.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lk(write_mu);
+    // SO_SNDTIMEO (set at accept) bounds this blocking write; a client that
+    // stops reading for that long is treated as gone.
+    if (send_frame(fd, line)) return true;
+    closed.store(true, std::memory_order_release);
+    return false;
+  }
+
+  /// Best-effort send for advisory traffic (progress events): if the socket
+  /// buffer is full, the frame is dropped whole rather than blocking the
+  /// solve -- a tenant that stops reading cannot pin a worker through its
+  /// own progress stream.  Framing stays intact: only a partially-written
+  /// frame is finished with (timeout-bounded) blocking sends.
+  void send_line_best_effort(const std::string& line) {
+    if (closed.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lk(write_mu);
+    std::string frame = line;
+    frame.push_back('\n');
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const int flags = MSG_NOSIGNAL | (off == 0 ? MSG_DONTWAIT : 0);
+      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, flags);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (off == 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // drop
+        closed.store(true, std::memory_order_release);
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Trips every in-flight token (client gone or server stopping): running
+  /// solves unwind at their next iteration instead of wasting the pool.
+  void cancel_inflight() {
+    std::lock_guard<std::mutex> lk(inflight_mu);
+    for (auto& [id, token] : inflight) token->cancel();
+  }
+
+  bool register_inflight(const std::string& id, std::shared_ptr<CancelToken> token) {
+    std::lock_guard<std::mutex> lk(inflight_mu);
+    return inflight.emplace(id, std::move(token)).second;
+  }
+
+  void unregister_inflight(const std::string& id) {
+    std::lock_guard<std::mutex> lk(inflight_mu);
+    inflight.erase(id);
+  }
+
+  std::shared_ptr<CancelToken> find_inflight(const std::string& id) {
+    std::lock_guard<std::mutex> lk(inflight_mu);
+    const auto it = inflight.find(id);
+    return it != inflight.end() ? it->second : nullptr;
+  }
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::listen_unix(std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, opts_.unix_path.c_str(), opts_.unix_path.size() + 1);
+  ::unlink(opts_.unix_path.c_str());  // stale socket from a previous run
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_fd_ < 0) {
+    if (err != nullptr) *err = errno_string("socket(unix)");
+    return false;
+  }
+  if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(unix_fd_, 64) != 0) {
+    if (err != nullptr) *err = errno_string("bind/listen(unix)");
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool Server::listen_tcp(std::string* err) {
+  tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (tcp_fd_ < 0) {
+    if (err != nullptr) *err = errno_string("socket(tcp)");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+  if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(tcp_fd_, 64) != 0) {
+    if (err != nullptr) *err = errno_string("bind/listen(tcp)");
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+  return true;
+}
+
+bool Server::start(std::string* err) {
+  if (running_.load()) return true;
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+    if (err != nullptr) *err = "no listener configured (unix_path or tcp_port)";
+    return false;
+  }
+  if (!opts_.unix_path.empty() && !listen_unix(err)) return false;
+  if (opts_.tcp_port >= 0 && !listen_tcp(err)) {
+    if (unix_fd_ >= 0) {
+      ::close(unix_fd_);
+      unix_fd_ = -1;
+      ::unlink(opts_.unix_path.c_str());
+    }
+    return false;
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  sessions_.cache().set_capacity(opts_.cache_capacity);
+  const unsigned nworkers = opts_.workers != 0 ? opts_.workers : default_threads();
+  workers_.reserve(nworkers);
+  for (unsigned i = 0; i < nworkers; ++i) workers_.emplace_back([this] { worker_loop(); });
+  if (unix_fd_ >= 0) accept_threads_.emplace_back([this] { accept_loop(unix_fd_); });
+  if (tcp_fd_ >= 0) accept_threads_.emplace_back([this] { accept_loop(tcp_fd_); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  // Wake the accept loops: shutdown() makes a blocked accept() fail.
+  if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
+  if (tcp_fd_ >= 0) ::shutdown(tcp_fd_, SHUT_RDWR);
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    ::unlink(opts_.unix_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+
+  // Close every connection: readers unblock on the shutdown, in-flight
+  // solves are cancelled so workers drain quickly.
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& [conn, thread] : readers_) {
+      conn->closed.store(true, std::memory_order_release);
+      conn->cancel_inflight();
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  // Join outside the lock (readers take conns_mu_ only via reap).
+  for (;;) {
+    std::pair<std::shared_ptr<Connection>, std::thread> entry;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      if (readers_.empty()) break;
+      entry = std::move(readers_.back());
+      readers_.pop_back();
+    }
+    entry.second.join();
+  }
+
+  // Publish stopping_ to the workers under the queue lock: a worker that
+  // evaluated the wait predicate just before the store would otherwise block
+  // after this notify and never wake (lost wakeup).
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  queue_.clear();
+}
+
+void Server::accept_loop(int listen_fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Transient failures (a client that reset before accept completed, fd
+      // pressure) must not kill the listener of a long-running daemon; back
+      // off briefly under resource exhaustion and keep accepting.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // listener shut down (EBADF/EINVAL after stop())
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound every blocking write: a tenant that stops reading its terminal
+    // events stalls a worker for at most this long before being dropped.
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lk(counters_mu_);
+      ++counters_.connections;
+    }
+    reap_readers();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    readers_.emplace_back(conn, std::thread([this, conn] { reader_loop(conn); }));
+  }
+}
+
+/// Joins reader threads whose connection has drained, so a long-lived server
+/// does not accumulate one zombie thread per past connection.
+void Server::reap_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (std::size_t i = 0; i < readers_.size();) {
+      if (readers_[i].first->reader_done.load(std::memory_order_acquire)) {
+        done.push_back(std::move(readers_[i].second));
+        readers_[i] = std::move(readers_.back());
+        readers_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::thread& t : done) t.join();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buf;
+  bool discarding = false;  // past an oversized frame, until its newline
+  char chunk[8192];
+  while (!conn->closed.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    for (;;) {
+      const std::size_t nl = buf.find('\n');
+      if (nl == std::string::npos) {
+        if (discarding) {
+          buf.clear();
+        } else if (buf.size() > opts_.max_frame) {
+          // The line is already too long to ever be valid: reject now and
+          // skip bytes until its newline so the connection survives.
+          conn->send_line(error_line("", "oversized_frame",
+                                     "frame exceeds " +
+                                         std::to_string(opts_.max_frame) + " bytes"));
+          {
+            std::lock_guard<std::mutex> lk(counters_mu_);
+            ++counters_.protocol_errors;
+          }
+          discarding = true;
+          buf.clear();
+        }
+        break;
+      }
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (discarding) {
+        discarding = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.size() > opts_.max_frame) {
+        conn->send_line(error_line("", "oversized_frame",
+                                   "frame exceeds " + std::to_string(opts_.max_frame) +
+                                       " bytes"));
+        std::lock_guard<std::mutex> lk(counters_mu_);
+        ++counters_.protocol_errors;
+        continue;
+      }
+      handle_line(conn, line);
+    }
+  }
+  // Client gone: stop spending pool time on its in-flight solves.
+  conn->closed.store(true, std::memory_order_release);
+  conn->cancel_inflight();
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  ParsedRequest parsed = parse_request(line);
+  if (!parsed.ok) {
+    conn->send_line(error_line(parsed.req.id, parsed.code, parsed.message));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
+  Request& req = parsed.req;
+  switch (req.op) {
+    case Op::Ping:
+      conn->send_line(pong_line(req.id));
+      return;
+    case Op::Stats:
+      conn->send_line(stats_line(req.id));
+      return;
+    case Op::Cancel: {
+      const std::shared_ptr<CancelToken> token = conn->find_inflight(req.id);
+      // Ack BEFORE tripping the token: once cancelled, the worker races us
+      // for the write lock and its terminal "cancelled" event must not
+      // overtake the ack on the wire.
+      conn->send_line(cancel_ack_line(req.id, token != nullptr));
+      if (token != nullptr) token->cancel();
+      return;
+    }
+    case Op::Solve:
+      handle_solve(conn, std::move(req));
+      return;
+  }
+}
+
+void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) {
+  Work work;
+  work.conn = conn;
+  work.token = std::make_shared<CancelToken>();
+  const double deadline_s =
+      req.deadline_ms > 0.0 ? req.deadline_ms / 1000.0 : opts_.default_deadline_s;
+  if (deadline_s > 0.0) work.token->set_deadline_after(deadline_s);
+
+  if (!conn->register_inflight(req.id, work.token)) {
+    conn->send_line(
+        error_line(req.id, "bad_request", "id already in flight on this connection"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
+  // The session cache trusts its keys, so the network boundary decides
+  // whether tenant-supplied matrix names may reach the filesystem at all
+  // (load_problem treats names with '.' or '/' as MatrixMarket paths).
+  if (!opts_.allow_matrix_files &&
+      (req.spec.matrix.find('.') != std::string::npos ||
+       req.spec.matrix.find('/') != std::string::npos)) {
+    conn->unregister_inflight(req.id);
+    conn->send_line(error_line(req.id, "bad_request",
+                               "file-backed matrices are disabled on this server"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
+  work.req = std::move(req);
+
+  // Decide admission under the queue lock, but send the verdict after
+  // releasing it: a blocking write to a slow client must never stall the
+  // workers' pops or other connections' admissions.
+  enum class Verdict { Admitted, Stopping, Overloaded } verdict;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Raced with stop(): the shutdown sweep may already have passed this
+      // connection, so a solve admitted now would run with a token nobody
+      // cancels.  Refuse instead of queueing.
+      verdict = Verdict::Stopping;
+    } else if (queue_.size() >= opts_.queue_depth) {
+      // Backpressure: reject instead of queueing unboundedly.  The client
+      // sees it immediately and can retry with jitter.
+      verdict = Verdict::Overloaded;
+    } else {
+      verdict = Verdict::Admitted;
+      queue_.push_back(std::move(work));
+    }
+  }
+  switch (verdict) {
+    case Verdict::Admitted: {
+      {
+        std::lock_guard<std::mutex> lk(counters_mu_);
+        ++counters_.requests;
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+    case Verdict::Stopping: {
+      conn->unregister_inflight(work.req.id);
+      conn->send_line(error_line(work.req.id, "cancelled", "server shutting down"));
+      return;
+    }
+    case Verdict::Overloaded: {
+      conn->unregister_inflight(work.req.id);
+      conn->send_line(error_line(work.req.id, "overloaded",
+                                 "admission queue full (" +
+                                     std::to_string(opts_.queue_depth) + ")"));
+      std::lock_guard<std::mutex> lk(counters_mu_);
+      ++counters_.rejected_overload;
+      return;
+    }
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    process(std::move(work));
+  }
+}
+
+void Server::process(Work work) {
+  const std::string& id = work.req.id;
+  const std::shared_ptr<Connection>& conn = work.conn;
+  CancelToken& token = *work.token;
+  // A solve that slipped into the queue while stop() was sweeping tokens may
+  // never have been cancelled by the sweep; trip it here so shutdown is
+  // always bounded by one iteration, not one solve.
+  if (stopping_.load(std::memory_order_acquire)) token.cancel();
+
+  auto finish_cancelled = [&](const campaign::JobResult* result) {
+    const bool explicit_cancel = token.cancel_requested();
+    std::string msg = explicit_cancel ? "cancelled" : "deadline expired";
+    if (result != nullptr)
+      msg += " after " + std::to_string(result->iterations) + " iterations";
+    conn->send_line(error_line(id, explicit_cancel ? "cancelled" : "deadline", msg));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++(explicit_cancel ? counters_.cancelled : counters_.deadline_expired);
+  };
+
+  if (token.cancelled()) {
+    // Cancelled or timed out while still queued.
+    conn->unregister_inflight(id);
+    finish_cancelled(nullptr);
+    return;
+  }
+
+  const SessionManager::Prepared prep = sessions_.prepare(work.req.spec);
+  if (!prep.error.empty()) {
+    conn->unregister_inflight(id);
+    conn->send_line(error_line(id, "bad_request", prep.error));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
+
+  campaign::RunJobExtras extras;
+  extras.S = &prep.backend->S;
+  extras.cancel = work.token.get();
+  if (work.req.stream) {
+    extras.progress = [&conn, &id](const IterRecord& rec, std::uint64_t errors) {
+      conn->send_line_best_effort(progress_line(id, rec, errors));
+    };
+  }
+
+  const campaign::JobResult result = campaign::CampaignExecutor::run_job(
+      work.req.spec, prep.backend->problem->problem,
+      prep.precond != nullptr ? prep.precond->M.get() : nullptr,
+      prep.precond != nullptr ? prep.precond->bj : nullptr, extras);
+
+  // Unregister BEFORE the terminal event goes out: a client that pipelines
+  // the next request with the same id the instant it sees the result must
+  // not race a stale inflight entry.
+  conn->unregister_inflight(id);
+  if (!result.ran) {
+    conn->send_line(error_line(id, "internal", result.error));
+  } else if (result.cancelled) {
+    finish_cancelled(&result);
+  } else {
+    conn->send_line(result_line(id, work.req.spec, result));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.completed;
+  }
+}
+
+std::string Server::stats_line(const std::string& id) const {
+  Counters c;
+  {
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    c = counters_;
+  }
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    depth = queue_.size();
+  }
+  const campaign::ResourceCache::Stats cs = sessions_.cache_stats();
+  std::string out = "{\"id\": " + campaign::json_string(id) + ", \"event\": \"stats\"";
+  out += ", \"connections\": " + std::to_string(c.connections);
+  out += ", \"requests\": " + std::to_string(c.requests);
+  out += ", \"completed\": " + std::to_string(c.completed);
+  out += ", \"rejected_overload\": " + std::to_string(c.rejected_overload);
+  out += ", \"protocol_errors\": " + std::to_string(c.protocol_errors);
+  out += ", \"cancelled\": " + std::to_string(c.cancelled);
+  out += ", \"deadline_expired\": " + std::to_string(c.deadline_expired);
+  out += ", \"queue_depth\": " + std::to_string(depth);
+  out += ", \"workers\": " + std::to_string(workers_.size());
+  out += ", \"cache\": {\"hits\": " + std::to_string(cs.hits);
+  out += ", \"misses\": " + std::to_string(cs.misses);
+  out += ", \"problems\": " + std::to_string(cs.problems);
+  out += ", \"backends\": " + std::to_string(cs.backends);
+  out += ", \"preconds\": " + std::to_string(cs.preconds);
+  out += "}}";
+  return out;
+}
+
+Server::Counters Server::counters() const {
+  std::lock_guard<std::mutex> lk(counters_mu_);
+  return counters_;
+}
+
+}  // namespace feir::service

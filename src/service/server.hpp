@@ -1,0 +1,146 @@
+// feir_serve: a long-running multi-tenant resilient-solve daemon.
+//
+// Architecture (README "Service"):
+//
+//   listeners (unix / TCP) -> per-connection reader threads -> admission
+//   queue (bounded; rejects with "overloaded" when full) -> worker pool ->
+//   events written back on the request's connection.
+//
+//   * Session state: a SessionManager caches assembled problems, SELL
+//     conversions, and preconditioner factorizations across requests, so a
+//     tenant's second solve on a matrix pays none of the setup.
+//   * Deadlines and cancellation: every solve gets a CancelToken; a
+//     deadline_ms request field arms it, a {"op":"cancel"} frame trips it,
+//     and server shutdown trips all of them.  Solvers unwind cooperatively
+//     at their next iteration, so neither the worker pool nor the client
+//     connection is ever wedged by a cancel.
+//   * Streaming: requests with "stream":true receive per-iteration progress
+//     events (iteration, residual, errors injected so far) before the final
+//     result event.
+//   * Determinism: solves run exactly like campaign jobs (threads=1,
+//     iteration-space injection), so result events are byte-identical across
+//     server restarts for the same request -- the soak tier locks this in.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "support/cancel.hpp"
+
+namespace feir::service {
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty disables.  The file is unlinked on
+  /// start (stale socket) and on stop.
+  std::string unix_path;
+  /// TCP listener on 127.0.0.1; -1 disables, 0 binds an ephemeral port
+  /// (query tcp_port() after start()).
+  int tcp_port = -1;
+  /// Solve worker threads; 0 = feir::default_threads().
+  unsigned workers = 0;
+  /// Admission queue bound: further solve requests are rejected with an
+  /// "overloaded" error until the queue drains (backpressure).
+  std::size_t queue_depth = 64;
+  /// Longest accepted request line in bytes; longer frames get an
+  /// "oversized_frame" error and the rest of the line is discarded.
+  std::size_t max_frame = 256 * 1024;
+  /// Deadline applied to requests that carry none; 0 = unlimited.
+  double default_deadline_s = 0.0;
+  /// Session-cache bound: at most this many entries per kind (problems /
+  /// backends / preconditioners); least-recently-used entries are evicted,
+  /// so tenant-chosen (matrix, scale) keys cannot grow memory unboundedly.
+  /// 0 = unbounded.
+  std::size_t cache_capacity = 64;
+  /// Whether "matrix" values naming files ('.'/'/' in the name) are allowed.
+  /// Off by default: a shared daemon should not read arbitrary local paths
+  /// on behalf of tenants (feir_serve --allow-matrix-files opts in).
+  bool allow_matrix_files = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // stop()s
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners and starts the accept/worker threads.  False (with
+  /// *err) when no listener could be bound.
+  bool start(std::string* err);
+
+  /// Stops accepting, closes every connection, cancels in-flight solves,
+  /// and joins all threads.  Idempotent.
+  void stop();
+
+  /// Bound TCP port (after start()); -1 when the TCP listener is disabled.
+  int tcp_port() const { return tcp_port_; }
+
+  struct Counters {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;         ///< well-formed solve requests admitted
+    std::uint64_t completed = 0;        ///< result events sent
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t protocol_errors = 0;  ///< bad/oversized frames, bad requests
+    std::uint64_t cancelled = 0;        ///< cancel op or shutdown
+    std::uint64_t deadline_expired = 0;
+  };
+  Counters counters() const;
+
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  struct Connection;
+
+  /// One admitted solve.
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    Request req;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  bool listen_unix(std::string* err);
+  bool listen_tcp(std::string* err);
+  void accept_loop(int listen_fd);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  void handle_solve(const std::shared_ptr<Connection>& conn, Request req);
+  void process(Work work);
+  std::string stats_line(const std::string& id) const;
+  void reap_readers();
+
+  ServerOptions opts_;
+  SessionManager sessions_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> readers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace feir::service

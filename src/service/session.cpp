@@ -1,0 +1,26 @@
+#include "service/session.hpp"
+
+namespace feir::service {
+
+SessionManager::Prepared SessionManager::prepare(const campaign::JobSpec& spec) {
+  Prepared out;
+  out.backend = cache_.backend(spec.matrix, spec.scale, spec.format);
+  if (!out.backend->problem->error.empty()) {
+    out.error = "problem: " + out.backend->problem->error;
+    return out;
+  }
+  if (!out.backend->error.empty()) {
+    out.error = "backend: " + out.backend->error;
+    return out;
+  }
+  if (spec.precond != campaign::PrecondKind::None) {
+    out.precond = cache_.precond(spec.matrix, spec.scale, spec.precond, spec.block_rows);
+    if (!out.precond->error.empty()) {
+      out.error = "precond: " + out.precond->error;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace feir::service

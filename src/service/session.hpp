@@ -1,0 +1,44 @@
+// SessionManager: the state a solve service keeps warm across requests.
+//
+// The paper's premise is a continuously running solver workload; what makes
+// a *service* out of the campaign machinery is that problem assembly, the
+// SELL-C-σ conversion, and preconditioner factorizations are paid once per
+// unique key and then served from memory for the life of the process
+// (campaign::ResourceCache, the same component the campaign executor warms
+// per run).  prepare() is what a worker calls per request: it resolves the
+// cached entries for a JobSpec and reports the first setup error, if any.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "campaign/jobspec.hpp"
+
+namespace feir::service {
+
+class SessionManager {
+ public:
+  /// Everything run_job needs that outlives a single request.  The
+  /// shared_ptrs keep the entries alive even if the cache is cleared while
+  /// the solve runs.
+  struct Prepared {
+    std::shared_ptr<const campaign::ResourceCache::BackendEntry> backend;
+    std::shared_ptr<const campaign::ResourceCache::PrecondEntry> precond;  // may be null
+    std::string error;  // non-empty: setup failed, nothing else valid
+  };
+
+  /// Resolves (building on first use) the problem, format backend, and
+  /// preconditioner for `spec`.  Thread-safe; concurrent requests for the
+  /// same key block on one build.
+  Prepared prepare(const campaign::JobSpec& spec);
+
+  campaign::ResourceCache::Stats cache_stats() const { return cache_.stats(); }
+
+  campaign::ResourceCache& cache() { return cache_; }
+
+ private:
+  campaign::ResourceCache cache_;
+};
+
+}  // namespace feir::service

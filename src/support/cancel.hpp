@@ -1,0 +1,58 @@
+// Cooperative cancellation: a CancelToken is a cheap shared flag plus an
+// optional monotonic deadline.  Producers (a service request's deadline, a
+// campaign's --max-seconds budget, an explicit cancel op) arm it once;
+// consumers (solver iteration loops, TaskBatch waves, executor job tasks)
+// poll cancelled() at their natural sync points and unwind cleanly -- no
+// thread is ever killed, so pools and caches stay reusable after a cancel.
+#pragma once
+
+#include <atomic>
+#include <limits>
+
+#include "support/timing.hpp"
+
+namespace feir {
+
+class CancelToken {
+ public:
+  /// Requests cancellation.  Idempotent, thread-safe.
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+
+  /// Arms (or re-arms) a deadline `seconds` from now; past the deadline the
+  /// token reads as cancelled without anyone calling cancel().
+  void set_deadline_after(double seconds) noexcept {
+    deadline_.store(now_seconds() + seconds, std::memory_order_release);
+  }
+
+  /// Removes the deadline (an explicit cancel() still sticks).
+  void clear_deadline() noexcept {
+    deadline_.store(kNoDeadline, std::memory_order_release);
+  }
+
+  /// True once cancel() was called or the deadline passed.
+  bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_acquire)) return true;
+    const double dl = deadline_.load(std::memory_order_acquire);
+    return dl != kNoDeadline && now_seconds() >= dl;
+  }
+
+  /// True only for an explicit cancel() (distinguishes "cancelled" from
+  /// "deadline expired" in error reporting).
+  bool cancel_requested() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds until the deadline; +inf when none is armed, <= 0 when past.
+  double remaining_seconds() const noexcept {
+    const double dl = deadline_.load(std::memory_order_acquire);
+    if (dl == kNoDeadline) return std::numeric_limits<double>::infinity();
+    return dl - now_seconds();
+  }
+
+ private:
+  static constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+  std::atomic<bool> flag_{false};
+  std::atomic<double> deadline_{kNoDeadline};
+};
+
+}  // namespace feir

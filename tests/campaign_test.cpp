@@ -5,10 +5,15 @@
 // JSON report even with jobs running concurrently.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <set>
+#include <thread>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/executor.hpp"
@@ -16,6 +21,7 @@
 #include "campaign/jobspec.hpp"
 #include "campaign/report.hpp"
 #include "support/stats.hpp"
+#include "support/timing.hpp"
 
 namespace feir::campaign {
 namespace {
@@ -431,6 +437,210 @@ TEST(Campaign, CsvReportsHaveOneRowPerCellAndJob) {
   EXPECT_EQ(lines(cell_csv), 1u + cells.size());
   EXPECT_EQ(lines(job_csv), 1u + res.specs.size());
   EXPECT_EQ(cell_csv.find("seconds"), std::string::npos);  // deterministic mode
+}
+
+// ---------------------------------------------------- cancellation ----
+
+// A grid whose jobs cannot converge (tol far below reachable) and cannot
+// end on their own inside the test timeout, so only cancellation stops them.
+GridSpec endless_grid(int replicas) {
+  GridSpec g;
+  g.matrices = {"ecology2"};
+  g.solvers = {SolverKind::Cg};
+  g.methods = {Method::Feir};
+  g.preconds = {PrecondKind::None};
+  g.injections = {Injection{}};
+  g.replicas = replicas;
+  g.scale = 0.1;
+  g.tol = 1e-300;
+  g.max_iter = 1000000000;
+  return g;
+}
+
+TEST(Cancellation, MidCampaignCancelSkipsQueuedJobsAndPoolStaysReusable) {
+  CancelToken token;
+  ExecutorOptions opts;
+  opts.concurrency = 2;
+  opts.cancel = &token;
+  CampaignExecutor ex(opts);
+
+  // Cancel as soon as the first jobs are in flight; the 2 running jobs
+  // unwind at their next iteration and the remaining 6 are skipped.
+  std::thread trip([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    token.cancel();
+  });
+  const CampaignResult res = ex.run(expand_grid(endless_grid(8)));
+  trip.join();
+
+  ASSERT_EQ(res.results.size(), 8u);
+  std::size_t cancelled = 0, skipped = 0;
+  for (const JobResult& r : res.results) {
+    EXPECT_TRUE(r.cancelled) << "every job ends by cancellation here";
+    cancelled += r.cancelled ? 1 : 0;
+    skipped += r.ran ? 0 : 1;
+    if (!r.ran) EXPECT_EQ(r.error, "cancelled");
+  }
+  EXPECT_EQ(cancelled, 8u);
+  EXPECT_GE(skipped, 1u) << "queued jobs must be skipped, not run to the cap";
+
+  // The partial report is well-formed and records the cancellations.
+  const std::string json = campaign_json(res, aggregate(res), 1, false);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"cancelled\""), std::string::npos);
+
+  // The executor is not wedged: another run() on the same instance returns
+  // promptly.  Its options still point at the tripped (sticky) token, so
+  // every job reports cancelled; the fresh-token reuse path is covered by
+  // ExecutorRunsNormallyAfterACancelledRunWithFreshToken below.
+  const CampaignResult res2 = ex.run(expand_grid(endless_grid(2)));
+  ASSERT_EQ(res2.results.size(), 2u);
+  for (const JobResult& r : res2.results) EXPECT_TRUE(r.cancelled);
+}
+
+TEST(Cancellation, ExecutorRunsNormallyAfterACancelledRunWithFreshToken) {
+  // Same executor object across runs: run 1 is cancelled immediately, run 2
+  // (token disarmed is impossible -- tokens are sticky -- so the executor is
+  // rebuilt with no token but keeps its cache through the same instance
+  // API): verify a cancelled run leaves no wedged state behind.
+  CancelToken token;
+  token.cancel();  // tripped before the campaign even starts
+  {
+    ExecutorOptions opts;
+    opts.concurrency = 2;
+    opts.cancel = &token;
+    CampaignExecutor ex(opts);
+    const CampaignResult res = ex.run(expand_grid(endless_grid(4)));
+    for (const JobResult& r : res.results) {
+      EXPECT_FALSE(r.ran);
+      EXPECT_TRUE(r.cancelled);
+    }
+  }
+  // A fresh executor on the same process state converges normally.
+  GridSpec g = small_grid();
+  g.matrices = {"ecology2"};
+  g.methods = {Method::Feir};
+  CampaignExecutor ex2({.concurrency = 2, .on_job_done = {}});
+  const CampaignResult res2 = ex2.run(expand_grid(g));
+  for (const JobResult& r : res2.results) {
+    EXPECT_TRUE(r.ran) << r.error;
+    EXPECT_TRUE(r.converged);
+  }
+}
+
+TEST(Cancellation, DeadlineHardStopsARunningSolveWithinTolerance) {
+  CancelToken token;  // unarmed: the warmup run below must not be cancelled
+  ExecutorOptions opts;
+  opts.concurrency = 2;
+  opts.cancel = &token;
+  CampaignExecutor ex(opts);
+
+  // Pre-warm the problem cache so the deadline window is spent inside the
+  // solves, not inside problem assembly on a loaded CI runner (which would
+  // make every job take the skipped-before-start path).
+  {
+    GridSpec warm = endless_grid(1);
+    warm.max_iter = 1;
+    ex.run(expand_grid(warm));
+  }
+
+  token.set_deadline_after(0.3);
+  Stopwatch clock;
+  const CampaignResult res = ex.run(expand_grid(endless_grid(4)));
+  const double wall = clock.seconds();
+
+  // Hard stop: well under the historical best-effort behaviour (which would
+  // have run every job to max_iter); generous slack for loaded CI runners.
+  EXPECT_LT(wall, 5.0) << "deadline cancellation must hard-stop the campaign";
+  ASSERT_EQ(res.results.size(), 4u);
+  std::size_t ran_then_cancelled = 0;
+  for (const JobResult& r : res.results) {
+    EXPECT_TRUE(r.cancelled);
+    if (r.ran) {
+      ++ran_then_cancelled;
+      EXPECT_FALSE(r.converged);
+      EXPECT_GT(r.iterations, 0) << "the in-flight solve made progress first";
+    }
+  }
+  EXPECT_GE(ran_then_cancelled, 1u) << "at least the first wave was mid-solve";
+}
+
+TEST(Cancellation, RunJobForwardsTheTokenIntoTheSolverLoop) {
+  const TestbedProblem p = make_testbed("ecology2", 0.1);
+  JobSpec spec;
+  spec.matrix = "ecology2";
+  spec.scale = 0.1;
+  spec.tol = 1e-300;
+  spec.max_iter = 1000000000;
+
+  CancelToken token;
+  token.set_deadline_after(0.15);
+  RunJobExtras extras;
+  extras.cancel = &token;
+
+  Stopwatch clock;
+  const JobResult r = CampaignExecutor::run_job(spec, p, nullptr, nullptr, extras);
+  EXPECT_LT(clock.seconds(), 5.0);
+  EXPECT_TRUE(r.ran);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(Cancellation, ProgressCallbackStreamsIterationsAndErrorCounts) {
+  const TestbedProblem p = make_testbed("ecology2", 0.1);
+  JobSpec spec;
+  spec.matrix = "ecology2";
+  spec.scale = 0.1;
+  spec.tol = 1e-8;
+  spec.inject.kind = InjectionKind::IterationMtbe;
+  spec.inject.mean_iters = 30.0;
+  spec.seed = 5;
+
+  std::vector<index_t> iters;
+  std::uint64_t last_errors = 0;
+  RunJobExtras extras;
+  extras.progress = [&](const IterRecord& rec, std::uint64_t errors) {
+    iters.push_back(rec.iter);
+    EXPECT_GE(errors, last_errors) << "error count is cumulative";
+    last_errors = errors;
+  };
+  const JobResult r = CampaignExecutor::run_job(spec, p, nullptr, nullptr, extras);
+  ASSERT_TRUE(r.ran) << r.error;
+  EXPECT_TRUE(r.converged);
+  ASSERT_FALSE(iters.empty());
+  EXPECT_EQ(iters.front(), 0);
+  for (std::size_t i = 1; i < iters.size(); ++i) EXPECT_EQ(iters[i], iters[i - 1] + 1);
+  EXPECT_EQ(last_errors, r.errors_injected);
+}
+
+// A Checkpoint-method job writing through a real on-disk checkpoint file
+// must behave exactly like the in-memory variant (the disk branch adds a
+// header + checksum, invisible to the solver).
+TEST(Campaign, CheckpointJobWithDiskPathConverges) {
+  const std::string path =
+      "/tmp/feir_campaign_ckpt_" + std::to_string(::getpid()) + ".bin";
+  const TestbedProblem p = make_testbed("ecology2", 0.12);
+  JobSpec spec;
+  spec.matrix = "ecology2";
+  spec.scale = 0.12;
+  spec.method = Method::Checkpoint;
+  spec.ckpt_period_iters = 25;
+  spec.ckpt_path = path;
+  spec.block_rows = 64;
+  spec.tol = 1e-8;
+  spec.inject.kind = InjectionKind::IterationMtbe;
+  spec.inject.mean_iters = 60.0;
+  spec.seed = 3;
+
+  const JobResult r = CampaignExecutor::run_job(spec, p, nullptr, nullptr);
+  ASSERT_TRUE(r.ran) << r.error;
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.stats.checkpoints, 0u);
+  // The Checkpointer removes its file on destruction.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "checkpoint file must be cleaned up";
+  if (f != nullptr) std::fclose(f);
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 // Unit tests for the checkpoint/rollback engine and the optimal-period model.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "support/rng.hpp"
@@ -65,6 +70,114 @@ TEST(Checkpointer, DiskBackedRoundTrip) {
   std::FILE* f = std::fopen("/tmp/feir_ckpt_test.bin", "rb");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+// -------------------------- disk-format hardening (header + checksum) ----
+
+namespace disk {
+
+/// Saves one checkpoint to `path` and returns the vectors written.
+std::pair<std::vector<double>, std::vector<double>> write_one(Checkpointer& ck,
+                                                              index_t n, index_t iter) {
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  for (auto& v : x) v = rng.uniform(-3, 3);
+  for (auto& v : d) v = rng.uniform(-3, 3);
+  ck.save(iter, x.data(), d.data());
+  return {x, d};
+}
+
+}  // namespace disk
+
+TEST(CheckpointerDisk, TruncatedFileIsRejected) {
+  const index_t n = 512;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_trunc_" + std::to_string(::getpid()) + ".bin";
+  Checkpointer ck(n, opts);
+  disk::write_one(ck, n, 5);
+
+  // Chop off the tail (checksum plus part of d): restore must refuse, not
+  // hand back a half-read state.
+  ASSERT_EQ(::truncate(opts.path.c_str(), 64), 0);
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  index_t iter = 0;
+  EXPECT_FALSE(ck.restore(x.data(), d.data(), &iter));
+}
+
+TEST(CheckpointerDisk, CorruptPayloadByteIsRejected) {
+  const index_t n = 512;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_flip_" + std::to_string(::getpid()) + ".bin";
+  Checkpointer ck(n, opts);
+  disk::write_one(ck, n, 5);
+
+  // Flip one payload byte in place: the checksum catches it.
+  {
+    std::FILE* f = std::fopen(opts.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 24 + 100 * 8 + 3, SEEK_SET), 0);  // inside x
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  index_t iter = 0;
+  EXPECT_FALSE(ck.restore(x.data(), d.data(), &iter));
+}
+
+TEST(CheckpointerDisk, ForeignFileIsRejected) {
+  const index_t n = 64;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_foreign_" + std::to_string(::getpid()) + ".bin";
+  Checkpointer ck(n, opts);
+  disk::write_one(ck, n, 2);
+
+  // Overwrite with something that is not a checkpoint at all (bad magic).
+  {
+    std::FILE* f = std::fopen(opts.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string junk(2048, 'z');
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  index_t iter = 0;
+  EXPECT_FALSE(ck.restore(x.data(), d.data(), &iter));
+}
+
+TEST(CheckpointerDisk, TrailingGarbageIsRejected) {
+  const index_t n = 64;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_tail_" + std::to_string(::getpid()) + ".bin";
+  Checkpointer ck(n, opts);
+  disk::write_one(ck, n, 2);
+
+  {
+    std::FILE* f = std::fopen(opts.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("extra", f);
+    std::fclose(f);
+  }
+  std::vector<double> x(static_cast<std::size_t>(n)), d(x.size());
+  index_t iter = 0;
+  EXPECT_FALSE(ck.restore(x.data(), d.data(), &iter));
+}
+
+TEST(CheckpointerDisk, RoundTripSurvivesIntactAndCarriesIterFromTheFile) {
+  const index_t n = 1024;
+  CheckpointOptions opts;
+  opts.path = "/tmp/feir_ckpt_ok_" + std::to_string(::getpid()) + ".bin";
+  Checkpointer ck(n, opts);
+  const auto [x, d] = disk::write_one(ck, n, 123);
+
+  std::vector<double> x2(x.size()), d2(d.size());
+  index_t iter = 0;
+  ASSERT_TRUE(ck.restore(x2.data(), d2.data(), &iter));
+  EXPECT_EQ(iter, 123);
+  EXPECT_EQ(x2, x);
+  EXPECT_EQ(d2, d);
 }
 
 TEST(Checkpointer, LaterSaveWins) {

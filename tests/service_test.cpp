@@ -1,0 +1,521 @@
+// Tests for src/service/: the strict JSON reader, the request parser's
+// malformed-frame table (mirroring the mmio hardening style: every bad frame
+// produces a clean error and never kills the connection), and a live
+// in-process server exercised over real unix-domain sockets -- admission
+// backpressure, per-request deadlines, cancellation, and clean shutdown with
+// solves in flight.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace feir::service {
+namespace {
+
+// ------------------------------------------------------------- json ----
+
+TEST(Json, ParsesScalarsStringsAndNesting) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse("{\"a\": [1, -2.5e3, true, false, null], \"b\": {\"c\": \"x\"}}",
+                         &v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 5u);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_EQ(a->items[1].number, -2500.0);
+  EXPECT_TRUE(a->items[2].boolean);
+  EXPECT_TRUE(a->items[4].is_null());
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("c")->string, "x");
+}
+
+TEST(Json, DecodesEscapesAndSurrogatePairs) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse("\"a\\n\\t\\\"\\\\ \\u00e9 \\ud83d\\ude00\"", &v, &err)) << err;
+  EXPECT_EQ(v.string, "a\n\t\"\\ \xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(Json, AcceptsRawMultibyteUtf8) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse("\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x8e\x89\"", &v, &err))
+      << err;
+  EXPECT_EQ(v.string, "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x8e\x89");
+}
+
+struct BadJsonCase {
+  const char* name;
+  std::string text;
+  const char* why_substr;  // expected fragment of the error message
+};
+
+TEST(Json, MalformedInputsFailWithPositionedErrors) {
+  const std::vector<BadJsonCase> cases = {
+      {"empty", "", "unexpected end"},
+      {"truncated object", "{\"a\": 1", "unterminated object"},
+      {"truncated array", "[1, 2", "unterminated array"},
+      {"truncated string", "\"abc", "unterminated string"},
+      {"trailing garbage", "{} x", "trailing bytes"},
+      {"two values", "1 2", "trailing bytes"},
+      {"bare word", "nope", "expected 'null'"},
+      {"leading zero", "01", "trailing bytes"},
+      {"bare minus", "-", "truncated number"},
+      {"missing fraction digits", "1.", "digit after decimal point"},
+      {"missing exponent digits", "1e+", "digit in exponent"},
+      {"nan keyword", "NaN", "unexpected character"},
+      {"single quotes", "{'a': 1}", "expected string"},
+      {"unquoted key", "{a: 1}", "expected string"},
+      {"missing colon", "{\"a\" 1}", "expected ':'"},
+      {"duplicate key", "{\"a\": 1, \"a\": 2}", "duplicate object key"},
+      {"unknown escape", "\"\\q\"", "unknown escape"},
+      {"bad hex escape", "\"\\u12zz\"", "bad hex digit"},
+      {"lone high surrogate", "\"\\ud83d\"", "lone high surrogate"},
+      {"lone low surrogate", "\"\\ude00\"", "lone low surrogate"},
+      {"control char in string", std::string("\"a\x01") + "b\"", "control character"},
+      {"bare 0x80 byte", std::string("\"a\x80") + "b\"", "invalid UTF-8 byte"},
+      {"truncated utf8 pair", std::string("\"\xc3"), "truncated UTF-8"},
+      {"bad continuation", std::string("\"\xc3\x41\""), "continuation byte"},
+      {"overlong encoding", std::string("\"\xc0\xaf\""), "overlong"},
+      {"raw surrogate utf8", std::string("\"\xed\xa0\x80\""), "surrogate"},
+      {"past U+10FFFF", std::string("\"\xf4\x90\x80\x80\""), "past U+10FFFF"},
+      {"depth bomb", std::string(64, '[') + std::string(64, ']'), "nesting too deep"},
+  };
+  for (const BadJsonCase& c : cases) {
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(json_parse(c.text, &v, &err)) << c.name;
+    EXPECT_NE(err.find(c.why_substr), std::string::npos)
+        << c.name << ": got error \"" << err << "\"";
+    EXPECT_NE(err.find("byte "), std::string::npos) << c.name << ": offset missing";
+  }
+}
+
+// --------------------------------------------------- request parsing ----
+
+TEST(Protocol, ParsesAFullSolveRequest) {
+  const ParsedRequest p = parse_request(
+      "{\"op\": \"solve\", \"id\": \"r1\", \"matrix\": \"thermal2\", \"scale\": 0.2,"
+      " \"solver\": \"cg\", \"method\": \"afeir\", \"precond\": \"blockjacobi\","
+      " \"format\": \"sell\", \"tol\": 1e-9, \"max_iter\": 5000, \"seed\": 42,"
+      " \"mtbe_iters\": 75, \"block_rows\": 128, \"deadline_ms\": 1500,"
+      " \"stream\": true}");
+  ASSERT_TRUE(p.ok) << p.message;
+  EXPECT_EQ(p.req.op, Op::Solve);
+  EXPECT_EQ(p.req.id, "r1");
+  EXPECT_EQ(p.req.spec.matrix, "thermal2");
+  EXPECT_EQ(p.req.spec.scale, 0.2);
+  EXPECT_EQ(p.req.spec.solver, campaign::SolverKind::Cg);
+  EXPECT_EQ(p.req.spec.method, Method::Afeir);
+  EXPECT_EQ(p.req.spec.precond, campaign::PrecondKind::BlockJacobi);
+  EXPECT_EQ(p.req.spec.format, SparseFormat::Sell);
+  EXPECT_EQ(p.req.spec.tol, 1e-9);
+  EXPECT_EQ(p.req.spec.max_iter, 5000);
+  EXPECT_EQ(p.req.spec.seed, 42u);
+  EXPECT_EQ(p.req.spec.inject.kind, campaign::InjectionKind::IterationMtbe);
+  EXPECT_EQ(p.req.spec.inject.mean_iters, 75.0);
+  EXPECT_EQ(p.req.spec.block_rows, 128);
+  EXPECT_EQ(p.req.deadline_ms, 1500.0);
+  EXPECT_TRUE(p.req.stream);
+  EXPECT_EQ(p.req.spec.threads, 1u) << "service solves are always single-threaded";
+}
+
+TEST(Protocol, DefaultsAreFaultFreeAndDeadlineless) {
+  const ParsedRequest p = parse_request("{\"op\": \"solve\", \"id\": \"x\"}");
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.req.spec.inject.kind, campaign::InjectionKind::None);
+  EXPECT_EQ(p.req.deadline_ms, 0.0);
+  EXPECT_FALSE(p.req.stream);
+}
+
+struct BadFrameCase {
+  const char* name;
+  std::string line;
+  const char* code;
+  const char* msg_substr;
+};
+
+// The malformed-frame table, mirroring the mmio hardening style: every entry
+// must produce the right error code with a reason, never a crash or an
+// accepted request.
+std::vector<BadFrameCase> bad_frames() {
+  return {
+      {"not json", "hello", "bad_frame", "unexpected character"},
+      {"truncated frame", "{\"op\": \"solve\", \"id\"", "bad_frame", "byte "},
+      {"bad utf8 in value", std::string("{\"op\": \"ping\", \"id\": \"a\x80\"}"),
+       "bad_frame", "invalid UTF-8"},
+      {"array frame", "[1, 2, 3]", "bad_request", "must be a JSON object"},
+      {"number frame", "42", "bad_request", "must be a JSON object"},
+      {"missing op", "{\"id\": \"a\"}", "bad_request", "missing required field op"},
+      {"non-string op", "{\"op\": 3}", "bad_request", "op must be a string"},
+      {"unknown op", "{\"op\": \"fly\"}", "bad_request", "unknown op"},
+      {"solve without id", "{\"op\": \"solve\"}", "bad_request", "requires an id"},
+      {"cancel without id", "{\"op\": \"cancel\"}", "bad_request", "requires an id"},
+      {"empty id", "{\"op\": \"solve\", \"id\": \"\"}", "bad_request", "not be empty"},
+      {"oversized id",
+       "{\"op\": \"solve\", \"id\": \"" + std::string(200, 'x') + "\"}", "bad_request",
+       "longer than 128"},
+      {"unknown field", "{\"op\": \"solve\", \"id\": \"a\", \"threads\": 8}",
+       "bad_request", "unknown field \"threads\""},
+      {"solve field on ping", "{\"op\": \"ping\", \"matrix\": \"x\"}", "bad_request",
+       "unknown field \"matrix\" for op ping"},
+      {"duplicate field", "{\"op\": \"ping\", \"id\": \"a\", \"id\": \"b\"}",
+       "bad_frame", "duplicate object key"},
+      {"wrong type matrix", "{\"op\": \"solve\", \"id\": \"a\", \"matrix\": 7}",
+       "bad_request", "matrix must be a string"},
+      {"empty matrix", "{\"op\": \"solve\", \"id\": \"a\", \"matrix\": \"\"}",
+       "bad_request", "matrix must not be empty"},
+      {"unknown solver", "{\"op\": \"solve\", \"id\": \"a\", \"solver\": \"qr\"}",
+       "bad_request", "unknown solver"},
+      {"unknown method", "{\"op\": \"solve\", \"id\": \"a\", \"method\": \"magic\"}",
+       "bad_request", "unknown method"},
+      {"unknown format", "{\"op\": \"solve\", \"id\": \"a\", \"format\": \"coo\"}",
+       "bad_request", "unknown format"},
+      {"zero tol", "{\"op\": \"solve\", \"id\": \"a\", \"tol\": 0}", "bad_request",
+       "tol must be in"},
+      {"huge scale", "{\"op\": \"solve\", \"id\": \"a\", \"scale\": 100}",
+       "bad_request", "scale must be in"},
+      {"fractional max_iter", "{\"op\": \"solve\", \"id\": \"a\", \"max_iter\": 1.5}",
+       "bad_request", "max_iter must be an integer"},
+      {"negative max_iter", "{\"op\": \"solve\", \"id\": \"a\", \"max_iter\": -1}",
+       "bad_request", "max_iter must be an integer"},
+      {"negative mtbe", "{\"op\": \"solve\", \"id\": \"a\", \"mtbe_iters\": -5}",
+       "bad_request", "mtbe_iters must be >= 0"},
+      {"seed at 2^64",
+       "{\"op\": \"solve\", \"id\": \"a\", \"seed\": 18446744073709551616}",
+       "bad_request", "seed must be an integer"},
+      {"negative deadline", "{\"op\": \"solve\", \"id\": \"a\", \"deadline_ms\": -1}",
+       "bad_request", "deadline_ms must be >= 0"},
+      {"string stream", "{\"op\": \"solve\", \"id\": \"a\", \"stream\": \"yes\"}",
+       "bad_request", "stream must be a boolean"},
+      {"tiny block_rows", "{\"op\": \"solve\", \"id\": \"a\", \"block_rows\": 4}",
+       "bad_request", "block_rows must be an integer"},
+  };
+}
+
+TEST(Protocol, MalformedFrameTableYieldsCleanErrors) {
+  for (const BadFrameCase& c : bad_frames()) {
+    const ParsedRequest p = parse_request(c.line);
+    EXPECT_FALSE(p.ok) << c.name;
+    EXPECT_EQ(p.code, c.code) << c.name << ": " << p.message;
+    EXPECT_NE(p.message.find(c.msg_substr), std::string::npos)
+        << c.name << ": got \"" << p.message << "\"";
+  }
+}
+
+TEST(Protocol, RejectedRequestsStillCarryTheIdWhenRecoverable) {
+  const ParsedRequest p =
+      parse_request("{\"op\": \"solve\", \"id\": \"req-9\", \"tol\": -1}");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.req.id, "req-9") << "error events must be correlatable";
+}
+
+// ------------------------------------------------------- live server ----
+
+/// Starts a unix-socket server for one test and connects a client to it.
+struct LiveServer {
+  std::string sock;
+  Server server;
+  Client client;
+
+  explicit LiveServer(ServerOptions opts = {}, const char* tag = "t")
+      : sock("/tmp/feir_service_test_" + std::string(tag) + "_" +
+             std::to_string(::getpid()) + ".sock"),
+        server([&] {
+          opts.unix_path = sock;
+          if (opts.workers == 0) opts.workers = 2;
+          return opts;
+        }()) {
+    std::string err;
+    EXPECT_TRUE(server.start(&err)) << err;
+    EXPECT_TRUE(client.connect_unix(sock, &err)) << err;
+  }
+};
+
+/// Parses an event line and returns the value of a string field ("" when
+/// absent), for assertions on codes/events.
+std::string field(const std::string& line, const char* key) {
+  JsonValue v;
+  std::string err;
+  if (!json_parse(line, &v, &err)) return "<unparseable: " + err + ">";
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return "";
+  if (f->is_string()) return f->string;
+  if (f->is_bool()) return f->boolean ? "true" : "false";
+  if (f->is_number()) return std::to_string(f->number);
+  return "<non-scalar>";
+}
+
+TEST(ServiceLive, PingPongAndStats) {
+  LiveServer live({}, "ping");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"p\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+  EXPECT_EQ(field(reply, "id"), "p");
+
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"stats\", \"id\": \"s\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "stats");
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(reply, &v, &err)) << err;
+  EXPECT_NE(v.find("cache"), nullptr);
+  EXPECT_NE(v.find("queue_depth"), nullptr);
+}
+
+TEST(ServiceLive, SolveConvergesAndRepeatsByteIdentically) {
+  LiveServer live({}, "solve");
+  const std::string req =
+      "{\"op\": \"solve\", \"id\": \"r\", \"matrix\": \"ecology2\", \"scale\": 0.1,"
+      " \"tol\": 1e-8, \"mtbe_iters\": 35, \"seed\": 9, \"format\": \"sell\"}";
+  std::string first, second;
+  ASSERT_TRUE(live.client.roundtrip(req, &first));
+  EXPECT_EQ(field(first, "event"), "result") << first;
+  EXPECT_EQ(field(first, "converged"), "true") << first;
+  // Second run hits the warm cache and must be byte-identical.
+  ASSERT_TRUE(live.client.roundtrip(req, &second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ServiceLive, MalformedFramesGetErrorsAndTheConnectionSurvives) {
+  ServerOptions opts;
+  opts.max_frame = 1024;  // small so the oversized case is cheap
+  LiveServer live(opts, "malformed");
+
+  // One frame of each malformed family over the live socket...
+  std::vector<std::string> frames = {
+      "this is not json",
+      "{\"op\": \"fly\"}",
+      std::string("{\"op\": \"ping\", \"id\": \"\xff\"}"),  // invalid UTF-8
+      "{\"op\": \"solve\", \"id\": \"q\", \"tol\": \"tiny\"}",
+      "{\"op\": \"solve\", \"id\": \"q\", \"volume\": 11}",
+      "{\"op\": \"solve\", \"id\": \"q\", \"matrix\": \"no_such_matrix\"}",
+      std::string(4096, ' ') + "{\"op\": \"ping\"}",  // oversized frame
+  };
+  for (const std::string& f : frames) {
+    std::string reply;
+    ASSERT_TRUE(live.client.roundtrip(f, &reply)) << f.substr(0, 40);
+    EXPECT_EQ(field(reply, "event"), "error") << reply;
+    EXPECT_FALSE(field(reply, "code").empty()) << reply;
+  }
+  // ...and the connection still serves traffic afterwards.
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"alive\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+}
+
+TEST(ServiceLive, OversizedFrameReportsTheConfiguredBound) {
+  ServerOptions opts;
+  opts.max_frame = 512;
+  LiveServer live(opts, "oversized");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"big\", \"matrix\": \"" + std::string(2000, 'm') +
+          "\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "code"), "oversized_frame") << reply;
+  EXPECT_NE(reply.find("512"), std::string::npos) << reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"ok\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+}
+
+/// A solve that cannot finish on its own within the test timeout.
+std::string endless_solve(const std::string& id, const std::string& extra = "") {
+  return "{\"op\": \"solve\", \"id\": \"" + id +
+         "\", \"matrix\": \"ecology2\", \"scale\": 0.1, \"tol\": 1e-300, "
+         "\"max_iter\": 1000000000" + extra + "}";
+}
+
+TEST(ServiceLive, CancelStopsAnInflightSolveAndNothingWedges) {
+  LiveServer live({}, "cancel");
+  ASSERT_TRUE(live.client.send_line(endless_solve("victim")));
+  // Give the worker a moment to start iterating, then cancel.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"victim\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  EXPECT_EQ(field(reply, "found"), "true");
+
+  // The victim's terminal event arrives promptly with code "cancelled".
+  ASSERT_TRUE(live.client.recv_line(&reply));
+  EXPECT_EQ(field(reply, "id"), "victim");
+  EXPECT_EQ(field(reply, "code"), "cancelled") << reply;
+
+  // Neither the connection nor the worker pool is wedged: a normal solve
+  // completes on the same connection.
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"after\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"tol\": 1e-8}",
+      &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  EXPECT_EQ(field(reply, "converged"), "true");
+}
+
+TEST(ServiceLive, FileBackedMatricesAreRefusedByDefault) {
+  LiveServer live({}, "files");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"f\", \"matrix\": \"/etc/hosts\"}", &reply));
+  EXPECT_EQ(field(reply, "code"), "bad_request") << reply;
+  EXPECT_NE(reply.find("file-backed"), std::string::npos) << reply;
+  // A '.' in the name routes to the file loader too; same refusal.
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"g\", \"matrix\": \"sneaky.mtx\"}", &reply));
+  EXPECT_EQ(field(reply, "code"), "bad_request") << reply;
+}
+
+TEST(ServiceLive, SessionCacheEvictsAtCapacityAndKeepsServing) {
+  ServerOptions opts;
+  opts.cache_capacity = 2;  // force churn across 3 distinct problem keys
+  LiveServer live(opts, "evict");
+  for (const char* scale : {"0.08", "0.1", "0.12", "0.08", "0.1"}) {
+    std::string reply;
+    ASSERT_TRUE(live.client.roundtrip(
+        std::string("{\"op\": \"solve\", \"id\": \"s") + scale +
+            "\", \"matrix\": \"ecology2\", \"scale\": " + scale +
+            ", \"tol\": 1e-8}",
+        &reply));
+    EXPECT_EQ(field(reply, "event"), "result") << reply;
+    EXPECT_EQ(field(reply, "converged"), "true");
+  }
+}
+
+TEST(ServiceLive, CancelOfUnknownIdAcksNotFound) {
+  LiveServer live({}, "cancelmiss");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"ghost\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  EXPECT_EQ(field(reply, "found"), "false");
+}
+
+TEST(ServiceLive, DeadlineExpiresAnUnfinishableSolve) {
+  LiveServer live({}, "deadline");
+  std::string reply;
+  ASSERT_TRUE(
+      live.client.roundtrip(endless_solve("slow", ", \"deadline_ms\": 200"), &reply));
+  EXPECT_EQ(field(reply, "id"), "slow");
+  EXPECT_EQ(field(reply, "code"), "deadline") << reply;
+  // Connection and pool both fine afterwards.
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"ok\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+}
+
+TEST(ServiceLive, DuplicateInflightIdIsRejected) {
+  LiveServer live({}, "dup");
+  ASSERT_TRUE(live.client.send_line(endless_solve("same")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(endless_solve("same"), &reply));
+  EXPECT_EQ(field(reply, "code"), "bad_request") << reply;
+  EXPECT_NE(reply.find("in flight"), std::string::npos);
+  // Clean up the long-running request.
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"same\"}", &reply));
+  ASSERT_TRUE(live.client.recv_line(&reply));
+  EXPECT_EQ(field(reply, "code"), "cancelled");
+}
+
+TEST(ServiceLive, AdmissionQueueBackpressureRejectsWithOverloaded) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 1;
+  LiveServer live(opts, "backpressure");
+
+  // First solve occupies the single worker, second fills the queue; the
+  // third must be rejected immediately with "overloaded".
+  ASSERT_TRUE(live.client.send_line(endless_solve("a")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(live.client.send_line(endless_solve("b")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(endless_solve("c"), &reply));
+  EXPECT_EQ(field(reply, "id"), "c");
+  EXPECT_EQ(field(reply, "code"), "overloaded") << reply;
+
+  // Cancel both survivors; each sends its terminal event; then traffic flows.
+  for (const char* id : {"a", "b"}) {
+    ASSERT_TRUE(live.client.roundtrip(
+        std::string("{\"op\": \"cancel\", \"id\": \"") + id + "\"}", &reply));
+    EXPECT_EQ(field(reply, "event"), "cancel_ack");
+    ASSERT_TRUE(live.client.recv_line(&reply));
+    EXPECT_EQ(field(reply, "code"), "cancelled") << reply;
+  }
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"ok\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+}
+
+TEST(ServiceLive, StreamedSolveEmitsMonotoneProgressThenResult) {
+  LiveServer live({}, "stream");
+  ASSERT_TRUE(live.client.send_line(
+      "{\"op\": \"solve\", \"id\": \"s\", \"matrix\": \"ecology2\", \"scale\": 0.1,"
+      " \"tol\": 1e-8, \"mtbe_iters\": 40, \"seed\": 3, \"stream\": true}"));
+  std::string line;
+  long last_iter = -1;
+  std::size_t progress = 0;
+  while (true) {
+    ASSERT_TRUE(live.client.recv_line(&line));
+    const std::string event = field(line, "event");
+    if (event == "progress") {
+      ++progress;
+      const long iter = std::strtol(field(line, "iter").c_str(), nullptr, 10);
+      // Strictly increasing, not necessarily consecutive: progress frames
+      // are advisory and dropped under write backpressure by design.
+      EXPECT_GT(iter, last_iter) << "progress events in iteration order";
+      last_iter = iter;
+      continue;
+    }
+    ASSERT_EQ(event, "result") << line;
+    break;
+  }
+  EXPECT_GT(progress, 10u);
+  EXPECT_EQ(field(line, "converged"), "true");
+}
+
+TEST(ServiceLive, ServerStopsCleanlyWithSolvesInFlight) {
+  auto live = std::make_unique<LiveServer>(ServerOptions{}, "shutdown");
+  ASSERT_TRUE(live->client.send_line(endless_solve("doomed")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // stop() cancels the in-flight solve and joins every thread; if anything
+  // wedges, the per-test timeout fails the build.
+  live->server.stop();
+  SUCCEED();
+}
+
+TEST(ServiceLive, ClientDisconnectCancelsItsInflightWork) {
+  ServerOptions opts;
+  opts.workers = 1;
+  LiveServer live(opts, "abandon");
+  ASSERT_TRUE(live.client.send_line(endless_solve("orphan")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  live.client.close();  // tenant walks away mid-solve
+
+  // The single worker must become available again: a second client's solve
+  // completes even though the orphan would have run forever.
+  Client other;
+  std::string err;
+  ASSERT_TRUE(other.connect_unix(live.sock, &err)) << err;
+  std::string reply;
+  ASSERT_TRUE(other.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"next\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"tol\": 1e-8}",
+      &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  EXPECT_EQ(field(reply, "converged"), "true");
+}
+
+}  // namespace
+}  // namespace feir::service

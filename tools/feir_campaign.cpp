@@ -34,6 +34,12 @@
 //   --scale S             testbed grid scale (default 0.35)
 //   --tol T               relative residual threshold (default 1e-10)
 //   --max-iter N          iteration cap per job (default 500000)
+//   --max-seconds S       hard wall-clock budget for the WHOLE campaign: at
+//                         S seconds a cancellation deadline fires, running
+//                         jobs stop at their next iteration, queued jobs are
+//                         skipped (error "cancelled"), and the partial
+//                         report is written.  Cancelled jobs do not fail the
+//                         exit code.
 //   --ckpt-period N       checkpoint period in iterations (default 100)
 // Output:
 //   --out FILE            JSON report (default results.json; "-" = stdout)
@@ -63,6 +69,7 @@ namespace {
 struct Args {
   GridSpec grid;
   unsigned jobs = 0;
+  double max_seconds = 0.0;  // campaign-wide hard budget; 0 = unlimited
   bool pin = false;
   std::string out = "results.json";
   std::string csv;
@@ -191,6 +198,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--scale") a.grid.scale = std::atof(next().c_str());
     else if (flag == "--tol") a.grid.tol = std::atof(next().c_str());
     else if (flag == "--max-iter") a.grid.max_iter = std::atoll(next().c_str());
+    else if (flag == "--max-seconds") a.max_seconds = std::atof(next().c_str());
     else if (flag == "--ckpt-period") a.grid.ckpt_period_iters = std::atoll(next().c_str());
     else if (flag == "--out") a.out = next();
     else if (flag == "--csv") a.csv = next();
@@ -236,9 +244,25 @@ int main(int argc, char** argv) {
     };
   }
 
+  // --max-seconds is a hard budget: the deadline token cancels the executor
+  // cooperatively (running solves unwind at their next iteration), not
+  // best-effort via per-job wall checks.
+  CancelToken budget;
+  if (args.max_seconds > 0.0) {
+    budget.set_deadline_after(args.max_seconds);
+    eopts.cancel = &budget;
+  }
+
   CampaignExecutor executor(eopts);
   const CampaignResult result = executor.run(std::move(jobs));
   const std::vector<CellSummary> cells = aggregate(result);
+
+  std::size_t cancelled = 0;
+  for (const JobResult& r : result.results) cancelled += r.cancelled ? 1 : 0;
+  if (cancelled > 0)
+    std::printf("campaign cancelled by --max-seconds %.3g: %zu of %zu jobs stopped or "
+                "skipped\n",
+                args.max_seconds, cancelled, result.results.size());
 
   // Per-cell console summary.
   Table t;
@@ -271,8 +295,10 @@ int main(int argc, char** argv) {
   }
 
   // Nonzero exit when any job failed to run (not when a solve merely hit its
-  // iteration cap: divergence under errors is a legitimate measurement).
+  // iteration cap — divergence under errors is a legitimate measurement —
+  // and not when the --max-seconds budget skipped it: a partial campaign is
+  // a valid outcome).
   for (const JobResult& r : result.results)
-    if (!r.ran) return 1;
+    if (!r.ran && !r.cancelled) return 1;
   return 0;
 }

@@ -1,0 +1,123 @@
+// feir_client — command-line client for feir_serve.
+//
+//   feir_client --unix /tmp/feir.sock --ping
+//   feir_client --tcp 7414 --request '{"op":"solve","id":"r1","matrix":"ecology2","scale":0.2,"tol":1e-8}'
+//   printf '%s\n' '{"op":"stats"}' | feir_client --unix /tmp/feir.sock
+//
+// Flags:
+//   --unix PATH          connect to a unix-domain listener
+//   --tcp PORT           connect to 127.0.0.1:PORT
+//   --host ADDR          IPv4 address for --tcp (default 127.0.0.1)
+//   --ping               send a ping, expect a pong, exit
+//   --request JSON       send one request frame (repeatable, in order)
+//
+// Without --ping/--request, request lines are read from stdin.  Every event
+// the server sends (including progress streams) is printed to stdout, one
+// line each; the client exits once every sent request has received its
+// terminal event (result / error / pong / stats / cancel_ack).  Exit status
+// is 1 if any terminal event was an error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/json.hpp"
+
+using namespace feir::service;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "feir_client: %s\n(see the header of tools/feir_client.cpp)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+/// A terminal event ends one request's event stream; progress does not.
+bool is_terminal(const std::string& line) {
+  JsonValue v;
+  std::string err;
+  if (!json_parse(line, &v, &err)) return true;  // unparseable: count it
+  const JsonValue* ev = v.find("event");
+  return ev == nullptr || !ev->is_string() || ev->string != "progress";
+}
+
+bool is_error(const std::string& line) {
+  JsonValue v;
+  std::string err;
+  if (!json_parse(line, &v, &err)) return true;
+  const JsonValue* ev = v.find("event");
+  return ev != nullptr && ev->is_string() && ev->string == "error";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int tcp_port = -1;
+  bool ping = false;
+  std::vector<std::string> requests;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--unix") unix_path = next();
+    else if (flag == "--tcp") tcp_port = std::atoi(next().c_str());
+    else if (flag == "--host") host = next();
+    else if (flag == "--ping") ping = true;
+    else if (flag == "--request") requests.push_back(next());
+    else usage("unknown flag " + flag);
+  }
+  if (unix_path.empty() && tcp_port < 0) usage("need --unix PATH or --tcp PORT");
+
+  Client client;
+  std::string err;
+  const bool ok = !unix_path.empty() ? client.connect_unix(unix_path, &err)
+                                     : client.connect_tcp(host, tcp_port, &err);
+  if (!ok) {
+    std::fprintf(stderr, "feir_client: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (ping) requests.insert(requests.begin(), "{\"op\": \"ping\", \"id\": \"ping\"}");
+  if (requests.empty()) {
+    // Stdin mode: forward every line as a request frame.
+    char buf[1 << 16];
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if (requests.empty()) usage("nothing to send");
+
+  for (const std::string& r : requests) {
+    if (!client.send_line(r)) {
+      std::fprintf(stderr, "feir_client: connection lost while sending\n");
+      return 1;
+    }
+  }
+
+  std::size_t terminals = 0;
+  bool any_error = false;
+  std::string line;
+  while (terminals < requests.size() && client.recv_line(&line)) {
+    std::printf("%s\n", line.c_str());
+    if (is_terminal(line)) {
+      ++terminals;
+      any_error = any_error || is_error(line);
+    }
+  }
+  if (terminals < requests.size()) {
+    std::fprintf(stderr, "feir_client: connection closed with %zu responses pending\n",
+                 requests.size() - terminals);
+    return 1;
+  }
+  return any_error ? 1 : 0;
+}

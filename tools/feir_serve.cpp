@@ -1,0 +1,104 @@
+// feir_serve — long-running multi-tenant resilient-solve daemon.
+//
+// Speaks the line-delimited JSON protocol of src/service/protocol.hpp over a
+// unix and/or TCP socket.  Problems, SELL conversions, and preconditioner
+// factorizations are cached across requests (src/service/session.hpp), so a
+// warm server answers repeat solves at pure solve cost.
+//
+//   feir_serve --unix /tmp/feir.sock
+//   feir_serve --tcp 7414 --workers 8 --queue-depth 128
+//   feir_serve --tcp 0            # ephemeral port, printed on stdout
+//
+// Flags:
+//   --unix PATH          unix-domain listener (unlinked on start/stop)
+//   --tcp PORT           TCP listener on 127.0.0.1 (0 = ephemeral)
+//   --workers N          solve workers (default FEIR_THREADS, else
+//                        min(cores, 8))
+//   --queue-depth N      admission queue bound; further solves are rejected
+//                        with "overloaded" (default 64)
+//   --max-frame BYTES    longest accepted request line (default 262144)
+//   --deadline-ms MS     default per-request deadline when the request
+//                        carries none (default: unlimited)
+//   --cache-entries N    session-cache bound per kind (problems/backends/
+//                        preconds), LRU-evicted; 0 = unbounded (default 64)
+//   --allow-matrix-files accept "matrix" values naming MatrixMarket files;
+//                        off by default (a shared daemon should not read
+//                        arbitrary local paths for tenants)
+//
+// The daemon runs until SIGINT/SIGTERM, then cancels in-flight solves and
+// exits cleanly.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+using namespace feir;
+using namespace feir::service;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "feir_serve: %s\n(see the header of tools/feir_serve.cpp)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--unix") opts.unix_path = next();
+    else if (flag == "--tcp") opts.tcp_port = std::atoi(next().c_str());
+    else if (flag == "--workers") opts.workers = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--queue-depth") opts.queue_depth = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (flag == "--max-frame") opts.max_frame = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (flag == "--deadline-ms") opts.default_deadline_s = std::atof(next().c_str()) / 1000.0;
+    else if (flag == "--cache-entries") opts.cache_capacity = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (flag == "--allow-matrix-files") opts.allow_matrix_files = true;
+    else usage("unknown flag " + flag);
+  }
+  if (opts.unix_path.empty() && opts.tcp_port < 0)
+    usage("need at least one listener: --unix PATH and/or --tcp PORT");
+
+  // Block the shutdown signals before threads spawn, so they are delivered
+  // to sigwait below rather than to a worker mid-solve.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "feir_serve: %s\n", err.c_str());
+    return 1;
+  }
+  if (!opts.unix_path.empty())
+    std::printf("feir_serve: listening on unix %s\n", opts.unix_path.c_str());
+  if (opts.tcp_port >= 0)
+    std::printf("feir_serve: listening on tcp 127.0.0.1:%d\n", server.tcp_port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("feir_serve: signal %s, shutting down\n", strsignal(sig));
+  server.stop();
+
+  const Server::Counters c = server.counters();
+  std::printf("feir_serve: served %llu requests (%llu completed, %llu rejected, "
+              "%llu cancelled, %llu deadline-expired) on %llu connections\n",
+              (unsigned long long)c.requests, (unsigned long long)c.completed,
+              (unsigned long long)c.rejected_overload, (unsigned long long)c.cancelled,
+              (unsigned long long)c.deadline_expired, (unsigned long long)c.connections);
+  return 0;
+}
