@@ -4,11 +4,15 @@
 // (the recovery cost), the lossy interpolation, checkpoint writes, and
 // task-runtime overhead.
 //
-// `bench_kernels --smoke` skips google-benchmark and runs the format
-// comparison through the real chunked batch path (BatchOps at 8 workers),
-// seeds BENCH_spmv.json, and exits nonzero if SELL-C-σ SpMV falls below
-// 1.2x the scalar CSR throughput on the 27-point stencil — the CI guard
-// against the SIMD kernel silently regressing.  Knobs:
+// `bench_kernels --smoke` skips google-benchmark and runs two gated checks
+// through the real chunked batch path (BatchOps at 8 workers):
+//   * the format comparison, seeding BENCH_spmv.json and failing if
+//     SELL-C-σ SpMV falls below 1.2x the scalar CSR throughput on the
+//     27-point stencil;
+//   * the multi-RHS sweep, seeding BENCH_spmm.json and failing if the fused
+//     SpMM falls below 1.3x the throughput of k independent SpMVs at k = 8
+//     on the same stencil (the batched-solve bandwidth win).
+// Knobs:
 //   FEIR_BENCH_SPMV_EDGE     stencil grid edge          (default 24)
 //   FEIR_BENCH_SPMV_WORKERS  batch worker threads       (default 8)
 #include <benchmark/benchmark.h>
@@ -87,6 +91,32 @@ void BM_SpmvStencilSell(benchmark::State& state) {
   state.counters["fill"] = S.fill();
 }
 BENCHMARK(BM_SpmvStencilSell)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Multi-RHS sweep: the fused SpMM against k independent SpMVs, per backend.
+void BM_SpmmStencilCsr(benchmark::State& state) {
+  const CsrMatrix& A = stencil27();
+  const auto k = static_cast<index_t>(state.range(0));
+  std::vector<double> X(static_cast<std::size_t>(A.n * k), 1.0), Y(X.size());
+  for (auto _ : state) {
+    spmm(A, X.data(), Y.data(), k);
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * A.nnz() * k);
+}
+BENCHMARK(BM_SpmmStencilCsr)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SpmmStencilSell(benchmark::State& state) {
+  const CsrMatrix& A = stencil27();
+  const SellMatrix S = sell_from_csr(A, 32, 64);
+  const auto k = static_cast<index_t>(state.range(0));
+  std::vector<double> X(static_cast<std::size_t>(A.n * k), 1.0), Y(X.size());
+  for (auto _ : state) {
+    spmm(S, X.data(), Y.data(), k);
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * A.nnz() * k);
+}
+BENCHMARK(BM_SpmmStencilSell)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 // One page-sized row subset through the sliced storage: the recovery
 // footprint path (relation q_i = sum_j A_ij d_j addresses original rows).
@@ -333,11 +363,118 @@ int spmv_smoke() {
   return 0;
 }
 
+/// One timing sample of the fused product: `rounds` chained SpMMs staged as
+/// one TaskBatch over `workers` row chunks.  Returns seconds per SpMM.
+double time_spmm_rounds(Runtime& rt, const SparseMatrix& M, unsigned workers,
+                        int rounds, const double* X, double* Y, index_t k) {
+  Stopwatch clock;
+  TaskBatch tb(rt);
+  BatchOps ops(tb, M.n(), workers);
+  // k = 1 is the baseline leg: the dedicated SpMV kernel, so the gate
+  // compares the fused sweep against what k independent solves actually pay.
+  for (int r = 0; r < rounds; ++r) {
+    if (k == 1)
+      ops.spmv(M, X, Y);
+    else
+      ops.spmm(M, X, Y, k);
+  }
+  ops.run();
+  return clock.seconds() / rounds;
+}
+
+/// The batched-solve gate: fused SpMM vs k independent SpMVs on the same
+/// backend, swept over k, seeding BENCH_spmm.json.  CI fails when the k = 8
+/// ratio drops below 1.3x on either backend's best — the whole point of the
+/// multi-RHS path is to beat k single sweeps.
+int spmm_smoke() {
+  const index_t edge = env_long("FEIR_BENCH_SPMV_EDGE", 24);
+  const auto workers =
+      static_cast<unsigned>(env_long("FEIR_BENCH_SPMV_WORKERS", 8));
+  const int rounds = 24, reps = 11;
+  const CsrMatrix A = stencil3d_27pt(edge, edge, edge);
+  std::printf("spmm smoke: stencil3d_27pt edge=%lld n=%lld nnz=%lld, %u workers, "
+              "%d rounds x %d reps\n",
+              (long long)edge, (long long)A.n, (long long)A.nnz(), workers, rounds,
+              reps);
+
+  struct Config {
+    std::string name;
+    SparseMatrix M;
+    index_t k;  // 1 = the SpMV baseline
+    std::vector<double> lat;
+  };
+  std::vector<Config> configs;
+  const SparseMatrix csr(A);
+  const SparseMatrix sell = SparseMatrix::make(A, SparseFormat::Sell, 32, 64);
+  for (index_t k : {1, 2, 4, 8, 16}) {
+    configs.push_back({"csr/k" + std::to_string(k), csr, k, {}});
+    configs.push_back({"sell_c32/k" + std::to_string(k), sell, k, {}});
+  }
+
+  std::vector<double> X(static_cast<std::size_t>(A.n) * 16);
+  std::vector<double> Y(X.size(), 0.0);
+  {
+    Rng rng(1);
+    for (auto& v : X) v = rng.uniform(-1, 1);
+  }
+  Runtime rt(workers);
+  for (Config& cfg : configs)  // warm code, caches, and the SELL structure
+    time_spmm_rounds(rt, cfg.M, workers, 4, X.data(), Y.data(), cfg.k);
+  // Round-robin reps so machine-speed drift biases every config equally.
+  for (int rep = 0; rep < reps; ++rep)
+    for (Config& cfg : configs)
+      cfg.lat.push_back(
+          time_spmm_rounds(rt, cfg.M, workers, rounds, X.data(), Y.data(), cfg.k));
+
+  std::vector<bench::BenchRecord> records;
+  double csr_spmv = 0.0, sell_spmv = 0.0, csr_spmm8 = 0.0, sell_spmm8 = 0.0;
+  for (Config& cfg : configs) {
+    std::vector<double> lat = cfg.lat;
+    std::sort(lat.begin(), lat.end());
+    const double best = lat.front();
+    bench::BenchRecord rec;
+    rec.name = "spmm/stencil27_e" + std::to_string(edge) + "/" + cfg.name;
+    rec.threads = workers;
+    // nnz*k products per sweep: the throughput a tenant's k solves see.
+    rec.tasks_per_sec = static_cast<double>(A.nnz() * cfg.k) / best;
+    rec.p50_latency_us = lat[lat.size() / 2] * 1e6;
+    rec.p95_latency_us = lat[std::min(lat.size() - 1, lat.size() * 95 / 100)] * 1e6;
+    records.push_back(rec);
+    if (cfg.name == "csr/k1") csr_spmv = best;
+    if (cfg.name == "sell_c32/k1") sell_spmv = best;
+    if (cfg.name == "csr/k8") csr_spmm8 = best;
+    if (cfg.name == "sell_c32/k8") sell_spmm8 = best;
+    std::printf("  %-28s %8.1f us/sweep  %6.2f Gprod/s\n", rec.name.c_str(),
+                rec.p50_latency_us, rec.tasks_per_sec / 1e9);
+  }
+
+  if (!bench::write_bench_json("BENCH_spmm.json", "spmm", records)) {
+    std::fprintf(stderr, "bench_kernels: cannot write BENCH_spmm.json\n");
+    return 1;
+  }
+  const double csr_ratio = csr_spmm8 > 0.0 ? 8.0 * csr_spmv / csr_spmm8 : 0.0;
+  const double sell_ratio = sell_spmm8 > 0.0 ? 8.0 * sell_spmv / sell_spmm8 : 0.0;
+  const double ratio = std::max(csr_ratio, sell_ratio);
+  std::printf("SpMM k=8 vs 8 SpMVs: csr %.2fx, sell %.2fx (gate: best >= 1.3x)\n",
+              csr_ratio, sell_ratio);
+  if (ratio < 1.3) {
+    std::fprintf(stderr,
+                 "bench_kernels: SpMM regressed below 1.3x of k SpMVs at k=8 (%.2fx)\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) return spmv_smoke();
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      const int spmv_rc = spmv_smoke();
+      const int spmm_rc = spmm_smoke();
+      return spmv_rc != 0 ? spmv_rc : spmm_rc;
+    }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

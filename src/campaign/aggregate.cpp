@@ -12,8 +12,8 @@ namespace {
 
 auto key_tuple(const CellKey& k) {
   return std::make_tuple(k.matrix, static_cast<int>(k.solver), static_cast<int>(k.method),
-                         static_cast<int>(k.precond), static_cast<int>(k.inject_kind),
-                         k.inject_rate);
+                         static_cast<int>(k.precond), k.nrhs,
+                         static_cast<int>(k.inject_kind), k.inject_rate);
 }
 
 }  // namespace
@@ -31,6 +31,9 @@ std::string CellKey::label() const {
   }
   s += "/";
   s += precond_name(precond);
+  // The batch width shows up only when swept, so single-RHS labels (and the
+  // golden reports built from them) are unchanged.
+  if (nrhs > 1) s += "/nrhs=" + std::to_string(nrhs);
   if (inject_kind != InjectionKind::None) {
     s += "/";
     s += injection_name(inject_kind);
@@ -45,6 +48,7 @@ CellKey cell_of(const JobSpec& spec) {
   k.solver = spec.solver;
   k.method = spec.method;
   k.precond = spec.precond;
+  k.nrhs = spec.nrhs;
   k.inject_kind = spec.inject.kind;
   k.inject_rate = spec.inject.rate();
   return k;

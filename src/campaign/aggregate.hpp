@@ -22,6 +22,7 @@ struct CellKey {
   SolverKind solver = SolverKind::Cg;
   Method method = Method::Feir;
   PrecondKind precond = PrecondKind::None;
+  index_t nrhs = 1;          ///< batch width; labelled only when > 1
   InjectionKind inject_kind = InjectionKind::None;
   double inject_rate = 0.0;
 

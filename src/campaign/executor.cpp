@@ -10,6 +10,7 @@
 
 #include "campaign/injection.hpp"
 #include "core/resilient_bicgstab.hpp"
+#include "core/resilient_block_cg.hpp"
 #include "core/resilient_cg.hpp"
 #include "core/resilient_gmres.hpp"
 #include "fault/injector.hpp"
@@ -116,6 +117,95 @@ JobResult run_with_injection(const JobSpec& spec, Solver& solver, index_t n,
   return out;
 }
 
+/// The batched (nrhs > 1) job path: one ResilientBlockCg over the
+/// block_rhs() family, each column injected by its own deterministic
+/// iteration-space process (seed derived from the job seed and the column).
+JobResult run_block_job(const JobSpec& spec, const TestbedProblem& p,
+                        const SparseMatrix& S, const RunJobExtras& extras) {
+  JobResult out;
+  if (spec.solver != SolverKind::Cg)
+    throw std::invalid_argument("batched solves (nrhs > 1) support solver cg only");
+  if (spec.precond != PrecondKind::None)
+    throw std::invalid_argument("batched solves (nrhs > 1) support precond none only");
+  if (spec.inject.kind == InjectionKind::WallClockMtbe ||
+      spec.inject.kind == InjectionKind::SingleAtTime)
+    throw std::invalid_argument(
+        "batched solves inject deterministically: use mtbe_iters (or none)");
+  if (!spec.ckpt_path.empty())
+    throw std::invalid_argument(
+        "batched ckpt checkpoints are in-memory per column; ckpt_path is not supported");
+
+  ResilientBlockCgOptions opts;
+  opts.tol = spec.tol;
+  opts.max_iter = spec.max_iter;
+  opts.max_seconds = spec.max_seconds;
+  opts.cancel = extras.cancel;
+  opts.col_cancel = extras.col_cancel;
+  opts.method = spec.method;
+  opts.block_rows = spec.block_rows;
+  opts.threads = spec.threads;
+  opts.pin_threads = spec.pin_threads;
+  opts.ckpt_period_iters = spec.ckpt_period_iters;
+  opts.record_history = spec.record_history;
+
+  // The hook captures the injector slots by reference; they are bound to the
+  // solver's per-column domains right after construction, before solve().
+  std::vector<std::unique_ptr<IterationInjector>> injectors(
+      static_cast<std::size_t>(spec.nrhs));
+  auto errors_total = [&injectors] {
+    std::uint64_t n = 0;
+    for (const auto& inj : injectors)
+      if (inj) n += inj->count();
+    return n;
+  };
+  opts.on_col_iteration = [&injectors, &extras, errors_total](index_t col,
+                                                              const IterRecord& rec) {
+    if (injectors[static_cast<std::size_t>(col)])
+      injectors[static_cast<std::size_t>(col)]->on_iteration(rec.iter);
+    if (extras.progress_col) extras.progress_col(col, rec, errors_total());
+  };
+
+  const std::vector<double> B = block_rhs(p.b, spec.nrhs, spec.seed);
+  ResilientBlockCg solver(S, B.data(), spec.nrhs, opts);
+  // Column j's fault process draws from a different stream than column j's
+  // RHS scaling (block_rhs uses derive_job_seed(seed, j) directly): the salt
+  // keeps the two processes statistically independent.
+  constexpr std::uint64_t kInjectStream = 0x16EC7ED5EEDULL;
+  if (spec.inject.kind == InjectionKind::IterationMtbe && spec.inject.mean_iters > 0)
+    for (index_t j = 0; j < spec.nrhs; ++j)
+      injectors[static_cast<std::size_t>(j)] = std::make_unique<IterationInjector>(
+          solver.domain(j), spec.inject.mean_iters,
+          derive_job_seed(spec.seed ^ kInjectStream, static_cast<std::uint64_t>(j)));
+
+  std::vector<double> X(static_cast<std::size_t>(p.A.n * spec.nrhs), 0.0);
+  const ResilientBlockCgResult r = solver.solve(X.data());
+
+  out.ran = true;
+  out.converged = r.converged;
+  out.cancelled = r.cancelled;
+  out.iterations = r.iterations;
+  out.seconds = r.seconds;
+  out.stats = r.stats;
+  out.tasks = r.tasks;
+  out.states = r.states;
+  out.history = r.history;
+  out.errors_injected = errors_total();
+  out.columns.reserve(r.columns.size());
+  for (std::size_t j = 0; j < r.columns.size(); ++j) {
+    ColumnOutcome c;
+    c.converged = r.columns[j].converged;
+    c.cancelled = r.columns[j].cancelled;
+    c.iterations = r.columns[j].iterations;
+    c.final_relres = r.columns[j].final_relres;
+    c.errors_injected = injectors[j] ? injectors[j]->count() : 0;
+    out.final_relres = std::max(out.final_relres, c.final_relres);
+    out.columns.push_back(c);
+  }
+  if (extras.cancel != nullptr && extras.cancel->cancelled() && !out.converged)
+    out.cancelled = true;
+  return out;
+}
+
 }  // namespace
 
 CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(std::move(opts)) {}
@@ -140,6 +230,12 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
     // relations keep addressing the CSR reference either way.
     const SparseMatrix S =
         extras.S != nullptr ? *extras.S : SparseMatrix::make(p.A, spec.format);
+
+    // Multi-RHS specs take the block path; so does a width-1 spec whose
+    // caller armed per-column extras (the service's solve_batch keeps one
+    // uniform result schema across widths).
+    if (spec.nrhs > 1 || !extras.col_cancel.empty())
+      return run_block_job(spec, p, S, extras);
 
     // The solver's per-iteration callback: injection first, then the
     // caller's progress stream (which sees the post-injection error count).

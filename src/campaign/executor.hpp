@@ -37,20 +37,30 @@
 
 namespace feir::campaign {
 
+/// Per-column outcome of a batched (nrhs > 1) job.
+struct ColumnOutcome {
+  bool converged = false;
+  bool cancelled = false;
+  index_t iterations = 0;
+  double final_relres = 0.0;
+  std::uint64_t errors_injected = 0;
+};
+
 /// Outcome of one campaign job.
 struct JobResult {
   bool ran = false;          ///< false: setup failed or cancelled, see `error`
   std::string error;
   bool cancelled = false;    ///< stopped by a CancelToken (flag or deadline)
-  bool converged = false;
-  index_t iterations = 0;
-  double final_relres = 0.0;
+  bool converged = false;    ///< batched jobs: every column converged
+  index_t iterations = 0;    ///< batched jobs: outer (fused) iterations
+  double final_relres = 0.0; ///< batched jobs: worst column
   double seconds = 0.0;
   std::uint64_t errors_injected = 0;
   std::uint64_t tasks = 0;          ///< runtime tasks (CG only)
   RecoveryStats stats;
   Runtime::StateTimes states;       ///< CG only
   std::vector<IterRecord> history;  ///< when spec.record_history
+  std::vector<ColumnOutcome> columns;  ///< nrhs > 1 only: one entry per RHS
 };
 
 /// A finished campaign: specs and results share indices.
@@ -88,7 +98,14 @@ struct RunJobExtras {
   const CancelToken* cancel = nullptr;
   /// Called after every solver iteration with the record and the number of
   /// errors injected so far; may be empty.  Runs on the job's host thread.
+  /// Single-RHS jobs only — the block path reports through progress_col.
   std::function<void(const IterRecord&, std::uint64_t errors_so_far)> progress;
+  /// Batched jobs (spec.nrhs > 1) only: per-column cancellation tokens
+  /// (empty or spec.nrhs entries, each may be null) and a per-column
+  /// progress stream (the service's solve_batch wiring).
+  std::vector<const CancelToken*> col_cancel;
+  std::function<void(index_t col, const IterRecord&, std::uint64_t errors_so_far)>
+      progress_col;
 };
 
 class CampaignExecutor {

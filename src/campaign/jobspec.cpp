@@ -70,35 +70,56 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
         // ignores it, so emit exactly one job per remaining coordinate and
         // pin a canonical method to keep cell keys unambiguous.
         if (solver != SolverKind::Cg && method != grid.methods.front()) continue;
-        for (PrecondKind precond : grid.preconds)
-          for (const Injection& inject : grid.injections)
-            for (int rep = 0; rep < grid.replicas; ++rep) {
-              JobSpec j;
-              j.index = jobs.size();
-              j.matrix = matrix;
-              j.scale = grid.scale;
-              j.solver = solver;
-              j.method = solver == SolverKind::Cg ? method : Method::Ideal;
-              j.precond = precond;
-              j.format = grid.format;
-              j.inject = inject;
-              j.replica = rep;
-              j.seed = derive_job_seed(grid.campaign_seed, j.index);
-              j.tol = grid.tol;
-              j.max_iter = grid.max_iter;
-              j.max_seconds = grid.max_seconds;
-              j.block_rows = grid.block_rows;
-              j.threads = grid.threads;
-              j.pin_threads = grid.pin_threads;
-              j.gmres_restart = grid.gmres_restart;
-              j.ckpt_period_iters = grid.ckpt_period_iters;
-              if (j.method == Method::Checkpoint &&
-                  inject.kind == InjectionKind::WallClockMtbe)
-                j.expected_mtbe_s = inject.mtbe_s;
-              jobs.push_back(std::move(j));
-            }
+        for (index_t nrhs : grid.nrhs) {
+          // The batch-width axis is likewise CG-only.
+          if (solver != SolverKind::Cg && nrhs != grid.nrhs.front()) continue;
+          for (PrecondKind precond : grid.preconds)
+            for (const Injection& inject : grid.injections)
+              for (int rep = 0; rep < grid.replicas; ++rep) {
+                JobSpec j;
+                j.index = jobs.size();
+                j.matrix = matrix;
+                j.scale = grid.scale;
+                j.solver = solver;
+                j.method = solver == SolverKind::Cg ? method : Method::Ideal;
+                j.precond = precond;
+                j.format = grid.format;
+                j.nrhs = solver == SolverKind::Cg ? nrhs : 1;
+                j.inject = inject;
+                j.replica = rep;
+                j.seed = derive_job_seed(grid.campaign_seed, j.index);
+                j.tol = grid.tol;
+                j.max_iter = grid.max_iter;
+                j.max_seconds = grid.max_seconds;
+                j.block_rows = grid.block_rows;
+                j.threads = grid.threads;
+                j.pin_threads = grid.pin_threads;
+                j.gmres_restart = grid.gmres_restart;
+                j.ckpt_period_iters = grid.ckpt_period_iters;
+                if (j.method == Method::Checkpoint &&
+                    inject.kind == InjectionKind::WallClockMtbe)
+                  j.expected_mtbe_s = inject.mtbe_s;
+                jobs.push_back(std::move(j));
+              }
+        }
       }
   return jobs;
+}
+
+std::vector<double> block_rhs(const std::vector<double>& b, index_t k,
+                              std::uint64_t seed) {
+  std::vector<double> B(b.size() * static_cast<std::size_t>(k));
+  const auto n = static_cast<index_t>(b.size());
+  for (index_t i = 0; i < n; ++i) B[static_cast<std::size_t>(i * k)] = b[static_cast<std::size_t>(i)];
+  for (index_t j = 1; j < k; ++j) {
+    // One independent stream per column, so a width-m batch's column j
+    // equals a width-k batch's column j for any m, k > j.
+    Rng rng(derive_job_seed(seed, static_cast<std::uint64_t>(j)));
+    for (index_t i = 0; i < n; ++i)
+      B[static_cast<std::size_t>(i * k + j)] =
+          b[static_cast<std::size_t>(i)] * rng.uniform(0.5, 1.5);
+  }
+  return B;
 }
 
 }  // namespace feir::campaign

@@ -75,6 +75,10 @@ struct JobSpec {
   /// bit-identical on the SpMV path, so at threads == 1 the format does not
   /// change iterations, residuals, or recovery counts -- only speed.
   SparseFormat format = SparseFormat::Csr;
+  /// Right-hand sides solved as one batch (CG only).  1 = the classic
+  /// single-RHS path; > 1 runs ResilientBlockCg over block_rhs() columns,
+  /// paying one fused matrix sweep (SpMM) per iteration for all columns.
+  index_t nrhs = 1;
   Injection inject;
   int replica = 0;
   std::uint64_t seed = 1;     ///< derive_job_seed(campaign_seed, index)
@@ -100,6 +104,9 @@ struct GridSpec {
   std::vector<Method> methods{Method::Feir};
   std::vector<PrecondKind> preconds{PrecondKind::None};
   std::vector<Injection> injections{Injection{}};
+  /// Batch-width axis (feir_campaign --nrhs 1,4,8): sweeps how many RHS are
+  /// fused per job.  Applies to CG jobs; other solvers stay single-RHS.
+  std::vector<index_t> nrhs{1};
   int replicas = 1;
 
   std::uint64_t campaign_seed = 1;
@@ -120,7 +127,8 @@ struct GridSpec {
   std::size_t size() const {
     std::size_t method_jobs = 0;
     for (SolverKind s : solvers)
-      method_jobs += s == SolverKind::Cg ? methods.size() : 1;
+      method_jobs += (s == SolverKind::Cg ? methods.size() : 1) *
+                     (s == SolverKind::Cg ? nrhs.size() : 1);
     return matrices.size() * method_jobs * preconds.size() * injections.size() *
            static_cast<std::size_t>(replicas);
   }
@@ -138,5 +146,13 @@ inline std::uint64_t derive_job_seed(std::uint64_t campaign_seed, std::uint64_t 
 /// wall-clock injection get expected_mtbe_s = mtbe_s (the period model input
 /// the benches use).
 std::vector<JobSpec> expand_grid(const GridSpec& grid);
+
+/// The deterministic right-hand-side family of a batched job: column 0 is
+/// the problem's own b, column j > 0 is b with a seeded element-wise scaling
+/// in [0.5, 1.5] (a "family of load vectors" on one system).  Row-major
+/// n x k, byte-stable for a given (b, k, seed) — service results replay
+/// across restarts.
+std::vector<double> block_rhs(const std::vector<double>& b, index_t k,
+                              std::uint64_t seed);
 
 }  // namespace feir::campaign

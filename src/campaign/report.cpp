@@ -167,6 +167,9 @@ std::string job_record_json(const JobSpec& spec, const JobResult& result, bool t
   j.field("tol", jnum(spec.tol));
   j.field("block_rows", jnum(spec.block_rows));
   j.field("format", jstr(format_name(spec.format)));
+  // Only batched jobs carry the width (and, below, the per-column records),
+  // so single-RHS reports — including every golden — are byte-unchanged.
+  if (spec.nrhs > 1) j.field("nrhs", jnum(spec.nrhs));
   j.field("threads", jnum(static_cast<std::uint64_t>(spec.threads)));
   if (!result.ran) {
     j.field("error", jstr(result.error));
@@ -180,6 +183,23 @@ std::string job_record_json(const JobSpec& spec, const JobResult& result, bool t
   j.field("relres", jnum(result.final_relres));
   j.field("errors_injected", jnum(result.errors_injected));
   j.field("stats", stats_json(result.stats));
+  if (!result.columns.empty()) {
+    std::string cols = "[";
+    for (std::size_t c = 0; c < result.columns.size(); ++c) {
+      const ColumnOutcome& col = result.columns[c];
+      Json cj(0);
+      cj.field("col", jnum(static_cast<std::uint64_t>(c)));
+      cj.field("converged", col.converged ? "true" : "false");
+      if (col.cancelled) cj.field("cancelled", "true");
+      cj.field("iterations", jnum(col.iterations));
+      cj.field("relres", jnum(col.final_relres));
+      cj.field("errors_injected", jnum(col.errors_injected));
+      cols += cj.inline_object();
+      if (c + 1 < result.columns.size()) cols += ", ";
+    }
+    cols += "]";
+    j.field("columns", cols);
+  }
   if (timing) {
     j.field("seconds", jnum(result.seconds));
     j.field("tasks", jnum(result.tasks));
@@ -239,7 +259,13 @@ std::string campaign_json(const CampaignResult& c, const std::vector<CellSummary
 }
 
 std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
-  std::string out = "matrix,solver,method,precond,inject_kind,inject_rate,jobs,failed,converged";
+  // The nrhs key column appears only when some cell actually swept the batch
+  // width, so single-RHS reports (and their goldens) are byte-unchanged.
+  bool batched = false;
+  for (const CellSummary& cell : cells) batched = batched || cell.key.nrhs > 1;
+  std::string out = "matrix,solver,method,precond";
+  if (batched) out += ",nrhs";
+  out += ",inject_kind,inject_rate,jobs,failed,converged";
   summary_csv_header(out, "iters");
   summary_csv_header(out, "relres");
   summary_csv_header(out, "errors");
@@ -250,6 +276,7 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
     out += std::string(",") + solver_name(cell.key.solver);
     out += std::string(",") + method_cli_name(cell.key.method);
     out += std::string(",") + precond_name(cell.key.precond);
+    if (batched) out += "," + std::to_string(cell.key.nrhs);
     out += std::string(",") + injection_name(cell.key.inject_kind);
     out += "," + jnum(cell.key.inject_rate);
     out += "," + std::to_string(cell.jobs);
@@ -265,9 +292,12 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
 }
 
 std::string jobs_csv(const CampaignResult& c, bool timing) {
-  std::string out =
-      "index,matrix,solver,method,precond,format,inject_kind,inject_rate,replica,"
-      "seed,converged,iterations,relres,errors_injected";
+  bool batched = false;
+  for (const JobSpec& s : c.specs) batched = batched || s.nrhs > 1;
+  std::string out = "index,matrix,solver,method,precond,format";
+  if (batched) out += ",nrhs";
+  out += ",inject_kind,inject_rate,replica,seed,converged,iterations,relres,"
+         "errors_injected";
   if (timing) out += ",seconds";
   out += "\n";
   for (std::size_t i = 0; i < c.specs.size(); ++i) {
@@ -279,6 +309,7 @@ std::string jobs_csv(const CampaignResult& c, bool timing) {
     out += std::string(",") + method_cli_name(s.method);
     out += std::string(",") + precond_name(s.precond);
     out += std::string(",") + format_name(s.format);
+    if (batched) out += "," + std::to_string(s.nrhs);
     out += std::string(",") + injection_name(s.inject.kind);
     out += "," + jnum(s.inject.rate());
     out += "," + std::to_string(s.replica);

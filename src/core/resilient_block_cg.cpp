@@ -1,0 +1,500 @@
+#include "core/resilient_block_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/lossy.hpp"
+#include "runtime/batch_ops.hpp"
+#include "runtime/runtime.hpp"
+#include "sparse/vecops.hpp"
+#include "support/env.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+namespace {
+
+// Row-chunk count of the fused SpMM/dot batch.  Deliberately a constant
+// rather than the thread count: the dot_cols reduction sums chunk partials
+// in index order, so a fixed partition makes the dq scalars (and therefore
+// the whole trajectory) bit-identical at any worker count.
+constexpr unsigned kSpmmChunks = 16;
+
+}  // namespace
+
+ResilientBlockCg::ResilientBlockCg(SparseMatrix A, const double* B, index_t nrhs,
+                                   ResilientBlockCgOptions opts)
+    : Am_(std::move(A)),
+      A_(Am_.csr()),
+      B_(B),
+      k_(nrhs),
+      opts_(std::move(opts)),
+      layout_(A_.n, opts_.block_rows),
+      dsolver_(A_, BlockLayout(A_.n, opts_.block_rows)) {
+  if (k_ < 1) throw std::invalid_argument("ResilientBlockCg: nrhs must be >= 1");
+  if (opts_.method == Method::Trivial || opts_.method == Method::Lossy)
+    throw std::invalid_argument(
+        "ResilientBlockCg: batched solves support ideal, feir/afeir, and ckpt only");
+  if (!opts_.col_cancel.empty() &&
+      opts_.col_cancel.size() != static_cast<std::size_t>(k_))
+    throw std::invalid_argument("ResilientBlockCg: col_cancel must have nrhs entries");
+  nb_ = layout_.num_blocks();
+  nthreads_ = opts_.threads != 0 ? opts_.threads : default_threads();
+
+  const auto n = static_cast<std::size_t>(A_.n);
+  const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
+  cols_.resize(static_cast<std::size_t>(k_));
+  for (index_t j = 0; j < k_; ++j) {
+    Column& c = cols_[static_cast<std::size_t>(j)];
+    c.b.resize(n);
+    for (index_t i = 0; i < A_.n; ++i)
+      c.b[static_cast<std::size_t>(i)] = B_[i * k_ + j];
+    c.x = PageBuffer(n);
+    c.g = PageBuffer(n);
+    c.q = PageBuffer(n);
+    c.d[0] = PageBuffer(n);
+    c.d[1] = PageBuffer(n);
+    auto reg = [&](const char* name, PageBuffer& buf) {
+      return &c.dom.add(name, buf.data(), A_.n, opts_.block_rows, paged ? &buf : nullptr);
+    };
+    c.rx = reg("x", c.x);
+    c.rg = reg("g", c.g);
+    c.rd[0] = reg("d0", c.d[0]);
+    c.rd[1] = reg("d1", c.d[1]);
+    c.rq = reg("q", c.q);
+  }
+  pack_d_.assign(n * static_cast<std::size_t>(k_), 0.0);
+  pack_q_.assign(n * static_cast<std::size_t>(k_), 0.0);
+}
+
+double ResilientBlockCg::true_relres(const Column& c) const {
+  return residual_norm(A_, c.x.data(), c.b.data()) / c.bnorm;
+}
+
+void ResilientBlockCg::restart_column(Column& c) {
+  // Recompute the residual from the (intact or interpolated) iterate and
+  // wipe the Krylov recurrence — the per-column form of §4.3's restart.
+  Am_.spmv(c.x.data(), c.g.data());
+  for (index_t i = 0; i < A_.n; ++i)
+    c.g.data()[i] = c.b[static_cast<std::size_t>(i)] - c.g.data()[i];
+  c.have_eps_old = false;
+  c.dom.clear_all();
+}
+
+// Start-of-iteration exact recovery of one column (Table 1 relations,
+// sequential: faults land at the iteration sync points, so there is no
+// mid-task race to guard against).  Only this column's buffers are touched —
+// the isolation the batch contract promises.
+void ResilientBlockCg::recover_feir(Column& c) {
+  ProtectedRegion* rdp = c.rd[c.parity];          // d_prev: q = A d_prev holds
+  ProtectedRegion* rdc = c.rd[1 - c.parity];      // d_cur: overwritten below
+  double* dprev = c.d[c.parity].data();
+  double* q = c.q.data();
+  double* x = c.x.data();
+  double* g = c.g.data();
+
+  bool any = false;
+  for (ProtectedRegion* r : {c.rx, c.rg, c.rq, c.rd[0], c.rd[1]})
+    for (index_t p = 0; p < nb_; ++p)
+      if (r->mask.get(p) == BlockState::Lost) {
+        ++stats_.errors_detected;
+        any = true;
+      }
+  if (!any) return;
+
+  // d_cur is a pure output of this iteration: a lost page is healed by the
+  // full overwrite.
+  for (index_t p = 0; p < nb_; ++p)
+    if (rdc->mask.get(p) == BlockState::Lost) {
+      rdc->mask.set(p, BlockState::Ok);
+      ++stats_.overwritten_losses;
+    }
+
+  if (!c.have_eps_old) {
+    // beta will be 0: d_prev is never read again and q is recomputed from
+    // the fresh direction, so their content is moot.
+    for (ProtectedRegion* r : {rdp, c.rq})
+      for (index_t p = 0; p < nb_; ++p)
+        if (r->mask.get(p) == BlockState::Lost) {
+          r->mask.set(p, BlockState::Ok);
+          ++stats_.overwritten_losses;
+        }
+  }
+
+  auto lost_of = [&](ProtectedRegion* r) {
+    std::vector<index_t> out;
+    for (index_t p = 0; p < nb_; ++p)
+      if (!r->mask.ok(p)) out.push_back(p);
+    return out;
+  };
+  auto footprint_ok = [&](ProtectedRegion* r, index_t p) {
+    for (index_t i = layout_.begin(p); i < layout_.end(p); ++i)
+      for (index_t e = A_.row_ptr[static_cast<std::size_t>(i)];
+           e < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++e)
+        if (!r->mask.ok(layout_.block_of(A_.col_idx[static_cast<std::size_t>(e)])))
+          return false;
+    return true;
+  };
+
+  // Fixpoint over the four relations: each round may unlock the next (e.g.
+  // a rebuilt g page enables the x inversion on the same page).
+  for (int round = 0; round < 3; ++round) {
+    bool progress = false;
+
+    // 1. Lost d_prev pages from the conserved relation q = A d_prev: a
+    //    coupled diagonal solve over the lost set, valid when each page's q
+    //    is intact.
+    if (c.have_eps_old) {
+      const std::vector<index_t> need = lost_of(rdp);
+      if (!need.empty()) {
+        bool q_ok = true;
+        for (index_t p : need)
+          if (!c.rq->mask.ok(p)) q_ok = false;
+        if (q_ok && relation_spmv_rhs_multi(dsolver_, need, q, dprev)) {
+          for (index_t p : need) rdp->mask.set(p, BlockState::Ok);
+          stats_.diag_solves += need.size();
+          progress = true;
+        }
+      }
+      // 2. Lost q pages recomputed as (A d_prev)_p once their footprint is
+      //    intact.
+      for (index_t p : lost_of(c.rq)) {
+        if (!footprint_ok(rdp, p)) continue;
+        relation_spmv_lhs(A_, layout_, p, dprev, q);
+        c.rq->mask.set(p, BlockState::Ok);
+        ++stats_.spmv_recomputes;
+        progress = true;
+      }
+    }
+
+    // 3. Lost iterate pages via A_pp x_p = b_p - g_p - sum A_pj x_j (coupled
+    //    over the lost set; needs the same pages of g).
+    {
+      const std::vector<index_t> need = lost_of(c.rx);
+      if (!need.empty()) {
+        bool g_ok = true;
+        for (index_t p : need)
+          if (!c.rg->mask.ok(p)) g_ok = false;
+        if (g_ok && relation_x_rhs_multi(dsolver_, need, c.b.data(), g, x)) {
+          for (index_t p : need) c.rx->mask.set(p, BlockState::Ok);
+          stats_.x_recoveries += need.size();
+          progress = true;
+        }
+      }
+    }
+
+    // 4. Lost residual pages via g_p = b_p - (A x)_p (needs all of x).
+    if (lost_of(c.rx).empty()) {
+      for (index_t p : lost_of(c.rg)) {
+        relation_residual_lhs(A_, layout_, p, x, c.b.data(), g);
+        c.rg->mask.set(p, BlockState::Ok);
+        ++stats_.residual_recomputes;
+        progress = true;
+      }
+    }
+
+    if (!progress) break;
+  }
+
+  // Anything still lost (e.g. x and g hit on the same page) falls back to
+  // lossy interpolation of the iterate plus a column restart: the column
+  // keeps converging from an approximate x while the rest of the batch is
+  // untouched.
+  bool unresolved = false;
+  for (ProtectedRegion* r : {c.rx, c.rg, c.rq, rdp})
+    if (!lost_of(r).empty()) unresolved = true;
+  if (unresolved) {
+    const std::vector<index_t> lost_x = lost_of(c.rx);
+    if (!lost_x.empty()) {
+      if (lossy_interpolate(dsolver_, lost_x, c.b.data(), x)) {
+        stats_.x_recoveries += lost_x.size();
+      } else {
+        for (index_t p : lost_x) {
+          fill_range(0.0, x, layout_.begin(p), layout_.end(p));
+          ++stats_.unrecoverable;
+        }
+      }
+      for (index_t p : lost_x) c.rx->mask.set(p, BlockState::Ok);
+    }
+    restart_column(c);
+    ++stats_.restarts;
+  }
+}
+
+void ResilientBlockCg::recover_checkpoint(Column& c) {
+  bool any = false;
+  for (ProtectedRegion* r : {c.rx, c.rg, c.rq, c.rd[0], c.rd[1]})
+    for (index_t p = 0; p < nb_; ++p)
+      if (r->mask.get(p) == BlockState::Lost) any = true;
+  if (!any) return;
+  ++stats_.errors_detected;
+  ++stats_.rollbacks;
+  const auto n = static_cast<std::size_t>(A_.n);
+  if (c.has_ckpt) {
+    std::copy(c.ckpt_x.begin(), c.ckpt_x.end(), c.x.data());
+    std::copy(c.ckpt_d.begin(), c.ckpt_d.end(), c.d[c.parity].data());
+    c.eps_old = c.ckpt_eps_old;
+    c.have_eps_old = c.ckpt_have_eps_old;
+  } else {
+    std::fill(c.x.data(), c.x.data() + n, 0.0);
+    c.have_eps_old = false;
+  }
+  // Residual consistent with the restored iterate; masks wiped.
+  Am_.spmv(c.x.data(), c.g.data());
+  for (index_t i = 0; i < A_.n; ++i)
+    c.g.data()[i] = c.b[static_cast<std::size_t>(i)] - c.g.data()[i];
+  c.dom.clear_all();
+}
+
+ResilientBlockCgResult ResilientBlockCg::solve(double* X) {
+  Runtime rt(nthreads_, opts_.pin_threads);
+  ResilientBlockCgResult res;
+  res.columns.resize(static_cast<std::size_t>(k_));
+  Stopwatch clock;
+
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  const bool is_ckpt = opts_.method == Method::Checkpoint;
+  const index_t ckpt_period =
+      opts_.ckpt_period_iters > 0 ? opts_.ckpt_period_iters : 1000;
+
+  for (index_t j = 0; j < k_; ++j) {
+    Column& c = cols_[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < A_.n; ++i) c.x.data()[i] = X[i * k_ + j];
+    c.bnorm = norm2(c.b.data(), A_.n);
+    const double denom = c.bnorm > 0.0 ? c.bnorm : 1.0;
+    c.bnorm = denom;
+    c.conv_stop = denom * opts_.tol;
+    c.parity = 0;
+    c.active = true;
+    c.out = BlockColumnResult{};
+    restart_column(c);
+    if (is_ckpt) {
+      c.ckpt_x.assign(c.x.data(), c.x.data() + A_.n);
+      c.ckpt_d.assign(static_cast<std::size_t>(A_.n), 0.0);
+      c.ckpt_eps_old = 0.0;
+      c.ckpt_have_eps_old = false;
+      c.has_ckpt = true;
+      ++stats_.checkpoints;
+    }
+  }
+
+  index_t executed = 0;
+  while (executed < opts_.max_iter) {
+    bool any_active = false;
+    for (const Column& c : cols_)
+      if (c.active) any_active = true;
+    if (!any_active) break;
+    if (opts_.max_seconds > 0.0 && clock.seconds() > opts_.max_seconds) break;
+    if (opts_.cancel != nullptr && opts_.cancel->cancelled()) {
+      res.cancelled = true;
+      break;
+    }
+
+    // Start-of-iteration recovery, then per-column freezes (the sync point
+    // where iteration-space DUEs from the previous iteration surface).
+    // Recovery runs FIRST so a column frozen by a cancel reports a relres
+    // measured on repaired pages, not on whatever the DUE scrambled.
+    for (index_t j = 0; j < k_; ++j) {
+      Column& c = cols_[static_cast<std::size_t>(j)];
+      if (!c.active) continue;
+      c.skip_update = false;
+      if (feir) recover_feir(c);
+      if (is_ckpt) recover_checkpoint(c);
+      if (!opts_.col_cancel.empty() &&
+          opts_.col_cancel[static_cast<std::size_t>(j)] != nullptr &&
+          opts_.col_cancel[static_cast<std::size_t>(j)]->cancelled()) {
+        c.active = false;
+        c.out.cancelled = true;
+        c.out.iterations = executed;
+        c.out.final_relres = true_relres(c);
+      }
+    }
+
+    // Per-iteration vector work runs as ONE TASK PER COLUMN (plus the
+    // row-chunked fused sweep), so the batch parallelizes across columns
+    // while every column's arithmetic stays a single sequential chain —
+    // bits do not depend on the worker count.  The waves:
+    //   1. eps_j = <g_j, g_j>                      (per column)
+    //   2. host: beta, convergence verdicts        (O(k) scalars)
+    //   3. d_cur = beta d_prev + g, pack column    (per column)
+    //   4. Q = A D fused SpMM + per-column <d, q>  (row chunks; dot_cols
+    //      reduces in fixed-chunk index order, so the dq bits are also
+    //      worker-count-independent)
+    //   5. unpack q, alpha, x += alpha d, g -= alpha q  (per column)
+    std::vector<double> eps_arr(static_cast<std::size_t>(k_), 0.0);
+    {
+      TaskBatch batch(rt);
+      for (index_t j = 0; j < k_; ++j) {
+        Column& c = cols_[static_cast<std::size_t>(j)];
+        if (!c.active || c.skip_update) continue;
+        batch.add(
+            [this, &c, &eps_arr, j] {
+              eps_arr[static_cast<std::size_t>(j)] =
+                  dot_range(c.g.data(), c.g.data(), 0, A_.n);
+            },
+            {out(&c)}, 0, "eps");
+      }
+      batch.submit();
+      rt.taskwait();
+    }
+    for (index_t j = 0; j < k_; ++j) {
+      Column& c = cols_[static_cast<std::size_t>(j)];
+      if (!c.active || c.skip_update) continue;
+      c.eps = eps_arr[static_cast<std::size_t>(j)];
+      c.beta = c.have_eps_old && c.eps_old != 0.0 ? c.eps / c.eps_old : 0.0;
+      c.eps_old = c.eps;
+      c.have_eps_old = true;
+      if (c.eps >= 0.0 && std::sqrt(std::max(c.eps, 0.0)) <= c.conv_stop) {
+        // Verify against the true residual before freezing the column.
+        const double rel = true_relres(c);
+        if (rel <= opts_.tol) {
+          c.active = false;
+          c.out.converged = true;
+          c.out.iterations = executed;
+          c.out.final_relres = rel;
+        } else {
+          restart_column(c);
+          ++stats_.restarts;
+          c.skip_update = true;  // recurrence wiped; next iteration resumes
+        }
+      }
+    }
+
+    // Directions + column packing, then the fused sweep.
+    std::vector<index_t> live;
+    for (index_t j = 0; j < k_; ++j) {
+      const Column& c = cols_[static_cast<std::size_t>(j)];
+      if (c.active && !c.skip_update) live.push_back(j);
+    }
+    std::vector<double> dq_arr(static_cast<std::size_t>(k_), 0.0);
+    if (!live.empty()) {
+      const index_t ka = static_cast<index_t>(live.size());
+      {
+        TaskBatch batch(rt);
+        for (index_t t = 0; t < ka; ++t) {
+          Column& c = cols_[static_cast<std::size_t>(live[static_cast<std::size_t>(t)])];
+          batch.add(
+              [this, &c, t, ka] {
+                double* dcur = c.d[1 - c.parity].data();
+                if (c.beta == 0.0)
+                  copy_range(c.g.data(), dcur, 0, A_.n);
+                else
+                  lincomb_range(c.beta, c.d[c.parity].data(), 1.0, c.g.data(), dcur,
+                                0, A_.n);
+                c.rd[1 - c.parity]->mask.clear();
+                for (index_t i = 0; i < A_.n; ++i)
+                  pack_d_[static_cast<std::size_t>(i * ka + t)] = dcur[i];
+              },
+              {out(&c)}, 0, "dpack");
+        }
+        batch.submit();
+        rt.taskwait();
+      }
+      {
+        // Fixed chunk count (not nthreads_): the dot_cols reduction order —
+        // hence the dq bits — must not change when a tenant turns threads up.
+        TaskBatch batch(rt);
+        BatchOps ops(batch, A_.n, kSpmmChunks);
+        ops.spmm(Am_, pack_d_.data(), pack_q_.data(), ka);
+        ops.dot_cols(pack_d_.data(), pack_q_.data(), ka, dq_arr.data());
+        ops.run();
+      }
+      {
+        TaskBatch batch(rt);
+        for (index_t t = 0; t < ka; ++t) {
+          Column& c = cols_[static_cast<std::size_t>(live[static_cast<std::size_t>(t)])];
+          const double dq = dq_arr[static_cast<std::size_t>(t)];
+          batch.add(
+              [this, &c, t, ka, dq] {
+                double* q = c.q.data();
+                for (index_t i = 0; i < A_.n; ++i)
+                  q[i] = pack_q_[static_cast<std::size_t>(i * ka + t)];
+                c.rq->mask.clear();
+                double* dcur = c.d[1 - c.parity].data();
+                const double alpha = dq != 0.0 ? c.eps / dq : 0.0;
+                axpy_range(alpha, dcur, c.x.data(), 0, A_.n);
+                axpy_range(-alpha, c.q.data(), c.g.data(), 0, A_.n);
+              },
+              {out(&c)}, 0, "xg");
+        }
+        batch.submit();
+        rt.taskwait();
+      }
+      for (index_t j : live) cols_[static_cast<std::size_t>(j)].parity ^= 1;
+    }
+
+    ++executed;
+    const double now = clock.seconds();
+    if (opts_.record_history) {
+      IterRecord rec;
+      rec.iter = executed - 1;
+      rec.time_s = now;
+      for (const Column& c : cols_)
+        if (c.active || c.skip_update)
+          rec.relres = std::max(rec.relres, std::sqrt(std::max(c.eps, 0.0)) / c.bnorm);
+      res.history.push_back(rec);
+    }
+    for (index_t j = 0; j < k_; ++j) {
+      Column& c = cols_[static_cast<std::size_t>(j)];
+      if (!c.active && c.out.iterations != executed - 1) continue;
+      if (opts_.on_col_iteration) {
+        IterRecord rec;
+        rec.iter = executed - 1;
+        rec.time_s = now;
+        rec.relres = c.active || c.skip_update
+                         ? std::sqrt(std::max(c.eps, 0.0)) / c.bnorm
+                         : c.out.final_relres;
+        opts_.on_col_iteration(j, rec);
+      }
+    }
+
+    if (is_ckpt && executed % ckpt_period == 0) {
+      for (Column& c : cols_) {
+        if (!c.active) continue;
+        c.ckpt_x.assign(c.x.data(), c.x.data() + A_.n);
+        c.ckpt_d.assign(c.d[c.parity].data(), c.d[c.parity].data() + A_.n);
+        c.ckpt_eps_old = c.eps_old;
+        c.ckpt_have_eps_old = c.have_eps_old;
+        c.has_ckpt = true;
+        ++stats_.checkpoints;
+      }
+    }
+  }
+
+  // Final recovery sweep (mirroring ResilientCg's recover_r2(true)): a DUE
+  // fired from a column's LAST per-iteration callback — or landing while the
+  // loop was winding down — has had no iteration-start sync point to surface
+  // at, so repair every column once more before its iterate is returned.
+  for (Column& c : cols_) {
+    if (feir) recover_feir(c);
+    if (is_ckpt) recover_checkpoint(c);
+  }
+
+  // Still-active columns stopped by the cap/budget/cancel: report their best
+  // iterate.
+  const bool batch_cancel = res.cancelled;
+  for (index_t j = 0; j < k_; ++j) {
+    Column& c = cols_[static_cast<std::size_t>(j)];
+    if (c.active) {
+      c.out.iterations = executed;
+      c.out.final_relres = true_relres(c);
+      c.out.cancelled = batch_cancel;
+      c.active = false;
+    }
+    for (index_t i = 0; i < A_.n; ++i) X[i * k_ + j] = c.x.data()[i];
+    res.columns[static_cast<std::size_t>(j)] = c.out;
+  }
+
+  res.converged = true;
+  for (const BlockColumnResult& c : res.columns)
+    if (!c.converged) res.converged = false;
+  res.iterations = executed;
+  res.seconds = clock.seconds();
+  res.stats = stats_;
+  res.tasks = rt.tasks_executed();
+  res.states = rt.state_times();
+  return res;
+}
+
+}  // namespace feir

@@ -1,0 +1,161 @@
+// Resilient block CG: k independent CG recurrences over one matrix, fused so
+// every iteration pays ONE sparse-matrix sweep (SpMM) instead of k SpMVs.
+//
+// This is the multi-RHS path of the service/campaign stack (A X = B for a
+// family of right-hand sides: parameter sweeps, multiple load vectors on one
+// stencil).  The columns are deliberately NOT coupled into a block-Krylov
+// space: each column runs the textbook CG recurrence with its own scalars,
+// its own convergence test, and its own fault domain, and the fused SpMM is
+// bit-identical per column to the single-vector SpMV (sparse/csr.hpp,
+// sparse/sell.hpp).  Consequences the tests pin down:
+//
+//   * a batch of width k reproduces k width-1 batches bit-for-bit, at any
+//     batch width and on either storage backend (the batch width never
+//     perturbs a column's trajectory; note the PLAIN single-RHS solvers
+//     chunk their reductions differently, so "bit-identical" is a claim
+//     about this solver's widths, not about ResilientCg);
+//   * a DUE injected into column j is recovered with the per-column FEIR
+//     relations (Table 1) touching ONLY column j's state — surviving columns
+//     are byte-identical to an uninjected run;
+//   * columns converge (or are cancelled) independently: a finished column
+//     freezes while the rest keep iterating, shrinking the SpMM width.
+//
+// Faults are observed at the start-of-iteration sync point (the service's
+// deterministic iteration-space injection fires there), recovered with the
+// exact relations, and columns fall back to lossy interpolation + restart
+// when a page is unrecoverable.  Method::Checkpoint instead rolls the hit
+// column back to its last per-column (x, d) checkpoint.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/method.hpp"
+#include "core/relations.hpp"
+#include "fault/domain.hpp"
+#include "runtime/runtime.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/matrix.hpp"
+#include "support/cancel.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Options for a resilient batched solve.
+struct ResilientBlockCgOptions {
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  /// Wall-time budget in seconds; 0 = unlimited.
+  double max_seconds = 0.0;
+  /// Cancels the whole batch; checked once per iteration.  May be null.
+  const CancelToken* cancel = nullptr;
+  /// Per-column cancellation: col_cancel[j] (when provided and non-null)
+  /// freezes column j alone at its next iteration, leaving the rest of the
+  /// batch converging.  Empty = no per-column cancel.
+  std::vector<const CancelToken*> col_cancel;
+  /// Ideal (no recovery), Feir/Afeir (per-column exact interpolation), or
+  /// Checkpoint (per-column rollback).  Trivial/Lossy are not batched —
+  /// the constructor rejects them.
+  Method method = Method::Feir;
+  /// Failure granularity in rows; 512 = one page (production).
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  /// Worker threads for the fused SpMM (row-chunked through BatchOps, so the
+  /// result is bit-identical at any count); 0 = feir::default_threads().
+  unsigned threads = 0;
+  bool pin_threads = false;
+  /// Checkpoint period in iterations (Method::Checkpoint); 0 = 1000.
+  index_t ckpt_period_iters = 0;
+  /// Record one IterRecord per outer iteration in the result's history (its
+  /// relres is the WORST still-active column's — the batch's convergence
+  /// front).
+  bool record_history = false;
+  /// Called once per column per iteration (injection hooks, progress
+  /// streams).  rec.iter is the outer iteration; runs on the host thread.
+  std::function<void(index_t col, const IterRecord& rec)> on_col_iteration;
+};
+
+/// Outcome of one column of a batched solve.
+struct BlockColumnResult {
+  bool converged = false;
+  bool cancelled = false;
+  index_t iterations = 0;    ///< outer iterations consumed before freezing
+  double final_relres = 0.0;
+};
+
+/// Outcome of the batch: aggregate plus the per-column breakdown.
+struct ResilientBlockCgResult {
+  bool converged = false;    ///< every column converged
+  bool cancelled = false;    ///< the batch token (or deadline) fired
+  index_t iterations = 0;    ///< outer iterations executed
+  double seconds = 0.0;
+  RecoveryStats stats;       ///< summed over columns
+  std::uint64_t tasks = 0;   ///< runtime tasks executed by the fused waves
+  Runtime::StateTimes states;
+  std::vector<IterRecord> history;  ///< when record_history (worst-column relres)
+  std::vector<BlockColumnResult> columns;
+};
+
+/// Resilient batched CG instance.  `B` is row-major n x nrhs (column j of
+/// row i at B[i*nrhs + j]) and must outlive the solver, like the single-RHS
+/// solvers' b.  `A` selects the SpMM backend; recovery relations always run
+/// against its CSR structure.
+class ResilientBlockCg {
+ public:
+  ResilientBlockCg(SparseMatrix A, const double* B, index_t nrhs,
+                   ResilientBlockCgOptions opts);
+
+  /// Column j's protected regions ("x", "g", "d0", "d1", "q") — the
+  /// injection surface, mirroring ResilientCg::domain() per column.
+  FaultDomain& domain(index_t col) { return cols_[static_cast<std::size_t>(col)].dom; }
+
+  index_t nrhs() const { return k_; }
+  const BlockLayout& layout() const { return layout_; }
+
+  /// Runs the batch.  `X` is row-major n x nrhs, initial guess in, solution
+  /// out (cancelled/unconverged columns return their best iterate).
+  ResilientBlockCgResult solve(double* X);
+
+ private:
+  struct Column {
+    std::vector<double> b;       // deinterleaved rhs (contiguous)
+    PageBuffer x, g, q;
+    PageBuffer d[2];
+    FaultDomain dom;
+    ProtectedRegion* rx = nullptr;
+    ProtectedRegion* rg = nullptr;
+    ProtectedRegion* rq = nullptr;
+    ProtectedRegion* rd[2] = {nullptr, nullptr};
+    int parity = 0;              // d[parity] = d_prev, d[1 - parity] = d_cur
+    double eps = 0.0, eps_old = 0.0, beta = 0.0;
+    bool have_eps_old = false;
+    double bnorm = 1.0, conv_stop = 0.0;
+    bool active = true;
+    bool skip_update = false;    // restarted this iteration: no d/q/x/g step
+    BlockColumnResult out;
+    // Per-column in-memory checkpoint (Method::Checkpoint).
+    std::vector<double> ckpt_x, ckpt_d;
+    double ckpt_eps_old = 0.0;
+    bool ckpt_have_eps_old = false;
+    bool has_ckpt = false;
+  };
+
+  void recover_feir(Column& c);         // start-of-iteration exact recovery
+  void recover_checkpoint(Column& c);   // rollback on any loss
+  void restart_column(Column& c);       // g = b - A x, recurrence wiped
+  double true_relres(const Column& c) const;
+
+  SparseMatrix Am_;
+  const CsrMatrix& A_;
+  const double* B_;
+  index_t k_ = 0;
+  ResilientBlockCgOptions opts_;
+  BlockLayout layout_;
+  index_t nb_ = 0;
+  unsigned nthreads_ = 1;
+  DiagBlockSolver dsolver_;
+  RecoveryStats stats_;
+  std::vector<Column> cols_;
+  std::vector<double> pack_d_, pack_q_;  // n x k SpMM workspaces
+};
+
+}  // namespace feir

@@ -46,6 +46,71 @@ void BatchOps::spmv(const SparseMatrix& A, const double* x, double* y, const cha
   }
 }
 
+void BatchOps::spmm(const SparseMatrix& A, const double* X, double* Y, index_t k,
+                    const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps = whole(X, Access::In);
+    deps.push_back(out(Y, c));
+    const auto [r0, r1] = chunk(c);
+    batch_.add([&A, X, Y, k, r0 = r0, r1 = r1] { A.spmm_rows(r0, r1, X, Y, k); },
+               std::move(deps), 0, name);
+  }
+}
+
+void BatchOps::dot_cols(const double* X, const double* Y, index_t k, double* out,
+                        const char* name) {
+  partials_.emplace_back(static_cast<std::size_t>(nchunks_ * k), 0.0);
+  std::vector<double>& part = partials_.back();
+  double* pdata = part.data();
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [r0, r1] = chunk(c);
+    batch_.add(
+        [X, Y, k, pdata, c, r0 = r0, r1 = r1] {
+          // One pass over the chunk's rows, k running sums: column j's
+          // partial accumulates in row order, exactly like dot_range on the
+          // deinterleaved column.
+          double* p = pdata + c * k;
+          for (index_t j = 0; j < k; ++j) p[j] = 0.0;
+          for (index_t i = r0; i < r1; ++i) {
+            const double* x = X + i * k;
+            const double* y = Y + i * k;
+            for (index_t j = 0; j < k; ++j) p[j] += x[j] * y[j];
+          }
+        },
+        {in(X, c), in(Y, c), feir::out(pdata, c)}, 0, name);
+  }
+  std::vector<Dep> deps = whole(pdata, Access::In);
+  deps.push_back(feir::out(out));
+  const index_t nch = nchunks_;
+  batch_.add(
+      [pdata, out, k, nch] {
+        // Chunk-index-ordered sum per column: deterministic at any worker
+        // count or steal order.
+        for (index_t j = 0; j < k; ++j) {
+          double s = 0.0;
+          for (index_t c = 0; c < nch; ++c) s += pdata[c * k + j];
+          out[j] = s;
+        }
+      },
+      std::move(deps), 1, name);
+}
+
+void BatchOps::axpy_cols_at(const double* scale, double sign, const double* X,
+                            double* Y, index_t k, const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [r0, r1] = chunk(c);
+    batch_.add(
+        [scale, sign, X, Y, k, r0 = r0, r1 = r1] {
+          for (index_t i = r0; i < r1; ++i) {
+            const double* x = X + i * k;
+            double* y = Y + i * k;
+            for (index_t j = 0; j < k; ++j) y[j] += sign * scale[j] * x[j];
+          }
+        },
+        {in(scale), in(X, c), inout(Y, c)}, 0, name);
+  }
+}
+
 void BatchOps::full(std::initializer_list<const void*> reads, const void* write,
                     std::function<void()> body, const char* name) {
   std::vector<Dep> deps;

@@ -58,6 +58,28 @@ class BatchOps {
                  bool accumulate, std::function<void(index_t, index_t)> body,
                  const char* name = "map");
 
+  /// Y = A X for `k` row-major-interleaved right-hand sides, chunked by
+  /// block row (each chunk reads all of X, writes its rows of Y).  Row
+  /// chunking never splits a column's accumulation, so the result is
+  /// bit-identical per column to k spmv() calls at ANY chunk count.
+  void spmm(const SparseMatrix& A, const double* X, double* Y, index_t k,
+            const char* name = "Q");
+
+  /// out[j] = <X col j, Y col j> for each of the `k` interleaved columns:
+  /// chunk partials plus one reduction task summing each column's partials
+  /// in index order — per-column-deterministic for any schedule.
+  void dot_cols(const double* X, const double* Y, index_t k, double* out,
+                const char* name = "dotk");
+
+  /// Y col j += sign * scale[j] * X col j, with scale[] read at execution
+  /// time (chains on a dot_cols() in the same batch).  For solvers that keep
+  /// their multivectors interleaved end to end; ResilientBlockCg does NOT —
+  /// its x/g stay per-column buffers so page faults isolate per column — so
+  /// this op's contract is pinned by the spmm_test property suite until such
+  /// a consumer lands.
+  void axpy_cols_at(const double* scale, double sign, const double* X, double* Y,
+                    index_t k, const char* name = "axpyk");
+
   /// *out = <a, b>: chunk partials plus an index-ordered reduction task.
   void dot(const double* a, const double* b, double* out, const char* name = "dot");
 

@@ -98,6 +98,7 @@ ParsedRequest parse_request(std::string_view line) {
   if (op_name == "ping") req.op = Op::Ping;
   else if (op_name == "stats") req.op = Op::Stats;
   else if (op_name == "solve") req.op = Op::Solve;
+  else if (op_name == "solve_batch") req.op = Op::SolveBatch;
   else if (op_name == "cancel") req.op = Op::Cancel;
   else return fail("bad_request", "unknown op \"" + op_name + "\"");
 
@@ -108,7 +109,8 @@ ParsedRequest parse_request(std::string_view line) {
   spec.inject.kind = campaign::InjectionKind::None;
   spec.threads = 1;
 
-  const bool is_solve = req.op == Op::Solve;
+  const bool is_batch = req.op == Op::SolveBatch;
+  const bool is_solve = req.op == Op::Solve || is_batch;
   for (const auto& [key, value] : root.members) {
     double num = 0.0;
     if (key == "op") continue;
@@ -119,9 +121,21 @@ ParsedRequest parse_request(std::string_view line) {
         return fail("bad_request", "id longer than 128 bytes");
       continue;
     }
+    if (req.op == Op::Cancel && key == "col") {
+      if (!want_count(value, "col", 0, static_cast<double>(kMaxNrhs - 1), &num, &why))
+        return fail("bad_request", why);
+      req.col = static_cast<long long>(num);
+      continue;
+    }
     if (!is_solve)
       return fail("bad_request", "unknown field \"" + key + "\" for op " + op_name);
-    if (key == "matrix") {
+    if (key == "nrhs") {
+      if (!is_batch)
+        return fail("bad_request", "nrhs is a solve_batch field (op solve is single-RHS)");
+      if (!want_count(value, "nrhs", 1, static_cast<double>(kMaxNrhs), &num, &why))
+        return fail("bad_request", why);
+      spec.nrhs = static_cast<index_t>(num);
+    } else if (key == "matrix") {
       if (!want_string(value, "matrix", &spec.matrix, &why)) return fail("bad_request", why);
       if (spec.matrix.empty()) return fail("bad_request", "matrix must not be empty");
     } else if (key == "scale") {
@@ -174,7 +188,11 @@ ParsedRequest parse_request(std::string_view line) {
     } else if (key == "deadline_ms") {
       if (!want_number(value, "deadline_ms", &req.deadline_ms, &why))
         return fail("bad_request", why);
-      if (req.deadline_ms < 0.0) return fail("bad_request", "deadline_ms must be >= 0");
+      // 0 used to collapse into the "no deadline" sentinel; an explicit 0 is
+      // now rejected so the sentinel stays unreachable from the wire.
+      if (!(req.deadline_ms > 0.0))
+        return fail("bad_request",
+                    "deadline_ms must be > 0 (omit the field for no deadline)");
     } else if (key == "stream") {
       if (!want_bool(value, "stream", &req.stream, &why)) return fail("bad_request", why);
     } else {
@@ -182,8 +200,21 @@ ParsedRequest parse_request(std::string_view line) {
     }
   }
 
-  if ((req.op == Op::Solve || req.op == Op::Cancel) && req.id.empty())
+  if ((is_solve || req.op == Op::Cancel) && req.id.empty())
     return bad("bad_request", std::string("op ") + op_name + " requires an id");
+
+  // solve_batch rides the block-CG path, which is deliberately narrower than
+  // the single-RHS zoo: reject the unsupported combinations here so a tenant
+  // gets a schema error, not a failed job.
+  if (is_batch) {
+    if (spec.solver != campaign::SolverKind::Cg)
+      return fail("bad_request", "solve_batch supports solver \"cg\" only");
+    if (spec.precond != campaign::PrecondKind::None)
+      return fail("bad_request", "solve_batch supports precond \"none\" only");
+    if (spec.method == Method::Trivial || spec.method == Method::Lossy)
+      return fail("bad_request",
+                  "solve_batch methods: ideal, ckpt, feir, afeir (not trivial/lossy)");
+  }
 
   out.ok = true;
   return out;
@@ -219,6 +250,14 @@ std::string progress_line(const std::string& id, const IterRecord& rec,
          ", \"errors\": " + std::to_string(errors_so_far) + "}";
 }
 
+std::string progress_col_line(const std::string& id, index_t col,
+                              const IterRecord& rec, std::uint64_t errors_so_far) {
+  return head(id, "progress") + ", \"col\": " + std::to_string(col) +
+         ", \"iter\": " + std::to_string(rec.iter) +
+         ", \"relres\": " + json_number(rec.relres) +
+         ", \"errors\": " + std::to_string(errors_so_far) + "}";
+}
+
 std::string result_line(const std::string& id, const campaign::JobSpec& spec,
                         const campaign::JobResult& result) {
   std::string out = head(id, "result");
@@ -232,12 +271,30 @@ std::string result_line(const std::string& id, const campaign::JobSpec& spec,
   out += ", \"tol\": " + json_number(spec.tol);
   out += ", \"block_rows\": " + std::to_string(spec.block_rows);
   out += ", \"mtbe_iters\": " + json_number(spec.inject.mean_iters);
+  // Any batched result (a width-1 solve_batch included) echoes its width.
+  if (spec.nrhs > 1 || !result.columns.empty())
+    out += ", \"nrhs\": " + std::to_string(spec.nrhs);
   out += std::string(", \"converged\": ") + (result.converged ? "true" : "false");
   if (result.cancelled) out += ", \"cancelled\": true";
   out += ", \"iterations\": " + std::to_string(result.iterations);
   out += ", \"relres\": " + json_number(result.final_relres);
   out += ", \"errors_injected\": " + std::to_string(result.errors_injected);
   out += ", \"stats\": " + campaign::recovery_stats_json(result.stats);
+  if (!result.columns.empty()) {
+    out += ", \"columns\": [";
+    for (std::size_t c = 0; c < result.columns.size(); ++c) {
+      const campaign::ColumnOutcome& col = result.columns[c];
+      if (c > 0) out += ", ";
+      out += "{\"col\": " + std::to_string(c);
+      out += std::string(", \"converged\": ") + (col.converged ? "true" : "false");
+      if (col.cancelled) out += ", \"cancelled\": true";
+      out += ", \"iterations\": " + std::to_string(col.iterations);
+      out += ", \"relres\": " + json_number(col.final_relres);
+      out += ", \"errors_injected\": " + std::to_string(col.errors_injected);
+      out += "}";
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }

@@ -4,18 +4,31 @@
 //   {"op":"ping"["id":...]}                     liveness probe
 //   {"op":"stats"}                              server/cache counters
 //   {"op":"solve","id":"r1", ...knobs}          enqueue a resilient solve
+//   {"op":"solve_batch","id":"b1","nrhs":8,...} one fused multi-RHS solve
 //   {"op":"cancel","id":"r1"}                   cancel an in-flight solve
+//   {"op":"cancel","id":"b1","col":3}           cancel ONE column of a batch
 //
 // Solve knobs (all optional except id): matrix, scale, solver, method,
 // precond, format, tol, max_iter, seed, mtbe_iters (deterministic
-// iteration-space DUE injection; 0 = fault-free), block_rows, deadline_ms,
+// iteration-space DUE injection; 0 = fault-free), block_rows, deadline_ms
+// (> 0; omit the field for no deadline -- 0 is rejected, not a sentinel),
 // stream (per-iteration progress events).
+//
+// solve_batch adds nrhs (1..32) and coalesces that many right-hand sides
+// over one cached problem: column 0 is the problem's b, columns j > 0 the
+// deterministic block_rhs() family.  Restricted to solver=cg, precond=none,
+// and methods ideal|ckpt|feir|afeir; its progress events carry "col" and its
+// result event a per-column "columns" array.  The batched schema is uniform
+// across widths — a width-1 batch still streams col-tagged progress and
+// returns "nrhs"/"columns" — so clients sweeping k need no special case.
 //
 // Events (server -> client), one line each, always carrying the request id:
 //   {"id":..,"event":"pong"}
 //   {"id":..,"event":"stats",...}
 //   {"id":..,"event":"progress","iter":..,"relres":..,"errors":..}  (stream)
+//   {"id":..,"event":"progress","col":..,...}                  (solve_batch)
 //   {"id":..,"event":"result","converged":..,...,"stats":{...}}
+//   {"id":..,"event":"result",...,"nrhs":..,"columns":[...]}   (solve_batch)
 //   {"id":..,"event":"cancel_ack","found":true|false}
 //   {"id":..,"event":"error","code":..,"message":..}
 //
@@ -37,15 +50,19 @@
 
 namespace feir::service {
 
-enum class Op : std::uint8_t { Ping, Stats, Solve, Cancel };
+enum class Op : std::uint8_t { Ping, Stats, Solve, SolveBatch, Cancel };
+
+/// Largest batch width one solve_batch request may ask for.
+inline constexpr index_t kMaxNrhs = 32;
 
 /// One parsed request frame.
 struct Request {
   Op op = Op::Ping;
   std::string id;            // required for solve/cancel; optional otherwise
-  campaign::JobSpec spec;    // solve only
-  double deadline_ms = 0.0;  // solve only; 0 = none
+  campaign::JobSpec spec;    // solve / solve_batch (spec.nrhs > 1 for batches)
+  double deadline_ms = 0.0;  // solve only; 0 = none (the field itself must be > 0)
   bool stream = false;       // solve only: emit per-iteration progress events
+  long long col = -1;        // cancel only: column to cancel; -1 = whole request
 };
 
 /// parse_request outcome: ok, or an error (code, message) to send back.
@@ -67,8 +84,15 @@ std::string error_line(const std::string& id, const std::string& code,
 std::string cancel_ack_line(const std::string& id, bool found);
 std::string progress_line(const std::string& id, const IterRecord& rec,
                           std::uint64_t errors_so_far);
+/// solve_batch progress: the same record tagged with its column.
+std::string progress_col_line(const std::string& id, index_t col,
+                              const IterRecord& rec, std::uint64_t errors_so_far);
 /// The deterministic solve outcome (echoes the effective knobs so a client
-/// can reproduce the run through feir_solve).
+/// can reproduce the run through feir_solve).  Batched results additionally
+/// carry "nrhs" and the per-column "columns" array; they replay through
+/// `feir_solve --nrhs k` for k > 1 (the plain single-RHS solver chunks its
+/// reductions differently, so a width-1 batch is bitwise a width-1 batch,
+/// not an op-solve run).
 std::string result_line(const std::string& id, const campaign::JobSpec& spec,
                         const campaign::JobResult& result);
 

@@ -30,9 +30,16 @@ struct Server::Connection {
   std::atomic<bool> closed{false};
   std::atomic<bool> reader_done{false};
 
+  /// One in-flight request's cancellation surface: the whole-request token
+  /// plus (for solve_batch) the per-column tokens.
+  struct Inflight {
+    std::shared_ptr<CancelToken> token;
+    std::vector<std::shared_ptr<CancelToken>> cols;
+  };
+
   /// In-flight (queued or solving) requests by id, for cancel and teardown.
   std::mutex inflight_mu;
-  std::map<std::string, std::shared_ptr<CancelToken>> inflight;
+  std::map<std::string, Inflight> inflight;
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -76,12 +83,12 @@ struct Server::Connection {
   /// solves unwind at their next iteration instead of wasting the pool.
   void cancel_inflight() {
     std::lock_guard<std::mutex> lk(inflight_mu);
-    for (auto& [id, token] : inflight) token->cancel();
+    for (auto& [id, entry] : inflight) entry.token->cancel();
   }
 
-  bool register_inflight(const std::string& id, std::shared_ptr<CancelToken> token) {
+  bool register_inflight(const std::string& id, Inflight entry) {
     std::lock_guard<std::mutex> lk(inflight_mu);
-    return inflight.emplace(id, std::move(token)).second;
+    return inflight.emplace(id, std::move(entry)).second;
   }
 
   void unregister_inflight(const std::string& id) {
@@ -89,10 +96,16 @@ struct Server::Connection {
     inflight.erase(id);
   }
 
-  std::shared_ptr<CancelToken> find_inflight(const std::string& id) {
+  /// The token to trip for a cancel op: the whole request (col < 0) or one
+  /// column of a batch.  Null when the id is unknown or the column is out of
+  /// the batch's range.
+  std::shared_ptr<CancelToken> find_inflight(const std::string& id, long long col) {
     std::lock_guard<std::mutex> lk(inflight_mu);
     const auto it = inflight.find(id);
-    return it != inflight.end() ? it->second : nullptr;
+    if (it == inflight.end()) return nullptr;
+    if (col < 0) return it->second.token;
+    if (static_cast<std::size_t>(col) >= it->second.cols.size()) return nullptr;
+    return it->second.cols[static_cast<std::size_t>(col)];
   }
 };
 
@@ -362,7 +375,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       conn->send_line(stats_line(req.id));
       return;
     case Op::Cancel: {
-      const std::shared_ptr<CancelToken> token = conn->find_inflight(req.id);
+      const std::shared_ptr<CancelToken> token = conn->find_inflight(req.id, req.col);
       // Ack BEFORE tripping the token: once cancelled, the worker races us
       // for the write lock and its terminal "cancelled" event must not
       // overtake the ack on the wire.
@@ -371,6 +384,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     }
     case Op::Solve:
+    case Op::SolveBatch:
       handle_solve(conn, std::move(req));
       return;
   }
@@ -380,11 +394,20 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) 
   Work work;
   work.conn = conn;
   work.token = std::make_shared<CancelToken>();
+  // The protocol rejects an explicit deadline_ms of 0, so 0 here can only
+  // mean "field absent" -- the server default applies.
   const double deadline_s =
       req.deadline_ms > 0.0 ? req.deadline_ms / 1000.0 : opts_.default_deadline_s;
   if (deadline_s > 0.0) work.token->set_deadline_after(deadline_s);
+  // Every solve_batch — width 1 included — gets per-column tokens, so the
+  // batched schema (col-tagged progress, columns array, col cancel) is
+  // uniform across widths; run_job keys the block dispatch off their
+  // presence.
+  if (req.op == Op::SolveBatch)
+    for (index_t j = 0; j < req.spec.nrhs; ++j)
+      work.col_tokens.push_back(std::make_shared<CancelToken>());
 
-  if (!conn->register_inflight(req.id, work.token)) {
+  if (!conn->register_inflight(req.id, {work.token, work.col_tokens})) {
     conn->send_line(
         error_line(req.id, "bad_request", "id already in flight on this connection"));
     std::lock_guard<std::mutex> lk(counters_mu_);
@@ -504,10 +527,21 @@ void Server::process(Work work) {
   campaign::RunJobExtras extras;
   extras.S = &prep.backend->S;
   extras.cancel = work.token.get();
+  for (const auto& tok : work.col_tokens) extras.col_cancel.push_back(tok.get());
   if (work.req.stream) {
-    extras.progress = [&conn, &id](const IterRecord& rec, std::uint64_t errors) {
-      conn->send_line_best_effort(progress_line(id, rec, errors));
-    };
+    // col_tokens is non-empty exactly for solve_batch requests (any width),
+    // which dispatch to the block path and stream col-tagged progress; op
+    // solve streams the plain progress callback.
+    if (!work.col_tokens.empty()) {
+      extras.progress_col = [&conn, &id](index_t col, const IterRecord& rec,
+                                         std::uint64_t errors) {
+        conn->send_line_best_effort(progress_col_line(id, col, rec, errors));
+      };
+    } else {
+      extras.progress = [&conn, &id](const IterRecord& rec, std::uint64_t errors) {
+        conn->send_line_best_effort(progress_line(id, rec, errors));
+      };
+    }
   }
 
   const campaign::JobResult result = campaign::CampaignExecutor::run_job(

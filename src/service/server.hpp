@@ -107,6 +107,9 @@ class Server {
     std::shared_ptr<Connection> conn;
     Request req;
     std::shared_ptr<CancelToken> token;
+    /// solve_batch only: one token per column, tripped by {"op":"cancel",
+    /// "col":j} to freeze that column while the rest keep converging.
+    std::vector<std::shared_ptr<CancelToken>> col_tokens;
   };
 
   bool listen_unix(std::string* err);

@@ -93,6 +93,50 @@ void spmv_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* x, doub
   }
 }
 
+namespace {
+
+// Fixed-width column tile of the fused product: a compile-time accumulator
+// count keeps all K running sums in registers across a row's entries.
+template <int K>
+void spmm_rows_tile(const CsrMatrix& A, index_t r0, index_t r1, const double* X,
+                    double* Y, index_t k, index_t j0) {
+  for (index_t i = r0; i < r1; ++i) {
+    double acc[K];
+    for (int t = 0; t < K; ++t) acc[t] = 0.0;
+    for (index_t e = A.row_ptr[static_cast<std::size_t>(i)];
+         e < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+      const double v = A.vals[static_cast<std::size_t>(e)];
+      const double* x = X + A.col_idx[static_cast<std::size_t>(e)] * k + j0;
+      for (int t = 0; t < K; ++t) acc[t] += v * x[t];
+    }
+    double* y = Y + i * k + j0;
+    for (int t = 0; t < K; ++t) y[t] = acc[t];
+  }
+}
+
+}  // namespace
+
+void spmm(const CsrMatrix& A, const double* X, double* Y, index_t k) {
+  spmm_rows(A, 0, A.n, X, Y, k);
+}
+
+void spmm_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* X, double* Y,
+               index_t k) {
+  // Columns go through in compile-time-width tiles (8, then 4, then the
+  // 1..3 remainder): one matrix sweep per tile, the row's value broadcast
+  // over contiguous X loads (the bandwidth win SpMM is for).  Per column
+  // the accumulation order equals spmv_rows' exactly.
+  index_t j0 = 0;
+  for (; j0 + 8 <= k; j0 += 8) spmm_rows_tile<8>(A, r0, r1, X, Y, k, j0);
+  if (j0 + 4 <= k) { spmm_rows_tile<4>(A, r0, r1, X, Y, k, j0); j0 += 4; }
+  switch (k - j0) {
+    case 3: spmm_rows_tile<3>(A, r0, r1, X, Y, k, j0); break;
+    case 2: spmm_rows_tile<2>(A, r0, r1, X, Y, k, j0); break;
+    case 1: spmm_rows_tile<1>(A, r0, r1, X, Y, k, j0); break;
+    default: break;
+  }
+}
+
 double residual_norm(const CsrMatrix& A, const double* x, const double* b) {
   double s = 0.0;
   for (index_t i = 0; i < A.n; ++i) {

@@ -51,6 +51,17 @@ void spmv(const CsrMatrix& A, const double* x, double* y);
 /// by the lhs recovery relation  q_i = sum_j A_ij d_j  (Table 1).
 void spmv_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* x, double* y);
 
+/// Y = A X for `k` right-hand sides stored row-major (column j of row i at
+/// X[i*k + j]): one matrix sweep feeds all k columns (SpMM), so the matrix
+/// is read once instead of k times.  Column j of the result is bit-identical
+/// to spmv() on column j: each (row, column) pair accumulates its products
+/// in the same (column-sorted) order in its own accumulator.
+void spmm(const CsrMatrix& A, const double* X, double* Y, index_t k);
+
+/// Y[r0..r1) = (A X)[r0..r1) for `k` row-major right-hand sides.
+void spmm_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* X, double* Y,
+               index_t k);
+
 /// ||b - A x||_2, the solver's convergence quantity.
 double residual_norm(const CsrMatrix& A, const double* x, const double* b);
 

@@ -53,11 +53,35 @@ void SparseMatrix::spmv_rows(index_t r0, index_t r1, const double* x, double* y)
     feir::spmv_rows(*csr_, r0, r1, x, y);
 }
 
+void SparseMatrix::spmm(const double* X, double* Y, index_t k) const {
+  if (sell_ != nullptr)
+    feir::spmm(*sell_, X, Y, k);
+  else
+    feir::spmm(*csr_, X, Y, k);
+}
+
+void SparseMatrix::spmm_rows(index_t r0, index_t r1, const double* X, double* Y,
+                             index_t k) const {
+  if (sell_ != nullptr)
+    feir::spmm_rows(*sell_, r0, r1, X, Y, k);
+  else
+    feir::spmm_rows(*csr_, r0, r1, X, Y, k);
+}
+
 void spmv(const SparseMatrix& A, const double* x, double* y) { A.spmv(x, y); }
 
 void spmv_rows(const SparseMatrix& A, index_t r0, index_t r1, const double* x,
                double* y) {
   A.spmv_rows(r0, r1, x, y);
+}
+
+void spmm(const SparseMatrix& A, const double* X, double* Y, index_t k) {
+  A.spmm(X, Y, k);
+}
+
+void spmm_rows(const SparseMatrix& A, index_t r0, index_t r1, const double* X,
+               double* Y, index_t k) {
+  A.spmm_rows(r0, r1, X, Y, k);
 }
 
 namespace {

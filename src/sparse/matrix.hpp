@@ -71,6 +71,15 @@ class SparseMatrix {
   /// y[r0..r1) = (A x)[r0..r1) through the selected backend.
   void spmv_rows(index_t r0, index_t r1, const double* x, double* y) const;
 
+  /// Y = A X for `k` row-major right-hand sides (X[i*k + j] is column j of
+  /// row i): one matrix sweep per 8-column tile instead of k sweeps.  Every
+  /// backend's column j is bit-identical to its spmv() on that column, so a
+  /// batched solve reproduces k independent solves exactly.
+  void spmm(const double* X, double* Y, index_t k) const;
+
+  /// Y[r0..r1) = (A X)[r0..r1) for `k` row-major right-hand sides.
+  void spmm_rows(index_t r0, index_t r1, const double* X, double* Y, index_t k) const;
+
  private:
   const CsrMatrix* csr_ = nullptr;
   SparseFormat format_ = SparseFormat::Csr;
@@ -81,6 +90,9 @@ class SparseMatrix {
 void spmv(const SparseMatrix& A, const double* x, double* y);
 void spmv_rows(const SparseMatrix& A, index_t r0, index_t r1, const double* x,
                double* y);
+void spmm(const SparseMatrix& A, const double* X, double* Y, index_t k);
+void spmm_rows(const SparseMatrix& A, index_t r0, index_t r1, const double* X,
+               double* Y, index_t k);
 
 /// Symmetric (forward then backward) Gauss-Seidel sweeps of the diagonal
 /// block rows [r0, r1): z|[r0,r1) approximates A_bb^{-1} g|[r0,r1) using only

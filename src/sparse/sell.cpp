@@ -11,6 +11,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <type_traits>
 
 namespace feir {
 
@@ -75,6 +76,68 @@ void run_slices(const SellMatrix& A, index_t s0, index_t s1, const double* x,
   // clamp_slice keeps slice_rows a power of two <= 64; unreachable.
 }
 
+// The fused multi-RHS slice kernel.  SpMM flips the profitable vector axis:
+// with row-major X the k columns of one row are CONTIGUOUS, so each lane
+// walks its own entries (stride C through the slice, which stays hot in L1)
+// broadcasting the value over an 8-column tile of contiguous X loads — no
+// gathers at all, and the matrix is read from DRAM once for all k columns.
+// Per column the accumulation order is the lane's storage (= column-sorted)
+// order with padded steps never touched, so every column's bits equal the
+// single-vector kernel's.
+template <int C>
+void slice_spmm_kernel(const SellMatrix& A, index_t s0, index_t s1, const double* X,
+                       double* Y, index_t k) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t off = A.slice_ptr[static_cast<std::size_t>(s)];
+    const index_t base = s * C;
+    const index_t lanes = std::min<index_t>(C, A.n - base);
+    for (index_t r = 0; r < lanes; ++r) {
+      const index_t len = A.len[static_cast<std::size_t>(base + r)];
+      const double* v0 = &A.vals[static_cast<std::size_t>(off + r)];
+      const std::int32_t* c0 = &A.cols[static_cast<std::size_t>(off + r)];
+      double* y = Y + A.perm[static_cast<std::size_t>(base + r)] * k;
+      // Every tile gets a compile-time width (one vector of accumulators);
+      // 8, then 4, then the 1..3 remainder.
+      auto tile = [&](auto width, index_t j0) {
+        constexpr int T = decltype(width)::value;
+        double acc[T];
+        for (int t = 0; t < T; ++t) acc[t] = 0.0;
+        for (index_t j = 0; j < len; ++j) {
+          const double v = v0[j * C];
+          const double* x = X + static_cast<index_t>(c0[j * C]) * k + j0;
+#pragma omp simd
+          for (int t = 0; t < T; ++t) acc[t] += v * x[t];
+        }
+        for (int t = 0; t < T; ++t) y[j0 + t] = acc[t];
+      };
+      index_t j0 = 0;
+      for (; j0 + 8 <= k; j0 += 8) tile(std::integral_constant<int, 8>{}, j0);
+      if (j0 + 4 <= k) { tile(std::integral_constant<int, 4>{}, j0); j0 += 4; }
+      switch (k - j0) {
+        case 3: tile(std::integral_constant<int, 3>{}, j0); break;
+        case 2: tile(std::integral_constant<int, 2>{}, j0); break;
+        case 1: tile(std::integral_constant<int, 1>{}, j0); break;
+        default: break;
+      }
+    }
+  }
+}
+
+void run_slices_spmm(const SellMatrix& A, index_t s0, index_t s1, const double* X,
+                     double* Y, index_t k) {
+  switch (A.slice_rows) {
+    case 1: slice_spmm_kernel<1>(A, s0, s1, X, Y, k); return;
+    case 2: slice_spmm_kernel<2>(A, s0, s1, X, Y, k); return;
+    case 4: slice_spmm_kernel<4>(A, s0, s1, X, Y, k); return;
+    case 8: slice_spmm_kernel<8>(A, s0, s1, X, Y, k); return;
+    case 16: slice_spmm_kernel<16>(A, s0, s1, X, Y, k); return;
+    case 32: slice_spmm_kernel<32>(A, s0, s1, X, Y, k); return;
+    case 64: slice_spmm_kernel<64>(A, s0, s1, X, Y, k); return;
+    default: break;
+  }
+  // clamp_slice keeps slice_rows a power of two <= 64; unreachable.
+}
+
 // One row through the sliced storage: same column order as CSR, so the same
 // bits as the vector kernel and the scalar reference.
 double row_gather(const SellMatrix& A, index_t i, const double* x) {
@@ -86,6 +149,23 @@ double row_gather(const SellMatrix& A, index_t i, const double* x) {
     acc += A.vals[static_cast<std::size_t>(off + j * C)] *
            x[A.cols[static_cast<std::size_t>(off + j * C)]];
   return acc;
+}
+
+// One row of the fused product: k accumulators, entries in storage order —
+// the same bits as the slice kernel and the CSR reference, per column.
+void row_gather_multi(const SellMatrix& A, index_t i, const double* X, double* Y,
+                      index_t k) {
+  const index_t C = A.slice_rows;
+  const index_t p = A.rank[static_cast<std::size_t>(i)];
+  const index_t off = A.slice_ptr[static_cast<std::size_t>(p / C)] + p % C;
+  double* y = Y + i * k;
+  for (index_t t = 0; t < k; ++t) y[t] = 0.0;
+  for (index_t j = 0; j < A.len[static_cast<std::size_t>(p)]; ++j) {
+    const double v = A.vals[static_cast<std::size_t>(off + j * C)];
+    const double* x =
+        X + static_cast<index_t>(A.cols[static_cast<std::size_t>(off + j * C)]) * k;
+    for (index_t t = 0; t < k; ++t) y[t] += v * x[t];
+  }
 }
 
 }  // namespace
@@ -189,6 +269,26 @@ void spmv_rows(const SellMatrix& A, index_t r0, index_t r1, const double* x,
   for (index_t i = r0; i < a0; ++i) y[i] = row_gather(A, i, x);
   run_slices(A, a0 / C, (a1 + C - 1) / C, x, y);
   for (index_t i = a1; i < r1; ++i) y[i] = row_gather(A, i, x);
+}
+
+void spmm(const SellMatrix& A, const double* X, double* Y, index_t k) {
+  run_slices_spmm(A, 0, A.nslices, X, Y, k);
+}
+
+void spmm_rows(const SellMatrix& A, index_t r0, index_t r1, const double* X, double* Y,
+               index_t k) {
+  const index_t C = A.slice_rows;
+  // The same σ-aligned split as spmv_rows: whole windows through the fused
+  // slice kernel, unaligned head/tail rows one at a time.
+  index_t a0 = r0 + (A.sigma - r0 % A.sigma) % A.sigma;
+  index_t a1 = r1 == A.n ? A.n : r1 - r1 % A.sigma;
+  if (a1 <= a0) {
+    for (index_t i = r0; i < r1; ++i) row_gather_multi(A, i, X, Y, k);
+    return;
+  }
+  for (index_t i = r0; i < a0; ++i) row_gather_multi(A, i, X, Y, k);
+  run_slices_spmm(A, a0 / C, (a1 + C - 1) / C, X, Y, k);
+  for (index_t i = a1; i < r1; ++i) row_gather_multi(A, i, X, Y, k);
 }
 
 }  // namespace feir

@@ -64,4 +64,18 @@ void spmv(const SellMatrix& A, const double* x, double* y);
 /// fall back to per-row gathers.  Bit-identical to the CSR spmv_rows().
 void spmv_rows(const SellMatrix& A, index_t r0, index_t r1, const double* x, double* y);
 
+/// Y = A X for `k` right-hand sides stored row-major (column j of row i at
+/// X[i*k + j]): one sweep of the sliced storage feeds all k columns.  Per
+/// column bit-identical to spmv() — each lane keeps one accumulator per
+/// column and visits its entries in the same (column-sorted) order, padded
+/// steps skipped per lane, so the k-fused result matches k independent SpMVs
+/// exactly.
+void spmm(const SellMatrix& A, const double* X, double* Y, index_t k);
+
+/// Y[r0..r1) = (A X)[r0..r1) for `k` row-major right-hand sides; the same
+/// σ-aligned interior / per-row head-tail split as spmv_rows(), so recovery
+/// footprints stay page-addressable.  Bit-identical to the CSR spmm_rows().
+void spmm_rows(const SellMatrix& A, index_t r0, index_t r1, const double* X, double* Y,
+               index_t k);
+
 }  // namespace feir

@@ -1,0 +1,83 @@
+#include "support/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace feir {
+
+namespace {
+
+/// strtod/strtol skip leading whitespace and stop at the first bad byte;
+/// strictness means neither may happen.
+bool clean_bounds(const std::string& s, const char* end) {
+  if (s.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(s.front()))) return false;
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+bool parse_double(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (!clean_bounds(s, end)) return false;
+  if (!std::isfinite(v)) return false;  // "nan", "inf", and ERANGE overflow
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& s, long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (!clean_bounds(s, end)) return false;
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (!s.empty() && s.front() == '-')
+    return false;  // strtoull wraps "-1" to 2^64 - 1; be explicit instead
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (!clean_bounds(s, end)) return false;
+  if (errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+void cli_fail(const std::string& flag, const std::string& why) {
+  std::fprintf(stderr, "error: %s %s\n", flag.c_str(), why.c_str());
+  std::exit(2);
+}
+
+double cli_double(const std::string& flag, const std::string& value) {
+  double v = 0.0;
+  if (!parse_double(value, &v))
+    cli_fail(flag, "expects a finite number, got \"" + value + "\"");
+  return v;
+}
+
+long long cli_int(const std::string& flag, const std::string& value, long long lo,
+                  long long hi) {
+  long long v = 0;
+  if (!parse_int(value, &v) || v < lo || v > hi)
+    cli_fail(flag, "expects an integer in [" + std::to_string(lo) + ", " +
+                       std::to_string(hi) + "], got \"" + value + "\"");
+  return v;
+}
+
+std::uint64_t cli_u64(const std::string& flag, const std::string& value) {
+  std::uint64_t v = 0;
+  if (!parse_u64(value, &v))
+    cli_fail(flag, "expects an unsigned integer, got \"" + value + "\"");
+  return v;
+}
+
+}  // namespace feir

@@ -1,0 +1,45 @@
+// Strict numeric parsing for untrusted text (CLI flags, config strings).
+//
+// std::atoi/std::atof are traps at a trust boundary: `--tol abc` silently
+// becomes 0.0, `--threads -1` becomes 4294967295 through an unsigned cast,
+// and overflow is undefined.  These parsers accept exactly one complete,
+// in-range number — empty input, leading/trailing garbage, NaN/±inf, and
+// overflow are all rejected — and the cli_* wrappers turn a rejection into
+// the conventional exit(2) with a diagnostic naming the flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace feir {
+
+/// Parses a finite double.  Rejects empty input, leading whitespace,
+/// trailing bytes, NaN, and ±inf (spelled or via overflow).  *out is
+/// untouched on failure.
+bool parse_double(const std::string& s, double* out);
+
+/// Parses a base-10 signed integer; rejects anything parse_double would plus
+/// fractions and values outside [INT64_MIN, INT64_MAX].
+bool parse_int(const std::string& s, long long* out);
+
+/// Parses a base-10 unsigned integer; additionally rejects a leading '-'
+/// (strtoull would silently wrap "-1" to 2^64 - 1).
+bool parse_u64(const std::string& s, std::uint64_t* out);
+
+// --- CLI wrappers: parse or exit(2) with "<flag>: <reason>" on stderr -------
+
+/// Prints "error: <flag> <why>" and exits 2.  For range checks the parsers
+/// cannot express ("--tol must be in (0, 1)").
+[[noreturn]] void cli_fail(const std::string& flag, const std::string& why);
+
+/// Finite double or exit 2.
+double cli_double(const std::string& flag, const std::string& value);
+
+/// Integer in [lo, hi] or exit 2 (the message quotes the bounds).
+long long cli_int(const std::string& flag, const std::string& value, long long lo,
+                  long long hi);
+
+/// Unsigned 64-bit integer or exit 2.
+std::uint64_t cli_u64(const std::string& flag, const std::string& value);
+
+}  // namespace feir

@@ -1,0 +1,304 @@
+// Tests for core/resilient_block_cg.hpp: the batched multi-RHS solver.
+//
+// The contract under test, in order of importance:
+//   1. batch-width independence — a width-k batch reproduces k width-1
+//      batches bit-for-bit, on either storage backend;
+//   2. fault isolation — DUEs injected into column j are recovered with
+//      per-column FEIR interpolation and the SURVIVING columns stay
+//      byte-identical to an uninjected run;
+//   3. per-column convergence, cancellation, and checkpoint rollback.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/injection.hpp"
+#include "campaign/jobspec.hpp"
+#include "core/resilient_block_cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/vecops.hpp"
+#include "support/cancel.hpp"
+
+namespace feir {
+namespace {
+
+bool bits_equal(const double* a, const double* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(double)) == 0;
+}
+
+struct BatchRun {
+  std::vector<double> X;  // row-major n x k
+  ResilientBlockCgResult res;
+};
+
+/// Runs a batch over the block_rhs family with an optional per-iteration
+/// hook (injection).
+BatchRun run_batch(const TestbedProblem& p, SparseFormat format, index_t k,
+                   ResilientBlockCgOptions opts,
+                   const std::vector<double>* rhs = nullptr,
+                   std::function<void(ResilientBlockCg&, index_t, const IterRecord&)>
+                       hook = nullptr) {
+  const SparseMatrix S = SparseMatrix::make(p.A, format, 8, 64);
+  const std::vector<double> B =
+      rhs != nullptr ? *rhs : campaign::block_rhs(p.b, k, 7);
+  BatchRun run;
+  run.X.assign(static_cast<std::size_t>(p.A.n * k), 0.0);
+  ResilientBlockCg* live = nullptr;
+  if (hook) {
+    opts.on_col_iteration = [&live, hook](index_t col, const IterRecord& rec) {
+      if (live != nullptr) hook(*live, col, rec);
+    };
+  }
+  ResilientBlockCg solver(S, B.data(), k, opts);
+  live = &solver;
+  run.res = solver.solve(run.X.data());
+  return run;
+}
+
+/// Column j of a row-major n x k multivector, deinterleaved.
+std::vector<double> column(const std::vector<double>& X, index_t n, index_t k,
+                           index_t j) {
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) c[static_cast<std::size_t>(i)] = X[static_cast<std::size_t>(i * k + j)];
+  return c;
+}
+
+ResilientBlockCgOptions base_opts() {
+  ResilientBlockCgOptions opts;
+  opts.tol = 1e-9;
+  opts.block_rows = 64;
+  opts.threads = 1;
+  return opts;
+}
+
+// ------------------------------------------------ width independence -----
+
+TEST(BlockCg, BatchWidthOneMatchesWidthFourPerColumnBitwise) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  const index_t k = 4;
+  const std::vector<double> B = campaign::block_rhs(p.b, k, 7);
+  const BatchRun wide = run_batch(p, SparseFormat::Csr, k, base_opts(), &B);
+  ASSERT_TRUE(wide.res.converged);
+
+  for (index_t j = 0; j < k; ++j) {
+    // The same column solved alone (a width-1 batch with that rhs).
+    std::vector<double> bj(static_cast<std::size_t>(p.A.n));
+    for (index_t i = 0; i < p.A.n; ++i) bj[static_cast<std::size_t>(i)] = B[static_cast<std::size_t>(i * k + j)];
+    const BatchRun solo = run_batch(p, SparseFormat::Csr, 1, base_opts(), &bj);
+    ASSERT_TRUE(solo.res.converged);
+    const std::vector<double> xj = column(wide.X, p.A.n, k, j);
+    ASSERT_TRUE(bits_equal(xj.data(), solo.X.data(), p.A.n))
+        << "column " << j << " diverged from its standalone solve";
+    EXPECT_EQ(wide.res.columns[static_cast<std::size_t>(j)].iterations,
+              solo.res.columns[0].iterations);
+  }
+}
+
+TEST(BlockCg, FormatsAgreeBitwiseOnTheWholeBatch) {
+  TestbedProblem p = make_testbed("thermal2", 0.12);
+  const BatchRun csr = run_batch(p, SparseFormat::Csr, 3, base_opts());
+  const BatchRun sell = run_batch(p, SparseFormat::Sell, 3, base_opts());
+  ASSERT_TRUE(csr.res.converged);
+  ASSERT_TRUE(sell.res.converged);
+  ASSERT_TRUE(bits_equal(csr.X.data(), sell.X.data(), p.A.n * 3));
+  EXPECT_EQ(csr.res.iterations, sell.res.iterations);
+}
+
+TEST(BlockCg, ThreadCountDoesNotChangeTheBits) {
+  TestbedProblem p = make_testbed("ecology2", 0.1);
+  ResilientBlockCgOptions t4 = base_opts();
+  t4.threads = 4;  // chunks the fused SpMM; row partitioning preserves bits
+  const BatchRun one = run_batch(p, SparseFormat::Sell, 4, base_opts());
+  const BatchRun four = run_batch(p, SparseFormat::Sell, 4, t4);
+  ASSERT_TRUE(one.res.converged);
+  ASSERT_TRUE(bits_equal(one.X.data(), four.X.data(), p.A.n * 4));
+}
+
+// ---------------------------------------------------- fault isolation ----
+
+TEST(BlockCg, InjectedDueLeavesSurvivingColumnsByteIdentical) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  const index_t k = 4, victim = 2;
+
+  const BatchRun clean = run_batch(p, SparseFormat::Csr, k, base_opts());
+  ASSERT_TRUE(clean.res.converged);
+
+  // Same batch, DUEs dropped into column `victim` only: a block of its
+  // residual, iterate, and direction across a few iterations.
+  int injected = 0;
+  const BatchRun hit = run_batch(
+      p, SparseFormat::Csr, k, base_opts(), nullptr,
+      [&injected, victim](ResilientBlockCg& s, index_t col, const IterRecord& rec) {
+        if (col != victim) return;
+        if (rec.iter == 5 || rec.iter == 9 || rec.iter == 14) {
+          FaultDomain& dom = s.domain(victim);
+          const char* regions[] = {"g", "x", "d0"};
+          ProtectedRegion* r = dom.find(regions[injected % 3]);
+          ASSERT_NE(r, nullptr);
+          r->lose_block(r->layout.num_blocks() / 2);
+          ++injected;
+        }
+      });
+  ASSERT_GE(injected, 3);
+  ASSERT_TRUE(hit.res.converged) << "victim column must still converge";
+  EXPECT_GT(hit.res.stats.errors_detected, 0u);
+  EXPECT_GT(hit.res.stats.diag_solves + hit.res.stats.residual_recomputes +
+                hit.res.stats.x_recoveries + hit.res.stats.spmv_recomputes +
+                hit.res.stats.restarts,
+            0u)
+      << "recovery machinery must actually fire";
+
+  for (index_t j = 0; j < k; ++j) {
+    const std::vector<double> a = column(clean.X, p.A.n, k, j);
+    const std::vector<double> b = column(hit.X, p.A.n, k, j);
+    if (j == victim) continue;  // its trajectory may legitimately differ
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), p.A.n))
+        << "surviving column " << j << " was perturbed by column " << victim
+        << "'s DUE";
+    EXPECT_EQ(clean.res.columns[static_cast<std::size_t>(j)].iterations,
+              hit.res.columns[static_cast<std::size_t>(j)].iterations);
+  }
+}
+
+TEST(BlockCg, CheckpointMethodRollsTheHitColumnBack) {
+  TestbedProblem p = make_testbed("ecology2", 0.1);
+  ResilientBlockCgOptions opts = base_opts();
+  opts.method = Method::Checkpoint;
+  opts.ckpt_period_iters = 10;
+  int injected = 0;
+  const BatchRun run = run_batch(
+      p, SparseFormat::Csr, 2, opts, nullptr,
+      [&injected](ResilientBlockCg& s, index_t col, const IterRecord& rec) {
+        if (col == 1 && rec.iter == 12 && injected == 0) {
+          ProtectedRegion* r = s.domain(1).find("x");
+          r->lose_block(0);
+          ++injected;
+        }
+      });
+  ASSERT_EQ(injected, 1);
+  ASSERT_TRUE(run.res.converged);
+  EXPECT_GE(run.res.stats.rollbacks, 1u);
+  EXPECT_GE(run.res.stats.checkpoints, 2u);
+}
+
+// ------------------------------------- per-column convergence / cancel ----
+
+TEST(BlockCg, ColumnsFreezeIndependently) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  const BatchRun run = run_batch(p, SparseFormat::Csr, 4, base_opts());
+  ASSERT_TRUE(run.res.converged);
+  ASSERT_EQ(run.res.columns.size(), 4u);
+  index_t min_iter = run.res.iterations, max_iter = 0;
+  for (const BlockColumnResult& c : run.res.columns) {
+    EXPECT_TRUE(c.converged);
+    EXPECT_LE(c.final_relres, 1e-9);
+    EXPECT_LE(c.iterations, run.res.iterations);
+    min_iter = std::min(min_iter, c.iterations);
+    max_iter = std::max(max_iter, c.iterations);
+  }
+  EXPECT_LE(min_iter, max_iter);
+}
+
+TEST(BlockCg, PerColumnCancelFreezesOnlyThatColumn) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  CancelToken cancel_col1;
+  cancel_col1.cancel();  // tripped before the solve even starts
+  CancelToken never;
+  ResilientBlockCgOptions opts = base_opts();
+  opts.col_cancel = {&never, &cancel_col1, &never};
+  const BatchRun run = run_batch(p, SparseFormat::Csr, 3, opts);
+
+  EXPECT_FALSE(run.res.converged) << "a cancelled column is not converged";
+  EXPECT_FALSE(run.res.cancelled) << "the batch itself was not cancelled";
+  EXPECT_TRUE(run.res.columns[0].converged);
+  EXPECT_TRUE(run.res.columns[1].cancelled);
+  EXPECT_FALSE(run.res.columns[1].converged);
+  EXPECT_EQ(run.res.columns[1].iterations, 0);
+  EXPECT_TRUE(run.res.columns[2].converged);
+}
+
+TEST(BlockCg, BatchCancelStopsEverything) {
+  TestbedProblem p = make_testbed("ecology2", 0.12);
+  CancelToken token;
+  token.cancel();
+  ResilientBlockCgOptions opts = base_opts();
+  opts.cancel = &token;
+  const BatchRun run = run_batch(p, SparseFormat::Csr, 2, opts);
+  EXPECT_TRUE(run.res.cancelled);
+  EXPECT_FALSE(run.res.converged);
+  EXPECT_EQ(run.res.iterations, 0);
+  for (const BlockColumnResult& c : run.res.columns) EXPECT_TRUE(c.cancelled);
+}
+
+TEST(BlockCg, RejectsUnsupportedMethodsAndWidths) {
+  TestbedProblem p = make_testbed("ecology2", 0.08);
+  const SparseMatrix S(p.A);
+  ResilientBlockCgOptions opts = base_opts();
+  opts.method = Method::Trivial;
+  EXPECT_THROW(ResilientBlockCg(S, p.b.data(), 1, opts), std::invalid_argument);
+  opts.method = Method::Lossy;
+  EXPECT_THROW(ResilientBlockCg(S, p.b.data(), 1, opts), std::invalid_argument);
+  opts.method = Method::Feir;
+  EXPECT_THROW(ResilientBlockCg(S, p.b.data(), 0, opts), std::invalid_argument);
+  opts.col_cancel = {nullptr, nullptr};  // 2 entries for a width-3 batch
+  EXPECT_THROW(ResilientBlockCg(S, p.b.data(), 3, opts), std::invalid_argument);
+}
+
+// ------------------------------------------------ campaign integration ----
+
+TEST(BlockCg, RunJobDispatchesBatchedSpecsAndFillsColumns) {
+  campaign::JobSpec spec;
+  spec.matrix = "ecology2";
+  spec.scale = 0.1;
+  spec.nrhs = 3;
+  spec.tol = 1e-8;
+  spec.block_rows = 64;
+  spec.inject.kind = campaign::InjectionKind::IterationMtbe;
+  spec.inject.mean_iters = 20.0;
+  spec.seed = 11;
+  const TestbedProblem p = campaign::CampaignExecutor::load_problem("ecology2", 0.1);
+  const campaign::JobResult r =
+      campaign::CampaignExecutor::run_job(spec, p, nullptr, nullptr);
+  ASSERT_TRUE(r.ran) << r.error;
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_GT(r.errors_injected, 0u);
+  std::uint64_t col_errors = 0;
+  for (const campaign::ColumnOutcome& c : r.columns) {
+    EXPECT_TRUE(c.converged);
+    col_errors += c.errors_injected;
+  }
+  EXPECT_EQ(col_errors, r.errors_injected);
+
+  // Replay determinism: the same spec reproduces the identical result.
+  const campaign::JobResult again =
+      campaign::CampaignExecutor::run_job(spec, p, nullptr, nullptr);
+  ASSERT_TRUE(again.ran);
+  EXPECT_EQ(r.iterations, again.iterations);
+  EXPECT_EQ(r.final_relres, again.final_relres);
+  EXPECT_EQ(r.errors_injected, again.errors_injected);
+}
+
+TEST(BlockCg, RunJobRejectsUnsupportedBatchCombos) {
+  const TestbedProblem p = campaign::CampaignExecutor::load_problem("ecology2", 0.08);
+  campaign::JobSpec spec;
+  spec.matrix = "ecology2";
+  spec.scale = 0.08;
+  spec.nrhs = 2;
+  spec.solver = campaign::SolverKind::Gmres;
+  campaign::JobResult r = campaign::CampaignExecutor::run_job(spec, p, nullptr, nullptr);
+  EXPECT_FALSE(r.ran);
+  EXPECT_NE(r.error.find("solver cg"), std::string::npos) << r.error;
+
+  spec.solver = campaign::SolverKind::Cg;
+  spec.inject.kind = campaign::InjectionKind::WallClockMtbe;
+  spec.inject.mtbe_s = 0.5;
+  r = campaign::CampaignExecutor::run_job(spec, p, nullptr, nullptr);
+  EXPECT_FALSE(r.ran);
+  EXPECT_NE(r.error.find("deterministically"), std::string::npos) << r.error;
+}
+
+}  // namespace
+}  // namespace feir

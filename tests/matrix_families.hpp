@@ -1,0 +1,110 @@
+// Shared randomized matrix families for the sparse property suites
+// (sparse_backend_test, spmm_test): pathological shapes that stress sliced
+// storage — banded, stencil, power-law rows, empty rows, single-column — plus
+// a vector generator that mixes ±0.0 and subnormal-adjacent values so
+// bit-compatibility claims are tested where FP identities break.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace feir::testmat {
+
+enum Family { kBanded = 0, kStencil, kPowerLaw, kEmptyRows, kSingleColumn, kFamilies };
+
+inline const char* family_name(int f) {
+  switch (f) {
+    case kBanded: return "banded";
+    case kStencil: return "stencil";
+    case kPowerLaw: return "power-law";
+    case kEmptyRows: return "empty-rows";
+    case kSingleColumn: return "single-column";
+  }
+  return "?";
+}
+
+inline CsrMatrix random_matrix(Rng& rng, int family) {
+  const index_t n = 1 + static_cast<index_t>(rng.uniform_int(160));
+  std::vector<Triplet> ts;
+  switch (family) {
+    case kBanded: {
+      const index_t bw = static_cast<index_t>(rng.uniform_int(9));
+      for (index_t i = 0; i < n; ++i)
+        for (index_t j = std::max<index_t>(0, i - bw);
+             j < std::min(n, i + bw + 1); ++j)
+          ts.push_back({i, j, rng.uniform(-2, 2)});
+      break;
+    }
+    case kStencil: {
+      // 2D 5-point pattern with randomized values (keeps the regular-stride
+      // columns SELL slices like best).
+      const index_t e = 1 + static_cast<index_t>(rng.uniform_int(12));
+      const index_t m = e * e;
+      for (index_t i = 0; i < m; ++i) {
+        const index_t x = i % e, y = i / e;
+        ts.push_back({i, i, 4.0 + rng.uniform(0, 1)});
+        if (x > 0) ts.push_back({i, i - 1, rng.uniform(-1, 0)});
+        if (x + 1 < e) ts.push_back({i, i + 1, rng.uniform(-1, 0)});
+        if (y > 0) ts.push_back({i, i - e, rng.uniform(-1, 0)});
+        if (y + 1 < e) ts.push_back({i, i + e, rng.uniform(-1, 0)});
+      }
+      return CsrMatrix::from_triplets(m, std::move(ts));
+    }
+    case kPowerLaw: {
+      // Row i gets ~n/(i+1) entries: a few very long rows, a long tail of
+      // short ones — the worst case for ELL-style padding.
+      for (index_t i = 0; i < n; ++i) {
+        const index_t k = std::max<index_t>(1, n / (i + 1));
+        for (index_t e = 0; e < k; ++e)
+          ts.push_back({i, static_cast<index_t>(rng.uniform_int(static_cast<int>(n))),
+                        rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    case kEmptyRows: {
+      // ~40% of rows stay empty, including (often) the trailing ones.
+      for (index_t i = 0; i < n; ++i) {
+        if (rng.uniform(0, 1) < 0.4) continue;
+        const index_t k = 1 + static_cast<index_t>(rng.uniform_int(5));
+        for (index_t e = 0; e < k; ++e)
+          ts.push_back({i, static_cast<index_t>(rng.uniform_int(static_cast<int>(n))),
+                        rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    case kSingleColumn: {
+      // Every row hits the same column (maximal gather conflict), a sparse
+      // diagonal on top.
+      const index_t c = static_cast<index_t>(rng.uniform_int(static_cast<int>(n)));
+      for (index_t i = 0; i < n; ++i) {
+        ts.push_back({i, c, rng.uniform(-3, 3)});
+        if (rng.uniform(0, 1) < 0.5) ts.push_back({i, i, rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    default: break;
+  }
+  return CsrMatrix::from_triplets(n, std::move(ts));
+}
+
+inline std::vector<double> random_vector(Rng& rng, index_t n) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    const double r = rng.uniform(0, 1);
+    if (r < 0.05) v = 0.0;
+    else if (r < 0.10) v = -0.0;
+    else if (r < 0.15) v = rng.uniform(-1, 1) * 1e-300;  // subnormal-adjacent
+    else v = rng.uniform(-10, 10);
+  }
+  return x;
+}
+
+inline bool bits_equal(const double* a, const double* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(double)) == 0;
+}
+
+}  // namespace feir::testmat

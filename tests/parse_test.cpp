@@ -1,0 +1,130 @@
+// Table-driven tests for the strict numeric parsers (support/parse.hpp):
+// the trust-boundary replacement for atoi/atof in the CLI tools.  Every
+// rejection class the header promises — empty, whitespace, trailing junk,
+// NaN/±inf (spelled or via overflow), fractional integers, signed wraps —
+// gets a row here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "support/parse.hpp"
+
+namespace feir {
+namespace {
+
+struct DoubleCase {
+  const char* name;
+  std::string in;
+  bool ok;
+  double want;  // only when ok
+};
+
+TEST(ParseDouble, Table) {
+  const DoubleCase cases[] = {
+      {"plain", "1.5", true, 1.5},
+      {"negative", "-2", true, -2.0},
+      {"explicit plus", "+3.25", true, 3.25},
+      {"exponent", "1e-9", true, 1e-9},
+      {"big exponent in range", "1e308", true, 1e308},
+      {"zero", "0", true, 0.0},
+      {"negative zero", "-0.0", true, -0.0},
+      {"subnormal underflow", "1e-320", true, 1e-320},
+      {"hex float", "0x1p3", true, 8.0},
+      {"empty", "", false, 0},
+      {"spaces only", "   ", false, 0},
+      {"leading space", " 1", false, 0},
+      {"trailing space", "1 ", false, 0},
+      {"trailing junk", "1.5x", false, 0},
+      {"two numbers", "1 2", false, 0},
+      {"alpha", "abc", false, 0},
+      {"bare minus", "-", false, 0},
+      {"bare dot", ".", false, 0},
+      {"nan", "nan", false, 0},
+      {"uppercase nan", "NAN", false, 0},
+      {"nan with payload", "nan(7)", false, 0},
+      {"inf", "inf", false, 0},
+      {"negative inf", "-inf", false, 0},
+      {"infinity", "infinity", false, 0},
+      {"overflow to inf", "1e5000", false, 0},
+      {"negative overflow", "-1e5000", false, 0},
+      {"embedded nul terminator survives", std::string("1\0 2", 4), false, 0},
+  };
+  for (const DoubleCase& c : cases) {
+    double v = -12345.0;
+    const bool got = parse_double(c.in, &v);
+    EXPECT_EQ(got, c.ok) << c.name;
+    if (c.ok && got) {
+      EXPECT_EQ(v, c.want) << c.name;
+    } else {
+      EXPECT_EQ(v, -12345.0) << c.name << ": *out must be untouched on failure";
+    }
+  }
+}
+
+struct IntCase {
+  const char* name;
+  std::string in;
+  bool ok;
+  long long want;
+};
+
+TEST(ParseInt, Table) {
+  const IntCase cases[] = {
+      {"plain", "42", true, 42},
+      {"negative", "-17", true, -17},
+      {"zero", "0", true, 0},
+      {"int64 max", "9223372036854775807", true, 9223372036854775807LL},
+      {"int64 min", "-9223372036854775808", true, INT64_MIN},
+      {"leading zeros", "007", true, 7},
+      {"empty", "", false, 0},
+      {"alpha", "abc", false, 0},
+      {"fraction", "1.5", false, 0},
+      {"trailing junk", "12x", false, 0},
+      {"leading space", " 12", false, 0},
+      {"overflow", "9223372036854775808", false, 0},
+      {"underflow", "-9223372036854775809", false, 0},
+      {"way overflow", "99999999999999999999999999", false, 0},
+      {"hex rejected", "0x10", false, 0},
+      {"exponent rejected", "1e3", false, 0},
+  };
+  for (const IntCase& c : cases) {
+    long long v = -999;
+    const bool got = parse_int(c.in, &v);
+    EXPECT_EQ(got, c.ok) << c.name;
+    if (c.ok && got) EXPECT_EQ(v, c.want) << c.name;
+    if (!c.ok) EXPECT_EQ(v, -999) << c.name;
+  }
+}
+
+struct U64Case {
+  const char* name;
+  std::string in;
+  bool ok;
+  std::uint64_t want;
+};
+
+TEST(ParseU64, Table) {
+  const U64Case cases[] = {
+      {"plain", "42", true, 42},
+      {"zero", "0", true, 0},
+      {"uint64 max", "18446744073709551615", true, UINT64_MAX},
+      {"negative wraps rejected", "-1", false, 0},
+      {"negative zero rejected", "-0", false, 0},
+      {"overflow", "18446744073709551616", false, 0},
+      {"empty", "", false, 0},
+      {"alpha", "seed", false, 0},
+      {"trailing junk", "1up", false, 0},
+      {"fraction", "3.0", false, 0},
+  };
+  for (const U64Case& c : cases) {
+    std::uint64_t v = 777;
+    const bool got = parse_u64(c.in, &v);
+    EXPECT_EQ(got, c.ok) << c.name;
+    if (c.ok && got) EXPECT_EQ(v, c.want) << c.name;
+    if (!c.ok) EXPECT_EQ(v, 777u) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace feir

@@ -201,7 +201,33 @@ std::vector<BadFrameCase> bad_frames() {
        "{\"op\": \"solve\", \"id\": \"a\", \"seed\": 18446744073709551616}",
        "bad_request", "seed must be an integer"},
       {"negative deadline", "{\"op\": \"solve\", \"id\": \"a\", \"deadline_ms\": -1}",
-       "bad_request", "deadline_ms must be >= 0"},
+       "bad_request", "deadline_ms must be > 0"},
+      {"zero deadline is not a sentinel",
+       "{\"op\": \"solve\", \"id\": \"a\", \"deadline_ms\": 0}", "bad_request",
+       "omit the field for no deadline"},
+      {"nrhs on plain solve", "{\"op\": \"solve\", \"id\": \"a\", \"nrhs\": 4}",
+       "bad_request", "nrhs is a solve_batch field"},
+      {"zero nrhs", "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 0}",
+       "bad_request", "nrhs must be an integer"},
+      {"oversized nrhs", "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 33}",
+       "bad_request", "nrhs must be an integer"},
+      {"fractional nrhs", "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 2.5}",
+       "bad_request", "nrhs must be an integer"},
+      {"batch with gmres",
+       "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 4, \"solver\": \"gmres\"}",
+       "bad_request", "solver \"cg\" only"},
+      {"batch with precond",
+       "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 4, \"precond\": \"jacobi\"}",
+       "bad_request", "precond \"none\" only"},
+      {"batch with lossy",
+       "{\"op\": \"solve_batch\", \"id\": \"a\", \"nrhs\": 4, \"method\": \"lossy\"}",
+       "bad_request", "not trivial/lossy"},
+      {"cancel col out of range", "{\"op\": \"cancel\", \"id\": \"a\", \"col\": 99}",
+       "bad_request", "col must be an integer"},
+      {"cancel col negative", "{\"op\": \"cancel\", \"id\": \"a\", \"col\": -1}",
+       "bad_request", "col must be an integer"},
+      {"col on solve", "{\"op\": \"solve\", \"id\": \"a\", \"col\": 1}",
+       "bad_request", "unknown field \"col\""},
       {"string stream", "{\"op\": \"solve\", \"id\": \"a\", \"stream\": \"yes\"}",
        "bad_request", "stream must be a boolean"},
       {"tiny block_rows", "{\"op\": \"solve\", \"id\": \"a\", \"block_rows\": 4}",
@@ -217,6 +243,29 @@ TEST(Protocol, MalformedFrameTableYieldsCleanErrors) {
     EXPECT_NE(p.message.find(c.msg_substr), std::string::npos)
         << c.name << ": got \"" << p.message << "\"";
   }
+}
+
+TEST(Protocol, ParsesASolveBatchRequest) {
+  const ParsedRequest p = parse_request(
+      "{\"op\": \"solve_batch\", \"id\": \"b1\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"nrhs\": 8, \"tol\": 1e-8, \"mtbe_iters\": 50,"
+      " \"stream\": true}");
+  ASSERT_TRUE(p.ok) << p.message;
+  EXPECT_EQ(p.req.op, Op::SolveBatch);
+  EXPECT_EQ(p.req.spec.nrhs, 8);
+  EXPECT_EQ(p.req.spec.solver, campaign::SolverKind::Cg);
+  EXPECT_TRUE(p.req.stream);
+  EXPECT_EQ(p.req.spec.threads, 1u);
+}
+
+TEST(Protocol, CancelWithColumnParses) {
+  const ParsedRequest p = parse_request("{\"op\": \"cancel\", \"id\": \"b1\", \"col\": 3}");
+  ASSERT_TRUE(p.ok) << p.message;
+  EXPECT_EQ(p.req.op, Op::Cancel);
+  EXPECT_EQ(p.req.col, 3);
+  const ParsedRequest whole = parse_request("{\"op\": \"cancel\", \"id\": \"b1\"}");
+  ASSERT_TRUE(whole.ok);
+  EXPECT_EQ(whole.req.col, -1) << "absent col = cancel the whole request";
 }
 
 TEST(Protocol, RejectedRequestsStillCarryTheIdWhenRecoverable) {
@@ -483,6 +532,133 @@ TEST(ServiceLive, StreamedSolveEmitsMonotoneProgressThenResult) {
   }
   EXPECT_GT(progress, 10u);
   EXPECT_EQ(field(line, "converged"), "true");
+}
+
+TEST(ServiceLive, SolveBatchConvergesWithPerColumnResultsAndRepeatsByteIdentically) {
+  LiveServer live({}, "batch");
+  const std::string req =
+      "{\"op\": \"solve_batch\", \"id\": \"b\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"nrhs\": 3, \"tol\": 1e-8, \"mtbe_iters\": 40,"
+      " \"seed\": 5}";
+  std::string first, second;
+  ASSERT_TRUE(live.client.roundtrip(req, &first));
+  EXPECT_EQ(field(first, "event"), "result") << first;
+  EXPECT_EQ(field(first, "converged"), "true") << first;
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(first, &v, &err)) << err;
+  EXPECT_EQ(v.find("nrhs")->number, 3.0);
+  const JsonValue* cols = v.find("columns");
+  ASSERT_NE(cols, nullptr) << first;
+  ASSERT_TRUE(cols->is_array());
+  ASSERT_EQ(cols->items.size(), 3u);
+  for (const JsonValue& c : cols->items) {
+    EXPECT_TRUE(c.find("converged")->boolean);
+    EXPECT_GT(c.find("iterations")->number, 0.0);
+  }
+  // Warm-cache rerun must be byte-identical (the soak-tier contract).
+  ASSERT_TRUE(live.client.roundtrip(req, &second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ServiceLive, StreamedBatchProgressCarriesColumns) {
+  LiveServer live({}, "batchstream");
+  ASSERT_TRUE(live.client.send_line(
+      "{\"op\": \"solve_batch\", \"id\": \"bs\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"nrhs\": 2, \"tol\": 1e-8, \"stream\": true}"));
+  std::string line;
+  bool saw_col0 = false, saw_col1 = false;
+  while (true) {
+    ASSERT_TRUE(live.client.recv_line(&line));
+    const std::string event = field(line, "event");
+    if (event == "progress") {
+      const std::string col = field(line, "col");
+      saw_col0 = saw_col0 || col == "0.000000";
+      saw_col1 = saw_col1 || col == "1.000000";
+      continue;
+    }
+    ASSERT_EQ(event, "result") << line;
+    break;
+  }
+  EXPECT_TRUE(saw_col0);
+  EXPECT_TRUE(saw_col1);
+  EXPECT_EQ(field(line, "converged"), "true");
+}
+
+/// A batch that cannot finish on its own within the test timeout.
+std::string endless_batch(const std::string& id) {
+  return "{\"op\": \"solve_batch\", \"id\": \"" + id +
+         "\", \"matrix\": \"ecology2\", \"scale\": 0.1, \"nrhs\": 2,"
+         " \"tol\": 1e-300, \"max_iter\": 1000000000}";
+}
+
+TEST(ServiceLive, PerColumnCancelFreezesOneColumnThenWholeCancelEndsTheBatch) {
+  LiveServer live({}, "colcancel");
+  ASSERT_TRUE(live.client.send_line(endless_batch("cb")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Column 1 alone: ack found, batch keeps running (no terminal event yet).
+  std::string reply;
+  ASSERT_TRUE(
+      live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"cb\", \"col\": 1}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  EXPECT_EQ(field(reply, "found"), "true");
+
+  // A column index beyond the batch width is not found.
+  ASSERT_TRUE(
+      live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"cb\", \"col\": 7}", &reply));
+  EXPECT_EQ(field(reply, "found"), "false");
+
+  // Whole-request cancel ends it; the terminal event is "cancelled".
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"cb\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  ASSERT_TRUE(live.client.recv_line(&reply));
+  EXPECT_EQ(field(reply, "id"), "cb");
+  EXPECT_EQ(field(reply, "code"), "cancelled") << reply;
+
+  // Pool healthy afterwards.
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"ok\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong");
+}
+
+TEST(ServiceLive, PerColumnCancelShowsUpInTheBatchResult) {
+  // One worker, occupied by an endless solve: the batch sits in the queue
+  // while column 0 is cancelled, so the cancel deterministically lands
+  // before the batch starts.
+  ServerOptions sopts;
+  sopts.workers = 1;
+  LiveServer live(sopts, "colcancelresult");
+  ASSERT_TRUE(live.client.send_line(endless_solve("blocker")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(live.client.send_line(
+      "{\"op\": \"solve_batch\", \"id\": \"cr\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"nrhs\": 2, \"tol\": 1e-8}"));
+  std::string reply;
+  ASSERT_TRUE(
+      live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"cr\", \"col\": 0}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  EXPECT_EQ(field(reply, "found"), "true");
+  // Release the worker; its terminal "cancelled" event comes first.
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"blocker\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  ASSERT_TRUE(live.client.recv_line(&reply));
+  EXPECT_EQ(field(reply, "code"), "cancelled") << reply;
+
+  // Now the batch runs with column 0 pre-cancelled: the result must mark
+  // exactly that column cancelled and the other converged.
+  ASSERT_TRUE(live.client.recv_line(&reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  EXPECT_EQ(field(reply, "converged"), "false") << reply;
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(reply, &v, &err)) << err;
+  const JsonValue* cols = v.find("columns");
+  ASSERT_NE(cols, nullptr);
+  ASSERT_EQ(cols->items.size(), 2u);
+  EXPECT_TRUE(cols->items[1].find("converged")->boolean) << reply;
+  const JsonValue* cancelled = cols->items[0].find("cancelled");
+  ASSERT_NE(cancelled, nullptr) << reply;
+  EXPECT_TRUE(cancelled->boolean);
 }
 
 TEST(ServiceLive, ServerStopsCleanlyWithSolvesInFlight) {

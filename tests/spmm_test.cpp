@@ -1,0 +1,209 @@
+// Multi-RHS property suite: the fused SpMM kernels (sparse/csr.hpp,
+// sparse/sell.hpp, the SparseMatrix dispatch, and the chunked BatchOps
+// staging) must be BIT-identical per column to k independent SpMVs — the
+// contract that lets a batched solve reproduce k single solves exactly —
+// over the same randomized shape families the backend suite uses, for every
+// batch width, slice height, sorting window, and chunk count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matrix_families.hpp"
+#include "runtime/batch_ops.hpp"
+#include "runtime/runtime.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/vecops.hpp"
+#include "support/rng.hpp"
+
+namespace feir {
+namespace {
+
+using testmat::bits_equal;
+using testmat::family_name;
+using testmat::kFamilies;
+using testmat::random_matrix;
+using testmat::random_vector;
+
+/// Row-major n x k multivector with the suite's adversarial value mix.
+std::vector<double> random_multivector(Rng& rng, index_t n, index_t k) {
+  std::vector<double> X;
+  X.reserve(static_cast<std::size_t>(n * k));
+  for (index_t j = 0; j < k; ++j) {
+    const std::vector<double> col = random_vector(rng, n);
+    X.resize(static_cast<std::size_t>(n * k));
+    for (index_t i = 0; i < n; ++i)
+      X[static_cast<std::size_t>(i * k + j)] = col[static_cast<std::size_t>(i)];
+  }
+  return X;
+}
+
+/// Reference: column j of the SpMM via the single-vector kernel.
+std::vector<double> k_spmvs(const SparseMatrix& M, const std::vector<double>& X,
+                            index_t k) {
+  const index_t n = M.n();
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  std::vector<double> Y(static_cast<std::size_t>(n * k));
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = X[static_cast<std::size_t>(i * k + j)];
+    M.spmv(x.data(), y.data());
+    for (index_t i = 0; i < n; ++i) Y[static_cast<std::size_t>(i * k + j)] = y[static_cast<std::size_t>(i)];
+  }
+  return Y;
+}
+
+// -------------------------------------------- full-sweep bit equivalence --
+
+TEST(SpmmProperty, SpmmBitEqualsKSpmvsAcrossShapesFormatsAndWidths) {
+  const index_t widths[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 16};
+  const index_t slices[] = {1, 2, 4, 8, 16};
+  const index_t sigmas[] = {1, 8, 32, 64, 1 << 20};
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 48271ULL + 11);
+    const int family = static_cast<int>(seed % kFamilies);
+    const CsrMatrix A = random_matrix(rng, family);
+    const index_t k = widths[seed % 10];
+    const std::vector<double> X = random_multivector(rng, A.n, k);
+
+    const SparseMatrix csr(A);
+    const SparseMatrix sell = SparseMatrix::make(A, SparseFormat::Sell,
+                                                 slices[seed % 5],
+                                                 sigmas[(seed / 5) % 5]);
+    const std::vector<double> ref = k_spmvs(csr, X, k);
+
+    for (const SparseMatrix* M : {&csr, &sell}) {
+      std::vector<double> Y(static_cast<std::size_t>(A.n * k), -7.0);
+      M->spmm(X.data(), Y.data(), k);
+      ASSERT_TRUE(bits_equal(ref.data(), Y.data(), A.n * k))
+          << format_name(M->format()) << " " << family_name(family) << " seed "
+          << seed << " n=" << A.n << " k=" << k;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200);
+}
+
+TEST(SpmmProperty, RowSubsetSpmmBitEqualsAndTouchesOnlyTheRange) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 6364136223846793005ULL + 5);
+    const int family = static_cast<int>(seed % kFamilies);
+    const CsrMatrix A = random_matrix(rng, family);
+    const index_t k = 1 + static_cast<index_t>(seed % 9);
+    const std::vector<double> X = random_multivector(rng, A.n, k);
+    const SparseMatrix csr(A);
+    const SparseMatrix sell = SparseMatrix::make(
+        A, SparseFormat::Sell, 1 + static_cast<index_t>(seed % 16),
+        8 * (1 + static_cast<index_t>(seed % 9)));
+
+    index_t r0 = static_cast<index_t>(rng.uniform_int(static_cast<int>(A.n + 1)));
+    index_t r1 = static_cast<index_t>(rng.uniform_int(static_cast<int>(A.n + 1)));
+    if (r0 > r1) std::swap(r0, r1);
+    if (seed % 17 == 0) { r0 = 0; r1 = A.n; }
+
+    std::vector<double> ref(static_cast<std::size_t>(A.n * k), -7.0);
+    spmm_rows(A, r0, r1, X.data(), ref.data(), k);
+    // The in-range rows must match the full-sweep reference bit for bit.
+    {
+      std::vector<double> full = k_spmvs(csr, X, k);
+      for (index_t i = r0; i < r1; ++i)
+        ASSERT_TRUE(bits_equal(&full[static_cast<std::size_t>(i * k)],
+                               &ref[static_cast<std::size_t>(i * k)], k))
+            << "csr row " << i << " seed " << seed;
+    }
+    std::vector<double> y(static_cast<std::size_t>(A.n * k), -7.0);
+    sell.spmm_rows(r0, r1, X.data(), y.data(), k);
+    ASSERT_TRUE(bits_equal(ref.data(), y.data(), A.n * k))
+        << family_name(family) << " seed " << seed << " range [" << r0 << ", "
+        << r1 << ") k=" << k;
+    // Outside rows keep the canary: the fused kernels never scatter outside
+    // the requested range (the recovery-footprint addressing guarantee).
+    for (index_t i = 0; i < A.n; ++i)
+      if (i < r0 || i >= r1)
+        for (index_t j = 0; j < k; ++j)
+          ASSERT_EQ(y[static_cast<std::size_t>(i * k + j)], -7.0);
+  }
+}
+
+// ---------------------------------------------------- chunked batch path --
+
+TEST(SpmmBatchOps, ChunkedSpmmIsBitDeterministicAtAnyChunkCount) {
+  TestbedProblem p = make_testbed("consph", 0.3);
+  const SparseMatrix S = SparseMatrix::make(p.A, SparseFormat::Sell, 8, 64);
+  Rng rng(5);
+  const index_t k = 6;
+  const std::vector<double> X = random_multivector(rng, p.A.n, k);
+  const std::vector<double> ref = k_spmvs(SparseMatrix(p.A), X, k);
+
+  for (unsigned nchunks : {1u, 3u, 7u}) {
+    Runtime rt(4);
+    TaskBatch tb(rt);
+    BatchOps ops(tb, p.A.n, nchunks);
+    std::vector<double> Y(static_cast<std::size_t>(p.A.n * k), 0.0);
+    ops.spmm(S, X.data(), Y.data(), k);
+    ops.run();
+    EXPECT_TRUE(bits_equal(ref.data(), Y.data(), p.A.n * k)) << nchunks << " chunks";
+  }
+}
+
+TEST(SpmmBatchOps, DotColsMatchesPerColumnDotAtAnyChunkCount) {
+  const index_t n = 1003, k = 5;
+  Rng rng(17);
+  const std::vector<double> X = random_multivector(rng, n, k);
+  const std::vector<double> Y = random_multivector(rng, n, k);
+
+  std::vector<double> first(static_cast<std::size_t>(k), 0.0);
+  for (unsigned nchunks : {1u, 4u, 9u}) {
+    Runtime rt(4);
+    TaskBatch tb(rt);
+    BatchOps ops(tb, n, nchunks);
+    std::vector<double> out(static_cast<std::size_t>(k), -1.0);
+    ops.dot_cols(X.data(), Y.data(), k, out.data());
+    ops.run();
+    if (nchunks == 1) {
+      // Reference: the sequential per-column dot, which one chunk must equal
+      // exactly.
+      for (index_t j = 0; j < k; ++j) {
+        double s = 0.0;
+        for (index_t i = 0; i < n; ++i)
+          s += X[static_cast<std::size_t>(i * k + j)] * Y[static_cast<std::size_t>(i * k + j)];
+        EXPECT_EQ(out[static_cast<std::size_t>(j)], s) << "col " << j;
+      }
+      first = out;
+    } else {
+      // Chunked runs are deterministic: repeated runs at the same chunk
+      // count are bitwise stable (index-ordered reduction).
+      Runtime rt2(4);
+      TaskBatch tb2(rt2);
+      BatchOps ops2(tb2, n, nchunks);
+      std::vector<double> again(static_cast<std::size_t>(k), -2.0);
+      ops2.dot_cols(X.data(), Y.data(), k, again.data());
+      ops2.run();
+      EXPECT_TRUE(bits_equal(out.data(), again.data(), k)) << nchunks << " chunks";
+    }
+  }
+}
+
+TEST(SpmmBatchOps, AxpyColsAtScalesEachColumnByItsOwnFactor) {
+  const index_t n = 257, k = 3;
+  Rng rng(23);
+  const std::vector<double> X = random_multivector(rng, n, k);
+  std::vector<double> Y(static_cast<std::size_t>(n * k), 1.0);
+  std::vector<double> expect = Y;
+  const double scale[3] = {2.0, -0.5, 0.0};
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < k; ++j)
+      expect[static_cast<std::size_t>(i * k + j)] +=
+          -1.0 * scale[j] * X[static_cast<std::size_t>(i * k + j)];
+
+  Runtime rt(2);
+  TaskBatch tb(rt);
+  BatchOps ops(tb, n, 3);
+  ops.axpy_cols_at(scale, -1.0, X.data(), Y.data(), k);
+  ops.run();
+  EXPECT_TRUE(bits_equal(expect.data(), Y.data(), n * k));
+}
+
+}  // namespace
+}  // namespace feir

@@ -22,6 +22,9 @@
 //   --mtbe     S,..       wall-clock error injection: mean SECONDS between
 //                         errors (replaces the default mtbe-iters axis;
 //                         timing-dependent, so reports are not replayable)
+//   --nrhs     K,..       batch-width axis: each job fuses K right-hand
+//                         sides into one block solve (CG with preconds=none
+//                         and methods ideal|ckpt|feir|afeir; default 1)
 //   --replicas R          replicas per cell (default 3)
 // Execution:
 //   --jobs N              concurrent jobs (default FEIR_THREADS, else
@@ -59,6 +62,7 @@
 #include "campaign/executor.hpp"
 #include "campaign/jobspec.hpp"
 #include "campaign/report.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
 
 using namespace feir;
@@ -132,8 +136,8 @@ void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
     for (const auto& s : items) {
       Injection inj;
       inj.kind = InjectionKind::IterationMtbe;
-      inj.mean_iters = std::atof(s.c_str());
-      if (inj.mean_iters <= 0) usage("mtbe-iters values must be > 0");
+      if (!parse_double(s, &inj.mean_iters) || inj.mean_iters <= 0)
+        usage("mtbe-iters values must be numbers > 0, got \"" + s + "\"");
       g.injections.push_back(inj);
     }
   } else if (key == "mtbe") {
@@ -141,9 +145,17 @@ void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
     for (const auto& s : items) {
       Injection inj;
       inj.kind = InjectionKind::WallClockMtbe;
-      inj.mtbe_s = std::atof(s.c_str());
-      if (inj.mtbe_s <= 0) usage("mtbe values must be > 0");
+      if (!parse_double(s, &inj.mtbe_s) || inj.mtbe_s <= 0)
+        usage("mtbe values must be numbers > 0, got \"" + s + "\"");
       g.injections.push_back(inj);
+    }
+  } else if (key == "nrhs") {
+    g.nrhs.clear();
+    for (const auto& s : items) {
+      long long k = 0;
+      if (!parse_int(s, &k) || k < 1 || k > 256)
+        usage("nrhs values must be integers in [1, 256], got \"" + s + "\"");
+      g.nrhs.push_back(static_cast<index_t>(k));
     }
   } else {
     usage("unknown grid axis " + key);
@@ -186,20 +198,30 @@ Args parse(int argc, char** argv) {
     else if (flag == "--preconds") set_axis(a.grid, "preconds", next());
     else if (flag == "--mtbe-iters") set_axis(a.grid, "mtbe-iters", next());
     else if (flag == "--mtbe") set_axis(a.grid, "mtbe", next());
-    else if (flag == "--replicas") a.grid.replicas = std::atoi(next().c_str());
-    else if (flag == "--jobs") a.jobs = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (flag == "--nrhs") set_axis(a.grid, "nrhs", next());
+    else if (flag == "--replicas")
+      a.grid.replicas = static_cast<int>(cli_int(flag, next(), 1, 1000000));
+    else if (flag == "--jobs") a.jobs = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
     else if (flag == "--threads")
-      a.grid.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+      a.grid.threads = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
     else if (flag == "--pin") {
       a.pin = true;
       a.grid.pin_threads = true;
     }
-    else if (flag == "--seed") a.grid.campaign_seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (flag == "--scale") a.grid.scale = std::atof(next().c_str());
-    else if (flag == "--tol") a.grid.tol = std::atof(next().c_str());
-    else if (flag == "--max-iter") a.grid.max_iter = std::atoll(next().c_str());
-    else if (flag == "--max-seconds") a.max_seconds = std::atof(next().c_str());
-    else if (flag == "--ckpt-period") a.grid.ckpt_period_iters = std::atoll(next().c_str());
+    else if (flag == "--seed") a.grid.campaign_seed = cli_u64(flag, next());
+    else if (flag == "--scale") {
+      a.grid.scale = cli_double(flag, next());
+      if (!(a.grid.scale > 0.0)) cli_fail(flag, "must be > 0");
+    } else if (flag == "--tol") {
+      a.grid.tol = cli_double(flag, next());
+      if (!(a.grid.tol > 0.0 && a.grid.tol < 1.0)) cli_fail(flag, "must be in (0, 1)");
+    } else if (flag == "--max-iter")
+      a.grid.max_iter = static_cast<index_t>(cli_int(flag, next(), 1, 1000000000));
+    else if (flag == "--max-seconds") {
+      a.max_seconds = cli_double(flag, next());
+      if (a.max_seconds < 0.0) cli_fail(flag, "must be >= 0 (0 = unlimited)");
+    } else if (flag == "--ckpt-period")
+      a.grid.ckpt_period_iters = static_cast<index_t>(cli_int(flag, next(), 0, 1000000000));
     else if (flag == "--out") a.out = next();
     else if (flag == "--csv") a.csv = next();
     else if (flag == "--jobs-csv") a.jobs_csv_path = next();
@@ -207,8 +229,18 @@ Args parse(int argc, char** argv) {
     else if (flag == "--quiet") a.quiet = true;
     else usage("unknown flag " + flag);
   }
-  if (a.grid.replicas <= 0) usage("--replicas must be > 0");
-  if (a.grid.threads == 0) usage("--threads must be > 0");
+  bool batched = false;
+  for (index_t k : a.grid.nrhs) batched = batched || k > 1;
+  if (batched) {
+    for (Method m : a.grid.methods)
+      if (m == Method::Trivial || m == Method::Lossy)
+        usage("--nrhs > 1 supports methods ideal,ckpt,feir,afeir; restrict --methods");
+    for (PrecondKind p : a.grid.preconds)
+      if (p != PrecondKind::None) usage("--nrhs > 1 supports --preconds none only");
+    for (const Injection& inj : a.grid.injections)
+      if (inj.kind == InjectionKind::WallClockMtbe)
+        usage("--nrhs > 1 injects deterministically; use --mtbe-iters");
+  }
   return a;
 }
 
@@ -219,11 +251,11 @@ int main(int argc, char** argv) {
 
   std::vector<JobSpec> jobs = expand_grid(args.grid);
   std::printf("campaign: %zu jobs (%zu matrices x %zu solvers x %zu methods x "
-              "%zu preconds x %zu rates x %d replicas), seed %llu\n",
+              "%zu widths x %zu preconds x %zu rates x %d replicas), seed %llu\n",
               jobs.size(), args.grid.matrices.size(), args.grid.solvers.size(),
-              args.grid.methods.size(), args.grid.preconds.size(),
-              args.grid.injections.size(), args.grid.replicas,
-              (unsigned long long)args.grid.campaign_seed);
+              args.grid.methods.size(), args.grid.nrhs.size(),
+              args.grid.preconds.size(), args.grid.injections.size(),
+              args.grid.replicas, (unsigned long long)args.grid.campaign_seed);
 
   ExecutorOptions eopts;
   eopts.concurrency = args.jobs;

@@ -23,6 +23,7 @@
 
 #include "service/client.hpp"
 #include "service/json.hpp"
+#include "support/parse.hpp"
 
 using namespace feir::service;
 
@@ -67,7 +68,8 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--unix") unix_path = next();
-    else if (flag == "--tcp") tcp_port = std::atoi(next().c_str());
+    else if (flag == "--tcp")
+      tcp_port = static_cast<int>(feir::cli_int(flag, next(), 1, 65535));
     else if (flag == "--host") host = next();
     else if (flag == "--ping") ping = true;
     else if (flag == "--request") requests.push_back(next());

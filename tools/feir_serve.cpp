@@ -18,7 +18,9 @@
 //                        with "overloaded" (default 64)
 //   --max-frame BYTES    longest accepted request line (default 262144)
 //   --deadline-ms MS     default per-request deadline when the request
-//                        carries none (default: unlimited)
+//                        carries none.  Must be > 0: internally 0 is the
+//                        "no deadline" sentinel, so an explicit 0 is
+//                        rejected — omit the flag for unlimited (default)
 //   --cache-entries N    session-cache bound per kind (problems/backends/
 //                        preconds), LRU-evicted; 0 = unbounded (default 64)
 //   --allow-matrix-files accept "matrix" values naming MatrixMarket files;
@@ -34,6 +36,7 @@
 #include <string>
 
 #include "service/server.hpp"
+#include "support/parse.hpp"
 
 using namespace feir;
 using namespace feir::service;
@@ -57,12 +60,21 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--unix") opts.unix_path = next();
-    else if (flag == "--tcp") opts.tcp_port = std::atoi(next().c_str());
-    else if (flag == "--workers") opts.workers = static_cast<unsigned>(std::atoi(next().c_str()));
-    else if (flag == "--queue-depth") opts.queue_depth = static_cast<std::size_t>(std::atoll(next().c_str()));
-    else if (flag == "--max-frame") opts.max_frame = static_cast<std::size_t>(std::atoll(next().c_str()));
-    else if (flag == "--deadline-ms") opts.default_deadline_s = std::atof(next().c_str()) / 1000.0;
-    else if (flag == "--cache-entries") opts.cache_capacity = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (flag == "--tcp") opts.tcp_port = static_cast<int>(cli_int(flag, next(), 0, 65535));
+    else if (flag == "--workers")
+      opts.workers = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
+    else if (flag == "--queue-depth")
+      opts.queue_depth = static_cast<std::size_t>(cli_int(flag, next(), 1, 1000000000));
+    else if (flag == "--max-frame")
+      opts.max_frame = static_cast<std::size_t>(cli_int(flag, next(), 64, 1 << 30));
+    else if (flag == "--deadline-ms") {
+      // 0 would silently become the internal "no deadline" sentinel
+      // (0 / 1000.0 == 0.0); reject it so intent stays unambiguous.
+      const double ms = cli_double(flag, next());
+      if (!(ms > 0.0)) cli_fail(flag, "must be > 0 (omit the flag for no deadline)");
+      opts.default_deadline_s = ms / 1000.0;
+    } else if (flag == "--cache-entries")
+      opts.cache_capacity = static_cast<std::size_t>(cli_int(flag, next(), 0, 1000000000));
     else if (flag == "--allow-matrix-files") opts.allow_matrix_files = true;
     else usage("unknown flag " + flag);
   }

@@ -15,6 +15,11 @@
 //                         so the format never changes a deterministic run's
 //                         output -- only its speed.  SELL-C-σ knobs:
 //                         FEIR_SELL_SLICE (8) / FEIR_SELL_SIGMA (64).
+//   --nrhs    K           solve K right-hand sides as one batch (CG with
+//                         --precond none and --method ideal|ckpt|feir|afeir):
+//                         column 0 is the testbed b, columns 1..K-1 the
+//                         deterministic block_rhs() family, all fused into
+//                         one SpMM per iteration (default 1)
 //   --mtbe    SECONDS     inject page errors at this wall-clock mean rate
 //   --mtbe-iters N        inject at a mean of N iterations between errors
 //                         instead: deterministic, so --seed replays the run
@@ -55,6 +60,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/vecops.hpp"
 #include "support/env.hpp"
+#include "support/parse.hpp"
 
 using namespace feir;
 
@@ -92,8 +98,10 @@ Args parse(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--matrix") a.job.matrix = next();
-    else if (flag == "--scale") a.job.scale = std::atof(next().c_str());
-    else if (flag == "--solver") {
+    else if (flag == "--scale") {
+      a.job.scale = cli_double(flag, next());
+      if (!(a.job.scale > 0.0)) cli_fail(flag, "must be > 0");
+    } else if (flag == "--solver") {
       if (!campaign::solver_from_name(next(), &a.job.solver)) usage("unknown --solver");
     } else if (flag == "--method") {
       if (!method_from_name(next(), &a.job.method)) usage("unknown --method");
@@ -101,16 +109,26 @@ Args parse(int argc, char** argv) {
       if (!campaign::precond_from_name(next(), &a.job.precond)) usage("unknown --precond");
     } else if (flag == "--format") {
       if (!format_from_name(next(), &a.job.format)) usage("unknown --format");
-    } else if (flag == "--mtbe") mtbe_s = std::atof(next().c_str());
-    else if (flag == "--mtbe-iters") mtbe_iters = std::atof(next().c_str());
-    else if (flag == "--inject") a.inject = next();
-    else if (flag == "--tol") a.job.tol = std::atof(next().c_str());
-    else if (flag == "--threads")
-      a.job.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (flag == "--mtbe") {
+      mtbe_s = cli_double(flag, next());
+      if (!(mtbe_s > 0.0)) cli_fail(flag, "must be > 0");
+    } else if (flag == "--mtbe-iters") {
+      mtbe_iters = cli_double(flag, next());
+      if (!(mtbe_iters > 0.0)) cli_fail(flag, "must be > 0");
+    } else if (flag == "--inject") a.inject = next();
+    else if (flag == "--tol") {
+      a.job.tol = cli_double(flag, next());
+      if (!(a.job.tol > 0.0 && a.job.tol < 1.0)) cli_fail(flag, "must be in (0, 1)");
+    } else if (flag == "--threads")
+      a.job.threads = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
     else if (flag == "--pin") a.job.pin_threads = true;
-    else if (flag == "--restart") a.job.gmres_restart = std::atoll(next().c_str());
-    else if (flag == "--max-iter") a.job.max_iter = std::atoll(next().c_str());
-    else if (flag == "--seed") a.job.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--restart")
+      a.job.gmres_restart = static_cast<index_t>(cli_int(flag, next(), 1, 100000));
+    else if (flag == "--max-iter")
+      a.job.max_iter = static_cast<index_t>(cli_int(flag, next(), 1, 1000000000));
+    else if (flag == "--nrhs")
+      a.job.nrhs = static_cast<index_t>(cli_int(flag, next(), 1, 256));
+    else if (flag == "--seed") a.job.seed = cli_u64(flag, next());
     else if (flag == "--json") a.json = true;
     else if (flag == "--timing") a.timing = true;
     else usage("unknown flag " + flag);
@@ -127,10 +145,22 @@ Args parse(int argc, char** argv) {
     a.job.inject.kind = campaign::InjectionKind::IterationMtbe;
     a.job.inject.mean_iters = mtbe_iters;
   }
-  if (a.job.method == Method::Checkpoint) a.job.ckpt_path = "/tmp/feir_solve_ckpt.bin";
+  // Batched ckpt runs keep per-column checkpoints in memory (the block
+  // solver has no disk path), so only single-RHS solves get the file.
+  if (a.job.method == Method::Checkpoint && a.job.nrhs == 1)
+    a.job.ckpt_path = "/tmp/feir_solve_ckpt.bin";
   // Non-CG solvers ignore the method knob; pin the same canonical value
   // expand_grid uses so the JSON record matches the campaign's byte-for-byte.
   if (a.job.solver != campaign::SolverKind::Cg) a.job.method = Method::Ideal;
+  if (a.job.nrhs > 1) {
+    if (a.job.solver != campaign::SolverKind::Cg)
+      usage("--nrhs > 1 supports --solver cg only");
+    if (a.job.precond != campaign::PrecondKind::None)
+      usage("--nrhs > 1 supports --precond none only");
+    if (a.job.method == Method::Trivial || a.job.method == Method::Lossy)
+      usage("--nrhs > 1 methods: ideal, ckpt, feir, afeir");
+    if (mtbe_s > 0) usage("--nrhs > 1 injects deterministically; use --mtbe-iters");
+  }
   return a;
 }
 
@@ -200,6 +230,13 @@ int main(int argc, char** argv) {
               job.solver == campaign::SolverKind::Cg ? method_cli_name(job.method) : "-",
               r.converged ? 1 : 0, (long long)r.iterations, r.seconds, r.final_relres,
               (unsigned long long)r.errors_injected);
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    const campaign::ColumnOutcome& col = r.columns[c];
+    std::printf("  col %zu: converged=%d%s iters=%lld relres=%.2e errors=%llu\n", c,
+                col.converged ? 1 : 0, col.cancelled ? " cancelled" : "",
+                (long long)col.iterations, col.final_relres,
+                (unsigned long long)col.errors_injected);
+  }
   print_stats(r.stats);
   if (args.json)
     std::printf("%s\n", campaign::job_record_json(job, r, args.timing).c_str());
