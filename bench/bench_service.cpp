@@ -1,0 +1,199 @@
+// bench_service — admission-overhead benchmark for the QoS layer: what does
+// per-tenant admission (auth lookup + token bucket + quota + weighted-fair
+// queue) add to an end-to-end solve round-trip, against the seed server's
+// single-FIFO path?
+//
+// Three measurements, appended to BENCH_service.json (BenchRecord schema):
+//   * solve_e2e/fifo  — warm small solves through a server with no tenants
+//                       (byte-for-byte the seed admission path)
+//   * solve_e2e/qos   — the identical campaign through a one-tenant server
+//                       (auth-gated, bucket + quota + WFQ dispatch)
+//   * admit/qos       — the admission decision alone (try_admit + finish on
+//                       a QosManager), no sockets or solver
+//
+// With --smoke, runs a reduced campaign and enforces the QoS acceptance
+// gate: the QoS path's p50 round-trip must be within 5% of the FIFO path's
+// (exit 1 otherwise).  CI runs the smoke gate on every push.
+//
+// Knobs: FEIR_BENCH_SERVICE_REQS (requests per campaign, default 400),
+// FEIR_BENCH_SERVICE_SCALE (matrix scale, default 0.05).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "qos/qos.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/env.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+
+namespace feir::bench {
+namespace {
+
+using service::Client;
+using service::Server;
+using service::ServerOptions;
+
+struct Measure {
+  double tasks_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+Measure from_latencies(std::vector<double> seconds) {
+  Measure m;
+  double total = 0.0;
+  for (const double s : seconds) total += s;
+  m.tasks_per_sec = total > 0.0 ? static_cast<double>(seconds.size()) / total : 0.0;
+  m.p50_us = percentile(seconds, 50.0) * 1e6;
+  m.p95_us = percentile(std::move(seconds), 95.0) * 1e6;
+  return m;
+}
+
+std::string small_solve(int i, double scale) {
+  return "{\"op\": \"solve\", \"id\": \"b-" + std::to_string(i) +
+         "\", \"matrix\": \"ecology2\", \"scale\": " + std::to_string(scale) +
+         ", \"tol\": 1e-8, \"seed\": " + std::to_string(100 + i) + "}";
+}
+
+/// One live server (with or without a tenant) plus an authenticated client.
+struct LiveMode {
+  ServerOptions opts;
+  Server server;
+  Client client;
+  std::vector<double> latencies;
+
+  LiveMode(bool with_tenant, const char* tag)
+      : opts([&] {
+          ServerOptions o;
+          o.unix_path = "/tmp/feir_bench_service_" + std::string(tag) + "_" +
+                        std::to_string(::getpid()) + ".sock";
+          o.workers = 1;
+          if (with_tenant) {
+            qos::TenantSpec t;
+            t.id = "bench";
+            t.key = "bench-key";
+            o.tenants = {t};
+          }
+          return o;
+        }()),
+        server(opts) {
+    std::string err;
+    if (!server.start(&err) || !client.connect_unix(opts.unix_path, &err) ||
+        (with_tenant && !client.authenticate("bench", "bench-key", &err))) {
+      std::fprintf(stderr, "bench_service: %s setup failed: %s\n", tag, err.c_str());
+      std::exit(1);
+    }
+  }
+
+  /// One window of `n` timed round-trips (identical request sequence in both
+  /// modes; the difference between modes IS the admission path).
+  void window(int n, double scale) {
+    std::string reply;
+    for (int i = 0; i < n; ++i) {
+      const std::string req = small_solve(i, scale);
+      const double t0 = now_seconds();
+      if (!client.roundtrip(req, &reply) ||
+          reply.find("\"event\": \"result\"") == std::string::npos) {
+        std::fprintf(stderr, "bench_service: request failed: %s\n", reply.c_str());
+        std::exit(1);
+      }
+      latencies.push_back(now_seconds() - t0);
+    }
+  }
+};
+
+/// The admission decision in isolation: try_admit + finish per "request".
+Measure admit_microbench(int ops) {
+  qos::TenantSpec t;
+  t.id = "bench";
+  t.key = "bench-key";
+  t.rate = 1e9;  // never rejects; measures the bookkeeping, not the verdict
+  t.burst = 1e9;
+  qos::QosManager qos({t});
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    const double t0 = now_seconds();
+    (void)qos.try_admit(0);
+    qos.finish(0, qos::QosManager::Outcome::Completed, 1e-3, 30);
+    latencies.push_back(now_seconds() - t0);
+  }
+  return from_latencies(std::move(latencies));
+}
+
+}  // namespace
+}  // namespace feir::bench
+
+int main(int argc, char** argv) {
+  using namespace feir;
+  using namespace feir::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const int reqs =
+      static_cast<int>(env_long("FEIR_BENCH_SERVICE_REQS", smoke ? 200 : 400));
+  const double scale = env_double("FEIR_BENCH_SERVICE_SCALE", 0.05);
+  std::printf("bench_service: %d requests/campaign, scale %.3g%s\n", reqs, scale,
+              smoke ? " (smoke)" : "");
+
+  // Paired interleaved design: both servers live at once, short alternating
+  // FIFO/QoS windows, latencies pooled per mode.  Machine drift (thermal,
+  // other processes) then lands on BOTH pools instead of whichever mode was
+  // unlucky enough to run second -- a sequential A-then-B layout on this
+  // box swings the p50 delta by more than the 5%% gate in either direction.
+  LiveMode fifo_mode(false, "fifo");
+  LiveMode qos_mode(true, "qos");
+  constexpr int kWindow = 25;
+  const int rounds = std::max(1, reqs / kWindow);
+  fifo_mode.window(10, scale);  // cache assembly + allocator warm-up
+  qos_mode.window(10, scale);
+  fifo_mode.latencies.clear();
+  qos_mode.latencies.clear();
+  for (int r = 0; r < rounds; ++r) {
+    fifo_mode.window(kWindow, scale);
+    qos_mode.window(kWindow, scale);
+  }
+  const Measure fifo = from_latencies(std::move(fifo_mode.latencies));
+  const Measure qos = from_latencies(std::move(qos_mode.latencies));
+  fifo_mode.server.stop();
+  qos_mode.server.stop();
+  const Measure admit = admit_microbench(smoke ? 20000 : 100000);
+
+  std::vector<BenchRecord> recs;
+  auto record = [&](const std::string& name, const Measure& m) {
+    recs.push_back({name, 1, m.tasks_per_sec, m.p50_us, m.p95_us});
+    std::printf("  %-16s %12.0f req/s   p50 %9.1f us   p95 %9.1f us\n", name.c_str(),
+                m.tasks_per_sec, m.p50_us, m.p95_us);
+  };
+  record("solve_e2e/fifo", fifo);
+  record("solve_e2e/qos", qos);
+  record("admit/qos", admit);
+
+  const double added_pct = 100.0 * (qos.p50_us / fifo.p50_us - 1.0);
+  std::printf("  admission overhead: %+.2f%% p50 (gate: < 5%%)\n", added_pct);
+
+  const char* out = "BENCH_service.json";
+  if (!write_bench_json(out, "service", recs)) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out);
+    return 1;
+  }
+  std::printf("bench_service: wrote %s\n", out);
+
+  if (smoke && added_pct >= 5.0) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL: QoS admission added %.2f%% to the p50 "
+                 "round-trip (budget 5%%)\n",
+                 added_pct);
+    return 1;
+  }
+  return 0;
+}

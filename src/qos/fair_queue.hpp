@@ -1,0 +1,103 @@
+// Weighted-fair admission queue for the service: per-tenant FIFO queues
+// dispatched by virtual finish time, grouped into the same three priority
+// lanes as the dataflow runtime (high / normal / low -- see
+// runtime/runtime.hpp: a worker drains higher lanes completely before
+// touching a lower one).
+//
+// Within a lane this is self-clocked fair queuing: item k of queue q gets a
+// finish tag F = max(V, F_prev(q)) + cost / weight(q), where V is the lane's
+// virtual time (advanced to the tag of each dispatched item).  Backlogged
+// queues therefore share dispatch slots in proportion to their weights --
+// weight 3 vs 1 dequeues 3:1 over any long window -- while an idle queue
+// accumulates no credit it could later burst with (its next tag starts at
+// the current V, not at its stale F_prev).
+//
+// Everything is deterministic: ties break toward the lower queue index, no
+// clock is read, and the structure is externally locked (the server holds
+// queue_mu_), so a fixed push/pop interleaving yields a fixed dispatch
+// order -- which is what the qos_test weight-ratio tables pin down.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace feir::qos {
+
+/// Number of dispatch lanes; mirrors Runtime::kLanes (high / normal / low).
+inline constexpr int kQueueLanes = 3;
+
+template <typename T>
+class WeightedFairQueue {
+ public:
+  /// Registers a queue with dispatch weight `weight` (> 0) in `lane`
+  /// (0 = high, 1 = normal, 2 = low).  Returns its index; indices are dense
+  /// and stable, so callers key them by tenant index.
+  std::size_t add_queue(double weight, int lane) {
+    Q q;
+    q.weight = weight > 0.0 ? weight : 1.0;
+    q.lane = lane < 0 ? 0 : (lane >= kQueueLanes ? kQueueLanes - 1 : lane);
+    queues_.push_back(std::move(q));
+    return queues_.size() - 1;
+  }
+
+  void push(std::size_t qi, T item, double cost = 1.0) {
+    Q& q = queues_[qi];
+    const double start = std::max(vtime_[static_cast<std::size_t>(q.lane)],
+                                  q.last_finish);
+    const double finish = start + cost / q.weight;
+    q.last_finish = finish;
+    q.items.push_back(Item{std::move(item), finish});
+    ++size_;
+  }
+
+  /// Dispatches the next item: the earliest finish tag in the highest
+  /// non-empty lane.  False when empty.
+  bool pop(T* out) {
+    for (int lane = 0; lane < kQueueLanes; ++lane) {
+      Q* best = nullptr;
+      for (Q& q : queues_) {
+        if (q.lane != lane || q.items.empty()) continue;
+        if (best == nullptr || q.items.front().finish < best->items.front().finish)
+          best = &q;
+      }
+      if (best == nullptr) continue;
+      auto& lane_v = vtime_[static_cast<std::size_t>(lane)];
+      lane_v = std::max(lane_v, best->items.front().finish);
+      *out = std::move(best->items.front().value);
+      best->items.pop_front();
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t queue_size(std::size_t qi) const { return queues_[qi].items.size(); }
+
+  /// Drops every queued item (server shutdown).  Registered queues survive.
+  void clear() {
+    for (Q& q : queues_) q.items.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Item {
+    T value;
+    double finish;
+  };
+  struct Q {
+    std::deque<Item> items;
+    double weight = 1.0;
+    int lane = 1;
+    double last_finish = 0.0;
+  };
+
+  std::vector<Q> queues_;
+  double vtime_[kQueueLanes] = {0.0, 0.0, 0.0};
+  std::size_t size_ = 0;
+};
+
+}  // namespace feir::qos

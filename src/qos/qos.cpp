@@ -1,0 +1,142 @@
+#include "qos/qos.hpp"
+
+#include <algorithm>
+
+#include "campaign/report.hpp"
+#include "support/timing.hpp"
+
+namespace feir::qos {
+
+namespace {
+
+using campaign::json_number;
+using campaign::json_string;
+
+/// Constant-time equality: scans all of `stored` regardless of where the
+/// first mismatch is, so response timing does not leak key prefixes.
+bool keys_equal(const std::string& stored, const std::string& presented) {
+  unsigned diff = stored.size() == presented.size() ? 0u : 1u;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    const char p = i < presented.size() ? presented[i] : '\0';
+    diff |= static_cast<unsigned char>(stored[i] ^ p);
+  }
+  return diff == 0;
+}
+
+std::string histogram_json(const LogHistogram& h) {
+  std::string out = "{\"count\": " + std::to_string(h.count());
+  out += ", \"p50\": " + json_number(h.percentile(50.0));
+  out += ", \"p95\": " + json_number(h.percentile(95.0));
+  out += ", \"p99\": " + json_number(h.percentile(99.0));
+  out += ", \"max\": " + json_number(h.max_seen());
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+QosManager::Tenant::Tenant(TenantSpec s, double now)
+    : spec(std::move(s)),
+      bucket(spec.rate, spec.burst, now),
+      latency_ms(1e-2, 1e6, 10),
+      iterations(1.0, 1e9, 10) {}
+
+QosManager::QosManager(std::vector<TenantSpec> tenants, Clock clock)
+    : clock_(clock ? std::move(clock) : Clock(&now_seconds)) {
+  const double t0 = clock_();
+  tenants_.reserve(tenants.size());
+  for (TenantSpec& s : tenants) tenants_.emplace_back(std::move(s), t0);
+}
+
+int QosManager::authenticate(const std::string& id, const std::string& key) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].spec.id != id) continue;
+    return keys_equal(tenants_[i].spec.key, key) ? static_cast<int>(i) : -1;
+  }
+  return -1;
+}
+
+QosManager::Admit QosManager::try_admit(int tenant) {
+  const double t = clock_();
+  std::lock_guard<std::mutex> lk(mu_);
+  Tenant& ten = tenants_[static_cast<std::size_t>(tenant)];
+  // Quota before bucket: a quota-bounced request should not burn a token the
+  // tenant could have spent once its inflight work drains.
+  if (ten.spec.max_inflight != 0 && ten.inflight >= ten.spec.max_inflight) {
+    ++ten.rejected_quota;
+    return Admit::QuotaExceeded;
+  }
+  if (!ten.bucket.try_acquire(t)) {
+    ++ten.rejected_rate_limited;
+    return Admit::RateLimited;
+  }
+  ++ten.inflight;
+  ++ten.admitted;
+  return Admit::Ok;
+}
+
+void QosManager::cancel_admission(int tenant, bool overloaded) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Tenant& ten = tenants_[static_cast<std::size_t>(tenant)];
+  if (ten.inflight > 0) --ten.inflight;
+  if (ten.admitted > 0) --ten.admitted;  // never reached the queue
+  if (overloaded) ++ten.rejected_overload;
+}
+
+void QosManager::finish(int tenant, Outcome outcome, double latency_seconds,
+                        std::uint64_t iterations) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Tenant& ten = tenants_[static_cast<std::size_t>(tenant)];
+  if (ten.inflight > 0) --ten.inflight;
+  switch (outcome) {
+    case Outcome::Completed: ++ten.completed; break;
+    case Outcome::Cancelled: ++ten.cancelled; break;
+    case Outcome::DeadlineExpired: ++ten.deadline_expired; break;
+    case Outcome::Failed: ++ten.failed; break;
+  }
+  ten.latency_ms.record(latency_seconds * 1e3);
+  if (iterations > 0) ten.iterations.record(static_cast<double>(iterations));
+}
+
+std::string QosManager::stats_json() {
+  const double t = clock_();
+  // Sorted tenant keys: indices ordered by id (declaration order is the
+  // wire-visible tenant index, not the report order).
+  std::vector<std::size_t> order(tenants_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tenants_[a].spec.id < tenants_[b].spec.id;
+  });
+
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const std::size_t i : order) {
+    Tenant& ten = tenants_[i];
+    if (!first) out += ", ";
+    first = false;
+    out += json_string(ten.spec.id) + ": {";
+    out += "\"weight\": " + json_number(ten.spec.weight);
+    out += ", \"priority\": " + json_string(priority_name(ten.spec.priority));
+    out += ", \"rate\": " + json_number(ten.spec.rate);
+    out += ", \"burst\": " + json_number(ten.spec.burst);
+    out += ", \"max_inflight\": " + std::to_string(ten.spec.max_inflight);
+    out += ", \"bucket_level\": " + json_number(ten.bucket.level(t));
+    out += ", \"inflight\": " + std::to_string(ten.inflight);
+    out += ", \"admitted\": " + std::to_string(ten.admitted);
+    out += ", \"completed\": " + std::to_string(ten.completed);
+    out += ", \"cancelled\": " + std::to_string(ten.cancelled);
+    out += ", \"deadline_expired\": " + std::to_string(ten.deadline_expired);
+    out += ", \"failed\": " + std::to_string(ten.failed);
+    out += ", \"rejected_rate_limited\": " + std::to_string(ten.rejected_rate_limited);
+    out += ", \"rejected_quota\": " + std::to_string(ten.rejected_quota);
+    out += ", \"rejected_overload\": " + std::to_string(ten.rejected_overload);
+    out += ", \"latency_ms\": " + histogram_json(ten.latency_ms);
+    out += ", \"iterations\": " + histogram_json(ten.iterations);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace feir::qos

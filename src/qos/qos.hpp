@@ -1,0 +1,103 @@
+// QosManager: the per-tenant state machine behind the service's QoS layer.
+//
+//   * Authentication -- authenticate(id, key) resolves a tenant index with a
+//     constant-time key compare (no early-out a timing probe could measure),
+//     the session layer binds it to the connection (TrustedSSD acl.c shape).
+//   * Admission -- try_admit() charges the tenant's token bucket (rate
+//     limit) and checks its concurrency quota (queued + running); the two
+//     rejections are distinct ("rate_limited" vs "quota_exceeded") and both
+//     are separate from the server-wide "overloaded" backpressure.
+//   * Observability -- per-tenant counters plus log-bucketed latency and
+//     iteration histograms (support/histogram.hpp); stats_json() renders
+//     them byte-deterministically: tenants sorted by id, fixed field order,
+//     campaign-style number formatting.  The golden test locks the schema.
+//
+// The clock is injectable (seconds, monotonic) so unit and golden tests run
+// against a fake clock; the service uses feir::now_seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qos/tenant.hpp"
+#include "qos/token_bucket.hpp"
+#include "support/histogram.hpp"
+
+namespace feir::qos {
+
+class QosManager {
+ public:
+  using Clock = std::function<double()>;
+
+  /// `tenants` must be validated (validate_tenants); `clock` defaults to
+  /// the process monotonic clock.
+  explicit QosManager(std::vector<TenantSpec> tenants, Clock clock = {});
+
+  /// Tenant index for a correct (id, key) pair; -1 otherwise.  The key
+  /// comparison is constant-time in the stored key's length.
+  int authenticate(const std::string& id, const std::string& key) const;
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  const TenantSpec& spec(int tenant) const {
+    return tenants_[static_cast<std::size_t>(tenant)].spec;
+  }
+
+  /// Monotonic now() from the injected clock; the server stamps admission
+  /// times with it so latency histograms use one time base.
+  double now() const { return clock_(); }
+
+  enum class Admit { Ok, RateLimited, QuotaExceeded };
+
+  /// Admission decision for one solve.  Ok increments the tenant's inflight
+  /// gauge (queued + running) and admitted counter; rejections increment
+  /// the matching rejection counter.
+  Admit try_admit(int tenant);
+
+  /// Undoes an Ok admission that the server-wide queue bound then refused
+  /// (or that raced shutdown).  `overloaded` distinguishes the two in the
+  /// counters.
+  void cancel_admission(int tenant, bool overloaded);
+
+  enum class Outcome { Completed, Cancelled, DeadlineExpired, Failed };
+
+  /// Terminal accounting for an admitted solve: decrements inflight, bumps
+  /// the outcome counter, and records latency (seconds) and iteration
+  /// histograms.  Latency covers admission to terminal event -- queue wait
+  /// included, which is exactly what cross-tenant isolation must protect.
+  void finish(int tenant, Outcome outcome, double latency_seconds,
+              std::uint64_t iterations);
+
+  /// Per-tenant stats as one JSON object keyed by tenant id: sorted keys,
+  /// fixed field order, byte-deterministic for fixed recorded values.
+  /// (Non-const: reporting a bucket level refills the bucket to `now`.)
+  std::string stats_json();
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    TokenBucket bucket;
+    std::uint64_t inflight = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected_rate_limited = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t rejected_overload = 0;
+    LogHistogram latency_ms;     // 0.01 ms .. 1e6 ms, 10 buckets/decade
+    LogHistogram iterations;     // 1 .. 1e9, 10 buckets/decade
+
+    Tenant(TenantSpec s, double now);
+  };
+
+  Clock clock_;
+  mutable std::mutex mu_;
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace feir::qos

@@ -1,0 +1,156 @@
+#include "qos/tenant.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/parse.hpp"
+
+namespace feir::qos {
+
+const char* priority_name(TenantPriority p) {
+  switch (p) {
+    case TenantPriority::High: return "high";
+    case TenantPriority::Normal: return "normal";
+    case TenantPriority::Low: return "low";
+  }
+  return "normal";
+}
+
+bool priority_from_name(const std::string& name, TenantPriority* out) {
+  if (name == "high") *out = TenantPriority::High;
+  else if (name == "normal") *out = TenantPriority::Normal;
+  else if (name == "low") *out = TenantPriority::Low;
+  else return false;
+  return true;
+}
+
+namespace {
+
+constexpr std::size_t kMaxIdBytes = 64;
+constexpr std::size_t kMaxKeyBytes = 128;
+
+bool id_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == '.' || c == '-';
+}
+
+/// Fails with a diagnostic carrying the byte offset of the offending field.
+bool fail_at(std::size_t off, const std::string& why, std::string* err) {
+  *err = "byte " + std::to_string(off) + ": " + why;
+  return false;
+}
+
+/// Parses one spec; field offsets are reported relative to `base` (the
+/// spec's position in its enclosing file, 0 for a CLI flag).
+bool parse_spec_at(const std::string& text, std::size_t base, TenantSpec* out,
+                   std::string* err) {
+  // Split on ':' keeping each field's offset for diagnostics.
+  std::vector<std::pair<std::size_t, std::string>> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ':') {
+      fields.emplace_back(base + start, text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (fields.size() < 4)
+    return fail_at(base, "expected id:key:weight:priority[:rate[:burst[:max_inflight]]]",
+                   err);
+  if (fields.size() > 7)
+    return fail_at(fields[7].first, "too many fields (at most 7)", err);
+
+  TenantSpec spec;
+  const auto& [id_off, id] = fields[0];
+  if (id.empty() || id.size() > kMaxIdBytes)
+    return fail_at(id_off, "tenant id must be 1..64 bytes", err);
+  if (!std::all_of(id.begin(), id.end(), id_char))
+    return fail_at(id_off, "tenant id may use only [A-Za-z0-9_.-]", err);
+  spec.id = id;
+
+  const auto& [key_off, key] = fields[1];
+  if (key.empty() || key.size() > kMaxKeyBytes)
+    return fail_at(key_off, "key must be 1..128 bytes", err);
+  spec.key = key;
+
+  const auto& [w_off, w] = fields[2];
+  if (!parse_double(w, &spec.weight) || !(spec.weight > 0.0) || spec.weight > 1e6)
+    return fail_at(w_off, "weight must be a number in (0, 1e6]", err);
+
+  const auto& [p_off, p] = fields[3];
+  if (!priority_from_name(p, &spec.priority))
+    return fail_at(p_off, "priority must be high, normal, or low", err);
+
+  if (fields.size() > 4) {
+    const auto& [r_off, r] = fields[4];
+    if (!parse_double(r, &spec.rate) || spec.rate < 0.0 || spec.rate > 1e9)
+      return fail_at(r_off, "rate must be a number in [0, 1e9] (0 = unlimited)", err);
+  }
+  if (fields.size() > 5) {
+    const auto& [b_off, b] = fields[5];
+    if (!parse_double(b, &spec.burst) || spec.burst < 0.0 || spec.burst > 1e9)
+      return fail_at(b_off, "burst must be a number in [0, 1e9] (0 = default)", err);
+  }
+  if (fields.size() > 6) {
+    const auto& [m_off, m] = fields[6];
+    if (!parse_u64(m, &spec.max_inflight) || spec.max_inflight > 1000000000ull)
+      return fail_at(m_off, "max_inflight must be an integer in [0, 1e9]", err);
+  }
+  // Normalize: a rate-limited bucket needs at least one whole token of
+  // capacity or nothing would ever be admitted.
+  if (spec.rate > 0.0 && spec.burst == 0.0) spec.burst = std::max(1.0, spec.rate);
+
+  *out = std::move(spec);
+  return true;
+}
+
+}  // namespace
+
+bool parse_tenant_spec(const std::string& text, TenantSpec* out, std::string* err) {
+  return parse_spec_at(text, 0, out, err);
+}
+
+bool parse_tenant_config(const std::string& text, std::vector<TenantSpec>* out,
+                         std::string* err) {
+  std::vector<TenantSpec> parsed;
+  std::set<std::string> seen;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    std::string line = text.substr(line_start, i - line_start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Trim leading spaces/tabs, tracking the offset of the first real byte.
+    std::size_t at = line_start;
+    std::size_t b = 0;
+    while (b < line.size() && (line[b] == ' ' || line[b] == '\t')) ++b, ++at;
+    std::size_t e = line.size();
+    while (e > b && (line[e - 1] == ' ' || line[e - 1] == '\t')) --e;
+    line = line.substr(b, e - b);
+    line_start = i + 1;
+    if (line.empty() || line[0] == '#') continue;
+    TenantSpec spec;
+    if (!parse_spec_at(line, at, &spec, err)) return false;
+    if (!seen.insert(spec.id).second)
+      return fail_at(at, "duplicate tenant id \"" + spec.id + "\"", err);
+    parsed.push_back(std::move(spec));
+  }
+  out->insert(out->end(), std::make_move_iterator(parsed.begin()),
+              std::make_move_iterator(parsed.end()));
+  return true;
+}
+
+bool validate_tenants(const std::vector<TenantSpec>& tenants, std::string* err) {
+  if (tenants.empty()) {
+    *err = "no tenants declared";
+    return false;
+  }
+  std::set<std::string> seen;
+  for (const TenantSpec& t : tenants) {
+    if (!seen.insert(t.id).second) {
+      *err = "duplicate tenant id \"" + t.id + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace feir::qos

@@ -1,0 +1,70 @@
+// Tenant declarations for the service's QoS layer (ROADMAP "Per-tenant
+// QoS"; exemplar shape: TrustedSSD's acl.h session authentication).
+//
+// A tenant is declared on the feir_serve command line or in a config file,
+// both using the same colon grammar:
+//
+//   id:key:weight:priority[:rate[:burst[:max_inflight]]]
+//
+//   id           [A-Za-z0-9_.-]{1,64}; names the tenant in auth/stats
+//   key          shared secret presented by the auth op (1..128 bytes, no ':')
+//   weight       weighted-fair dispatch share, (0, 1e6]
+//   priority     high | normal | low -- the admission lane, mapped onto the
+//                runtime's three scheduling lanes (runtime/runtime.hpp)
+//   rate         admissions per second (token-bucket refill); 0 = unlimited
+//   burst        bucket capacity; 0 = default max(1, rate)
+//   max_inflight queued+running solve bound; 0 = unlimited
+//
+// Config files hold one spec per line, with '#' comments and blank lines
+// allowed.  Every parse error names the absolute BYTE OFFSET of the
+// offending field ("byte 57: weight must be ..."), so a malformed file is
+// rejected at startup with a diagnostic that points into the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace feir::qos {
+
+/// Admission priority; the numeric value IS the dispatch lane index
+/// (0 = high, 1 = normal, 2 = low), matching the runtime's lane order.
+enum class TenantPriority : int { High = 0, Normal = 1, Low = 2 };
+
+const char* priority_name(TenantPriority p);
+bool priority_from_name(const std::string& name, TenantPriority* out);
+
+/// The WeightedFairQueue lane for a tenant priority.
+inline int lane_for(TenantPriority p) { return static_cast<int>(p); }
+
+/// The runtime submit-priority for a tenant priority, matching
+/// Runtime::lane_of's mapping (> 0 -> high lane, 0 -> normal, < 0 -> low).
+inline int runtime_priority(TenantPriority p) {
+  return p == TenantPriority::High ? 1 : (p == TenantPriority::Normal ? 0 : -1);
+}
+
+struct TenantSpec {
+  std::string id;
+  std::string key;
+  double weight = 1.0;
+  TenantPriority priority = TenantPriority::Normal;
+  double rate = 0.0;                ///< admissions/s; 0 = unlimited
+  double burst = 0.0;               ///< bucket capacity; 0 = max(1, rate)
+  std::uint64_t max_inflight = 0;   ///< queued+running bound; 0 = unlimited
+};
+
+/// Parses one colon-grammar spec.  On failure returns false and sets *err to
+/// "byte N: reason" with N the offset of the offending field within `text`.
+bool parse_tenant_spec(const std::string& text, TenantSpec* out, std::string* err);
+
+/// Parses a whole config file (text already read into memory).  Offsets in
+/// *err are absolute within `text`; duplicate tenant ids are rejected at the
+/// byte of the second occurrence.  Appends to *out only on success.
+bool parse_tenant_config(const std::string& text, std::vector<TenantSpec>* out,
+                         std::string* err);
+
+/// Cross-source validation (flags + file combined): non-empty set, unique
+/// ids.  Returns false with a reason in *err.
+bool validate_tenants(const std::vector<TenantSpec>& tenants, std::string* err);
+
+}  // namespace feir::qos

@@ -1,0 +1,60 @@
+// Deterministic token bucket for per-tenant admission rate limits.
+//
+// The bucket never reads a clock itself: every operation takes the caller's
+// monotonic "now" (seconds), so the unit tests drive it with a fake clock
+// and the service drives it with the QosManager's real one.  Refill is
+// continuous (rate tokens per second, capped at burst), which makes the
+// admit/deny sequence for a fixed (now, cost) trace exactly reproducible --
+// there is no internal timer granularity to race against.
+//
+// A rate of 0 means "unlimited": try_acquire always succeeds and level()
+// reports -1 so the stats JSON can tell the two regimes apart.
+#pragma once
+
+#include <algorithm>
+
+namespace feir::qos {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens per second up to `burst` capacity; the bucket starts
+  /// full at `now`.  rate <= 0 disables limiting entirely.
+  TokenBucket(double rate, double burst, double now)
+      : rate_(rate), burst_(burst), tokens_(burst), last_(now) {}
+
+  /// Takes `cost` tokens if available at time `now`.  `now` values must be
+  /// non-decreasing across calls (a monotonic clock); a stale `now` is
+  /// treated as "no time passed".
+  bool try_acquire(double now, double cost = 1.0) {
+    if (rate_ <= 0.0) return true;
+    refill(now);
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Current fill level at `now` without consuming; -1 when unlimited.
+  double level(double now) {
+    if (rate_ <= 0.0) return -1.0;
+    refill(now);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(double now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_;
+};
+
+}  // namespace feir::qos

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "campaign/report.hpp"
 #include "service/json.hpp"
 #include "service/net.hpp"
 
@@ -106,6 +107,30 @@ bool Client::roundtrip(const std::string& request, std::string* response) {
     if (ev != nullptr && ev->is_string() && ev->string == "progress") continue;
     return true;
   }
+  return false;
+}
+
+bool Client::authenticate(const std::string& tenant, const std::string& key,
+                          std::string* err) {
+  const std::string req = "{\"op\": \"auth\", \"id\": \"auth\", \"tenant\": " +
+                          campaign::json_string(tenant) +
+                          ", \"key\": " + campaign::json_string(key) + "}";
+  std::string resp;
+  if (!roundtrip(req, &resp)) {
+    if (err != nullptr) *err = "connection closed during auth";
+    return false;
+  }
+  JsonValue v;
+  std::string perr;
+  if (json_parse(resp, &v, &perr)) {
+    const JsonValue* ev = v.find("event");
+    if (ev != nullptr && ev->is_string() && ev->string == "auth_ok") return true;
+    const JsonValue* msg = v.find("message");
+    if (err != nullptr)
+      *err = msg != nullptr && msg->is_string() ? msg->string : resp;
+    return false;
+  }
+  if (err != nullptr) *err = "unparseable auth reply: " + resp;
   return false;
 }
 

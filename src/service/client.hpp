@@ -35,6 +35,12 @@ class Client {
   /// traffic (skipping progress events).  Convenience for serial clients.
   bool roundtrip(const std::string& request, std::string* response);
 
+  /// Binds this connection to a tenant on a QoS-enabled server: sends the
+  /// auth op and waits for auth_ok.  False (with *err) on a broken
+  /// connection or any non-auth_ok reply (err carries the server's message).
+  bool authenticate(const std::string& tenant, const std::string& key,
+                    std::string* err);
+
   void close();
 
  private:

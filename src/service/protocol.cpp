@@ -14,6 +14,7 @@ using campaign::json_number;
 using campaign::json_string;
 
 constexpr std::size_t kMaxIdBytes = 128;
+constexpr std::size_t kMaxKeyBytes = 128;  // auth tenant / key fields
 constexpr index_t kMaxIter = 1000000000;  // 1e9: plenty, and overflow-safe
 // Largest double strictly below 2^64: the bound must exclude 2^64 itself,
 // which is exactly representable and would make the uint64 cast UB.
@@ -96,6 +97,7 @@ ParsedRequest parse_request(std::string_view line) {
   ParsedRequest out;
   Request& req = out.req;
   if (op_name == "ping") req.op = Op::Ping;
+  else if (op_name == "auth") req.op = Op::Auth;
   else if (op_name == "stats") req.op = Op::Stats;
   else if (op_name == "solve") req.op = Op::Solve;
   else if (op_name == "solve_batch") req.op = Op::SolveBatch;
@@ -119,6 +121,15 @@ ParsedRequest parse_request(std::string_view line) {
       if (req.id.empty()) return fail("bad_request", "id must not be empty");
       if (req.id.size() > kMaxIdBytes)
         return fail("bad_request", "id longer than 128 bytes");
+      continue;
+    }
+    if (req.op == Op::Auth && (key == "tenant" || key == "key")) {
+      std::string* dst = key == "tenant" ? &req.tenant : &req.key;
+      if (!want_string(value, key.c_str(), dst, &why)) return fail("bad_request", why);
+      if (dst->empty())
+        return fail("bad_request", key + " must not be empty");
+      if (dst->size() > kMaxKeyBytes)
+        return fail("bad_request", key + " longer than 128 bytes");
       continue;
     }
     if (req.op == Op::Cancel && key == "col") {
@@ -203,6 +214,12 @@ ParsedRequest parse_request(std::string_view line) {
   if ((is_solve || req.op == Op::Cancel) && req.id.empty())
     return bad("bad_request", std::string("op ") + op_name + " requires an id");
 
+  if (req.op == Op::Auth) {
+    if (req.tenant.empty())
+      return fail("bad_request", "op auth requires a tenant field");
+    if (req.key.empty()) return fail("bad_request", "op auth requires a key field");
+  }
+
   // solve_batch rides the block-CG path, which is deliberately narrower than
   // the single-RHS zoo: reject the unsupported combinations here so a tenant
   // gets a schema error, not a failed job.
@@ -231,6 +248,10 @@ std::string head(const std::string& id, const char* event) {
 }  // namespace
 
 std::string pong_line(const std::string& id) { return head(id, "pong") + "}"; }
+
+std::string auth_ok_line(const std::string& id, const std::string& tenant) {
+  return head(id, "auth_ok") + ", \"tenant\": " + json_string(tenant) + "}";
+}
 
 std::string error_line(const std::string& id, const std::string& code,
                        const std::string& message) {

@@ -2,11 +2,23 @@
 //
 // Requests (client -> server); unknown fields are rejected, not ignored:
 //   {"op":"ping"["id":...]}                     liveness probe
-//   {"op":"stats"}                              server/cache counters
+//   {"op":"auth","tenant":"t","key":"k"}        bind this connection to a tenant
+//   {"op":"stats"}                              server/cache/tenant counters
 //   {"op":"solve","id":"r1", ...knobs}          enqueue a resilient solve
 //   {"op":"solve_batch","id":"b1","nrhs":8,...} one fused multi-RHS solve
 //   {"op":"cancel","id":"r1"}                   cancel an in-flight solve
 //   {"op":"cancel","id":"b1","col":3}           cancel ONE column of a batch
+//
+// QoS (servers started with tenants -- see qos/tenant.hpp for the grammar):
+// an unauthenticated connection may only ping or auth; everything else gets
+// an "auth_required" error.  auth binds the connection to its tenant once
+// (a second auth is a bad_request); a wrong key or unknown tenant id gets
+// "auth_failed" with no hint which of the two it was.  Admission then
+// charges the tenant's token bucket ("rate_limited" when drained) and its
+// concurrency quota ("quota_exceeded" at max_inflight queued+running) --
+// both per-tenant verdicts, distinct from the server-wide "overloaded"
+// backpressure.  Servers without tenants behave exactly as before (auth is
+// refused with auth_failed).
 //
 // Solve knobs (all optional except id): matrix, scale, solver, method,
 // precond, format, tol, max_iter, seed, mtbe_iters (deterministic
@@ -24,7 +36,8 @@
 //
 // Events (server -> client), one line each, always carrying the request id:
 //   {"id":..,"event":"pong"}
-//   {"id":..,"event":"stats",...}
+//   {"id":..,"event":"auth_ok","tenant":..}
+//   {"id":..,"event":"stats",...}               (+ "tenants": {...} under QoS)
 //   {"id":..,"event":"progress","iter":..,"relres":..,"errors":..}  (stream)
 //   {"id":..,"event":"progress","col":..,...}                  (solve_batch)
 //   {"id":..,"event":"result","converged":..,...,"stats":{...}}
@@ -33,8 +46,11 @@
 //   {"id":..,"event":"error","code":..,"message":..}
 //
 // Error codes: bad_frame (not parseable / invalid UTF-8), oversized_frame,
-// bad_request (schema violation), overloaded (admission queue full),
-// deadline (deadline_ms expired), cancelled (cancel op), internal.
+// bad_request (schema violation), auth_required (op before auth on a QoS
+// server), auth_failed (unknown tenant or bad key), rate_limited (tenant
+// token bucket drained), quota_exceeded (tenant max_inflight reached),
+// overloaded (admission queue full), deadline (deadline_ms expired),
+// cancelled (cancel op), internal.
 //
 // Result events are byte-deterministic for a given request (fixed key order,
 // "%.17g" floats, no wall-clock fields) -- the soak tier byte-compares them
@@ -50,7 +66,7 @@
 
 namespace feir::service {
 
-enum class Op : std::uint8_t { Ping, Stats, Solve, SolveBatch, Cancel };
+enum class Op : std::uint8_t { Ping, Auth, Stats, Solve, SolveBatch, Cancel };
 
 /// Largest batch width one solve_batch request may ask for.
 inline constexpr index_t kMaxNrhs = 32;
@@ -63,6 +79,8 @@ struct Request {
   double deadline_ms = 0.0;  // solve only; 0 = none (the field itself must be > 0)
   bool stream = false;       // solve only: emit per-iteration progress events
   long long col = -1;        // cancel only: column to cancel; -1 = whole request
+  std::string tenant;        // auth only: tenant id
+  std::string key;           // auth only: shared secret
 };
 
 /// parse_request outcome: ok, or an error (code, message) to send back.
@@ -79,6 +97,8 @@ ParsedRequest parse_request(std::string_view line);
 // --- event builders (single line, no trailing newline) ----------------------
 
 std::string pong_line(const std::string& id);
+/// Successful auth: echoes the tenant the connection is now bound to.
+std::string auth_ok_line(const std::string& id, const std::string& tenant);
 std::string error_line(const std::string& id, const std::string& code,
                        const std::string& message);
 std::string cancel_ack_line(const std::string& id, bool found);

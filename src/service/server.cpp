@@ -29,6 +29,9 @@ struct Server::Connection {
   std::mutex write_mu;
   std::atomic<bool> closed{false};
   std::atomic<bool> reader_done{false};
+  /// QoS: tenant this connection authenticated as; -1 until the auth op
+  /// succeeds.  Written by the reader thread, read by workers (stats).
+  std::atomic<int> tenant{-1};
 
   /// One in-flight request's cancellation surface: the whole-request token
   /// plus (for solve_batch) the per-column tokens.
@@ -177,6 +180,33 @@ bool Server::start(std::string* err) {
       ::unlink(opts_.unix_path.c_str());
     }
     return false;
+  }
+
+  // QoS layer: declared tenants enable auth-gated admission and give each
+  // tenant its own fair queue in the lane its priority names.  Without
+  // tenants a single weight-1 queue reproduces the seed FIFO exactly.
+  qos_.reset();
+  queue_ = {};
+  if (!opts_.tenants.empty()) {
+    std::string verr;
+    if (!qos::validate_tenants(opts_.tenants, &verr)) {
+      if (err != nullptr) *err = "tenants: " + verr;
+      if (unix_fd_ >= 0) {
+        ::close(unix_fd_);
+        unix_fd_ = -1;
+        ::unlink(opts_.unix_path.c_str());
+      }
+      if (tcp_fd_ >= 0) {
+        ::close(tcp_fd_);
+        tcp_fd_ = -1;
+      }
+      return false;
+    }
+    qos_ = std::make_unique<qos::QosManager>(opts_.tenants);
+    for (const qos::TenantSpec& t : opts_.tenants)
+      queue_.add_queue(t.weight, qos::lane_for(t.priority));
+  } else {
+    queue_.add_queue(1.0, qos::lane_for(qos::TenantPriority::Normal));
   }
 
   stopping_.store(false);
@@ -367,9 +397,23 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
   Request& req = parsed.req;
+  // QoS gate: with tenants configured, an unauthenticated connection may
+  // only ping or auth -- stats, cancel, and solves all act on (or reveal)
+  // tenant state.
+  if (qos_ != nullptr && req.op != Op::Ping && req.op != Op::Auth &&
+      conn->tenant.load(std::memory_order_acquire) < 0) {
+    conn->send_line(
+        error_line(req.id, "auth_required", "authenticate first ({\"op\":\"auth\",...})"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
   switch (req.op) {
     case Op::Ping:
       conn->send_line(pong_line(req.id));
+      return;
+    case Op::Auth:
+      handle_auth(conn, req);
       return;
     case Op::Stats:
       conn->send_line(stats_line(req.id));
@@ -388,6 +432,35 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       handle_solve(conn, std::move(req));
       return;
   }
+}
+
+void Server::handle_auth(const std::shared_ptr<Connection>& conn, const Request& req) {
+  if (qos_ == nullptr) {
+    conn->send_line(
+        error_line(req.id, "auth_failed", "this server has no tenants configured"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.auth_failures;
+    return;
+  }
+  if (conn->tenant.load(std::memory_order_acquire) >= 0) {
+    conn->send_line(error_line(req.id, "bad_request",
+                               "connection already authenticated (one auth per "
+                               "connection)"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.protocol_errors;
+    return;
+  }
+  const int tenant = qos_->authenticate(req.tenant, req.key);
+  if (tenant < 0) {
+    // One opaque message for both failure modes: naming which of id/key was
+    // wrong would let a probe enumerate tenant ids.
+    conn->send_line(error_line(req.id, "auth_failed", "unknown tenant or bad key"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++counters_.auth_failures;
+    return;
+  }
+  conn->tenant.store(tenant, std::memory_order_release);
+  conn->send_line(auth_ok_line(req.id, qos_->spec(tenant).id));
 }
 
 void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) {
@@ -429,10 +502,44 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) 
   }
   work.req = std::move(req);
 
+  // Per-tenant admission first: the token bucket and concurrency quota give
+  // a greedy tenant its own distinct verdicts ("rate_limited" /
+  // "quota_exceeded") before it can ever pressure the shared queue bound.
+  if (qos_ != nullptr) {
+    work.tenant = conn->tenant.load(std::memory_order_acquire);
+    work.admit_time = qos_->now();
+    switch (qos_->try_admit(work.tenant)) {
+      case qos::QosManager::Admit::Ok:
+        break;
+      case qos::QosManager::Admit::RateLimited: {
+        conn->unregister_inflight(work.req.id);
+        conn->send_line(error_line(
+            work.req.id, "rate_limited",
+            "tenant rate limit exceeded (" +
+                campaign::json_number(qos_->spec(work.tenant).rate) + "/s)"));
+        std::lock_guard<std::mutex> lk(counters_mu_);
+        ++counters_.rejected_rate_limited;
+        return;
+      }
+      case qos::QosManager::Admit::QuotaExceeded: {
+        conn->unregister_inflight(work.req.id);
+        conn->send_line(error_line(
+            work.req.id, "quota_exceeded",
+            "tenant concurrency quota exceeded (max " +
+                std::to_string(qos_->spec(work.tenant).max_inflight) +
+                " in flight)"));
+        std::lock_guard<std::mutex> lk(counters_mu_);
+        ++counters_.rejected_quota;
+        return;
+      }
+    }
+  }
+
   // Decide admission under the queue lock, but send the verdict after
   // releasing it: a blocking write to a slow client must never stall the
   // workers' pops or other connections' admissions.
   enum class Verdict { Admitted, Stopping, Overloaded } verdict;
+  const int tenant = work.tenant;
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
@@ -446,7 +553,8 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) 
       verdict = Verdict::Overloaded;
     } else {
       verdict = Verdict::Admitted;
-      queue_.push_back(std::move(work));
+      const std::size_t qi = tenant >= 0 ? static_cast<std::size_t>(tenant) : 0;
+      queue_.push(qi, std::move(work));
     }
   }
   switch (verdict) {
@@ -459,11 +567,13 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) 
       return;
     }
     case Verdict::Stopping: {
+      if (qos_ != nullptr) qos_->cancel_admission(tenant, /*overloaded=*/false);
       conn->unregister_inflight(work.req.id);
       conn->send_line(error_line(work.req.id, "cancelled", "server shutting down"));
       return;
     }
     case Verdict::Overloaded: {
+      if (qos_ != nullptr) qos_->cancel_admission(tenant, /*overloaded=*/true);
       conn->unregister_inflight(work.req.id);
       conn->send_line(error_line(work.req.id, "overloaded",
                                  "admission queue full (" +
@@ -481,9 +591,7 @@ void Server::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
       queue_cv_.wait(lk, [&] { return stopping_.load() || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      work = std::move(queue_.front());
-      queue_.pop_front();
+      if (!queue_.pop(&work)) return;  // stopping and drained
     }
     process(std::move(work));
   }
@@ -498,11 +606,23 @@ void Server::process(Work work) {
   // always bounded by one iteration, not one solve.
   if (stopping_.load(std::memory_order_acquire)) token.cancel();
 
+  // Per-tenant accounting: exactly one call on every exit path below, BEFORE
+  // the terminal event goes out -- a client that pipelines its next request
+  // the instant it sees the terminal line must find the quota slot already
+  // released (same ordering rule as unregister_inflight).
+  auto qos_finish = [&](qos::QosManager::Outcome outcome, std::uint64_t iters) {
+    if (qos_ == nullptr) return;
+    qos_->finish(work.tenant, outcome, qos_->now() - work.admit_time, iters);
+  };
+
   auto finish_cancelled = [&](const campaign::JobResult* result) {
     const bool explicit_cancel = token.cancel_requested();
     std::string msg = explicit_cancel ? "cancelled" : "deadline expired";
     if (result != nullptr)
       msg += " after " + std::to_string(result->iterations) + " iterations";
+    qos_finish(explicit_cancel ? qos::QosManager::Outcome::Cancelled
+                               : qos::QosManager::Outcome::DeadlineExpired,
+               result != nullptr ? result->iterations : 0);
     conn->send_line(error_line(id, explicit_cancel ? "cancelled" : "deadline", msg));
     std::lock_guard<std::mutex> lk(counters_mu_);
     ++(explicit_cancel ? counters_.cancelled : counters_.deadline_expired);
@@ -518,6 +638,7 @@ void Server::process(Work work) {
   const SessionManager::Prepared prep = sessions_.prepare(work.req.spec);
   if (!prep.error.empty()) {
     conn->unregister_inflight(id);
+    qos_finish(qos::QosManager::Outcome::Failed, 0);
     conn->send_line(error_line(id, "bad_request", prep.error));
     std::lock_guard<std::mutex> lk(counters_mu_);
     ++counters_.protocol_errors;
@@ -554,10 +675,12 @@ void Server::process(Work work) {
   // not race a stale inflight entry.
   conn->unregister_inflight(id);
   if (!result.ran) {
+    qos_finish(qos::QosManager::Outcome::Failed, result.iterations);
     conn->send_line(error_line(id, "internal", result.error));
   } else if (result.cancelled) {
     finish_cancelled(&result);
   } else {
+    qos_finish(qos::QosManager::Outcome::Completed, result.iterations);
     conn->send_line(result_line(id, work.req.spec, result));
     std::lock_guard<std::mutex> lk(counters_mu_);
     ++counters_.completed;
@@ -581,6 +704,9 @@ std::string Server::stats_line(const std::string& id) const {
   out += ", \"requests\": " + std::to_string(c.requests);
   out += ", \"completed\": " + std::to_string(c.completed);
   out += ", \"rejected_overload\": " + std::to_string(c.rejected_overload);
+  out += ", \"rejected_rate_limited\": " + std::to_string(c.rejected_rate_limited);
+  out += ", \"rejected_quota\": " + std::to_string(c.rejected_quota);
+  out += ", \"auth_failures\": " + std::to_string(c.auth_failures);
   out += ", \"protocol_errors\": " + std::to_string(c.protocol_errors);
   out += ", \"cancelled\": " + std::to_string(c.cancelled);
   out += ", \"deadline_expired\": " + std::to_string(c.deadline_expired);
@@ -591,7 +717,9 @@ std::string Server::stats_line(const std::string& id) const {
   out += ", \"problems\": " + std::to_string(cs.problems);
   out += ", \"backends\": " + std::to_string(cs.backends);
   out += ", \"preconds\": " + std::to_string(cs.preconds);
-  out += "}}";
+  out += "}";
+  if (qos_ != nullptr) out += ", \"tenants\": " + qos_->stats_json();
+  out += "}";
   return out;
 }
 

@@ -3,8 +3,17 @@
 // Architecture (README "Service"):
 //
 //   listeners (unix / TCP) -> per-connection reader threads -> admission
-//   queue (bounded; rejects with "overloaded" when full) -> worker pool ->
-//   events written back on the request's connection.
+//   (per-tenant token bucket + concurrency quota, then the bounded queue;
+//   rejects with "rate_limited" / "quota_exceeded" / "overloaded") ->
+//   weighted-fair queue (per-tenant virtual-finish-time dispatch across the
+//   runtime's three priority lanes) -> worker pool -> events written back on
+//   the request's connection.
+//
+//   * QoS: servers started with tenants (ServerOptions.tenants) require an
+//     auth op before anything but ping; admission, dispatch order, and the
+//     per-tenant stats section are all keyed by the authenticated tenant
+//     (src/qos/).  Without tenants the whole layer collapses to the single
+//     FIFO queue of the seed server -- one default queue of weight 1.
 //
 //   * Session state: a SessionManager caches assembled problems, SELL
 //     conversions, and preconditioner factorizations across requests, so a
@@ -25,7 +34,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +41,9 @@
 #include <utility>
 #include <vector>
 
+#include "qos/fair_queue.hpp"
+#include "qos/qos.hpp"
+#include "qos/tenant.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
 #include "support/cancel.hpp"
@@ -65,6 +76,11 @@ struct ServerOptions {
   /// Off by default: a shared daemon should not read arbitrary local paths
   /// on behalf of tenants (feir_serve --allow-matrix-files opts in).
   bool allow_matrix_files = false;
+  /// Declared tenants (feir_serve --tenant / --tenant-file).  Non-empty
+  /// enables the QoS layer: auth-gated ops, per-tenant rate/concurrency
+  /// admission, weighted-fair dispatch, per-tenant stats.  Must pass
+  /// qos::validate_tenants (start() fails otherwise).
+  std::vector<qos::TenantSpec> tenants;
 };
 
 class Server {
@@ -91,6 +107,9 @@ class Server {
     std::uint64_t requests = 0;         ///< well-formed solve requests admitted
     std::uint64_t completed = 0;        ///< result events sent
     std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_rate_limited = 0;  ///< QoS: token bucket drained
+    std::uint64_t rejected_quota = 0;         ///< QoS: max_inflight reached
+    std::uint64_t auth_failures = 0;          ///< QoS: bad key / unknown tenant
     std::uint64_t protocol_errors = 0;  ///< bad/oversized frames, bad requests
     std::uint64_t cancelled = 0;        ///< cancel op or shutdown
     std::uint64_t deadline_expired = 0;
@@ -98,6 +117,9 @@ class Server {
   Counters counters() const;
 
   SessionManager& sessions() { return sessions_; }
+
+  /// The QoS layer; null when no tenants are configured.
+  qos::QosManager* qos() { return qos_.get(); }
 
  private:
   struct Connection;
@@ -110,6 +132,10 @@ class Server {
     /// solve_batch only: one token per column, tripped by {"op":"cancel",
     /// "col":j} to freeze that column while the rest keep converging.
     std::vector<std::shared_ptr<CancelToken>> col_tokens;
+    /// QoS: the admitting tenant (-1 without tenants) and the admission
+    /// timestamp on the QosManager clock (latency histograms).
+    int tenant = -1;
+    double admit_time = 0.0;
   };
 
   bool listen_unix(std::string* err);
@@ -118,6 +144,7 @@ class Server {
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
   void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  void handle_auth(const std::shared_ptr<Connection>& conn, const Request& req);
   void handle_solve(const std::shared_ptr<Connection>& conn, Request req);
   void process(Work work);
   std::string stats_line(const std::string& id) const;
@@ -137,9 +164,15 @@ class Server {
   mutable std::mutex conns_mu_;
   std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> readers_;
 
+  /// The QoS layer; null when opts_.tenants is empty.
+  std::unique_ptr<qos::QosManager> qos_;
+
+  /// Admission queue: one weighted-fair queue per tenant (queue index ==
+  /// tenant index), or a single weight-1 queue without tenants -- in which
+  /// case dispatch degenerates to the seed server's FIFO.
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Work> queue_;
+  qos::WeightedFairQueue<Work> queue_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex counters_mu_;

@@ -1,0 +1,69 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace feir {
+
+LogHistogram::LogHistogram(double lo, double hi, int per_decade)
+    : lo_(lo), hi_(hi), per_decade_(static_cast<double>(per_decade)) {
+  const double decades = std::log10(hi_ / lo_);
+  const auto nlog = static_cast<std::size_t>(std::ceil(decades * per_decade_));
+  counts_.assign(nlog + 2, 0);  // + underflow + overflow
+}
+
+void LogHistogram::record(double v) {
+  std::size_t i;
+  if (!(v >= lo_)) {  // also catches NaN, which lands in underflow
+    i = 0;
+  } else if (v >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    // log10 rounding at an exact bucket boundary may differ in the last ulp
+    // across libm builds; callers that need cross-platform golden stability
+    // simply avoid recording exact boundary values.
+    i = 1 + static_cast<std::size_t>(std::log10(v / lo_) * per_decade_);
+    i = std::min(i, counts_.size() - 2);
+  }
+  ++counts_[i];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  if (i == 0) return 0.0;
+  if (i >= counts_.size() - 1) return hi_;
+  return lo_ * std::pow(10.0, static_cast<double>(i - 1) / per_decade_);
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Same target-rank convention as feir::percentile: rank h in [0, n-1].
+  const double h = (static_cast<double>(count_) - 1.0) * p / 100.0;
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    // Ranks [before, before + c - 1] live in bucket i.
+    if (h < static_cast<double>(before + c)) {
+      const double lo = bucket_lo(i);
+      const double hi = i + 1 < counts_.size() ? bucket_lo(i + 1) : hi_;
+      // Spread the bucket's c samples uniformly and interpolate, mirroring
+      // the between-order-statistics interpolation of feir::percentile.
+      const double inside = (h - static_cast<double>(before) + 0.5) /
+                            static_cast<double>(c);
+      const double v = lo + (hi - lo) * inside;
+      return std::min(std::max(v, min_), max_);
+    }
+    before += c;
+  }
+  return max_;  // p == 100 with rounding
+}
+
+}  // namespace feir

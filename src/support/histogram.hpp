@@ -1,0 +1,55 @@
+// Log-bucketed histogram for service observability: per-tenant latency and
+// iteration distributions accumulate in O(buckets) memory no matter how many
+// requests a tenant sends, and percentile queries follow the same
+// linear-interpolation convention as feir::percentile (support/stats.hpp) so
+// a histogram p50 agrees with the exact-sample p50 up to one bucket width.
+//
+// Determinism: for a fixed record() sequence the bucket counts -- and
+// therefore every percentile -- are identical across runs, which is what
+// lets the per-tenant stats JSON be golden-tested byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace feir {
+
+class LogHistogram {
+ public:
+  /// Buckets cover [lo, hi) log-uniformly with `per_decade` buckets per
+  /// factor of 10; values below `lo` (or <= 0) land in an underflow bucket
+  /// anchored at 0, values >= `hi` in an overflow bucket anchored at `hi`.
+  /// Requires 0 < lo < hi and per_decade >= 1.
+  LogHistogram(double lo, double hi, int per_decade);
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Smallest / largest value recorded so far; 0 when empty.
+  double min_seen() const { return count_ == 0 ? 0.0 : min_; }
+  double max_seen() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Percentile `p` in [0, 100], interpolated linearly inside the bucket
+  /// that holds the target rank (rank convention of feir::percentile); the
+  /// result is clamped to [min_seen, max_seen] so a one-sample histogram
+  /// reports the sample itself.  0 for an empty histogram.
+  double percentile(double p) const;
+
+  /// Bucket count vector (underflow first, overflow last); for tests.
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+  /// Lower bound of bucket `i` (0 for the underflow bucket).
+  double bucket_lo(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double per_decade_;
+  std::vector<std::uint64_t> counts_;  // [underflow, b0, b1, ..., overflow]
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace feir

@@ -1,0 +1,528 @@
+// Unit tests for the QoS layer (src/qos/): token bucket, weighted-fair
+// queue, tenant grammar, histograms, and the QosManager -- all driven by a
+// fake monotonic clock, so every admit/deny sequence and every percentile is
+// exactly reproducible.  The per-tenant stats JSON additionally has a golden
+// fixture (tests/golden/tenant_stats.json); regenerate it deliberately with
+//
+//   FEIR_UPDATE_GOLDEN=1 ./qos_test
+//
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "qos/fair_queue.hpp"
+#include "qos/qos.hpp"
+#include "qos/tenant.hpp"
+#include "qos/token_bucket.hpp"
+#include "support/histogram.hpp"
+#include "support/stats.hpp"
+
+#ifndef FEIR_REPO_DIR
+#define FEIR_REPO_DIR "."
+#endif
+
+namespace feir::qos {
+namespace {
+
+// --- token bucket ------------------------------------------------------------
+
+TEST(TokenBucket, BurstThenDenyThenRefill) {
+  // 2 tokens/s, burst 4, starting full at t=0.  Table of (now, want-admit);
+  // the trace exercises burst drain, denial at empty, fractional refill, and
+  // the burst cap after a long idle gap.
+  TokenBucket b(2.0, 4.0, 0.0);
+  const struct {
+    double now;
+    bool want;
+  } trace[] = {
+      {0.0, true},   // burst: 4 -> 3
+      {0.0, true},   // 3 -> 2
+      {0.0, true},   // 2 -> 1
+      {0.0, true},   // 1 -> 0
+      {0.0, false},  // empty
+      {0.4, false},  // +0.8 tokens: still < 1
+      {0.5, true},   // +0.2 -> 1.0, spend it
+      {0.5, false},  // empty again at the same instant
+      {100.0, true},  // long idle refills to burst (4), not 199
+      {100.0, true},
+      {100.0, true},
+      {100.0, true},
+      {100.0, false},  // exactly the burst, not more
+  };
+  for (std::size_t i = 0; i < sizeof(trace) / sizeof(trace[0]); ++i)
+    EXPECT_EQ(b.try_acquire(trace[i].now), trace[i].want) << "step " << i;
+}
+
+TEST(TokenBucket, ZeroRateIsUnlimited) {
+  TokenBucket b(0.0, 0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.try_acquire(0.0));
+  EXPECT_EQ(b.level(0.0), -1.0);
+}
+
+TEST(TokenBucket, LevelReportsWithoutConsuming) {
+  TokenBucket b(1.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.level(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(b.level(0.0), 10.0);  // idempotent
+  EXPECT_TRUE(b.try_acquire(0.0, 7.5));
+  EXPECT_DOUBLE_EQ(b.level(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(b.level(2.0), 4.5);  // +2 s * 1/s
+}
+
+TEST(TokenBucket, StaleNowMeansNoTimePassed) {
+  TokenBucket b(1.0, 1.0, 10.0);
+  EXPECT_TRUE(b.try_acquire(10.0));
+  // A clock that appears to step backwards must not mint tokens.
+  EXPECT_FALSE(b.try_acquire(5.0));
+  EXPECT_FALSE(b.try_acquire(10.0));
+  EXPECT_TRUE(b.try_acquire(11.0));
+}
+
+TEST(TokenBucket, FractionalCosts) {
+  TokenBucket b(1.0, 1.0, 0.0);
+  EXPECT_TRUE(b.try_acquire(0.0, 0.25));
+  EXPECT_TRUE(b.try_acquire(0.0, 0.25));
+  EXPECT_TRUE(b.try_acquire(0.0, 0.5));
+  EXPECT_FALSE(b.try_acquire(0.0, 0.25));
+}
+
+// --- weighted-fair queue -----------------------------------------------------
+
+/// Drains the queue, returning the dispatch order as queue indices (items
+/// are pushed carrying their queue index).
+std::vector<int> drain(WeightedFairQueue<int>& q) {
+  std::vector<int> order;
+  int item;
+  while (q.pop(&item)) order.push_back(item);
+  return order;
+}
+
+TEST(WeightedFairQueue, SingleQueueIsFifo) {
+  WeightedFairQueue<int> q;
+  const std::size_t qi = q.add_queue(1.0, 1);
+  for (int i = 0; i < 5; ++i) q.push(qi, i);
+  int item;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(&item));
+    EXPECT_EQ(item, i);
+  }
+  EXPECT_FALSE(q.pop(&item));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WeightedFairQueue, WeightsShareDispatchProportionally) {
+  // Backlogged weight-3 vs weight-1 queues in one lane: over any long window
+  // the dispatch ratio is 3:1.  With both fully backlogged up front the
+  // exact deterministic order is pinned, not just the ratio.
+  WeightedFairQueue<int> q;
+  const std::size_t heavy = q.add_queue(3.0, 1);
+  const std::size_t light = q.add_queue(1.0, 1);
+  for (int i = 0; i < 30; ++i) q.push(heavy, 0);
+  for (int i = 0; i < 10; ++i) q.push(light, 1);
+  const std::vector<int> order = drain(q);
+  ASSERT_EQ(order.size(), 40u);
+  // Every prefix of length 4k holds exactly k light dispatches (3:1 pacing).
+  int lights = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    lights += order[i];
+    if ((i + 1) % 4 == 0)
+      EXPECT_EQ(lights, static_cast<int>((i + 1) / 4)) << "after " << i + 1;
+  }
+  EXPECT_EQ(lights, 10);
+}
+
+TEST(WeightedFairQueue, TiesBreakTowardLowerQueueIndex) {
+  WeightedFairQueue<int> q;
+  const std::size_t a = q.add_queue(1.0, 1);
+  const std::size_t b = q.add_queue(1.0, 1);
+  q.push(b, 1);
+  q.push(a, 0);  // same finish tag (1.0) -- a wins the tie despite pushing later
+  EXPECT_EQ(drain(q), (std::vector<int>{0, 1}));
+}
+
+TEST(WeightedFairQueue, IdleQueueAccumulatesNoCredit) {
+  // Queue a drains alone for a while; when b shows up late it must NOT get
+  // a burst of back-to-back dispatches for the time it sat idle (its tag
+  // starts at the lane's current virtual time).
+  WeightedFairQueue<int> q;
+  const std::size_t a = q.add_queue(1.0, 1);
+  const std::size_t b = q.add_queue(1.0, 1);
+  for (int i = 0; i < 8; ++i) q.push(a, 0);
+  int item;
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.pop(&item));
+  for (int i = 0; i < 4; ++i) {
+    q.push(a, 0);
+    q.push(b, 1);
+  }
+  const std::vector<int> order = drain(q);
+  // Strict alternation -- b never runs twice in a row.
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    EXPECT_FALSE(order[i] == 1 && order[i + 1] == 1) << "at " << i;
+}
+
+TEST(WeightedFairQueue, HigherLanesDrainCompletelyFirst) {
+  WeightedFairQueue<int> q;
+  const std::size_t high = q.add_queue(1.0, 0);
+  const std::size_t normal = q.add_queue(100.0, 1);  // weight cannot cross lanes
+  const std::size_t low = q.add_queue(100.0, 2);
+  q.push(low, 2);
+  q.push(normal, 1);
+  q.push(high, 0);
+  q.push(high, 0);
+  EXPECT_EQ(drain(q), (std::vector<int>{0, 0, 1, 2}));
+}
+
+TEST(WeightedFairQueue, ClearDropsItemsKeepsQueues) {
+  WeightedFairQueue<int> q;
+  const std::size_t qi = q.add_queue(1.0, 1);
+  q.push(qi, 7);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.queue_size(qi), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(qi, 8);
+  int item;
+  ASSERT_TRUE(q.pop(&item));
+  EXPECT_EQ(item, 8);
+}
+
+// --- priority <-> lane mapping ----------------------------------------------
+
+TEST(TenantPriority, LanesMatchTheRuntimeMapping) {
+  // The WFQ's lane for a tenant priority must agree with where the runtime
+  // puts the corresponding submit-priority (runtime/runtime.hpp lane_of:
+  // > 0 -> lane 0, == 0 -> lane 1, < 0 -> lane 2), and the queue must have
+  // exactly as many lanes as the runtime (3).
+  const auto runtime_lane_of = [](int priority) {
+    return priority > 0 ? 0 : (priority == 0 ? 1 : 2);
+  };
+  EXPECT_EQ(kQueueLanes, 3);
+  for (const TenantPriority p :
+       {TenantPriority::High, TenantPriority::Normal, TenantPriority::Low})
+    EXPECT_EQ(lane_for(p), runtime_lane_of(runtime_priority(p)))
+        << priority_name(p);
+  EXPECT_EQ(lane_for(TenantPriority::High), 0);
+  EXPECT_EQ(lane_for(TenantPriority::Normal), 1);
+  EXPECT_EQ(lane_for(TenantPriority::Low), 2);
+}
+
+TEST(TenantPriority, NamesRoundTrip) {
+  for (const TenantPriority p :
+       {TenantPriority::High, TenantPriority::Normal, TenantPriority::Low}) {
+    TenantPriority back;
+    ASSERT_TRUE(priority_from_name(priority_name(p), &back));
+    EXPECT_EQ(back, p);
+  }
+  TenantPriority out;
+  EXPECT_FALSE(priority_from_name("", &out));
+  EXPECT_FALSE(priority_from_name("High", &out));  // case-sensitive
+  EXPECT_FALSE(priority_from_name("urgent", &out));
+}
+
+// --- tenant grammar ----------------------------------------------------------
+
+TEST(TenantGrammar, ParsesFullAndPartialSpecs) {
+  TenantSpec t;
+  std::string err;
+  ASSERT_TRUE(parse_tenant_spec("alice:s3cret:4:high:10:20:8", &t, &err)) << err;
+  EXPECT_EQ(t.id, "alice");
+  EXPECT_EQ(t.key, "s3cret");
+  EXPECT_DOUBLE_EQ(t.weight, 4.0);
+  EXPECT_EQ(t.priority, TenantPriority::High);
+  EXPECT_DOUBLE_EQ(t.rate, 10.0);
+  EXPECT_DOUBLE_EQ(t.burst, 20.0);
+  EXPECT_EQ(t.max_inflight, 8u);
+
+  // Minimal 4-field form: rate/burst/max_inflight default to unlimited.
+  ASSERT_TRUE(parse_tenant_spec("bob:hunter2:1:low", &t, &err)) << err;
+  EXPECT_DOUBLE_EQ(t.rate, 0.0);
+  EXPECT_DOUBLE_EQ(t.burst, 0.0);
+  EXPECT_EQ(t.max_inflight, 0u);
+
+  // Rate without burst: burst defaults to max(1, rate).
+  ASSERT_TRUE(parse_tenant_spec("c:k:1:normal:0.5", &t, &err)) << err;
+  EXPECT_DOUBLE_EQ(t.burst, 1.0);
+  ASSERT_TRUE(parse_tenant_spec("c:k:1:normal:8", &t, &err)) << err;
+  EXPECT_DOUBLE_EQ(t.burst, 8.0);
+}
+
+TEST(TenantGrammar, RejectionsNameTheOffendingByte) {
+  // (spec, expected "byte N:" prefix) table: the offset points at the start
+  // of the offending FIELD, so a user can count into their own flag value.
+  const struct {
+    const char* spec;
+    const char* want_prefix;
+  } cases[] = {
+      {"", "byte 0: expected id"},
+      {"alice", "byte 0: expected id"},
+      {"alice:key:1", "byte 0: expected id"},
+      {"al ice:key:1:high", "byte 0: tenant id may use only"},
+      {":key:1:high", "byte 0: tenant id must be 1..64 bytes"},
+      {"alice::1:high", "byte 6: key must be 1..128 bytes"},
+      {"alice:key:0:high", "byte 10: weight must be a number in (0, 1e6]"},
+      {"alice:key:-2:high", "byte 10: weight must be"},
+      {"alice:key:nan:high", "byte 10: weight must be"},
+      {"alice:key:1:urgent", "byte 12: priority must be high, normal, or low"},
+      {"alice:key:1:high:-1", "byte 17: rate must be"},
+      {"alice:key:1:high:1:x", "byte 19: burst must be"},
+      {"alice:key:1:high:1:1:-3", "byte 21: max_inflight must be"},
+      {"alice:key:1:high:1:1:1.5", "byte 21: max_inflight must be"},
+      {"a:b:1:high:1:1:1:extra", "byte 17: too many fields"},
+  };
+  for (const auto& c : cases) {
+    TenantSpec t;
+    std::string err;
+    EXPECT_FALSE(parse_tenant_spec(c.spec, &t, &err)) << c.spec;
+    EXPECT_EQ(err.substr(0, std::string(c.want_prefix).size()), c.want_prefix)
+        << "spec: " << c.spec << "\n  got: " << err;
+  }
+}
+
+TEST(TenantGrammar, ConfigFileOffsetsAreAbsolute) {
+  // The bad weight sits on line 3; its diagnostic must carry the byte offset
+  // within the whole file, not within the line.
+  const std::string text =
+      "# tenants\n"
+      "alice:s3cret:4:high\n"
+      "bob:hunter2:bad:low\n";
+  std::vector<TenantSpec> out;
+  std::string err;
+  EXPECT_FALSE(parse_tenant_config(text, &out, &err));
+  // "bob:hunter2:" starts at byte 30; the weight field 12 bytes later.
+  EXPECT_EQ(err.substr(0, 8), "byte 42:") << err;
+  EXPECT_TRUE(out.empty());  // nothing appended on failure
+}
+
+TEST(TenantGrammar, ConfigFileCommentsBlanksAndIndent) {
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "  alice:s3cret:4:high:10\r\n"
+      "\tbob:hunter2:1:low\n"
+      "   # indented comment\n";
+  std::vector<TenantSpec> out;
+  std::string err;
+  ASSERT_TRUE(parse_tenant_config(text, &out, &err)) << err;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, "alice");
+  EXPECT_EQ(out[1].id, "bob");
+}
+
+TEST(TenantGrammar, ConfigFileDuplicateIdRejectedAtSecondOccurrence) {
+  const std::string text = "alice:k1:1:high\nalice:k2:1:low\n";
+  std::vector<TenantSpec> out;
+  std::string err;
+  EXPECT_FALSE(parse_tenant_config(text, &out, &err));
+  EXPECT_EQ(err.substr(0, 8), "byte 16:") << err;
+  EXPECT_NE(err.find("duplicate tenant id"), std::string::npos) << err;
+}
+
+TEST(TenantGrammar, ValidateTenantsCatchesCrossSourceDuplicates) {
+  std::vector<TenantSpec> tenants;
+  std::string err;
+  EXPECT_FALSE(validate_tenants(tenants, &err));  // empty set
+  TenantSpec a;
+  a.id = "alice";
+  tenants = {a, a};  // e.g. --tenant flag + --tenant-file line
+  EXPECT_FALSE(validate_tenants(tenants, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+  tenants = {a};
+  EXPECT_TRUE(validate_tenants(tenants, &err));
+}
+
+// --- log histogram -----------------------------------------------------------
+
+TEST(LogHistogram, CountsAndExtremes) {
+  LogHistogram h(1.0, 1e3, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  h.record(5.0);
+  h.record(50.0);
+  h.record(0.5);    // underflow
+  h.record(5000.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 5000.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : h.buckets()) total += c;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(h.buckets().front(), 1u);  // the 0.5
+  EXPECT_EQ(h.buckets().back(), 1u);   // the 5000
+}
+
+TEST(LogHistogram, SingleSampleReportsItself) {
+  LogHistogram h(1e-2, 1e6, 10);
+  h.record(37.25);
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(h.percentile(p), 37.25);
+}
+
+TEST(LogHistogram, PercentileTracksExactWithinOneBucket) {
+  // Log-uniform-ish spread over 3 decades: the histogram percentile must
+  // agree with the exact-sample percentile to within one bucket's relative
+  // width (10 buckets/decade => a factor of 10^0.1 ~ 1.26).
+  LogHistogram h(1.0, 1e4, 10);
+  std::vector<double> xs;
+  double v = 1.5;
+  for (int i = 0; i < 200; ++i) {
+    h.record(v);
+    xs.push_back(v);
+    v *= 1.034;  // deterministic spread, ~1.5 .. ~1300
+  }
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = percentile(xs, p);
+    const double approx = h.percentile(p);
+    EXPECT_GT(approx, exact / 1.26) << "p" << p;
+    EXPECT_LT(approx, exact * 1.26) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, DeterministicAcrossRuns) {
+  LogHistogram a(1e-2, 1e6, 10), b(1e-2, 1e6, 10);
+  double v = 0.013;
+  for (int i = 0; i < 500; ++i) {
+    a.record(v);
+    b.record(v);
+    v *= 1.021;
+  }
+  EXPECT_EQ(a.buckets(), b.buckets());
+  EXPECT_DOUBLE_EQ(a.percentile(95.0), b.percentile(95.0));
+}
+
+// --- QosManager --------------------------------------------------------------
+
+/// A controllable clock handed to QosManager; tests advance it explicitly.
+struct FakeClock {
+  double t = 0.0;
+  QosManager::Clock fn() {
+    return [this] { return t; };
+  }
+};
+
+std::vector<TenantSpec> two_tenants() {
+  TenantSpec alice;
+  alice.id = "alice";
+  alice.key = "s3cret";
+  alice.weight = 4.0;
+  alice.priority = TenantPriority::High;
+  TenantSpec bob;
+  bob.id = "bob";
+  bob.key = "hunter2";
+  bob.priority = TenantPriority::Low;
+  bob.rate = 2.0;
+  bob.burst = 2.0;
+  bob.max_inflight = 1;
+  return {alice, bob};
+}
+
+TEST(QosManager, AuthenticateResolvesExactPairsOnly) {
+  QosManager qos(two_tenants());
+  EXPECT_EQ(qos.authenticate("alice", "s3cret"), 0);
+  EXPECT_EQ(qos.authenticate("bob", "hunter2"), 1);
+  EXPECT_EQ(qos.authenticate("alice", "s3cre"), -1);   // prefix
+  EXPECT_EQ(qos.authenticate("alice", "s3cret "), -1); // longer
+  EXPECT_EQ(qos.authenticate("alice", "hunter2"), -1); // other tenant's key
+  EXPECT_EQ(qos.authenticate("carol", "s3cret"), -1);  // unknown id
+  EXPECT_EQ(qos.authenticate("", ""), -1);
+}
+
+TEST(QosManager, QuotaCheckedBeforeBucket) {
+  FakeClock clk;
+  QosManager qos(two_tenants(), clk.fn());
+  // bob: rate 2, burst 2, max_inflight 1.
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::Ok);
+  // Quota bounce must NOT burn a token: the bucket still holds one.
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::QuotaExceeded);
+  qos.finish(1, QosManager::Outcome::Completed, 0.001, 10);
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::Ok);  // the preserved token
+  qos.finish(1, QosManager::Outcome::Completed, 0.001, 10);
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::RateLimited);  // bucket empty
+  clk.t = 0.5;  // +1 token at 2/s
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::Ok);
+}
+
+TEST(QosManager, CancelAdmissionUndoesTheAdmit) {
+  FakeClock clk;
+  QosManager qos(two_tenants(), clk.fn());
+  ASSERT_EQ(qos.try_admit(1), QosManager::Admit::Ok);
+  qos.cancel_admission(1, /*overloaded=*/true);
+  // Inflight released: the quota no longer blocks.
+  EXPECT_EQ(qos.try_admit(1), QosManager::Admit::Ok);
+}
+
+TEST(QosManager, UnlimitedTenantNeverRejected) {
+  FakeClock clk;
+  QosManager qos(two_tenants(), clk.fn());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(qos.try_admit(0), QosManager::Admit::Ok);
+}
+
+// --- golden stats JSON -------------------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(FEIR_REPO_DIR) + "/tests/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void expect_matches_golden(const std::string& content, const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("FEIR_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(campaign::write_text_file(path, content)) << path;
+    return;
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing fixture " << path
+                             << " (regenerate with FEIR_UPDATE_GOLDEN=1)";
+  if (content != want) {
+    std::size_t at = 0;
+    while (at < content.size() && at < want.size() && content[at] == want[at]) ++at;
+    FAIL() << name << " drifted from its golden fixture at byte " << at << ":\n  want ..."
+           << want.substr(at > 40 ? at - 40 : 0, 80) << "...\n  got  ..."
+           << content.substr(at > 40 ? at - 40 : 0, 80) << "...";
+  }
+}
+
+TEST(QosManager, StatsJsonMatchesGoldenFixture) {
+  // A fixed admission/finish trace on the fake clock: the rendered JSON must
+  // be byte-stable (sorted tenant keys, fixed field order, %.17g numbers).
+  // Declaration order is bob-then-alice to prove the output sorts by id.
+  std::vector<TenantSpec> tenants = two_tenants();
+  std::swap(tenants[0], tenants[1]);
+  FakeClock clk;
+  QosManager qos(tenants, clk.fn());
+  const int bob = 0, alice = 1;
+  ASSERT_EQ(qos.spec(alice).id, "alice");
+
+  ASSERT_EQ(qos.try_admit(alice), QosManager::Admit::Ok);
+  ASSERT_EQ(qos.try_admit(bob), QosManager::Admit::Ok);  // tokens 2 -> 1
+  ASSERT_EQ(qos.try_admit(bob), QosManager::Admit::QuotaExceeded);
+  clk.t = 0.25;
+  qos.finish(alice, QosManager::Outcome::Completed, 0.25, 120);
+  qos.finish(bob, QosManager::Outcome::DeadlineExpired, 0.125, 40);
+  ASSERT_EQ(qos.try_admit(bob), QosManager::Admit::Ok);  // 1.5 -> 0.5
+  qos.finish(bob, QosManager::Outcome::Cancelled, 0.0, 0);
+  // Quota drained, bucket at 0.5 tokens: now it is the RATE that rejects.
+  ASSERT_EQ(qos.try_admit(bob), QosManager::Admit::RateLimited);
+  clk.t = 0.5;
+  ASSERT_EQ(qos.try_admit(alice), QosManager::Admit::Ok);
+  qos.cancel_admission(alice, /*overloaded=*/true);
+  clk.t = 1.0;
+
+  const std::string json = qos.stats_json();
+  EXPECT_EQ(json, qos.stats_json());  // rendering twice is stable
+  expect_matches_golden(json + "\n", "tenant_stats.json");
+}
+
+}  // namespace
+}  // namespace feir::qos

@@ -2,8 +2,9 @@
 // malformed-frame table (mirroring the mmio hardening style: every bad frame
 // produces a clean error and never kills the connection), and a live
 // in-process server exercised over real unix-domain sockets -- admission
-// backpressure, per-request deadlines, cancellation, and clean shutdown with
-// solves in flight.
+// backpressure, per-request deadlines, cancellation, clean shutdown with
+// solves in flight, and the QoS layer's protocol conformance (auth gating,
+// opaque credential failures, per-tenant rate/quota verdicts, tenant stats).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -232,6 +233,24 @@ std::vector<BadFrameCase> bad_frames() {
        "bad_request", "stream must be a boolean"},
       {"tiny block_rows", "{\"op\": \"solve\", \"id\": \"a\", \"block_rows\": 4}",
        "bad_request", "block_rows must be an integer"},
+      {"auth without tenant", "{\"op\": \"auth\", \"key\": \"k\"}", "bad_request",
+       "auth requires a tenant field"},
+      {"auth without key", "{\"op\": \"auth\", \"tenant\": \"t\"}", "bad_request",
+       "auth requires a key field"},
+      {"auth empty tenant", "{\"op\": \"auth\", \"tenant\": \"\", \"key\": \"k\"}",
+       "bad_request", "tenant must not be empty"},
+      {"auth non-string key", "{\"op\": \"auth\", \"tenant\": \"t\", \"key\": 7}",
+       "bad_request", "key must be a string"},
+      {"auth oversized key",
+       "{\"op\": \"auth\", \"tenant\": \"t\", \"key\": \"" + std::string(200, 'k') +
+           "\"}",
+       "bad_request", "key longer than 128 bytes"},
+      {"auth with solve fields",
+       "{\"op\": \"auth\", \"tenant\": \"t\", \"key\": \"k\", \"matrix\": \"x\"}",
+       "bad_request", "unknown field \"matrix\" for op auth"},
+      {"tenant field on solve",
+       "{\"op\": \"solve\", \"id\": \"a\", \"tenant\": \"t\"}", "bad_request",
+       "unknown field \"tenant\""},
   };
 }
 
@@ -691,6 +710,183 @@ TEST(ServiceLive, ClientDisconnectCancelsItsInflightWork) {
       &reply));
   EXPECT_EQ(field(reply, "event"), "result") << reply;
   EXPECT_EQ(field(reply, "converged"), "true");
+}
+
+// ------------------------------------------------------- QoS / tenants ----
+
+/// Two-tenant ServerOptions for the QoS conformance tests.
+ServerOptions qos_opts() {
+  ServerOptions opts;
+  qos::TenantSpec alice;
+  alice.id = "alice";
+  alice.key = "s3cret";
+  alice.weight = 4.0;
+  alice.priority = qos::TenantPriority::High;
+  qos::TenantSpec bob;
+  bob.id = "bob";
+  bob.key = "hunter2";
+  bob.priority = qos::TenantPriority::Low;
+  bob.rate = 1.0;
+  bob.burst = 1.0;
+  bob.max_inflight = 1;
+  opts.tenants = {alice, bob};
+  return opts;
+}
+
+const char* kSmallSolve =
+    "{\"op\": \"solve\", \"id\": \"q\", \"matrix\": \"ecology2\","
+    " \"scale\": 0.1, \"tol\": 1e-8}";
+
+TEST(ServiceQos, OpsBeforeAuthAreRefusedButPingIsNot) {
+  LiveServer live(qos_opts(), "authgate");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"ping\", \"id\": \"p\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "pong") << "ping needs no auth";
+  for (const char* req :
+       {kSmallSolve, "{\"op\": \"stats\", \"id\": \"s\"}",
+        "{\"op\": \"cancel\", \"id\": \"q\"}",
+        "{\"op\": \"solve_batch\", \"id\": \"b\", \"nrhs\": 2}"}) {
+    ASSERT_TRUE(live.client.roundtrip(req, &reply)) << req;
+    EXPECT_EQ(field(reply, "code"), "auth_required") << reply;
+  }
+}
+
+TEST(ServiceQos, BadCredentialsAreOpaqueAndCounted) {
+  LiveServer live(qos_opts(), "badcred");
+  std::string reply;
+  // Unknown tenant and wrong key must be INDISTINGUISHABLE to the client.
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"auth\", \"id\": \"a1\", \"tenant\": \"carol\", \"key\": \"s3cret\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "code"), "auth_failed") << reply;
+  const std::string unknown_tenant_msg = field(reply, "message");
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"auth\", \"id\": \"a2\", \"tenant\": \"alice\", \"key\": \"wrong\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "code"), "auth_failed") << reply;
+  EXPECT_EQ(field(reply, "message"), unknown_tenant_msg)
+      << "message must not reveal whether the tenant exists";
+  // A failed auth leaves the connection usable and unauthenticated.
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "code"), "auth_required");
+  EXPECT_EQ(live.server.counters().auth_failures, 2u);
+}
+
+TEST(ServiceQos, AuthBindsOnceAndUnlocksSolves) {
+  LiveServer live(qos_opts(), "authok");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"auth\", \"id\": \"a\", \"tenant\": \"alice\", \"key\": \"s3cret\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "event"), "auth_ok") << reply;
+  EXPECT_EQ(field(reply, "tenant"), "alice");
+  // Duplicate auth on the same connection is a schema violation, not a
+  // silent re-bind.
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"auth\", \"id\": \"again\", \"tenant\": \"bob\", \"key\": \"hunter2\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "code"), "bad_request") << reply;
+  EXPECT_NE(field(reply, "message").find("already authenticated"), std::string::npos);
+  // ... and the connection stays bound to alice and fully usable.
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  EXPECT_EQ(field(reply, "converged"), "true");
+}
+
+TEST(ServiceQos, ClientAuthenticateHelperRoundTrips) {
+  LiveServer live(qos_opts(), "authhelper");
+  std::string err;
+  EXPECT_FALSE(live.client.authenticate("alice", "nope", &err));
+  EXPECT_NE(err.find("unknown tenant or bad key"), std::string::npos) << err;
+  EXPECT_TRUE(live.client.authenticate("alice", "s3cret", &err)) << err;
+}
+
+TEST(ServiceQos, AuthOnAServerWithoutTenantsFails) {
+  LiveServer live({}, "noauth");
+  std::string reply;
+  ASSERT_TRUE(live.client.roundtrip(
+      "{\"op\": \"auth\", \"id\": \"a\", \"tenant\": \"alice\", \"key\": \"s3cret\"}",
+      &reply));
+  EXPECT_EQ(field(reply, "code"), "auth_failed") << reply;
+  EXPECT_NE(field(reply, "message").find("no tenants"), std::string::npos);
+  // The un-tenanted server still solves without auth, exactly as before.
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+}
+
+TEST(ServiceQos, RateLimitedVerdictIsPerTenant) {
+  // bob: rate 1/s, burst 1 -- the second back-to-back solve must be
+  // rate_limited (not overloaded), while alice stays unlimited.
+  LiveServer live(qos_opts(), "rate");
+  std::string err, reply;
+  ASSERT_TRUE(live.client.authenticate("bob", "hunter2", &err)) << err;
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "code"), "rate_limited") << reply;
+
+  Client alice;
+  ASSERT_TRUE(alice.connect_unix(live.sock, &err)) << err;
+  ASSERT_TRUE(alice.authenticate("alice", "s3cret", &err)) << err;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(alice.roundtrip(kSmallSolve, &reply));
+    EXPECT_EQ(field(reply, "event"), "result") << reply;
+  }
+  EXPECT_GE(live.server.counters().rejected_rate_limited, 1u);
+}
+
+TEST(ServiceQos, QuotaExceededVerdictIsDistinct) {
+  // bob's max_inflight is 1: with an endless solve occupying it, the next
+  // request bounces with quota_exceeded BEFORE touching the token bucket.
+  ServerOptions opts = qos_opts();
+  opts.tenants[1].rate = 0.0;  // isolate the quota from the rate limit
+  opts.tenants[1].burst = 0.0;
+  LiveServer live(opts, "quota");
+  std::string err, reply;
+  ASSERT_TRUE(live.client.authenticate("bob", "hunter2", &err)) << err;
+  ASSERT_TRUE(live.client.send_line(endless_solve("held")));
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "code"), "quota_exceeded") << reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"cancel\", \"id\": \"held\"}", &reply));
+  EXPECT_EQ(field(reply, "event"), "cancel_ack");
+  std::string cancelled;
+  ASSERT_TRUE(live.client.recv_line(&cancelled));
+  EXPECT_EQ(field(cancelled, "code"), "cancelled") << cancelled;
+  // Quota released: bob solves again.
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  EXPECT_EQ(field(reply, "event"), "result") << reply;
+  EXPECT_GE(live.server.counters().rejected_quota, 1u);
+}
+
+TEST(ServiceQos, StatsCarryTheTenantSection) {
+  LiveServer live(qos_opts(), "qstats");
+  std::string err, reply;
+  ASSERT_TRUE(live.client.authenticate("alice", "s3cret", &err)) << err;
+  ASSERT_TRUE(live.client.roundtrip(kSmallSolve, &reply));
+  ASSERT_EQ(field(reply, "event"), "result") << reply;
+  ASSERT_TRUE(live.client.roundtrip("{\"op\": \"stats\", \"id\": \"s\"}", &reply));
+  JsonValue v;
+  ASSERT_TRUE(json_parse(reply, &v, &err)) << err;
+  const JsonValue* tenants = v.find("tenants");
+  ASSERT_NE(tenants, nullptr) << reply;
+  const JsonValue* alice = tenants->find("alice");
+  ASSERT_NE(alice, nullptr) << reply;
+  EXPECT_EQ(alice->find("completed")->number, 1.0);
+  EXPECT_EQ(alice->find("inflight")->number, 0.0);
+  EXPECT_GT(alice->find("latency_ms")->find("p50")->number, 0.0);
+  ASSERT_NE(tenants->find("bob"), nullptr) << "idle tenants still reported";
+  // Tenant keys render in sorted order regardless of declaration order.
+  EXPECT_LT(reply.find("\"alice\""), reply.find("\"bob\""));
+}
+
+TEST(ServiceQos, InvalidTenantSetIsRejectedAtStartup) {
+  ServerOptions opts = qos_opts();
+  opts.unix_path = "/tmp/feir_service_test_dup_" + std::to_string(::getpid()) + ".sock";
+  opts.tenants.push_back(opts.tenants[0]);  // duplicate id
+  Server server(opts);
+  std::string err;
+  EXPECT_FALSE(server.start(&err));
+  EXPECT_NE(err.find("duplicate tenant id"), std::string::npos) << err;
 }
 
 }  // namespace

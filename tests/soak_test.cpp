@@ -9,10 +9,18 @@
 // build the identical id -> result-line map; any divergence (a timing
 // dependence, an uninitialized read, a cache that changes results) fails the
 // byte comparison.
+//
+// The adversarial tier (Soak.AdversarialTenantMixIsolatesThePoliteTenant)
+// turns the QoS layer against a greedy tenant: 10x the polite tenant's
+// request rate with DUE injection, on one worker.  Acceptance: the polite
+// tenant's p95 stays within 2x of its uncontended p95, its responses are
+// byte-identical to the uncontended run, and no request of either tenant
+// fails -- rejections are clean rate_limited/quota_exceeded verdicts.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -22,6 +30,8 @@
 #include "service/client.hpp"
 #include "service/json.hpp"
 #include "service/server.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
 
 namespace feir::service {
 namespace {
@@ -125,6 +135,176 @@ TEST(Soak, FourTenantsThousandRequestsZeroFailedRecoveriesByteStable) {
     EXPECT_EQ(line, it->second) << "response for " << id
                                 << " must be byte-stable across server restarts";
   }
+}
+
+// ------------------------------------------------- adversarial tenants ----
+
+constexpr int kPoliteWarmup = 4;
+constexpr int kPoliteRequests = 30;
+constexpr int kGreedyAttempts = 10 * kPoliteRequests;  // the "10x rate" flood
+
+/// The polite tenant's deterministic request `i`: FEIR solves with injected
+/// DUEs, heavy enough that queue-wait distortion would show in p95.
+std::string polite_request(int i) {
+  return "{\"op\": \"solve\", \"id\": \"p-" + std::to_string(i) +
+         "\", \"matrix\": \"ecology2\", \"scale\": 0.12, \"method\": \"feir\","
+         " \"tol\": 1e-8, \"mtbe_iters\": 30, \"seed\": " + std::to_string(7000 + i) +
+         "}";
+}
+
+/// The greedy tenant's request `i`: cheap solves, also with DUE injection --
+/// the flood must exercise recovery, not just the reject path.
+std::string greedy_request(int i) {
+  return "{\"op\": \"solve\", \"id\": \"g-" + std::to_string(i) +
+         "\", \"matrix\": \"ecology2\", \"scale\": 0.05, \"method\": \"feir\","
+         " \"tol\": 1e-8, \"mtbe_iters\": 15, \"seed\": " + std::to_string(9000 + i) +
+         "}";
+}
+
+/// One worker, two tenants: "polite" dispatches on the high lane, "greedy"
+/// is rate- and quota-bounded on the low lane.  Identical options in the
+/// solo and contended runs, so responses must be byte-comparable.
+ServerOptions adversarial_opts(const std::string& sock_tag) {
+  ServerOptions opts;
+  opts.unix_path = "/tmp/feir_soak_" + sock_tag + "_" + std::to_string(::getpid()) +
+                   ".sock";
+  opts.workers = 1;
+  opts.queue_depth = 64;
+  qos::TenantSpec polite;
+  polite.id = "polite";
+  polite.key = "polite-key";
+  polite.weight = 4.0;
+  polite.priority = qos::TenantPriority::High;
+  qos::TenantSpec greedy;
+  greedy.id = "greedy";
+  greedy.key = "greedy-key";
+  greedy.weight = 1.0;
+  greedy.priority = qos::TenantPriority::Low;
+  greedy.rate = 40.0;  // admissions/s; the flood attempts far more
+  greedy.burst = 2.0;
+  greedy.max_inflight = 1;
+  opts.tenants = {polite, greedy};
+  return opts;
+}
+
+struct PoliteRun {
+  std::map<std::string, std::string> responses;  // id -> result line
+  std::vector<double> latencies;                 // seconds, timed phase only
+};
+
+/// The polite tenant's fixed campaign: warm-up (cache assembly for BOTH
+/// request shapes, symmetric across runs), then the timed sequence.
+PoliteRun run_polite(Client& client) {
+  PoliteRun run;
+  std::string reply;
+  for (int i = 0; i < kPoliteWarmup; ++i) {
+    EXPECT_TRUE(client.roundtrip(polite_request(i), &reply));
+    EXPECT_TRUE(client.roundtrip(greedy_request(i), &reply));  // warm its shape too
+  }
+  for (int i = 0; i < kPoliteRequests; ++i) {
+    const std::string req = polite_request(kPoliteWarmup + i);
+    const double t0 = now_seconds();
+    EXPECT_TRUE(client.roundtrip(req, &reply)) << req;
+    run.latencies.push_back(now_seconds() - t0);
+    run.responses["p-" + std::to_string(kPoliteWarmup + i)] = reply;
+  }
+  return run;
+}
+
+TEST(Soak, AdversarialTenantMixIsolatesThePoliteTenant) {
+  // Uncontended baseline.
+  PoliteRun solo;
+  {
+    ServerOptions opts = adversarial_opts("solo");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    Client client;
+    ASSERT_TRUE(client.connect_unix(opts.unix_path, &err)) << err;
+    ASSERT_TRUE(client.authenticate("polite", "polite-key", &err)) << err;
+    solo = run_polite(client);
+    server.stop();
+  }
+
+  // Contended: a greedy flood at 10x the polite request count hammers the
+  // same single worker for the whole timed window.
+  PoliteRun contended;
+  std::uint64_t greedy_results = 0, greedy_rejects = 0;
+  {
+    ServerOptions opts = adversarial_opts("adv");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    std::thread flood([&opts, &greedy_results, &greedy_rejects] {
+      Client greedy;
+      std::string gerr;
+      ASSERT_TRUE(greedy.connect_unix(opts.unix_path, &gerr)) << gerr;
+      ASSERT_TRUE(greedy.authenticate("greedy", "greedy-key", &gerr)) << gerr;
+      // Fire the whole flood pipelined -- no waiting between requests, the
+      // way an actual abusive client hits admission -- then drain replies.
+      for (int i = 0; i < kGreedyAttempts; ++i)
+        ASSERT_TRUE(greedy.send_line(greedy_request(100 + i)));
+      int terminals = 0;
+      std::string reply;
+      while (terminals < kGreedyAttempts && greedy.recv_line(&reply)) {
+        JsonValue v;
+        std::string jerr;
+        ASSERT_TRUE(json_parse(reply, &v, &jerr)) << reply;
+        ++terminals;
+        if (v.find("event")->string == "result") {
+          ++greedy_results;
+          // Cross-tenant isolation includes the greedy tenant's own solves:
+          // every ADMITTED request still converges through its DUEs.
+          EXPECT_TRUE(v.find("converged")->boolean) << reply;
+          EXPECT_EQ(v.find("stats")->find("unrecoverable")->number, 0.0) << reply;
+        } else {
+          ++greedy_rejects;
+          const std::string code = v.find("code")->string;
+          // Rejections must be the per-tenant verdicts, never a server-wide
+          // failure leaking from the flood.
+          EXPECT_TRUE(code == "rate_limited" || code == "quota_exceeded") << reply;
+        }
+      }
+      EXPECT_EQ(terminals, kGreedyAttempts);
+    });
+
+    Client client;
+    ASSERT_TRUE(client.connect_unix(opts.unix_path, &err)) << err;
+    ASSERT_TRUE(client.authenticate("polite", "polite-key", &err)) << err;
+    contended = run_polite(client);
+    flood.join();
+    server.stop();
+  }
+
+  // The flood really happened and really got bounced.
+  EXPECT_GT(greedy_rejects, 0u) << "the greedy tenant was never rate-limited";
+  EXPECT_GT(greedy_results + greedy_rejects, static_cast<std::uint64_t>(kPoliteRequests))
+      << "the flood underran the polite campaign";
+
+  // Zero cross-tenant failures: every polite response is a converged result,
+  // byte-identical to the uncontended run.
+  ASSERT_EQ(contended.responses.size(), solo.responses.size());
+  for (const auto& [id, line] : solo.responses) {
+    JsonValue v;
+    std::string jerr;
+    ASSERT_TRUE(json_parse(line, &v, &jerr)) << id;
+    ASSERT_EQ(v.find("event")->string, "result") << id << ": " << line;
+    EXPECT_TRUE(v.find("converged")->boolean) << id << ": " << line;
+    const auto it = contended.responses.find(id);
+    ASSERT_NE(it, contended.responses.end()) << id;
+    EXPECT_EQ(line, it->second)
+        << "polite response " << id << " must not depend on the greedy flood";
+  }
+
+  // Latency isolation: the polite tenant's p95 under the flood stays within
+  // 2x of its solo p95 (plus 10 ms of scheduler slack for CI noise) -- the
+  // high lane plus greedy's quota bound head-of-line blocking to at most one
+  // cheap greedy solve.
+  const double solo_p95 = percentile(solo.latencies, 95.0);
+  const double contended_p95 = percentile(contended.latencies, 95.0);
+  EXPECT_LE(contended_p95, 2.0 * solo_p95 + 0.010)
+      << "solo p95 " << solo_p95 << " s vs contended p95 " << contended_p95 << " s";
 }
 
 }  // namespace

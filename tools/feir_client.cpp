@@ -8,6 +8,8 @@
 //   --unix PATH          connect to a unix-domain listener
 //   --tcp PORT           connect to 127.0.0.1:PORT
 //   --host ADDR          IPv4 address for --tcp (default 127.0.0.1)
+//   --auth TENANT:KEY    authenticate first (QoS servers require it before
+//                        anything but ping); exits 1 on auth failure
 //   --ping               send a ping, expect a pong, exit
 //   --request JSON       send one request frame (repeatable, in order)
 //
@@ -59,6 +61,9 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int tcp_port = -1;
   bool ping = false;
+  std::string auth_tenant;
+  std::string auth_key;
+  bool do_auth = false;
   std::vector<std::string> requests;
 
   for (int i = 1; i < argc; ++i) {
@@ -71,7 +76,15 @@ int main(int argc, char** argv) {
     else if (flag == "--tcp")
       tcp_port = static_cast<int>(feir::cli_int(flag, next(), 1, 65535));
     else if (flag == "--host") host = next();
-    else if (flag == "--ping") ping = true;
+    else if (flag == "--auth") {
+      const std::string spec = next();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+        usage("--auth wants TENANT:KEY");
+      auth_tenant = spec.substr(0, colon);
+      auth_key = spec.substr(colon + 1);
+      do_auth = true;
+    } else if (flag == "--ping") ping = true;
     else if (flag == "--request") requests.push_back(next());
     else usage("unknown flag " + flag);
   }
@@ -83,6 +96,11 @@ int main(int argc, char** argv) {
                                      : client.connect_tcp(host, tcp_port, &err);
   if (!ok) {
     std::fprintf(stderr, "feir_client: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (do_auth && !client.authenticate(auth_tenant, auth_key, &err)) {
+    std::fprintf(stderr, "feir_client: auth failed: %s\n", err.c_str());
     return 1;
   }
 

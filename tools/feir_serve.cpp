@@ -26,6 +26,12 @@
 //   --allow-matrix-files accept "matrix" values naming MatrixMarket files;
 //                        off by default (a shared daemon should not read
 //                        arbitrary local paths for tenants)
+//   --tenant SPEC        declare one tenant (repeatable); enables the QoS
+//                        layer: auth-gated ops, per-tenant rate/concurrency
+//                        admission, weighted-fair dispatch, per-tenant stats
+//   --tenant-file PATH   tenant specs from a config file, one per line
+//                        ('#' comments); combines with --tenant flags
+//   --help               full flag and tenant-grammar reference
 //
 // The daemon runs until SIGINT/SIGTERM, then cancels in-flight solves and
 // exits cleanly.
@@ -33,8 +39,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "qos/tenant.hpp"
 #include "service/server.hpp"
 #include "support/parse.hpp"
 
@@ -43,8 +52,49 @@ using namespace feir::service;
 
 namespace {
 
+constexpr const char* kHelp = R"(feir_serve -- long-running multi-tenant resilient-solve daemon
+
+Usage: feir_serve [flags]   (needs at least one listener)
+
+Listeners:
+  --unix PATH          unix-domain listener (unlinked on start/stop)
+  --tcp PORT           TCP listener on 127.0.0.1 (0 = ephemeral, printed)
+
+Capacity:
+  --workers N          solve workers (default FEIR_THREADS, else min(cores, 8))
+  --queue-depth N      admission queue bound; overflow rejected "overloaded"
+  --max-frame BYTES    longest accepted request line (default 262144)
+  --deadline-ms MS     default per-request deadline (> 0; omit for unlimited)
+  --cache-entries N    session-cache bound per kind; 0 = unbounded (default 64)
+  --allow-matrix-files accept "matrix" values naming MatrixMarket files
+
+QoS (declaring any tenant enables auth + per-tenant admission):
+  --tenant SPEC        declare one tenant (repeatable)
+  --tenant-file PATH   tenant specs from a file, one per line, '#' comments;
+                       combines with --tenant flags (ids must stay unique)
+
+Tenant spec grammar (flags and file lines alike):
+
+  id:key:weight:priority[:rate[:burst[:max_inflight]]]
+
+  id            [A-Za-z0-9_.-]{1,64}; names the tenant in auth and stats
+  key           shared secret for the auth op (1..128 bytes, no ':')
+  weight        weighted-fair dispatch share, (0, 1e6]
+  priority      high | normal | low (admission lane; maps onto the runtime's
+                three scheduling lanes)
+  rate          admissions per second (token-bucket refill); 0 = unlimited
+  burst         bucket capacity; 0 = default max(1, rate)
+  max_inflight  queued+running solve bound per tenant; 0 = unlimited
+
+  example: --tenant alice:s3cret:4:high:10:20:8
+
+Connections on a tenant-enabled server must send
+  {"op":"auth","tenant":"alice","key":"s3cret"}
+before anything but ping; see src/service/protocol.hpp for the protocol.
+)";
+
 [[noreturn]] void usage(const std::string& msg) {
-  std::fprintf(stderr, "feir_serve: %s\n(see the header of tools/feir_serve.cpp)\n",
+  std::fprintf(stderr, "feir_serve: %s\n(feir_serve --help for the full reference)\n",
                msg.c_str());
   std::exit(2);
 }
@@ -76,7 +126,29 @@ int main(int argc, char** argv) {
     } else if (flag == "--cache-entries")
       opts.cache_capacity = static_cast<std::size_t>(cli_int(flag, next(), 0, 1000000000));
     else if (flag == "--allow-matrix-files") opts.allow_matrix_files = true;
-    else usage("unknown flag " + flag);
+    else if (flag == "--tenant") {
+      const std::string spec = next();
+      qos::TenantSpec t;
+      std::string terr;
+      if (!qos::parse_tenant_spec(spec, &t, &terr)) cli_fail(flag, terr);
+      opts.tenants.push_back(std::move(t));
+    } else if (flag == "--tenant-file") {
+      const std::string path = next();
+      std::ifstream in(path, std::ios::binary);
+      if (!in) cli_fail(flag, "cannot open " + path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string terr;
+      if (!qos::parse_tenant_config(text.str(), &opts.tenants, &terr))
+        cli_fail(flag, path + ": " + terr);
+    } else if (flag == "--help" || flag == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else usage("unknown flag " + flag);
+  }
+  if (!opts.tenants.empty()) {
+    std::string terr;
+    if (!qos::validate_tenants(opts.tenants, &terr)) usage("tenants: " + terr);
   }
   if (opts.unix_path.empty() && opts.tcp_port < 0)
     usage("need at least one listener: --unix PATH and/or --tcp PORT");
@@ -99,6 +171,9 @@ int main(int argc, char** argv) {
     std::printf("feir_serve: listening on unix %s\n", opts.unix_path.c_str());
   if (opts.tcp_port >= 0)
     std::printf("feir_serve: listening on tcp 127.0.0.1:%d\n", server.tcp_port());
+  if (!opts.tenants.empty())
+    std::printf("feir_serve: QoS enabled for %zu tenant(s); auth required\n",
+                opts.tenants.size());
   std::fflush(stdout);
 
   int sig = 0;
