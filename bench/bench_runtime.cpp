@@ -1,21 +1,37 @@
 // bench_runtime — scheduler microbenchmark: work-stealing runtime vs the
-// historical single-mutex scheduler.
+// historical single-mutex scheduler, and the barrier-cost case for the
+// pipelined CG iteration graph.
 //
-// Two workloads:
+// Workloads:
 //   * fine_grained — rounds of independent ~100ns tasks: pure scheduler
 //     throughput, the campaign-executor pattern (ready queue == work queue).
 //   * cg_iteration — the resilient-CG iteration graph of Fig. 1 (z/ee/eps/
 //     d/q/dq/alpha/x/g chunk tasks with the real dependency shape, plus the
 //     low-priority r1/r2 recovery tasks), repeated over taskwait rounds: the
-//     strip-mined solver pattern.
+//     strip-mined solver pattern.  Two reduction sync points, ~7 dependency
+//     levels per iteration.
+//   * pcg_iteration — the pipelined-CG iteration graph (ResilientPipelinedCg
+//     submit_iteration): fused gamma/delta partials overlapped with the u
+//     SpMV wave, the AFEIR recovery task, ONE scalar task, one fused update
+//     wave — three dependency levels, one reduction sync point.
+//   * pcg_split/{spmv, reduction_sync} — the two halves of an iteration in
+//     isolation, so the per-iteration time splits into SpMV-wave cost vs
+//     reduction-barrier cost as the worker count grows (the barrier share is
+//     what pipelining removes).
+//
+// Every workload runs at threads in {1, 2, 4, 8}; records carry the thread
+// count.  Scheduler-comparison records go to BENCH_runtime.json; the
+// pipelined-vs-classic iteration records seed BENCH_pcg.json.  When
+// FEIR_BENCH_PCG_GATE is set (e.g. 1.15), the program exits nonzero unless
+// pipelined iteration throughput at the highest swept thread count is at
+// least that factor of classic CG's — the CI smoke gate.
 //
 // The baseline embedded below is the pre-refactor scheduler verbatim: one
-// global mutex, one std::priority_queue, shared_ptr tasks.  Results are
-// appended to BENCH_runtime.json (schema: bench_common.hpp BenchRecord) so
-// later PRs have a perf trajectory to diff against.
+// global mutex, one std::priority_queue, shared_ptr tasks.
 //
-// Knobs: FEIR_BENCH_THREADS (workers), FEIR_BENCH_RT_TASKS (tasks per
-// fine-grained round), FEIR_BENCH_RT_ROUNDS (rounds per workload).
+// Knobs: FEIR_BENCH_THREADS (max workers of the sweep), FEIR_BENCH_RT_TASKS
+// (tasks per fine-grained round), FEIR_BENCH_RT_ROUNDS (rounds per
+// workload), FEIR_BENCH_PCG_GATE (see above).
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
@@ -306,6 +322,88 @@ Measure cg_iteration(unsigned threads, int rounds) {
   });
 }
 
+/// Workload 3: the pipelined-CG iteration graph (ResilientPipelinedCg
+/// submit_iteration, AFEIR shape) — fused gd partials + overlapped u wave,
+/// the depless priority -1 recovery task, ONE scalar, one fused update wave.
+template <typename Adapter>
+Measure pcg_iteration(unsigned threads, int rounds) {
+  Adapter a(threads);
+  std::atomic<std::uint64_t> sink{0};
+  const index_t nch = static_cast<index_t>(threads);
+  static char gd, rc, wc, u, pc, sc, zc, x, ro, wo, po, so, zo, rp, ab;
+  auto body = [&sink] { tiny_work(sink); };
+
+  return measure_rounds(a, rounds, [&](Adapter& ad) {
+    std::uint64_t n = 0;
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&rc, c), in(&wc, c), out(&gd, c)});
+    for (index_t c = 0; c < nch; ++c, ++n) {
+      std::vector<Dep> deps{out(&u, c)};
+      for (index_t cc = 0; cc < nch; ++cc) deps.push_back(in(&wc, cc));  // footprint
+      ad.add(body, std::move(deps));
+    }
+    {
+      std::vector<Dep> deps{out(&rp)};
+      ad.add(body, std::move(deps), -1);  // recovery at AFEIR priority
+      ++n;
+    }
+    {
+      std::vector<Dep> deps;
+      for (index_t c = 0; c < nch; ++c) deps.push_back(in(&gd, c));
+      deps.push_back(in(&rp));
+      deps.push_back(out(&ab));
+      ad.add(body, std::move(deps), 1);  // the ONE scalar task
+      ++n;
+    }
+    for (index_t c = 0; c < nch; ++c, ++n)
+      ad.add(body, {in(&ab), in(&rc, c), in(&wc, c), in(&u, c), in(&pc, c),
+                    in(&sc, c), in(&zc, c), inout(&x, c), out(&po, c), out(&so, c),
+                    out(&zo, c), out(&ro, c), out(&wo, c)});
+    ad.wait();
+    return n;
+  });
+}
+
+/// The two halves of an iteration in isolation: the SpMV wave (independent
+/// chunk tasks with the footprint in-deps) and the reduction sync (chunk
+/// partials fanning into one scalar barrier).  Their p50 round latencies are
+/// the per-iteration time split.
+template <typename Adapter>
+Measure spmv_wave_only(unsigned threads, int rounds) {
+  Adapter a(threads);
+  std::atomic<std::uint64_t> sink{0};
+  const index_t nch = static_cast<index_t>(threads);
+  static char wc, u;
+  auto body = [&sink] { tiny_work(sink); };
+  return measure_rounds(a, rounds, [&](Adapter& ad) {
+    for (index_t c = 0; c < nch; ++c) {
+      std::vector<Dep> deps{out(&u, c)};
+      for (index_t cc = 0; cc < nch; ++cc) deps.push_back(in(&wc, cc));
+      ad.add(body, std::move(deps));
+    }
+    ad.wait();
+    return static_cast<std::uint64_t>(nch);
+  });
+}
+
+template <typename Adapter>
+Measure reduction_sync_only(unsigned threads, int rounds) {
+  Adapter a(threads);
+  std::atomic<std::uint64_t> sink{0};
+  const index_t nch = static_cast<index_t>(threads);
+  static char gd, ab;
+  auto body = [&sink] { tiny_work(sink); };
+  return measure_rounds(a, rounds, [&](Adapter& ad) {
+    for (index_t c = 0; c < nch; ++c) ad.add(body, {out(&gd, c)});
+    std::vector<Dep> deps;
+    for (index_t c = 0; c < nch; ++c) deps.push_back(in(&gd, c));
+    deps.push_back(out(&ab));
+    ad.add(body, std::move(deps), 1);
+    ad.wait();
+    return static_cast<std::uint64_t>(nch) + 1;
+  });
+}
+
 }  // namespace
 }  // namespace feir::bench
 
@@ -313,25 +411,32 @@ int main() {
   using namespace feir;
   using namespace feir::bench;
 
-  const unsigned threads =
+  const unsigned max_threads =
       static_cast<unsigned>(env_long("FEIR_BENCH_THREADS", 8));
   const int tasks_per_round =
       static_cast<int>(env_long("FEIR_BENCH_RT_TASKS", 2000));
   const int rounds = static_cast<int>(env_long("FEIR_BENCH_RT_ROUNDS", 50));
+  const double pcg_gate = env_double("FEIR_BENCH_PCG_GATE", 0.0);
 
-  std::printf("bench_runtime: %u threads, %d tasks/round x %d rounds\n", threads,
-              tasks_per_round, rounds);
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
 
-  std::vector<BenchRecord> recs;
-  auto record = [&](const std::string& name, const Measure& m) {
+  std::printf("bench_runtime: threads {");
+  for (unsigned t : sweep) std::printf(" %u", t);
+  std::printf(" }, %d tasks/round x %d rounds\n", tasks_per_round, rounds);
+
+  std::vector<BenchRecord> rt_recs, pcg_recs;
+  auto record = [](std::vector<BenchRecord>& recs, const std::string& name,
+                   unsigned threads, const Measure& m) {
     recs.push_back({name, threads, m.tasks_per_sec, m.p50_us, m.p95_us});
-    std::printf("  %-28s %12.0f tasks/s   p50 %8.1f us   p95 %8.1f us\n",
-                name.c_str(), m.tasks_per_sec, m.p50_us, m.p95_us);
+    std::printf("  t=%u %-28s %12.0f tasks/s   p50 %8.1f us   p95 %8.1f us\n",
+                threads, name.c_str(), m.tasks_per_sec, m.p50_us, m.p95_us);
   };
 
   // Warm-up both schedulers once (thread spawn, allocator).
-  fine_grained<StealingAdapter>(threads, 256, 2);
-  fine_grained<BaselineAdapter>(threads, 256, 2);
+  fine_grained<StealingAdapter>(max_threads, 256, 2);
+  fine_grained<BaselineAdapter>(max_threads, 256, 2);
 
   // Median of 3 full measurements per point: the global-mutex scheduler is
   // bimodal under oversubscription (futex storms come and go), so a single
@@ -344,29 +449,77 @@ int main() {
     return c;
   };
 
-  const Measure fg_base = median3(
-      [&] { return fine_grained<BaselineAdapter>(threads, tasks_per_round, rounds); });
-  const Measure fg_new = median3(
-      [&] { return fine_grained<StealingAdapter>(threads, tasks_per_round, rounds); });
-  const Measure cg_base =
-      median3([&] { return cg_iteration<BaselineAdapter>(threads, rounds * 4); });
-  const Measure cg_new =
-      median3([&] { return cg_iteration<StealingAdapter>(threads, rounds * 4); });
+  // Classic-CG vs pipelined-CG iteration throughput at the top of the sweep:
+  // rounds (= iterations) per second, so graphs of different task counts
+  // compare on the thing the solver feels.
+  double cg_iters_per_s = 0.0, pcg_iters_per_s = 0.0;
 
-  record("fine_grained/global_mutex", fg_base);
-  record("fine_grained/stealing", fg_new);
-  record("cg_iteration/global_mutex", cg_base);
-  record("cg_iteration/stealing", cg_new);
+  for (const unsigned threads : sweep) {
+    const Measure fg_base = median3([&] {
+      return fine_grained<BaselineAdapter>(threads, tasks_per_round, rounds);
+    });
+    const Measure fg_new = median3([&] {
+      return fine_grained<StealingAdapter>(threads, tasks_per_round, rounds);
+    });
+    const Measure cg_base =
+        median3([&] { return cg_iteration<BaselineAdapter>(threads, rounds * 4); });
+    const Measure cg_new =
+        median3([&] { return cg_iteration<StealingAdapter>(threads, rounds * 4); });
 
-  std::printf("speedup: fine_grained %.2fx, cg_iteration %.2fx\n",
-              fg_new.tasks_per_sec / fg_base.tasks_per_sec,
-              cg_new.tasks_per_sec / cg_base.tasks_per_sec);
+    record(rt_recs, "fine_grained/global_mutex", threads, fg_base);
+    record(rt_recs, "fine_grained/stealing", threads, fg_new);
+    record(rt_recs, "cg_iteration/global_mutex", threads, cg_base);
+    record(rt_recs, "cg_iteration/stealing", threads, cg_new);
 
-  const char* out = "BENCH_runtime.json";
-  if (!write_bench_json(out, "runtime", recs)) {
-    std::fprintf(stderr, "bench_runtime: cannot write %s\n", out);
+    // The pipelined-iteration case: same runtime, three dependency levels and
+    // one reduction barrier instead of ~7 and two.
+    const Measure pcg_new =
+        median3([&] { return pcg_iteration<StealingAdapter>(threads, rounds * 4); });
+    const Measure sp_spmv =
+        median3([&] { return spmv_wave_only<StealingAdapter>(threads, rounds * 4); });
+    const Measure sp_red = median3(
+        [&] { return reduction_sync_only<StealingAdapter>(threads, rounds * 4); });
+
+    record(pcg_recs, "cg_iteration/stealing", threads, cg_new);
+    record(pcg_recs, "pcg_iteration/stealing", threads, pcg_new);
+    record(pcg_recs, "pcg_split/spmv", threads, sp_spmv);
+    record(pcg_recs, "pcg_split/reduction_sync", threads, sp_red);
+    std::printf("  t=%u per-iteration split: spmv %.1f us, reduction_sync %.1f us\n",
+                threads, sp_spmv.p50_us, sp_red.p50_us);
+
+    if (threads == sweep.back()) {
+      const auto cg_tasks = static_cast<double>(7 * threads + 4);
+      const auto pcg_tasks = static_cast<double>(3 * threads + 2);
+      cg_iters_per_s = cg_new.tasks_per_sec / cg_tasks;
+      pcg_iters_per_s = pcg_new.tasks_per_sec / pcg_tasks;
+    }
+
+    std::printf("  t=%u speedup: fine_grained %.2fx, cg_iteration %.2fx\n", threads,
+                fg_new.tasks_per_sec / fg_base.tasks_per_sec,
+                cg_new.tasks_per_sec / cg_base.tasks_per_sec);
+  }
+
+  const double pcg_ratio = pcg_iters_per_s / cg_iters_per_s;
+  std::printf("pcg_iteration throughput @ %u workers: %.0f iters/s vs cg %.0f "
+              "iters/s = %.2fx\n",
+              sweep.back(), pcg_iters_per_s, cg_iters_per_s, pcg_ratio);
+
+  if (!write_bench_json("BENCH_runtime.json", "runtime", rt_recs)) {
+    std::fprintf(stderr, "bench_runtime: cannot write BENCH_runtime.json\n");
     return 1;
   }
-  std::printf("wrote %s\n", out);
+  if (!write_bench_json("BENCH_pcg.json", "pcg", pcg_recs)) {
+    std::fprintf(stderr, "bench_runtime: cannot write BENCH_pcg.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_runtime.json, BENCH_pcg.json\n");
+
+  if (pcg_gate > 0.0 && pcg_ratio < pcg_gate) {
+    std::fprintf(stderr,
+                 "bench_runtime: pipelined iteration throughput %.2fx below the "
+                 "%.2fx gate\n",
+                 pcg_ratio, pcg_gate);
+    return 1;
+  }
   return 0;
 }

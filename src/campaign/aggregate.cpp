@@ -25,10 +25,11 @@ std::string CellKey::label() const {
   std::string s = matrix;
   s += "/";
   s += solver_name(solver);
-  if (solver == SolverKind::Cg) {
-    s += "/";
-    s += method_cli_name(method);
-  }
+  // Always print the method: solvers without a method axis carry the
+  // canonical "ideal" expand_grid pins, so labels stay unambiguous when a
+  // grid mixes cg/pcg with bicgstab/gmres rows.
+  s += "/";
+  s += method_cli_name(method);
   s += "/";
   s += precond_name(precond);
   // The batch width shows up only when swept, so single-RHS labels (and the

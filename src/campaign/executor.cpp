@@ -13,6 +13,7 @@
 #include "core/resilient_block_cg.hpp"
 #include "core/resilient_cg.hpp"
 #include "core/resilient_gmres.hpp"
+#include "core/resilient_pipelined_cg.hpp"
 #include "fault/injector.hpp"
 #include "fault/sighandler.hpp"
 #include "support/env.hpp"
@@ -271,6 +272,30 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         ResilientCg solver(S, p.b.data(), opts, bj);
         out = run_with_injection<ResilientCg, ResilientCgResult>(spec, solver, p.A.n,
                                                                  hooks);
+        break;
+      }
+      case SolverKind::Pcg: {
+        if (M != nullptr)
+          throw std::invalid_argument("pipelined CG takes precond none");
+        ResilientPipelinedCgOptions opts;
+        opts.method = spec.method;
+        opts.tol = spec.tol;
+        opts.max_iter = spec.max_iter;
+        opts.max_seconds = spec.max_seconds;
+        opts.cancel = extras.cancel;
+        opts.block_rows = spec.block_rows;
+        opts.threads = spec.threads;
+        opts.pin_threads = spec.pin_threads;
+        opts.record_history = spec.record_history;
+        opts.expected_mtbe_s = spec.expected_mtbe_s;
+        if (spec.method == Method::Checkpoint) {
+          opts.ckpt.period_iters = spec.ckpt_period_iters;
+          opts.ckpt.path = spec.ckpt_path;  // unused: snapshots stay in memory
+        }
+        opts.on_iteration = iter_hook;
+        ResilientPipelinedCg solver(S, p.b.data(), opts);
+        out = run_with_injection<ResilientPipelinedCg, ResilientCgResult>(
+            spec, solver, p.A.n, hooks);
         break;
       }
       case SolverKind::Bicgstab: {

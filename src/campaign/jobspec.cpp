@@ -7,6 +7,7 @@ const char* solver_name(SolverKind k) {
     case SolverKind::Cg: return "cg";
     case SolverKind::Bicgstab: return "bicgstab";
     case SolverKind::Gmres: return "gmres";
+    case SolverKind::Pcg: return "pcg";
   }
   return "?";
 }
@@ -36,6 +37,7 @@ bool solver_from_name(const std::string& s, SolverKind* out) {
   if (s == "cg") *out = SolverKind::Cg;
   else if (s == "bicgstab") *out = SolverKind::Bicgstab;
   else if (s == "gmres") *out = SolverKind::Gmres;
+  else if (s == "pcg") *out = SolverKind::Pcg;
   else return false;
   return true;
 }
@@ -66,10 +68,13 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
   for (const std::string& matrix : grid.matrices)
     for (SolverKind solver : grid.solvers)
       for (Method method : grid.methods) {
-        // The method axis is CG-only (as in feir_solve): a non-CG solver
-        // ignores it, so emit exactly one job per remaining coordinate and
-        // pin a canonical method to keep cell keys unambiguous.
-        if (solver != SolverKind::Cg && method != grid.methods.front()) continue;
+        // The method axis applies to cg and pcg (as in feir_solve): other
+        // solvers ignore it, so emit exactly one job per remaining
+        // coordinate and pin a canonical method to keep cell keys
+        // unambiguous.
+        const bool has_methods =
+            solver == SolverKind::Cg || solver == SolverKind::Pcg;
+        if (!has_methods && method != grid.methods.front()) continue;
         for (index_t nrhs : grid.nrhs) {
           // The batch-width axis is likewise CG-only.
           if (solver != SolverKind::Cg && nrhs != grid.nrhs.front()) continue;
@@ -81,7 +86,7 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
                 j.matrix = matrix;
                 j.scale = grid.scale;
                 j.solver = solver;
-                j.method = solver == SolverKind::Cg ? method : Method::Ideal;
+                j.method = has_methods ? method : Method::Ideal;
                 j.precond = precond;
                 j.format = grid.format;
                 j.nrhs = solver == SolverKind::Cg ? nrhs : 1;

@@ -22,7 +22,7 @@ namespace feir::campaign {
 
 /// Which solver family runs the job.  Method selection (ideal..afeir) only
 /// applies to CG, mirroring feir_solve.
-enum class SolverKind : std::uint8_t { Cg, Bicgstab, Gmres };
+enum class SolverKind : std::uint8_t { Cg, Bicgstab, Gmres, Pcg };
 
 enum class PrecondKind : std::uint8_t { None, Jacobi, BlockJacobi, Sweeps, GaussSeidel };
 
@@ -122,12 +122,12 @@ struct GridSpec {
   index_t ckpt_period_iters = 0;
 
   /// Number of jobs expand_grid() will produce.  The method axis only
-  /// multiplies CG jobs; other solvers ignore it and get one job per
-  /// remaining coordinate.
+  /// multiplies CG and pipelined-CG jobs; other solvers ignore it and get
+  /// one job per remaining coordinate.  The batch-width axis is CG-only.
   std::size_t size() const {
     std::size_t method_jobs = 0;
     for (SolverKind s : solvers)
-      method_jobs += (s == SolverKind::Cg ? methods.size() : 1) *
+      method_jobs += ((s == SolverKind::Cg || s == SolverKind::Pcg) ? methods.size() : 1) *
                      (s == SolverKind::Cg ? nrhs.size() : 1);
     return matrices.size() * method_jobs * preconds.size() * injections.size() *
            static_cast<std::size_t>(replicas);

@@ -56,6 +56,27 @@ void relation_residual_lhs(const CsrMatrix& A, const BlockLayout& layout, index_
   for (index_t i = r0; i < r1; ++i) g[i] = rhs[i] - g[i];
 }
 
+void relation_spmv_chain_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                             const double* x, const double* rhs, double* dst) {
+  const index_t r0 = layout.begin(b);
+  const index_t r1 = layout.end(b);
+  // Column footprint of row block b: the residual rows the chain reads.
+  std::vector<char> need(static_cast<std::size_t>(A.n), 0);
+  for (index_t i = r0; i < r1; ++i)
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      need[static_cast<std::size_t>(A.col_idx[static_cast<std::size_t>(k)])] = 1;
+  // Rebuild only those rows of r = rhs - A x, row by row so each entry's
+  // arithmetic matches relation_residual_lhs exactly.
+  std::vector<double> t(static_cast<std::size_t>(A.n), 0.0);
+  for (index_t j = 0; j < A.n; ++j) {
+    if (!need[static_cast<std::size_t>(j)]) continue;
+    spmv_rows(A, j, j + 1, x, t.data());
+    t[static_cast<std::size_t>(j)] = rhs[j] - t[static_cast<std::size_t>(j)];
+  }
+  spmv_rows(A, r0, r1, t.data(), dst);
+}
+
 bool relation_spmv_rhs(DiagBlockSolver& solver, index_t b, const double* q, double* p) {
   const BlockLayout& layout = solver.layout();
   const index_t r0 = layout.begin(b);

@@ -11,6 +11,15 @@
 // relation couple blocks into one dense system (§2.4).  When a diagonal
 // block may be singular, the least-squares variant over the full columns of
 // the lost block applies (Agullo et al.'s approach).
+//
+// Pipelined (Ghysels–Vanroose) basis: the pipelined CG recurrence carries
+//   w = A r,  s = A p,  z = A s,  u = A w
+// alongside the conserved r = b - A x, so every auxiliary vector is covered
+// by an SpMV row of the table above (lhs recompute, or rhs diagonal solve
+// for the operand).  The one genuinely new shape is the two-hop chain
+//   w_i = (A (b - A x))_i,
+// which recovers a block of w straight from the iterate when the residual
+// rows it needs are themselves lost (relation_spmv_chain_lhs below).
 #pragma once
 
 #include <memory>
@@ -70,6 +79,14 @@ void relation_lincomb_lhs(const BlockLayout& layout, index_t b, double a,
 /// g_b = rhs_b - (A x)_b : recovers a lost block of the residual.
 void relation_residual_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
                            const double* x, const double* rhs, double* g);
+
+/// dst_b = (A (rhs - A x))_b : two-hop chain over the pipelined basis
+/// (w = A r with r = b - A x).  Recovers a lost block of w directly from the
+/// iterate when the residual rows in block b's column footprint are also
+/// lost; only those rows of r are rebuilt.  Bit-identical to
+/// relation_residual_lhs on the footprint followed by relation_spmv_lhs.
+void relation_spmv_chain_lhs(const CsrMatrix& A, const BlockLayout& layout, index_t b,
+                             const double* x, const double* rhs, double* dst);
 
 // --- Right-hand-side recoveries (inverted relations) ---
 

@@ -1,0 +1,797 @@
+#include "core/resilient_pipelined_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vecops.hpp"
+#include "support/env.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+namespace {
+
+// Chunk c of [0, nb) when splitting into `nchunks` nearly equal ranges.
+std::pair<index_t, index_t> chunk_range(index_t nb, index_t nchunks, index_t c) {
+  const index_t base = nb / nchunks;
+  const index_t rem = nb % nchunks;
+  const index_t p0 = c * base + std::min(c, rem);
+  const index_t p1 = p0 + base + (c < rem ? 1 : 0);
+  return {p0, p1};
+}
+
+}  // namespace
+
+void ResilientPipelinedCg::GdContrib::init(index_t n) {
+  g = std::make_unique<std::atomic<double>[]>(static_cast<std::size_t>(n));
+  d = std::make_unique<std::atomic<double>[]>(static_cast<std::size_t>(n));
+  flag = std::make_unique<std::atomic<std::int8_t>[]>(static_cast<std::size_t>(n));
+  reset(n);
+}
+
+void ResilientPipelinedCg::GdContrib::reset(index_t n) {
+  for (index_t i = 0; i < n; ++i) {
+    g[static_cast<std::size_t>(i)].store(0.0, std::memory_order_relaxed);
+    d[static_cast<std::size_t>(i)].store(0.0, std::memory_order_relaxed);
+    flag[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+ResilientPipelinedCg::ResilientPipelinedCg(SparseMatrix A, const double* b,
+                                           ResilientPipelinedCgOptions opts)
+    : Am_(std::move(A)),
+      A_(Am_.csr()),
+      b_(b),
+      opts_(std::move(opts)),
+      layout_(A_.n, opts_.block_rows),
+      dsolver_(A_, BlockLayout(A_.n, opts_.block_rows)) {
+  if (opts_.method == Method::Trivial || opts_.method == Method::Lossy)
+    throw std::invalid_argument("pipelined CG methods: ideal, ckpt, feir, afeir");
+  nb_ = layout_.num_blocks();
+  nthreads_ = opts_.threads != 0 ? opts_.threads : default_threads();
+  const index_t want =
+      opts_.nchunks > 0 ? opts_.nchunks : static_cast<index_t>(nthreads_);
+  nchunks_ = std::max<index_t>(1, std::min<index_t>(nb_, want));
+
+  const auto n = static_cast<std::size_t>(A_.n);
+  x_ = PageBuffer(n);
+  for (int g = 0; g < 2; ++g) {
+    r_[g] = PageBuffer(n);
+    w_[g] = PageBuffer(n);
+    u_[g] = PageBuffer(n);
+    p_[g] = PageBuffer(n);
+    s_[g] = PageBuffer(n);
+    z_[g] = PageBuffer(n);
+  }
+
+  const bool paged = opts_.block_rows == static_cast<index_t>(kDoublesPerPage);
+  auto reg = [&](const char* name, PageBuffer& buf) {
+    return &domain_.add(name, buf.data(), A_.n, opts_.block_rows, paged ? &buf : nullptr);
+  };
+  rx_ = reg("x", x_);
+  rr_[0] = reg("r0", r_[0]);
+  rr_[1] = reg("r1", r_[1]);
+  rw_[0] = reg("w0", w_[0]);
+  rw_[1] = reg("w1", w_[1]);
+  ru_[0] = reg("u0", u_[0]);
+  ru_[1] = reg("u1", u_[1]);
+  rp_[0] = reg("p0", p_[0]);
+  rp_[1] = reg("p1", p_[1]);
+  rs_[0] = reg("s0", s_[0]);
+  rs_[1] = reg("s1", s_[1]);
+  rz_[0] = reg("z0", z_[0]);
+  rz_[1] = reg("z1", z_[1]);
+
+  // Page-level column footprint of each block row of A: which pages of the
+  // source vector a page of the SpMV output depends on.
+  page_footprint_.resize(static_cast<std::size_t>(nb_));
+  for (index_t p = 0; p < nb_; ++p) {
+    std::vector<char> seen(static_cast<std::size_t>(nb_), 0);
+    for (index_t i = layout_.begin(p); i < layout_.end(p); ++i)
+      for (index_t k = A_.row_ptr[static_cast<std::size_t>(i)];
+           k < A_.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        seen[static_cast<std::size_t>(
+            layout_.block_of(A_.col_idx[static_cast<std::size_t>(k)]))] = 1;
+    for (index_t pb = 0; pb < nb_; ++pb)
+      if (seen[static_cast<std::size_t>(pb)])
+        page_footprint_[static_cast<std::size_t>(p)].push_back(pb);
+  }
+  chunk_footprint_.resize(static_cast<std::size_t>(nchunks_));
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<char> seen(static_cast<std::size_t>(nchunks_), 0);
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    for (index_t p = p0; p < p1; ++p)
+      for (index_t dep : page_footprint_[static_cast<std::size_t>(p)]) {
+        index_t lo = 0, hi = nchunks_ - 1;
+        while (lo < hi) {
+          const index_t mid = (lo + hi) / 2;
+          if (chunk_range(nb_, nchunks_, mid).second <= dep)
+            lo = mid + 1;
+          else
+            hi = mid;
+        }
+        seen[static_cast<std::size_t>(lo)] = 1;
+      }
+    for (index_t cc = 0; cc < nchunks_; ++cc)
+      if (seen[static_cast<std::size_t>(cc)])
+        chunk_footprint_[static_cast<std::size_t>(c)].push_back(cc);
+  }
+
+  gd_.init(nb_);
+  u_written_ = std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(nb_));
+}
+
+bool ResilientPipelinedCg::footprint_ok(const ProtectedRegion* reg, index_t p) const {
+  for (index_t dep : page_footprint_[static_cast<std::size_t>(p)])
+    if (!reg->mask.ok(dep)) return false;
+  return true;
+}
+
+void ResilientPipelinedCg::restart_from_x() {
+  // Sequential (re)start into the [parity_] generation, which the next
+  // submitted iteration reads: r = b - A x, w = A r, beta forced to 0 so the
+  // stale p/s/z generations are never consumed.
+  double* r = r_[parity_].data();
+  double* w = w_[parity_].data();
+  Am_.spmv(x_.data(), r);
+  for (index_t i = 0; i < A_.n; ++i) r[i] = b_[i] - r[i];
+  Am_.spmv(r, w);
+  have_prev_ = false;
+  have_prev_gen_ = false;
+  gamma_old_ = 0.0;
+  alpha_ = beta_ = alpha_prev_ = beta_prev_ = 0.0;
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  rx_->mask.clear();
+  rr_[parity_]->mask.clear();
+  rw_[parity_]->mask.clear();
+  const BlockState stale = feir ? BlockState::Skipped : BlockState::Ok;
+  for (index_t p = 0; p < nb_; ++p) {
+    rr_[1 - parity_]->mask.set(p, stale);
+    rw_[1 - parity_]->mask.set(p, stale);
+    for (int g = 0; g < 2; ++g) {
+      ru_[g]->mask.set(p, stale);
+      rp_[g]->mask.set(p, stale);
+      rs_[g]->mask.set(p, stale);
+      rz_[g]->mask.set(p, stale);
+    }
+  }
+}
+
+bool ResilientPipelinedCg::replace_residual() {
+  // Drift cap: rebuild the recurrence-maintained vectors of the latest
+  // generation [1 - parity_] from the iterate (p is kept — the direction is
+  // not residual-derived).  Sequential host code, keyed to the logical
+  // iteration count, so every run replaces at the same points.
+  for (const auto& reg : domain_.regions())
+    if (!reg->mask.all_ok()) return false;  // recover first, replace later
+  const int g = 1 - parity_;
+  double* r = r_[g].data();
+  double* w = w_[g].data();
+  double* s = s_[g].data();
+  double* z = z_[g].data();
+  double* u = u_[g].data();
+  Am_.spmv(x_.data(), r);
+  for (index_t i = 0; i < A_.n; ++i) r[i] = b_[i] - r[i];
+  Am_.spmv(r, w);
+  Am_.spmv(p_[g].data(), s);
+  Am_.spmv(s, z);
+  Am_.spmv(w, u);
+  // Replays against the pre-replacement generation no longer reproduce this
+  // state; the caller drops have_prev_gen_.
+  return true;
+}
+
+void ResilientPipelinedCg::save_checkpoint() {
+  const int g = 1 - parity_;  // latest complete generation at the sync point
+  const auto n = static_cast<std::size_t>(A_.n);
+  ckpt_.x.assign(x_.data(), x_.data() + n);
+  ckpt_.r.assign(r_[g].data(), r_[g].data() + n);
+  ckpt_.w.assign(w_[g].data(), w_[g].data() + n);
+  ckpt_.u.assign(u_[g].data(), u_[g].data() + n);
+  ckpt_.p.assign(p_[g].data(), p_[g].data() + n);
+  ckpt_.s.assign(s_[g].data(), s_[g].data() + n);
+  ckpt_.z.assign(z_[g].data(), z_[g].data() + n);
+  ckpt_.gamma_old = gamma_old_;
+  ckpt_.alpha = alpha_;
+  ckpt_.beta = beta_;
+  ckpt_.have_prev = have_prev_;
+  ckpt_.iter = t_;
+  ckpt_.valid = true;
+  ++stats_.checkpoints;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery on the pipelined basis (one task, before the fused reduction's
+// scalar resolves).
+// ---------------------------------------------------------------------------
+
+void ResilientPipelinedCg::recover_pipeline(bool final_pass) {
+  const int ci = parity_;      // latest complete generation (this iteration's inputs)
+  const int oi = 1 - parity_;  // previous generation (= the last update's inputs)
+  double* x = x_.data();
+  double* rc = r_[ci].data();
+  double* ro = r_[oi].data();
+  double* wc = w_[ci].data();
+  double* wo = w_[oi].data();
+  double* uc = u_[ci].data();
+  double* uo = u_[oi].data();
+  double* pc = p_[ci].data();
+  double* po = p_[oi].data();
+  double* sc = s_[ci].data();
+  double* so = s_[oi].data();
+  double* zc = z_[ci].data();
+  double* zo = z_[oi].data();
+  const double ap = alpha_prev_;
+  const double bp = beta_prev_;
+
+  for (const auto& reg : domain_.regions())
+    for (index_t p = 0; p < nb_; ++p)
+      if (reg->mask.get(p) == BlockState::Lost) ++stats_.errors_detected;
+
+  // Pass 1 — bit-exact reconstruction.  The last update wave was a pure
+  // write from generation [oi] (plus u[ci], its own SpMV output), so a lost
+  // page of any recurrence vector is re-created by re-running the identical
+  // kernel on identical inputs: the recovered bytes equal the lost ones, and
+  // no surviving page is touched.
+  if (have_prev_gen_) {
+    const bool pn = bp != 0.0;  // previous generation needed by the lincombs
+    // u[ci] = A w[oi] (the SpMV the last iteration overlapped).
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = ru_[ci]->mask.get(p);
+      if (pre == BlockState::Ok) continue;
+      if (footprint_ok(rw_[oi], p)) {
+        relation_spmv_lhs(A_, layout_, p, wo, uc);
+        if (ru_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+      }
+    }
+    // p[ci] = r[oi] + bp p[oi] ; s[ci] = w[oi] + bp s[oi] ; z[ci] = u[ci] + bp z[oi].
+    auto replay_lincomb = [&](ProtectedRegion* dst, double* dv, ProtectedRegion* base,
+                              const double* basev, ProtectedRegion* prev,
+                              const double* prevv) {
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = dst->mask.get(p);
+        if (pre == BlockState::Ok) continue;
+        if (!base->mask.ok(p) || (pn && !prev->mask.ok(p))) continue;
+        const index_t i0 = layout_.begin(p), i1 = layout_.end(p);
+        if (!pn)
+          copy_range(basev, dv, i0, i1);
+        else
+          lincomb_range(bp, prevv, 1.0, basev, dv, i0, i1);
+        if (dst->mask.try_set_ok_from(p, pre)) ++stats_.lincomb_recoveries;
+      }
+    };
+    replay_lincomb(rp_[ci], pc, rr_[oi], ro, rp_[oi], po);
+    replay_lincomb(rs_[ci], sc, rw_[oi], wo, rs_[oi], so);
+    replay_lincomb(rz_[ci], zc, ru_[ci], uc, rz_[oi], zo);
+    // r[ci] = r[oi] - ap s[ci] ; w[ci] = w[oi] - ap z[ci].
+    for (index_t p = 0; p < nb_; ++p) {
+      const index_t i0 = layout_.begin(p), i1 = layout_.end(p);
+      const BlockState rpre = rr_[ci]->mask.get(p);
+      if (rpre != BlockState::Ok && rr_[oi]->mask.ok(p) && rs_[ci]->mask.ok(p)) {
+        lincomb_range(-ap, sc, 1.0, ro, rc, i0, i1);
+        if (rr_[ci]->mask.try_set_ok_from(p, rpre)) ++stats_.lincomb_recoveries;
+      }
+      const BlockState wpre = rw_[ci]->mask.get(p);
+      if (wpre != BlockState::Ok && rw_[oi]->mask.ok(p) && rz_[ci]->mask.ok(p)) {
+        lincomb_range(-ap, zc, 1.0, wo, wc, i0, i1);
+        if (rw_[ci]->mask.try_set_ok_from(p, wpre)) ++stats_.lincomb_recoveries;
+      }
+    }
+  }
+
+  // Pass 2 — Table-1 relations on the pipelined basis, for pages the replay
+  // could not reach (source generation gone too, or x itself hit).  Two
+  // rounds pick up cascades (x needs r, r may come from w, ...).
+  for (int round = 0; round < 2; ++round) {
+    // x via the inverted residual relation (coupled for simultaneous losses).
+    {
+      std::vector<std::pair<index_t, BlockState>> need_pre;
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = rx_->mask.get(p);
+        if (pre != BlockState::Ok && rr_[ci]->mask.ok(p)) need_pre.emplace_back(p, pre);
+      }
+      if (!need_pre.empty()) {
+        std::vector<index_t> need;
+        for (const auto& [p, pre] : need_pre) need.push_back(p);
+        bool others_ok = true;
+        for (index_t p = 0; p < nb_; ++p)
+          if (!rx_->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+            others_ok = false;
+        if (others_ok && relation_x_rhs_multi(dsolver_, need, b_, rc, x))
+          for (const auto& [p, pre] : need_pre)
+            if (rx_->mask.try_set_ok_from(p, pre)) ++stats_.x_recoveries;
+      }
+    }
+    const bool x_all_ok = rx_->mask.all_ok();
+    // r via the residual relation (needs all of x).
+    if (x_all_ok) {
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = rr_[ci]->mask.get(p);
+        if (pre == BlockState::Ok) continue;
+        relation_residual_lhs(A_, layout_, p, x, b_, rc);
+        if (rr_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.residual_recomputes;
+      }
+    }
+    // r via the inverted w = A r relation (w page intact, other r pages ok).
+    {
+      std::vector<std::pair<index_t, BlockState>> need_pre;
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = rr_[ci]->mask.get(p);
+        if (pre != BlockState::Ok && rw_[ci]->mask.ok(p)) need_pre.emplace_back(p, pre);
+      }
+      if (!need_pre.empty()) {
+        std::vector<index_t> need;
+        for (const auto& [p, pre] : need_pre) need.push_back(p);
+        bool others_ok = true;
+        for (index_t p = 0; p < nb_; ++p)
+          if (!rr_[ci]->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+            others_ok = false;
+        if (others_ok && relation_spmv_rhs_multi(dsolver_, need, wc, rc))
+          for (const auto& [p, pre] : need_pre)
+            if (rr_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.diag_solves;
+      }
+    }
+    // w via w = A r, or the two-hop chain w = A (b - A x) when r's footprint
+    // is lost as well.
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rw_[ci]->mask.get(p);
+      if (pre == BlockState::Ok) continue;
+      if (footprint_ok(rr_[ci], p)) {
+        relation_spmv_lhs(A_, layout_, p, rc, wc);
+        if (rw_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+      } else if (x_all_ok) {
+        relation_spmv_chain_lhs(A_, layout_, p, x, b_, wc);
+        if (rw_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+      }
+    }
+    // p via the inverted s = A p relation.
+    {
+      std::vector<std::pair<index_t, BlockState>> need_pre;
+      for (index_t p = 0; p < nb_; ++p) {
+        const BlockState pre = rp_[ci]->mask.get(p);
+        if (pre != BlockState::Ok && rs_[ci]->mask.ok(p)) need_pre.emplace_back(p, pre);
+      }
+      if (!need_pre.empty()) {
+        std::vector<index_t> need;
+        for (const auto& [p, pre] : need_pre) need.push_back(p);
+        bool others_ok = true;
+        for (index_t p = 0; p < nb_; ++p)
+          if (!rp_[ci]->mask.ok(p) && std::find(need.begin(), need.end(), p) == need.end())
+            others_ok = false;
+        if (others_ok && relation_spmv_rhs_multi(dsolver_, need, sc, pc))
+          for (const auto& [p, pre] : need_pre)
+            if (rp_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.diag_solves;
+      }
+    }
+    // s via s = A p and z via z = A s.
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rs_[ci]->mask.get(p);
+      if (pre != BlockState::Ok && footprint_ok(rp_[ci], p)) {
+        relation_spmv_lhs(A_, layout_, p, pc, sc);
+        if (rs_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+      }
+    }
+    for (index_t p = 0; p < nb_; ++p) {
+      const BlockState pre = rz_[ci]->mask.get(p);
+      if (pre != BlockState::Ok && footprint_ok(rs_[ci], p)) {
+        relation_spmv_lhs(A_, layout_, p, sc, zc);
+        if (rz_[ci]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+      }
+    }
+    // Skipped x updates replay once their direction page is back.
+    if (have_prev_gen_) {
+      for (index_t p = 0; p < nb_; ++p) {
+        if (rx_->mask.get(p) == BlockState::Skipped && rp_[ci]->mask.ok(p)) {
+          axpy_range(ap, pc, x, layout_.begin(p), layout_.end(p));
+          if (rx_->mask.try_set_ok_from(p, BlockState::Skipped)) ++stats_.redo_updates;
+        }
+      }
+    }
+  }
+
+  // Repair the IN-FLIGHT SpMV output u[oi] = A w[ci]: a page the u wave
+  // skipped (its w footprint was still lost when the wave ran — AFEIR's
+  // overlap makes that ordering routine) or that was hit after the wave wrote
+  // it is recomputed here once the footprint is healed, with the wave's own
+  // kernel so the bytes match an uninjected run.  Gated on u_written_ — the
+  // wave is done with that page — so recovery never races the wave's write.
+  if (!final_pass) {
+    for (index_t p = 0; p < nb_; ++p) {
+      if (u_written_[static_cast<std::size_t>(p)].load(std::memory_order_acquire) != 1)
+        continue;
+      const BlockState pre = ru_[oi]->mask.get(p);
+      if (pre == BlockState::Ok) continue;
+      if (!footprint_ok(rw_[ci], p)) continue;
+      Am_.spmv_rows(layout_.begin(p), layout_.end(p), wc, uo);
+      if (ru_[oi]->mask.try_set_ok_from(p, pre)) ++stats_.spmv_recomputes;
+    }
+  }
+
+  // Pass 3 — re-add fused-reduction contributions for recovered pages.
+  for (index_t p = 0; p < nb_; ++p) {
+    if (gd_.flag[static_cast<std::size_t>(p)].load(std::memory_order_acquire) == 1)
+      continue;
+    if (rr_[ci]->mask.ok(p) && rw_[ci]->mask.ok(p)) {
+      const index_t i0 = layout_.begin(p), i1 = layout_.end(p);
+      gd_.g[static_cast<std::size_t>(p)].store(dot_range(rc, rc, i0, i1),
+                                               std::memory_order_relaxed);
+      gd_.d[static_cast<std::size_t>(p)].store(dot_range(wc, rc, i0, i1),
+                                               std::memory_order_relaxed);
+      gd_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+      ++stats_.contrib_recomputes;
+    }
+  }
+
+  if (final_pass) {
+    auto blank = [&](ProtectedRegion* reg, double* v) {
+      for (index_t p = 0; p < nb_; ++p) {
+        if (reg->mask.ok(p)) continue;
+        fill_range(0.0, v, layout_.begin(p), layout_.end(p));
+        reg->mask.set(p, BlockState::Ok);
+        ++stats_.unrecoverable;
+      }
+    };
+    blank(rx_, x);
+    blank(rr_[ci], rc);
+    blank(rw_[ci], wc);
+    blank(ru_[ci], uc);
+    blank(rp_[ci], pc);
+    blank(rs_[ci], sc);
+    blank(rz_[ci], zc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One iteration's task graph: fused reduction partials + overlapped SpMV,
+// one recovery task, ONE scalar task, one fused update wave.
+// ---------------------------------------------------------------------------
+
+void ResilientPipelinedCg::submit_iteration(Runtime& rt) {
+  TaskBatch batch(rt);
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  const bool afeir = opts_.method == Method::Afeir;
+  const int ci = parity_;
+  const int oi = 1 - parity_;
+
+  double* x = x_.data();
+  double* rc = r_[ci].data();
+  double* ro = r_[oi].data();
+  double* wc = w_[ci].data();
+  double* wo = w_[oi].data();
+  double* uo = u_[oi].data();
+  double* pc = p_[ci].data();
+  double* po = p_[oi].data();
+  double* sc = s_[ci].data();
+  double* so = s_[oi].data();
+  double* zc = z_[ci].data();
+  double* zo = z_[oi].data();
+
+  gd_.reset(nb_);
+  for (index_t p = 0; p < nb_; ++p)
+    u_written_[static_cast<std::size_t>(p)].store(0, std::memory_order_relaxed);
+  conv_flag_ = false;
+
+  // --- Fused gamma/delta page partials: ONE pass, both dot products. ------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    batch.add(
+        [this, p0, p1, rc, wc, ci, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            const index_t i0 = layout_.begin(p), i1 = layout_.end(p);
+            if (feir && (!rr_[ci]->mask.ok(p) || !rw_[ci]->mask.ok(p))) {
+              gd_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            const double g = dot_range(rc, rc, i0, i1);
+            const double d = dot_range(wc, rc, i0, i1);
+            // Validate after computing: a loss racing with the reads poisons
+            // this contribution (the paper's sig_atomic_t check).
+            if (feir && (!rr_[ci]->mask.ok(p) || !rw_[ci]->mask.ok(p))) {
+              gd_.flag[static_cast<std::size_t>(p)].store(-1, std::memory_order_release);
+              continue;
+            }
+            gd_.g[static_cast<std::size_t>(p)].store(g, std::memory_order_relaxed);
+            gd_.d[static_cast<std::size_t>(p)].store(d, std::memory_order_relaxed);
+            gd_.flag[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+          }
+        },
+        {in(rc, c), in(wc, c), out(&gd_, c)}, 0, "gd");
+  }
+
+  // --- The iteration's SpMV, overlapped with the reduction: u = A w. ------
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    std::vector<Dep> deps{out(uo, c)};
+    for (index_t cc : chunk_footprint_[static_cast<std::size_t>(c)])
+      deps.push_back(in(wc, cc));
+    batch.add(
+        [this, p0, p1, wc, uo, ci, oi, feir] {
+          for (index_t p = p0; p < p1; ++p) {
+            if (feir && !footprint_ok(rw_[ci], p)) {
+              ru_[oi]->mask.set(p, BlockState::Skipped);
+              u_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+              continue;
+            }
+            const BlockState pre = ru_[oi]->mask.get(p);  // pure output
+            Am_.spmv_rows(layout_.begin(p), layout_.end(p), wc, uo);
+            if (feir)
+              ru_[oi]->mask.try_set_ok_from(p, pre);
+            else
+              ru_[oi]->mask.set_ok_unless_lost(p);
+            u_written_[static_cast<std::size_t>(p)].store(1, std::memory_order_release);
+          }
+        },
+        std::move(deps), 0, "u");
+  }
+
+  // --- Recovery task: replay/relations before the scalar resolves.  FEIR
+  // joins the critical path behind the partials; AFEIR overlaps with the
+  // in-flight SpMV wave at low priority.
+  if (feir) {
+    std::vector<Dep> deps{out(&k_rec_)};
+    if (!afeir)
+      for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&gd_, c));
+    batch.add([this] { recover_pipeline(false); }, std::move(deps), afeir ? -1 : 0,
+              "rp");
+  }
+
+  // --- The ONE scalar task: both reductions, beta AND alpha. --------------
+  {
+    std::vector<Dep> deps;
+    for (index_t c = 0; c < nchunks_; ++c) deps.push_back(in(&gd_, c));
+    if (feir) deps.push_back(in(&k_rec_));
+    deps.push_back(out(&k_scalar_));
+    batch.add(
+        [this] {
+          // Page-index-ordered sums: deterministic at any thread/chunk count.
+          double g = 0.0, d = 0.0;
+          for (index_t p = 0; p < nb_; ++p) {
+            if (gd_.flag[static_cast<std::size_t>(p)].load(std::memory_order_acquire) == 1) {
+              g += gd_.g[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+              d += gd_.d[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+            }
+          }
+          gamma_ = g;
+          delta_ = d;
+          beta_ = have_prev_ && gamma_old_ != 0.0 ? gamma_ / gamma_old_ : 0.0;
+          double den = delta_;
+          if (beta_ != 0.0 && alpha_prev_ != 0.0)
+            den = delta_ - beta_ * gamma_ / alpha_prev_;
+          alpha_ = den != 0.0 ? gamma_ / den : 0.0;
+          gamma_old_ = gamma_;
+          have_prev_ = true;
+          conv_flag_ = gamma_ >= 0.0 && std::sqrt(std::max(gamma_, 0.0)) <= conv_stop_;
+        },
+        std::move(deps), 1, "ab");
+  }
+
+  // --- Fused update wave: all six vectors advance in one page-local pass. -
+  for (index_t c = 0; c < nchunks_; ++c) {
+    const auto [p0, p1] = chunk_range(nb_, nchunks_, c);
+    batch.add(
+        [this, p0, p1, x, rc, ro, wc, wo, uo, pc, po, sc, so, zc, zo, ci, oi, feir] {
+          const bool pn = beta_ != 0.0;
+          for (index_t p = p0; p < p1; ++p) {
+            const index_t i0 = layout_.begin(p), i1 = layout_.end(p);
+            // p_out = r + beta p_prev
+            if (!feir || (rr_[ci]->mask.ok(p) && (!pn || rp_[ci]->mask.ok(p)))) {
+              const BlockState pre = rp_[oi]->mask.get(p);  // pure output
+              if (!pn)
+                copy_range(rc, po, i0, i1);
+              else
+                lincomb_range(beta_, pc, 1.0, rc, po, i0, i1);
+              if (feir)
+                rp_[oi]->mask.try_set_ok_from(p, pre);
+              else
+                rp_[oi]->mask.set_ok_unless_lost(p);
+            } else {
+              rp_[oi]->mask.set(p, BlockState::Skipped);
+            }
+            // s_out = w + beta s_prev
+            if (!feir || (rw_[ci]->mask.ok(p) && (!pn || rs_[ci]->mask.ok(p)))) {
+              const BlockState pre = rs_[oi]->mask.get(p);
+              if (!pn)
+                copy_range(wc, so, i0, i1);
+              else
+                lincomb_range(beta_, sc, 1.0, wc, so, i0, i1);
+              if (feir)
+                rs_[oi]->mask.try_set_ok_from(p, pre);
+              else
+                rs_[oi]->mask.set_ok_unless_lost(p);
+            } else {
+              rs_[oi]->mask.set(p, BlockState::Skipped);
+            }
+            // z_out = u + beta z_prev
+            if (!feir || (ru_[oi]->mask.ok(p) && (!pn || rz_[ci]->mask.ok(p)))) {
+              const BlockState pre = rz_[oi]->mask.get(p);
+              if (!pn)
+                copy_range(uo, zo, i0, i1);
+              else
+                lincomb_range(beta_, zc, 1.0, uo, zo, i0, i1);
+              if (feir)
+                rz_[oi]->mask.try_set_ok_from(p, pre);
+              else
+                rz_[oi]->mask.set_ok_unless_lost(p);
+            } else {
+              rz_[oi]->mask.set(p, BlockState::Skipped);
+            }
+            // x += alpha p_out (in place: stale content must not advance).
+            if (feir && rx_->mask.get(p) != BlockState::Ok) {
+              // leave for recovery
+            } else if (feir && !rp_[oi]->mask.ok(p)) {
+              rx_->mask.set(p, BlockState::Skipped);
+            } else {
+              axpy_range(alpha_, po, x, i0, i1);
+              rx_->mask.set_ok_unless_lost(p);
+            }
+            // r_out = r - alpha s_out
+            if (!feir || (rr_[ci]->mask.ok(p) && rs_[oi]->mask.ok(p))) {
+              const BlockState pre = rr_[oi]->mask.get(p);
+              lincomb_range(-alpha_, so, 1.0, rc, ro, i0, i1);
+              if (feir)
+                rr_[oi]->mask.try_set_ok_from(p, pre);
+              else
+                rr_[oi]->mask.set_ok_unless_lost(p);
+            } else {
+              rr_[oi]->mask.set(p, BlockState::Skipped);
+            }
+            // w_out = w - alpha z_out
+            if (!feir || (rw_[ci]->mask.ok(p) && rz_[oi]->mask.ok(p))) {
+              const BlockState pre = rw_[oi]->mask.get(p);
+              lincomb_range(-alpha_, zo, 1.0, wc, wo, i0, i1);
+              if (feir)
+                rw_[oi]->mask.try_set_ok_from(p, pre);
+              else
+                rw_[oi]->mask.set_ok_unless_lost(p);
+            } else {
+              rw_[oi]->mask.set(p, BlockState::Skipped);
+            }
+          }
+        },
+        {in(&k_scalar_), in(rc, c), in(wc, c), in(uo, c), in(pc, c), in(sc, c),
+         in(zc, c), inout(x, c), out(po, c), out(so, c), out(zo, c), out(ro, c),
+         out(wo, c)},
+        0, "upd");
+  }
+
+  batch.submit();
+}
+
+// ---------------------------------------------------------------------------
+// End-of-iteration error policy.
+// ---------------------------------------------------------------------------
+
+bool ResilientPipelinedCg::host_error_policy(ResilientCgResult&) {
+  if (opts_.method != Method::Checkpoint) return false;
+  bool any_lost = false;
+  for (const auto& reg : domain_.regions())
+    for (index_t p = 0; p < nb_; ++p)
+      if (reg->mask.get(p) == BlockState::Lost) any_lost = true;
+  if (!any_lost) return false;
+  ++stats_.errors_detected;
+  ++stats_.rollbacks;
+  if (ckpt_.valid) {
+    const int g = 1 - parity_;  // the slot the next iteration reads (post-flip)
+    const auto n = static_cast<std::size_t>(A_.n);
+    std::copy(ckpt_.x.begin(), ckpt_.x.end(), x_.data());
+    std::copy(ckpt_.r.begin(), ckpt_.r.end(), r_[g].data());
+    std::copy(ckpt_.w.begin(), ckpt_.w.end(), w_[g].data());
+    std::copy(ckpt_.u.begin(), ckpt_.u.end(), u_[g].data());
+    std::copy(ckpt_.p.begin(), ckpt_.p.end(), p_[g].data());
+    std::copy(ckpt_.s.begin(), ckpt_.s.end(), s_[g].data());
+    std::copy(ckpt_.z.begin(), ckpt_.z.end(), z_[g].data());
+    (void)n;
+    gamma_old_ = ckpt_.gamma_old;
+    alpha_ = ckpt_.alpha;
+    beta_ = ckpt_.beta;
+    have_prev_ = ckpt_.have_prev;
+    have_prev_gen_ = false;
+    t_ = ckpt_.iter;
+  } else {
+    std::fill(x_.data(), x_.data() + A_.n, 0.0);
+    parity_ ^= 1;        // restart_from_x targets [parity_]; undo below
+    restart_from_x();
+    parity_ ^= 1;
+    t_ = 0;
+    alpha_ = beta_ = 0.0;
+  }
+  domain_.clear_all();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Main loop.
+// ---------------------------------------------------------------------------
+
+ResilientCgResult ResilientPipelinedCg::solve(double* x_out) {
+  Runtime rt(nthreads_, opts_.pin_threads);
+  if (opts_.tracer != nullptr) rt.set_tracer(opts_.tracer);
+  ResilientCgResult res;
+  Stopwatch clock;
+
+  const double bnorm = norm2(b_, A_.n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+  conv_stop_ = denom * opts_.tol;
+
+  std::copy(x_out, x_out + A_.n, x_.data());
+  domain_.clear_all();
+  parity_ = 0;
+  t_ = 0;
+  restart_from_x();
+
+  const bool is_ckpt = opts_.method == Method::Checkpoint;
+  const bool feir = opts_.method == Method::Feir || opts_.method == Method::Afeir;
+  ckpt_period_ = opts_.ckpt.period_iters != 0 ? opts_.ckpt.period_iters : 1000;
+  index_t last_ckpt_iter = 0;
+  if (is_ckpt) {
+    parity_ ^= 1;  // save_checkpoint snapshots [1 - parity_]
+    save_checkpoint();
+    parity_ ^= 1;
+  }
+
+  index_t executed = 0;
+  bool converged = false;
+
+  while (executed < opts_.max_iter) {
+    if (opts_.max_seconds > 0.0 && clock.seconds() > opts_.max_seconds) break;
+    if (opts_.cancel != nullptr && opts_.cancel->cancelled()) break;
+    submit_iteration(rt);
+    rt.taskwait();
+    ++executed;
+
+    const double relres = std::sqrt(std::max(gamma_, 0.0)) / denom;
+    const IterRecord rec{executed - 1, clock.seconds(), relres};
+    if (opts_.record_history) res.history.push_back(rec);
+    if (opts_.on_iteration) opts_.on_iteration(rec);
+
+    if (conv_flag_) {
+      // The recurrence residual drifts (the pipelined tradeoff): always
+      // verify against the true residual before declaring victory.
+      const double true_rel = residual_norm(A_, x_.data(), b_) / denom;
+      if (true_rel <= opts_.tol) {
+        converged = true;
+        res.final_relres = true_rel;
+        break;
+      }
+      parity_ ^= 1;
+      restart_from_x();
+      ++stats_.restarts;
+      ++t_;
+      continue;
+    }
+
+    const bool rolled_back = host_error_policy(res);
+    bool replaced = false;
+    if (!rolled_back && opts_.replace_period > 0 && t_ > 0 &&
+        t_ % opts_.replace_period == 0)
+      replaced = replace_residual();
+
+    if (is_ckpt && !rolled_back && t_ - last_ckpt_iter >= ckpt_period_) {
+      save_checkpoint();
+      last_ckpt_iter = t_;
+    }
+
+    alpha_prev_ = alpha_;
+    beta_prev_ = beta_;
+    have_prev_gen_ = !rolled_back && !replaced;
+    if (replaced) have_prev_ = true;
+    parity_ ^= 1;
+    ++t_;
+  }
+
+  // Final exact-recovery sweep so the returned x is fully materialized.
+  if (feir) recover_pipeline(true);
+
+  std::copy(x_.data(), x_.data() + A_.n, x_out);
+  res.converged = converged;
+  res.iterations = executed;
+  res.seconds = clock.seconds();
+  if (!converged) res.final_relres = residual_norm(A_, x_.data(), b_) / denom;
+  res.stats = stats_;
+  res.states = rt.state_times();
+  res.tasks = rt.tasks_executed();
+  return res;
+}
+
+}  // namespace feir

@@ -1,0 +1,193 @@
+// Task-based resilient pipelined Conjugate Gradient (Ghysels–Vanroose
+// recurrence on the paper's dataflow runtime).
+//
+// Classic CG pays two reduction sync points per iteration (the eps and alpha
+// scalar tasks).  The pipelined recurrence carries the auxiliary vectors
+//   w = A r,   s = A p,   z = A s,   u = A w
+// so that both dot products of an iteration — gamma = <r, r> and
+// delta = <w, r> — are computable at the TOP of the iteration and fuse into
+// ONE index-ordered multi-reduction, while the iteration's only SpMV
+// (u = A w) runs concurrently with it.  The scalar task derives both beta and
+// alpha from (gamma, delta, gamma_prev, alpha_prev):
+//   beta  = gamma / gamma_prev                     (0 on the first iteration)
+//   alpha = gamma / (delta - beta * gamma / alpha_prev)
+// and a single fused update wave then advances all six vectors page-locally:
+//   p <- r + beta p,  s <- w + beta s,  z <- u + beta z,
+//   x <- x + alpha p, r <- r - alpha s, w <- w - alpha z.
+// One reduction barrier, one SpMV wave, one update wave — three dependency
+// levels per iteration against classic CG's six.
+//
+// Resilience rides on the same FEIR/AFEIR machinery as ResilientCg, with one
+// structural twist: EVERY recurrence vector (r, w, p, s, z — and u) is
+// double-buffered, so each update above is a pure page-local write whose
+// inputs (the previous generation) survive the iteration.  A page lost
+// between iterations is then recovered by REPLAYING its update with the
+// recorded alpha/beta — a bit-exact reconstruction, since it re-runs the
+// identical kernel on identical inputs.  Surviving pages are never touched,
+// so an injected run's data stays byte-identical to the uninjected run
+// whenever the replay path covers the loss.  When it cannot (the source
+// generation is gone too, or the iterate x itself is hit), recovery falls
+// back to the Table-1 relations extended to the pipelined basis
+// (relations.hpp): SpMV recomputes for w/s/z/u, the inverted relations for
+// p and x, the residual relation for r, and the two-hop chain
+// w = A (b - A x) when r's footprint is lost as well.  The recovery task sits
+// between the fused reduction partials and the scalar task (FEIR: critical
+// path; AFEIR: priority -1, overlapped with the in-flight SpMV wave).
+//
+// Rounding drift: the recurrence-maintained residual of pipelined CG drifts
+// from the true residual faster than classic CG's (the well-known
+// pipelined-CG tradeoff), so a periodic residual-replacement step recomputes
+// r, w, s, z, u from x every `replace_period` iterations — deterministic in
+// the iteration count, so replays stay aligned between runs.  At threads=1
+// (and any thread/chunk count: partials are per page, summed in page order)
+// the solver is bitwise deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/method.hpp"
+#include "core/relations.hpp"
+#include "core/resilient_cg.hpp"
+#include "fault/domain.hpp"
+#include "runtime/runtime.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix.hpp"
+#include "support/cancel.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+/// Options for a resilient pipelined-CG solve.  Methods: Ideal, Checkpoint,
+/// Feir, Afeir (Trivial/Lossy are classic-CG baselines; the constructor
+/// rejects them).  No preconditioner: pcg targets the unpreconditioned
+/// high-thread-count regime.
+struct ResilientPipelinedCgOptions {
+  double tol = 1e-10;
+  index_t max_iter = 100000;
+  double max_seconds = 0.0;
+  const CancelToken* cancel = nullptr;
+  bool record_history = false;
+  Method method = Method::Feir;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  unsigned threads = 0;
+  bool pin_threads = false;
+  /// Checkpoint period (Method::Checkpoint only; in-memory full-recurrence
+  /// snapshots — x, r, w, u, p, s, z and the scalar history — so a rollback
+  /// replays the original trajectory bit-exactly).  period_iters == 0
+  /// defaults to 1000; the disk path is unused.
+  CheckpointOptions ckpt;
+  double expected_mtbe_s = 0.0;
+  /// Residual replacement cadence in iterations (0 disables): recompute
+  /// r = b - A x and the derived w/s/z/u sequentially to cap the pipelined
+  /// recurrence drift.  Keyed to the logical iteration count, so injected
+  /// and uninjected runs replace at the same points.
+  index_t replace_period = 50;
+  /// Task strip-mining override; 0 = one chunk per worker thread.  Partials
+  /// are per PAGE and summed in page-index order, so results are identical
+  /// at any chunk count — this knob exists for the determinism tests.
+  index_t nchunks = 0;
+  TaskTracer* tracer = nullptr;
+  std::function<void(const IterRecord&)> on_iteration;
+};
+
+/// Resilient pipelined-CG solver instance.  Shares ResilientCgResult so the
+/// campaign executor and reports treat pcg rows exactly like cg rows.
+class ResilientPipelinedCg {
+ public:
+  /// `A` selects the SpMV backend; recovery relations address the CSR
+  /// reference, which must outlive the solver.
+  ResilientPipelinedCg(SparseMatrix A, const double* b,
+                       ResilientPipelinedCgOptions opts);
+
+  /// The protected regions: "x" plus both generations of the recurrence —
+  /// "r0"/"r1", "w0"/"w1", "u0"/"u1", "p0"/"p1", "s0"/"s1", "z0"/"z1".
+  FaultDomain& domain() { return domain_; }
+
+  /// Runs the solve.  `x` carries the initial guess in and the solution out.
+  ResilientCgResult solve(double* x);
+
+  const BlockLayout& layout() const { return layout_; }
+
+ private:
+  // Per-page fused-reduction contribution: gamma and delta partials publish
+  // together under one three-state flag (0 unset, 1 valid, -1 missing).
+  struct GdContrib {
+    std::unique_ptr<std::atomic<double>[]> g, d;
+    std::unique_ptr<std::atomic<std::int8_t>[]> flag;
+    void init(index_t n);
+    void reset(index_t n);
+  };
+
+  // Full-recurrence in-memory checkpoint (Method::Checkpoint).
+  struct PipelineCkpt {
+    std::vector<double> x, r, w, u, p, s, z;
+    double gamma_old = 0.0, alpha = 0.0, beta = 0.0;
+    bool have_prev = false, have_prev_gen = false;
+    index_t iter = 0;
+    bool valid = false;
+  };
+
+  void submit_iteration(Runtime& rt);
+  void recover_pipeline(bool final_pass);
+  bool host_error_policy(ResilientCgResult& res);  // true when it rolled back
+  void restart_from_x();    // sequential r = b - A x, w = A r; wipe recurrence
+  bool replace_residual();  // sequential drift cap: rebuild r, w, s, z, u from x
+  void save_checkpoint();
+  bool footprint_ok(const ProtectedRegion* reg, index_t p) const;
+
+  SparseMatrix Am_;
+  const CsrMatrix& A_;
+  const double* b_;
+  ResilientPipelinedCgOptions opts_;
+  BlockLayout layout_;
+  index_t nb_ = 0;
+  unsigned nthreads_ = 1;
+  index_t nchunks_ = 1;
+
+  PageBuffer x_;
+  PageBuffer r_[2], w_[2], u_[2], p_[2], s_[2], z_[2];
+  FaultDomain domain_;
+  ProtectedRegion* rx_ = nullptr;
+  ProtectedRegion* rr_[2] = {nullptr, nullptr};
+  ProtectedRegion* rw_[2] = {nullptr, nullptr};
+  ProtectedRegion* ru_[2] = {nullptr, nullptr};
+  ProtectedRegion* rp_[2] = {nullptr, nullptr};
+  ProtectedRegion* rs_[2] = {nullptr, nullptr};
+  ProtectedRegion* rz_[2] = {nullptr, nullptr};
+
+  DiagBlockSolver dsolver_;
+  std::vector<std::vector<index_t>> page_footprint_;   // col pages per row page
+  std::vector<std::vector<index_t>> chunk_footprint_;  // chunk deps for the u wave
+
+  // Iteration-scope state.  Generation [parity_] is the latest complete one
+  // (this iteration's inputs); [1 - parity_] is two iterations old and gets
+  // overwritten by this iteration's update wave.
+  int parity_ = 0;
+  index_t t_ = 0;
+  double gamma_ = 0.0, delta_ = 0.0, beta_ = 0.0, alpha_ = 0.0;
+  double gamma_old_ = 0.0;
+  double alpha_prev_ = 0.0, beta_prev_ = 0.0;  // last EXECUTED update's scalars
+  double conv_stop_ = 0.0;
+  bool have_prev_ = false;      // gamma_old_/alpha_prev_ usable by the scalar task
+  bool have_prev_gen_ = false;  // the [1-parity_] generation backs a replay
+  bool conv_flag_ = false;
+  GdContrib gd_;
+  // Per-page "the u task finished this page" flags (set whether it computed
+  // or skipped), so recovery may recompute a skipped/lost page of the
+  // in-flight u = A w without racing the wave — the q_written_ discipline of
+  // the classic solver.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> u_written_;
+  // Scalar dependency anchors (addresses double as dep keys).
+  char k_rec_ = 0, k_scalar_ = 0;
+
+  RecoveryStats stats_;
+  PipelineCkpt ckpt_;
+  index_t ckpt_period_ = 0;
+};
+
+}  // namespace feir

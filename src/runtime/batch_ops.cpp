@@ -57,42 +57,52 @@ void BatchOps::spmm(const SparseMatrix& A, const double* X, double* Y, index_t k
   }
 }
 
+void BatchOps::stage_reduction(double* pdata, std::vector<Lane> lanes,
+                               const char* name) {
+  std::vector<Dep> deps = whole(pdata, Access::In);
+  for (const Lane& l : lanes) deps.push_back(feir::out(l.out));
+  const index_t nch = nchunks_;
+  batch_.add(
+      [pdata, lanes = std::move(lanes), nch] {
+        // Chunk-index-ordered sum per lane: deterministic at any worker
+        // count or steal order.
+        for (std::size_t j = 0; j < lanes.size(); ++j) {
+          const double* p = pdata + j * static_cast<std::size_t>(nch);
+          double s = 0.0;
+          for (index_t c = 0; c < nch; ++c) s += p[c];
+          *lanes[j].out = lanes[j].take_sqrt ? std::sqrt(s) : s;
+        }
+      },
+      std::move(deps), 1, name);
+}
+
 void BatchOps::dot_cols(const double* X, const double* Y, index_t k, double* out,
                         const char* name) {
   partials_.emplace_back(static_cast<std::size_t>(nchunks_ * k), 0.0);
-  std::vector<double>& part = partials_.back();
-  double* pdata = part.data();
+  double* pdata = partials_.back().data();
+  const index_t nch = nchunks_;
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [r0, r1] = chunk(c);
     batch_.add(
-        [X, Y, k, pdata, c, r0 = r0, r1 = r1] {
+        [X, Y, k, pdata, nch, c, r0 = r0, r1 = r1] {
           // One pass over the chunk's rows, k running sums: column j's
           // partial accumulates in row order, exactly like dot_range on the
           // deinterleaved column.
-          double* p = pdata + c * k;
-          for (index_t j = 0; j < k; ++j) p[j] = 0.0;
+          for (index_t j = 0; j < k; ++j) {
+            pdata[j * nch + c] = 0.0;
+          }
           for (index_t i = r0; i < r1; ++i) {
             const double* x = X + i * k;
             const double* y = Y + i * k;
-            for (index_t j = 0; j < k; ++j) p[j] += x[j] * y[j];
+            for (index_t j = 0; j < k; ++j) pdata[j * nch + c] += x[j] * y[j];
           }
         },
         {in(X, c), in(Y, c), feir::out(pdata, c)}, 0, name);
   }
-  std::vector<Dep> deps = whole(pdata, Access::In);
-  deps.push_back(feir::out(out));
-  const index_t nch = nchunks_;
-  batch_.add(
-      [pdata, out, k, nch] {
-        // Chunk-index-ordered sum per column: deterministic at any worker
-        // count or steal order.
-        for (index_t j = 0; j < k; ++j) {
-          double s = 0.0;
-          for (index_t c = 0; c < nch; ++c) s += pdata[c * k + j];
-          out[j] = s;
-        }
-      },
-      std::move(deps), 1, name);
+  std::vector<Lane> lanes;
+  lanes.reserve(static_cast<std::size_t>(k));
+  for (index_t j = 0; j < k; ++j) lanes.push_back({out + j, false});
+  stage_reduction(pdata, std::move(lanes), name);
 }
 
 void BatchOps::axpy_cols_at(const double* scale, double sign, const double* X,
@@ -135,38 +145,44 @@ void BatchOps::transform(std::initializer_list<const void*> reads, const void* w
   }
 }
 
-void BatchOps::dot_impl(const double* a, const double* b, double* out, bool take_sqrt,
-                        const char* name) {
-  partials_.emplace_back(static_cast<std::size_t>(nchunks_), 0.0);
-  std::vector<double>& part = partials_.back();
-  double* pdata = part.data();
+void BatchOps::dot_many(std::initializer_list<DotSpec> lanes, const char* name) {
+  const std::size_t k = lanes.size();
+  if (k == 0) return;
+  partials_.emplace_back(k * static_cast<std::size_t>(nchunks_), 0.0);
+  double* pdata = partials_.back().data();
+  const index_t nch = nchunks_;
+  std::vector<DotSpec> specs(lanes);
   for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps;
+    deps.reserve(k * 2 + 1);
+    for (const DotSpec& s : specs) {
+      deps.push_back(in(s.a, c));
+      if (s.b != s.a) deps.push_back(in(s.b, c));
+    }
+    deps.push_back(feir::out(pdata, c));
     const auto [r0, r1] = chunk(c);
     batch_.add(
-        [a, b, pdata, c, r0 = r0, r1 = r1] {
-          pdata[static_cast<std::size_t>(c)] = dot_range(a, b, r0, r1);
+        [specs, pdata, nch, c, r0 = r0, r1 = r1] {
+          // One task computes every lane's partial over this chunk; each
+          // lane's arithmetic matches a standalone dot of the same pair.
+          for (std::size_t j = 0; j < specs.size(); ++j)
+            pdata[j * static_cast<std::size_t>(nch) + static_cast<std::size_t>(c)] =
+                dot_range(specs[j].a, specs[j].b, r0, r1);
         },
-        {in(a, c), in(b, c), feir::out(pdata, c)}, 0, name);
+        std::move(deps), 0, name);
   }
-  std::vector<Dep> deps = whole(pdata, Access::In);
-  deps.push_back(feir::out(out));
-  const index_t nch = nchunks_;
-  batch_.add(
-      [pdata, out, nch, take_sqrt] {
-        // Index-ordered sum: deterministic for any execution schedule.
-        double s = 0.0;
-        for (index_t c = 0; c < nch; ++c) s += pdata[static_cast<std::size_t>(c)];
-        *out = take_sqrt ? std::sqrt(s) : s;
-      },
-      std::move(deps), 1, name);
+  std::vector<Lane> red;
+  red.reserve(k);
+  for (const DotSpec& s : specs) red.push_back({s.out, s.take_sqrt});
+  stage_reduction(pdata, std::move(red), name);
 }
 
 void BatchOps::dot(const double* a, const double* b, double* out, const char* name) {
-  dot_impl(a, b, out, false, name);
+  dot_many({{a, b, out, false}}, name);
 }
 
 void BatchOps::norm2(const double* a, double* out, const char* name) {
-  dot_impl(a, a, out, true, name);
+  dot_many({{a, a, out, true}}, name);
 }
 
 void BatchOps::axpy_at(const double* scale, double sign, const double* x, double* y,

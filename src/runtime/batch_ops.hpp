@@ -80,7 +80,23 @@ class BatchOps {
   void axpy_cols_at(const double* scale, double sign, const double* X, double* Y,
                     index_t k, const char* name = "axpyk");
 
-  /// *out = <a, b>: chunk partials plus an index-ordered reduction task.
+  /// One lane of a fused dot_many() reduction: *out = <a, b> (or its sqrt).
+  struct DotSpec {
+    const double* a;
+    const double* b;
+    double* out;
+    bool take_sqrt = false;
+  };
+
+  /// Fused k-way reduction: ONE task per chunk computes every lane's partial
+  /// over that chunk's rows, and ONE reduction task sums each lane's partials
+  /// in chunk-index order -- so k scalars resolve at a single sync point.
+  /// Each lane is bit-identical to a standalone dot()/norm2() of the same
+  /// pair at any thread count or steal order (the per-chunk arithmetic and
+  /// the summation order are the same).
+  void dot_many(std::initializer_list<DotSpec> lanes, const char* name = "dotm");
+
+  /// *out = <a, b>: a single-lane dot_many().
   void dot(const double* a, const double* b, double* out, const char* name = "dot");
 
   /// *out = ||a||_2 (sqrt applied in the reduction task).
@@ -99,8 +115,13 @@ class BatchOps {
   std::pair<index_t, index_t> chunk(index_t c) const;
 
  private:
-  void dot_impl(const double* a, const double* b, double* out, bool take_sqrt,
-                const char* name);
+  // Shared reduction staging: lane j's partials live at pdata[j*nchunks + c];
+  // one priority-1 task sums each lane in chunk-index order into lane.out.
+  struct Lane {
+    double* out;
+    bool take_sqrt;
+  };
+  void stage_reduction(double* pdata, std::vector<Lane> lanes, const char* name);
   std::vector<Dep> whole(const void* p, Access mode) const;
 
   TaskBatch& batch_;

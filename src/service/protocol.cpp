@@ -161,8 +161,14 @@ ParsedRequest parse_request(std::string_view line) {
     } else if (key == "method") {
       std::string s;
       if (!want_string(value, "method", &s, &why)) return fail("bad_request", why);
-      if (!method_from_name(s, &spec.method))
+      if (s == "pcg") {
+        // Sugar mirroring feir_solve: "method":"pcg" selects the pipelined
+        // solver with its default resilience method.
+        spec.solver = campaign::SolverKind::Pcg;
+        spec.method = Method::Feir;
+      } else if (!method_from_name(s, &spec.method)) {
         return fail("bad_request", "unknown method \"" + s + "\"");
+      }
     } else if (key == "precond") {
       std::string s;
       if (!want_string(value, "precond", &s, &why)) return fail("bad_request", why);
@@ -231,6 +237,16 @@ ParsedRequest parse_request(std::string_view line) {
     if (spec.method == Method::Trivial || spec.method == Method::Lossy)
       return fail("bad_request",
                   "solve_batch methods: ideal, ckpt, feir, afeir (not trivial/lossy)");
+  }
+
+  // The pipelined solver is narrower than classic CG: schema-check the
+  // combinations here so a tenant gets a bad_request, not a failed job.
+  if (spec.solver == campaign::SolverKind::Pcg) {
+    if (spec.precond != campaign::PrecondKind::None)
+      return fail("bad_request", "solver \"pcg\" supports precond \"none\" only");
+    if (spec.method == Method::Trivial || spec.method == Method::Lossy)
+      return fail("bad_request",
+                  "pcg methods: ideal, ckpt, feir, afeir (not trivial/lossy)");
   }
 
   out.ok = true;

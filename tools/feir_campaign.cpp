@@ -10,8 +10,11 @@
 //
 // Grid axes (comma lists; also settable via --grid "k=v;k=v"):
 //   --matrices M,..       testbed names or .mtx files   (default ecology2,thermal2)
-//   --solvers  s,..       cg|bicgstab|gmres             (default cg)
-//   --methods  m,..       ideal|trivial|ckpt|lossy|feir|afeir  (CG only; default all six)
+//   --solvers  s,..       cg|pcg|bicgstab|gmres         (default cg)
+//   --methods  m,..       ideal|trivial|ckpt|lossy|feir|afeir  (cg/pcg only;
+//                         default all six).  A "pcg" entry is sugar that adds
+//                         the pipelined solver to the solver axis; pcg jobs
+//                         sweep the remaining methods (ideal|ckpt|feir|afeir)
 //   --preconds p,..       none|jacobi|blockjacobi|sweeps|gs    (default none)
 //   --format f            sparse storage backend for every job: csr|sell
 //                         (default $FEIR_FORMAT, else csr; backends are
@@ -52,6 +55,7 @@
 //                         reports; off by default so the same --seed rewrites
 //                         a byte-identical report
 //   --quiet               suppress per-job progress lines
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -120,10 +124,19 @@ void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
   } else if (key == "methods") {
     g.methods.clear();
     for (const auto& s : items) {
+      if (s == "pcg") {
+        // Sugar: a "pcg" entry on the method axis adds the pipelined solver
+        // to the solver axis; its jobs sweep the remaining method entries.
+        if (std::find(g.solvers.begin(), g.solvers.end(), SolverKind::Pcg) ==
+            g.solvers.end())
+          g.solvers.push_back(SolverKind::Pcg);
+        continue;
+      }
       Method m;
       if (!method_from_name(s, &m)) usage("unknown method " + s);
       g.methods.push_back(m);
     }
+    if (g.methods.empty()) g.methods.push_back(Method::Feir);
   } else if (key == "preconds") {
     g.preconds.clear();
     for (const auto& s : items) {
@@ -228,6 +241,14 @@ Args parse(int argc, char** argv) {
     else if (flag == "--timing") a.timing = true;
     else if (flag == "--quiet") a.quiet = true;
     else usage("unknown flag " + flag);
+  }
+  if (std::find(a.grid.solvers.begin(), a.grid.solvers.end(), SolverKind::Pcg) !=
+      a.grid.solvers.end()) {
+    for (Method m : a.grid.methods)
+      if (m == Method::Trivial || m == Method::Lossy)
+        usage("pcg supports methods ideal,ckpt,feir,afeir; restrict --methods");
+    for (PrecondKind p : a.grid.preconds)
+      if (p != PrecondKind::None) usage("pcg supports --preconds none only");
   }
   bool batched = false;
   for (index_t k : a.grid.nrhs) batched = batched || k > 1;

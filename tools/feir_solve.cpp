@@ -7,8 +7,12 @@
 // Options:
 //   --matrix  NAME|FILE   testbed name (see --list) or a MatrixMarket file
 //   --scale   S           testbed grid scale (default 0.35; ignored for files)
-//   --solver  cg|bicgstab|gmres            (default cg)
-//   --method  ideal|trivial|ckpt|lossy|feir|afeir   (CG only; default feir)
+//   --solver  cg|pcg|bicgstab|gmres        (default cg; pcg = pipelined CG:
+//                         one fused reduction per iteration, recovery on the
+//                         pipelined basis)
+//   --method  ideal|trivial|ckpt|lossy|feir|afeir   (cg/pcg; default feir;
+//                         pcg supports ideal|ckpt|feir|afeir.  "--method pcg"
+//                         is shorthand for "--solver pcg" with method feir)
 //   --precond none|jacobi|blockjacobi|sweeps|gs     (default none)
 //   --format  csr|sell    sparse storage backend (default $FEIR_FORMAT, else
 //                         csr).  Backends are bit-identical on the SpMV path,
@@ -104,7 +108,15 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--solver") {
       if (!campaign::solver_from_name(next(), &a.job.solver)) usage("unknown --solver");
     } else if (flag == "--method") {
-      if (!method_from_name(next(), &a.job.method)) usage("unknown --method");
+      const std::string m = next();
+      if (m == "pcg") {
+        // Sugar: "--method pcg" selects the pipelined solver with its
+        // default resilience method.
+        a.job.solver = campaign::SolverKind::Pcg;
+        a.job.method = Method::Feir;
+      } else if (!method_from_name(m, &a.job.method)) {
+        usage("unknown --method");
+      }
     } else if (flag == "--precond") {
       if (!campaign::precond_from_name(next(), &a.job.precond)) usage("unknown --precond");
     } else if (flag == "--format") {
@@ -147,11 +159,21 @@ Args parse(int argc, char** argv) {
   }
   // Batched ckpt runs keep per-column checkpoints in memory (the block
   // solver has no disk path), so only single-RHS solves get the file.
-  if (a.job.method == Method::Checkpoint && a.job.nrhs == 1)
+  if (a.job.method == Method::Checkpoint && a.job.nrhs == 1 &&
+      a.job.solver != campaign::SolverKind::Pcg)  // pcg snapshots stay in memory
     a.job.ckpt_path = "/tmp/feir_solve_ckpt.bin";
-  // Non-CG solvers ignore the method knob; pin the same canonical value
-  // expand_grid uses so the JSON record matches the campaign's byte-for-byte.
-  if (a.job.solver != campaign::SolverKind::Cg) a.job.method = Method::Ideal;
+  // Solvers without a method axis ignore the knob; pin the same canonical
+  // value expand_grid uses so the JSON record matches the campaign's
+  // byte-for-byte.
+  if (a.job.solver != campaign::SolverKind::Cg &&
+      a.job.solver != campaign::SolverKind::Pcg)
+    a.job.method = Method::Ideal;
+  if (a.job.solver == campaign::SolverKind::Pcg) {
+    if (a.job.method == Method::Trivial || a.job.method == Method::Lossy)
+      usage("--solver pcg methods: ideal, ckpt, feir, afeir");
+    if (a.job.precond != campaign::PrecondKind::None)
+      usage("--solver pcg supports --precond none only");
+  }
   if (a.job.nrhs > 1) {
     if (a.job.solver != campaign::SolverKind::Cg)
       usage("--nrhs > 1 supports --solver cg only");
@@ -227,7 +249,10 @@ int main(int argc, char** argv) {
 
   std::printf("%s/%s: converged=%d iters=%lld time=%.3fs relres=%.2e errors=%llu\n",
               campaign::solver_name(job.solver),
-              job.solver == campaign::SolverKind::Cg ? method_cli_name(job.method) : "-",
+              job.solver == campaign::SolverKind::Cg ||
+                      job.solver == campaign::SolverKind::Pcg
+                  ? method_cli_name(job.method)
+                  : "-",
               r.converged ? 1 : 0, (long long)r.iterations, r.seconds, r.final_relres,
               (unsigned long long)r.errors_injected);
   for (std::size_t c = 0; c < r.columns.size(); ++c) {
