@@ -1,0 +1,97 @@
+// Sharded-solve bench: wall time and per-iteration throughput of the real
+// distributed CG path (core/sharded_cg over the in-process socketpair mesh)
+// at 1, 2, and 4 ranks, error-free and with one mid-iteration DUE per run.
+// Seeds BENCH_shard.json so future PRs can diff the trajectory.
+//
+// What to expect: the wire protocol serializes every reduction through rank 0
+// as hex text, so small problems are latency-bound and ranks only pay off as
+// the slab SpMV grows — this bench records the crossover rather than asserting
+// one.  What IS asserted: every configuration converges to the same iteration
+// count (the bitwise-invariance contract makes them identical runs).
+//
+// Knobs:
+//   FEIR_BENCH_SHARD_SCALE  testbed scale of the ecology2 problem (default 0.5)
+//   FEIR_BENCH_REPS         repetitions, best-of                  (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sharded_cg.hpp"
+#include "sparse/generators.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+using namespace feir;
+
+int main() {
+  const double scale = env_double("FEIR_BENCH_SHARD_SCALE", 0.5);
+  const int reps = static_cast<int>(env_long("FEIR_BENCH_REPS", 3));
+  const TestbedProblem p = make_testbed("ecology2", scale);
+  std::printf("=== Sharded CG: rank scaling on %s (n=%lld, nnz=%lld) ===\n\n",
+              p.name.c_str(), static_cast<long long>(p.A.n),
+              static_cast<long long>(p.A.nnz()));
+
+  Table t;
+  t.header({"ranks", "DUEs", "iters", "best s", "iters/s", "vs 1 rank"});
+  std::vector<bench::BenchRecord> records;
+  index_t base_iters = -1;
+  double base_seconds = 0.0;
+  bool invariant = true;
+
+  for (int dues = 0; dues <= 1; ++dues) {
+    for (index_t ranks : {1, 2, 4}) {
+      ShardedCgOptions o;
+      o.method = Method::Feir;
+      o.tol = 1e-8;
+      o.ranks = ranks;
+      if (dues > 0)
+        o.inject = {{5, "q", 0, ShardInjection::Phase::kPostSpmv}};
+      ShardedCgResult best;
+      for (int rep = 0; rep < reps; ++rep) {
+        std::vector<double> x(p.b.size(), 0.0);
+        const ShardedCgResult r = sharded_cg_solve(p.A, p.b.data(), x.data(), o);
+        if (!r.ok || !r.converged) {
+          std::fprintf(stderr, "bench_shard: ranks=%lld failed: %s\n",
+                       static_cast<long long>(ranks), r.error.c_str());
+          return 1;
+        }
+        if (rep == 0 || r.seconds < best.seconds) best = r;
+      }
+      if (dues == 0 && ranks == 1) {
+        base_iters = best.iterations;
+        base_seconds = best.seconds;
+      }
+      // The invariance contract: every rank count runs the same iterations.
+      if (dues == 0 && best.iterations != base_iters) invariant = false;
+      const double ips = best.iterations / best.seconds;
+      t.row({std::to_string(ranks), std::to_string(dues),
+             std::to_string(best.iterations), Table::num(best.seconds, 4),
+             Table::num(ips, 1),
+             dues == 0 ? Table::num(base_seconds / best.seconds, 2) : "-"});
+      bench::BenchRecord rec;
+      rec.name = "shard/ranks" + std::to_string(ranks) +
+                 (dues > 0 ? "/due" : "/clean");
+      rec.threads = static_cast<unsigned>(ranks);
+      rec.tasks_per_sec = ips;  // iterations per second
+      rec.p50_latency_us = 1e6 * best.seconds / best.iterations;
+      rec.p95_latency_us = 1e6 * best.seconds;
+      records.push_back(rec);
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  if (!invariant) {
+    std::fprintf(stderr,
+                 "bench_shard: iteration counts diverged across rank counts\n");
+    return 1;
+  }
+  if (!bench::write_bench_json("BENCH_shard.json", "shard", records)) {
+    std::fprintf(stderr, "bench_shard: cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_shard.json (%zu records)\n", records.size());
+  return 0;
+}

@@ -1,0 +1,633 @@
+#include "core/sharded_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "campaign/injection.hpp"
+#include "core/relations.hpp"
+#include "distsim/partition.hpp"
+#include "fault/domain.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+#include "sparse/vecops.hpp"
+#include "support/timing.hpp"
+
+namespace feir {
+
+namespace {
+
+double sum_parts(const std::vector<std::pair<index_t, double>>& parts) {
+  // Sequential, in list order.  Rank 0 concatenates per-rank lists in rank
+  // order == global page order, so this sum is bit-equal at any rank count.
+  double s = 0.0;
+  for (const auto& [page, v] : parts) s += v;
+  return s;
+}
+
+}  // namespace
+
+ShardRankOutcome run_shard_rank(const CsrMatrix& A, const double* b,
+                                const double* x0, shard::RankTransport& net,
+                                const ShardedCgOptions& opts) {
+  using shard::CtlMsg;
+
+  ShardRankOutcome out;
+  const index_t P = net.ranks();
+  const index_t r = net.rank();
+  out.rank = r;
+
+  auto fail = [&](const std::string& why) {
+    out.ok = false;
+    out.error = "rank " + std::to_string(r) + ": " + why;
+    net.shutdown();  // release peers blocked in recv
+    return out;
+  };
+
+  if (opts.method != Method::Ideal && opts.method != Method::Feir)
+    return fail("sharded cg supports methods ideal and feir only");
+  const bool feir = opts.method == Method::Feir;
+  if (!feir && (!opts.inject.empty() || opts.mtbe_iters > 0.0))
+    return fail("injection requires method feir");
+  if (P < 1 || r < 0 || r >= P) return fail("bad rank/ranks");
+
+  const index_t n = A.n;
+  const BlockLayout layout(n, opts.block_rows);
+  const index_t nb = layout.num_blocks();
+  const RowPartition pages(nb, P);
+  const index_t p0 = pages.begin(r);
+  const index_t p1 = pages.end(r);
+  const index_t row0 = layout.begin(p0);
+  const index_t row1 = p1 > p0 ? layout.end(p1 - 1) : row0;
+  const index_t rows = row1 - row0;
+  out.row0 = row0;
+  out.row1 = row1;
+
+  // Page-aligned row-slab boundaries — identical on every rank, so every
+  // rank derives the same exchange plan and knows everyone's send lists.
+  std::vector<index_t> slab_begin(static_cast<std::size_t>(P) + 1);
+  for (index_t rr = 0; rr < P; ++rr)
+    slab_begin[static_cast<std::size_t>(rr)] = layout.begin(pages.begin(rr));
+  slab_begin[static_cast<std::size_t>(P)] = n;
+  const ExchangePlan plan = build_exchange_plan(A, slab_begin);
+
+  // Private full-length, globally indexed vectors: only the slab plus the
+  // exchanged ghost entries are ever valid, but global indexing means the
+  // Table-1 relations run unchanged on them.
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<double> x(x0, x0 + n);
+  std::vector<double> g(un, 0.0), q(un, 0.0), d0(un, 0.0), d1(un, 0.0);
+
+  // The rank's fault domain covers exactly its slab — the shard-level fault
+  // boundary: a DUE on this rank never touches another rank's pages.
+  FaultDomain dom;
+  ProtectedRegion* rx = nullptr;
+  ProtectedRegion* rg = nullptr;
+  ProtectedRegion* rq = nullptr;
+  ProtectedRegion* rd[2] = {nullptr, nullptr};
+  if (rows > 0) {
+    dom.add("x", x.data() + row0, rows, opts.block_rows);
+    dom.add("g", g.data() + row0, rows, opts.block_rows);
+    dom.add("d0", d0.data() + row0, rows, opts.block_rows);
+    dom.add("d1", d1.data() + row0, rows, opts.block_rows);
+    dom.add("q", q.data() + row0, rows, opts.block_rows);
+    rx = dom.find("x");
+    rg = dom.find("g");
+    rq = dom.find("q");
+    rd[0] = dom.find("d0");
+    rd[1] = dom.find("d1");
+  }
+
+  // Column-page footprint of each owned page (skip checks and recovery
+  // preconditions); pages outside the slab are ghosts whose owner's bad-page
+  // lists arrive with every exchange.
+  std::vector<std::vector<index_t>> footprint(static_cast<std::size_t>(p1 - p0));
+  for (index_t p = p0; p < p1; ++p) {
+    std::vector<char> seen(static_cast<std::size_t>(nb), 0);
+    for (index_t i = layout.begin(p); i < layout.end(p); ++i)
+      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        seen[static_cast<std::size_t>(
+            layout.block_of(A.col_idx[static_cast<std::size_t>(k)]))] = 1;
+    for (index_t pb = 0; pb < nb; ++pb)
+      if (seen[static_cast<std::size_t>(pb)])
+        footprint[static_cast<std::size_t>(p - p0)].push_back(pb);
+  }
+
+  std::unique_ptr<campaign::IterationInjector> injector;
+  if (feir && opts.mtbe_iters > 0.0 && dom.total_blocks() > 0)
+    injector = std::make_unique<campaign::IterationInjector>(
+        dom, opts.mtbe_iters,
+        opts.seed ^ (0x9E3779B97F4A7C15ULL *
+                     (static_cast<std::uint64_t>(r) + 1)));
+
+  RecoveryStats local;
+  std::uint64_t scripted = 0;
+
+  const double bnorm = norm2(b, n);
+  const double denom = bnorm > 0.0 ? bnorm : 1.0;
+
+  // Initial residual over the slab: x == x0 globally at this point, so the
+  // ghost reads of the row-slab product are valid without an exchange.
+  if (rows > 0) {
+    spmv_rows(A, row0, row1, x.data(), g.data());
+    for (index_t i = row0; i < row1; ++i)
+      g[static_cast<std::size_t>(i)] = b[i] - g[static_cast<std::size_t>(i)];
+  }
+
+  DiagBlockSolver dsolver(A, layout);
+  Stopwatch clock;
+
+  auto bad_pages = [&](ProtectedRegion* reg) {
+    std::vector<index_t> bad;
+    if (feir && reg != nullptr)
+      for (index_t p = p0; p < p1; ++p)
+        if (!reg->mask.ok(p - p0)) bad.push_back(p);
+    return bad;
+  };
+  // Page `dep` of the vector guarded by `reg` holds valid data: own pages by
+  // mask, ghost pages by the owner's bad list from the latest exchange.
+  auto dep_ok = [&](ProtectedRegion* reg, const std::set<index_t>& ghost_bad,
+                    index_t dep) {
+    if (dep >= p0 && dep < p1) return reg->mask.ok(dep - p0);
+    return ghost_bad.count(dep) == 0;
+  };
+  auto clobber = [&](ProtectedRegion* reg, index_t page) {
+    if (reg == nullptr || page < p0 || page >= p1) return false;
+    const index_t lp = page - p0;
+    // NaN-fill before marking: recovery must recompute from the relations,
+    // never reuse the page, and the byte-compare tests would catch it.
+    fill_range(std::numeric_limits<double>::quiet_NaN(), reg->base,
+               reg->layout.begin(lp), reg->layout.end(lp));
+    return reg->lose_block(lp);
+  };
+  // Sends this rank's halo of `v` to every peer that needs it and fills the
+  // ghost entries from every peer this rank depends on; `my_bad`/`ghost_bad`
+  // carry the non-Ok page lists alongside the values.
+  auto exchange = [&](const char* kind, index_t t, double* v,
+                      const std::vector<index_t>& my_bad,
+                      std::set<index_t>* ghost_bad) {
+    for (index_t peer = 0; peer < P; ++peer) {
+      if (peer == r) continue;
+      const std::vector<index_t>* s = plan.send_rows(r, peer);
+      if (s != nullptr && !s->empty() &&
+          !net.send(peer, shard::encode_halo(kind, t, v, *s, my_bad)))
+        return false;
+    }
+    std::string m;
+    std::vector<index_t> bad;
+    for (index_t peer = 0; peer < P; ++peer) {
+      if (peer == r) continue;
+      const std::vector<index_t>* rv = plan.recv_rows(r, peer);
+      if (rv == nullptr || rv->empty()) continue;
+      bad.clear();
+      if (!net.recv(peer, &m) || !shard::decode_halo(m, kind, t, *rv, v, &bad))
+        return false;
+      if (ghost_bad != nullptr) ghost_bad->insert(bad.begin(), bad.end());
+    }
+    return true;
+  };
+  // Rank 0 concatenates everyone's per-page partials in rank order.
+  auto gather_parts = [&](const char* kind, index_t t,
+                          std::vector<std::pair<index_t, double>>* parts) {
+    if (r != 0) return net.send(0, shard::encode_parts(kind, t, *parts));
+    std::string m;
+    std::vector<std::pair<index_t, double>> peer_parts;
+    for (index_t peer = 1; peer < P; ++peer) {
+      if (!net.recv(peer, &m) ||
+          !shard::decode_parts(m, kind, t, &peer_parts))
+        return false;
+      parts->insert(parts->end(), peer_parts.begin(), peer_parts.end());
+    }
+    return true;
+  };
+  auto bcast = [&](index_t /*t*/, const std::string& line, std::string* m) {
+    if (r == 0) {
+      for (index_t peer = 1; peer < P; ++peer)
+        if (!net.send(peer, line)) return false;
+      *m = line;
+      return true;
+    }
+    return net.recv(0, m);
+  };
+  auto region_named = [&](const std::string& name,
+                          int parity) -> ProtectedRegion* {
+    if (name == "x") return rx;
+    if (name == "g") return rg;
+    if (name == "q") return rq;
+    if (name == "d") return rd[1 - parity];
+    if (name == "dprev") return rd[parity];
+    return nullptr;
+  };
+
+  index_t t = 0;
+  int parity = 0;  // d(parity) is d_prev
+  double alpha = 0.0, alpha_prev = 0.0;
+  double eps = 0.0, eps_old = 0.0;
+  bool have_eps_old = false;  // rank 0
+  std::vector<std::pair<index_t, double>> parts;
+  std::string m;
+
+  while (true) {
+    double* dprev = (parity == 0 ? d0 : d1).data();
+    double* dcur = (parity == 0 ? d1 : d0).data();
+    ProtectedRegion* rdp = rd[parity];
+    ProtectedRegion* rdc = rd[1 - parity];
+
+    // --- Injection window at iteration start. ----------------------------
+    if (feir) {
+      for (const auto& inj : opts.inject)
+        if (inj.iter == t && inj.phase == ShardInjection::Phase::kStart &&
+            clobber(region_named(inj.region, parity), inj.page)) {
+          ++scripted;
+          ++local.errors_detected;
+        }
+      if (injector) {
+        const std::uint64_t before = injector->count();
+        injector->on_iteration(t);
+        local.errors_detected += injector->count() - before;
+      }
+    }
+
+    // --- r2/r3: replay skipped updates, fetch fills, recover x and g. ----
+    if (feir) {
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const index_t a0 = layout.begin(p), a1 = layout.end(p);
+        if (rx->mask.get(lp) == BlockState::Skipped && rdp->mask.ok(lp)) {
+          axpy_range(alpha_prev, dprev, x.data(), a0, a1);
+          if (rx->mask.try_set_ok_from(lp, BlockState::Skipped))
+            ++local.redo_updates;
+        }
+        if (rg->mask.get(lp) == BlockState::Skipped && rq->mask.ok(lp)) {
+          axpy_range(-alpha_prev, q.data(), g.data(), a0, a1);
+          if (rg->mask.try_set_ok_from(lp, BlockState::Skipped))
+            ++local.redo_updates;
+        }
+      }
+      // The fill round is the paper's r3 exchange made explicit: a rank
+      // with lost pages asks for its full x ghost set, owners answer with
+      // current values plus their own bad-x pages, and recovery then checks
+      // the whole column footprint before trusting a relation.
+      const bool need =
+          rows > 0 && (!rx->mask.collect(BlockState::Lost).empty() ||
+                       !rg->mask.collect(BlockState::Lost).empty());
+      std::vector<index_t> needy;
+      if (r == 0) {
+        if (need) needy.push_back(0);
+        std::vector<index_t> peer_need;
+        for (index_t peer = 1; peer < P; ++peer) {
+          if (!net.recv(peer, &m) ||
+              !shard::decode_indices(m, "ned", t, &peer_need))
+            return fail("need gather failed");
+          needy.insert(needy.end(), peer_need.begin(), peer_need.end());
+        }
+      } else if (!net.send(0, shard::encode_indices(
+                                  "ned", t,
+                                  need ? std::vector<index_t>{r}
+                                       : std::vector<index_t>{})))
+        return fail("need send failed");
+      if (!bcast(t, r == 0 ? shard::encode_indices("nds", t, needy) : "", &m))
+        return fail("needs broadcast failed");
+      if (r != 0 && !shard::decode_indices(m, "nds", t, &needy))
+        return fail("bad needs broadcast");
+
+      std::set<index_t> ghost_x_bad;
+      for (index_t nq : needy) {
+        if (nq != r) {
+          const std::vector<index_t>* s = plan.send_rows(r, nq);
+          if (s != nullptr && !s->empty() &&
+              !net.send(nq, shard::encode_halo("fil", t, x.data(), *s,
+                                              bad_pages(rx))))
+            return fail("fill send failed");
+          continue;
+        }
+        std::vector<index_t> bad;
+        for (index_t peer = 0; peer < P; ++peer) {
+          if (peer == r) continue;
+          const std::vector<index_t>* rv = plan.recv_rows(r, peer);
+          if (rv == nullptr || rv->empty()) continue;
+          bad.clear();
+          if (!net.recv(peer, &m) ||
+              !shard::decode_halo(m, "fil", t, *rv, x.data(), &bad))
+            return fail("fill recv failed");
+          ghost_x_bad.insert(bad.begin(), bad.end());
+        }
+      }
+      auto xfoot_ok = [&](index_t p) {
+        for (index_t dep : footprint[static_cast<std::size_t>(p - p0)])
+          if (dep != p && !dep_ok(rx, ghost_x_bad, dep)) return false;
+        return true;
+      };
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const BlockState xs = rx->mask.get(lp);
+        if (xs == BlockState::Lost && rg->mask.ok(lp) && xfoot_ok(p)) {
+          if (relation_x_rhs(dsolver, p, b, g.data(), x.data()) &&
+              rx->mask.try_set_ok_from(lp, xs))
+            ++local.x_recoveries;
+        }
+        const BlockState gs = rg->mask.get(lp);
+        if (gs == BlockState::Lost && rx->mask.ok(lp) && xfoot_ok(p)) {
+          relation_residual_lhs(A, layout, p, x.data(), b, g.data());
+          if (rg->mask.try_set_ok_from(lp, gs)) ++local.residual_recomputes;
+        }
+      }
+    }
+
+    // --- eps = g'g as per-page partials, reduced and decided on rank 0. ---
+    parts.clear();
+    for (index_t p = p0; p < p1; ++p) {
+      if (feir && !rg->mask.ok(p - p0)) continue;  // skipped contribution
+      parts.emplace_back(
+          p, dot_range(g.data(), g.data(), layout.begin(p), layout.end(p)));
+    }
+    bool candidate = false, at_max = false;
+    CtlMsg ctl;
+    if (r == 0) {
+      if (!gather_parts("eps", t, &parts)) return fail("eps gather failed");
+      eps = sum_parts(parts);
+      const double beta =
+          have_eps_old && eps_old != 0.0 ? eps / eps_old : 0.0;
+      eps_old = eps;
+      have_eps_old = true;
+      const double relres = std::sqrt(std::max(eps, 0.0)) / denom;
+      const IterRecord rec{t, clock.seconds(), relres};
+      if (opts.on_iteration)
+        opts.on_iteration(rec, scripted + (injector ? injector->count() : 0));
+      if (opts.record_history) out.history.push_back(rec);
+      candidate = relres <= opts.tol;
+      at_max = t >= opts.max_iter;
+      if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+        ctl.stop = true;
+        ctl.cancelled = true;
+        ctl.final_relres = relres;
+      } else if (candidate || at_max) {
+        ctl.verify = true;
+      } else {
+        ctl.beta = beta;
+      }
+      if (!bcast(t, shard::encode_ctl("ctl", t, ctl), &m))
+        return fail("ctl broadcast failed");
+    } else {
+      if (!gather_parts("eps", t, &parts)) return fail("eps send failed");
+      if (!bcast(t, "", &m) || !shard::decode_ctl(m, "ctl", t, &ctl))
+        return fail("bad ctl broadcast");
+    }
+
+    if (ctl.stop) {
+      out.cancelled = ctl.cancelled;
+      out.final_relres = ctl.final_relres;
+      ++t;
+      break;
+    }
+
+    // --- Verify round: candidate convergence (or the max_iter stop) is
+    // confirmed against the true residual b - A x, computed distributed as
+    // per-page partials over a fresh x-halo.  A false positive (corrupted
+    // run under-reported eps) restarts from the conserved relation instead.
+    if (ctl.verify) {
+      if (!exchange("xh", t, x.data(), bad_pages(rx), nullptr))
+        return fail("x halo failed");
+      parts.clear();
+      for (index_t p = p0; p < p1; ++p) {
+        double s = 0.0;
+        for (index_t i = layout.begin(p); i < layout.end(p); ++i) {
+          double acc = b[i];
+          for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+               k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+            acc -= A.vals[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(
+                       A.col_idx[static_cast<std::size_t>(k)])];
+          s += acc * acc;
+        }
+        parts.emplace_back(p, s);
+      }
+      CtlMsg ct2;
+      if (r == 0) {
+        if (!gather_parts("vrs", t, &parts)) return fail("verify gather failed");
+        const double true_rel =
+            std::sqrt(std::max(sum_parts(parts), 0.0)) / denom;
+        if (candidate && true_rel <= opts.tol) {
+          ct2.stop = true;
+          ct2.converged = true;
+          ct2.final_relres = true_rel;
+        } else if (at_max) {
+          ct2.stop = true;
+          ct2.final_relres = true_rel;
+        } else {
+          ct2.restart = true;
+          ++local.restarts;
+          have_eps_old = false;
+        }
+        if (!bcast(t, shard::encode_ctl("ct2", t, ct2), &m))
+          return fail("ct2 broadcast failed");
+      } else {
+        if (!gather_parts("vrs", t, &parts)) return fail("verify send failed");
+        if (!bcast(t, "", &m) || !shard::decode_ctl(m, "ct2", t, &ct2))
+          return fail("bad ct2 broadcast");
+      }
+      if (ct2.stop) {
+        out.converged = ct2.converged;
+        out.final_relres = ct2.final_relres;
+        ++t;
+        break;
+      }
+      // Restart: rebuild the slab residual from the x-halo this round just
+      // exchanged, and clear every mask (stale Skipped/Lost states refer to
+      // a recurrence we abandoned).
+      if (rows > 0) {
+        spmv_rows(A, row0, row1, x.data(), g.data());
+        for (index_t i = row0; i < row1; ++i)
+          g[static_cast<std::size_t>(i)] =
+              b[i] - g[static_cast<std::size_t>(i)];
+      }
+      dom.clear_all();
+      ++t;
+      continue;
+    }
+
+    // --- d update (all-local), then pre-exchange repair (§3.4). ----------
+    const double beta = ctl.beta;
+    for (index_t p = p0; p < p1; ++p) {
+      const index_t lp = p - p0;
+      const index_t a0 = layout.begin(p), a1 = layout.end(p);
+      if (feir && (!rg->mask.ok(lp) || (beta != 0.0 && !rdp->mask.ok(lp)))) {
+        rdc->mask.set(lp, BlockState::Skipped);
+        continue;
+      }
+      const BlockState pre = rdc->mask.get(lp);
+      if (beta == 0.0)
+        copy_range(g.data(), dcur, a0, a1);
+      else
+        lincomb_range(beta, dprev, 1.0, g.data(), dcur, a0, a1);
+      if (feir)
+        rdc->mask.try_set_ok_from(lp, pre);
+      else
+        rdc->mask.set_ok_unless_lost(lp);
+    }
+    if (feir) {
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const BlockState pre = rdc->mask.get(lp);
+        if (pre == BlockState::Ok) continue;
+        if (rg->mask.ok(lp) && (beta == 0.0 || rdp->mask.ok(lp))) {
+          const index_t a0 = layout.begin(p), a1 = layout.end(p);
+          if (beta == 0.0)
+            copy_range(g.data(), dcur, a0, a1);
+          else
+            lincomb_range(beta, dprev, 1.0, g.data(), dcur, a0, a1);
+          if (rdc->mask.try_set_ok_from(lp, pre)) ++local.lincomb_recoveries;
+        }
+      }
+    }
+
+    // --- d halo exchange (the per-iteration §3.4 neighbour exchange). ----
+    std::set<index_t> ghost_d_bad;
+    if (!exchange("dh", t, dcur, bad_pages(rdc), &ghost_d_bad))
+      return fail("d halo failed");
+
+    // --- q = A d over the slab, with footprint skips and r1 repair. ------
+    auto dfoot_ok = [&](index_t p, bool excl_self) {
+      if (!feir) return true;
+      for (index_t dep : footprint[static_cast<std::size_t>(p - p0)])
+        if (!(excl_self && dep == p) && !dep_ok(rdc, ghost_d_bad, dep))
+          return false;
+      return true;
+    };
+    for (index_t p = p0; p < p1; ++p) {
+      const index_t lp = p - p0;
+      if (feir && !dfoot_ok(p, false)) {
+        rq->mask.set(lp, BlockState::Skipped);
+        continue;
+      }
+      const BlockState pre = rq->mask.get(lp);
+      spmv_rows(A, layout.begin(p), layout.end(p), dcur, q.data());
+      if (feir)
+        rq->mask.try_set_ok_from(lp, pre);
+      else
+        rq->mask.set_ok_unless_lost(lp);
+    }
+    if (feir) {
+      for (const auto& inj : opts.inject)
+        if (inj.iter == t && inj.phase == ShardInjection::Phase::kPostSpmv &&
+            clobber(region_named(inj.region, parity), inj.page)) {
+          ++scripted;
+          ++local.errors_detected;
+        }
+      for (index_t p = p0; p < p1; ++p) {
+        const index_t lp = p - p0;
+        const BlockState qs = rq->mask.get(lp);
+        if (qs != BlockState::Ok && dfoot_ok(p, false)) {
+          relation_spmv_lhs(A, layout, p, dcur, q.data());
+          if (rq->mask.try_set_ok_from(lp, qs)) ++local.spmv_recomputes;
+        }
+        const BlockState ds = rdc->mask.get(lp);
+        if (ds != BlockState::Ok && rq->mask.ok(lp) && dfoot_ok(p, true)) {
+          if (relation_spmv_rhs(dsolver, p, q.data(), dcur) &&
+              rdc->mask.try_set_ok_from(lp, ds))
+            ++local.diag_solves;
+        }
+      }
+    }
+
+    // --- alpha = eps / d'q, reduced on rank 0 and broadcast bit-exact. ---
+    parts.clear();
+    for (index_t p = p0; p < p1; ++p) {
+      if (feir && (!rdc->mask.ok(p - p0) || !rq->mask.ok(p - p0))) continue;
+      parts.emplace_back(
+          p, dot_range(dcur, q.data(), layout.begin(p), layout.end(p)));
+    }
+    double alpha_new = 0.0;
+    if (r == 0) {
+      if (!gather_parts("dqp", t, &parts)) return fail("dq gather failed");
+      const double dq = sum_parts(parts);
+      alpha_new = dq != 0.0 ? eps / dq : 0.0;
+      if (!bcast(t, shard::encode_scalar("alp", t, alpha_new), &m))
+        return fail("alpha broadcast failed");
+    } else {
+      if (!gather_parts("dqp", t, &parts)) return fail("dq send failed");
+      if (!bcast(t, "", &m) || !shard::decode_scalar(m, "alp", t, &alpha_new))
+        return fail("bad alpha broadcast");
+    }
+    alpha_prev = alpha;
+    alpha = alpha_new;
+
+    // --- x and g updates (all-local). ------------------------------------
+    for (index_t p = p0; p < p1; ++p) {
+      const index_t lp = p - p0;
+      const index_t a0 = layout.begin(p), a1 = layout.end(p);
+      if (!feir || (rx->mask.ok(lp) && rdc->mask.ok(lp))) {
+        axpy_range(alpha, dcur, x.data(), a0, a1);
+        if (rows > 0) rx->mask.set_ok_unless_lost(lp);
+      } else if (rx->mask.ok(lp)) {
+        rx->mask.set(lp, BlockState::Skipped);
+      }
+      if (!feir || (rg->mask.ok(lp) && rq->mask.ok(lp))) {
+        axpy_range(-alpha, q.data(), g.data(), a0, a1);
+        if (rows > 0) rg->mask.set_ok_unless_lost(lp);
+      } else if (rg->mask.ok(lp)) {
+        rg->mask.set(lp, BlockState::Skipped);
+      }
+    }
+
+    parity ^= 1;
+    ++t;
+  }
+
+  out.ok = true;
+  out.iterations = t;
+  out.errors_injected = scripted + (injector ? injector->count() : 0);
+  out.stats = local;
+  out.x_slab.assign(x.begin() + row0, x.begin() + row1);
+  return out;
+}
+
+ShardedCgResult sharded_cg_solve(const CsrMatrix& A, const double* b, double* x,
+                                 const ShardedCgOptions& opts) {
+  ShardedCgResult res;
+  ShardedCgOptions ro = opts;
+  if (ro.ranks < 1) ro.ranks = 1;
+  const index_t P = ro.ranks;
+
+  auto mesh = shard::make_socketpair_mesh(P);
+  std::vector<ShardRankOutcome> outs(static_cast<std::size_t>(P));
+  Stopwatch clock;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(P));
+    for (index_t r = 0; r < P; ++r)
+      threads.emplace_back([&, r] {
+        outs[static_cast<std::size_t>(r)] =
+            run_shard_rank(A, b, x, *mesh[static_cast<std::size_t>(r)], ro);
+      });
+    for (auto& th : threads) th.join();
+  }
+  res.seconds = clock.seconds();
+
+  for (const auto& o : outs) {
+    if (!o.ok) {
+      res.error = o.error.empty() ? "shard rank failed" : o.error;
+      return res;
+    }
+  }
+  for (const auto& o : outs) {
+    std::copy(o.x_slab.begin(), o.x_slab.end(), x + o.row0);
+    res.errors_injected += o.errors_injected;
+    res.stats += o.stats;
+  }
+  ShardRankOutcome& root = outs[0];
+  res.converged = root.converged;
+  res.cancelled = root.cancelled;
+  res.iterations = root.iterations;
+  res.final_relres = root.final_relres;
+  res.history = std::move(root.history);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace feir

@@ -1,0 +1,116 @@
+// Distributed (sharded) resilient CG: the real execution path behind the
+// distsim model.  The matrix is partitioned into page-aligned row slabs
+// across N ranks (distsim::RowPartition over pages); each rank runs the same
+// iteration body over its slab, exchanging d-halos, recovery fills, and
+// per-page reduction partials as line messages over a shard::RankTransport —
+// AF_UNIX socketpairs for in-process ranks, or the service line protocol
+// tunneled through feir_serve worker processes.
+//
+// Bitwise invariance across rank counts is the design contract: every
+// floating-point reduction travels as per-page partials that rank 0
+// concatenates in rank order (== global page order, slabs are contiguous)
+// and sums sequentially one page at a time, so a P-rank solve produces
+// byte-identical iterates, residual history, and final answer to the
+// single-rank run — including under injected DUEs, which FEIR's Table-1
+// relations recompute exactly (§2: recovered pages are bit-equal to never-
+// lost ones).  Doubles travel as 16-hex-digit bit patterns (shard/wire.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/method.hpp"
+#include "solvers/solver_types.hpp"
+#include "sparse/csr.hpp"
+#include "support/cancel.hpp"
+#include "support/layout.hpp"
+#include "support/page_buffer.hpp"
+
+namespace feir {
+
+namespace shard {
+class RankTransport;
+}
+
+/// One scripted DUE: at iteration `iter`, GLOBAL page `page` of vector
+/// `region` is clobbered with NaNs and marked lost — applied by whichever
+/// rank owns the page, so the injection spec (and thus the whole run) is
+/// invariant under the rank count.  kStart fires at the top of the iteration
+/// (before recovery), kPostSpmv right after the local q = A d product
+/// (before the r1 repair pass) — the mid-iteration window the paper's
+/// detector reports into.  Regions: "x", "g", "q", "d" (the direction being
+/// built this iteration), "dprev".
+struct ShardInjection {
+  enum class Phase { kStart, kPostSpmv };
+  index_t iter = 0;
+  std::string region = "g";
+  index_t page = 0;
+  Phase phase = Phase::kStart;
+};
+
+struct ShardedCgOptions {
+  Method method = Method::Feir;  ///< Ideal or Feir only
+  double tol = 1e-10;
+  index_t max_iter = 500000;
+  index_t block_rows = static_cast<index_t>(kDoublesPerPage);
+  index_t ranks = 1;  ///< used by sharded_cg_solve; run_shard_rank takes net.ranks()
+  bool record_history = false;  ///< rank 0 keeps per-iteration relres
+  std::vector<ShardInjection> inject;
+  double mtbe_iters = 0.0;  ///< > 0: per-rank Exp(mtbe) mask-only injector
+  std::uint64_t seed = 0;   ///< mixed with the rank id for the injector
+  const CancelToken* cancel = nullptr;  ///< polled by rank 0 each iteration
+  /// Rank-0 progress hook (iteration record, rank-0 errors injected so far).
+  std::function<void(const IterRecord&, std::uint64_t)> on_iteration;
+};
+
+/// Per-rank result.  Rank 0 carries the solve verdict (its ctl broadcasts
+/// decided it); every rank carries its slab of x, its recovery counters, and
+/// its injected-error count.
+struct ShardRankOutcome {
+  bool ok = false;
+  std::string error;
+  index_t rank = 0;
+  index_t row0 = 0;
+  index_t row1 = 0;
+  std::vector<double> x_slab;  ///< rows [row0, row1)
+  std::uint64_t errors_injected = 0;
+  RecoveryStats stats;
+  // Rank-0 verdict:
+  bool converged = false;
+  bool cancelled = false;
+  index_t iterations = 0;
+  double final_relres = 0.0;
+  std::vector<IterRecord> history;
+};
+
+/// Runs one rank of the sharded solve over `net` (rank/ranks come from the
+/// transport).  `b` and `x0` are the full-length vectors — every rank gets
+/// the whole problem and owns a slab of the iterate.  Blocks until the
+/// protocol stops; on any transport or protocol failure the rank shuts the
+/// transport down so its peers unwind too.
+ShardRankOutcome run_shard_rank(const CsrMatrix& A, const double* b,
+                                const double* x0, shard::RankTransport& net,
+                                const ShardedCgOptions& opts);
+
+struct ShardedCgResult {
+  bool ok = false;
+  std::string error;
+  bool converged = false;
+  bool cancelled = false;
+  index_t iterations = 0;
+  double final_relres = 0.0;
+  double seconds = 0.0;
+  std::uint64_t errors_injected = 0;  ///< summed over ranks
+  RecoveryStats stats;                ///< merged in rank order
+  std::vector<IterRecord> history;    ///< rank 0's, when record_history
+};
+
+/// In-process driver: spawns opts.ranks rank threads over a socketpair mesh,
+/// runs run_shard_rank on each, and reassembles the solution into `x`
+/// (which also supplies the initial guess).
+ShardedCgResult sharded_cg_solve(const CsrMatrix& A, const double* b, double* x,
+                                 const ShardedCgOptions& opts);
+
+}  // namespace feir

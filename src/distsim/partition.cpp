@@ -1,29 +1,71 @@
 #include "distsim/partition.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 namespace feir {
 
+namespace {
+
+// Splits the sorted external-column list of one slab into per-owner runs.
+// `slab_begin` has ranks+1 entries; owner(j) is the r with
+// slab_begin[r] <= j < slab_begin[r+1].
+void split_by_owner(const std::vector<index_t>& cols,
+                    const std::vector<index_t>& slab_begin,
+                    std::vector<std::pair<index_t, std::vector<index_t>>>* out) {
+  const index_t ranks = static_cast<index_t>(slab_begin.size()) - 1;
+  std::size_t k = 0;
+  for (index_t peer = 0; peer < ranks && k < cols.size(); ++peer) {
+    const index_t hi = slab_begin[static_cast<std::size_t>(peer) + 1];
+    std::vector<index_t> rows;
+    while (k < cols.size() && cols[k] < hi) rows.push_back(cols[k++]);
+    if (!rows.empty()) out->emplace_back(peer, std::move(rows));
+  }
+}
+
+}  // namespace
+
+const std::vector<index_t>* ExchangePlan::recv_rows(index_t r, index_t peer) const {
+  if (r < 0 || r >= static_cast<index_t>(recv.size())) return nullptr;
+  for (const auto& [p, rows] : recv[static_cast<std::size_t>(r)])
+    if (p == peer) return &rows;
+  return nullptr;
+}
+
+ExchangePlan build_exchange_plan(const CsrMatrix& A,
+                                 const std::vector<index_t>& slab_begin) {
+  ExchangePlan plan;
+  plan.ranks = static_cast<index_t>(slab_begin.size()) - 1;
+  plan.slab_begin = slab_begin;
+  plan.recv.resize(static_cast<std::size_t>(plan.ranks));
+  for (index_t r = 0; r < plan.ranks; ++r) {
+    const std::vector<index_t> cols =
+        external_columns(A, slab_begin[static_cast<std::size_t>(r)],
+                         slab_begin[static_cast<std::size_t>(r) + 1]);
+    split_by_owner(cols, slab_begin, &plan.recv[static_cast<std::size_t>(r)]);
+  }
+  return plan;
+}
+
+ExchangePlan build_exchange_plan(const CsrMatrix& A, const RowPartition& part) {
+  std::vector<index_t> slab_begin(static_cast<std::size_t>(part.ranks) + 1);
+  for (index_t r = 0; r < part.ranks; ++r)
+    slab_begin[static_cast<std::size_t>(r)] = part.begin(r);
+  slab_begin[static_cast<std::size_t>(part.ranks)] = part.n;
+  return build_exchange_plan(A, slab_begin);
+}
+
 HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part) {
+  // Derived from the exchange plan so the counts the machine model sees are
+  // by construction the sizes of the row lists the sharded path ships.
+  const ExchangePlan xp = build_exchange_plan(A, part);
   HaloPlan plan;
   plan.recv_counts.resize(static_cast<std::size_t>(part.ranks));
   for (index_t r = 0; r < part.ranks; ++r) {
-    // Remote columns referenced by this rank's rows, grouped by owner.
-    std::map<index_t, std::set<index_t>> remote;
-    for (index_t i = part.begin(r); i < part.end(r); ++i) {
-      for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
-           k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-        const index_t j = A.col_idx[static_cast<std::size_t>(k)];
-        if (j < part.begin(r) || j >= part.end(r)) remote[part.owner(j)].insert(j);
-      }
-    }
     auto& out = plan.recv_counts[static_cast<std::size_t>(r)];
     index_t total = 0;
-    for (const auto& [peer, cols] : remote) {
-      out.emplace_back(peer, static_cast<index_t>(cols.size()));
-      total += static_cast<index_t>(cols.size());
+    for (const auto& [peer, rows] : xp.recv[static_cast<std::size_t>(r)]) {
+      out.emplace_back(peer, static_cast<index_t>(rows.size()));
+      total += static_cast<index_t>(rows.size());
     }
     plan.max_degree = std::max(plan.max_degree, static_cast<index_t>(out.size()));
     plan.max_recv = std::max(plan.max_recv, total);
@@ -33,14 +75,33 @@ HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part) {
 
 index_t slab_ghost_rows(const RowPartition& part, index_t rank, index_t peer,
                         index_t plane) {
-  if (peer < 0 || peer >= part.ranks || (peer != rank - 1 && peer != rank + 1))
+  if (rank < 0 || rank >= part.ranks || peer < 0 || peer >= part.ranks ||
+      peer == rank || plane <= 0)
     return 0;
-  return std::min(plane, part.rows(peer));
+  const index_t s0 = part.begin(rank);
+  const index_t s1 = part.end(rank);
+  if (s0 >= s1) return 0;  // empty slab references no ghosts
+  // The band [s0 - plane, s0) u [s1, s1 + plane) clipped against the peer's
+  // slab.  With thin slabs (rows(peer) < plane) the band reaches past the
+  // +/-1 neighbours, and an empty peer contributes nothing -- both cases the
+  // old adjacency-only formula got wrong.
+  const index_t p0 = part.begin(peer);
+  const index_t p1 = part.end(peer);
+  const index_t below =
+      std::min(s0, p1) - std::max(s0 - plane, p0);
+  const index_t above =
+      std::min(s1 + plane, p1) - std::max(s1, p0);
+  return std::max<index_t>(below, 0) + std::max<index_t>(above, 0);
 }
 
 index_t slab_halo_volume(const RowPartition& part, index_t rank, index_t plane) {
-  return slab_ghost_rows(part, rank, rank - 1, plane) +
-         slab_ghost_rows(part, rank, rank + 1, plane);
+  if (rank < 0 || rank >= part.ranks || plane <= 0) return 0;
+  const index_t s0 = part.begin(rank);
+  const index_t s1 = part.end(rank);
+  if (s0 >= s1) return 0;
+  // All rows within `plane` of the slab, clipped to [0, n); equals
+  // slab_ghost_rows summed over every peer because slabs tile [0, n).
+  return std::min(plane, s0) + std::min(plane, part.n - s1);
 }
 
 }  // namespace feir

@@ -43,19 +43,49 @@ struct HaloPlan {
   index_t max_recv = 0;
 };
 
-/// Builds the halo plan of `A` under `part`.
+/// Sparsity-exact exchange lists for a row-slab partition: the global rows
+/// each rank must receive from each peer before a slab SpMV and, by
+/// symmetry, send to it.  HaloPlan's counts are these lists' sizes; the
+/// sharded execution path (core/sharded_cg) ships exactly these rows over
+/// the wire, so the simulated halo math and the real plan cannot drift.
+struct ExchangePlan {
+  index_t ranks = 0;
+  /// slab_begin[r]..slab_begin[r+1] are rank r's owned rows (ranks+1 entries).
+  std::vector<index_t> slab_begin;
+  /// recv[r]: (peer, ascending global rows) in ascending peer order; peers
+  /// with no exchanged rows are omitted.
+  std::vector<std::vector<std::pair<index_t, std::vector<index_t>>>> recv;
+
+  /// Rows `r` receives from `peer` (nullptr when none).
+  const std::vector<index_t>* recv_rows(index_t r, index_t peer) const;
+  /// Rows `r` must send to `peer` == rows `peer` receives from `r`.
+  const std::vector<index_t>* send_rows(index_t r, index_t peer) const {
+    return recv_rows(peer, r);
+  }
+};
+
+/// Builds the exchange plan of `A` over explicit slab boundaries
+/// (`slab_begin` must be non-decreasing with slab_begin.front() == 0 and
+/// slab_begin.back() == A.n; empty slabs are fine) or a RowPartition.
+ExchangePlan build_exchange_plan(const CsrMatrix& A,
+                                 const std::vector<index_t>& slab_begin);
+ExchangePlan build_exchange_plan(const CsrMatrix& A, const RowPartition& part);
+
+/// Builds the halo plan of `A` under `part` (the per-peer sizes of
+/// build_exchange_plan's row lists).
 HaloPlan build_halo_plan(const CsrMatrix& A, const RowPartition& part);
 
-/// Ghost rows `rank` receives from neighbour slab `peer` (rank +/- 1) under
-/// a plane-stencil operator reaching one `plane`-row band past the slab
-/// boundary: a full ghost plane, or the neighbour's entire slab when it is
-/// thinner.  This is the ONE copy of the slab ghost-volume formula; the
-/// machine-model analytic cost and the tests call it instead of re-deriving
-/// it (the duplicated formulas used to drift).
+/// Ghost rows `rank` receives from slab `peer` under a plane-stencil
+/// operator reaching one `plane`-row band past the slab boundary: the band
+/// [begin-plane, begin) u [end, end+plane) clipped against the peer's slab.
+/// With thin slabs the band can reach past the +/-1 neighbours, and empty
+/// slabs exchange nothing.  This is the ONE copy of the slab ghost-volume
+/// formula; the machine-model analytic cost and the tests call it instead of
+/// re-deriving it (the duplicated formulas used to drift).
 index_t slab_ghost_rows(const RowPartition& part, index_t rank, index_t peer,
                         index_t plane);
 
-/// Total halo volume of `rank`: slab_ghost_rows summed over its neighbours.
+/// Total halo volume of `rank`: slab_ghost_rows summed over all peers.
 index_t slab_halo_volume(const RowPartition& part, index_t rank, index_t plane);
 
 }  // namespace feir

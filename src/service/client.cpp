@@ -27,6 +27,13 @@ void Client::close() {
   buf_.clear();
 }
 
+int Client::detach() {
+  const int fd = fd_;
+  fd_ = -1;
+  buf_.clear();
+  return fd;
+}
+
 bool Client::connect_unix(const std::string& path, std::string* err) {
   close();
   sockaddr_un addr{};
@@ -74,7 +81,13 @@ bool Client::connect_tcp(const std::string& host, int port, std::string* err) {
 }
 
 bool Client::send_line(const std::string& line) {
-  return fd_ >= 0 && send_frame(fd_, line);
+  if (fd_ < 0) return false;
+  if (send_frame_status(fd_, line) == SendStatus::kOk) return true;
+  // Whether the failure was a send timeout or a hangup, the stream may hold a
+  // half-written frame; reusing the fd would splice the next request into it
+  // and mis-frame everything after.  Poison the connection by closing it.
+  close();
+  return false;
 }
 
 bool Client::recv_line(std::string* line) {

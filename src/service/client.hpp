@@ -43,6 +43,12 @@ class Client {
 
   void close();
 
+  /// Releases ownership of the connected fd to the caller (the shard router
+  /// wraps it with its own locking) and resets this client to disconnected.
+  /// -1 when not connected.  Call before any recv: buffered bytes are
+  /// discarded.
+  int detach();
+
  private:
   int fd_ = -1;
   std::string buf_;  // bytes received past the last returned line

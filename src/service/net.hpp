@@ -1,35 +1,83 @@
 // Shared socket helpers for the service's client and server sides, so the
-// line-framing write loop (and any future EAGAIN/timeout handling) lives in
-// exactly one place.
+// line-framing write loop (and its EAGAIN/timeout handling) lives in exactly
+// one place.
 #pragma once
 
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
 namespace feir::service {
 
+/// Thread-safe strerror: every connection has its own reader thread and a
+/// worker may fail concurrently, so the libc static-buffer strerror() is off
+/// limits here.  Handles both the XSI (int return) and GNU (char* return)
+/// strerror_r via overload dispatch.
+namespace detail {
+inline const char* strerror_pick(int rc, const char* buf) {
+  return rc == 0 ? buf : nullptr;
+}
+inline const char* strerror_pick(const char* msg, const char*) { return msg; }
+}  // namespace detail
+
 inline std::string errno_string(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  const int err = errno;
+  char buf[256] = {};
+  const char* msg = detail::strerror_pick(::strerror_r(err, buf, sizeof(buf)), buf);
+  std::string out(what);
+  out += ": ";
+  if (msg != nullptr && *msg != '\0') {
+    out += msg;
+  } else {
+    out += "errno ";
+    out += std::to_string(err);
+  }
+  return out;
 }
 
+/// Why a frame send stopped.  The distinction matters because the two
+/// failure modes demand different handling from the caller:
+///   kTimeout  SO_SNDTIMEO expired (EAGAIN/EWOULDBLOCK) -- the peer exists
+///             but is not draining.  If bytes of the frame were already
+///             written (*mid_frame) the stream is mis-framed from the peer's
+///             point of view and the connection MUST be closed or poisoned;
+///             retrying the frame would splice it into the partial one.
+///   kHangup   the peer is gone (EPIPE/ECONNRESET/...).
+enum class SendStatus : std::uint8_t { kOk, kTimeout, kHangup };
+
 /// Sends `line` plus a trailing newline, retrying partial writes and EINTR.
-/// MSG_NOSIGNAL: a peer that hung up yields false, never SIGPIPE.
-inline bool send_frame(int fd, const std::string& line) {
+/// MSG_NOSIGNAL: a peer that hung up yields kHangup, never SIGPIPE.  When
+/// `mid_frame` is non-null it is set to whether any bytes of this frame had
+/// already been written when the call failed (always false on kOk).
+inline SendStatus send_frame_status(int fd, const std::string& line,
+                                    bool* mid_frame = nullptr) {
   std::string frame = line;
   frame.push_back('\n');
   std::size_t off = 0;
+  if (mid_frame != nullptr) *mid_frame = false;
   while (off < frame.size()) {
     const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (mid_frame != nullptr) *mid_frame = off > 0;
+      return errno == EAGAIN || errno == EWOULDBLOCK ? SendStatus::kTimeout
+                                                     : SendStatus::kHangup;
     }
     off += static_cast<std::size_t>(n);
   }
-  return true;
+  if (mid_frame != nullptr) *mid_frame = false;
+  return SendStatus::kOk;
+}
+
+/// True when the whole frame went out.  Callers that keep the connection
+/// after a false return must consult send_frame_status instead: a timeout
+/// after a partial write leaves the stream mis-framed, and every subsequent
+/// frame on it would be corrupted.
+inline bool send_frame(int fd, const std::string& line) {
+  return send_frame_status(fd, line) == SendStatus::kOk;
 }
 
 }  // namespace feir::service

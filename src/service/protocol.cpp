@@ -5,6 +5,7 @@
 
 #include "campaign/report.hpp"
 #include "service/json.hpp"
+#include "shard/wire.hpp"
 
 namespace feir::service {
 
@@ -102,6 +103,8 @@ ParsedRequest parse_request(std::string_view line) {
   else if (op_name == "solve") req.op = Op::Solve;
   else if (op_name == "solve_batch") req.op = Op::SolveBatch;
   else if (op_name == "cancel") req.op = Op::Cancel;
+  else if (op_name == "shard_solve") req.op = Op::ShardSolve;
+  else if (op_name == "shard_msg") req.op = Op::ShardMsg;
   else return fail("bad_request", "unknown op \"" + op_name + "\"");
 
   // Service solves are replayable campaign jobs: tol/iteration knobs come
@@ -112,7 +115,9 @@ ParsedRequest parse_request(std::string_view line) {
   spec.threads = 1;
 
   const bool is_batch = req.op == Op::SolveBatch;
-  const bool is_solve = req.op == Op::Solve || is_batch;
+  const bool is_shard = req.op == Op::ShardSolve;
+  const bool is_solve = req.op == Op::Solve || is_batch || is_shard;
+  bool have_body = false;
   for (const auto& [key, value] : root.members) {
     double num = 0.0;
     if (key == "op") continue;
@@ -138,8 +143,49 @@ ParsedRequest parse_request(std::string_view line) {
       req.col = static_cast<long long>(num);
       continue;
     }
+    if (req.op == Op::ShardMsg) {
+      if (key == "from") {
+        if (!want_count(value, "from", 0, static_cast<double>(kMaxShardRanks - 1),
+                        &num, &why))
+          return fail("bad_request", why);
+        req.shard_from = static_cast<long long>(num);
+        continue;
+      }
+      if (key == "body") {
+        if (!want_string(value, "body", &req.shard_body, &why))
+          return fail("bad_request", why);
+        have_body = true;
+        continue;
+      }
+      return fail("bad_request", "unknown field \"" + key + "\" for op shard_msg");
+    }
     if (!is_solve)
       return fail("bad_request", "unknown field \"" + key + "\" for op " + op_name);
+    if (key == "ranks") {
+      if (is_batch)
+        return fail("bad_request", "ranks is not a solve_batch field");
+      if (!want_count(value, "ranks", 1, static_cast<double>(kMaxShardRanks), &num,
+                      &why))
+        return fail("bad_request", why);
+      req.ranks = static_cast<index_t>(num);
+      continue;
+    }
+    if (key == "rank") {
+      if (!is_shard)
+        return fail("bad_request", "rank is a shard_solve field");
+      if (!want_count(value, "rank", 0, static_cast<double>(kMaxShardRanks - 1),
+                      &num, &why))
+        return fail("bad_request", why);
+      req.shard_rank = static_cast<index_t>(num);
+      continue;
+    }
+    if (key == "return_x") {
+      if (req.op != Op::Solve)
+        return fail("bad_request", "return_x is an op-solve field");
+      if (!want_bool(value, "return_x", &req.return_x, &why))
+        return fail("bad_request", why);
+      continue;
+    }
     if (key == "nrhs") {
       if (!is_batch)
         return fail("bad_request", "nrhs is a solve_batch field (op solve is single-RHS)");
@@ -217,8 +263,42 @@ ParsedRequest parse_request(std::string_view line) {
     }
   }
 
-  if ((is_solve || req.op == Op::Cancel) && req.id.empty())
+  if ((is_solve || req.op == Op::Cancel || req.op == Op::ShardMsg) &&
+      req.id.empty())
     return bad("bad_request", std::string("op ") + op_name + " requires an id");
+
+  if (req.op == Op::ShardMsg) {
+    if (req.shard_from < 0)
+      return fail("bad_request", "op shard_msg requires a from field");
+    if (!have_body || req.shard_body.empty())
+      return fail("bad_request", "op shard_msg requires a non-empty body");
+  }
+
+  // Sharded solves ride the distributed-CG path, which supports exactly the
+  // combination whose reductions are bit-invariant across rank counts.
+  if (is_shard || req.ranks > 0) {
+    if (is_shard) {
+      if (req.ranks < 1)
+        return fail("bad_request", "op shard_solve requires a ranks field");
+      if (req.shard_rank < 0)
+        return fail("bad_request", "op shard_solve requires a rank field");
+      if (req.shard_rank >= req.ranks)
+        return fail("bad_request", "rank must be < ranks");
+    }
+    if (spec.solver != campaign::SolverKind::Cg)
+      return fail("bad_request", "sharded solves support solver \"cg\" only");
+    if (spec.precond != campaign::PrecondKind::None)
+      return fail("bad_request", "sharded solves support precond \"none\" only");
+    if (spec.format != SparseFormat::Csr)
+      return fail("bad_request", "sharded solves support format \"csr\" only");
+    if (spec.method != Method::Ideal && spec.method != Method::Feir)
+      return fail("bad_request", "sharded methods: ideal, feir");
+    if (spec.inject.kind != campaign::InjectionKind::None &&
+        spec.method != Method::Feir)
+      return fail("bad_request", "sharded mtbe_iters requires method \"feir\"");
+  } else if (req.return_x) {
+    return fail("bad_request", "return_x requires a sharded solve (ranks field)");
+  }
 
   if (req.op == Op::Auth) {
     if (req.tenant.empty())
@@ -296,7 +376,8 @@ std::string progress_col_line(const std::string& id, index_t col,
 }
 
 std::string result_line(const std::string& id, const campaign::JobSpec& spec,
-                        const campaign::JobResult& result) {
+                        const campaign::JobResult& result, index_t ranks,
+                        const std::vector<double>* x) {
   std::string out = head(id, "result");
   out += ", \"matrix\": " + json_string(spec.matrix);
   out += ", \"scale\": " + json_number(spec.scale);
@@ -308,6 +389,7 @@ std::string result_line(const std::string& id, const campaign::JobSpec& spec,
   out += ", \"tol\": " + json_number(spec.tol);
   out += ", \"block_rows\": " + std::to_string(spec.block_rows);
   out += ", \"mtbe_iters\": " + json_number(spec.inject.mean_iters);
+  if (ranks > 0) out += ", \"ranks\": " + std::to_string(ranks);
   // Any batched result (a width-1 solve_batch included) echoes its width.
   if (spec.nrhs > 1 || !result.columns.empty())
     out += ", \"nrhs\": " + std::to_string(spec.nrhs);
@@ -332,8 +414,55 @@ std::string result_line(const std::string& id, const campaign::JobSpec& spec,
     }
     out += "]";
   }
+  if (x != nullptr) {
+    // Hex bit patterns, not JSON numbers: exact, and %.17g round-tripping
+    // would break the bitwise router-vs-in-process comparison.
+    std::string hex;
+    hex.reserve(x->size() * 16);
+    for (double v : *x) shard::append_hex_double(&hex, v);
+    out += ", \"x\": " + json_string(hex);
+  }
   out += "}";
   return out;
+}
+
+std::string shard_solve_request_line(const std::string& id,
+                                     const campaign::JobSpec& spec, index_t rank,
+                                     index_t ranks, double deadline_ms,
+                                     bool stream) {
+  // solver/precond/format are implied (cg/none/csr — the only combination
+  // parse_request admits for sharded solves), so they are not serialized.
+  std::string out = "{\"op\": \"shard_solve\", \"id\": " + json_string(id);
+  out += ", \"rank\": " + std::to_string(rank);
+  out += ", \"ranks\": " + std::to_string(ranks);
+  out += ", \"matrix\": " + json_string(spec.matrix);
+  out += ", \"scale\": " + json_number(spec.scale);
+  out += ", \"method\": " + json_string(method_cli_name(spec.method));
+  out += ", \"tol\": " + json_number(spec.tol);
+  out += ", \"max_iter\": " + std::to_string(spec.max_iter);
+  out += ", \"seed\": " + std::to_string(spec.seed);
+  if (spec.inject.kind == campaign::InjectionKind::IterationMtbe)
+    out += ", \"mtbe_iters\": " + json_number(spec.inject.mean_iters);
+  out += ", \"block_rows\": " + std::to_string(spec.block_rows);
+  if (deadline_ms > 0.0) out += ", \"deadline_ms\": " + json_number(deadline_ms);
+  if (stream) out += ", \"stream\": true";
+  out += "}";
+  return out;
+}
+
+std::string shard_msg_request_line(const std::string& id, index_t from,
+                                   const std::string& body) {
+  // The body charset ([a-z0-9;,:=.-]) passes json_string unescaped.
+  return "{\"op\": \"shard_msg\", \"id\": " + json_string(id) +
+         ", \"from\": " + std::to_string(from) +
+         ", \"body\": " + json_string(body) + "}";
+}
+
+std::string shard_msg_event_line(const std::string& id, index_t to, index_t from,
+                                 const std::string& body) {
+  return head(id, "shard_msg") + ", \"to\": " + std::to_string(to) +
+         ", \"from\": " + std::to_string(from) +
+         ", \"body\": " + json_string(body) + "}";
 }
 
 }  // namespace feir::service

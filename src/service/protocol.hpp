@@ -5,9 +5,12 @@
 //   {"op":"auth","tenant":"t","key":"k"}        bind this connection to a tenant
 //   {"op":"stats"}                              server/cache/tenant counters
 //   {"op":"solve","id":"r1", ...knobs}          enqueue a resilient solve
+//   {"op":"solve","id":"r1","ranks":2,...}      sharded solve over N ranks
 //   {"op":"solve_batch","id":"b1","nrhs":8,...} one fused multi-RHS solve
 //   {"op":"cancel","id":"r1"}                   cancel an in-flight solve
 //   {"op":"cancel","id":"b1","col":3}           cancel ONE column of a batch
+//   {"op":"shard_solve","id":..,"rank":R,"ranks":N,...}  run ONE rank (worker)
+//   {"op":"shard_msg","id":..,"from":R,"body":".."}      rank traffic relay
 //
 // QoS (servers started with tenants -- see qos/tenant.hpp for the grammar):
 // an unauthenticated connection may only ping or auth; everything else gets
@@ -25,6 +28,23 @@
 // iteration-space DUE injection; 0 = fault-free), block_rows, deadline_ms
 // (> 0; omit the field for no deadline -- 0 is rejected, not a sentinel),
 // stream (per-iteration progress events).
+//
+// Sharded solves: "ranks" (1..8) on op solve partitions the matrix into
+// page-aligned row slabs and runs the distributed CG of core/sharded_cg —
+// in-process rank threads by default, or fanned out to feir_serve worker
+// processes when the server was started with --shard-workers (the
+// listener/router/worker split).  Restricted to solver=cg, precond=none,
+// format=csr, methods ideal|feir.  Results are bit-identical at any rank
+// count and on both deployments; the result event echoes "ranks", and
+// "return_x": true additionally returns the reassembled solution as a hex
+// bit-pattern string ("x").  Worker-facing ops (clients normally never send
+// these): shard_solve runs one rank of a sharded solve on a worker, tagged
+// with "rank"/"ranks"; shard_msg carries one rank-protocol line ("body",
+// charset [a-z0-9;,:=.-]) from rank "from", relayed by the router between
+// the per-rank worker connections.  Workers answer shard_solve with
+// shard_msg events ("to", "from", "body") and a final shard_result event
+// (rank, verdict, row0/row1 plus the x slab and recovery counters as hex /
+// ordered arrays so the router's merge is bit-exact).
 //
 // solve_batch adds nrhs (1..32) and coalesces that many right-hand sides
 // over one cached problem: column 0 is the problem's b, columns j > 0 the
@@ -60,16 +80,29 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "campaign/executor.hpp"
 #include "campaign/jobspec.hpp"
 
 namespace feir::service {
 
-enum class Op : std::uint8_t { Ping, Auth, Stats, Solve, SolveBatch, Cancel };
+enum class Op : std::uint8_t {
+  Ping,
+  Auth,
+  Stats,
+  Solve,
+  SolveBatch,
+  Cancel,
+  ShardSolve,
+  ShardMsg,
+};
 
 /// Largest batch width one solve_batch request may ask for.
 inline constexpr index_t kMaxNrhs = 32;
+
+/// Largest rank count a sharded solve may ask for.
+inline constexpr index_t kMaxShardRanks = 8;
 
 /// One parsed request frame.
 struct Request {
@@ -81,6 +114,11 @@ struct Request {
   long long col = -1;        // cancel only: column to cancel; -1 = whole request
   std::string tenant;        // auth only: tenant id
   std::string key;           // auth only: shared secret
+  index_t ranks = 0;         // solve/shard_solve: shard count; 0 = not sharded
+  bool return_x = false;     // sharded solve: return the solution vector
+  index_t shard_rank = -1;   // shard_solve only: which rank this worker runs
+  long long shard_from = -1; // shard_msg only: sending rank
+  std::string shard_body;    // shard_msg only: one rank-protocol line
 };
 
 /// parse_request outcome: ok, or an error (code, message) to send back.
@@ -113,7 +151,25 @@ std::string progress_col_line(const std::string& id, index_t col,
 /// `feir_solve --nrhs k` for k > 1 (the plain single-RHS solver chunks its
 /// reductions differently, so a width-1 batch is bitwise a width-1 batch,
 /// not an op-solve run).
+/// `ranks` > 0 (a sharded solve) is echoed after mtbe_iters; a non-null `x`
+/// (sharded solve with return_x) appends the solution as one hex bit-pattern
+/// string — both default to the historical byte layout for ordinary solves.
 std::string result_line(const std::string& id, const campaign::JobSpec& spec,
-                        const campaign::JobResult& result);
+                        const campaign::JobResult& result, index_t ranks = 0,
+                        const std::vector<double>* x = nullptr);
+
+// --- shard routing frames (router <-> worker) -------------------------------
+
+/// Router -> worker: the shard_solve request line for one rank of `spec`.
+std::string shard_solve_request_line(const std::string& id,
+                                     const campaign::JobSpec& spec, index_t rank,
+                                     index_t ranks, double deadline_ms,
+                                     bool stream);
+/// Router -> worker: forwards one rank-protocol line from rank `from`.
+std::string shard_msg_request_line(const std::string& id, index_t from,
+                                   const std::string& body);
+/// Worker -> router: one rank-protocol line addressed to rank `to`.
+std::string shard_msg_event_line(const std::string& id, index_t to, index_t from,
+                                 const std::string& body);
 
 }  // namespace feir::service

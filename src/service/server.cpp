@@ -15,7 +15,9 @@
 #include <thread>
 
 #include "campaign/report.hpp"
+#include "core/sharded_cg.hpp"
 #include "service/net.hpp"
+#include "service/shard.hpp"
 #include "support/env.hpp"
 
 namespace feir::service {
@@ -38,6 +40,8 @@ struct Server::Connection {
   struct Inflight {
     std::shared_ptr<CancelToken> token;
     std::vector<std::shared_ptr<CancelToken>> cols;
+    /// shard_solve only: where the reader routes relayed shard_msg frames.
+    std::shared_ptr<shard::MailboxTransport> mailbox;
   };
 
   /// In-flight (queued or solving) requests by id, for cancel and teardown.
@@ -54,8 +58,18 @@ struct Server::Connection {
     // SO_SNDTIMEO (set at accept) bounds this blocking write; a client that
     // stops reading for that long is treated as gone.
     if (send_frame(fd, line)) return true;
-    closed.store(true, std::memory_order_release);
+    poison();
     return false;
+  }
+
+  /// Marks the connection dead and shuts the socket down: the reader thread
+  /// (blocked in recv) wakes and cancels the in-flight solves, and the peer
+  /// sees EOF instead of a silently wedged stream.  Whether the failed send
+  /// was a timeout or a hangup, and whether it died mid-frame, the stream is
+  /// unusable either way -- a retried frame would splice into a partial one.
+  void poison() {
+    closed.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
   }
 
   /// Best-effort send for advisory traffic (progress events): if the socket
@@ -75,7 +89,7 @@ struct Server::Connection {
       if (n < 0) {
         if (errno == EINTR) continue;
         if (off == 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // drop
-        closed.store(true, std::memory_order_release);
+        poison();
         return;
       }
       off += static_cast<std::size_t>(n);
@@ -86,7 +100,12 @@ struct Server::Connection {
   /// solves unwind at their next iteration instead of wasting the pool.
   void cancel_inflight() {
     std::lock_guard<std::mutex> lk(inflight_mu);
-    for (auto& [id, entry] : inflight) entry.token->cancel();
+    for (auto& [id, entry] : inflight) {
+      entry.token->cancel();
+      // A worker rank blocked in a mailbox recv never polls its token
+      // (only rank 0 does); closing the mailbox is what unwinds it.
+      if (entry.mailbox != nullptr) entry.mailbox->close();
+    }
   }
 
   bool register_inflight(const std::string& id, Inflight entry) {
@@ -109,6 +128,20 @@ struct Server::Connection {
     if (col < 0) return it->second.token;
     if (static_cast<std::size_t>(col) >= it->second.cols.size()) return nullptr;
     return it->second.cols[static_cast<std::size_t>(col)];
+  }
+
+  /// Routes a relayed shard_msg frame into the in-flight rank's mailbox.
+  /// False when the id names no shard solve on this connection.
+  bool push_shard_msg(const std::string& id, index_t from, std::string body) {
+    std::shared_ptr<shard::MailboxTransport> mbox;
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu);
+      const auto it = inflight.find(id);
+      if (it == inflight.end() || it->second.mailbox == nullptr) return false;
+      mbox = it->second.mailbox;
+    }
+    mbox->push(from, std::move(body));
+    return true;
   }
 };
 
@@ -296,9 +329,13 @@ void Server::accept_loop(int listen_fd) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     // Bound every blocking write: a tenant that stops reading its terminal
     // events stalls a worker for at most this long before being dropped.
-    timeval tv{};
-    tv.tv_sec = 30;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    if (opts_.send_timeout_s > 0.0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(opts_.send_timeout_s);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (opts_.send_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
@@ -427,8 +464,21 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       if (token != nullptr) token->cancel();
       return;
     }
+    case Op::ShardMsg: {
+      // Relay traffic for a rank running on this worker: reader-thread fast
+      // path straight into the mailbox, no queueing.
+      if (!conn->push_shard_msg(req.id, static_cast<index_t>(req.shard_from),
+                                std::move(req.shard_body))) {
+        conn->send_line(error_line(req.id, "bad_request",
+                                   "no shard solve in flight with that id"));
+        std::lock_guard<std::mutex> lk(counters_mu_);
+        ++counters_.protocol_errors;
+      }
+      return;
+    }
     case Op::Solve:
     case Op::SolveBatch:
+    case Op::ShardSolve:
       handle_solve(conn, std::move(req));
       return;
   }
@@ -479,8 +529,24 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn, Request req) 
   if (req.op == Op::SolveBatch)
     for (index_t j = 0; j < req.spec.nrhs; ++j)
       work.col_tokens.push_back(std::make_shared<CancelToken>());
+  // A shard rank's mailbox exists from registration on: peer ranks can start
+  // streaming shard_msg frames the moment the router has sent us the solve,
+  // possibly long before a pool worker picks it up.
+  if (req.op == Op::ShardSolve) {
+    const std::string id = req.id;
+    const index_t from = req.shard_rank;
+    std::weak_ptr<Connection> wc = conn;
+    work.mailbox = std::make_shared<shard::MailboxTransport>(
+        req.shard_rank, req.ranks,
+        [wc, id, from](index_t peer, const std::string& msg) {
+          const std::shared_ptr<Connection> c = wc.lock();
+          return c != nullptr &&
+                 c->send_line(shard_msg_event_line(id, peer, from, msg));
+        });
+  }
 
-  if (!conn->register_inflight(req.id, {work.token, work.col_tokens})) {
+  if (!conn->register_inflight(req.id,
+                               {work.token, work.col_tokens, work.mailbox})) {
     conn->send_line(
         error_line(req.id, "bad_request", "id already in flight on this connection"));
     std::lock_guard<std::mutex> lk(counters_mu_);
@@ -645,6 +711,15 @@ void Server::process(Work work) {
     return;
   }
 
+  if (work.req.op == Op::ShardSolve) {
+    process_shard_worker(work, prep);
+    return;
+  }
+  if (work.req.ranks > 0) {
+    process_sharded(work, prep);
+    return;
+  }
+
   campaign::RunJobExtras extras;
   extras.S = &prep.backend->S;
   extras.cancel = work.token.get();
@@ -685,6 +760,113 @@ void Server::process(Work work) {
     std::lock_guard<std::mutex> lk(counters_mu_);
     ++counters_.completed;
   }
+}
+
+void Server::process_sharded(Work& work, const SessionManager::Prepared& prep) {
+  const std::string& id = work.req.id;
+  const std::shared_ptr<Connection>& conn = work.conn;
+  const campaign::JobSpec& spec = work.req.spec;
+
+  auto qos_finish = [&](qos::QosManager::Outcome outcome, std::uint64_t iters) {
+    if (qos_ == nullptr) return;
+    qos_->finish(work.tenant, outcome, qos_->now() - work.admit_time, iters);
+  };
+
+  campaign::JobResult result;
+  std::vector<double> x;
+  if (!opts_.shard_workers.empty()) {
+    // Router deployment: fan the ranks out to the worker processes.  The
+    // workers load the problem themselves; prep here only front-loaded the
+    // same setup errors the in-process path would hit.
+    std::function<void(const std::string&)> forward;
+    if (work.req.stream)
+      forward = [&conn](const std::string& line) {
+        conn->send_line_best_effort(line);
+      };
+    RouteOutcome ro = route_sharded_solve(opts_.shard_workers, work.req,
+                                          work.token.get(), forward);
+    conn->unregister_inflight(id);
+    if (!ro.ok) {
+      qos_finish(qos::QosManager::Outcome::Failed, 0);
+      conn->send_line(error_line(id, ro.code, ro.message));
+      return;
+    }
+    result = std::move(ro.result);
+    x = std::move(ro.x);
+  } else {
+    const TestbedProblem& p = prep.backend->problem->problem;
+    ShardedCgOptions sopts = shard_options_from_spec(spec, work.req.ranks);
+    sopts.cancel = work.token.get();
+    if (work.req.stream)
+      sopts.on_iteration = [&conn, &id](const IterRecord& rec,
+                                        std::uint64_t errors) {
+        conn->send_line_best_effort(progress_line(id, rec, errors));
+      };
+    x.assign(p.b.size(), 0.0);
+    const ShardedCgResult r = sharded_cg_solve(p.A, p.b.data(), x.data(), sopts);
+    conn->unregister_inflight(id);
+    if (!r.ok) {
+      qos_finish(qos::QosManager::Outcome::Failed, 0);
+      conn->send_line(error_line(id, "internal", r.error));
+      return;
+    }
+    result = job_result_from_sharded(r);
+  }
+
+  if (result.cancelled) {
+    const bool explicit_cancel = work.token->cancel_requested();
+    qos_finish(explicit_cancel ? qos::QosManager::Outcome::Cancelled
+                               : qos::QosManager::Outcome::DeadlineExpired,
+               result.iterations);
+    conn->send_line(error_line(
+        id, explicit_cancel ? "cancelled" : "deadline",
+        std::string(explicit_cancel ? "cancelled" : "deadline expired") +
+            " after " + std::to_string(result.iterations) + " iterations"));
+    std::lock_guard<std::mutex> lk(counters_mu_);
+    ++(explicit_cancel ? counters_.cancelled : counters_.deadline_expired);
+    return;
+  }
+  qos_finish(qos::QosManager::Outcome::Completed, result.iterations);
+  conn->send_line(result_line(id, spec, result, work.req.ranks,
+                              work.req.return_x ? &x : nullptr));
+  std::lock_guard<std::mutex> lk(counters_mu_);
+  ++counters_.completed;
+}
+
+void Server::process_shard_worker(Work& work,
+                                  const SessionManager::Prepared& prep) {
+  const std::string& id = work.req.id;
+  const std::shared_ptr<Connection>& conn = work.conn;
+
+  auto qos_finish = [&](qos::QosManager::Outcome outcome, std::uint64_t iters) {
+    if (qos_ == nullptr) return;
+    qos_->finish(work.tenant, outcome, qos_->now() - work.admit_time, iters);
+  };
+
+  const TestbedProblem& p = prep.backend->problem->problem;
+  ShardedCgOptions sopts = shard_options_from_spec(work.req.spec, work.req.ranks);
+  sopts.cancel = work.token.get();
+  if (work.req.stream)
+    sopts.on_iteration = [&conn, &id](const IterRecord& rec,
+                                      std::uint64_t errors) {
+      conn->send_line_best_effort(progress_line(id, rec, errors));
+    };
+  std::vector<double> x0(p.b.size(), 0.0);
+  const ShardRankOutcome o =
+      run_shard_rank(p.A, p.b.data(), x0.data(), *work.mailbox, sopts);
+  work.mailbox->close();
+  conn->unregister_inflight(id);
+  if (!o.ok) {
+    qos_finish(qos::QosManager::Outcome::Failed, 0);
+    conn->send_line(error_line(id, "internal", o.error));
+    return;
+  }
+  // Even a cancelled rank-0 verdict reports as a shard_result: the router
+  // owns the merge and maps it onto the client's cancelled event.
+  qos_finish(qos::QosManager::Outcome::Completed, o.iterations);
+  conn->send_line(shard_result_line(id, o));
+  std::lock_guard<std::mutex> lk(counters_mu_);
+  ++counters_.completed;
 }
 
 std::string Server::stats_line(const std::string& id) const {

@@ -46,6 +46,7 @@
 #include "qos/tenant.hpp"
 #include "service/protocol.hpp"
 #include "service/session.hpp"
+#include "shard/transport.hpp"
 #include "support/cancel.hpp"
 
 namespace feir::service {
@@ -81,6 +82,16 @@ struct ServerOptions {
   /// admission, weighted-fair dispatch, per-tenant stats.  Must pass
   /// qos::validate_tenants (start() fails otherwise).
   std::vector<qos::TenantSpec> tenants;
+  /// Shard worker addresses (feir_serve --shard-workers): each a unix path
+  /// or host:port of another feir_serve.  Non-empty makes this server a
+  /// router for sharded solves — rank r of a "ranks": P request runs on
+  /// workers[r % size], its traffic relayed as shard_msg frames.  Empty:
+  /// sharded solves run in-process rank threads.
+  std::vector<std::string> shard_workers;
+  /// SO_SNDTIMEO applied to every accepted connection: a client that stops
+  /// reading stalls a blocking event write for at most this long before the
+  /// connection is poisoned.  <= 0 disables the bound.
+  double send_timeout_s = 30.0;
 };
 
 class Server {
@@ -132,6 +143,10 @@ class Server {
     /// solve_batch only: one token per column, tripped by {"op":"cancel",
     /// "col":j} to freeze that column while the rest keep converging.
     std::vector<std::shared_ptr<CancelToken>> col_tokens;
+    /// shard_solve only: the rank's transport, fed by the connection reader
+    /// (created at registration so relayed shard_msg frames can never race
+    /// the worker pool).
+    std::shared_ptr<shard::MailboxTransport> mailbox;
     /// QoS: the admitting tenant (-1 without tenants) and the admission
     /// timestamp on the QosManager clock (latency histograms).
     int tenant = -1;
@@ -147,6 +162,11 @@ class Server {
   void handle_auth(const std::shared_ptr<Connection>& conn, const Request& req);
   void handle_solve(const std::shared_ptr<Connection>& conn, Request req);
   void process(Work work);
+  /// Sharded solve on a routing/front-end server: in-process rank threads,
+  /// or the worker fan-out when shard_workers is configured.
+  void process_sharded(Work& work, const SessionManager::Prepared& prep);
+  /// One rank of a sharded solve on a worker server (op shard_solve).
+  void process_shard_worker(Work& work, const SessionManager::Prepared& prep);
   std::string stats_line(const std::string& id) const;
   void reap_readers();
 

@@ -1,0 +1,423 @@
+#include "service/shard.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "campaign/report.hpp"
+#include "service/client.hpp"
+#include "service/net.hpp"
+#include "shard/wire.hpp"
+
+namespace feir::service {
+
+ShardedCgOptions shard_options_from_spec(const campaign::JobSpec& spec,
+                                         index_t ranks) {
+  ShardedCgOptions o;
+  o.method = spec.method;
+  o.tol = spec.tol;
+  o.max_iter = spec.max_iter;
+  o.block_rows = spec.block_rows;
+  o.ranks = ranks;
+  o.seed = spec.seed;
+  if (spec.inject.kind == campaign::InjectionKind::IterationMtbe)
+    o.mtbe_iters = spec.inject.mean_iters;
+  return o;
+}
+
+namespace {
+
+/// The recovery counters in declaration order — the array wire format the
+/// router reassembles from (there is no JSON-object parser for stats).
+void stats_to_array(const RecoveryStats& s, std::uint64_t (&a)[16]) {
+  a[0] = s.errors_detected;
+  a[1] = s.lincomb_recoveries;
+  a[2] = s.diag_solves;
+  a[3] = s.spmv_recomputes;
+  a[4] = s.alt_q_recoveries;
+  a[5] = s.residual_recomputes;
+  a[6] = s.x_recoveries;
+  a[7] = s.precond_reapplies;
+  a[8] = s.redo_updates;
+  a[9] = s.contrib_recomputes;
+  a[10] = s.unrecoverable;
+  a[11] = s.rollbacks;
+  a[12] = s.restarts;
+  a[13] = s.checkpoints;
+  a[14] = s.zeroed_blocks;
+  a[15] = s.overwritten_losses;
+}
+
+void stats_from_array(const std::uint64_t (&a)[16], RecoveryStats* s) {
+  s->errors_detected = a[0];
+  s->lincomb_recoveries = a[1];
+  s->diag_solves = a[2];
+  s->spmv_recomputes = a[3];
+  s->alt_q_recoveries = a[4];
+  s->residual_recomputes = a[5];
+  s->x_recoveries = a[6];
+  s->precond_reapplies = a[7];
+  s->redo_updates = a[8];
+  s->contrib_recomputes = a[9];
+  s->unrecoverable = a[10];
+  s->rollbacks = a[11];
+  s->restarts = a[12];
+  s->checkpoints = a[13];
+  s->zeroed_blocks = a[14];
+  s->overwritten_losses = a[15];
+}
+
+bool want_u64(const JsonValue* v, std::uint64_t* out) {
+  if (v == nullptr || !v->is_number() || v->number < 0.0 ||
+      v->number != std::floor(v->number) || v->number > 9.007199254740992e15)
+    return false;
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+bool want_index(const JsonValue* v, index_t* out) {
+  std::uint64_t u = 0;
+  if (!want_u64(v, &u) || u > 0x7fffffffULL) return false;
+  *out = static_cast<index_t>(u);
+  return true;
+}
+
+}  // namespace
+
+std::string shard_result_line(const std::string& id, const ShardRankOutcome& o) {
+  std::uint64_t a[16];
+  stats_to_array(o.stats, a);
+  std::string out =
+      "{\"id\": " + campaign::json_string(id) + ", \"event\": \"shard_result\"";
+  out += ", \"rank\": " + std::to_string(o.rank);
+  out += ", \"row0\": " + std::to_string(o.row0);
+  out += ", \"row1\": " + std::to_string(o.row1);
+  out += std::string(", \"converged\": ") + (o.converged ? "true" : "false");
+  out += std::string(", \"cancelled\": ") + (o.cancelled ? "true" : "false");
+  out += ", \"iterations\": " + std::to_string(o.iterations);
+  std::string hex;
+  shard::append_hex_double(&hex, o.final_relres);
+  out += ", \"relres\": \"" + hex + "\"";
+  out += ", \"errors_injected\": " + std::to_string(o.errors_injected);
+  out += ", \"stats\": [";
+  for (int i = 0; i < 16; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(a[i]);
+  }
+  out += "]";
+  hex.clear();
+  hex.reserve(o.x_slab.size() * 16);
+  for (double v : o.x_slab) shard::append_hex_double(&hex, v);
+  out += ", \"x\": \"" + hex + "\"";
+  out += "}";
+  return out;
+}
+
+bool parse_shard_result_line(const JsonValue& ev, ShardRankOutcome* o,
+                             std::string* err) {
+  auto bad = [&](const char* what) {
+    if (err != nullptr) *err = what;
+    return false;
+  };
+  if (!want_index(ev.find("rank"), &o->rank)) return bad("bad rank");
+  if (!want_index(ev.find("row0"), &o->row0)) return bad("bad row0");
+  if (!want_index(ev.find("row1"), &o->row1) || o->row1 < o->row0)
+    return bad("bad row1");
+  const JsonValue* conv = ev.find("converged");
+  const JsonValue* canc = ev.find("cancelled");
+  if (conv == nullptr || !conv->is_bool() || canc == nullptr || !canc->is_bool())
+    return bad("bad verdict flags");
+  o->converged = conv->boolean;
+  o->cancelled = canc->boolean;
+  if (!want_index(ev.find("iterations"), &o->iterations))
+    return bad("bad iterations");
+  const JsonValue* rr = ev.find("relres");
+  if (rr == nullptr || !rr->is_string() ||
+      !shard::parse_hex_double(rr->string, &o->final_relres))
+    return bad("bad relres");
+  if (!want_u64(ev.find("errors_injected"), &o->errors_injected))
+    return bad("bad errors_injected");
+  const JsonValue* st = ev.find("stats");
+  if (st == nullptr || !st->is_array() || st->items.size() != 16)
+    return bad("bad stats array");
+  std::uint64_t a[16];
+  for (int i = 0; i < 16; ++i)
+    if (!want_u64(&st->items[static_cast<std::size_t>(i)], &a[i]))
+      return bad("bad stats entry");
+  stats_from_array(a, &o->stats);
+  const JsonValue* xs = ev.find("x");
+  const std::size_t rows = static_cast<std::size_t>(o->row1 - o->row0);
+  if (xs == nullptr || !xs->is_string() || xs->string.size() != rows * 16)
+    return bad("bad x slab");
+  o->x_slab.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i)
+    if (!shard::parse_hex_double(
+            std::string_view(xs->string).substr(i * 16, 16), &o->x_slab[i]))
+      return bad("bad x value");
+  o->ok = true;
+  return true;
+}
+
+void merge_shard_outcomes(const std::vector<ShardRankOutcome>& outs,
+                          campaign::JobResult* result, std::vector<double>* x) {
+  result->ran = true;
+  x->assign(outs.empty() ? 0 : static_cast<std::size_t>(outs.back().row1), 0.0);
+  for (const ShardRankOutcome& o : outs) {
+    std::copy(o.x_slab.begin(), o.x_slab.end(), x->begin() + o.row0);
+    result->errors_injected += o.errors_injected;
+    result->stats += o.stats;
+  }
+  const ShardRankOutcome& root = outs.front();
+  result->converged = root.converged;
+  result->cancelled = root.cancelled;
+  result->iterations = root.iterations;
+  result->final_relres = root.final_relres;
+}
+
+campaign::JobResult job_result_from_sharded(const ShardedCgResult& r) {
+  campaign::JobResult jr;
+  jr.ran = true;
+  jr.cancelled = r.cancelled;
+  jr.converged = r.converged;
+  jr.iterations = r.iterations;
+  jr.final_relres = r.final_relres;
+  jr.seconds = r.seconds;
+  jr.errors_injected = r.errors_injected;
+  jr.stats = r.stats;
+  jr.history = r.history;
+  return jr;
+}
+
+namespace {
+
+/// One router connection to a worker.  The relay thread owns reads; sends
+/// come from the router's own traffic AND every other rank's relay thread,
+/// so they serialize on a mutex.  Teardown uses ::shutdown (never close) so
+/// a blocked recv wakes without racing a reused fd number.
+struct RouterConn {
+  int fd = -1;
+  std::mutex send_mu;
+  std::string buf;  // relay-thread-only
+
+  ~RouterConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send(const std::string& line) {
+    std::lock_guard<std::mutex> lk(send_mu);
+    return fd >= 0 && send_frame_status(fd, line) == SendStatus::kOk;
+  }
+
+  bool recv(std::string* line) {
+    if (fd < 0) return false;
+    while (true) {
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buf, 0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void shutdown_now() {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+bool connect_worker(const std::string& addr, RouterConn* conn,
+                    std::string* err) {
+  Client c;
+  if (addr.find('/') != std::string::npos) {
+    if (!c.connect_unix(addr, err)) return false;
+  } else {
+    const std::size_t colon = addr.rfind(':');
+    int port = -1;
+    if (colon != std::string::npos) {
+      try {
+        port = std::stoi(addr.substr(colon + 1));
+      } catch (...) {
+        port = -1;
+      }
+    }
+    if (port < 0 || port > 65535) {
+      if (err != nullptr) *err = "bad worker address (want path or host:port)";
+      return false;
+    }
+    if (!c.connect_tcp(addr.substr(0, colon), port, err)) return false;
+  }
+  conn->fd = c.detach();
+  return true;
+}
+
+}  // namespace
+
+RouteOutcome route_sharded_solve(
+    const std::vector<std::string>& workers, const Request& req,
+    const CancelToken* cancel,
+    const std::function<void(const std::string&)>& on_progress) {
+  RouteOutcome out;
+  const index_t P = req.ranks;
+  if (workers.empty() || P < 1) {
+    out.code = "internal";
+    out.message = "no shard workers configured";
+    return out;
+  }
+
+  std::vector<std::unique_ptr<RouterConn>> conns;
+  conns.reserve(static_cast<std::size_t>(P));
+  for (index_t r = 0; r < P; ++r) {
+    auto conn = std::make_unique<RouterConn>();
+    const std::string& addr =
+        workers[static_cast<std::size_t>(r) % workers.size()];
+    std::string cerr;
+    if (!connect_worker(addr, conn.get(), &cerr)) {
+      out.code = "internal";
+      out.message = "shard worker " + addr + ": " + cerr;
+      return out;
+    }
+    conns.push_back(std::move(conn));
+  }
+
+  // First failure wins; everything after it is teardown noise.
+  std::mutex fail_mu;
+  std::string fail_code, fail_message;
+  auto fail_all = [&](const std::string& code, const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lk(fail_mu);
+      if (fail_code.empty()) {
+        fail_code = code;
+        fail_message = message;
+      }
+    }
+    for (auto& c : conns) c->shutdown_now();
+  };
+
+  for (index_t r = 0; r < P; ++r) {
+    // Only rank 0 produces progress, so only its request streams.
+    if (!conns[static_cast<std::size_t>(r)]->send(shard_solve_request_line(
+            req.id, req.spec, r, P, req.deadline_ms, req.stream && r == 0))) {
+      fail_all("internal",
+               "shard worker rejected the solve (rank " + std::to_string(r) + ")");
+      break;
+    }
+  }
+
+  std::vector<ShardRankOutcome> outs(static_cast<std::size_t>(P));
+  std::vector<std::thread> relays;
+  relays.reserve(static_cast<std::size_t>(P));
+  for (index_t r = 0; r < P; ++r) {
+    relays.emplace_back([&, r] {
+      RouterConn& conn = *conns[static_cast<std::size_t>(r)];
+      const std::string tag = " (rank " + std::to_string(r) + ")";
+      std::string line;
+      bool got = false;
+      while (conn.recv(&line)) {
+        JsonValue ev;
+        std::string jerr;
+        const JsonValue* kind = nullptr;
+        if (!json_parse(line, &ev, &jerr) || !ev.is_object() ||
+            (kind = ev.find("event")) == nullptr || !kind->is_string()) {
+          fail_all("internal", "shard worker sent a bad frame" + tag);
+          break;
+        }
+        if (kind->string == "shard_msg") {
+          index_t to = -1, from = -1;
+          const JsonValue* body = ev.find("body");
+          if (!want_index(ev.find("to"), &to) ||
+              !want_index(ev.find("from"), &from) || to >= P || from != r ||
+              body == nullptr || !body->is_string()) {
+            fail_all("internal", "bad shard_msg relay frame" + tag);
+            break;
+          }
+          if (!conns[static_cast<std::size_t>(to)]->send(
+                  shard_msg_request_line(req.id, from, body->string))) {
+            fail_all("internal", "shard relay send failed" + tag);
+            break;
+          }
+          continue;
+        }
+        if (kind->string == "progress") {
+          // Same id, same builder as the in-process path: forward verbatim.
+          if (on_progress) on_progress(line);
+          continue;
+        }
+        if (kind->string == "shard_result") {
+          std::string perr;
+          if (!parse_shard_result_line(ev, &outs[static_cast<std::size_t>(r)],
+                                       &perr)) {
+            fail_all("internal", "bad shard_result" + tag + ": " + perr);
+            break;
+          }
+          got = true;
+          break;
+        }
+        if (kind->string == "error") {
+          const JsonValue* code = ev.find("code");
+          const JsonValue* msg = ev.find("message");
+          fail_all(code != nullptr && code->is_string() ? code->string
+                                                        : "internal",
+                   (msg != nullptr && msg->is_string() ? msg->string
+                                                       : "shard worker error") +
+                       tag);
+          break;
+        }
+        // Anything else (pong, stats) is ignorable noise.
+      }
+      if (!got) fail_all("internal", "shard worker connection lost" + tag);
+    });
+  }
+
+  // Cancel watcher: the client's token must reach the workers, whose rank-0
+  // solve then stops the whole protocol cleanly via its ctl broadcast.
+  std::atomic<bool> done{false};
+  std::thread watcher;
+  if (cancel != nullptr) {
+    watcher = std::thread([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (cancel->cancelled()) {
+          const std::string line =
+              "{\"op\": \"cancel\", \"id\": " + campaign::json_string(req.id) +
+              "}";
+          for (auto& c : conns) c->send(line);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  for (std::thread& t : relays) t.join();
+  done.store(true, std::memory_order_release);
+  if (watcher.joinable()) watcher.join();
+
+  {
+    std::lock_guard<std::mutex> lk(fail_mu);
+    if (!fail_code.empty()) {
+      out.code = fail_code;
+      out.message = fail_message;
+      return out;
+    }
+  }
+  merge_shard_outcomes(outs, &out.result, &out.x);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace feir::service

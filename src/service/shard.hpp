@@ -1,0 +1,72 @@
+// Service glue for sharded solves: the listener/router/worker split.
+//
+// A solve request carrying "ranks": N runs the distributed CG of
+// core/sharded_cg.  On a plain server the ranks are in-process threads over a
+// socketpair mesh; on a server started with --shard-workers the front-end
+// becomes a *router*: it opens one connection per rank to the worker
+// processes, sends each a shard_solve request, relays the rank protocol
+// between them as shard_msg frames, and merges the per-rank shard_result
+// events back into the one result event the client sees.  Both deployments
+// produce byte-identical result lines — the options mapping is shared, every
+// floating-point value crosses the worker wire as its exact bit pattern, and
+// the merge runs in rank order exactly like the in-process driver.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/jobspec.hpp"
+#include "core/sharded_cg.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "support/cancel.hpp"
+
+namespace feir::service {
+
+/// Maps a validated sharded-solve spec onto solver options.  Shared by the
+/// in-process and worker paths so both run the identical solve (the bitwise
+/// router-vs-in-process comparison depends on it).
+ShardedCgOptions shard_options_from_spec(const campaign::JobSpec& spec,
+                                         index_t ranks);
+
+/// Worker -> router terminal event: everything the merge needs, bit-exact
+/// (the x slab and relres as hex bit patterns, the recovery counters as an
+/// ordered array).
+std::string shard_result_line(const std::string& id, const ShardRankOutcome& o);
+
+/// Parses a shard_result event (already JSON-parsed).  False with *err on a
+/// malformed frame.
+bool parse_shard_result_line(const JsonValue& ev, ShardRankOutcome* o,
+                             std::string* err);
+
+/// Folds complete per-rank outcomes (indexed by rank) into one job result
+/// plus the reassembled solution; the verdict comes from rank 0, counters
+/// accumulate in rank order (matching sharded_cg_solve).
+void merge_shard_outcomes(const std::vector<ShardRankOutcome>& outs,
+                          campaign::JobResult* result, std::vector<double>* x);
+
+/// The in-process driver's result in job-result form.  Call only when r.ok.
+campaign::JobResult job_result_from_sharded(const ShardedCgResult& r);
+
+struct RouteOutcome {
+  bool ok = false;
+  std::string code;     // error-event code when !ok
+  std::string message;  // error-event message when !ok
+  campaign::JobResult result;
+  std::vector<double> x;  ///< reassembled solution
+};
+
+/// Runs one sharded solve across worker processes: rank r connects to
+/// workers[r % workers.size()] (a unix path, or host:port), relay threads
+/// shuttle shard_msg traffic between the per-rank connections, rank 0's
+/// progress events are forwarded verbatim through `on_progress`, and a
+/// watcher forwards `cancel` to the workers.  Blocks until every rank
+/// reported (or the first failure tore the fan-out down).
+RouteOutcome route_sharded_solve(const std::vector<std::string>& workers,
+                                 const Request& req, const CancelToken* cancel,
+                                 const std::function<void(const std::string&)>&
+                                     on_progress);
+
+}  // namespace feir::service

@@ -1,0 +1,147 @@
+#include "shard/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "service/net.hpp"
+
+namespace feir::shard {
+
+namespace {
+
+/// One rank's end of the socketpair mesh: fd and read buffer per peer (the
+/// self slot stays unused at -1).  send() reuses the service framing helper;
+/// recv() mirrors the service client's buffered line read.
+class MeshEndpoint : public RankTransport {
+ public:
+  MeshEndpoint(index_t rank, index_t ranks)
+      : rank_(rank),
+        ranks_(ranks),
+        fds_(static_cast<std::size_t>(ranks), -1),
+        bufs_(static_cast<std::size_t>(ranks)) {}
+
+  ~MeshEndpoint() override {
+    for (int fd : fds_)
+      if (fd >= 0) ::close(fd);
+  }
+
+  void adopt(index_t peer, int fd) { fds_[static_cast<std::size_t>(peer)] = fd; }
+
+  index_t rank() const override { return rank_; }
+  index_t ranks() const override { return ranks_; }
+
+  bool send(index_t peer, const std::string& msg) override {
+    if (peer < 0 || peer >= ranks_ || peer == rank_) return false;
+    const int fd = fds_[static_cast<std::size_t>(peer)];
+    return fd >= 0 &&
+           service::send_frame_status(fd, msg) == service::SendStatus::kOk;
+  }
+
+  bool recv(index_t peer, std::string* msg) override {
+    if (peer < 0 || peer >= ranks_ || peer == rank_) return false;
+    const int fd = fds_[static_cast<std::size_t>(peer)];
+    if (fd < 0) return false;
+    std::string& buf = bufs_[static_cast<std::size_t>(peer)];
+    while (true) {
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        msg->assign(buf, 0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void shutdown() override {
+    // ::shutdown (not close) so a concurrently blocked recv() wakes with EOF
+    // instead of racing a reused fd number; the fds close in the dtor.
+    for (int fd : fds_)
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+ private:
+  const index_t rank_;
+  const index_t ranks_;
+  std::vector<int> fds_;
+  std::vector<std::string> bufs_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<RankTransport>> make_socketpair_mesh(index_t ranks) {
+  std::vector<std::unique_ptr<MeshEndpoint>> eps;
+  eps.reserve(static_cast<std::size_t>(ranks));
+  for (index_t r = 0; r < ranks; ++r)
+    eps.push_back(std::make_unique<MeshEndpoint>(r, ranks));
+  for (index_t r = 0; r < ranks; ++r) {
+    for (index_t p = r + 1; p < ranks; ++p) {
+      int fds[2] = {-1, -1};
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        // Leave the pair unconnected; the rank bodies will fail fast on the
+        // first send/recv rather than half-run.
+        continue;
+      }
+      eps[static_cast<std::size_t>(r)]->adopt(p, fds[0]);
+      eps[static_cast<std::size_t>(p)]->adopt(r, fds[1]);
+    }
+  }
+  std::vector<std::unique_ptr<RankTransport>> out;
+  out.reserve(eps.size());
+  for (auto& ep : eps) out.push_back(std::move(ep));
+  return out;
+}
+
+MailboxTransport::MailboxTransport(
+    index_t rank, index_t ranks,
+    std::function<bool(index_t, const std::string&)> send_fn)
+    : rank_(rank),
+      ranks_(ranks),
+      send_fn_(std::move(send_fn)),
+      queues_(static_cast<std::size_t>(ranks)) {}
+
+void MailboxTransport::push(index_t from, std::string msg) {
+  if (from < 0 || from >= ranks_) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return;
+    queues_[static_cast<std::size_t>(from)].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+void MailboxTransport::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MailboxTransport::send(index_t peer, const std::string& msg) {
+  if (peer < 0 || peer >= ranks_ || peer == rank_) return false;
+  return send_fn_ && send_fn_(peer, msg);
+}
+
+bool MailboxTransport::recv(index_t peer, std::string* msg) {
+  if (peer < 0 || peer >= ranks_ || peer == rank_) return false;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto& q = queues_[static_cast<std::size_t>(peer)];
+  cv_.wait(lk, [&] { return closed_ || !q.empty(); });
+  if (q.empty()) return false;  // closed
+  *msg = std::move(q.front());
+  q.pop_front();
+  return true;
+}
+
+}  // namespace feir::shard

@@ -1,0 +1,83 @@
+// Rank-to-rank message transports for the sharded solve path.
+//
+// The rank protocol (core/sharded_cg.cpp) is written against the abstract
+// RankTransport so the same rank body runs in both deployments:
+//   - make_socketpair_mesh: N in-process ranks over a full mesh of
+//     AF_UNIX socketpairs (the single-process `ranks` request path, and the
+//     form every test exercises);
+//   - MailboxTransport: one rank inside a feir_serve worker process, its
+//     traffic tunneled through the worker's service connection as
+//     "shard_msg" frames that the router relays between workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir::shard {
+
+/// Point-to-point ordered message channels between `ranks()` peers.
+/// Implementations must allow send() and recv() from the owning rank's
+/// thread concurrently with shutdown() from any thread.
+class RankTransport {
+ public:
+  virtual ~RankTransport() = default;
+
+  virtual index_t rank() const = 0;
+  virtual index_t ranks() const = 0;
+
+  /// Delivers one message line to `peer`.  False on a broken channel.
+  virtual bool send(index_t peer, const std::string& msg) = 0;
+
+  /// Blocks for the next message from `peer`.  False on EOF / broken
+  /// channel / shutdown — the rank protocol treats that as fatal and
+  /// unwinds, which is how one failed rank releases all the others.
+  virtual bool recv(index_t peer, std::string* msg) = 0;
+
+  /// Breaks every channel of this endpoint: pending and future send/recv
+  /// calls fail.  Called by a rank that aborts so its peers' blocking
+  /// recvs return instead of deadlocking.
+  virtual void shutdown() = 0;
+};
+
+/// Builds a full in-process mesh over socketpairs; element r is rank r's
+/// endpoint.  Endpoints own their fds and may outlive each other.
+std::vector<std::unique_ptr<RankTransport>> make_socketpair_mesh(index_t ranks);
+
+/// Transport for a worker-process rank whose peer traffic is tunneled
+/// through the service connection: recv() pops from per-peer queues fed by
+/// the connection's reader thread (push), send() hands the line to a
+/// callback that frames it as a "shard_msg" event.  close() fails all
+/// pending and future recvs (connection gone).
+class MailboxTransport : public RankTransport {
+ public:
+  MailboxTransport(index_t rank, index_t ranks,
+                   std::function<bool(index_t peer, const std::string& msg)> send_fn);
+
+  /// Called by the connection reader when a shard_msg frame arrives.
+  void push(index_t from, std::string msg);
+  void close();
+
+  index_t rank() const override { return rank_; }
+  index_t ranks() const override { return ranks_; }
+  bool send(index_t peer, const std::string& msg) override;
+  bool recv(index_t peer, std::string* msg) override;
+  void shutdown() override { close(); }
+
+ private:
+  const index_t rank_;
+  const index_t ranks_;
+  const std::function<bool(index_t, const std::string&)> send_fn_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::vector<std::deque<std::string>> queues_;
+};
+
+}  // namespace feir::shard

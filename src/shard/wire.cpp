@@ -1,0 +1,245 @@
+#include "shard/wire.hpp"
+
+#include <cstring>
+
+namespace feir::shard {
+
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+bool parse_dec(std::string_view s, index_t* v) {
+  if (s.empty()) return false;
+  index_t out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + (c - '0');
+  }
+  *v = out;
+  return true;
+}
+
+void append_dec(std::string* out, index_t v) { out->append(std::to_string(v)); }
+
+/// Finds the ";<key>=" field of `payload` (which does not start with ';').
+/// Values may be empty.  Returns false when the key is absent.
+bool field(std::string_view payload, char key, std::string_view* out) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find(';', pos);
+    if (end == std::string_view::npos) end = payload.size();
+    if (end >= pos + 2 && payload[pos] == key && payload[pos + 1] == '=') {
+      *out = payload.substr(pos + 2, end - pos - 2);
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+bool split_list(std::string_view s, const auto& fn) {
+  if (s.empty()) return true;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string_view::npos) end = s.size();
+    if (!fn(s.substr(pos, end - pos))) return false;
+    if (end == s.size()) return true;
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+void append_hex_double(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out->push_back(kHex[(bits >> shift) & 0xF]);
+}
+
+bool parse_hex_double(std::string_view s, double* v) {
+  if (s.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    std::uint64_t nib = 0;
+    if (c >= '0' && c <= '9')
+      nib = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      nib = static_cast<std::uint64_t>(c - 'a') + 10;
+    else
+      return false;
+    bits = (bits << 4) | nib;
+  }
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+std::string wire_header(const char* kind, index_t t) {
+  std::string out(kind);
+  out += ";t=";
+  append_dec(&out, t);
+  return out;
+}
+
+bool wire_open(std::string_view msg, const char* kind, index_t t,
+               std::string_view* payload) {
+  const std::string head = wire_header(kind, t);
+  if (msg.size() < head.size() || msg.compare(0, head.size(), head) != 0)
+    return false;
+  if (msg.size() == head.size()) {
+    *payload = {};
+    return true;
+  }
+  if (msg[head.size()] != ';') return false;
+  *payload = msg.substr(head.size() + 1);
+  return true;
+}
+
+std::string encode_parts(const char* kind, index_t t,
+                         const std::vector<std::pair<index_t, double>>& parts) {
+  std::string out = wire_header(kind, t);
+  out += ";p=";
+  bool first = true;
+  for (const auto& [page, v] : parts) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_dec(&out, page);
+    out.push_back(':');
+    append_hex_double(&out, v);
+  }
+  return out;
+}
+
+bool decode_parts(std::string_view msg, const char* kind, index_t t,
+                  std::vector<std::pair<index_t, double>>* parts) {
+  std::string_view payload, list;
+  if (!wire_open(msg, kind, t, &payload) || !field(payload, 'p', &list))
+    return false;
+  parts->clear();
+  return split_list(list, [&](std::string_view item) {
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) return false;
+    index_t page = 0;
+    double v = 0.0;
+    if (!parse_dec(item.substr(0, colon), &page) ||
+        !parse_hex_double(item.substr(colon + 1), &v))
+      return false;
+    parts->emplace_back(page, v);
+    return true;
+  });
+}
+
+std::string encode_halo(const char* kind, index_t t, const double* v,
+                        const std::vector<index_t>& rows,
+                        const std::vector<index_t>& bad) {
+  std::string out = wire_header(kind, t);
+  out += ";v=";
+  out.reserve(out.size() + rows.size() * 16 + bad.size() * 8 + 4);
+  for (index_t row : rows) append_hex_double(&out, v[row]);
+  out += ";b=";
+  bool first = true;
+  for (index_t page : bad) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_dec(&out, page);
+  }
+  return out;
+}
+
+bool decode_halo(std::string_view msg, const char* kind, index_t t,
+                 const std::vector<index_t>& rows, double* v,
+                 std::vector<index_t>* bad) {
+  std::string_view payload, vals, list;
+  if (!wire_open(msg, kind, t, &payload) || !field(payload, 'v', &vals) ||
+      !field(payload, 'b', &list))
+    return false;
+  if (vals.size() != rows.size() * 16) return false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double x = 0.0;
+    if (!parse_hex_double(vals.substr(i * 16, 16), &x)) return false;
+    v[rows[i]] = x;
+  }
+  return split_list(list, [&](std::string_view item) {
+    index_t page = 0;
+    if (!parse_dec(item, &page)) return false;
+    bad->push_back(page);
+    return true;
+  });
+}
+
+std::string encode_indices(const char* kind, index_t t,
+                           const std::vector<index_t>& idx) {
+  std::string out = wire_header(kind, t);
+  out += ";i=";
+  bool first = true;
+  for (index_t v : idx) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_dec(&out, v);
+  }
+  return out;
+}
+
+bool decode_indices(std::string_view msg, const char* kind, index_t t,
+                    std::vector<index_t>* idx) {
+  std::string_view payload, list;
+  if (!wire_open(msg, kind, t, &payload) || !field(payload, 'i', &list))
+    return false;
+  idx->clear();
+  return split_list(list, [&](std::string_view item) {
+    index_t v = 0;
+    if (!parse_dec(item, &v)) return false;
+    idx->push_back(v);
+    return true;
+  });
+}
+
+std::string encode_scalar(const char* kind, index_t t, double a) {
+  std::string out = wire_header(kind, t);
+  out += ";a=";
+  append_hex_double(&out, a);
+  return out;
+}
+
+bool decode_scalar(std::string_view msg, const char* kind, index_t t,
+                   double* a) {
+  std::string_view payload, val;
+  if (!wire_open(msg, kind, t, &payload) || !field(payload, 'a', &val))
+    return false;
+  return parse_hex_double(val, a);
+}
+
+std::string encode_ctl(const char* kind, index_t t, const CtlMsg& m) {
+  std::string out = wire_header(kind, t);
+  out += ";f=";
+  out.push_back(m.verify ? '1' : '0');
+  out.push_back(m.stop ? '1' : '0');
+  out.push_back(m.restart ? '1' : '0');
+  out.push_back(m.cancelled ? '1' : '0');
+  out.push_back(m.converged ? '1' : '0');
+  out += ";b=";
+  append_hex_double(&out, m.beta);
+  out += ";z=";
+  append_hex_double(&out, m.final_relres);
+  return out;
+}
+
+bool decode_ctl(std::string_view msg, const char* kind, index_t t, CtlMsg* m) {
+  std::string_view payload, flags, beta, fin;
+  if (!wire_open(msg, kind, t, &payload) || !field(payload, 'f', &flags) ||
+      !field(payload, 'b', &beta) || !field(payload, 'z', &fin))
+    return false;
+  if (flags.size() != 5) return false;
+  for (char c : flags)
+    if (c != '0' && c != '1') return false;
+  m->verify = flags[0] == '1';
+  m->stop = flags[1] == '1';
+  m->restart = flags[2] == '1';
+  m->cancelled = flags[3] == '1';
+  m->converged = flags[4] == '1';
+  return parse_hex_double(beta, &m->beta) &&
+         parse_hex_double(fin, &m->final_relres);
+}
+
+}  // namespace feir::shard

@@ -1,0 +1,90 @@
+// Wire codec for the sharded-CG rank protocol.
+//
+// Every message is one text line
+//
+//   <kind>;t=<iter>[;<key>=<value>...]
+//
+// restricted to the charset [a-z0-9;,:=.-] so a message can ride verbatim as
+// a JSON string (the router tunnels rank traffic inside "shard_msg" frames of
+// the service line protocol) without any escaping.  All doubles travel as the
+// 16-hex-digit big-endian image of their IEEE-754 bit pattern: bit-exact at
+// both ends (the whole point of the sharded path is bitwise-identical results
+// at any rank count), immune to printf round-tripping, and safe for NaN/Inf
+// payloads that JSON numbers cannot carry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/layout.hpp"
+
+namespace feir::shard {
+
+/// Appends the 16-hex-digit bit pattern of `v`.
+void append_hex_double(std::string* out, double v);
+
+/// Parses exactly 16 hex digits into a double.  False on malformed input.
+bool parse_hex_double(std::string_view s, double* v);
+
+/// "<kind>;t=<iter>" — the header every message starts with.
+std::string wire_header(const char* kind, index_t t);
+
+/// Validates the header of `msg` against the expected kind and iteration tag
+/// and sets *payload to the remainder (without the leading ';'; empty when
+/// the message is header-only).  A mismatched kind or tag means the protocol
+/// de-synchronised — callers abort the rank.
+bool wire_open(std::string_view msg, const char* kind, index_t t,
+               std::string_view* payload);
+
+// --- Per-page partial lists:  ";p=<page>:<hex16>,<page>:<hex16>,...". -----
+// Used for the eps / d'q / verify-residual reductions: rank 0 concatenates
+// the lists in rank order (== global page order, slabs are contiguous) and
+// sums sequentially, one page at a time, so the reduced value is bit-equal
+// at ANY rank count including the degenerate single-rank run.
+std::string encode_parts(const char* kind, index_t t,
+                         const std::vector<std::pair<index_t, double>>& parts);
+bool decode_parts(std::string_view msg, const char* kind, index_t t,
+                  std::vector<std::pair<index_t, double>>* parts);
+
+// --- Halo payloads:  ";v=<hex16 x rows>;b=<page>,<page>,...". -------------
+// `rows` selects which entries of the full-length vector `v` to ship (the
+// exchange-plan send list, ascending global rows); `bad` is the sender's
+// list of its own non-Ok pages of that vector, so the receiver can skip any
+// page whose footprint touches garbage values.
+std::string encode_halo(const char* kind, index_t t, const double* v,
+                        const std::vector<index_t>& rows,
+                        const std::vector<index_t>& bad);
+/// Scatters the shipped values into v at `rows`; appends sender-bad pages to
+/// *bad.  The value count must match rows.size() exactly.
+bool decode_halo(std::string_view msg, const char* kind, index_t t,
+                 const std::vector<index_t>& rows, double* v,
+                 std::vector<index_t>* bad);
+
+// --- Index lists:  ";i=<idx>,<idx>,..." (may be empty). -------------------
+std::string encode_indices(const char* kind, index_t t,
+                           const std::vector<index_t>& idx);
+bool decode_indices(std::string_view msg, const char* kind, index_t t,
+                    std::vector<index_t>* idx);
+
+// --- One hex double:  ";a=<hex16>". ---------------------------------------
+std::string encode_scalar(const char* kind, index_t t, double a);
+bool decode_scalar(std::string_view msg, const char* kind, index_t t, double* a);
+
+// --- Control broadcast from rank 0. ----------------------------------------
+//   ";f=<verify><stop><restart><cancelled><converged>;b=<hex16>;z=<hex16>"
+struct CtlMsg {
+  bool verify = false;     ///< run the true-residual verify round next
+  bool stop = false;       ///< leave the iteration loop after this round
+  bool restart = false;    ///< false convergence: rebuild g, clear masks
+  bool cancelled = false;  ///< stop came from the cancel token
+  bool converged = false;  ///< verified convergence
+  double beta = 0.0;
+  double final_relres = 0.0;  ///< verified ||b-Ax||/||b|| when stopping
+};
+std::string encode_ctl(const char* kind, index_t t, const CtlMsg& m);
+bool decode_ctl(std::string_view msg, const char* kind, index_t t, CtlMsg* m);
+
+}  // namespace feir::shard

@@ -149,4 +149,18 @@ double residual_norm(const CsrMatrix& A, const double* x, const double* b) {
   return std::sqrt(s);
 }
 
+std::vector<index_t> external_columns(const CsrMatrix& A, index_t r0, index_t r1) {
+  std::vector<index_t> cols;
+  for (index_t i = r0; i < r1; ++i) {
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      if (j < r0 || j >= r1) cols.push_back(j);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
 }  // namespace feir

@@ -65,4 +65,10 @@ void spmm_rows(const CsrMatrix& A, index_t r0, index_t r1, const double* X, doub
 /// ||b - A x||_2, the solver's convergence quantity.
 double residual_norm(const CsrMatrix& A, const double* x, const double* b);
 
+/// Sorted, de-duplicated columns outside [r0, r1) referenced by rows
+/// [r0, r1): the ghost entries a row-slab SpMV must have filled before
+/// spmv_rows(A, r0, r1, ...) reads x.  distsim's exchange plan is built from
+/// these lists.
+std::vector<index_t> external_columns(const CsrMatrix& A, index_t r0, index_t r1);
+
 }  // namespace feir

@@ -1,0 +1,209 @@
+// Tests for src/service/net.hpp: the timeout-vs-hangup distinction of
+// send_frame_status (a peer that stops reading is NOT the same as a peer
+// that went away — a timed-out partial write mis-frames the stream and the
+// connection must be poisoned), the thread-safe errno_string, and the
+// slow-reader regression at the server level: a client that never drains
+// its socket stalls one event write for at most send_timeout_s, gets its
+// connection poisoned, and the server keeps serving everyone else.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/net.hpp"
+#include "service/server.hpp"
+
+namespace feir::service {
+namespace {
+
+struct SocketPair {
+  int fd[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fd), 0); }
+  ~SocketPair() {
+    for (int f : fd)
+      if (f >= 0) ::close(f);
+  }
+  void close_peer() {
+    ::close(fd[1]);
+    fd[1] = -1;
+  }
+};
+
+/// Shrinks the send buffer and arms SO_SNDTIMEO so a non-draining peer
+/// turns into EAGAIN quickly.
+void arm_small_timeout(int fd, int timeout_ms) {
+  const int sndbuf = 4096;  // kernel clamps to its minimum; small enough
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof sndbuf), 0);
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv), 0);
+}
+
+TEST(Net, SendFrameOkOnADrainingPeer) {
+  SocketPair sp;
+  bool mid = true;
+  EXPECT_EQ(send_frame_status(sp.fd[0], "hello", &mid), SendStatus::kOk);
+  EXPECT_FALSE(mid);
+  char buf[16] = {};
+  ASSERT_EQ(::read(sp.fd[1], buf, sizeof buf), 6);
+  EXPECT_EQ(std::string(buf, 6), "hello\n");
+  EXPECT_TRUE(send_frame(sp.fd[0], "again"));
+}
+
+TEST(Net, TimeoutOnANonReadingPeerReportsMidFrame) {
+  SocketPair sp;
+  arm_small_timeout(sp.fd[0], 100);
+  // Far larger than both socket buffers: the write must stall mid-frame and
+  // the expired SO_SNDTIMEO must surface as kTimeout, not kHangup.
+  const std::string frame(4 << 20, 'x');
+  bool mid = false;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(send_frame_status(sp.fd[0], frame, &mid), SendStatus::kTimeout);
+  EXPECT_TRUE(mid) << "bytes were written; the stream is mis-framed";
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::seconds(10)) << "timeout did not bound the stall";
+}
+
+TEST(Net, HangupOnAClosedPeer) {
+  SocketPair sp;
+  sp.close_peer();
+  bool mid = true;
+  // MSG_NOSIGNAL: this must report kHangup, not deliver SIGPIPE.
+  EXPECT_EQ(send_frame_status(sp.fd[0], "gone", &mid), SendStatus::kHangup);
+  EXPECT_FALSE(mid) << "nothing of the frame was accepted";
+  EXPECT_FALSE(send_frame(sp.fd[0], "still gone"));
+}
+
+TEST(Net, ErrnoStringIsDescriptiveAndThreadSafe) {
+  errno = ENOENT;
+  const std::string s = errno_string("open");
+  EXPECT_EQ(s.rfind("open: ", 0), 0u) << s;
+  EXPECT_GT(s.size(), std::string("open: ").size());
+
+  // Hammer it from several threads with different errnos (errno is
+  // thread-local; strerror_r keeps the message buffers private) and check
+  // every result is intact.
+  std::vector<std::thread> threads;
+  std::vector<std::string> out(8);
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([i, &out] {
+      const int errs[] = {EPIPE, ECONNRESET, EAGAIN, ENOENT};
+      for (int k = 0; k < 2000; ++k) {
+        errno = errs[(i + k) % 4];
+        out[static_cast<std::size_t>(i)] = errno_string("send");
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (const std::string& s2 : out) {
+    EXPECT_EQ(s2.rfind("send: ", 0), 0u) << s2;
+    EXPECT_GT(s2.size(), std::string("send: ").size()) << s2;
+  }
+}
+
+// --------------------------------------------- slow-reader regression ----
+
+std::string nfield(const std::string& line, const char* key) {
+  JsonValue v;
+  std::string err;
+  if (!json_parse(line, &v, &err)) return "<unparseable>";
+  const JsonValue* f = v.find(key);
+  if (f == nullptr) return "";
+  if (f->is_string()) return f->string;
+  if (f->is_bool()) return f->boolean ? "true" : "false";
+  return "";
+}
+
+TEST(Net, SlowReaderIsPoisonedAndTheServerKeepsServing) {
+  ServerOptions opts;
+  opts.unix_path = "/tmp/feir_net_test_slow_" + std::to_string(::getpid()) + ".sock";
+  opts.workers = 2;
+  opts.send_timeout_s = 0.2;  // poison a stalled connection fast
+  Server server(opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // The slow reader: a raw socket (so we control its buffers and never read
+  // from it) requesting a streaming solve, whose many progress events fill
+  // the server's send side quickly.
+  const int slow_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  {
+    const int rcvbuf = 4096;
+    ::setsockopt(slow_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(opts.unix_path.size(), sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, opts.unix_path.c_str(), opts.unix_path.size() + 1);
+    ASSERT_EQ(::connect(slow_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof addr),
+              0)
+        << errno_string("connect");
+  }
+  // An endless solve: its progress stream (plus the pong replies below) fills
+  // the kernel buffers toward the never-reading client, so a blocking event
+  // write must eventually hit the send timeout and poison the connection.
+  const std::string slow_req =
+      "{\"op\": \"solve\", \"id\": \"slow\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"tol\": 1e-300, \"max_iter\": 1000000000,"
+      " \"stream\": true}\n";
+  ASSERT_EQ(::send(slow_fd, slow_req.data(), slow_req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(slow_req.size()));
+
+  // Keep requesting pongs without ever reading one.  Once the buffers are
+  // full, the server's blocking pong write stalls for send_timeout_s, the
+  // connection is poisoned and shut down, and our sends start failing.
+  const std::string ping = "{\"op\": \"ping\", \"id\": \"p\"}\n";
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool poisoned = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n =
+        ::send(slow_fd, ping.data(), ping.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      poisoned = true;  // EPIPE/ECONNRESET: the server shut the socket down
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_TRUE(poisoned) << "server never poisoned the non-reading connection";
+
+  // From the slow client's side the stream ends in EOF (or reset), never a
+  // silent wedge.
+  std::vector<char> sink(1 << 16);
+  bool eof = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(slow_fd, sink.data(), sink.size(), 0);
+    if (n <= 0) {
+      eof = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(eof);
+  ::close(slow_fd);
+
+  // And the server kept serving everyone else: the poisoned connection's
+  // solve was cancelled when its reader unwound, freeing the worker, and a
+  // well-behaved client completes normally.
+  Client good;
+  ASSERT_TRUE(good.connect_unix(opts.unix_path, &err)) << err;
+  std::string reply;
+  ASSERT_TRUE(good.roundtrip(
+      "{\"op\": \"solve\", \"id\": \"g\", \"matrix\": \"ecology2\","
+      " \"scale\": 0.1, \"tol\": 1e-8}",
+      &reply));
+  EXPECT_EQ(nfield(reply, "event"), "result") << reply;
+  EXPECT_EQ(nfield(reply, "converged"), "true") << reply;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace feir::service

@@ -31,6 +31,14 @@
 //                        admission, weighted-fair dispatch, per-tenant stats
 //   --tenant-file PATH   tenant specs from a config file, one per line
 //                        ('#' comments); combines with --tenant flags
+//   --shard-workers LIST comma-separated worker addresses (unix path or
+//                        host:port, each another feir_serve); makes this
+//                        server a router for "ranks" solves — rank r runs
+//                        on workers[r % count] (default: in-process ranks)
+//   --send-timeout-ms MS per-connection SO_SNDTIMEO (default 30000; 0
+//                        disables) — how long a blocking event write to a
+//                        non-reading client may stall before the connection
+//                        is poisoned
 //   --help               full flag and tenant-grammar reference
 //
 // The daemon runs until SIGINT/SIGTERM, then cancels in-flight solves and
@@ -67,6 +75,14 @@ Capacity:
   --deadline-ms MS     default per-request deadline (> 0; omit for unlimited)
   --cache-entries N    session-cache bound per kind; 0 = unbounded (default 64)
   --allow-matrix-files accept "matrix" values naming MatrixMarket files
+  --send-timeout-ms MS per-connection write timeout (default 30000; 0 = none)
+
+Sharded solves:
+  --shard-workers LIST comma-separated worker addresses (unix path or
+                       host:port), each another feir_serve; this server then
+                       routes "ranks": N solves across them, relaying the
+                       rank protocol as shard_msg frames.  Without the flag
+                       sharded solves run as in-process rank threads.
 
 QoS (declaring any tenant enables auth + per-tenant admission):
   --tenant SPEC        declare one tenant (repeatable)
@@ -141,6 +157,23 @@ int main(int argc, char** argv) {
       std::string terr;
       if (!qos::parse_tenant_config(text.str(), &opts.tenants, &terr))
         cli_fail(flag, path + ": " + terr);
+    } else if (flag == "--shard-workers") {
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string addr =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (addr.empty()) cli_fail(flag, "empty worker address in list");
+        opts.shard_workers.push_back(addr);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (flag == "--send-timeout-ms") {
+      const double ms = cli_double(flag, next());
+      if (ms < 0.0) cli_fail(flag, "must be >= 0 (0 disables the timeout)");
+      opts.send_timeout_s = ms / 1000.0;
     } else if (flag == "--help" || flag == "-h") {
       std::fputs(kHelp, stdout);
       return 0;
@@ -174,6 +207,9 @@ int main(int argc, char** argv) {
   if (!opts.tenants.empty())
     std::printf("feir_serve: QoS enabled for %zu tenant(s); auth required\n",
                 opts.tenants.size());
+  if (!opts.shard_workers.empty())
+    std::printf("feir_serve: routing sharded solves across %zu worker(s)\n",
+                opts.shard_workers.size());
   std::fflush(stdout);
 
   int sig = 0;
