@@ -11,10 +11,19 @@
 //     27-point stencil;
 //   * the multi-RHS sweep, seeding BENCH_spmm.json and failing if the fused
 //     SpMM falls below 1.3x the throughput of k independent SpMVs at k = 8
-//     on the same stencil (the batched-solve bandwidth win).
+//     on the same stencil (the batched-solve bandwidth win);
+//   * the precision sweep, seeding BENCH_precision.json and failing if the
+//     fp32 SELL SpMV falls below 1.5x the scalar fp64 CSR reference — the
+//     same baseline the SELL gate uses, so the gate measures the full fast
+//     path (layout + precision) against the seed SpMV.  The fp32-vs-fp64
+//     SELL ratio is recorded alongside but not gated: its per-nonzero
+//     traffic ceiling is exactly (8+4)/(4+4) = 1.5x, which no real machine
+//     reaches (measured ~1.4x here at the memory-resident default edge).
 // Knobs:
-//   FEIR_BENCH_SPMV_EDGE     stencil grid edge          (default 24)
-//   FEIR_BENCH_SPMV_WORKERS  batch worker threads       (default 8)
+//   FEIR_BENCH_SPMV_EDGE       stencil grid edge          (default 24)
+//   FEIR_BENCH_SPMV_WORKERS    batch worker threads       (default 8)
+//   FEIR_BENCH_PRECISION_EDGE  precision-sweep grid edge  (default 48)
+//   FEIR_BENCH_PRECISION_GATE  fp32-SELL/fp64-CSR gate    (default 1.5)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -466,6 +475,112 @@ int spmm_smoke() {
   return 0;
 }
 
+/// One timing sample of the fp32 path: `rounds` chained fp32 SpMVs staged as
+/// one TaskBatch over `workers` chunks.  Returns seconds per SpMV.
+double time_spmv32_rounds(Runtime& rt, const SparseMatrix& M, unsigned workers,
+                          int rounds, const float* x, float* y) {
+  Stopwatch clock;
+  TaskBatch tb(rt);
+  BatchOps ops(tb, M.n(), workers);
+  for (int r = 0; r < rounds; ++r) ops.spmv32(M, x, y);
+  ops.run();
+  return clock.seconds() / rounds;
+}
+
+/// The mixed-precision gate: fp32 vs fp64 SpMV per backend on the stencil,
+/// seeding BENCH_precision.json.  CI fails when fp32 SELL drops below
+/// FEIR_BENCH_PRECISION_GATE (default 1.5) times the scalar fp64 CSR
+/// reference — the fast path exists to convert its smaller footprint into
+/// speed, and a kernel change that loses that loses the reason to run it.
+/// The default edge is larger than the format smoke's so the value stream,
+/// not the gathered x vector, dominates (the regime the fast path targets).
+int precision_smoke() {
+  const index_t edge = env_long("FEIR_BENCH_PRECISION_EDGE", 48);
+  const auto workers =
+      static_cast<unsigned>(env_long("FEIR_BENCH_SPMV_WORKERS", 8));
+  const double gate = env_double("FEIR_BENCH_PRECISION_GATE", 1.5);
+  const int rounds = 48, reps = 15;
+  const CsrMatrix A = stencil3d_27pt(edge, edge, edge);
+  std::printf("precision smoke: stencil3d_27pt edge=%lld n=%lld nnz=%lld, %u workers, "
+              "%d rounds x %d reps\n",
+              (long long)edge, (long long)A.n, (long long)A.nnz(), workers, rounds,
+              reps);
+
+  struct Config {
+    std::string name;
+    SparseMatrix M;
+    bool fp32;
+    std::vector<double> lat;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"fp64/csr", SparseMatrix(A), false, {}});
+  configs.push_back(
+      {"fp64/sell_c32", SparseMatrix::make(A, SparseFormat::Sell, 32, 64), false, {}});
+  configs.push_back(
+      {"fp32/csr", SparseMatrix::make(A, SparseFormat::Csr, 0, 0, Precision::Fp32),
+       true, {}});
+  configs.push_back(
+      {"fp32/sell_c32",
+       SparseMatrix::make(A, SparseFormat::Sell, 32, 64, Precision::Fp32), true, {}});
+
+  std::vector<double> a(static_cast<std::size_t>(A.n)), b(a.size(), 0.0);
+  {
+    Rng rng(1);
+    for (auto& v : a) v = rng.uniform(-1, 1);
+  }
+  std::vector<float> a32(a.size()), b32(a.size(), 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) a32[i] = static_cast<float>(a[i]);
+
+  Runtime rt(workers);
+  auto sample = [&](Config& cfg, int n_rounds) {
+    return cfg.fp32
+               ? time_spmv32_rounds(rt, cfg.M, workers, n_rounds, a32.data(), b32.data())
+               : time_spmv_rounds(rt, cfg.M, workers, n_rounds, a.data(), b.data());
+  };
+  for (Config& cfg : configs)  // warm code, caches, and both mirrors
+    sample(cfg, 8);
+  // Round-robin reps so machine-speed drift biases every config equally.
+  for (int rep = 0; rep < reps; ++rep)
+    for (Config& cfg : configs) cfg.lat.push_back(sample(cfg, rounds));
+
+  std::vector<bench::BenchRecord> records;
+  double csr64 = 0.0, sell64 = 0.0, sell32 = 0.0;
+  for (Config& cfg : configs) {
+    std::vector<double> lat = cfg.lat;
+    std::sort(lat.begin(), lat.end());
+    const double best = lat.front();
+    bench::BenchRecord rec;
+    rec.name = "precision/stencil27_e" + std::to_string(edge) + "/" + cfg.name;
+    rec.threads = workers;
+    rec.tasks_per_sec = static_cast<double>(A.nnz()) / best;  // nnz throughput
+    rec.p50_latency_us = lat[lat.size() / 2] * 1e6;
+    rec.p95_latency_us = lat[std::min(lat.size() - 1, lat.size() * 95 / 100)] * 1e6;
+    records.push_back(rec);
+    if (cfg.name == "fp64/csr") csr64 = rec.tasks_per_sec;
+    if (cfg.name == "fp64/sell_c32") sell64 = rec.tasks_per_sec;
+    if (cfg.name == "fp32/sell_c32") sell32 = rec.tasks_per_sec;
+    std::printf("  %-32s %8.1f us/spmv  %6.2f Gnnz/s\n", rec.name.c_str(),
+                rec.p50_latency_us, rec.tasks_per_sec / 1e9);
+  }
+
+  if (!bench::write_bench_json("BENCH_precision.json", "precision", records)) {
+    std::fprintf(stderr, "bench_kernels: cannot write BENCH_precision.json\n");
+    return 1;
+  }
+  const double ratio = csr64 > 0.0 ? sell32 / csr64 : 0.0;
+  std::printf("fp32 SELL / fp64 CSR throughput: %.2fx (gate: >= %.2fx); "
+              "fp32 / fp64 SELL: %.2fx (informational, ceiling 1.5x)\n",
+              ratio, gate, sell64 > 0.0 ? sell32 / sell64 : 0.0);
+  if (ratio < gate) {
+    std::fprintf(stderr,
+                 "bench_kernels: fp32 SELL SpMV regressed below %.2fx the fp64 CSR "
+                 "reference (%.2fx)\n",
+                 gate, ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -473,7 +588,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       const int spmv_rc = spmv_smoke();
       const int spmm_rc = spmm_smoke();
-      return spmv_rc != 0 ? spmv_rc : spmm_rc;
+      const int prec_rc = precision_smoke();
+      return spmv_rc != 0 ? spmv_rc : (spmm_rc != 0 ? spmm_rc : prec_rc);
     }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

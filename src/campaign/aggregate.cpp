@@ -13,7 +13,8 @@ namespace {
 auto key_tuple(const CellKey& k) {
   return std::make_tuple(k.matrix, static_cast<int>(k.solver), static_cast<int>(k.method),
                          static_cast<int>(k.precond), k.nrhs,
-                         static_cast<int>(k.inject_kind), k.inject_rate);
+                         static_cast<int>(k.precision), static_cast<int>(k.inject_kind),
+                         k.inject_rate);
 }
 
 }  // namespace
@@ -35,6 +36,9 @@ std::string CellKey::label() const {
   // The batch width shows up only when swept, so single-RHS labels (and the
   // golden reports built from them) are unchanged.
   if (nrhs > 1) s += "/nrhs=" + std::to_string(nrhs);
+  // Likewise the precision: only non-default (fp32) cells are tagged, so
+  // every pre-existing fp64 label is byte-identical.
+  if (precision != Precision::Fp64) s += std::string("/") + precision_name(precision);
   if (inject_kind != InjectionKind::None) {
     s += "/";
     s += injection_name(inject_kind);
@@ -50,6 +54,7 @@ CellKey cell_of(const JobSpec& spec) {
   k.method = spec.method;
   k.precond = spec.precond;
   k.nrhs = spec.nrhs;
+  k.precision = spec.precision;
   k.inject_kind = spec.inject.kind;
   k.inject_rate = spec.inject.rate();
   return k;

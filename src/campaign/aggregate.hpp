@@ -23,6 +23,7 @@ struct CellKey {
   Method method = Method::Feir;
   PrecondKind precond = PrecondKind::None;
   index_t nrhs = 1;          ///< batch width; labelled only when > 1
+  Precision precision = Precision::Fp64;  ///< labelled only when not fp64
   InjectionKind inject_kind = InjectionKind::None;
   double inject_rate = 0.0;
 

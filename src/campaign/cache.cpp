@@ -12,9 +12,7 @@
 
 namespace feir::campaign {
 
-namespace {
-
-std::string problem_key(const std::string& matrix, double scale) {
+std::string problem_cache_key(const std::string& matrix, double scale) {
   // Full precision: std::to_string's fixed 6 decimals would collide
   // distinct tenant-supplied scales (1e-7 vs 2e-7) onto one cached problem.
   char buf[40];
@@ -22,20 +20,32 @@ std::string problem_key(const std::string& matrix, double scale) {
   return matrix + "@" + buf;
 }
 
+namespace {
+
 std::unique_ptr<Preconditioner> make_precond(PrecondKind kind, const CsrMatrix& A,
-                                             index_t block_rows, const BlockJacobi** bj) {
+                                             index_t block_rows, Precision precision,
+                                             const BlockJacobi** bj) {
   const BlockLayout layout(A.n, block_rows);
+  if (precision == Precision::Fp32 &&
+      (kind == PrecondKind::BlockJacobi || kind == PrecondKind::Sweeps))
+    // BlockJacobi's dense factors feed the exact Table-1 recovery solves and
+    // must stay fp64; sweeps has no fp32 mode either.  Upstream validation
+    // rejects these combinations, so hitting this is a programming error
+    // turned into a cached error entry rather than a wrong-precision serve.
+    throw std::invalid_argument(std::string("precond ") + precond_name(kind) +
+                                " has no fp32 mode");
   switch (kind) {
     case PrecondKind::None: return nullptr;
     case PrecondKind::Jacobi:
-      return std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows);
+      return std::make_unique<JacobiPreconditioner>(A.diagonal(), block_rows, precision);
     case PrecondKind::BlockJacobi: {
       auto m = std::make_unique<BlockJacobi>(A, layout);
       *bj = m.get();
       return m;
     }
     case PrecondKind::Sweeps: return std::make_unique<JacobiSweeps>(A, layout, 3);
-    case PrecondKind::GaussSeidel: return std::make_unique<BlockGaussSeidel>(A, layout, 2);
+    case PrecondKind::GaussSeidel:
+      return std::make_unique<BlockGaussSeidel>(A, layout, 2, precision);
   }
   return nullptr;
 }
@@ -104,7 +114,7 @@ std::shared_ptr<const Entry> ResourceCache::get(
 
 std::shared_ptr<const ResourceCache::ProblemEntry> ResourceCache::problem(
     const std::string& matrix, double scale) {
-  return get(problems_, problem_key(matrix, scale), [&] {
+  return get(problems_, problem_cache_key(matrix, scale), [&] {
     auto e = std::make_shared<ProblemEntry>();
     try {
       e->problem = load_problem(matrix, scale);
@@ -116,8 +126,9 @@ std::shared_ptr<const ResourceCache::ProblemEntry> ResourceCache::problem(
 }
 
 std::shared_ptr<const ResourceCache::BackendEntry> ResourceCache::backend(
-    const std::string& matrix, double scale, SparseFormat format) {
-  const std::string key = problem_key(matrix, scale) + "%" + format_name(format);
+    const std::string& matrix, double scale, SparseFormat format, Precision precision) {
+  const std::string key = problem_cache_key(matrix, scale) + "%" + format_name(format) +
+                          "%" + precision_name(precision);
   return get(backends_, key, [&]() -> std::shared_ptr<BackendEntry> {
     auto e = std::make_shared<BackendEntry>();
     e->problem = problem(matrix, scale);
@@ -126,7 +137,7 @@ std::shared_ptr<const ResourceCache::BackendEntry> ResourceCache::backend(
       return e;
     }
     try {
-      e->S = SparseMatrix::make(e->problem->problem.A, format);
+      e->S = SparseMatrix::make(e->problem->problem.A, format, 0, 0, precision);
     } catch (const std::exception& ex) {
       e->error = ex.what();
     }
@@ -135,9 +146,11 @@ std::shared_ptr<const ResourceCache::BackendEntry> ResourceCache::backend(
 }
 
 std::shared_ptr<const ResourceCache::PrecondEntry> ResourceCache::precond(
-    const std::string& matrix, double scale, PrecondKind kind, index_t block_rows) {
-  const std::string key = problem_key(matrix, scale) + "#" + precond_name(kind) + "#" +
-                          std::to_string(block_rows);
+    const std::string& matrix, double scale, PrecondKind kind, index_t block_rows,
+    Precision precision) {
+  const std::string key = problem_cache_key(matrix, scale) + "#" + precond_name(kind) +
+                          "#" + std::to_string(block_rows) + "#" +
+                          precision_name(precision);
   return get(preconds_, key, [&]() -> std::shared_ptr<PrecondEntry> {
     auto e = std::make_shared<PrecondEntry>();
     e->problem = problem(matrix, scale);
@@ -146,7 +159,7 @@ std::shared_ptr<const ResourceCache::PrecondEntry> ResourceCache::precond(
       return e;
     }
     try {
-      e->M = make_precond(kind, e->problem->problem.A, block_rows, &e->bj);
+      e->M = make_precond(kind, e->problem->problem.A, block_rows, precision, &e->bj);
     } catch (const std::exception& ex) {
       e->error = ex.what();
     }

@@ -40,6 +40,13 @@ namespace feir::campaign {
 /// failure; the cache getters turn that into a cached error entry.
 TestbedProblem load_problem(const std::string& matrix, double scale);
 
+/// Canonical cache-key stem of a (matrix, scale) problem, at full scale
+/// precision ("%.17g": std::to_string's fixed 6 decimals would collide
+/// distinct tenant-supplied scales onto one entry).  Every key that names a
+/// problem-derived resource — here and in the executor's warmup dedup — must
+/// go through this helper so the collision fix cannot regress in one place.
+std::string problem_cache_key(const std::string& matrix, double scale);
+
 class ResourceCache {
  public:
   /// One unique (matrix, scale): the assembled problem or the load error.
@@ -76,11 +83,16 @@ class ResourceCache {
   /// Each getter returns the cached entry, building it on first use.  Safe to
   /// call concurrently: one caller builds, the rest block on that entry (not
   /// on the whole cache) until it is ready.  Never returns null.
+  /// `precision` is part of the key — an fp32 SELL mirror or fp32-mode
+  /// preconditioner must never be served to an fp64 request (and vice
+  /// versa), the same omission class as the %.17g scale-collision fix.
   std::shared_ptr<const ProblemEntry> problem(const std::string& matrix, double scale);
   std::shared_ptr<const BackendEntry> backend(const std::string& matrix, double scale,
-                                              SparseFormat format);
+                                              SparseFormat format,
+                                              Precision precision = Precision::Fp64);
   std::shared_ptr<const PrecondEntry> precond(const std::string& matrix, double scale,
-                                              PrecondKind kind, index_t block_rows);
+                                              PrecondKind kind, index_t block_rows,
+                                              Precision precision = Precision::Fp64);
 
   Stats stats() const;
 

@@ -128,6 +128,8 @@ JobResult run_block_job(const JobSpec& spec, const TestbedProblem& p,
     throw std::invalid_argument("batched solves (nrhs > 1) support solver cg only");
   if (spec.precond != PrecondKind::None)
     throw std::invalid_argument("batched solves (nrhs > 1) support precond none only");
+  if (spec.precision != Precision::Fp64)
+    throw std::invalid_argument("batched solves (nrhs > 1) support precision fp64 only");
   if (spec.inject.kind == InjectionKind::WallClockMtbe ||
       spec.inject.kind == InjectionKind::SingleAtTime)
     throw std::invalid_argument(
@@ -225,12 +227,21 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
     InjectionHooks hooks;
     hooks.spec = &spec;
 
+    // The mixed-precision fast path exists for resilient CG only: fp32
+    // operands feed its preconditioner application and checkpoint payloads
+    // while the fp64 recurrence and Table-1 recovery stay exact.  The other
+    // solvers have no such split, so an fp32 request there is an error, not
+    // a silent fp64 run.
+    if (spec.precision != Precision::Fp64 && spec.solver != SolverKind::Cg)
+      throw std::invalid_argument("precision fp32 supports solver cg only");
+
     // The job's storage backend.  Reused from the caller's cache when
     // provided; otherwise the SELL-C-σ structure is built here (cost ~ one
     // SpMV) and shared by reference count with the solver.  Recovery
     // relations keep addressing the CSR reference either way.
     const SparseMatrix S =
-        extras.S != nullptr ? *extras.S : SparseMatrix::make(p.A, spec.format);
+        extras.S != nullptr ? *extras.S
+                            : SparseMatrix::make(p.A, spec.format, 0, 0, spec.precision);
 
     // Multi-RHS specs take the block path; so does a width-1 spec whose
     // caller armed per-column extras (the service's solve_batch keeps one
@@ -251,8 +262,15 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
 
     switch (spec.solver) {
       case SolverKind::Cg: {
-        if (M != nullptr && bj == nullptr)
-          throw std::invalid_argument("resilient CG takes blockjacobi or none");
+        // Any deterministic applier works (z recovery re-applies it per
+        // block, §3.2); the fp32 fast path is limited to the appliers with an
+        // fp32 mode, so a precision sweep compares the same operator at both
+        // precisions instead of silently changing preconditioner class.
+        if (spec.precision == Precision::Fp32 &&
+            (spec.precond == PrecondKind::BlockJacobi ||
+             spec.precond == PrecondKind::Sweeps))
+          throw std::invalid_argument(
+              "precision fp32 supports precond none, jacobi, or gs");
         ResilientCgOptions opts;
         opts.method = spec.method;
         opts.tol = spec.tol;
@@ -267,9 +285,10 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         if (spec.method == Method::Checkpoint) {
           opts.ckpt.period_iters = spec.ckpt_period_iters;
           opts.ckpt.path = spec.ckpt_path;  // empty = in-memory
+          opts.ckpt.precision = spec.precision;  // fp32 = compressed payloads
         }
         opts.on_iteration = iter_hook;
-        ResilientCg solver(S, p.b.data(), opts, bj);
+        ResilientCg solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientCg, ResilientCgResult>(spec, solver, p.A.n,
                                                                  hooks);
         break;
@@ -382,19 +401,28 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
     batch.set_cancel(cancel);
     std::set<std::string> seen;
     for (const JobSpec& s : out.specs) {
-      const std::string base = s.matrix + "@" + std::to_string(s.scale);
+      // The dedup key goes through problem_cache_key, not std::to_string:
+      // its 6 fixed decimals would collide distinct scales here even though
+      // the cache itself keys at full precision, warming one backend where
+      // two were needed and serializing the second build behind Phase 3.
+      const std::string base = problem_cache_key(s.matrix, s.scale);
       const JobSpec* spec = &s;
-      if (seen.insert(base + "%" + format_name(s.format)).second)
-        batch.add(
-            [this, spec] { cache_.backend(spec->matrix, spec->scale, spec->format); },
-            {}, 0, "backend:" + s.matrix);
-      if (s.precond == PrecondKind::None) continue;
-      if (seen.insert(base + "#" + precond_name(s.precond) + "#" +
-                      std::to_string(s.block_rows))
+      if (seen.insert(base + "%" + format_name(s.format) + "%" +
+                      precision_name(s.precision))
               .second)
         batch.add(
             [this, spec] {
-              cache_.precond(spec->matrix, spec->scale, spec->precond, spec->block_rows);
+              cache_.backend(spec->matrix, spec->scale, spec->format, spec->precision);
+            },
+            {}, 0, "backend:" + s.matrix);
+      if (s.precond == PrecondKind::None) continue;
+      if (seen.insert(base + "#" + precond_name(s.precond) + "#" +
+                      std::to_string(s.block_rows) + "#" + precision_name(s.precision))
+              .second)
+        batch.add(
+            [this, spec] {
+              cache_.precond(spec->matrix, spec->scale, spec->precond, spec->block_rows,
+                             spec->precision);
             },
             {}, 0, "precond:" + s.matrix);
     }
@@ -421,11 +449,12 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
             } else if (spec->inject.mprotect && out.specs.size() > 1) {
               slot->error = "mprotect injection is single-job only";
             } else {
-              const auto be = cache_.backend(spec->matrix, spec->scale, spec->format);
+              const auto be = cache_.backend(spec->matrix, spec->scale, spec->format,
+                                             spec->precision);
               std::shared_ptr<const ResourceCache::PrecondEntry> ce;
               if (spec->precond != PrecondKind::None)
                 ce = cache_.precond(spec->matrix, spec->scale, spec->precond,
-                                    spec->block_rows);
+                                    spec->block_rows, spec->precision);
               if (!be->problem->error.empty()) {
                 slot->error = "problem: " + be->problem->error;
               } else if (!be->error.empty()) {

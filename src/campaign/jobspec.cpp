@@ -78,6 +78,10 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
         for (index_t nrhs : grid.nrhs) {
           // The batch-width axis is likewise CG-only.
           if (solver != SolverKind::Cg && nrhs != grid.nrhs.front()) continue;
+          for (Precision precision : grid.precisions) {
+          // The precision axis too: only CG has the mixed fast path.
+          if (solver != SolverKind::Cg && precision != grid.precisions.front())
+            continue;
           for (PrecondKind precond : grid.preconds)
             for (const Injection& inject : grid.injections)
               for (int rep = 0; rep < grid.replicas; ++rep) {
@@ -90,6 +94,8 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
                 j.precond = precond;
                 j.format = grid.format;
                 j.nrhs = solver == SolverKind::Cg ? nrhs : 1;
+                j.precision =
+                    solver == SolverKind::Cg ? precision : Precision::Fp64;
                 j.inject = inject;
                 j.replica = rep;
                 j.seed = derive_job_seed(grid.campaign_seed, j.index);
@@ -106,6 +112,7 @@ std::vector<JobSpec> expand_grid(const GridSpec& grid) {
                   j.expected_mtbe_s = inject.mtbe_s;
                 jobs.push_back(std::move(j));
               }
+          }
         }
       }
   return jobs;

@@ -79,6 +79,11 @@ struct JobSpec {
   /// single-RHS path; > 1 runs ResilientBlockCg over block_rhs() columns,
   /// paying one fused matrix sweep (SpMM) per iteration for all columns.
   index_t nrhs = 1;
+  /// Operand precision of the mixed-precision fast path (CG only, single
+  /// RHS).  Fp32 applies the preconditioner (jacobi / gs) in fp32 and
+  /// compresses checkpoint payloads; the fp64 outer recurrence and the
+  /// Table-1 recovery relations are untouched, so fp64 jobs stay bit-exact.
+  Precision precision = Precision::Fp64;
   Injection inject;
   int replica = 0;
   std::uint64_t seed = 1;     ///< derive_job_seed(campaign_seed, index)
@@ -107,6 +112,9 @@ struct GridSpec {
   /// Batch-width axis (feir_campaign --nrhs 1,4,8): sweeps how many RHS are
   /// fused per job.  Applies to CG jobs; other solvers stay single-RHS.
   std::vector<index_t> nrhs{1};
+  /// Precision axis (feir_campaign --precision fp64,fp32): sweeps the mixed-
+  /// precision fast path.  Applies to CG jobs; other solvers stay fp64.
+  std::vector<Precision> precisions{Precision::Fp64};
   int replicas = 1;
 
   std::uint64_t campaign_seed = 1;
@@ -123,12 +131,14 @@ struct GridSpec {
 
   /// Number of jobs expand_grid() will produce.  The method axis only
   /// multiplies CG and pipelined-CG jobs; other solvers ignore it and get
-  /// one job per remaining coordinate.  The batch-width axis is CG-only.
+  /// one job per remaining coordinate.  The batch-width and precision axes
+  /// are CG-only.
   std::size_t size() const {
     std::size_t method_jobs = 0;
     for (SolverKind s : solvers)
       method_jobs += ((s == SolverKind::Cg || s == SolverKind::Pcg) ? methods.size() : 1) *
-                     (s == SolverKind::Cg ? nrhs.size() : 1);
+                     (s == SolverKind::Cg ? nrhs.size() : 1) *
+                     (s == SolverKind::Cg ? precisions.size() : 1);
     return matrices.size() * method_jobs * preconds.size() * injections.size() *
            static_cast<std::size_t>(replicas);
   }

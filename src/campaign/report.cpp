@@ -170,6 +170,9 @@ std::string job_record_json(const JobSpec& spec, const JobResult& result, bool t
   // Only batched jobs carry the width (and, below, the per-column records),
   // so single-RHS reports — including every golden — are byte-unchanged.
   if (spec.nrhs > 1) j.field("nrhs", jnum(spec.nrhs));
+  // Same contract for the precision axis: the default (fp64) is implicit.
+  if (spec.precision != Precision::Fp64)
+    j.field("precision", jstr(precision_name(spec.precision)));
   j.field("threads", jnum(static_cast<std::uint64_t>(spec.threads)));
   if (!result.ran) {
     j.field("error", jstr(result.error));
@@ -262,9 +265,14 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
   // The nrhs key column appears only when some cell actually swept the batch
   // width, so single-RHS reports (and their goldens) are byte-unchanged.
   bool batched = false;
-  for (const CellSummary& cell : cells) batched = batched || cell.key.nrhs > 1;
+  bool mixed = false;
+  for (const CellSummary& cell : cells) {
+    batched = batched || cell.key.nrhs > 1;
+    mixed = mixed || cell.key.precision != Precision::Fp64;
+  }
   std::string out = "matrix,solver,method,precond";
   if (batched) out += ",nrhs";
+  if (mixed) out += ",precision";
   out += ",inject_kind,inject_rate,jobs,failed,converged";
   summary_csv_header(out, "iters");
   summary_csv_header(out, "relres");
@@ -277,6 +285,7 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
     out += std::string(",") + method_cli_name(cell.key.method);
     out += std::string(",") + precond_name(cell.key.precond);
     if (batched) out += "," + std::to_string(cell.key.nrhs);
+    if (mixed) out += std::string(",") + precision_name(cell.key.precision);
     out += std::string(",") + injection_name(cell.key.inject_kind);
     out += "," + jnum(cell.key.inject_rate);
     out += "," + std::to_string(cell.jobs);
@@ -293,9 +302,14 @@ std::string cells_csv(const std::vector<CellSummary>& cells, bool timing) {
 
 std::string jobs_csv(const CampaignResult& c, bool timing) {
   bool batched = false;
-  for (const JobSpec& s : c.specs) batched = batched || s.nrhs > 1;
+  bool mixed = false;
+  for (const JobSpec& s : c.specs) {
+    batched = batched || s.nrhs > 1;
+    mixed = mixed || s.precision != Precision::Fp64;
+  }
   std::string out = "index,matrix,solver,method,precond,format";
   if (batched) out += ",nrhs";
+  if (mixed) out += ",precision";
   out += ",inject_kind,inject_rate,replica,seed,converged,iterations,relres,"
          "errors_injected";
   if (timing) out += ",seconds";
@@ -310,6 +324,7 @@ std::string jobs_csv(const CampaignResult& c, bool timing) {
     out += std::string(",") + precond_name(s.precond);
     out += std::string(",") + format_name(s.format);
     if (batched) out += "," + std::to_string(s.nrhs);
+    if (mixed) out += std::string(",") + precision_name(s.precision);
     out += std::string(",") + injection_name(s.inject.kind);
     out += "," + jnum(s.inject.rate());
     out += "," + std::to_string(s.replica);

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/lossy.hpp"
 #include "support/timing.hpp"
 
 namespace feir {
@@ -18,8 +19,12 @@ namespace {
 // checksum of the payload.  A restore validates all three, so a truncated,
 // overwritten, or bit-flipped checkpoint file is rejected cleanly (restore
 // returns false and the caller restarts from the initial state) instead of
-// silently resuming from garbage.
-constexpr std::uint64_t kCkptMagic = 0x464549524B505431ULL;  // "FEIRKPT1"
+// silently resuming from garbage.  Compressed (fp32) checkpoints carry a
+// distinct magic and a float payload — same header, checksum, EOF and fsync
+// discipline — so a reader configured for one precision rejects the other's
+// file instead of misparsing it.
+constexpr std::uint64_t kCkptMagic = 0x464549524B505431ULL;    // "FEIRKPT1"
+constexpr std::uint64_t kCkptMagic32 = 0x464549524B505432ULL;  // "FEIRKPT2"
 
 struct CkptHeader {
   std::uint64_t magic;
@@ -27,21 +32,31 @@ struct CkptHeader {
   std::uint64_t iter;
 };
 
-std::uint64_t fnv1a(const double* v, std::size_t count, std::uint64_t h) {
-  const unsigned char* p = reinterpret_cast<const unsigned char*>(v);
-  for (std::size_t i = 0; i < count * sizeof(double); ++i) {
+std::uint64_t fnv1a(const void* v, std::size_t bytes, std::uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(v);
+  for (std::size_t i = 0; i < bytes; ++i) {
     h ^= p[i];
     h *= 0x100000001b3ULL;
   }
   return h;
 }
 
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
 }  // namespace
 
 Checkpointer::Checkpointer(index_t n, CheckpointOptions opts) : n_(n), opts_(std::move(opts)) {
+  const auto un = static_cast<std::size_t>(n);
   if (opts_.path.empty()) {
-    mem_x_.resize(static_cast<std::size_t>(n));
-    mem_d_.resize(static_cast<std::size_t>(n));
+    if (opts_.precision == Precision::Fp32) {
+      mem_x32_.resize(un);
+      mem_d32_.resize(un);
+    } else {
+      mem_x_.resize(un);
+      mem_d_.resize(un);
+    }
+  } else if (opts_.precision == Precision::Fp32) {
+    scratch32_.resize(un);
   }
 }
 
@@ -51,20 +66,37 @@ Checkpointer::~Checkpointer() {
 
 double Checkpointer::save(index_t iter, const double* x, const double* d) {
   Stopwatch clock;
+  const auto un = static_cast<std::size_t>(n_);
   if (opts_.path.empty()) {
-    std::copy(x, x + n_, mem_x_.begin());
-    std::copy(d, d + n_, mem_d_.begin());
+    if (opts_.precision == Precision::Fp32) {
+      quantize_fp32(x, n_, mem_x32_.data());
+      quantize_fp32(d, n_, mem_d32_.data());
+    } else {
+      std::copy(x, x + n_, mem_x_.begin());
+      std::copy(d, d + n_, mem_d_.begin());
+    }
   } else {
     std::FILE* f = std::fopen(opts_.path.c_str(), "wb");
     if (f == nullptr) throw std::runtime_error("Checkpointer: cannot open " + opts_.path);
-    const auto un = static_cast<std::size_t>(n_);
-    const CkptHeader hdr{kCkptMagic, static_cast<std::uint64_t>(n_),
+    const bool f32 = opts_.precision == Precision::Fp32;
+    const CkptHeader hdr{f32 ? kCkptMagic32 : kCkptMagic, static_cast<std::uint64_t>(n_),
                          static_cast<std::uint64_t>(iter)};
-    const std::uint64_t sum = fnv1a(d, un, fnv1a(x, un, 0xcbf29ce484222325ULL));
-    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1 &&
-              std::fwrite(x, sizeof(double), un, f) == un &&
-              std::fwrite(d, sizeof(double), un, f) == un &&
-              std::fwrite(&sum, sizeof(sum), 1, f) == 1;
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+    std::uint64_t sum = kFnvBasis;
+    if (f32) {
+      // Quantize each vector through the staging buffer: half the payload
+      // bytes on the wire, decoded back to doubles on rollback.
+      for (const double* v : {x, d}) {
+        quantize_fp32(v, n_, scratch32_.data());
+        sum = fnv1a(scratch32_.data(), un * sizeof(float), sum);
+        ok = std::fwrite(scratch32_.data(), sizeof(float), un, f) == un && ok;
+      }
+    } else {
+      sum = fnv1a(d, un * sizeof(double), fnv1a(x, un * sizeof(double), sum));
+      ok = std::fwrite(x, sizeof(double), un, f) == un &&
+           std::fwrite(d, sizeof(double), un, f) == un && ok;
+    }
+    ok = std::fwrite(&sum, sizeof(sum), 1, f) == 1 && ok;
     ok = (std::fflush(f) == 0) && ok;
     // A checkpoint that lives in the page cache is not a checkpoint: force
     // it to the device, like the paper's writes to node-local disk.
@@ -81,23 +113,51 @@ double Checkpointer::save(index_t iter, const double* x, const double* d) {
 bool Checkpointer::restore(double* x, double* d, index_t* iter) {
   if (!has_) return false;
   if (opts_.path.empty()) {
-    std::copy(mem_x_.begin(), mem_x_.end(), x);
-    std::copy(mem_d_.begin(), mem_d_.end(), d);
+    if (opts_.precision == Precision::Fp32) {
+      dequantize_fp32(mem_x32_.data(), n_, x);
+      dequantize_fp32(mem_d32_.data(), n_, d);
+    } else {
+      std::copy(mem_x_.begin(), mem_x_.end(), x);
+      std::copy(mem_d_.begin(), mem_d_.end(), d);
+    }
   } else {
     std::FILE* f = std::fopen(opts_.path.c_str(), "rb");
     if (f == nullptr) return false;
     const auto un = static_cast<std::size_t>(n_);
+    const bool f32 = opts_.precision == Precision::Fp32;
     CkptHeader hdr{};
-    std::uint64_t sum = 0;
-    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1 && hdr.magic == kCkptMagic &&
-              hdr.n == static_cast<std::uint64_t>(n_) &&
-              std::fread(x, sizeof(double), un, f) == un &&
-              std::fread(d, sizeof(double), un, f) == un &&
-              std::fread(&sum, sizeof(sum), 1, f) == 1;
-    // Trailing bytes mean the file is not the checkpoint we wrote.
-    ok = ok && std::fgetc(f) == EOF;
+    std::uint64_t want = 0;
+    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1 &&
+              hdr.magic == (f32 ? kCkptMagic32 : kCkptMagic) &&
+              hdr.n == static_cast<std::uint64_t>(n_);
+    std::uint64_t sum = kFnvBasis;
+    if (f32) {
+      // Decode-on-rollback: validate the float payload's checksum first,
+      // widen into the caller's vectors only on success.
+      std::vector<float> xin(un), din(un);
+      ok = ok && std::fread(xin.data(), sizeof(float), un, f) == un &&
+           std::fread(din.data(), sizeof(float), un, f) == un &&
+           std::fread(&want, sizeof(want), 1, f) == 1;
+      ok = ok && std::fgetc(f) == EOF;
+      sum = fnv1a(din.data(), un * sizeof(float),
+                  fnv1a(xin.data(), un * sizeof(float), sum));
+      if (ok && sum == want) {
+        dequantize_fp32(xin.data(), n_, x);
+        dequantize_fp32(din.data(), n_, d);
+      } else {
+        ok = false;
+      }
+    } else {
+      ok = ok && std::fread(x, sizeof(double), un, f) == un &&
+           std::fread(d, sizeof(double), un, f) == un &&
+           std::fread(&want, sizeof(want), 1, f) == 1;
+      // Trailing bytes mean the file is not the checkpoint we wrote.
+      ok = ok && std::fgetc(f) == EOF;
+      sum = fnv1a(d, un * sizeof(double), fnv1a(x, un * sizeof(double), sum));
+      ok = ok && sum == want;
+    }
     std::fclose(f);
-    if (!ok || sum != fnv1a(d, un, fnv1a(x, un, 0xcbf29ce484222325ULL))) return false;
+    if (!ok) return false;
     *iter = static_cast<index_t>(hdr.iter);
     return true;
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sparse/f32.hpp"
 #include "support/layout.hpp"
 
 namespace feir {
@@ -21,6 +22,13 @@ struct CheckpointOptions {
   /// File path for disk checkpoints; empty keeps them in memory (used by
   /// tests; the benches write to a real file like the paper's local disk).
   std::string path;
+  /// Payload precision.  Fp32 stores compressed checkpoints (the lossy.hpp
+  /// fp32 quantizer: half the memory / disk traffic, decode on rollback);
+  /// the disk format carries a distinct magic so a reader configured for one
+  /// precision rejects the other's file.  Restored state is then fl32(saved)
+  /// — the solver recomputes the residual after rollback as always, so the
+  /// trajectory stays consistent.
+  Precision precision = Precision::Fp64;
 };
 
 /// Saves/restores (x, d) pairs.
@@ -49,6 +57,8 @@ class Checkpointer {
   index_t n_;
   CheckpointOptions opts_;
   std::vector<double> mem_x_, mem_d_;
+  std::vector<float> mem_x32_, mem_d32_;  ///< compressed in-memory payloads
+  std::vector<float> scratch32_;          ///< disk staging at Fp32
   index_t saved_iter_ = 0;
   bool has_ = false;
   double last_cost_ = 0.0;

@@ -38,4 +38,12 @@ double a_norm_error(const CsrMatrix& A, const double* x, const double* x_star) {
   return a_norm(A, e.data());
 }
 
+void quantize_fp32(const double* v, index_t n, float* out) {
+  for (index_t i = 0; i < n; ++i) out[i] = static_cast<float>(v[i]);
+}
+
+void dequantize_fp32(const float* v, index_t n, double* out) {
+  for (index_t i = 0; i < n; ++i) out[i] = static_cast<double>(v[i]);
+}
+
 }  // namespace feir

@@ -28,4 +28,15 @@ double a_norm(const CsrMatrix& A, const double* v);
 /// ||x_star - x||_A for convenience in the theorem tests.
 double a_norm_error(const CsrMatrix& A, const double* x, const double* x_star);
 
+/// Round-to-nearest fp32 quantization of a solver vector — the codec behind
+/// compressed (precision = fp32) checkpoints: payloads are stored as floats
+/// (half the bytes, half the save/restore traffic) and widened back on
+/// rollback.  Deterministic, so a restored state is a pure function of the
+/// saved one and the byte-compare suites can pin it.
+void quantize_fp32(const double* v, index_t n, float* out);
+
+/// Exact widening of a quantized payload (every float is representable as a
+/// double, so dequantize(quantize(v)) == fl32(v) bit-for-bit).
+void dequantize_fp32(const float* v, index_t n, double* out);
+
 }  // namespace feir

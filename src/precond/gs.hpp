@@ -20,29 +20,49 @@
 namespace feir {
 
 /// `sweeps` symmetric (forward+backward) Gauss-Seidel sweeps per block.
+/// At Precision::Fp32 the sweeps run on the fp32 CSR mirror with float state
+/// (g rounded once per read, z widened once on write) — the mixed-precision
+/// fast path.  The fp32 sweep always walks the CSR mirror regardless of the
+/// outer SpMV backend, so mixed results are format-independent too.
 class BlockGaussSeidel final : public Preconditioner {
  public:
   /// `A` must outlive the preconditioner (it is applied straight from the
   /// matrix storage).  Any backend works; results are format-independent.
-  BlockGaussSeidel(SparseMatrix A, const BlockLayout& layout, int sweeps = 2)
-      : Am_(std::move(A)), layout_(layout), sweeps_(sweeps < 1 ? 1 : sweeps) {}
+  BlockGaussSeidel(SparseMatrix A, const BlockLayout& layout, int sweeps = 2,
+                   Precision precision = Precision::Fp64)
+      : Am_(std::move(A)), layout_(layout), sweeps_(sweeps < 1 ? 1 : sweeps) {
+    if (precision == Precision::Fp32) {
+      A32_ = Am_.csr32_ptr();
+      if (A32_ == nullptr)
+        A32_ = std::make_shared<const CsrMatrixF32>(csr_to_f32(Am_.csr()));
+    }
+  }
 
   void apply(const double* g, double* z) const override {
-    for (index_t b = 0; b < layout_.num_blocks(); ++b)
-      gs_block_sweeps(Am_, layout_.begin(b), layout_.end(b), sweeps_, g, z);
+    for (index_t b = 0; b < layout_.num_blocks(); ++b) sweep_block(b, g, z);
   }
 
   void apply_blocks(const std::vector<index_t>& blocks, const double* g,
                     double* z) const override {
-    for (index_t b : blocks)
-      gs_block_sweeps(Am_, layout_.begin(b), layout_.end(b), sweeps_, g, z);
+    for (index_t b : blocks) sweep_block(b, g, z);
   }
 
   int sweeps() const { return sweeps_; }
   const BlockLayout& layout() const { return layout_; }
+  Precision precision() const {
+    return A32_ == nullptr ? Precision::Fp64 : Precision::Fp32;
+  }
 
  private:
+  void sweep_block(index_t b, const double* g, double* z) const {
+    if (A32_ != nullptr)
+      gs_block_sweeps_f32(*A32_, layout_.begin(b), layout_.end(b), sweeps_, g, z);
+    else
+      gs_block_sweeps(Am_, layout_.begin(b), layout_.end(b), sweeps_, g, z);
+  }
+
   SparseMatrix Am_;
+  std::shared_ptr<const CsrMatrixF32> A32_;  ///< non-null exactly at Fp32
   BlockLayout layout_;
   int sweeps_;
 };

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "sparse/f32.hpp"
 #include "support/layout.hpp"
 
 namespace feir {
@@ -45,28 +46,52 @@ class IdentityPreconditioner final : public Preconditioner {
   BlockLayout layout_;
 };
 
-/// Point-Jacobi (diagonal) preconditioner.
+/// Point-Jacobi (diagonal) preconditioner.  At Precision::Fp32 the stored
+/// reciprocals and the multiply run in fp32 (g rounded once on read, z
+/// widened once on write) — the mixed-precision fast path.  Either way the
+/// operator is a fixed deterministic function of g, so apply_blocks() on a
+/// lost page regenerates exactly the bits apply() produced there.
 class JacobiPreconditioner final : public Preconditioner {
  public:
   /// `diag` must hold the matrix diagonal (all entries nonzero).
-  JacobiPreconditioner(std::vector<double> diag, index_t block_rows)
+  JacobiPreconditioner(std::vector<double> diag, index_t block_rows,
+                       Precision precision = Precision::Fp64)
       : inv_diag_(std::move(diag)), layout_(static_cast<index_t>(inv_diag_.size()), block_rows) {
     for (auto& d : inv_diag_) d = 1.0 / d;
+    if (precision == Precision::Fp32) {
+      inv_diag32_.resize(inv_diag_.size());
+      for (std::size_t i = 0; i < inv_diag_.size(); ++i)
+        inv_diag32_[i] = static_cast<float>(inv_diag_[i]);
+    }
   }
 
   void apply(const double* g, double* z) const override {
-    for (index_t i = 0; i < layout_.n; ++i) z[i] = inv_diag_[static_cast<std::size_t>(i)] * g[i];
+    apply_rows(0, layout_.n, g, z);
   }
 
   void apply_blocks(const std::vector<index_t>& blocks, const double* g,
                     double* z) const override {
-    for (index_t b : blocks)
-      for (index_t i = layout_.begin(b); i < layout_.end(b); ++i)
-        z[i] = inv_diag_[static_cast<std::size_t>(i)] * g[i];
+    for (index_t b : blocks) apply_rows(layout_.begin(b), layout_.end(b), g, z);
+  }
+
+  Precision precision() const {
+    return inv_diag32_.empty() ? Precision::Fp64 : Precision::Fp32;
   }
 
  private:
+  void apply_rows(index_t r0, index_t r1, const double* g, double* z) const {
+    if (!inv_diag32_.empty()) {
+      for (index_t i = r0; i < r1; ++i)
+        z[i] = static_cast<double>(inv_diag32_[static_cast<std::size_t>(i)] *
+                                   static_cast<float>(g[i]));
+    } else {
+      for (index_t i = r0; i < r1; ++i)
+        z[i] = inv_diag_[static_cast<std::size_t>(i)] * g[i];
+    }
+  }
+
   std::vector<double> inv_diag_;
+  std::vector<float> inv_diag32_;  ///< non-empty exactly at Fp32
   BlockLayout layout_;
 };
 

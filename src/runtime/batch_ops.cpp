@@ -46,6 +46,17 @@ void BatchOps::spmv(const SparseMatrix& A, const double* x, double* y, const cha
   }
 }
 
+void BatchOps::spmv32(const SparseMatrix& A, const float* x, float* y,
+                      const char* name) {
+  for (index_t c = 0; c < nchunks_; ++c) {
+    std::vector<Dep> deps = whole(x, Access::In);
+    deps.push_back(out(y, c));
+    const auto [r0, r1] = chunk(c);
+    batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows32(r0, r1, x, y); },
+               std::move(deps), 0, name);
+  }
+}
+
 void BatchOps::spmm(const SparseMatrix& A, const double* X, double* Y, index_t k,
                     const char* name) {
   for (index_t c = 0; c < nchunks_; ++c) {

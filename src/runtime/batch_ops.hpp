@@ -46,6 +46,12 @@ class BatchOps {
   /// not a temporary.
   void spmv(const SparseMatrix& A, const double* x, double* y, const char* name = "q");
 
+  /// fp32 y = A x through `A`'s fp32 mirror (A must be built with
+  /// precision fp32).  Same chunking and determinism contract as spmv();
+  /// the bench sweeps use it to time the half-bandwidth kernels under the
+  /// same scheduler as the fp64 path.
+  void spmv32(const SparseMatrix& A, const float* x, float* y, const char* name = "q32");
+
   /// One un-chunked task reading/writing whole vectors (preconditioner
   /// applications whose sweep semantics are not chunk-safe).  `write` may
   /// also appear in `reads` for in-place updates.

@@ -225,6 +225,11 @@ ParsedRequest parse_request(std::string_view line) {
       if (!want_string(value, "format", &s, &why)) return fail("bad_request", why);
       if (!format_from_name(s, &spec.format))
         return fail("bad_request", "unknown format \"" + s + "\"");
+    } else if (key == "precision") {
+      std::string s;
+      if (!want_string(value, "precision", &s, &why)) return fail("bad_request", why);
+      if (!precision_from_name(s, &spec.precision))
+        return fail("bad_request", "unknown precision \"" + s + "\"");
     } else if (key == "tol") {
       if (!want_number(value, "tol", &spec.tol, &why)) return fail("bad_request", why);
       if (!(spec.tol > 0.0) || !(spec.tol < 1.0))
@@ -329,6 +334,22 @@ ParsedRequest parse_request(std::string_view line) {
                   "pcg methods: ideal, ckpt, feir, afeir (not trivial/lossy)");
   }
 
+  // The mixed-precision fast path belongs to single-RHS resilient CG with an
+  // applier-style preconditioner; every other combination is a schema error,
+  // never a silent fp64 run.
+  if (is_solve && spec.precision != Precision::Fp64) {
+    if (is_shard || req.ranks > 0)
+      return fail("bad_request", "sharded solves support precision \"fp64\" only");
+    if (is_batch)
+      return fail("bad_request", "solve_batch supports precision \"fp64\" only");
+    if (spec.solver != campaign::SolverKind::Cg)
+      return fail("bad_request", "precision \"fp32\" supports solver \"cg\" only");
+    if (spec.precond == campaign::PrecondKind::BlockJacobi ||
+        spec.precond == campaign::PrecondKind::Sweeps)
+      return fail("bad_request",
+                  "precision \"fp32\" supports precond \"none\", \"jacobi\", or \"gs\"");
+  }
+
   out.ok = true;
   return out;
 }
@@ -385,6 +406,9 @@ std::string result_line(const std::string& id, const campaign::JobSpec& spec,
   out += ", \"method\": " + json_string(method_cli_name(spec.method));
   out += ", \"precond\": " + json_string(campaign::precond_name(spec.precond));
   out += ", \"format\": " + json_string(format_name(spec.format));
+  // fp64 results stay byte-identical: only the non-default precision echoes.
+  if (spec.precision != Precision::Fp64)
+    out += ", \"precision\": " + json_string(precision_name(spec.precision));
   out += ", \"seed\": " + std::to_string(spec.seed);
   out += ", \"tol\": " + json_number(spec.tol);
   out += ", \"block_rows\": " + std::to_string(spec.block_rows);

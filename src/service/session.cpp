@@ -4,7 +4,7 @@ namespace feir::service {
 
 SessionManager::Prepared SessionManager::prepare(const campaign::JobSpec& spec) {
   Prepared out;
-  out.backend = cache_.backend(spec.matrix, spec.scale, spec.format);
+  out.backend = cache_.backend(spec.matrix, spec.scale, spec.format, spec.precision);
   if (!out.backend->problem->error.empty()) {
     out.error = "problem: " + out.backend->problem->error;
     return out;
@@ -14,7 +14,8 @@ SessionManager::Prepared SessionManager::prepare(const campaign::JobSpec& spec) 
     return out;
   }
   if (spec.precond != campaign::PrecondKind::None) {
-    out.precond = cache_.precond(spec.matrix, spec.scale, spec.precond, spec.block_rows);
+    out.precond = cache_.precond(spec.matrix, spec.scale, spec.precond, spec.block_rows,
+                                 spec.precision);
     if (!out.precond->error.empty()) {
       out.error = "precond: " + out.precond->error;
       return out;

@@ -1,0 +1,319 @@
+// fp32 CSR/SELL-C-σ kernels — the value-stream half of the mixed-precision
+// fast path.
+//
+// Compiled with the same SIMD flags as sell.cpp (see CMakeLists.txt) and,
+// like it, always with FP contraction off: each lane is one IEEE float
+// multiply followed by one IEEE float add, padded lanes are masked with a
+// blend, and every row owns its accumulator — so the fp32 SELL kernel is
+// bit-identical to the scalar fp32 CSR reference for any C and σ, the same
+// contract the fp64 pair keeps.
+#include "sparse/f32.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+#include "support/env.hpp"
+
+namespace feir {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Fp64: return "fp64";
+    case Precision::Fp32: return "fp32";
+  }
+  return "?";
+}
+
+bool precision_from_name(const std::string& s, Precision* out) {
+  if (s == "fp64") *out = Precision::Fp64;
+  else if (s == "fp32") *out = Precision::Fp32;
+  else return false;
+  return true;
+}
+
+Precision default_precision() {
+  Precision p = Precision::Fp64;
+  precision_from_name(env_string("FEIR_PRECISION", "fp64"), &p);
+  return p;
+}
+
+CsrMatrixF32 csr_to_f32(const CsrMatrix& A) {
+  if (A.n > static_cast<index_t>(std::numeric_limits<std::int32_t>::max()))
+    throw std::invalid_argument("csr_to_f32: dimension exceeds 32-bit columns");
+  CsrMatrixF32 M;
+  M.n = A.n;
+  M.row_ptr = A.row_ptr;
+  M.col_idx.resize(A.col_idx.size());
+  for (std::size_t k = 0; k < A.col_idx.size(); ++k)
+    M.col_idx[k] = static_cast<std::int32_t>(A.col_idx[k]);
+  M.vals.resize(A.vals.size());
+  for (std::size_t k = 0; k < A.vals.size(); ++k)
+    M.vals[k] = static_cast<float>(A.vals[k]);
+  return M;
+}
+
+SellMatrixF32 sell_to_f32(const SellMatrix& S) {
+  SellMatrixF32 M;
+  M.n = S.n;
+  M.slice_rows = S.slice_rows;
+  M.sigma = S.sigma;
+  M.nslices = S.nslices;
+  M.slice_ptr = S.slice_ptr;
+  M.cols = S.cols;
+  M.len = S.len;
+  M.full = S.full;
+  M.perm = S.perm;
+  M.rank = S.rank;
+  M.vals.resize(S.vals.size());
+  for (std::size_t k = 0; k < S.vals.size(); ++k)
+    M.vals[k] = static_cast<float>(S.vals[k]);
+  return M;
+}
+
+// ------------------------------------------------------------- CSR fp32 --
+
+void spmv_rows(const CsrMatrixF32& A, index_t r0, index_t r1, const float* x,
+               float* y) {
+  for (index_t i = r0; i < r1; ++i) {
+    float acc = 0.0f;
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      acc += A.vals[static_cast<std::size_t>(k)] *
+             x[A.col_idx[static_cast<std::size_t>(k)]];
+    y[i] = acc;
+  }
+}
+
+void spmv(const CsrMatrixF32& A, const float* x, float* y) {
+  spmv_rows(A, 0, A.n, x, y);
+}
+
+void spmm_rows(const CsrMatrixF32& A, index_t r0, index_t r1, const float* X,
+               float* Y, index_t k) {
+  for (index_t i = r0; i < r1; ++i) {
+    float* y = Y + i * k;
+    for (index_t t = 0; t < k; ++t) y[t] = 0.0f;
+    for (index_t p = A.row_ptr[static_cast<std::size_t>(i)];
+         p < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const float v = A.vals[static_cast<std::size_t>(p)];
+      const float* x =
+          X + static_cast<index_t>(A.col_idx[static_cast<std::size_t>(p)]) * k;
+      for (index_t t = 0; t < k; ++t) y[t] += v * x[t];
+    }
+  }
+}
+
+void spmm(const CsrMatrixF32& A, const float* X, float* Y, index_t k) {
+  spmm_rows(A, 0, A.n, X, Y, k);
+}
+
+// ------------------------------------------------------------ SELL fp32 --
+
+namespace {
+
+// The fp32 twin of sell.cpp's slice_kernel: compile-time slice height, one
+// gather+blend per step, float accumulators.
+template <int C>
+void slice_kernel_f32(const SellMatrixF32& A, index_t s0, index_t s1, const float* x,
+                      float* y) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t off = A.slice_ptr[static_cast<std::size_t>(s)];
+    const index_t width =
+        (A.slice_ptr[static_cast<std::size_t>(s) + 1] - off) / C;
+    const index_t base = s * C;
+    const index_t* ln = &A.len[static_cast<std::size_t>(base)];
+    const index_t full = A.full[static_cast<std::size_t>(s)];
+
+    float acc[C];
+    for (int r = 0; r < C; ++r) acc[r] = 0.0f;
+    index_t j = 0;
+    for (; j < full; ++j) {
+      const float* v = &A.vals[static_cast<std::size_t>(off + j * C)];
+      const std::int32_t* c = &A.cols[static_cast<std::size_t>(off + j * C)];
+#pragma omp simd
+      for (int r = 0; r < C; ++r) acc[r] += v[r] * x[c[r]];
+    }
+    for (; j < width; ++j) {
+      const float* v = &A.vals[static_cast<std::size_t>(off + j * C)];
+      const std::int32_t* c = &A.cols[static_cast<std::size_t>(off + j * C)];
+#pragma omp simd
+      for (int r = 0; r < C; ++r)
+        acc[r] = (j < ln[r]) ? acc[r] + v[r] * x[c[r]] : acc[r];
+    }
+    const index_t lanes = std::min<index_t>(C, A.n - base);
+    for (index_t r = 0; r < lanes; ++r)
+      y[A.perm[static_cast<std::size_t>(base + r)]] = acc[r];
+  }
+}
+
+void run_slices_f32(const SellMatrixF32& A, index_t s0, index_t s1, const float* x,
+                    float* y) {
+  switch (A.slice_rows) {
+    case 1: slice_kernel_f32<1>(A, s0, s1, x, y); return;
+    case 2: slice_kernel_f32<2>(A, s0, s1, x, y); return;
+    case 4: slice_kernel_f32<4>(A, s0, s1, x, y); return;
+    case 8: slice_kernel_f32<8>(A, s0, s1, x, y); return;
+    case 16: slice_kernel_f32<16>(A, s0, s1, x, y); return;
+    case 32: slice_kernel_f32<32>(A, s0, s1, x, y); return;
+    case 64: slice_kernel_f32<64>(A, s0, s1, x, y); return;
+    default: break;
+  }
+  // sell_from_csr keeps slice_rows a power of two <= 64; unreachable.
+}
+
+// The fp32 twin of slice_spmm_kernel: lanes walk their own entries, the
+// value broadcast over compile-time column tiles of contiguous X loads.
+template <int C>
+void slice_spmm_kernel_f32(const SellMatrixF32& A, index_t s0, index_t s1,
+                           const float* X, float* Y, index_t k) {
+  for (index_t s = s0; s < s1; ++s) {
+    const index_t off = A.slice_ptr[static_cast<std::size_t>(s)];
+    const index_t base = s * C;
+    const index_t lanes = std::min<index_t>(C, A.n - base);
+    for (index_t r = 0; r < lanes; ++r) {
+      const index_t len = A.len[static_cast<std::size_t>(base + r)];
+      const float* v0 = &A.vals[static_cast<std::size_t>(off + r)];
+      const std::int32_t* c0 = &A.cols[static_cast<std::size_t>(off + r)];
+      float* y = Y + A.perm[static_cast<std::size_t>(base + r)] * k;
+      auto tile = [&](auto width, index_t j0) {
+        constexpr int T = decltype(width)::value;
+        float acc[T];
+        for (int t = 0; t < T; ++t) acc[t] = 0.0f;
+        for (index_t j = 0; j < len; ++j) {
+          const float v = v0[j * C];
+          const float* x = X + static_cast<index_t>(c0[j * C]) * k + j0;
+#pragma omp simd
+          for (int t = 0; t < T; ++t) acc[t] += v * x[t];
+        }
+        for (int t = 0; t < T; ++t) y[j0 + t] = acc[t];
+      };
+      index_t j0 = 0;
+      for (; j0 + 8 <= k; j0 += 8) tile(std::integral_constant<int, 8>{}, j0);
+      if (j0 + 4 <= k) { tile(std::integral_constant<int, 4>{}, j0); j0 += 4; }
+      switch (k - j0) {
+        case 3: tile(std::integral_constant<int, 3>{}, j0); break;
+        case 2: tile(std::integral_constant<int, 2>{}, j0); break;
+        case 1: tile(std::integral_constant<int, 1>{}, j0); break;
+        default: break;
+      }
+    }
+  }
+}
+
+void run_slices_spmm_f32(const SellMatrixF32& A, index_t s0, index_t s1,
+                         const float* X, float* Y, index_t k) {
+  switch (A.slice_rows) {
+    case 1: slice_spmm_kernel_f32<1>(A, s0, s1, X, Y, k); return;
+    case 2: slice_spmm_kernel_f32<2>(A, s0, s1, X, Y, k); return;
+    case 4: slice_spmm_kernel_f32<4>(A, s0, s1, X, Y, k); return;
+    case 8: slice_spmm_kernel_f32<8>(A, s0, s1, X, Y, k); return;
+    case 16: slice_spmm_kernel_f32<16>(A, s0, s1, X, Y, k); return;
+    case 32: slice_spmm_kernel_f32<32>(A, s0, s1, X, Y, k); return;
+    case 64: slice_spmm_kernel_f32<64>(A, s0, s1, X, Y, k); return;
+    default: break;
+  }
+  // sell_from_csr keeps slice_rows a power of two <= 64; unreachable.
+}
+
+float row_gather_f32(const SellMatrixF32& A, index_t i, const float* x) {
+  const index_t C = A.slice_rows;
+  const index_t p = A.rank[static_cast<std::size_t>(i)];
+  const index_t off = A.slice_ptr[static_cast<std::size_t>(p / C)] + p % C;
+  float acc = 0.0f;
+  for (index_t j = 0; j < A.len[static_cast<std::size_t>(p)]; ++j)
+    acc += A.vals[static_cast<std::size_t>(off + j * C)] *
+           x[A.cols[static_cast<std::size_t>(off + j * C)]];
+  return acc;
+}
+
+void row_gather_multi_f32(const SellMatrixF32& A, index_t i, const float* X, float* Y,
+                          index_t k) {
+  const index_t C = A.slice_rows;
+  const index_t p = A.rank[static_cast<std::size_t>(i)];
+  const index_t off = A.slice_ptr[static_cast<std::size_t>(p / C)] + p % C;
+  float* y = Y + i * k;
+  for (index_t t = 0; t < k; ++t) y[t] = 0.0f;
+  for (index_t j = 0; j < A.len[static_cast<std::size_t>(p)]; ++j) {
+    const float v = A.vals[static_cast<std::size_t>(off + j * C)];
+    const float* x =
+        X + static_cast<index_t>(A.cols[static_cast<std::size_t>(off + j * C)]) * k;
+    for (index_t t = 0; t < k; ++t) y[t] += v * x[t];
+  }
+}
+
+}  // namespace
+
+void spmv(const SellMatrixF32& A, const float* x, float* y) {
+  run_slices_f32(A, 0, A.nslices, x, y);
+}
+
+void spmv_rows(const SellMatrixF32& A, index_t r0, index_t r1, const float* x,
+               float* y) {
+  const index_t C = A.slice_rows;
+  index_t a0 = r0 + (A.sigma - r0 % A.sigma) % A.sigma;
+  index_t a1 = r1 == A.n ? A.n : r1 - r1 % A.sigma;
+  if (a1 <= a0) {
+    for (index_t i = r0; i < r1; ++i) y[i] = row_gather_f32(A, i, x);
+    return;
+  }
+  for (index_t i = r0; i < a0; ++i) y[i] = row_gather_f32(A, i, x);
+  run_slices_f32(A, a0 / C, (a1 + C - 1) / C, x, y);
+  for (index_t i = a1; i < r1; ++i) y[i] = row_gather_f32(A, i, x);
+}
+
+void spmm(const SellMatrixF32& A, const float* X, float* Y, index_t k) {
+  run_slices_spmm_f32(A, 0, A.nslices, X, Y, k);
+}
+
+void spmm_rows(const SellMatrixF32& A, index_t r0, index_t r1, const float* X,
+               float* Y, index_t k) {
+  const index_t C = A.slice_rows;
+  index_t a0 = r0 + (A.sigma - r0 % A.sigma) % A.sigma;
+  index_t a1 = r1 == A.n ? A.n : r1 - r1 % A.sigma;
+  if (a1 <= a0) {
+    for (index_t i = r0; i < r1; ++i) row_gather_multi_f32(A, i, X, Y, k);
+    return;
+  }
+  for (index_t i = r0; i < a0; ++i) row_gather_multi_f32(A, i, X, Y, k);
+  run_slices_spmm_f32(A, a0 / C, (a1 + C - 1) / C, X, Y, k);
+  for (index_t i = a1; i < r1; ++i) row_gather_multi_f32(A, i, X, Y, k);
+}
+
+// --------------------------------------------------- fp32 GS application --
+
+namespace {
+
+// One fp32 relaxation of row i against the block [r0, r1): the float twin of
+// matrix.cpp's gs_relax_row, reading g through a single rounding.
+void gs_relax_row_f32(const CsrMatrixF32& A, index_t i, index_t r0, index_t r1,
+                      const double* g, float* z) {
+  float acc = static_cast<float>(g[i]);
+  float diag = 0.0f;
+  for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+       k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+    const index_t j = static_cast<index_t>(A.col_idx[static_cast<std::size_t>(k)]);
+    const float v = A.vals[static_cast<std::size_t>(k)];
+    if (j == i)
+      diag = v;
+    else if (j >= r0 && j < r1)
+      acc -= v * z[j - r0];
+  }
+  z[i - r0] = diag != 0.0f ? acc / diag : 0.0f;
+}
+
+}  // namespace
+
+void gs_block_sweeps_f32(const CsrMatrixF32& A, index_t r0, index_t r1, int sweeps,
+                         const double* g, double* z) {
+  std::vector<float> zf(static_cast<std::size_t>(r1 - r0), 0.0f);
+  for (int s = 0; s < sweeps; ++s) {
+    for (index_t i = r0; i < r1; ++i) gs_relax_row_f32(A, i, r0, r1, g, zf.data());
+    for (index_t i = r1; i-- > r0;) gs_relax_row_f32(A, i, r0, r1, g, zf.data());
+  }
+  for (index_t i = r0; i < r1; ++i)
+    z[i] = static_cast<double>(zf[static_cast<std::size_t>(i - r0)]);
+}
+
+}  // namespace feir

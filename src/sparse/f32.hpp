@@ -1,0 +1,125 @@
+// Single-precision (fp32) mirrors of the CSR and SELL-C-σ storage plus the
+// matching SpMV/SpMM kernels — the storage half of the mixed-precision fast
+// path.  All hot kernels are bandwidth-bound, so halving the value stream
+// (and keeping the 32-bit column indices) is a near-2× lever; the solvers
+// use these operands only where reduced precision is provably safe: inside
+// preconditioner application, with the fp64 outer recurrence, Table-1
+// recovery relations, and checkpoints untouched.
+//
+// Bit-compatibility contract (the fp32 analogue of sell.hpp's): every row
+// accumulates its products in the same column-sorted order as the scalar
+// fp32 CSR reference, each row in its own float accumulator, padded lanes
+// masked with a blend — so fp32 SELL SpMV is bit-identical to fp32 CSR SpMV
+// for any C and σ, and the ULP/forward-error test tier only has to bound one
+// kernel family against the fp64 reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/sell.hpp"
+
+namespace feir {
+
+/// Operand precision of the fast-path kernels.  Fp64 is the bit-exact
+/// reference everything else in the repo is tested against; Fp32 is the
+/// mixed-precision fast path (fp32 preconditioner application + compressed
+/// checkpoints inside an fp64 outer iteration).
+enum class Precision : std::uint8_t { Fp64 = 0, Fp32 = 1 };
+
+/// CLI/report name of a precision ("fp64" / "fp32").
+const char* precision_name(Precision p);
+
+/// Parses a precision name; returns false (leaving *out untouched) on an
+/// unknown name.
+bool precision_from_name(const std::string& s, Precision* out);
+
+/// The process default: FEIR_PRECISION when set to a valid name, else Fp64.
+Precision default_precision();
+
+/// Square sparse matrix in CSR layout with fp32 values and 32-bit column
+/// indices (12 bytes per nonzero vs CSR's 16 — SpMV is bandwidth-bound).
+/// Built from, and immutable alongside, the fp64 CsrMatrix.
+struct CsrMatrixF32 {
+  index_t n = 0;
+  std::vector<index_t> row_ptr;
+  std::vector<std::int32_t> col_idx;
+  std::vector<float> vals;
+
+  index_t nnz() const { return static_cast<index_t>(col_idx.size()); }
+};
+
+/// fp32 mirror of a SELL-C-σ structure: same slice geometry, permutation and
+/// lane lengths as the source SellMatrix, values rounded to float (8 bytes
+/// per stored entry vs 12 — the 1.5× traffic lever the bench gate measures).
+struct SellMatrixF32 {
+  index_t n = 0;
+  index_t slice_rows = 0;
+  index_t sigma = 0;
+  index_t nslices = 0;
+  std::vector<index_t> slice_ptr;
+  std::vector<std::int32_t> cols;
+  std::vector<float> vals;
+  std::vector<index_t> len;
+  std::vector<index_t> full;
+  std::vector<index_t> perm;
+  std::vector<index_t> rank;
+};
+
+/// Rounds a CSR matrix to the fp32 mirror (round-to-nearest per value).
+/// Throws std::invalid_argument when the dimension exceeds the 32-bit
+/// column-index range (same cap as sell_from_csr).
+CsrMatrixF32 csr_to_f32(const CsrMatrix& A);
+
+/// Rounds a SELL structure to its fp32 mirror; geometry is copied verbatim
+/// so the fp32 kernels inherit the σ-aligned addressing and padding rules.
+SellMatrixF32 sell_to_f32(const SellMatrix& S);
+
+/// y = A x in fp32 (scalar reference kernel; the bit-compat baseline).
+void spmv(const CsrMatrixF32& A, const float* x, float* y);
+
+/// y[r0..r1) = (A x)[r0..r1) in fp32.
+void spmv_rows(const CsrMatrixF32& A, index_t r0, index_t r1, const float* x,
+               float* y);
+
+/// Y = A X for `k` row-major right-hand sides in fp32; column j bit-identical
+/// to spmv() on column j.
+void spmm(const CsrMatrixF32& A, const float* X, float* Y, index_t k);
+
+/// Y[r0..r1) = (A X)[r0..r1) in fp32.
+void spmm_rows(const CsrMatrixF32& A, index_t r0, index_t r1, const float* X,
+               float* Y, index_t k);
+
+/// y = A x through the vectorized fp32 slice kernel; bit-identical to the
+/// fp32 CSR spmv().
+void spmv(const SellMatrixF32& A, const float* x, float* y);
+
+/// y[r0..r1) = (A x)[r0..r1): σ-aligned interior through the slice kernel,
+/// unaligned head/tail rows one at a time — the same split as the fp64
+/// kernel, so recovery footprints stay page-addressable.
+void spmv_rows(const SellMatrixF32& A, index_t r0, index_t r1, const float* x,
+               float* y);
+
+/// Y = A X for `k` row-major right-hand sides; per column bit-identical to
+/// the fp32 CSR reference.
+void spmm(const SellMatrixF32& A, const float* X, float* Y, index_t k);
+
+/// Y[r0..r1) = (A X)[r0..r1) for `k` row-major right-hand sides.
+void spmm_rows(const SellMatrixF32& A, index_t r0, index_t r1, const float* X,
+               float* Y, index_t k);
+
+/// fp32 symmetric Gauss-Seidel sweeps of the diagonal block rows [r0, r1):
+/// the mixed-precision preconditioner application.  g and z stay fp64 at the
+/// interface (the solver's vectors), but the sweep state and every
+/// multiply/divide run in fp32: g is rounded once on read, z is widened once
+/// on write.  Deterministic and independent of the outer SpMV format (the
+/// sweep always walks the fp32 CSR mirror), which is what makes fp32-
+/// preconditioned DUE recovery byte-reproducible: re-applying a block always
+/// regenerates the same bits.
+void gs_block_sweeps_f32(const CsrMatrixF32& A, index_t r0, index_t r1, int sweeps,
+                         const double* g, double* z);
+
+}  // namespace feir

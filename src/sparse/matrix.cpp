@@ -1,5 +1,7 @@
 #include "sparse/matrix.hpp"
 
+#include <stdexcept>
+
 #include "support/env.hpp"
 
 namespace feir {
@@ -26,7 +28,8 @@ SparseFormat default_format() {
 }
 
 SparseMatrix SparseMatrix::make(const CsrMatrix& A, SparseFormat f,
-                                index_t slice_rows, index_t sigma) {
+                                index_t slice_rows, index_t sigma,
+                                Precision precision) {
   SparseMatrix m(A);
   if (f == SparseFormat::Sell) {
     // C = 32 (4 vector accumulators) hides the gather latency best on the
@@ -35,6 +38,12 @@ SparseMatrix SparseMatrix::make(const CsrMatrix& A, SparseFormat f,
     if (sigma <= 0) sigma = env_long("FEIR_SELL_SIGMA", 64);
     m.format_ = SparseFormat::Sell;
     m.sell_ = std::make_shared<const SellMatrix>(sell_from_csr(A, slice_rows, sigma));
+  }
+  if (precision == Precision::Fp32) {
+    m.precision_ = Precision::Fp32;
+    m.csr32_ = std::make_shared<const CsrMatrixF32>(csr_to_f32(A));
+    if (m.sell_ != nullptr)
+      m.sell32_ = std::make_shared<const SellMatrixF32>(sell_to_f32(*m.sell_));
   }
   return m;
 }
@@ -66,6 +75,20 @@ void SparseMatrix::spmm_rows(index_t r0, index_t r1, const double* X, double* Y,
     feir::spmm_rows(*sell_, r0, r1, X, Y, k);
   else
     feir::spmm_rows(*csr_, r0, r1, X, Y, k);
+}
+
+void SparseMatrix::spmv32(const float* x, float* y) const {
+  spmv_rows32(0, csr_->n, x, y);
+}
+
+void SparseMatrix::spmv_rows32(index_t r0, index_t r1, const float* x,
+                               float* y) const {
+  if (csr32_ == nullptr)
+    throw std::logic_error("spmv32: view was not built with precision fp32");
+  if (sell32_ != nullptr)
+    feir::spmv_rows(*sell32_, r0, r1, x, y);
+  else
+    feir::spmv_rows(*csr32_, r0, r1, x, y);
 }
 
 void spmv(const SparseMatrix& A, const double* x, double* y) { A.spmv(x, y); }

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "sparse/csr.hpp"
+#include "sparse/f32.hpp"
 #include "sparse/sell.hpp"
 
 namespace feir {
@@ -54,13 +55,25 @@ class SparseMatrix {
   /// Builds a view with the requested backend.  `slice_rows`/`sigma` are the
   /// SELL-C-σ parameters (sell.hpp); both ignored for Csr.  Defaults come
   /// from FEIR_SELL_SLICE / FEIR_SELL_SIGMA when set (0 = library default).
+  /// `precision` = Fp32 additionally builds the fp32 mirror of the selected
+  /// storage (f32.hpp) for the mixed-precision fast path; the fp64 structure
+  /// is always present, so the solvers' bit-exact paths never change.
   static SparseMatrix make(const CsrMatrix& A, SparseFormat f,
-                           index_t slice_rows = 0, index_t sigma = 0);
+                           index_t slice_rows = 0, index_t sigma = 0,
+                           Precision precision = Precision::Fp64);
 
   const CsrMatrix& csr() const { return *csr_; }
   SparseFormat format() const { return format_; }
+  Precision precision() const { return precision_; }
   /// Non-null exactly when format() == Sell.
   const SellMatrix* sell() const { return sell_.get(); }
+  /// Non-null exactly when precision() == Fp32.
+  const CsrMatrixF32* csr32() const { return csr32_.get(); }
+  /// Shared ownership of the fp32 CSR mirror (null at fp64): lets the fp32
+  /// preconditioners reuse the conversion instead of re-rounding the matrix.
+  std::shared_ptr<const CsrMatrixF32> csr32_ptr() const { return csr32_; }
+  /// Non-null exactly when precision() == Fp32 and format() == Sell.
+  const SellMatrixF32* sell32() const { return sell32_.get(); }
 
   index_t n() const { return csr_->n; }
   index_t nnz() const { return csr_->nnz(); }
@@ -80,10 +93,20 @@ class SparseMatrix {
   /// Y[r0..r1) = (A X)[r0..r1) for `k` row-major right-hand sides.
   void spmm_rows(index_t r0, index_t r1, const double* X, double* Y, index_t k) const;
 
+  /// y = A x through the fp32 mirror of the selected backend.  Requires a
+  /// view built with precision = Fp32 (throws std::logic_error otherwise).
+  void spmv32(const float* x, float* y) const;
+
+  /// y[r0..r1) = (A x)[r0..r1) through the fp32 mirror.
+  void spmv_rows32(index_t r0, index_t r1, const float* x, float* y) const;
+
  private:
   const CsrMatrix* csr_ = nullptr;
   SparseFormat format_ = SparseFormat::Csr;
+  Precision precision_ = Precision::Fp64;
   std::shared_ptr<const SellMatrix> sell_;
+  std::shared_ptr<const CsrMatrixF32> csr32_;
+  std::shared_ptr<const SellMatrixF32> sell32_;
 };
 
 /// Free-function forms mirroring csr.hpp, so generic code reads the same.

@@ -134,6 +134,36 @@ TEST(GoldenReport, SellBackendReproducesTheCsrFixtureModuloFormatField) {
   EXPECT_EQ(json, read_file(golden_path("campaign_small.json")));
 }
 
+TEST(GoldenReport, PrecisionAxisCampaignMatchesFixtureAndLabelsOnlyFp32) {
+  // A mixed-precision sweep on the golden base: CG under FEIR/AFEIR with a
+  // Jacobi preconditioner at fp64 and fp32.  The fp32 rows carry an explicit
+  // precision field/column; the fp64 rows must stay byte-identical to what
+  // they looked like before the axis existed (default-precision runs are
+  // emitted with no precision label at all).
+  GridSpec g = golden_grid();
+  g.solvers = {SolverKind::Cg};
+  g.preconds = {PrecondKind::Jacobi};
+  g.precisions = {Precision::Fp64, Precision::Fp32};
+  CampaignExecutor ex({.concurrency = 2, .pin_threads = false, .on_job_done = {}});
+  const CampaignResult res = ex.run(expand_grid(g));
+  for (const JobResult& r : res.results) ASSERT_TRUE(r.ran) << r.error;
+  const auto cells = aggregate(res);
+  const std::string json = campaign_json(res, cells, g.campaign_seed, false);
+
+  // Exactly the fp32 half of the jobs is labelled.
+  std::size_t labelled = 0, pos = 0;
+  while ((pos = json.find("\"precision\": \"fp32\"", pos)) != std::string::npos) {
+    ++labelled;
+    pos += 1;
+  }
+  EXPECT_EQ(labelled, expand_grid(g).size() / 2);
+  EXPECT_EQ(json.find("\"precision\": \"fp64\""), std::string::npos);
+
+  expect_matches_golden(json, "campaign_precision.json");
+  expect_matches_golden(cells_csv(cells, false), "campaign_precision_cells.csv");
+  expect_matches_golden(jobs_csv(res, false), "campaign_precision_jobs.csv");
+}
+
 TEST(GoldenReport, SingleJobRecordSchemaIsFrozen) {
   // A synthetic record (no solver run) freezes the record schema itself:
   // key order, float formatting, escaping.

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -14,7 +15,19 @@
 
 namespace feir::testmat {
 
-enum Family { kBanded = 0, kStencil, kPowerLaw, kEmptyRows, kSingleColumn, kFamilies };
+enum Family {
+  kBanded = 0,
+  kStencil,
+  kPowerLaw,
+  kEmptyRows,
+  kSingleColumn,
+  kFamilies,
+  // Families past kFamilies are opt-in: the long-standing suites draw
+  // `seed % kFamilies`, and widening that corpus would silently change what
+  // 200-matrix properties they pinned.  The precision tier includes these
+  // explicitly.
+  kGradedDiagonal = kFamilies,
+};
 
 inline const char* family_name(int f) {
   switch (f) {
@@ -23,6 +36,7 @@ inline const char* family_name(int f) {
     case kPowerLaw: return "power-law";
     case kEmptyRows: return "empty-rows";
     case kSingleColumn: return "single-column";
+    case kGradedDiagonal: return "graded-diagonal";
   }
   return "?";
 }
@@ -83,6 +97,29 @@ inline CsrMatrix random_matrix(Rng& rng, int family) {
       for (index_t i = 0; i < n; ++i) {
         ts.push_back({i, c, rng.uniform(-3, 3)});
         if (rng.uniform(0, 1) < 0.5) ts.push_back({i, i, rng.uniform(-1, 1)});
+      }
+      break;
+    }
+    case kGradedDiagonal: {
+      // SPD and deliberately ill-conditioned: a tridiagonal whose diagonal
+      // grows geometrically by up to ~1e8 across the rows (κ(A) up to ~1e8,
+      // past fp32's 2^24 but inside fp64's reach), with weak off-diagonal
+      // coupling that keeps diagonal dominance.  Exercises the precision
+      // tier where fp32 forward-error bounds are loose and a naive fp32
+      // *solver* would stall — the mixed path must still converge to fp64
+      // tolerance because only the preconditioner application is fp32.
+      const double decades = 2.0 + rng.uniform(0, 6);  // κ up to ~1e8
+      const double growth =
+          n > 1 ? std::pow(10.0, decades / static_cast<double>(n - 1)) : 1.0;
+      double d = 1.0;
+      for (index_t i = 0; i < n; ++i) {
+        ts.push_back({i, i, d * (1.0 + rng.uniform(0, 0.1))});
+        if (i + 1 < n) {
+          const double c = -0.1 * d * rng.uniform(0, 1);
+          ts.push_back({i, i + 1, c});
+          ts.push_back({i + 1, i, c});
+        }
+        d *= growth;
       }
       break;
     }

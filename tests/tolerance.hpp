@@ -1,0 +1,150 @@
+// Error-measurement helpers for the mixed-precision property tier
+// (tests/precision_test.cpp): ULP distances, the standard fp32 rounding
+// factors gamma_k, a componentwise forward-error check of the fp32 SpMV
+// kernels against an fp64 reference, and a condition-number estimate that
+// scales the mixed-precision CG solution bound.
+//
+// Conventions:
+//   - u32 = 2^-24 (fp32 unit roundoff), gamma_k = k*u/(1 - k*u);
+//   - the fp32 kernel reference is the fp64 dot product of the WIDENED fp32
+//     operands, not of the original fp64 data: the kernels' contract is
+//     "an accurately-summed product of their stored fp32 values", and the
+//     one-time quantization loss of building those values (which can dwarf
+//     rounding for subnormal-adjacent inputs) is a property of the storage
+//     decision, not of the kernels under test.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/f32.hpp"
+
+namespace feir::testtol {
+
+/// fp32 unit roundoff.
+inline constexpr double kU32 = 1.0 / 16777216.0;  // 2^-24
+
+/// Standard rounding-error factor gamma_k = k*u / (1 - k*u) for fp32: the
+/// componentwise bound on a k-term accumulated product-sum (Higham, ASNA
+/// Lemma 3.1).  Requires k*u < 1, comfortably true for any test row.
+inline double gamma32(std::int64_t k) {
+  const double ku = static_cast<double>(k) * kU32;
+  return ku / (1.0 - ku);
+}
+
+/// ULP distance between two floats: how many representable values apart they
+/// are, walking through zero for opposite signs (so -0.0f vs 0.0f is 0).
+/// NaN anywhere maps to the maximum distance.
+inline std::uint32_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return 0xFFFFFFFFu;
+  std::int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude bit patterns onto a monotone integer line.
+  const auto mono = [](std::int32_t i) -> std::int64_t {
+    return i >= 0 ? std::int64_t{i} : -(std::int64_t{i} & 0x7FFFFFFFLL);
+  };
+  const std::int64_t d = mono(ia) - mono(ib);
+  const std::int64_t ad = d < 0 ? -d : d;
+  return ad > 0xFFFFFFFFLL ? 0xFFFFFFFFu : static_cast<std::uint32_t>(ad);
+}
+
+/// ULP distance between two doubles, same conventions.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return ~std::uint64_t{0};
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  const auto mono = [](std::int64_t i) -> std::int64_t {
+    return i >= 0 ? i : -(i & 0x7FFFFFFFFFFFFFFFLL);
+  };
+  const std::int64_t lo = mono(ia) < mono(ib) ? mono(ia) : mono(ib);
+  const std::int64_t hi = mono(ia) < mono(ib) ? mono(ib) : mono(ia);
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+/// Result of a componentwise forward-error audit of one fp32 SpMV output.
+struct ForwardErrorReport {
+  bool ok = true;
+  index_t worst_row = -1;
+  double worst_excess = 0.0;  ///< max |err| - bound over failing rows
+  std::string detail;
+};
+
+/// Checks y (one fp32 SpMV result, n entries) componentwise against the fp64
+/// reference of the widened operands:
+///
+///   |y_i - sum_j (double)a_ij * (double)x_j|
+///       <= gamma32(n_i + 1) * sum_j |a_ij| |x_j|  (+ tiny absolute slack)
+///
+/// n_i is the row's stored-nonzero count; the +1 absorbs one extra rounding
+/// for blended/padded accumulation orders (SELL lanes).  The absolute slack
+/// covers rows whose exact result underflows fp32's subnormal range, where
+/// relative analysis does not apply.
+inline ForwardErrorReport check_spmv32_forward_error(const CsrMatrixF32& A,
+                                                     const float* x, const float* y) {
+  ForwardErrorReport rep;
+  constexpr double kAbsSlack = 1e-40;  // below fp32 subnormal granularity
+  for (index_t i = 0; i < A.n; ++i) {
+    double ref = 0.0, mag = 0.0;
+    const auto k0 = static_cast<std::size_t>(A.row_ptr[static_cast<std::size_t>(i)]);
+    const auto k1 = static_cast<std::size_t>(A.row_ptr[static_cast<std::size_t>(i) + 1]);
+    for (std::size_t k = k0; k < k1; ++k) {
+      const double a = static_cast<double>(A.vals[k]);
+      const double xv = static_cast<double>(x[A.col_idx[k]]);
+      ref += a * xv;
+      mag += std::fabs(a) * std::fabs(xv);
+    }
+    const double err = std::fabs(static_cast<double>(y[static_cast<std::size_t>(i)]) - ref);
+    const double bound =
+        gamma32(static_cast<std::int64_t>(k1 - k0) + 1) * mag + kAbsSlack;
+    if (err > bound) {
+      if (rep.ok || err - bound > rep.worst_excess) {
+        rep.worst_row = i;
+        rep.worst_excess = err - bound;
+        rep.detail = "row " + std::to_string(i) + ": |err| " + std::to_string(err) +
+                     " > bound " + std::to_string(bound) + " (nnz " +
+                     std::to_string(k1 - k0) + ")";
+      }
+      rep.ok = false;
+    }
+  }
+  return rep;
+}
+
+/// Cheap condition-number estimate for the diagonally-dominant SPD families
+/// the precision tier solves: the diagonal spread max|a_ii| / min|a_ii|.
+/// For those families kappa(A) matches this within a small constant (the
+/// off-diagonal coupling is bounded by a fixed fraction of the diagonal), so
+/// it is the right scale factor for solution-error bounds without paying an
+/// eigensolve per property iteration.
+inline double diag_condition_estimate(const CsrMatrix& A) {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (index_t i = 0; i < A.n; ++i) {
+    double d = 0.0;
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      if (A.col_idx[static_cast<std::size_t>(k)] == i)
+        d = std::fabs(A.vals[static_cast<std::size_t>(k)]);
+    if (d == 0.0) continue;
+    if (first) {
+      lo = hi = d;
+      first = false;
+    } else {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+  }
+  return first || lo == 0.0 ? 1.0 : hi / lo;
+}
+
+inline bool bits_equal_f32(const float* a, const float* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(float)) == 0;
+}
+
+}  // namespace feir::testtol

@@ -28,6 +28,10 @@
 //   --nrhs     K,..       batch-width axis: each job fuses K right-hand
 //                         sides into one block solve (CG with preconds=none
 //                         and methods ideal|ckpt|feir|afeir; default 1)
+//   --precision p,..      precision axis: fp64|fp32 (default fp64).  fp32
+//                         runs CG's mixed fast path (fp32 preconditioner
+//                         application + compressed checkpoints; preconds
+//                         none|jacobi|gs); other solvers stay fp64
 //   --replicas R          replicas per cell (default 3)
 // Execution:
 //   --jobs N              concurrent jobs (default FEIR_THREADS, else
@@ -170,6 +174,13 @@ void set_axis(GridSpec& g, const std::string& key, const std::string& value) {
         usage("nrhs values must be integers in [1, 256], got \"" + s + "\"");
       g.nrhs.push_back(static_cast<index_t>(k));
     }
+  } else if (key == "precision") {
+    g.precisions.clear();
+    for (const auto& s : items) {
+      Precision p;
+      if (!precision_from_name(s, &p)) usage("unknown precision " + s);
+      g.precisions.push_back(p);
+    }
   } else {
     usage("unknown grid axis " + key);
   }
@@ -212,6 +223,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--mtbe-iters") set_axis(a.grid, "mtbe-iters", next());
     else if (flag == "--mtbe") set_axis(a.grid, "mtbe", next());
     else if (flag == "--nrhs") set_axis(a.grid, "nrhs", next());
+    else if (flag == "--precision") set_axis(a.grid, "precision", next());
     else if (flag == "--replicas")
       a.grid.replicas = static_cast<int>(cli_int(flag, next(), 1, 1000000));
     else if (flag == "--jobs") a.jobs = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
@@ -261,6 +273,18 @@ Args parse(int argc, char** argv) {
     for (const Injection& inj : a.grid.injections)
       if (inj.kind == InjectionKind::WallClockMtbe)
         usage("--nrhs > 1 injects deterministically; use --mtbe-iters");
+  }
+  bool mixed = false;
+  for (Precision p : a.grid.precisions) mixed = mixed || p != Precision::Fp64;
+  if (mixed) {
+    // expand_grid pins non-CG jobs to fp64 itself; the remaining invalid
+    // combinations (batched or dense-factor preconds on fp32 CG jobs) would
+    // only surface as per-job errors, so reject them up front.
+    if (batched)
+      usage("--precision fp32 supports --nrhs 1 only");
+    for (PrecondKind p : a.grid.preconds)
+      if (p == PrecondKind::BlockJacobi || p == PrecondKind::Sweeps)
+        usage("--precision fp32 supports --preconds none, jacobi, or gs");
   }
   return a;
 }

@@ -19,6 +19,11 @@
 //                         so the format never changes a deterministic run's
 //                         output -- only its speed.  SELL-C-σ knobs:
 //                         FEIR_SELL_SLICE (8) / FEIR_SELL_SIGMA (64).
+//   --precision fp64|fp32 mixed-precision fast path (default $FEIR_PRECISION,
+//                         else fp64).  fp32 applies the preconditioner
+//                         (jacobi/gs) in fp32 and compresses checkpoints;
+//                         CG only, single RHS, fp64 recurrence and recovery
+//                         untouched.
 //   --nrhs    K           solve K right-hand sides as one batch (CG with
 //                         --precond none and --method ideal|ckpt|feir|afeir):
 //                         column 0 is the testbed b, columns 1..K-1 the
@@ -88,6 +93,7 @@ Args parse(int argc, char** argv) {
   a.job.matrix = "ecology2";
   a.job.method = Method::Feir;
   a.job.format = default_format();
+  a.job.precision = default_precision();
   a.job.threads = default_threads();
   a.job.max_iter = 100000;
   double mtbe_s = 0.0, mtbe_iters = 0.0;
@@ -121,6 +127,8 @@ Args parse(int argc, char** argv) {
       if (!campaign::precond_from_name(next(), &a.job.precond)) usage("unknown --precond");
     } else if (flag == "--format") {
       if (!format_from_name(next(), &a.job.format)) usage("unknown --format");
+    } else if (flag == "--precision") {
+      if (!precision_from_name(next(), &a.job.precision)) usage("unknown --precision");
     } else if (flag == "--mtbe") {
       mtbe_s = cli_double(flag, next());
       if (!(mtbe_s > 0.0)) cli_fail(flag, "must be > 0");
@@ -183,6 +191,16 @@ Args parse(int argc, char** argv) {
       usage("--nrhs > 1 methods: ideal, ckpt, feir, afeir");
     if (mtbe_s > 0) usage("--nrhs > 1 injects deterministically; use --mtbe-iters");
   }
+  if (a.job.precision != Precision::Fp64) {
+    // The mixed fast path belongs to single-RHS resilient CG with an
+    // applier-style preconditioner (same rules the service schema enforces).
+    if (a.job.solver != campaign::SolverKind::Cg)
+      usage("--precision fp32 supports --solver cg only");
+    if (a.job.nrhs > 1) usage("--precision fp32 supports --nrhs 1 only");
+    if (a.job.precond == campaign::PrecondKind::BlockJacobi ||
+        a.job.precond == campaign::PrecondKind::Sweeps)
+      usage("--precision fp32 supports --precond none, jacobi, or gs");
+  }
   return a;
 }
 
@@ -224,7 +242,8 @@ int main(int argc, char** argv) {
   switch (job.precond) {
     case campaign::PrecondKind::None: break;
     case campaign::PrecondKind::Jacobi:
-      M = std::make_unique<JacobiPreconditioner>(p.A.diagonal(), job.block_rows);
+      M = std::make_unique<JacobiPreconditioner>(p.A.diagonal(), job.block_rows,
+                                                 job.precision);
       break;
     case campaign::PrecondKind::BlockJacobi: {
       auto m = std::make_unique<BlockJacobi>(p.A, layout);
@@ -236,7 +255,7 @@ int main(int argc, char** argv) {
       M = std::make_unique<JacobiSweeps>(p.A, layout, 3);
       break;
     case campaign::PrecondKind::GaussSeidel:
-      M = std::make_unique<BlockGaussSeidel>(p.A, layout, 2);
+      M = std::make_unique<BlockGaussSeidel>(p.A, layout, 2, job.precision);
       break;
   }
 
