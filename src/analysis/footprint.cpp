@@ -1,0 +1,121 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/graph_audit.hpp"
+
+namespace feir::analysis {
+
+namespace {
+
+bool readable(Access m) { return m == Access::In || m == Access::InOut; }
+bool writable(Access m) { return m == Access::Out || m == Access::InOut; }
+
+}  // namespace
+
+FootprintSentinel::FootprintSentinel(index_t n, index_t nchunks)
+    : n_(n), nchunks_(std::max<index_t>(1, nchunks)) {}
+
+std::pair<index_t, index_t> FootprintSentinel::chunk(index_t c) const {
+  const index_t base = n_ / nchunks_;
+  const index_t rem = n_ % nchunks_;
+  const index_t r0 = c * base + std::min(c, rem);
+  return {r0, r0 + base + (c < rem ? 1 : 0)};
+}
+
+std::size_t FootprintSentinel::add_task(const char* name,
+                                        const std::vector<Dep>& deps) {
+  tasks_.push_back({name != nullptr ? name : "", deps});
+  return tasks_.size() - 1;
+}
+
+void FootprintSentinel::record(std::string message) {
+  std::lock_guard<std::mutex> lk(mu_);
+  violations_.push_back(std::move(message));
+}
+
+void FootprintSentinel::touch_rows(std::size_t task, const void* base,
+                                   index_t lo, index_t hi, bool write) {
+  if (lo >= hi) return;
+  const TaskCover& t = tasks_[task];
+  // Union of the task's declared chunk ranges on `base` with the right
+  // mode.  Chunks are disjoint but may be declared in any order; collect
+  // and sweep.
+  std::vector<std::pair<index_t, index_t>> covered;
+  for (const Dep& d : t.deps) {
+    if (d.key.base != base) continue;
+    if (write ? !writable(d.mode) : !readable(d.mode)) continue;
+    if (d.key.idx < 0 || d.key.idx >= nchunks_) continue;
+    covered.push_back(chunk(d.key.idx));
+  }
+  std::sort(covered.begin(), covered.end());
+  index_t cur = lo;
+  for (const auto& [clo, chi] : covered) {
+    if (clo > cur) break;
+    cur = std::max(cur, chi);
+    if (cur >= hi) return;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "under-declared footprint: task '%s' (#%zu) %ss rows "
+                "[%lld, %lld) of %p but its declared deps only cover up to "
+                "row %lld",
+                t.name.c_str(), task, write ? "write" : "read",
+                static_cast<long long>(lo), static_cast<long long>(hi), base,
+                static_cast<long long>(cur));
+  record(buf);
+}
+
+void FootprintSentinel::touch_scalar(std::size_t task, const void* base,
+                                     bool write) {
+  const TaskCover& t = tasks_[task];
+  for (const Dep& d : t.deps) {
+    if (d.key.base != base) continue;
+    if (write ? writable(d.mode) : readable(d.mode)) return;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "under-declared footprint: task '%s' (#%zu) %ss scalar %p "
+                "but declares no %s dep on it",
+                t.name.c_str(), task, write ? "write" : "read", base,
+                write ? "out/inout" : "in/inout");
+  record(buf);
+}
+
+void FootprintSentinel::touch_read(std::size_t task, const void* base,
+                                   index_t lo, index_t hi) {
+  touch_rows(task, base, lo, hi, false);
+}
+
+void FootprintSentinel::touch_write(std::size_t task, const void* base,
+                                    index_t lo, index_t hi) {
+  touch_rows(task, base, lo, hi, true);
+}
+
+void FootprintSentinel::touch_scalar_read(std::size_t task, const void* base) {
+  touch_scalar(task, base, false);
+}
+
+void FootprintSentinel::touch_scalar_write(std::size_t task, const void* base) {
+  touch_scalar(task, base, true);
+}
+
+std::vector<std::string> FootprintSentinel::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+void FootprintSentinel::check() const {
+  std::vector<std::string> vs = violations();
+  if (vs.empty()) return;
+  std::string what = "FEIR footprint sentinel: " + std::to_string(vs.size()) +
+                     " violation(s)";
+  for (const std::string& v : vs) {
+    what.push_back('\n');
+    what += v;
+  }
+  throw AuditError(what);
+}
+
+}  // namespace feir::analysis

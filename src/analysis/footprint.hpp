@@ -1,0 +1,82 @@
+// Footprint sentinel for the BatchOps staged chunk kernels.
+//
+// The pairwise graph audit (analysis/graph_audit.hpp) can only see the
+// DECLARED footprints; a kernel that touches rows its submitting task never
+// declared is invisible to it (the runtime happily builds a graph with a
+// missing edge).  The sentinel closes that hole for runtime/batch_ops: when
+// auditing is on, every staged chunk kernel records the ranges it is
+// contractually entitled to touch -- the recording sits next to the kernel
+// call, NOT next to the dep-list construction -- and each touch is checked
+// against the task's declared Dep list mapped through the BatchOps chunk
+// geometry.  An under-declared footprint (the axpy_cols_at scale[] bug this
+// PR fixed) surfaces deterministically at threads=1, independent of the
+// schedule.
+//
+// The check is one-sided, like any sanitizer: touches must be covered by
+// declarations; over-declaration is legal (it only costs parallelism).
+// When auditing is off, BatchOps stages the original un-wrapped lambdas and
+// the hot path is untouched.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/dep.hpp"
+#include "support/layout.hpp"
+
+namespace feir::analysis {
+
+class FootprintSentinel {
+ public:
+  /// `n` / `nchunks`: the owning BatchOps' range split.  The chunk -> row
+  /// mapping here mirrors BatchOps::chunk() (same base/remainder formula).
+  FootprintSentinel(index_t n, index_t nchunks);
+
+  /// Registers a task's declared footprint (the exact Dep list it is staged
+  /// with) and returns its sentinel id.  Staging is single-threaded
+  /// (TaskBatch's own contract); ids stay valid across run() cycles.
+  std::size_t add_task(const char* name, const std::vector<Dep>& deps);
+
+  /// Touch recorders, called from the wrapped task bodies (any worker
+  /// thread).  Row touches [lo, hi) must be covered by the union of the
+  /// task's declared chunk keys on `base` with a compatible access mode;
+  /// scalar touches require a declared key with `base` itself (scalar
+  /// anchors are checked at base granularity -- a k-lane scalar array needs
+  /// k declared keys, one per element address).
+  void touch_read(std::size_t task, const void* base, index_t lo, index_t hi);
+  void touch_write(std::size_t task, const void* base, index_t lo, index_t hi);
+  void touch_scalar_read(std::size_t task, const void* base);
+  void touch_scalar_write(std::size_t task, const void* base);
+
+  /// Formatted violations recorded so far (deterministic given a
+  /// deterministic schedule; the set is schedule-independent).
+  std::vector<std::string> violations() const;
+
+  /// Throws AuditError listing every violation; no-op when clean.  BatchOps
+  /// calls this from run() after the batch drains, so the failure surfaces
+  /// on the host thread.
+  void check() const;
+
+ private:
+  struct TaskCover {
+    std::string name;
+    std::vector<Dep> deps;
+  };
+
+  std::pair<index_t, index_t> chunk(index_t c) const;
+  void touch_rows(std::size_t task, const void* base, index_t lo, index_t hi,
+                  bool write);
+  void touch_scalar(std::size_t task, const void* base, bool write);
+  void record(std::string message);
+
+  index_t n_;
+  index_t nchunks_;
+  std::deque<TaskCover> tasks_;  // stable under growth; immutable while running
+  mutable std::mutex mu_;       // guards violations_ only
+  std::vector<std::string> violations_;
+};
+
+}  // namespace feir::analysis

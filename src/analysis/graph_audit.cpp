@@ -1,0 +1,145 @@
+#include "analysis/graph_audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace feir::analysis {
+
+namespace {
+
+const char* mode_name(Access m) {
+  switch (m) {
+    case Access::In:
+      return "in";
+    case Access::Out:
+      return "out";
+    case Access::InOut:
+      return "inout";
+  }
+  return "?";
+}
+
+bool writes(Access m) { return m != Access::In; }
+
+/// FEIR_AUDIT_GRAPH=1 (or any value other than "0"/"") enables auditing.
+bool env_enabled() {
+  const char* v = std::getenv("FEIR_AUDIT_GRAPH");
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// -1 unset, 0 forced off, 1 forced on.  The override is a process-level CLI
+// decision (--audit), so plain global state is the honest representation.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+bool audit_default() {
+  const int o = g_override.load(std::memory_order_acquire);
+  if (o >= 0) return o != 0;
+  return env_enabled();
+}
+
+void set_audit_default(bool on) {
+  g_override.store(on ? 1 : 0, std::memory_order_release);
+}
+
+AuditStats& audit_stats() {
+  static AuditStats stats;
+  return stats;
+}
+
+std::vector<Violation> audit_graph(const GraphSpec& g) {
+  const std::size_t n = g.tasks.size();
+  AuditStats& stats = audit_stats();
+  stats.graphs.fetch_add(1, std::memory_order_relaxed);
+  stats.tasks.fetch_add(n, std::memory_order_relaxed);
+  std::vector<Violation> out;
+  if (n < 2) return out;
+
+  // Ancestor sets as bitsets: tasks are staged (and published) in index
+  // order and edges only run from earlier to later tasks, so index order is
+  // a topological order and one forward pass computes the closure.
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(n * words, 0);
+  auto row = [&](std::size_t i) { return reach.data() + i * words; };
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* ri = row(i);
+    ri[i / 64] |= std::uint64_t{1} << (i % 64);
+    for (std::size_t p : g.tasks[i].preds) {
+      if (p >= i)
+        throw std::invalid_argument(
+            "audit_graph: pred " + std::to_string(p) + " of task " +
+            std::to_string(i) + " is not an earlier task");
+      const std::uint64_t* rp = row(p);
+      for (std::size_t w = 0; w < words; ++w) ri[w] |= rp[w];
+    }
+  }
+  auto ordered = [&](std::size_t a, std::size_t b) {  // path a -> b, a < b
+    return (row(b)[a / 64] >> (a % 64)) & 1;
+  };
+
+  // Group accesses by key; within a key the accessor list is in task order.
+  struct Acc {
+    std::size_t task;
+    Access mode;
+  };
+  std::unordered_map<DepKey, std::vector<Acc>, DepKeyHash> by_key;
+  for (std::size_t i = 0; i < n; ++i)
+    for (const Dep& d : g.tasks[i].deps) by_key[d.key].push_back({i, d.mode});
+
+  std::uint64_t pairs = 0;
+  for (const auto& [key, acc] : by_key) {
+    bool any_writer = false;
+    for (const Acc& a : acc) any_writer |= writes(a.mode);
+    if (!any_writer) continue;
+    for (std::size_t j = 0; j < acc.size(); ++j) {
+      for (std::size_t k = j + 1; k < acc.size(); ++k) {
+        if (!writes(acc[j].mode) && !writes(acc[k].mode)) continue;
+        if (acc[j].task == acc[k].task) continue;
+        ++pairs;
+        if (!ordered(acc[j].task, acc[k].task))
+          out.push_back({acc[j].task, acc[k].task, key, acc[j].mode, acc[k].mode});
+      }
+    }
+  }
+  stats.pairs.fetch_add(pairs, std::memory_order_relaxed);
+
+  // unordered_map iteration order is not deterministic; report in staging
+  // order so diagnostics (and the canary tests pinning them) are stable.
+  std::sort(out.begin(), out.end(), [](const Violation& x, const Violation& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    if (x.key.base != y.key.base) return x.key.base < y.key.base;
+    return x.key.idx < y.key.idx;
+  });
+  return out;
+}
+
+std::string format_violation(const GraphSpec& g, const Violation& v) {
+  char buf[256];
+  const bool ww = writes(v.mode_a) && writes(v.mode_b);
+  std::snprintf(buf, sizeof(buf),
+                "unordered %s conflict on key {base=%p, idx=%lld}: task #%zu "
+                "'%s' (%s) vs task #%zu '%s' (%s) -- no dependency path "
+                "between them",
+                ww ? "W/W" : "W/R", v.key.base,
+                static_cast<long long>(v.key.idx), v.a,
+                g.tasks[v.a].name.c_str(), mode_name(v.mode_a), v.b,
+                g.tasks[v.b].name.c_str(), mode_name(v.mode_b));
+  return buf;
+}
+
+void fail_audit(const GraphSpec& g, const std::vector<Violation>& vs) {
+  std::fprintf(stderr,
+               "FEIR graph audit: %zu unordered conflict(s) in a published "
+               "graph of %zu task(s)\n",
+               vs.size(), g.tasks.size());
+  for (const Violation& v : vs)
+    std::fprintf(stderr, "FEIR graph audit: %s\n", format_violation(g, v).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace feir::analysis

@@ -1,0 +1,102 @@
+// Deterministic dataflow-graph conflict auditor.
+//
+// The paper's resilience argument rests on the runtime deriving a CORRECT
+// task graph from declared in/out/inout accesses (runtime/dep.hpp); an
+// under-declared dependency silently breaks both bit-determinism and the
+// Table-1 recovery guarantees, and TSan only catches it if the racy
+// interleaving actually occurs in that run.  This auditor checks the
+// published graph itself, schedule-independently: for every pair of tasks
+// with NO dependency path between them, the declared footprints must be
+// conflict-free (no W∩W or W∩R on any DepKey).  A violation names both
+// tasks, the colliding key, and the access modes, and fails fast.
+//
+// Two integration points:
+//   * Runtime::publish records the edges it actually installed for each
+//     published batch and hands the graph here (FEIR_AUDIT_GRAPH=1, or
+//     Runtime::set_audit) -- so the check covers the SCHEDULER's edge
+//     derivation, not a re-derivation of it.  A violation aborts.
+//   * audit_graph() is the pure core: canary tests feed it deliberately
+//     broken graphs and assert each violation class is detected.
+//
+// The by-design FEIR/AFEIR recovery races (.tsan-suppressions) do not trip
+// the audit: r1/r2/recover_pipeline intentionally DECLARE weak footprints
+// (scalar anchor keys only) and publish through the mask-validated overlap
+// discipline, so their declared keys never collide with the chunk tasks'.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/dep.hpp"
+
+namespace feir::analysis {
+
+/// Thrown by the fail-fast checks that run on a host thread (the BatchOps
+/// footprint sentinel, the sharded-CG halo audit).  The in-scheduler graph
+/// audit aborts instead: publish() has already installed table state that
+/// cannot be unwound.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One task of a published graph: its name, its declared footprint, and the
+/// dependency edges the scheduler actually installed (indices of direct
+/// predecessors; every pred index must be < the task's own index -- batch
+/// publication installs edges only from earlier-staged tasks).
+struct AuditTask {
+  std::string name;
+  std::vector<Dep> deps;
+  std::vector<std::size_t> preds;
+};
+
+struct GraphSpec {
+  std::vector<AuditTask> tasks;
+};
+
+/// One unordered conflict: tasks `a` < `b` (staging order) share `key` with
+/// at least one write, and no dependency path a -> b exists.
+struct Violation {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  DepKey key;
+  Access mode_a = Access::In;
+  Access mode_b = Access::In;
+};
+
+/// Pairwise conflict check over the declared footprints: every W∩W / W∩R
+/// pair must be connected by a (transitive) path through `preds`.  Returns
+/// every violating (pair, key) once, in deterministic order.  Throws
+/// std::invalid_argument if a pred index is not < its task's index.
+std::vector<Violation> audit_graph(const GraphSpec& g);
+
+/// "unordered W∩R conflict on key {base=0x..., idx=3}: task #2 'q' (out)
+///  vs task #7 'ee' (in) -- no dependency path between them"
+std::string format_violation(const GraphSpec& g, const Violation& v);
+
+/// Prints every violation (prefixed "FEIR graph audit") to stderr and
+/// aborts.  Used by the in-scheduler hook, where unwinding would leave the
+/// dependency table referencing half-published tasks.
+[[noreturn]] void fail_audit(const GraphSpec& g, const std::vector<Violation>& vs);
+
+/// Process-wide audit default: FEIR_AUDIT_GRAPH=1 in the environment, or a
+/// programmatic override (feir_solve/feir_campaign --audit).  Runtime
+/// constructors and solver options consult this once at setup; flipping the
+/// override affects runtimes created afterwards.
+bool audit_default();
+void set_audit_default(bool on);
+
+/// Monotonic counters across every audited publish (visibility: the CLIs
+/// print them under --audit so "0 violations" is distinguishable from
+/// "never ran").
+struct AuditStats {
+  std::atomic<std::uint64_t> graphs{0};
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> pairs{0};
+};
+AuditStats& audit_stats();
+
+}  // namespace feir::analysis

@@ -1,0 +1,51 @@
+#include "analysis/halo_audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace feir::analysis {
+
+std::vector<std::string> audit_halo_coverage(const CsrMatrix& A,
+                                             const ExchangePlan& plan,
+                                             index_t rank,
+                                             std::size_t max_reports) {
+  std::vector<std::string> out;
+  if (rank < 0 || rank >= plan.ranks) {
+    out.push_back("halo audit: rank " + std::to_string(rank) +
+                  " outside plan with " + std::to_string(plan.ranks) +
+                  " rank(s)");
+    return out;
+  }
+  const index_t row0 = plan.slab_begin[static_cast<std::size_t>(rank)];
+  const index_t row1 = plan.slab_begin[static_cast<std::size_t>(rank) + 1];
+
+  std::unordered_set<index_t> ghost;
+  for (const auto& [peer, rows] :
+       plan.recv[static_cast<std::size_t>(rank)]) {
+    (void)peer;
+    ghost.insert(rows.begin(), rows.end());
+  }
+
+  for (index_t i = row0; i < row1 && out.size() < max_reports; ++i) {
+    for (index_t k = A.row_ptr[static_cast<std::size_t>(i)];
+         k < A.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = A.col_idx[static_cast<std::size_t>(k)];
+      if (j >= row0 && j < row1) continue;  // local
+      if (ghost.count(j) != 0) continue;    // covered by the plan
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "halo audit: rank %lld row %lld reads remote column "
+                    "%lld (owner slab holds rows outside [%lld, %lld)) but "
+                    "no peer sends it",
+                    static_cast<long long>(rank), static_cast<long long>(i),
+                    static_cast<long long>(j), static_cast<long long>(row0),
+                    static_cast<long long>(row1));
+      out.push_back(buf);
+      if (out.size() >= max_reports) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace feir::analysis

@@ -1,0 +1,29 @@
+// Halo-exchange coverage audit for the sharded CG path.
+//
+// A sharded rank's "declared footprint" is its exchange plan: the ghost
+// rows it receives before each distributed SpMV.  An under-declared plan --
+// a local row whose column reaches a remote row no peer sends -- is the
+// distributed twin of a missing dependency edge: the SpMV silently reads a
+// stale (or never-initialized) ghost value, and the rank-count-invariance
+// guarantee breaks without any rank crashing.  This audit checks, per rank,
+// that every remote column referenced by the local row slab of A is covered
+// by the plan's receive lists, independent of any particular run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "distsim/partition.hpp"
+#include "sparse/csr.hpp"
+
+namespace feir::analysis {
+
+/// Returns one formatted diagnostic per uncovered (local row, remote
+/// column) reference of `rank`, capped at `max_reports` (the first hole
+/// usually implies a band of them).  Empty = the plan covers the slab.
+std::vector<std::string> audit_halo_coverage(const CsrMatrix& A,
+                                             const ExchangePlan& plan,
+                                             index_t rank,
+                                             std::size_t max_reports = 8);
+
+}  // namespace feir::analysis

@@ -150,6 +150,7 @@ JobResult run_block_job(const JobSpec& spec, const TestbedProblem& p,
   opts.pin_threads = spec.pin_threads;
   opts.ckpt_period_iters = spec.ckpt_period_iters;
   opts.record_history = spec.record_history;
+  opts.audit = extras.audit;
 
   // The hook captures the injector slots by reference; they are bound to the
   // solver's per-column domains right after construction, before solve().
@@ -281,6 +282,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
+        opts.audit = extras.audit;
         opts.expected_mtbe_s = spec.expected_mtbe_s;
         if (spec.method == Method::Checkpoint) {
           opts.ckpt.period_iters = spec.ckpt_period_iters;
@@ -306,6 +308,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
+        opts.audit = extras.audit;
         opts.expected_mtbe_s = spec.expected_mtbe_s;
         if (spec.method == Method::Checkpoint) {
           opts.ckpt.period_iters = spec.ckpt_period_iters;
@@ -326,6 +329,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
+        opts.audit = extras.audit;
         opts.on_iteration = iter_hook;
         ResilientBicgstab solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientBicgstab, ResilientBicgstabResult>(
@@ -342,6 +346,7 @@ JobResult CampaignExecutor::run_job(const JobSpec& spec, const TestbedProblem& p
         opts.threads = spec.threads;
         opts.pin_threads = spec.pin_threads;
         opts.record_history = spec.record_history;
+        opts.audit = extras.audit;
         opts.on_iteration = iter_hook;
         ResilientGmres solver(S, p.b.data(), opts, M);
         out = run_with_injection<ResilientGmres, ResilientGmresResult>(spec, solver,
@@ -372,6 +377,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
   // TaskBatch and published at once (no dependencies inside a phase -- the
   // workers' deques are the campaign work queue, stolen as they drain).
   Runtime rt(workers, opts_.pin_threads);
+  if (opts_.audit) rt.set_audit(true);
 
   // Phase 1: warm each unique problem once, in parallel on the pool.
   // Entries already cached by a previous run() are hits and cost nothing.
@@ -465,6 +471,7 @@ CampaignResult CampaignExecutor::run(std::vector<JobSpec> specs) {
                 RunJobExtras extras;
                 extras.S = &be->S;
                 extras.cancel = cancel;
+                extras.audit = opts_.audit;
                 *slot = run_job(*spec, be->problem->problem,
                                 ce != nullptr ? ce->M.get() : nullptr,
                                 ce != nullptr ? ce->bj : nullptr, extras);

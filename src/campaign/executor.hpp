@@ -76,6 +76,9 @@ struct ExecutorOptions {
   unsigned concurrency = 0;
   /// Pin pool worker i to core i (Linux; no-op elsewhere).
   bool pin_threads = false;
+  /// Run every job's solver under the graph auditor + footprint sentinel
+  /// (analysis/graph_audit.hpp).  OR-ed with FEIR_AUDIT_GRAPH=1.
+  bool audit = false;
   /// Called after each job finishes (serialized; safe to print from).
   std::function<void(std::size_t done, std::size_t total, const JobSpec&,
                      const JobResult&)>
@@ -106,6 +109,9 @@ struct RunJobExtras {
   std::vector<const CancelToken*> col_cancel;
   std::function<void(index_t col, const IterRecord&, std::uint64_t errors_so_far)>
       progress_col;
+  /// Run the job's solver under the graph auditor + footprint sentinel
+  /// (analysis/graph_audit.hpp).  OR-ed with FEIR_AUDIT_GRAPH=1.
+  bool audit = false;
 };
 
 class CampaignExecutor {

@@ -86,6 +86,7 @@ ResilientBicgstabResult ResilientBicgstab::solve(double* x_out) {
   // Dataflow pool for the per-iteration batches; healing sweeps and scalar
   // control flow stay on the host between segments.
   Runtime rt(std::max(1u, opts_.threads), opts_.pin_threads);
+  if (opts_.audit) rt.set_audit(true);  // ctor already folded in the env default
   const unsigned nch = std::max(1u, opts_.threads);
 
   double* x = x_.data();

@@ -49,6 +49,11 @@ struct ResilientBicgstabOptions {
   unsigned threads = 1;
   /// Pin worker i to core i (Linux; no-op elsewhere).
   bool pin_threads = false;
+  /// Run this solve under the graph auditor (analysis/graph_audit.hpp):
+  /// every published iteration graph is checked for unordered conflicting
+  /// footprints and every BatchOps kernel runs under the footprint
+  /// sentinel.  OR-ed with the process-wide default (FEIR_AUDIT_GRAPH=1).
+  bool audit = false;
   /// Cooperative cancellation, checked once per iteration; may be null.
   const CancelToken* cancel = nullptr;
   std::function<void(const IterRecord&)> on_iteration;

@@ -249,6 +249,7 @@ void ResilientBlockCg::recover_checkpoint(Column& c) {
 
 ResilientBlockCgResult ResilientBlockCg::solve(double* X) {
   Runtime rt(nthreads_, opts_.pin_threads);
+  if (opts_.audit) rt.set_audit(true);  // ctor already folded in the env default
   ResilientBlockCgResult res;
   res.columns.resize(static_cast<std::size_t>(k_));
   Stopwatch clock;

@@ -63,6 +63,11 @@ struct ResilientBlockCgOptions {
   /// result is bit-identical at any count); 0 = feir::default_threads().
   unsigned threads = 0;
   bool pin_threads = false;
+  /// Run this solve under the graph auditor (analysis/graph_audit.hpp):
+  /// every published iteration graph is checked for unordered conflicting
+  /// footprints and every BatchOps kernel runs under the footprint
+  /// sentinel.  OR-ed with the process-wide default (FEIR_AUDIT_GRAPH=1).
+  bool audit = false;
   /// Checkpoint period in iterations (Method::Checkpoint); 0 = 1000.
   index_t ckpt_period_iters = 0;
   /// Record one IterRecord per outer iteration in the result's history (its

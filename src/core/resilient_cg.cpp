@@ -782,6 +782,7 @@ void ResilientCg::host_error_policy(Runtime&, ResilientCgResult& res) {
 
 ResilientCgResult ResilientCg::solve(double* x_out) {
   Runtime rt(nthreads_, opts_.pin_threads);
+  if (opts_.audit) rt.set_audit(true);  // ctor already folded in the env default
   if (opts_.tracer != nullptr) rt.set_tracer(opts_.tracer);
   ResilientCgResult res;
   Stopwatch clock;

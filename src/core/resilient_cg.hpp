@@ -56,6 +56,11 @@ struct ResilientCgOptions {
   unsigned threads = 0;
   /// Pin worker i to core i (Linux; no-op elsewhere).
   bool pin_threads = false;
+  /// Run this solve under the graph auditor (analysis/graph_audit.hpp):
+  /// every published iteration graph is checked for unordered conflicting
+  /// footprints and every BatchOps kernel runs under the footprint
+  /// sentinel.  OR-ed with the process-wide default (FEIR_AUDIT_GRAPH=1).
+  bool audit = false;
   /// Checkpoint placement (Method::Checkpoint only).
   CheckpointOptions ckpt;
   /// Expected MTBE in seconds, feeding the optimal checkpoint period when

@@ -124,6 +124,7 @@ ResilientGmresResult ResilientGmres::solve(double* x_out) {
   // chunked task batch (SpMV, then the Gram-Schmidt dot/axpy chain, then the
   // norm), with the healing sweeps at host-side sync points in between.
   Runtime rt(std::max(1u, opts_.threads), opts_.pin_threads);
+  if (opts_.audit) rt.set_audit(true);  // ctor already folded in the env default
   const unsigned nch = std::max(1u, opts_.threads);
 
   index_t total = 0;

@@ -76,6 +76,11 @@ struct ResilientPipelinedCgOptions {
   index_t block_rows = static_cast<index_t>(kDoublesPerPage);
   unsigned threads = 0;
   bool pin_threads = false;
+  /// Run this solve under the graph auditor (analysis/graph_audit.hpp):
+  /// every published iteration graph is checked for unordered conflicting
+  /// footprints and every BatchOps kernel runs under the footprint
+  /// sentinel.  OR-ed with the process-wide default (FEIR_AUDIT_GRAPH=1).
+  bool audit = false;
   /// Checkpoint period (Method::Checkpoint only; in-memory full-recurrence
   /// snapshots — x, r, w, u, p, s, z and the scalar history — so a rollback
   /// replays the original trajectory bit-exactly).  period_iters == 0

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "campaign/injection.hpp"
+#include "analysis/graph_audit.hpp"
+#include "analysis/halo_audit.hpp"
 #include "core/relations.hpp"
 #include "distsim/partition.hpp"
 #include "fault/domain.hpp"
@@ -74,6 +76,18 @@ ShardRankOutcome run_shard_rank(const CsrMatrix& A, const double* b,
     slab_begin[static_cast<std::size_t>(rr)] = layout.begin(pages.begin(rr));
   slab_begin[static_cast<std::size_t>(P)] = n;
   const ExchangePlan plan = build_exchange_plan(A, slab_begin);
+  if (opts.audit || analysis::audit_default()) {
+    // Distributed analogue of the graph audit: the plan IS this rank's
+    // declared read footprint, so any remote column the slab references but
+    // no peer sends would read a stale ghost value — fail before iterating.
+    const std::vector<std::string> gaps =
+        analysis::audit_halo_coverage(A, plan, r);
+    if (!gaps.empty()) {
+      std::string why = gaps.front();
+      for (std::size_t i = 1; i < gaps.size(); ++i) why += "; " + gaps[i];
+      return fail(why);
+    }
+  }
 
   // Private full-length, globally indexed vectors: only the slab plus the
   // exchanged ghost entries are ever valid, but global indexing means the

@@ -61,6 +61,12 @@ struct ShardedCgOptions {
   double mtbe_iters = 0.0;  ///< > 0: per-rank Exp(mtbe) mask-only injector
   std::uint64_t seed = 0;   ///< mixed with the rank id for the injector
   const CancelToken* cancel = nullptr;  ///< polled by rank 0 each iteration
+  /// Audit the exchange plan against the matrix before iterating: every
+  /// remote column this rank's slab reads must be on some peer's send list
+  /// (analysis/halo_audit.hpp).  Uncovered columns fail the rank with the
+  /// first diagnostics instead of silently reading stale ghost values.
+  /// OR-ed with the process-wide default (FEIR_AUDIT_GRAPH=1 / --audit).
+  bool audit = false;
   /// Rank-0 progress hook (iteration record, rank-0 errors injected so far).
   std::function<void(const IterRecord&, std::uint64_t)> on_iteration;
 };

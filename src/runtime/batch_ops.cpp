@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/footprint.hpp"
 #include "sparse/vecops.hpp"
 
 namespace feir {
 
+// The sentinel wiring pattern (every op follows it): when sentinel_ is
+// null, stage the plain kernel — the hot path is byte-for-byte the
+// non-audited one.  When active, register the exact dep list the task is
+// staged with, and wrap the kernel so the ranges it is contractually
+// entitled to touch are recorded NEXT TO THE KERNEL CALL — independent of
+// the dep-list construction above it, which is exactly what lets the
+// sentinel catch the two drifting apart.
+
 BatchOps::BatchOps(TaskBatch& batch, index_t n, unsigned nchunks)
     : batch_(batch), n_(n) {
   nchunks_ = std::max<index_t>(1, std::min<index_t>(n, static_cast<index_t>(nchunks)));
+  if (batch.runtime().audit_enabled())
+    sentinel_ = std::make_unique<analysis::FootprintSentinel>(n_, nchunks_);
 }
+
+BatchOps::~BatchOps() = default;
 
 std::pair<index_t, index_t> BatchOps::chunk(index_t c) const {
   const index_t base = n_ / nchunks_;
@@ -31,8 +44,20 @@ void BatchOps::spmv(const CsrMatrix& A, const double* x, double* y, const char* 
     std::vector<Dep> deps = whole(x, Access::In);
     deps.push_back(out(y, c));
     const auto [r0, r1] = chunk(c);
-    batch_.add([&A, x, y, r0 = r0, r1 = r1] { spmv_rows(A, r0, r1, x, y); },
-               std::move(deps), 0, name);
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, &A, x, y, n = n_, r0 = r0, r1 = r1] {
+            s->touch_read(tid, x, 0, n);  // gathers may reach any column
+            s->touch_write(tid, y, r0, r1);
+            spmv_rows(A, r0, r1, x, y);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add([&A, x, y, r0 = r0, r1 = r1] { spmv_rows(A, r0, r1, x, y); },
+                 std::move(deps), 0, name);
+    }
   }
 }
 
@@ -41,8 +66,20 @@ void BatchOps::spmv(const SparseMatrix& A, const double* x, double* y, const cha
     std::vector<Dep> deps = whole(x, Access::In);
     deps.push_back(out(y, c));
     const auto [r0, r1] = chunk(c);
-    batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows(r0, r1, x, y); },
-               std::move(deps), 0, name);
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, &A, x, y, n = n_, r0 = r0, r1 = r1] {
+            s->touch_read(tid, x, 0, n);
+            s->touch_write(tid, y, r0, r1);
+            A.spmv_rows(r0, r1, x, y);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows(r0, r1, x, y); },
+                 std::move(deps), 0, name);
+    }
   }
 }
 
@@ -52,8 +89,20 @@ void BatchOps::spmv32(const SparseMatrix& A, const float* x, float* y,
     std::vector<Dep> deps = whole(x, Access::In);
     deps.push_back(out(y, c));
     const auto [r0, r1] = chunk(c);
-    batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows32(r0, r1, x, y); },
-               std::move(deps), 0, name);
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, &A, x, y, n = n_, r0 = r0, r1 = r1] {
+            s->touch_read(tid, x, 0, n);
+            s->touch_write(tid, y, r0, r1);
+            A.spmv_rows32(r0, r1, x, y);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add([&A, x, y, r0 = r0, r1 = r1] { A.spmv_rows32(r0, r1, x, y); },
+                 std::move(deps), 0, name);
+    }
   }
 }
 
@@ -63,8 +112,20 @@ void BatchOps::spmm(const SparseMatrix& A, const double* X, double* Y, index_t k
     std::vector<Dep> deps = whole(X, Access::In);
     deps.push_back(out(Y, c));
     const auto [r0, r1] = chunk(c);
-    batch_.add([&A, X, Y, k, r0 = r0, r1 = r1] { A.spmm_rows(r0, r1, X, Y, k); },
-               std::move(deps), 0, name);
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, &A, X, Y, k, n = n_, r0 = r0, r1 = r1] {
+            s->touch_read(tid, X, 0, n);
+            s->touch_write(tid, Y, r0, r1);
+            A.spmm_rows(r0, r1, X, Y, k);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add([&A, X, Y, k, r0 = r0, r1 = r1] { A.spmm_rows(r0, r1, X, Y, k); },
+                 std::move(deps), 0, name);
+    }
   }
 }
 
@@ -73,18 +134,28 @@ void BatchOps::stage_reduction(double* pdata, std::vector<Lane> lanes,
   std::vector<Dep> deps = whole(pdata, Access::In);
   for (const Lane& l : lanes) deps.push_back(feir::out(l.out));
   const index_t nch = nchunks_;
-  batch_.add(
-      [pdata, lanes = std::move(lanes), nch] {
-        // Chunk-index-ordered sum per lane: deterministic at any worker
-        // count or steal order.
-        for (std::size_t j = 0; j < lanes.size(); ++j) {
-          const double* p = pdata + j * static_cast<std::size_t>(nch);
-          double s = 0.0;
-          for (index_t c = 0; c < nch; ++c) s += p[c];
-          *lanes[j].out = lanes[j].take_sqrt ? std::sqrt(s) : s;
-        }
-      },
-      std::move(deps), 1, name);
+  auto body = [pdata, lanes, nch] {
+    // Chunk-index-ordered sum per lane: deterministic at any worker
+    // count or steal order.
+    for (std::size_t j = 0; j < lanes.size(); ++j) {
+      const double* p = pdata + j * static_cast<std::size_t>(nch);
+      double s = 0.0;
+      for (index_t c = 0; c < nch; ++c) s += p[c];
+      *lanes[j].out = lanes[j].take_sqrt ? std::sqrt(s) : s;
+    }
+  };
+  if (sentinel_ != nullptr) {
+    auto* s = sentinel_.get();
+    const std::size_t tid = s->add_task(name, deps);
+    batch_.add(
+        [s, tid, lanes = std::move(lanes), body = std::move(body)] {
+          for (const Lane& l : lanes) s->touch_scalar_write(tid, l.out);
+          body();
+        },
+        std::move(deps), 1, name);
+  } else {
+    batch_.add(std::move(body), std::move(deps), 1, name);
+  }
 }
 
 void BatchOps::dot_cols(const double* X, const double* Y, index_t k, double* out,
@@ -94,21 +165,33 @@ void BatchOps::dot_cols(const double* X, const double* Y, index_t k, double* out
   const index_t nch = nchunks_;
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [r0, r1] = chunk(c);
-    batch_.add(
-        [X, Y, k, pdata, nch, c, r0 = r0, r1 = r1] {
-          // One pass over the chunk's rows, k running sums: column j's
-          // partial accumulates in row order, exactly like dot_range on the
-          // deinterleaved column.
-          for (index_t j = 0; j < k; ++j) {
-            pdata[j * nch + c] = 0.0;
-          }
-          for (index_t i = r0; i < r1; ++i) {
-            const double* x = X + i * k;
-            const double* y = Y + i * k;
-            for (index_t j = 0; j < k; ++j) pdata[j * nch + c] += x[j] * y[j];
-          }
-        },
-        {in(X, c), in(Y, c), feir::out(pdata, c)}, 0, name);
+    auto body = [X, Y, k, pdata, nch, c, r0 = r0, r1 = r1] {
+      // One pass over the chunk's rows, k running sums: column j's
+      // partial accumulates in row order, exactly like dot_range on the
+      // deinterleaved column.
+      for (index_t j = 0; j < k; ++j) {
+        pdata[j * nch + c] = 0.0;
+      }
+      for (index_t i = r0; i < r1; ++i) {
+        const double* x = X + i * k;
+        const double* y = Y + i * k;
+        for (index_t j = 0; j < k; ++j) pdata[j * nch + c] += x[j] * y[j];
+      }
+    };
+    std::vector<Dep> deps{in(X, c), in(Y, c), feir::out(pdata, c)};
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, X, Y, r0 = r0, r1 = r1, body = std::move(body)] {
+            s->touch_read(tid, X, r0, r1);
+            s->touch_read(tid, Y, r0, r1);
+            body();
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add(std::move(body), std::move(deps), 0, name);
+    }
   }
   std::vector<Lane> lanes;
   lanes.reserve(static_cast<std::size_t>(k));
@@ -120,15 +203,37 @@ void BatchOps::axpy_cols_at(const double* scale, double sign, const double* X,
                             double* Y, index_t k, const char* name) {
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [r0, r1] = chunk(c);
-    batch_.add(
-        [scale, sign, X, Y, k, r0 = r0, r1 = r1] {
-          for (index_t i = r0; i < r1; ++i) {
-            const double* x = X + i * k;
-            double* y = Y + i * k;
-            for (index_t j = 0; j < k; ++j) y[j] += sign * scale[j] * x[j];
-          }
-        },
-        {in(scale), in(X, c), inout(Y, c)}, 0, name);
+    // One scalar anchor PER LANE: dot_cols' reduction writes lane j under
+    // key (scale + j, 0), so a single in(scale) would order only column 0
+    // behind the reduction — columns j >= 1 would read scale[j] with no
+    // RAW edge (the footprint-sentinel canary pins this).
+    std::vector<Dep> deps;
+    deps.reserve(static_cast<std::size_t>(k) + 2);
+    for (index_t j = 0; j < k; ++j) deps.push_back(in(scale + j));
+    deps.push_back(in(X, c));
+    deps.push_back(inout(Y, c));
+    auto body = [scale, sign, X, Y, k, r0 = r0, r1 = r1] {
+      for (index_t i = r0; i < r1; ++i) {
+        const double* x = X + i * k;
+        double* y = Y + i * k;
+        for (index_t j = 0; j < k; ++j) y[j] += sign * scale[j] * x[j];
+      }
+    };
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, scale, k, X, Y, r0 = r0, r1 = r1, body = std::move(body)] {
+            for (index_t j = 0; j < k; ++j) s->touch_scalar_read(tid, scale + j);
+            s->touch_read(tid, X, r0, r1);
+            s->touch_read(tid, Y, r0, r1);
+            s->touch_write(tid, Y, r0, r1);
+            body();
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add(std::move(body), std::move(deps), 0, name);
+    }
   }
 }
 
@@ -141,7 +246,20 @@ void BatchOps::full(std::initializer_list<const void*> reads, const void* write,
   }
   std::vector<Dep> wr = whole(write, Access::Out);
   deps.insert(deps.end(), wr.begin(), wr.end());
-  batch_.add(std::move(body), std::move(deps), 0, name);
+  if (sentinel_ != nullptr) {
+    auto* s = sentinel_.get();
+    const std::size_t tid = s->add_task(name, deps);
+    batch_.add(
+        [s, tid, reads = std::vector<const void*>(reads), write, n = n_,
+         body = std::move(body)] {
+          for (const void* r : reads) s->touch_read(tid, r, 0, n);
+          s->touch_write(tid, write, 0, n);
+          body();
+        },
+        std::move(deps), 0, name);
+  } else {
+    batch_.add(std::move(body), std::move(deps), 0, name);
+  }
 }
 
 void BatchOps::transform(std::initializer_list<const void*> reads, const void* write,
@@ -152,7 +270,22 @@ void BatchOps::transform(std::initializer_list<const void*> reads, const void* w
     for (const void* r : reads) deps.push_back(in(r, c));
     deps.push_back({{write, c}, accumulate ? Access::InOut : Access::Out});
     const auto [r0, r1] = chunk(c);
-    batch_.add([body, r0 = r0, r1 = r1] { body(r0, r1); }, std::move(deps), 0, name);
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, reads = std::vector<const void*>(reads), write, accumulate,
+           body, r0 = r0, r1 = r1] {
+            for (const void* r : reads) s->touch_read(tid, r, r0, r1);
+            if (accumulate) s->touch_read(tid, write, r0, r1);
+            s->touch_write(tid, write, r0, r1);
+            body(r0, r1);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add([body, r0 = r0, r1 = r1] { body(r0, r1); }, std::move(deps), 0,
+                 name);
+    }
   }
 }
 
@@ -172,15 +305,28 @@ void BatchOps::dot_many(std::initializer_list<DotSpec> lanes, const char* name) 
     }
     deps.push_back(feir::out(pdata, c));
     const auto [r0, r1] = chunk(c);
-    batch_.add(
-        [specs, pdata, nch, c, r0 = r0, r1 = r1] {
-          // One task computes every lane's partial over this chunk; each
-          // lane's arithmetic matches a standalone dot of the same pair.
-          for (std::size_t j = 0; j < specs.size(); ++j)
-            pdata[j * static_cast<std::size_t>(nch) + static_cast<std::size_t>(c)] =
-                dot_range(specs[j].a, specs[j].b, r0, r1);
-        },
-        std::move(deps), 0, name);
+    auto body = [specs, pdata, nch, c, r0 = r0, r1 = r1] {
+      // One task computes every lane's partial over this chunk; each
+      // lane's arithmetic matches a standalone dot of the same pair.
+      for (std::size_t j = 0; j < specs.size(); ++j)
+        pdata[j * static_cast<std::size_t>(nch) + static_cast<std::size_t>(c)] =
+            dot_range(specs[j].a, specs[j].b, r0, r1);
+    };
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, specs, r0 = r0, r1 = r1, body = std::move(body)] {
+            for (const DotSpec& sp : specs) {
+              s->touch_read(tid, sp.a, r0, r1);
+              s->touch_read(tid, sp.b, r0, r1);
+            }
+            body();
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add(std::move(body), std::move(deps), 0, name);
+    }
   }
   std::vector<Lane> red;
   red.reserve(k);
@@ -200,17 +346,33 @@ void BatchOps::axpy_at(const double* scale, double sign, const double* x, double
                        const char* name) {
   for (index_t c = 0; c < nchunks_; ++c) {
     const auto [r0, r1] = chunk(c);
-    batch_.add(
-        [scale, sign, x, y, r0 = r0, r1 = r1] {
-          axpy_range(sign * *scale, x, y, r0, r1);
-        },
-        {in(scale), in(x, c), inout(y, c)}, 0, name);
+    std::vector<Dep> deps{in(scale), in(x, c), inout(y, c)};
+    if (sentinel_ != nullptr) {
+      auto* s = sentinel_.get();
+      const std::size_t tid = s->add_task(name, deps);
+      batch_.add(
+          [s, tid, scale, sign, x, y, r0 = r0, r1 = r1] {
+            s->touch_scalar_read(tid, scale);
+            s->touch_read(tid, x, r0, r1);
+            s->touch_read(tid, y, r0, r1);
+            s->touch_write(tid, y, r0, r1);
+            axpy_range(sign * *scale, x, y, r0, r1);
+          },
+          std::move(deps), 0, name);
+    } else {
+      batch_.add(
+          [scale, sign, x, y, r0 = r0, r1 = r1] {
+            axpy_range(sign * *scale, x, y, r0, r1);
+          },
+          std::move(deps), 0, name);
+    }
   }
 }
 
 void BatchOps::run() {
   batch_.submit();
   batch_.runtime().taskwait();
+  if (sentinel_ != nullptr) sentinel_->check();
 }
 
 }  // namespace feir

@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -33,10 +34,22 @@
 
 namespace feir {
 
+namespace analysis {
+class FootprintSentinel;
+}
+
 class BatchOps {
  public:
-  /// Stages onto `batch`; ranges split [0, n) into `nchunks` chunks.
+  /// Stages onto `batch`; ranges split [0, n) into `nchunks` chunks.  When
+  /// the batch's runtime has graph auditing on (Runtime::audit_enabled),
+  /// every staged kernel additionally runs under the footprint sentinel
+  /// (analysis/footprint.hpp): the ranges it touches are recorded next to
+  /// the kernel call and checked against the task's declared deps; run()
+  /// throws analysis::AuditError on any under-declared footprint.  With
+  /// auditing off the staged lambdas are the plain kernels — the hot path
+  /// is untouched.
   BatchOps(TaskBatch& batch, index_t n, unsigned nchunks);
+  ~BatchOps();
 
   /// y = A x (chunked by block row; each chunk reads all of x).
   void spmv(const CsrMatrix& A, const double* x, double* y, const char* name = "q");
@@ -78,7 +91,10 @@ class BatchOps {
                 const char* name = "dotk");
 
   /// Y col j += sign * scale[j] * X col j, with scale[] read at execution
-  /// time (chains on a dot_cols() in the same batch).  For solvers that keep
+  /// time (chains on a dot_cols() in the same batch; each lane declares its
+  /// own in(scale + j) anchor, matching dot_cols' per-lane out keys — a
+  /// single in(scale) would leave columns j >= 1 with no RAW edge to the
+  /// reduction that writes them).  For solvers that keep
   /// their multivectors interleaved end to end; ResilientBlockCg does NOT —
   /// its x/g stay per-column buffers so page faults isolate per column — so
   /// this op's contract is pinned by the spmm_test property suite until such
@@ -114,11 +130,18 @@ class BatchOps {
   void axpy_at(const double* scale, double sign, const double* x, double* y,
                const char* name = "axpy");
 
-  /// Publishes the staged segment and waits for it to drain.
+  /// Publishes the staged segment and waits for it to drain.  With the
+  /// footprint sentinel active, throws analysis::AuditError if any kernel
+  /// touched a range its task never declared.
   void run();
 
   index_t nchunks() const { return nchunks_; }
   std::pair<index_t, index_t> chunk(index_t c) const;
+
+  /// The active footprint sentinel (null when auditing is off).  Exposed so
+  /// canary tests can drive hand-staged tasks through the same coverage
+  /// check the builtin kernels use.
+  analysis::FootprintSentinel* sentinel() { return sentinel_.get(); }
 
  private:
   // Shared reduction staging: lane j's partials live at pdata[j*nchunks + c];
@@ -134,6 +157,7 @@ class BatchOps {
   index_t n_;
   index_t nchunks_;
   std::deque<std::vector<double>> partials_;  // stable addresses for dep keys
+  std::unique_ptr<analysis::FootprintSentinel> sentinel_;  // non-null when auditing
 };
 
 }  // namespace feir

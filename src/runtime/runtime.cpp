@@ -1,7 +1,9 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "analysis/graph_audit.hpp"
 #include "support/timing.hpp"
 
 #ifdef __linux__
@@ -32,6 +34,7 @@ std::atomic<unsigned> g_pin_base{0};
 }  // namespace
 
 Runtime::Runtime(unsigned nthreads, bool pin_threads) {
+  audit_ = analysis::audit_default();
   if (nthreads == 0) nthreads = 1;
   const unsigned pin_base =
       pin_threads ? g_pin_base.fetch_add(nthreads, std::memory_order_relaxed) : 0;
@@ -137,6 +140,24 @@ void Runtime::publish(Staged* staged, std::size_t count) {
   if (count == 0) return;
   in_flight_.fetch_add(count, std::memory_order_acq_rel);
 
+  // Graph audit (analysis/graph_audit.hpp): record the edges this publish
+  // actually installs among its own tasks, then verify every declared
+  // conflict is ordered.  Preds from earlier epochs are ordered through the
+  // dependency table by construction, so the intra-publish graph is the
+  // whole check surface.  One branch when auditing is off.
+  const bool auditing = audit_ && count > 1;
+  analysis::GraphSpec audit_spec;
+  std::unordered_map<const Task*, std::size_t> audit_index;
+  if (auditing) {
+    audit_spec.tasks.resize(count);
+    audit_index.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      audit_index.emplace(staged[i].task, i);
+      audit_spec.tasks[i].name = staged[i].task->name;
+      audit_spec.tasks[i].deps = staged[i].deps;
+    }
+  }
+
   // Lock the publish's shard set in ascending order: deadlock-free against
   // concurrent publishes, and edge creation across all keys of this graph is
   // one consistent serialization point (no RAW-here / WAR-there cycles).
@@ -154,8 +175,17 @@ void Runtime::publish(Staged* staged, std::size_t count) {
     for (unsigned s = 0; s < kDepShards; ++s)
       if (used[s]) locks.emplace_back(shards_[s].mu);
 
-    auto add_edge = [](Task* pred, Task* succ) {
+    auto add_edge = [&](Task* pred, Task* succ) {
       if (pred == nullptr || pred == succ) return;
+      if (auditing) {
+        if (audit_edge_dropper_ != nullptr &&
+            audit_edge_dropper_(pred->name, succ->name))
+          return;  // canary seam: simulate a scheduler that lost this edge
+        const auto pi = audit_index.find(pred);
+        const auto si = audit_index.find(succ);
+        if (pi != audit_index.end() && si != audit_index.end())
+          audit_spec.tasks[si->second].preds.push_back(pi->second);
+      }
       std::lock_guard<std::mutex> lk(pred->mu);
       if (pred->finished) return;
       pred->successors.push_back(succ);
@@ -186,6 +216,13 @@ void Runtime::publish(Staged* staged, std::size_t count) {
         }
       }
     }
+  }
+
+  // Audit before the wave is released: nothing from this publish has run
+  // yet, so a violating graph fails fast instead of racing first.
+  if (auditing) {
+    const std::vector<analysis::Violation> vs = analysis::audit_graph(audit_spec);
+    if (!vs.empty()) analysis::fail_audit(audit_spec, vs);
   }
 
   // Drop the submission guards; everything with no unmet predecessor forms

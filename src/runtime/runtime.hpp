@@ -103,6 +103,27 @@ class Runtime {
   /// outlive the runtime; call before submitting work.
   void set_tracer(TaskTracer* tracer) { tracer_ = tracer; }
 
+  /// Graph auditing (analysis/graph_audit.hpp): when on, every publish
+  /// records the dependency edges it installs and verifies that every pair
+  /// of tasks whose DECLARED footprints conflict (W∩W or W∩R on a DepKey)
+  /// is connected by a dependency path; an unordered conflict prints both
+  /// task names, the colliding key, and the modes, then aborts (fail fast —
+  /// the table state of a half-audited publish cannot be unwound).
+  /// Defaults to analysis::audit_default() (FEIR_AUDIT_GRAPH=1 / --audit).
+  /// Call before submitting work; when off the only cost is one branch per
+  /// publish.
+  void set_audit(bool on) { audit_ = on; }
+  bool audit_enabled() const { return audit_; }
+
+  /// Auditor canary seam: when auditing is on, an edge whose (pred name,
+  /// succ name) the filter accepts is NOT installed — simulating the
+  /// scheduler bug class (dropped RAW/WAR/WAW edge) the audit exists to
+  /// catch.  Tests only; never set in production code.
+  void set_audit_edge_dropper_for_testing(
+      std::function<bool(const std::string& pred, const std::string& succ)> drop) {
+    audit_edge_dropper_ = std::move(drop);
+  }
+
  private:
   friend class TaskBatch;
 
@@ -209,6 +230,10 @@ class Runtime {
   std::vector<std::vector<TraceEvent>> trace_bufs_;  // per worker, owner-written
   std::vector<std::thread> workers_;
   TaskTracer* tracer_ = nullptr;
+
+  // --- graph auditing -------------------------------------------------------
+  bool audit_ = false;  // ctor default: analysis::audit_default()
+  std::function<bool(const std::string&, const std::string&)> audit_edge_dropper_;
 };
 
 /// Stages a group of tasks and publishes them as one synchronization epoch:

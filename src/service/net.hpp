@@ -80,4 +80,33 @@ inline bool send_frame(int fd, const std::string& line) {
   return send_frame_status(fd, line) == SendStatus::kOk;
 }
 
+/// Best-effort variant for advisory traffic (progress streams): the FIRST
+/// write is non-blocking, and if the socket buffer cannot take any of the
+/// frame it is dropped whole (kOk -- dropping advisory frames is the
+/// intended behavior, not a failure).  Once any bytes are out, the rest is
+/// finished with ordinary (SO_SNDTIMEO-bounded) blocking sends, so framing
+/// stays intact; a timeout mid-frame reports kTimeout and the caller must
+/// poison the stream like any other partial write.
+inline SendStatus send_frame_best_effort(int fd, const std::string& line,
+                                         bool* mid_frame = nullptr) {
+  std::string frame = line;
+  frame.push_back('\n');
+  std::size_t off = 0;
+  if (mid_frame != nullptr) *mid_frame = false;
+  while (off < frame.size()) {
+    const int flags = MSG_NOSIGNAL | (off == 0 ? MSG_DONTWAIT : 0);
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (off == 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return SendStatus::kOk;  // buffer full: drop the whole frame
+      if (mid_frame != nullptr) *mid_frame = off > 0;
+      return errno == EAGAIN || errno == EWOULDBLOCK ? SendStatus::kTimeout
+                                                     : SendStatus::kHangup;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return SendStatus::kOk;
+}
+
 }  // namespace feir::service

@@ -80,20 +80,7 @@ struct Server::Connection {
   void send_line_best_effort(const std::string& line) {
     if (closed.load(std::memory_order_acquire)) return;
     std::lock_guard<std::mutex> lk(write_mu);
-    std::string frame = line;
-    frame.push_back('\n');
-    std::size_t off = 0;
-    while (off < frame.size()) {
-      const int flags = MSG_NOSIGNAL | (off == 0 ? MSG_DONTWAIT : 0);
-      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, flags);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (off == 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // drop
-        poison();
-        return;
-      }
-      off += static_cast<std::size_t>(n);
-    }
+    if (send_frame_best_effort(fd, line) != SendStatus::kOk) poison();
   }
 
   /// Trips every in-flight token (client gone or server stopping): running

@@ -1,0 +1,301 @@
+// Canary tests for the analysis subsystem: every violation class the graph
+// auditor, footprint sentinel, and halo audit exist to catch is exercised
+// with a deliberately broken input and pinned to the right diagnostic --
+// plus the negative space: clean graphs stay clean, audited solver runs are
+// byte-identical to unaudited ones, and the by-design AFEIR recovery
+// footprints do not trip the audit.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "analysis/footprint.hpp"
+#include "analysis/graph_audit.hpp"
+#include "analysis/halo_audit.hpp"
+#include "core/resilient_cg.hpp"
+#include "distsim/partition.hpp"
+#include "runtime/batch_ops.hpp"
+#include "runtime/runtime.hpp"
+#include "sparse/generators.hpp"
+
+namespace feir {
+namespace {
+
+using analysis::AuditTask;
+using analysis::GraphSpec;
+using analysis::Violation;
+
+AuditTask task(const char* name, std::vector<Dep> deps,
+               std::vector<std::size_t> preds = {}) {
+  AuditTask t;
+  t.name = name;
+  t.deps = std::move(deps);
+  t.preds = std::move(preds);
+  return t;
+}
+
+// --- pure graph-audit canaries ---------------------------------------------
+
+TEST(GraphAudit, MissingRawEdgeIsAnUnorderedWriteReadConflict) {
+  double p = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("producer", {out(&p)}));
+  g.tasks.push_back(task("consumer", {in(&p)}));  // no edge: the bug
+  const std::vector<Violation> vs = analysis::audit_graph(g);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].a, 0u);
+  EXPECT_EQ(vs[0].b, 1u);
+  EXPECT_EQ(vs[0].key.base, static_cast<const void*>(&p));
+  const std::string msg = analysis::format_violation(g, vs[0]);
+  EXPECT_NE(msg.find("W/R"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'producer'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'consumer'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no dependency path"), std::string::npos) << msg;
+}
+
+TEST(GraphAudit, UnorderedSiblingWritersAreAWWConflict) {
+  double p = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("left", {out(&p)}));
+  g.tasks.push_back(task("right", {out(&p)}));
+  const std::vector<Violation> vs = analysis::audit_graph(g);
+  ASSERT_EQ(vs.size(), 1u);
+  const std::string msg = analysis::format_violation(g, vs[0]);
+  EXPECT_NE(msg.find("W/W"), std::string::npos) << msg;
+}
+
+TEST(GraphAudit, DirectEdgeOrdersTheConflict) {
+  double p = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("producer", {out(&p)}));
+  g.tasks.push_back(task("consumer", {in(&p)}, {0}));
+  EXPECT_TRUE(analysis::audit_graph(g).empty());
+}
+
+TEST(GraphAudit, TransitivePathOrdersTheConflict) {
+  double p = 0.0, q = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("a", {out(&p)}));
+  g.tasks.push_back(task("b", {in(&p), out(&q)}, {0}));
+  g.tasks.push_back(task("c", {in(&q), inout(&p)}, {1}));  // a -> b -> c covers p
+  EXPECT_TRUE(analysis::audit_graph(g).empty());
+}
+
+TEST(GraphAudit, ReadersNeverConflictWithEachOther) {
+  double p = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("r1", {in(&p)}));
+  g.tasks.push_back(task("r2", {in(&p)}));
+  EXPECT_TRUE(analysis::audit_graph(g).empty());
+}
+
+TEST(GraphAudit, DistinctChunkKeysOnTheSameBaseDoNotConflict) {
+  double v[2] = {0.0, 0.0};
+  GraphSpec g;
+  g.tasks.push_back(task("c0", {out(v, 0)}));
+  g.tasks.push_back(task("c1", {out(v, 1)}));
+  EXPECT_TRUE(analysis::audit_graph(g).empty());
+}
+
+TEST(GraphAudit, ForwardPredIndexThrows) {
+  double p = 0.0;
+  GraphSpec g;
+  g.tasks.push_back(task("a", {out(&p)}, {1}));  // pred >= own index
+  g.tasks.push_back(task("b", {in(&p)}));
+  EXPECT_THROW(analysis::audit_graph(g), std::invalid_argument);
+}
+
+TEST(GraphAudit, DefaultOverrideRoundTrips) {
+  const bool before = analysis::audit_default();
+  analysis::set_audit_default(true);
+  EXPECT_TRUE(analysis::audit_default());
+  Runtime rt(1);  // ctor snapshots the default
+  EXPECT_TRUE(rt.audit_enabled());
+  analysis::set_audit_default(false);
+  EXPECT_FALSE(analysis::audit_default());
+  EXPECT_TRUE(rt.audit_enabled());  // snapshot, not live
+  analysis::set_audit_default(before);
+}
+
+// --- in-scheduler audit (the edge-dropper canary seam) ----------------------
+
+void publish_with_dropped_edge() {
+  Runtime rt(2);
+  rt.set_audit(true);
+  rt.set_audit_edge_dropper_for_testing(
+      [](const std::string& pred, const std::string& succ) {
+        return pred == "q" && succ == "dot";
+      });
+  double p = 0.0;
+  double s = 0.0;
+  TaskBatch batch(rt);
+  batch.add([&] { p = 2.0; }, {out(&p)}, 0, "q");
+  batch.add([&] { s = p; }, {in(&p), out(&s)}, 0, "dot");
+  batch.submit();
+  rt.taskwait();
+}
+
+TEST(GraphAuditDeathTest, DroppedRawEdgeAborts) {
+  // A scheduler that loses the q -> dot RAW edge is exactly the bug class
+  // the audit covers; the test seam simulates it on an otherwise healthy
+  // runtime and the publish must abort with both task names.  Threadsafe
+  // style: the child re-execs, so the parent's worker threads cannot leak
+  // into the forked death-test process.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(publish_with_dropped_edge(), "FEIR graph audit.*'q'.*'dot'");
+}
+
+TEST(GraphAuditDeathTest, HealthySchedulerSurvivesTheSameGraph) {
+  Runtime rt(2);
+  rt.set_audit(true);
+  double p = 0.0, s = 0.0;
+  TaskBatch batch(rt);
+  batch.add([&] { p = 2.0; }, {out(&p)}, 0, "q");
+  batch.add([&] { s = p; }, {in(&p), out(&s)}, 0, "dot");
+  batch.submit();
+  rt.taskwait();
+  EXPECT_EQ(s, 2.0);
+}
+
+// --- footprint sentinel ------------------------------------------------------
+
+TEST(FootprintSentinel, UnderDeclaredChunkIsReported) {
+  analysis::FootprintSentinel s(100, 4);  // chunks: [0,25) [25,50) [50,75) [75,100)
+  double y[100] = {};
+  const std::size_t t = s.add_task("spmv", {Dep{{y, 0}, Access::Out}});
+  s.touch_write(t, y, 0, 50);  // writes chunk 1 too: under-declared
+  const std::vector<std::string> vs = s.violations();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_NE(vs[0].find("under-declared footprint"), std::string::npos) << vs[0];
+  EXPECT_NE(vs[0].find("'spmv'"), std::string::npos) << vs[0];
+  EXPECT_NE(vs[0].find("row 25"), std::string::npos) << vs[0];  // coverage stops at 25
+  EXPECT_THROW(s.check(), analysis::AuditError);
+}
+
+TEST(FootprintSentinel, DeclaredCoverageAcceptsOutOfOrderChunks) {
+  analysis::FootprintSentinel s(100, 4);
+  double y[100] = {};
+  const std::size_t t = s.add_task("full", {Dep{{y, 2}, Access::Out},
+                                            Dep{{y, 0}, Access::Out},
+                                            Dep{{y, 3}, Access::Out},
+                                            Dep{{y, 1}, Access::Out}});
+  s.touch_write(t, y, 0, 100);
+  EXPECT_TRUE(s.violations().empty());
+  EXPECT_NO_THROW(s.check());
+}
+
+TEST(FootprintSentinel, ReadDeclarationDoesNotLicenseWrites) {
+  analysis::FootprintSentinel s(100, 4);
+  double y[100] = {};
+  const std::size_t t = s.add_task("map", {Dep{{y, 0}, Access::In}});
+  s.touch_write(t, y, 0, 25);  // mode mismatch: In covers reads only
+  EXPECT_EQ(s.violations().size(), 1u);
+}
+
+TEST(FootprintSentinel, ScalarAnchorsAreCheckedPerElement) {
+  analysis::FootprintSentinel s(100, 4);
+  double scale[3] = {};
+  // The pre-fix axpy_cols_at shape: one anchor on scale[0] only.
+  const std::size_t t = s.add_task("axpyk", {in(&scale[0])});
+  s.touch_scalar_read(t, &scale[0]);
+  s.touch_scalar_read(t, &scale[1]);
+  s.touch_scalar_read(t, &scale[2]);
+  const std::vector<std::string> vs = s.violations();
+  EXPECT_EQ(vs.size(), 2u);  // scale[1] and scale[2] undeclared
+  for (const std::string& v : vs)
+    EXPECT_NE(v.find("declares no in/inout dep"), std::string::npos) << v;
+}
+
+TEST(FootprintSentinel, BatchOpsRunsCleanUnderTheSentinel) {
+  // End-to-end: every builtin BatchOps op staged under an auditing runtime
+  // passes its own sentinel -- including axpy_cols_at chained on dot_cols,
+  // the shape whose missing per-lane scale anchors this PR fixed.
+  Runtime rt(4);
+  rt.set_audit(true);
+  const index_t n = 97, k = 3;
+  std::vector<double> X(static_cast<std::size_t>(n * k)), Y(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    X[i] = 0.25 * static_cast<double>(i % 17) - 1.0;
+    Y[i] = 0.125 * static_cast<double>(i % 29) - 1.5;
+  }
+  double scale[3] = {};
+  TaskBatch batch(rt);
+  BatchOps ops(batch, n, 5);
+  ASSERT_NE(ops.sentinel(), nullptr);
+  ops.dot_cols(X.data(), Y.data(), k, scale);
+  ops.axpy_cols_at(scale, -1.0, X.data(), Y.data(), k);
+  EXPECT_NO_THROW(ops.run());
+  for (index_t j = 0; j < k; ++j) EXPECT_NE(scale[j], 0.0);
+}
+
+TEST(FootprintSentinel, SentinelIsOffWhenAuditingIsOff) {
+  Runtime rt(2);
+  // Force off even when the whole suite runs under FEIR_AUDIT_GRAPH=1 (the
+  // CI graph-audit job): what's under test is the off-path, not the env.
+  rt.set_audit(false);
+  TaskBatch batch(rt);
+  BatchOps ops(batch, 64, 4);
+  EXPECT_EQ(ops.sentinel(), nullptr);
+}
+
+// --- audited == unaudited bit-determinism ------------------------------------
+
+TEST(AuditDeterminism, AuditedSolveIsByteIdenticalToUnaudited) {
+  const TestbedProblem p = make_testbed("ecology2", 0.12);
+  ResilientCgOptions opts;
+  opts.method = Method::Feir;
+  opts.threads = 4;
+  opts.tol = 1e-8;
+  opts.max_iter = 5000;
+
+  std::vector<double> x_plain(static_cast<std::size_t>(p.A.n), 0.0);
+  std::vector<double> x_audited(x_plain);
+
+  ResilientCg plain(p.A, p.b.data(), opts);
+  const ResilientCgResult r1 = plain.solve(x_plain.data());
+
+  opts.audit = true;
+  ResilientCg audited(p.A, p.b.data(), opts);
+  const ResilientCgResult r2 = audited.solve(x_audited.data());
+
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(0, std::memcmp(x_plain.data(), x_audited.data(),
+                           x_plain.size() * sizeof(double)));
+}
+
+// --- sharded halo audit ------------------------------------------------------
+
+TEST(HaloAudit, CompletePlanHasNoGaps) {
+  const TestbedProblem p = make_testbed("ecology2", 0.12);
+  const std::vector<index_t> slabs = {0, p.A.n / 2, p.A.n};
+  const ExchangePlan plan = build_exchange_plan(p.A, slabs);
+  EXPECT_TRUE(analysis::audit_halo_coverage(p.A, plan, 0).empty());
+  EXPECT_TRUE(analysis::audit_halo_coverage(p.A, plan, 1).empty());
+}
+
+TEST(HaloAudit, DroppedRecvListIsReported) {
+  const TestbedProblem p = make_testbed("ecology2", 0.12);
+  const std::vector<index_t> slabs = {0, p.A.n / 2, p.A.n};
+  ExchangePlan plan = build_exchange_plan(p.A, slabs);
+  ASSERT_FALSE(plan.recv[0].empty());
+  plan.recv[0].clear();  // rank 0 "forgets" its ghost rows: the bug
+  const std::vector<std::string> gaps = analysis::audit_halo_coverage(p.A, plan, 0);
+  ASSERT_FALSE(gaps.empty());
+  EXPECT_NE(gaps[0].find("halo audit"), std::string::npos) << gaps[0];
+  EXPECT_NE(gaps[0].find("no peer sends it"), std::string::npos) << gaps[0];
+  // Rank 1's plan is untouched and still audits clean.
+  EXPECT_TRUE(analysis::audit_halo_coverage(p.A, plan, 1).empty());
+}
+
+TEST(HaloAudit, BadRankIsItselfAFinding) {
+  const TestbedProblem p = make_testbed("ecology2", 0.12);
+  const std::vector<index_t> one_slab = {0, p.A.n};
+  const ExchangePlan plan = build_exchange_plan(p.A, one_slab);
+  EXPECT_FALSE(analysis::audit_halo_coverage(p.A, plan, 7).empty());
+}
+
+}  // namespace
+}  // namespace feir

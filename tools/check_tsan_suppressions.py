@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail if .tsan-suppressions excuses a symbol that no longer exists.
+
+A suppression outlives the code it excuses silently: rename recover_r2 and
+the suppression file keeps matching nothing while a NEW race in the renamed
+function sails through CI unsuppressed-yet-unreported (TSan only prints
+unmatched-suppression stats under a flag nobody reads).  This check keeps
+the by-design r1/r2/recover_pipeline recovery races the *only* excused ones:
+every `race:Ns::Class::method` entry must still resolve to a definition --
+`method` must be defined as a member of `Class` somewhere under src/.
+
+Run from anywhere: python3 tools/check_tsan_suppressions.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    supp = root / ".tsan-suppressions"
+    if not supp.exists():
+        print("check_tsan_suppressions: no .tsan-suppressions file; nothing to audit")
+        return 0
+
+    sources = "\n".join(
+        f.read_text() for f in sorted((root / "src").rglob("*.cpp")) +
+        sorted((root / "src").rglob("*.hpp")))
+
+    stale = []
+    checked = 0
+    for raw in supp.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.fullmatch(r"(race|deadlock|signal|mutex|thread|called_from_lib)\s*:\s*(\S+)", line)
+        if m is None:
+            stale.append(f"unparseable suppression: {line}")
+            continue
+        symbol = m.group(2)
+        parts = symbol.split("::")
+        checked += 1
+        if len(parts) >= 2:
+            cls, method = parts[-2], parts[-1]
+            # An out-of-line member definition `Class::method(`; suppressions
+            # name the mangled-demangled symbol, so this is exactly the shape
+            # the source must still contain.
+            pat = re.compile(re.escape(cls) + r"::" + re.escape(method) + r"\s*\(")
+        else:
+            pat = re.compile(r"\b" + re.escape(parts[-1]) + r"\s*\(")
+        if not pat.search(sources):
+            stale.append(f"stale suppression (no such definition under src/): {line}")
+    for s in stale:
+        print(s, file=sys.stderr)
+    if stale:
+        print(f"check_tsan_suppressions: {len(stale)} stale entr(y/ies) -- delete them or "
+              "fix the symbol; excused races must stay enumerable", file=sys.stderr)
+        return 1
+    print(f"check_tsan_suppressions: {checked} suppression(s), all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

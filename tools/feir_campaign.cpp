@@ -40,6 +40,8 @@
 //                         parallelism lives across jobs, and one thread keeps
 //                         iteration-injected runs bit-reproducible)
 //   --pin                 pin the pool's workers (and each solver's) to cores
+//   --audit               run every job under the graph auditor + footprint
+//                         sentinel (analysis/graph_audit.hpp)
 //   --seed S              campaign seed; per-job seeds derive from it (default 1)
 //   --scale S             testbed grid scale (default 0.35)
 //   --tol T               relative residual threshold (default 1e-10)
@@ -66,6 +68,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/graph_audit.hpp"
 #include "campaign/aggregate.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/jobspec.hpp"
@@ -83,6 +86,7 @@ struct Args {
   unsigned jobs = 0;
   double max_seconds = 0.0;  // campaign-wide hard budget; 0 = unlimited
   bool pin = false;
+  bool audit = false;
   std::string out = "results.json";
   std::string csv;
   std::string jobs_csv_path;
@@ -250,6 +254,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--out") a.out = next();
     else if (flag == "--csv") a.csv = next();
     else if (flag == "--jobs-csv") a.jobs_csv_path = next();
+    else if (flag == "--audit") a.audit = true;
     else if (flag == "--timing") a.timing = true;
     else if (flag == "--quiet") a.quiet = true;
     else usage("unknown flag " + flag);
@@ -305,6 +310,8 @@ int main(int argc, char** argv) {
   ExecutorOptions eopts;
   eopts.concurrency = args.jobs;
   eopts.pin_threads = args.pin;
+  eopts.audit = args.audit;
+  if (args.audit) analysis::set_audit_default(true);
   if (!args.quiet) {
     eopts.on_job_done = [](std::size_t done, std::size_t total, const JobSpec& spec,
                            const JobResult& r) {
@@ -349,6 +356,13 @@ int main(int argc, char** argv) {
            Table::num(c.iterations.p50, 1), Table::num(c.iterations.p95, 1),
            Table::num(c.errors.mean, 2)});
   std::printf("\n%s\ncampaign wall time: %.2f s\n", t.str().c_str(), result.wall_seconds);
+  if (args.audit) {
+    const feir::analysis::AuditStats& as = feir::analysis::audit_stats();
+    std::printf("audit: graphs=%llu tasks=%llu pairs=%llu violations=0\n",
+                (unsigned long long)as.graphs.load(),
+                (unsigned long long)as.tasks.load(),
+                (unsigned long long)as.pairs.load());
+  }
 
   const std::string json = campaign_json(result, cells, args.grid.campaign_seed, args.timing);
   if (args.out == "-") {

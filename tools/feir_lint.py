@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: rules this codebase already learned the hard way.
+
+Each rule encodes a past bug class (see README "Correctness tooling"):
+
+  parse-functions     atoi/atof/raw strtod-family outside support/parse.
+                      Those functions silently accept trailing garbage and
+                      report ranges via errno conventions nobody checks;
+                      support/parse.hpp has the strict, erroring versions.
+  cache-key-to-string std::to_string in cache-key construction.  Its fixed
+                      6-decimal formatting collided two different --scale
+                      values into one cache entry (PR 4); keys must format
+                      doubles with "%.17g" (campaign/cache.cpp).
+  raw-send            ::send outside service/net.hpp.  The EINTR/EAGAIN/
+                      partial-write/MSG_NOSIGNAL handling lives in exactly
+                      one place (send_frame*); hand-rolled loops drifted.
+  nondeterminism      rand()/srand()/std::random_device/time(NULL) in
+                      src/ or tools/.  Every stochastic process here is a
+                      seeded counter-based stream so runs replay exactly;
+                      ambient entropy breaks campaign replays and the
+                      bit-determinism test tier.
+
+Justified exceptions live in tools/lint_allow.txt as
+    rule<TAB>path-suffix<TAB>line-substring   # reason
+and must carry a written reason.  Run from anywhere:
+    python3 tools/feir_lint.py [repo-root]
+Exits 0 when clean, 1 with findings (one per line, grep-style).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RULES = [
+    (
+        "parse-functions",
+        re.compile(r"\b(?:std::)?(?:atoi|atof|strtod|strtof|strtol|strtoll|strtoul|strtoull)\s*\("),
+        lambda rel: not rel.startswith("src/support/parse"),
+    ),
+    (
+        "cache-key-to-string",
+        re.compile(r"std::to_string\s*\("),
+        # Only lines that are visibly building a key; everything else is
+        # legitimate formatting (error messages, labels, ...).
+        None,  # needs_key handled below
+    ),
+    (
+        "raw-send",
+        # Only the globally-qualified libc call: `Class::send(` definitions
+        # and `obj.send(` member calls are a different function entirely.
+        re.compile(r"(?<![A-Za-z0-9_>])::send\s*\("),
+        lambda rel: rel != "src/service/net.hpp",
+    ),
+    (
+        "nondeterminism",
+        re.compile(r"\b(?:rand|srand)\s*\(|std::random_device|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+        lambda rel: True,
+    ),
+]
+
+KEY_HINT = re.compile(r"\bkey\b|_key\b|\bkey_|cache_key", re.IGNORECASE)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load_allowlist(root: Path):
+    allow = []
+    path = root / "tools" / "lint_allow.txt"
+    if not path.exists():
+        return allow
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            print(f"feir_lint: bad allowlist entry (need 3 tab-separated fields): {raw}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if "#" not in raw:
+            print(f"feir_lint: allowlist entry missing a written reason (# ...): {raw}",
+                  file=sys.stderr)
+            sys.exit(2)
+        allow.append(tuple(p.strip() for p in parts))
+    return allow
+
+
+def allowed(allow, rule, rel, line):
+    return any(r == rule and rel.endswith(p) and s in line for r, p, s in allow)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    allow = load_allowlist(root)
+    findings = []
+    files = []
+    for d in ("src", "tools"):
+        files += sorted((root / d).rglob("*.cpp")) + sorted((root / d).rglob("*.hpp"))
+    for f in files:
+        rel = f.relative_to(root).as_posix()
+        code = strip_comments_and_strings(f.read_text())
+        raw_lines = f.read_text().splitlines()
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for rule, pat, applies in RULES:
+                if not pat.search(line):
+                    continue
+                if rule == "cache-key-to-string":
+                    if not KEY_HINT.search(line):
+                        continue
+                elif not applies(rel):
+                    continue
+                shown = raw_lines[lineno - 1].strip() if lineno <= len(raw_lines) else line.strip()
+                if allowed(allow, rule, rel, shown):
+                    continue
+                findings.append(f"{rel}:{lineno}: [{rule}] {shown}")
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"feir_lint: {len(findings)} finding(s); add justified exceptions to "
+              "tools/lint_allow.txt with a written reason", file=sys.stderr)
+        return 1
+    print(f"feir_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,10 @@
 //                         for bit-exact replay -- BiCGStab/GMRES batches are
 //                         deterministic at any thread count)
 //   --pin                 pin worker threads to cores (Linux)
+//   --audit               run under the graph auditor + footprint sentinel
+//                         (analysis/graph_audit.hpp); prints the audit
+//                         counters after the solve.  FEIR_AUDIT_GRAPH=1
+//                         is the environment equivalent
 //   --max-iter N          iteration cap (default 100000; campaigns use 500000)
 //   --restart M           GMRES restart length (default 30)
 //   --seed    S           RNG seed (default 1)
@@ -60,6 +64,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/graph_audit.hpp"
+
 #include "campaign/executor.hpp"
 #include "campaign/jobspec.hpp"
 #include "campaign/report.hpp"
@@ -78,6 +84,7 @@ namespace {
 struct Args {
   campaign::JobSpec job;
   std::string inject = "soft";
+  bool audit = false;
   bool json = false;
   bool timing = false;
 };
@@ -142,6 +149,7 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--threads")
       a.job.threads = static_cast<unsigned>(cli_int(flag, next(), 1, 4096));
     else if (flag == "--pin") a.job.pin_threads = true;
+    else if (flag == "--audit") a.audit = true;
     else if (flag == "--restart")
       a.job.gmres_restart = static_cast<index_t>(cli_int(flag, next(), 1, 100000));
     else if (flag == "--max-iter")
@@ -224,6 +232,7 @@ void print_stats(const RecoveryStats& s) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   campaign::JobSpec job = args.job;
+  if (args.audit) analysis::set_audit_default(true);
 
   TestbedProblem p;
   try {
@@ -282,6 +291,13 @@ int main(int argc, char** argv) {
                 (unsigned long long)col.errors_injected);
   }
   print_stats(r.stats);
+  if (args.audit) {
+    const analysis::AuditStats& as = analysis::audit_stats();
+    std::printf("audit:      graphs=%llu tasks=%llu pairs=%llu violations=0\n",
+                (unsigned long long)as.graphs.load(),
+                (unsigned long long)as.tasks.load(),
+                (unsigned long long)as.pairs.load());
+  }
   if (args.json)
     std::printf("%s\n", campaign::job_record_json(job, r, args.timing).c_str());
   return r.converged ? 0 : 1;
